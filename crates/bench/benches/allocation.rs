@@ -1,0 +1,65 @@
+//! Criterion bench for the memory-management substrate: pool allocation /
+//! release under every placement policy, and remote-window carving.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dredbox::bricks::BrickId;
+use dredbox::memory::{AllocationPolicy, MemoryPool, RemoteWindow};
+use dredbox::sim::units::ByteSize;
+
+fn pool_with(policy: AllocationPolicy) -> MemoryPool {
+    let mut pool = MemoryPool::new(policy);
+    for i in 0..64u32 {
+        pool.register_membrick(BrickId(100 + i), ByteSize::from_gib(32));
+    }
+    pool
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory/pool_allocate_release_64x8GiB");
+    for policy in [
+        AllocationPolicy::FirstFit,
+        AllocationPolicy::BestFit,
+        AllocationPolicy::WorstFit,
+        AllocationPolicy::PowerAware,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{policy:?}")), &policy, |b, &policy| {
+            b.iter_batched(
+                || pool_with(policy),
+                |mut pool| {
+                    let mut grants = Vec::with_capacity(64);
+                    for vm in 0..64u32 {
+                        grants.push(pool.allocate(BrickId(vm), black_box(ByteSize::from_gib(8))).expect("fits"));
+                    }
+                    for grant in &grants {
+                        pool.release_grant(grant).expect("release");
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_window(c: &mut Criterion) {
+    c.bench_function("memory/remote_window_carve_release", |b| {
+        b.iter_batched(
+            || RemoteWindow::new(ByteSize::from_gib(1024)),
+            |mut window| {
+                let mut carved = Vec::with_capacity(128);
+                for _ in 0..128 {
+                    carved.push(window.carve(black_box(ByteSize::from_gib(8))).expect("fits"));
+                }
+                for addr in carved {
+                    window.release(addr, ByteSize::from_gib(8)).expect("release");
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_pool, bench_window);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for the Figure 7 substrate: the receiver BER model and a
+//! full measurement campaign over the two paper channels.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dredbox::optical::{BerMeasurementCampaign, LinkBudget, OpticalCircuitSwitch, ReceiverModel};
+use dredbox::sim::rng::SimRng;
+use dredbox::sim::units::DecibelMilliwatts;
+
+fn bench_ber_model(c: &mut Criterion) {
+    let receiver = ReceiverModel::dredbox_default();
+    c.bench_function("ber/single_evaluation", |b| {
+        b.iter(|| receiver.ber(black_box(DecibelMilliwatts::new(-11.7))))
+    });
+
+    c.bench_function("ber/required_power_inversion", |b| {
+        b.iter(|| receiver.required_power(black_box(1e-12)))
+    });
+
+    let switch = OpticalCircuitSwitch::polatis_48();
+    let channels = vec![
+        (
+            "ch-1 (8 hops)".to_owned(),
+            LinkBudget::new(DecibelMilliwatts::new(-3.7)).with_switch_hops(&switch, 8),
+        ),
+        (
+            "ch-8 (6 hops)".to_owned(),
+            LinkBudget::new(DecibelMilliwatts::new(-3.7)).with_switch_hops(&switch, 6),
+        ),
+    ];
+    let campaign = BerMeasurementCampaign::dredbox_default();
+    c.bench_function("ber/figure7_campaign", |b| {
+        b.iter_batched(
+            || SimRng::seed(7),
+            |mut rng| campaign.measure_all(black_box(&channels), &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_ber_model);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for the Figures 12/13 substrate: FCFS packing of Table I
+//! workloads onto both datacenter models and the full six-configuration
+//! study.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dredbox::sim::rng::SimRng;
+use dredbox::tco::{ConventionalDatacenter, DisaggregatedDatacenter, TcoStudy};
+use dredbox::sim::units::ByteSize;
+use dredbox::workload::WorkloadConfig;
+
+fn bench_packing(c: &mut Criterion) {
+    let conventional = ConventionalDatacenter::new(64, 32, ByteSize::from_gib(32));
+    let disaggregated = DisaggregatedDatacenter::new(64, 32, 64, ByteSize::from_gib(32));
+    let mut group = c.benchmark_group("tco/pack_64_vms");
+    for config in [WorkloadConfig::Random, WorkloadConfig::HighRam, WorkloadConfig::HighCpu] {
+        let workload = config.generate(64, &mut SimRng::seed(2018));
+        group.bench_with_input(BenchmarkId::new("conventional", config.name()), &workload, |b, w| {
+            b.iter(|| conventional.pack_fcfs(black_box(w)))
+        });
+        group.bench_with_input(BenchmarkId::new("disaggregated", config.name()), &workload, |b, w| {
+            b.iter(|| disaggregated.pack_fcfs(black_box(w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_study(c: &mut Criterion) {
+    let study = TcoStudy::paper_setup();
+    c.bench_function("tco/full_study_all_configs", |b| {
+        b.iter_batched(
+            || SimRng::seed(2018),
+            |mut rng| study.run_all(&mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_packing, bench_full_study);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!   cargo run -p dredbox-bench --bin figures -- all
+//!   cargo run -p dredbox-bench --bin figures -- fig12 fig13
+//!   cargo run -p dredbox-bench --bin figures -- fig7 --seed 7
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: u64 = 2018;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--seed needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse() {
+                    Ok(s) => seed = s,
+                    Err(_) => {
+                        eprintln!("invalid seed: {value}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => wanted.push(other.to_owned()),
+        }
+    }
+    if wanted.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+    if wanted.iter().any(|w| w == "all") {
+        wanted = dredbox_bench::ARTIFACTS.iter().map(|s| (*s).to_owned()).collect();
+    }
+
+    for artifact in &wanted {
+        match dredbox_bench::render(artifact, seed) {
+            Some(rendered) => {
+                println!("{rendered}");
+            }
+            None => {
+                eprintln!("unknown artifact: {artifact} (known: {})", dredbox_bench::ARTIFACTS.join(", "));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_usage() {
+    println!(
+        "regenerate dReDBox paper artifacts\n\nusage: figures [--seed N] <artifact>...\n       figures all\n\nartifacts: {}",
+        dredbox_bench::ARTIFACTS.join(", ")
+    );
+}

@@ -1,0 +1,315 @@
+//! dACCELBRICK: the accelerator brick (Figure 5 of the paper).
+//!
+//! An accelerator brick hosts hardware accelerators for near-data processing:
+//! rather than moving data to a remote dCOMPUBRICK, compute bricks offload
+//! work (and a bitstream) to the accelerator brick. The brick consists of a
+//! *dynamic* part — a predefined reconfigurable slot in the programmable
+//! logic, wrapped with control/status registers, high-speed transceivers and
+//! a local AXI DDR controller — and a *static* part that supports partial
+//! reconfiguration via the PCAP port, driven by a thin middleware on the
+//! local APU.
+
+use serde::{Deserialize, Serialize};
+
+use dredbox_sim::time::SimDuration;
+use dredbox_sim::units::{Bandwidth, ByteSize};
+
+use crate::error::BrickError;
+use crate::id::{BrickId, BrickKind};
+use crate::ports::PortSet;
+use crate::power::{PowerModel, PowerState};
+
+/// A partial-reconfiguration bitstream received from a compute brick.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitstream {
+    /// Human-readable accelerator name (e.g. "video-motion-detect").
+    pub name: String,
+    /// Size of the partial bitstream; determines PCAP programming time.
+    pub size: ByteSize,
+}
+
+impl Bitstream {
+    /// Creates a bitstream descriptor.
+    pub fn new<N: Into<String>>(name: N, size: ByteSize) -> Self {
+        Bitstream {
+            name: name.into(),
+            size,
+        }
+    }
+}
+
+/// The reconfigurable accelerator slot of the dynamic infrastructure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AcceleratorSlot {
+    loaded: Option<Bitstream>,
+    reconfigurations: u64,
+}
+
+impl AcceleratorSlot {
+    /// The bitstream currently programmed into the slot, if any.
+    pub fn loaded(&self) -> Option<&Bitstream> {
+        self.loaded.as_ref()
+    }
+
+    /// Whether the slot holds an accelerator.
+    pub fn is_occupied(&self) -> bool {
+        self.loaded.is_some()
+    }
+
+    /// Number of reconfigurations performed so far.
+    pub fn reconfigurations(&self) -> u64 {
+        self.reconfigurations
+    }
+}
+
+/// Static dimensioning of an accelerator brick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorBrickSpec {
+    /// DDR attached to the programmable-logic side for accelerator use.
+    pub pl_memory: ByteSize,
+    /// DDR attached to the local APU running the middleware.
+    pub apu_memory: ByteSize,
+    /// Number of GTH transceiver ports towards the rack interconnect.
+    pub gth_ports: u8,
+    /// Line rate of each GTH port.
+    pub port_rate: Bandwidth,
+    /// Effective PCAP programming bandwidth for partial reconfiguration.
+    pub pcap_bandwidth: Bandwidth,
+    /// Per-state electrical power draw.
+    pub power: PowerModel,
+}
+
+/// A dACCELBRICK instance.
+///
+/// ```
+/// use dredbox_bricks::{Catalog, BrickId, Bitstream};
+/// use dredbox_sim::units::ByteSize;
+///
+/// let mut brick = Catalog::prototype().accelerator_brick(BrickId(20));
+/// let bs = Bitstream::new("aes-offload", ByteSize::from_mib(8));
+/// let programming_time = brick.load_bitstream(bs)?;
+/// assert!(programming_time.as_millis_f64() > 0.0);
+/// assert!(brick.slot().is_occupied());
+/// # Ok::<(), dredbox_bricks::BrickError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorBrick {
+    id: BrickId,
+    spec: AcceleratorBrickSpec,
+    ports: PortSet,
+    power_state: PowerState,
+    slot: AcceleratorSlot,
+}
+
+impl AcceleratorBrick {
+    /// Creates a powered-on accelerator brick with an empty slot.
+    pub fn new(id: BrickId, spec: AcceleratorBrickSpec) -> Self {
+        let ports = PortSet::new(id, spec.gth_ports, spec.port_rate);
+        AcceleratorBrick {
+            id,
+            spec,
+            ports,
+            power_state: PowerState::Idle,
+            slot: AcceleratorSlot::default(),
+        }
+    }
+
+    /// Brick identifier.
+    pub fn id(&self) -> BrickId {
+        self.id
+    }
+
+    /// Brick kind ([`BrickKind::Accelerator`]).
+    pub fn kind(&self) -> BrickKind {
+        BrickKind::Accelerator
+    }
+
+    /// Static dimensioning.
+    pub fn spec(&self) -> &AcceleratorBrickSpec {
+        &self.spec
+    }
+
+    /// Transceiver ports.
+    pub fn ports(&self) -> &PortSet {
+        &self.ports
+    }
+
+    /// Mutable access to the transceiver ports.
+    pub fn ports_mut(&mut self) -> &mut PortSet {
+        &mut self.ports
+    }
+
+    /// The reconfigurable slot.
+    pub fn slot(&self) -> &AcceleratorSlot {
+        &self.slot
+    }
+
+    /// Current power state.
+    pub fn power_state(&self) -> PowerState {
+        self.power_state
+    }
+
+    /// Whether no accelerator is loaded.
+    pub fn is_unused(&self) -> bool {
+        !self.slot.is_occupied()
+    }
+
+    /// Loads `bitstream` into the reconfigurable slot via the PCAP port,
+    /// returning the programming time (middleware stores the bitstream, then
+    /// reconfigures the PL).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrickError::PoweredOff`] if the brick is off, or
+    /// [`BrickError::SlotOccupied`] if an accelerator is already loaded;
+    /// call [`AcceleratorBrick::unload`] first.
+    pub fn load_bitstream(&mut self, bitstream: Bitstream) -> Result<SimDuration, BrickError> {
+        if self.power_state == PowerState::Off {
+            return Err(BrickError::PoweredOff { brick: self.id });
+        }
+        if self.slot.is_occupied() {
+            return Err(BrickError::SlotOccupied { brick: self.id });
+        }
+        let programming_time = self.spec.pcap_bandwidth.transfer_time(bitstream.size);
+        self.slot.loaded = Some(bitstream);
+        self.slot.reconfigurations += 1;
+        self.power_state = PowerState::Active;
+        Ok(programming_time)
+    }
+
+    /// Unloads the currently programmed accelerator, returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrickError::SlotEmpty`] if no accelerator is loaded.
+    pub fn unload(&mut self) -> Result<Bitstream, BrickError> {
+        let bs = self.slot.loaded.take().ok_or(BrickError::SlotEmpty { brick: self.id })?;
+        if self.power_state != PowerState::Off {
+            self.power_state = PowerState::Idle;
+        }
+        Ok(bs)
+    }
+
+    /// Estimated time to run an offloaded kernel over `input` data at the
+    /// accelerator's local DDR bandwidth, a coarse near-data-processing model
+    /// used by the pilot-application examples.
+    pub fn offload_time(&self, input: ByteSize) -> SimDuration {
+        // Near-data processing: the dominant cost is streaming the input once
+        // from the accelerator-local DDR through the kernel.
+        MemoryStreamModel::default().stream_time(input)
+    }
+
+    /// Powers the brick off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrickError::SlotOccupied`] if an accelerator is still
+    /// loaded.
+    pub fn power_off(&mut self) -> Result<(), BrickError> {
+        if self.slot.is_occupied() {
+            return Err(BrickError::SlotOccupied { brick: self.id });
+        }
+        self.power_state = PowerState::Off;
+        Ok(())
+    }
+
+    /// Powers the brick back on (idle).
+    pub fn power_on(&mut self) {
+        if self.power_state == PowerState::Off {
+            self.power_state = PowerState::Idle;
+        }
+    }
+
+    /// Current electrical draw.
+    pub fn power_draw(&self) -> dredbox_sim::units::Watts {
+        self.spec.power.draw(self.power_state)
+    }
+}
+
+/// Streaming-throughput model used to estimate accelerator kernel time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct MemoryStreamModel {
+    effective_bandwidth: Bandwidth,
+}
+
+impl Default for MemoryStreamModel {
+    fn default() -> Self {
+        MemoryStreamModel {
+            // PL-side DDR sustained streaming rate.
+            effective_bandwidth: Bandwidth::from_gbps(100.0),
+        }
+    }
+}
+
+impl MemoryStreamModel {
+    fn stream_time(&self, input: ByteSize) -> SimDuration {
+        self.effective_bandwidth.transfer_time(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dredbox_sim::units::Watts;
+
+    fn spec() -> AcceleratorBrickSpec {
+        AcceleratorBrickSpec {
+            pl_memory: ByteSize::from_gib(4),
+            apu_memory: ByteSize::from_gib(2),
+            gth_ports: 4,
+            port_rate: Bandwidth::from_gbps(10.0),
+            pcap_bandwidth: Bandwidth::from_gbps(3.2),
+            power: PowerModel::new(Watts::ZERO, Watts::new(12.0), Watts::new(30.0)),
+        }
+    }
+
+    #[test]
+    fn load_and_unload_bitstream() {
+        let mut b = AcceleratorBrick::new(BrickId(20), spec());
+        assert_eq!(b.kind(), BrickKind::Accelerator);
+        assert!(b.is_unused());
+        let t = b
+            .load_bitstream(Bitstream::new("sobel", ByteSize::from_mib(16)))
+            .unwrap();
+        assert!(t.as_millis_f64() > 10.0, "16 MiB at 3.2 Gb/s should take tens of ms, got {t}");
+        assert!(b.slot().is_occupied());
+        assert_eq!(b.slot().loaded().unwrap().name, "sobel");
+        assert_eq!(b.slot().reconfigurations(), 1);
+        assert_eq!(b.power_state(), PowerState::Active);
+
+        assert!(matches!(
+            b.load_bitstream(Bitstream::new("other", ByteSize::from_mib(1))),
+            Err(BrickError::SlotOccupied { .. })
+        ));
+
+        let bs = b.unload().unwrap();
+        assert_eq!(bs.name, "sobel");
+        assert!(b.is_unused());
+        assert_eq!(b.power_state(), PowerState::Idle);
+        assert!(matches!(b.unload(), Err(BrickError::SlotEmpty { .. })));
+    }
+
+    #[test]
+    fn power_cycle() {
+        let mut b = AcceleratorBrick::new(BrickId(21), spec());
+        b.load_bitstream(Bitstream::new("x", ByteSize::from_mib(1))).unwrap();
+        assert!(b.power_off().is_err());
+        b.unload().unwrap();
+        b.power_off().unwrap();
+        assert_eq!(b.power_draw().as_watts(), 0.0);
+        assert!(matches!(
+            b.load_bitstream(Bitstream::new("x", ByteSize::from_mib(1))),
+            Err(BrickError::PoweredOff { .. })
+        ));
+        b.power_on();
+        assert_eq!(b.power_state(), PowerState::Idle);
+    }
+
+    #[test]
+    fn offload_time_scales_with_input() {
+        let b = AcceleratorBrick::new(BrickId(22), spec());
+        let small = b.offload_time(ByteSize::from_mib(64));
+        let large = b.offload_time(ByteSize::from_mib(128));
+        assert!(large.as_nanos() > small.as_nanos());
+    }
+}

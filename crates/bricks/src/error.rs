@@ -1,0 +1,124 @@
+//! Error type for the brick hardware models.
+
+use std::fmt;
+
+use dredbox_sim::units::ByteSize;
+
+use crate::id::{BrickId, PortId};
+
+/// Errors produced when interacting with brick models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BrickError {
+    /// Not enough free cores on a compute brick.
+    InsufficientCores {
+        /// Brick that was asked.
+        brick: BrickId,
+        /// Cores requested.
+        requested: u32,
+        /// Cores available.
+        available: u32,
+    },
+    /// Not enough free memory on a brick.
+    InsufficientMemory {
+        /// Brick that was asked.
+        brick: BrickId,
+        /// Memory requested.
+        requested: ByteSize,
+        /// Memory available.
+        available: ByteSize,
+    },
+    /// The referenced port does not exist on the brick.
+    NoSuchPort {
+        /// Offending port identifier.
+        port: PortId,
+    },
+    /// The port is already attached to a network path.
+    PortBusy {
+        /// Offending port identifier.
+        port: PortId,
+    },
+    /// The brick is powered off and cannot serve the request.
+    PoweredOff {
+        /// Brick that was asked.
+        brick: BrickId,
+    },
+    /// An accelerator slot is already occupied by a bitstream.
+    SlotOccupied {
+        /// Brick that was asked.
+        brick: BrickId,
+    },
+    /// An accelerator slot is empty but an operation required a loaded
+    /// bitstream.
+    SlotEmpty {
+        /// Brick that was asked.
+        brick: BrickId,
+    },
+    /// A release was attempted for more resources than are allocated.
+    ReleaseUnderflow {
+        /// Brick that was asked.
+        brick: BrickId,
+    },
+    /// The referenced brick does not exist in the tray or rack.
+    NoSuchBrick {
+        /// Offending brick identifier.
+        brick: BrickId,
+    },
+}
+
+impl fmt::Display for BrickError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrickError::InsufficientCores {
+                brick,
+                requested,
+                available,
+            } => write!(f, "{brick}: requested {requested} cores but only {available} are free"),
+            BrickError::InsufficientMemory {
+                brick,
+                requested,
+                available,
+            } => write!(f, "{brick}: requested {requested} but only {available} is free"),
+            BrickError::NoSuchPort { port } => write!(f, "no such port: {port}"),
+            BrickError::PortBusy { port } => write!(f, "port {port} is already attached"),
+            BrickError::PoweredOff { brick } => write!(f, "{brick} is powered off"),
+            BrickError::SlotOccupied { brick } => write!(f, "{brick}: accelerator slot already occupied"),
+            BrickError::SlotEmpty { brick } => write!(f, "{brick}: accelerator slot is empty"),
+            BrickError::ReleaseUnderflow { brick } => {
+                write!(f, "{brick}: released more resources than were allocated")
+            }
+            BrickError::NoSuchBrick { brick } => write!(f, "no such brick: {brick}"),
+        }
+    }
+}
+
+impl std::error::Error for BrickError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_brick() {
+        let e = BrickError::InsufficientCores {
+            brick: BrickId(3),
+            requested: 8,
+            available: 4,
+        };
+        assert!(e.to_string().contains("brick3"));
+        assert!(e.to_string().contains('8'));
+        let m = BrickError::InsufficientMemory {
+            brick: BrickId(1),
+            requested: ByteSize::from_gib(4),
+            available: ByteSize::from_gib(2),
+        };
+        assert!(m.to_string().contains("4.00 GiB"));
+        assert!(BrickError::PoweredOff { brick: BrickId(2) }.to_string().contains("powered off"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BrickError>();
+    }
+}

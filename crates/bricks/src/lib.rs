@@ -1,0 +1,57 @@
+//! Hardware models of the dReDBox building blocks.
+//!
+//! The dReDBox architecture (Section II of the paper) abandons the
+//! mainboard-as-a-unit and builds datacenters out of hot-pluggable *bricks*
+//! pooled on trays:
+//!
+//! * **dCOMPUBRICK** ([`compute::ComputeBrick`]) — a Xilinx Zynq Ultrascale+
+//!   MPSoC with a quad-core ARMv8 APU, local DDR, and programmable logic
+//!   hosting the Transaction Glue Logic, the Remote Memory Segment Table and
+//!   the network endpoints.
+//! * **dMEMBRICK** ([`memory_brick::MemoryBrick`]) — a large pool of DDR/HMC
+//!   memory behind glue logic, partitionable among compute bricks.
+//! * **dACCELBRICK** ([`accel::AcceleratorBrick`]) — a reconfigurable
+//!   accelerator slot plus static infrastructure for near-data processing.
+//!
+//! Bricks plug into [`tray::Tray`]s (electrically interconnected on-tray) and
+//! trays into [`rack::Rack`]s (optically interconnected off-tray). The
+//! [`catalog`] module provides dimensioning presets both for the vertical
+//! prototype and for the TCO study of Section VI.
+//!
+//! # Example
+//!
+//! ```
+//! use dredbox_bricks::{Catalog, BrickKind};
+//!
+//! let rack = Catalog::prototype().build_rack(2, 4, 4, 1);
+//! assert_eq!(rack.brick_count(BrickKind::Compute), 8);
+//! assert_eq!(rack.brick_count(BrickKind::Memory), 8);
+//! assert_eq!(rack.brick_count(BrickKind::Accelerator), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accel;
+pub mod catalog;
+pub mod compute;
+pub mod error;
+pub mod id;
+pub mod memory_brick;
+pub mod ports;
+pub mod power;
+pub mod rack;
+pub mod resources;
+pub mod tray;
+
+pub use accel::{AcceleratorBrick, AcceleratorSlot, Bitstream};
+pub use catalog::Catalog;
+pub use compute::{ComputeBrick, ComputeBrickSpec};
+pub use error::BrickError;
+pub use id::{BrickId, BrickKind, PortId, RackId, TrayId};
+pub use memory_brick::{MemoryBrick, MemoryBrickSpec, MemoryController, MemoryTechnology};
+pub use ports::{GthPort, PortRole, PortState};
+pub use power::{PowerModel, PowerState};
+pub use rack::Rack;
+pub use resources::ResourceVector;
+pub use tray::{Brick, Tray};

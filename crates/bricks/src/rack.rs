@@ -1,0 +1,204 @@
+//! Racks: collections of trays interconnected by the optical network.
+
+use serde::{Deserialize, Serialize};
+
+use dredbox_sim::units::{ByteSize, Watts};
+
+use crate::error::BrickError;
+use crate::id::{BrickId, BrickKind, RackId, TrayId};
+use crate::tray::{Brick, Tray};
+
+/// A rack of dReDBox trays.
+///
+/// ```
+/// use dredbox_bricks::{Catalog, BrickKind};
+///
+/// let rack = Catalog::prototype().build_rack(4, 2, 2, 1);
+/// assert_eq!(rack.trays().len(), 4);
+/// assert_eq!(rack.brick_count(BrickKind::Compute), 8);
+/// assert!(rack.total_memory_pool().as_gib() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rack {
+    id: RackId,
+    trays: Vec<Tray>,
+}
+
+impl Rack {
+    /// Creates an empty rack.
+    pub fn new(id: RackId) -> Self {
+        Rack {
+            id,
+            trays: Vec::new(),
+        }
+    }
+
+    /// Rack identifier.
+    pub fn id(&self) -> RackId {
+        self.id
+    }
+
+    /// Adds a tray to the rack.
+    pub fn add_tray(&mut self, tray: Tray) {
+        self.trays.push(tray);
+    }
+
+    /// All trays.
+    pub fn trays(&self) -> &[Tray] {
+        &self.trays
+    }
+
+    /// Mutable iterator over trays.
+    pub fn trays_mut(&mut self) -> impl Iterator<Item = &mut Tray> {
+        self.trays.iter_mut()
+    }
+
+    /// Looks up a tray by identifier.
+    pub fn tray(&self, id: TrayId) -> Option<&Tray> {
+        self.trays.iter().find(|t| t.id() == id)
+    }
+
+    /// Iterates over every brick in the rack.
+    pub fn bricks(&self) -> impl Iterator<Item = &Brick> {
+        self.trays.iter().flat_map(|t| t.bricks().iter())
+    }
+
+    /// Iterates mutably over every brick in the rack.
+    pub fn bricks_mut(&mut self) -> impl Iterator<Item = &mut Brick> {
+        self.trays.iter_mut().flat_map(|t| t.bricks_mut())
+    }
+
+    /// Finds a brick anywhere in the rack.
+    pub fn brick(&self, id: BrickId) -> Option<&Brick> {
+        self.bricks().find(|b| b.id() == id)
+    }
+
+    /// Finds a brick mutably anywhere in the rack.
+    pub fn brick_mut(&mut self, id: BrickId) -> Option<&mut Brick> {
+        self.bricks_mut().find(|b| b.id() == id)
+    }
+
+    /// Finds a brick mutably, returning an error if it does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrickError::NoSuchBrick`] when `id` is not in the rack.
+    pub fn brick_mut_or_err(&mut self, id: BrickId) -> Result<&mut Brick, BrickError> {
+        self.brick_mut(id).ok_or(BrickError::NoSuchBrick { brick: id })
+    }
+
+    /// The tray hosting a given brick, if any.
+    pub fn tray_of(&self, id: BrickId) -> Option<TrayId> {
+        self.trays
+            .iter()
+            .find(|t| t.brick(id).is_some())
+            .map(|t| t.id())
+    }
+
+    /// Whether two bricks sit on the same tray (and thus communicate over the
+    /// tray-local electrical circuit rather than the optical network).
+    pub fn same_tray(&self, a: BrickId, b: BrickId) -> bool {
+        match (self.tray_of(a), self.tray_of(b)) {
+            (Some(ta), Some(tb)) => ta == tb,
+            _ => false,
+        }
+    }
+
+    /// Number of bricks of a given kind in the rack.
+    pub fn brick_count(&self, kind: BrickKind) -> usize {
+        self.bricks().filter(|b| b.kind() == kind).count()
+    }
+
+    /// Identifiers of every brick of a given kind.
+    pub fn brick_ids(&self, kind: BrickKind) -> Vec<BrickId> {
+        self.bricks()
+            .filter(|b| b.kind() == kind)
+            .map(|b| b.id())
+            .collect()
+    }
+
+    /// Aggregate dMEMBRICK pool capacity in the rack.
+    pub fn total_memory_pool(&self) -> ByteSize {
+        self.trays.iter().map(|t| t.total_memory_pool()).sum()
+    }
+
+    /// Aggregate dCOMPUBRICK cores in the rack.
+    pub fn total_cores(&self) -> u32 {
+        self.trays.iter().map(|t| t.total_cores()).sum()
+    }
+
+    /// Current electrical draw of all bricks in the rack.
+    pub fn power_draw(&self) -> Watts {
+        self.trays.iter().map(|t| t.power_draw()).sum()
+    }
+
+    /// Number of bricks that hold no allocation (candidates for power-off).
+    pub fn unused_brick_count(&self, kind: BrickKind) -> usize {
+        self.bricks()
+            .filter(|b| b.kind() == kind && b.is_unused())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    fn rack() -> Rack {
+        Catalog::prototype().build_rack(2, 2, 2, 1)
+    }
+
+    #[test]
+    fn construction_counts() {
+        let r = rack();
+        assert_eq!(r.trays().len(), 2);
+        assert_eq!(r.brick_count(BrickKind::Compute), 4);
+        assert_eq!(r.brick_count(BrickKind::Memory), 4);
+        assert_eq!(r.brick_count(BrickKind::Accelerator), 2);
+        assert_eq!(r.bricks().count(), 10);
+        assert_eq!(r.brick_ids(BrickKind::Compute).len(), 4);
+        assert!(r.total_cores() > 0);
+        assert!(r.total_memory_pool().as_gib() > 0);
+        assert!(r.power_draw().as_watts() > 0.0);
+    }
+
+    #[test]
+    fn lookup_and_tray_of() {
+        let r = rack();
+        let compute_ids = r.brick_ids(BrickKind::Compute);
+        let first = compute_ids[0];
+        assert!(r.brick(first).is_some());
+        assert!(r.tray_of(first).is_some());
+        assert!(r.brick(BrickId(10_000)).is_none());
+        assert!(r.tray_of(BrickId(10_000)).is_none());
+        assert!(r.tray(TrayId(0)).is_some());
+        assert!(r.tray(TrayId(9)).is_none());
+    }
+
+    #[test]
+    fn same_tray_detection() {
+        let r = rack();
+        // First tray holds the first (2 compute + 2 memory + 1 accel) = 5 bricks.
+        let t0_bricks: Vec<BrickId> = r.trays()[0].bricks().iter().map(|b| b.id()).collect();
+        let t1_bricks: Vec<BrickId> = r.trays()[1].bricks().iter().map(|b| b.id()).collect();
+        assert!(r.same_tray(t0_bricks[0], t0_bricks[1]));
+        assert!(!r.same_tray(t0_bricks[0], t1_bricks[0]));
+        assert!(!r.same_tray(t0_bricks[0], BrickId(10_000)));
+    }
+
+    #[test]
+    fn unused_counts_update_with_allocations() {
+        let mut r = rack();
+        assert_eq!(r.unused_brick_count(BrickKind::Compute), 4);
+        let id = r.brick_ids(BrickKind::Compute)[0];
+        r.brick_mut(id)
+            .unwrap()
+            .as_compute_mut()
+            .unwrap()
+            .allocate_cores(1)
+            .unwrap();
+        assert_eq!(r.unused_brick_count(BrickKind::Compute), 3);
+        assert!(r.brick_mut_or_err(BrickId(10_000)).is_err());
+    }
+}

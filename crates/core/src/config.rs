@@ -1,0 +1,119 @@
+//! System-level configuration presets.
+
+use serde::{Deserialize, Serialize};
+
+use dredbox_bricks::Catalog;
+use dredbox_interconnect::{LatencyConfig, PathKind};
+use dredbox_memory::AllocationPolicy;
+use dredbox_orchestrator::{PlacementPolicy, SdmTimings};
+use dredbox_softstack::ScaleUpTimings;
+
+/// Configuration of a [`crate::DredboxSystem`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of trays in the rack.
+    pub trays: u16,
+    /// dCOMPUBRICKs per tray.
+    pub compute_per_tray: u16,
+    /// dMEMBRICKs per tray.
+    pub memory_per_tray: u16,
+    /// dACCELBRICKs per tray.
+    pub accel_per_tray: u16,
+    /// Brick dimensioning catalog.
+    pub catalog: Catalog,
+    /// Data-path latency parameters.
+    pub latency: LatencyConfig,
+    /// Which data path remote memory accesses use.
+    pub path: PathKind,
+    /// dMEMBRICK selection policy of the memory pool.
+    pub memory_policy: AllocationPolicy,
+    /// VM placement policy over compute bricks.
+    pub placement: PlacementPolicy,
+    /// SDM-controller control-plane timings.
+    pub sdm_timings: SdmTimings,
+    /// Scale-up controller timings on each compute brick.
+    pub scaleup_timings: ScaleUpTimings,
+}
+
+impl SystemConfig {
+    /// A small rack matching the vertical prototype: two trays, each with
+    /// two compute bricks, two memory bricks and one accelerator brick.
+    pub fn prototype_rack() -> Self {
+        SystemConfig {
+            trays: 2,
+            compute_per_tray: 2,
+            memory_per_tray: 2,
+            accel_per_tray: 1,
+            catalog: Catalog::prototype(),
+            latency: LatencyConfig::dredbox_default(),
+            path: PathKind::CircuitSwitched,
+            memory_policy: AllocationPolicy::PowerAware,
+            placement: PlacementPolicy::PowerAware,
+            sdm_timings: SdmTimings::dredbox_default(),
+            scaleup_timings: ScaleUpTimings::dredbox_default(),
+        }
+    }
+
+    /// A larger rack dimensioned like the TCO study (32-core compute bricks,
+    /// 32-GiB memory bricks), used by the agility and TCO experiments.
+    pub fn datacenter_rack(trays: u16, compute_per_tray: u16, memory_per_tray: u16) -> Self {
+        SystemConfig {
+            trays,
+            compute_per_tray,
+            memory_per_tray,
+            accel_per_tray: 0,
+            catalog: Catalog::tco_study(),
+            latency: LatencyConfig::dredbox_default(),
+            path: PathKind::CircuitSwitched,
+            memory_policy: AllocationPolicy::PowerAware,
+            placement: PlacementPolicy::PowerAware,
+            sdm_timings: SdmTimings::dredbox_default(),
+            scaleup_timings: ScaleUpTimings::dredbox_default(),
+        }
+    }
+
+    /// Switches the remote-memory data path.
+    pub fn with_path(mut self, path: PathKind) -> Self {
+        self.path = path;
+        self
+    }
+
+    /// Total number of compute bricks in the configuration.
+    pub fn total_compute_bricks(&self) -> usize {
+        usize::from(self.trays) * usize::from(self.compute_per_tray)
+    }
+
+    /// Total number of memory bricks in the configuration.
+    pub fn total_memory_bricks(&self) -> usize {
+        usize::from(self.trays) * usize::from(self.memory_per_tray)
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::prototype_rack()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_rack_counts() {
+        let c = SystemConfig::prototype_rack();
+        assert_eq!(c.total_compute_bricks(), 4);
+        assert_eq!(c.total_memory_bricks(), 4);
+        assert_eq!(c.path, PathKind::CircuitSwitched);
+        assert_eq!(SystemConfig::default(), SystemConfig::prototype_rack());
+    }
+
+    #[test]
+    fn datacenter_rack_uses_tco_catalog() {
+        let c = SystemConfig::datacenter_rack(4, 8, 8);
+        assert_eq!(c.total_compute_bricks(), 32);
+        assert_eq!(c.catalog.compute_spec().apu_cores, 32);
+        let packet = c.with_path(PathKind::PacketSwitched);
+        assert_eq!(packet.path, PathKind::PacketSwitched);
+    }
+}

@@ -1,0 +1,515 @@
+//! The end-to-end disaggregated system: rack + optical network + software
+//! stack + orchestration, behind one API.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dredbox_bricks::{BrickId, BrickKind, Rack};
+use dredbox_interconnect::{LatencyBreakdown, PathKind, RemoteMemoryPath};
+use dredbox_optical::{OpticalCircuitSwitch, OpticalTopology};
+use dredbox_orchestrator::power_mgmt::PowerSweep;
+use dredbox_orchestrator::{
+    OrchestratorError, PowerManager, ScaleUpDemand, ScaleUpGrant, SdmController, VmAllocationRequest,
+};
+use dredbox_sim::time::SimDuration;
+use dredbox_sim::units::{ByteSize, Watts};
+use dredbox_softstack::{BaremetalOs, Hypervisor, ScaleUpController, SoftstackError, VmId, VmSpec};
+use dredbox_memory::HotplugModel;
+
+use crate::config::SystemConfig;
+
+/// Handle to a VM allocated through the system API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VmHandle(pub u64);
+
+impl fmt::Display for VmHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm-handle{}", self.0)
+    }
+}
+
+/// What a scale-up (or scale-down) operation cost, end to end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleUpReport {
+    /// The VM that was resized.
+    pub vm: VmHandle,
+    /// How much memory was added (or removed).
+    pub amount: ByteSize,
+    /// SDM-controller service time (selection, reservation, circuit and
+    /// glue-logic configuration).
+    pub orchestration_delay: SimDuration,
+    /// Brick-local delay (baremetal hotplug, QEMU DIMM attach, guest
+    /// onlining, control RPCs).
+    pub brick_delay: SimDuration,
+    /// Total per-VM delay, the Figure 10 quantity.
+    pub total_delay: SimDuration,
+}
+
+/// Errors surfaced by the system API.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SystemError {
+    /// The orchestration layer rejected the request.
+    Orchestrator(OrchestratorError),
+    /// The software stack rejected the request.
+    Softstack(SoftstackError),
+    /// The handle does not refer to a live VM.
+    NoSuchVm {
+        /// Offending handle.
+        handle: VmHandle,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Orchestrator(e) => write!(f, "orchestration: {e}"),
+            SystemError::Softstack(e) => write!(f, "system software: {e}"),
+            SystemError::NoSuchVm { handle } => write!(f, "no such vm handle: {handle}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SystemError::Orchestrator(e) => Some(e),
+            SystemError::Softstack(e) => Some(e),
+            SystemError::NoSuchVm { .. } => None,
+        }
+    }
+}
+
+impl From<OrchestratorError> for SystemError {
+    fn from(e: OrchestratorError) -> Self {
+        SystemError::Orchestrator(e)
+    }
+}
+
+impl From<SoftstackError> for SystemError {
+    fn from(e: SoftstackError) -> Self {
+        SystemError::Softstack(e)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct VmRecord {
+    brick: BrickId,
+    vm: VmId,
+    vcpus: u32,
+    grants: Vec<ScaleUpGrant>,
+}
+
+/// The assembled dReDBox system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DredboxSystem {
+    config: SystemConfig,
+    rack: Rack,
+    topology: OpticalTopology,
+    sdm: SdmController,
+    hypervisors: BTreeMap<BrickId, Hypervisor>,
+    scaleup: ScaleUpController,
+    power: PowerManager,
+    vms: BTreeMap<VmHandle, VmRecord>,
+    next_handle: u64,
+}
+
+impl DredboxSystem {
+    /// Builds the rack, cables it to the optical switch, boots a hypervisor
+    /// on every dCOMPUBRICK and registers everything with the SDM
+    /// controller.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (kept fallible for forward
+    /// compatibility with richer configurations).
+    pub fn build(config: SystemConfig) -> Result<Self, SystemError> {
+        let rack = config.catalog.build_rack(
+            config.trays,
+            config.compute_per_tray,
+            config.memory_per_tray,
+            config.accel_per_tray,
+        );
+        let topology = OpticalTopology::cable_rack(&rack, OpticalCircuitSwitch::polatis_48());
+
+        let mut sdm = SdmController::new(
+            config.memory_policy,
+            config.placement,
+            config.sdm_timings,
+            config.latency.clone(),
+        );
+        let mut hypervisors = BTreeMap::new();
+        for brick in rack.bricks() {
+            match brick.kind() {
+                BrickKind::Compute => {
+                    let compute = brick.as_compute().expect("kind checked");
+                    sdm.register_compute_brick(
+                        compute.id(),
+                        compute.spec().apu_cores,
+                        compute.spec().gth_ports,
+                    );
+                    let os = BaremetalOs::new(
+                        compute.id(),
+                        compute.spec().local_memory,
+                        HotplugModel::dredbox_default(),
+                    );
+                    hypervisors.insert(compute.id(), Hypervisor::new(os, compute.spec().apu_cores));
+                }
+                BrickKind::Memory => {
+                    let memory = brick.as_memory().expect("kind checked");
+                    sdm.register_membrick(memory.id(), memory.capacity());
+                }
+                BrickKind::Accelerator => {}
+            }
+        }
+
+        Ok(DredboxSystem {
+            scaleup: ScaleUpController::new(config.scaleup_timings),
+            config,
+            rack,
+            topology,
+            sdm,
+            hypervisors,
+            power: PowerManager::new(),
+            vms: BTreeMap::new(),
+            next_handle: 0,
+        })
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The physical rack.
+    pub fn rack(&self) -> &Rack {
+        &self.rack
+    }
+
+    /// The optical topology and circuit manager.
+    pub fn topology(&self) -> &OpticalTopology {
+        &self.topology
+    }
+
+    /// The SDM controller.
+    pub fn sdm(&self) -> &SdmController {
+        &self.sdm
+    }
+
+    /// The hypervisor running on a given compute brick.
+    pub fn hypervisor(&self, brick: BrickId) -> Option<&Hypervisor> {
+        self.hypervisors.get(&brick)
+    }
+
+    /// Number of live VMs.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// The compute brick hosting a VM.
+    pub fn vm_brick(&self, handle: VmHandle) -> Option<BrickId> {
+        self.vms.get(&handle).map(|r| r.brick)
+    }
+
+    /// Memory currently assigned to a VM.
+    pub fn vm_memory(&self, handle: VmHandle) -> Option<ByteSize> {
+        let record = self.vms.get(&handle)?;
+        self.hypervisors
+            .get(&record.brick)
+            .and_then(|hv| hv.vm(record.vm))
+            .map(|vm| vm.current_memory())
+    }
+
+    /// Allocates a VM with `vcpus` cores and `memory` of disaggregated
+    /// memory. Returns a handle to the new VM.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no compute brick has the cores or the pool lacks the
+    /// memory.
+    pub fn allocate_vm(&mut self, vcpus: u32, memory: ByteSize) -> Result<VmHandle, SystemError> {
+        let (brick, grant) = self
+            .sdm
+            .allocate_vm(VmAllocationRequest::new(vcpus, memory))?;
+        let hv = self
+            .hypervisors
+            .get_mut(&brick)
+            .expect("SDM only places on registered bricks");
+        // The grant's memory becomes visible to the baremetal OS, then the
+        // VM boots with it.
+        hv.os_mut().online_remote(grant.grant.total());
+        let (vm, _boot) = match hv.create_vm(VmSpec::new(vcpus, memory)) {
+            Ok(v) => v,
+            Err(e) => {
+                let _ = hv.os_mut().offline_remote(grant.grant.total());
+                let _ = self.sdm.release_scale_up(&grant);
+                return Err(e.into());
+            }
+        };
+        self.apply_grant_to_rack(brick, &grant);
+        self.rack
+            .brick_mut(brick)
+            .and_then(|b| b.as_compute_mut())
+            .map(|c| c.allocate_cores(vcpus))
+            .transpose()
+            .ok();
+
+        let handle = VmHandle(self.next_handle);
+        self.next_handle += 1;
+        self.vms.insert(
+            handle,
+            VmRecord {
+                brick,
+                vm,
+                vcpus,
+                grants: vec![grant],
+            },
+        );
+        Ok(handle)
+    }
+
+    /// Grows a running VM's memory through the Scale-up API, returning the
+    /// end-to-end delay report (the Figure 10 quantity for one VM).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pool cannot cover the request or the VM is unknown.
+    pub fn scale_up(&mut self, handle: VmHandle, amount: ByteSize) -> Result<ScaleUpReport, SystemError> {
+        let record = self
+            .vms
+            .get(&handle)
+            .ok_or(SystemError::NoSuchVm { handle })?
+            .clone();
+        let grant = self
+            .sdm
+            .handle_scale_up(ScaleUpDemand::new(record.brick, amount))?;
+        let hv = self
+            .hypervisors
+            .get_mut(&record.brick)
+            .expect("record refers to a registered brick");
+        let outcome = match self.scaleup.apply_grant(hv, record.vm, amount) {
+            Ok(o) => o,
+            Err(e) => {
+                let _ = self.sdm.release_scale_up(&grant);
+                return Err(e.into());
+            }
+        };
+        self.apply_grant_to_rack(record.brick, &grant);
+
+        let report = ScaleUpReport {
+            vm: handle,
+            amount,
+            orchestration_delay: grant.service_time,
+            brick_delay: outcome.total(),
+            total_delay: grant.service_time + outcome.total(),
+        };
+        self.vms
+            .get_mut(&handle)
+            .expect("checked above")
+            .grants
+            .push(grant);
+        Ok(report)
+    }
+
+    /// Shrinks a running VM's memory, releasing the most recent grant of at
+    /// least `amount` back to the pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the VM is unknown or holds no grant of that size.
+    pub fn scale_down(&mut self, handle: VmHandle, amount: ByteSize) -> Result<ScaleUpReport, SystemError> {
+        let record = self
+            .vms
+            .get(&handle)
+            .ok_or(SystemError::NoSuchVm { handle })?
+            .clone();
+        // Find the most recent grant that matches the requested amount.
+        let Some(pos) = record.grants.iter().rposition(|g| g.grant.total() >= amount && g.grant.total() == amount)
+        else {
+            return Err(SystemError::Softstack(SoftstackError::DetachUnderflow {
+                vm: record.vm,
+            }));
+        };
+        let grant = record.grants[pos].clone();
+
+        let hv = self
+            .hypervisors
+            .get_mut(&record.brick)
+            .expect("record refers to a registered brick");
+        let outcome = self.scaleup.apply_reclaim(hv, record.vm, amount)?;
+        let orch = self.sdm.release_scale_up(&grant)?;
+        self.remove_grant_from_rack(record.brick, &grant);
+        self.vms.get_mut(&handle).expect("checked above").grants.remove(pos);
+
+        Ok(ScaleUpReport {
+            vm: handle,
+            amount,
+            orchestration_delay: orch,
+            brick_delay: outcome.total(),
+            total_delay: orch + outcome.total(),
+        })
+    }
+
+    /// Terminates a VM and releases all of its resources.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the handle is unknown.
+    pub fn release_vm(&mut self, handle: VmHandle) -> Result<(), SystemError> {
+        let record = self.vms.remove(&handle).ok_or(SystemError::NoSuchVm { handle })?;
+        if let Some(hv) = self.hypervisors.get_mut(&record.brick) {
+            let _ = hv.destroy_vm(record.vm);
+        }
+        for grant in &record.grants {
+            let _ = self.sdm.release_scale_up(grant);
+            self.remove_grant_from_rack(record.brick, grant);
+        }
+        if let Some(compute) = self.rack.brick_mut(record.brick).and_then(|b| b.as_compute_mut()) {
+            let _ = compute.release_cores(record.vcpus);
+        }
+        Ok(())
+    }
+
+    /// Latency breakdown of one remote memory read over the configured data
+    /// path (Figure 8 when the packet path is selected).
+    pub fn remote_read_latency(&self, size: ByteSize) -> LatencyBreakdown {
+        let path = match self.config.path {
+            PathKind::CircuitSwitched => RemoteMemoryPath::circuit_switched(self.config.latency.clone()),
+            PathKind::PacketSwitched => RemoteMemoryPath::packet_switched(self.config.latency.clone()),
+        };
+        path.read(size)
+    }
+
+    /// Powers off every brick that currently holds no allocation.
+    pub fn power_off_unused(&mut self) -> PowerSweep {
+        self.power.power_off_unused(&mut self.rack)
+    }
+
+    /// Current electrical draw of the rack's bricks.
+    pub fn rack_power(&self) -> Watts {
+        self.power.rack_power(&self.rack)
+    }
+
+    /// Fraction of bricks of `kind` that are currently unused.
+    pub fn unused_fraction(&self, kind: BrickKind) -> f64 {
+        self.power.unused_fraction(&self.rack, kind)
+    }
+
+    fn apply_grant_to_rack(&mut self, compute: BrickId, grant: &ScaleUpGrant) {
+        if let Some(c) = self.rack.brick_mut(compute).and_then(|b| b.as_compute_mut()) {
+            c.attach_remote_memory(grant.grant.total());
+        }
+        for segment in grant.grant.segments() {
+            if let Some(m) = self.rack.brick_mut(segment.membrick).and_then(|b| b.as_memory_mut()) {
+                let _ = m.export(compute, segment.size);
+            }
+        }
+    }
+
+    fn remove_grant_from_rack(&mut self, compute: BrickId, grant: &ScaleUpGrant) {
+        if let Some(c) = self.rack.brick_mut(compute).and_then(|b| b.as_compute_mut()) {
+            let _ = c.detach_remote_memory(grant.grant.total());
+        }
+        for segment in grant.grant.segments() {
+            if let Some(m) = self.rack.brick_mut(segment.membrick).and_then(|b| b.as_memory_mut()) {
+                let _ = m.reclaim(compute, segment.size);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> DredboxSystem {
+        DredboxSystem::build(SystemConfig::prototype_rack()).expect("build")
+    }
+
+    #[test]
+    fn build_registers_every_brick() {
+        let s = system();
+        assert_eq!(s.config().total_compute_bricks(), 4);
+        assert_eq!(s.sdm().compute_brick_count(), 4);
+        assert_eq!(s.sdm().pool().membrick_count(), 4);
+        assert_eq!(s.rack().brick_count(BrickKind::Compute), 4);
+        assert_eq!(s.vm_count(), 0);
+        assert!(s.rack_power().as_watts() > 0.0);
+        assert!(s.topology().manager().cabled_count() > 0);
+    }
+
+    #[test]
+    fn vm_lifecycle_allocate_scale_release() {
+        let mut s = system();
+        let vm = s.allocate_vm(2, ByteSize::from_gib(4)).unwrap();
+        assert_eq!(s.vm_count(), 1);
+        let brick = s.vm_brick(vm).unwrap();
+        assert!(s.hypervisor(brick).unwrap().vm_count() == 1);
+        assert_eq!(s.vm_memory(vm), Some(ByteSize::from_gib(4)));
+
+        let report = s.scale_up(vm, ByteSize::from_gib(8)).unwrap();
+        assert_eq!(report.amount, ByteSize::from_gib(8));
+        assert!(report.orchestration_delay > SimDuration::ZERO);
+        assert!(report.brick_delay > SimDuration::ZERO);
+        assert_eq!(report.total_delay, report.orchestration_delay + report.brick_delay);
+        assert!(report.total_delay.as_secs_f64() < 1.5);
+        assert_eq!(s.vm_memory(vm), Some(ByteSize::from_gib(12)));
+
+        // The rack-level bookkeeping follows the grants.
+        let compute = s.rack().brick(brick).unwrap().as_compute().unwrap();
+        assert_eq!(compute.attached_remote_memory(), ByteSize::from_gib(12));
+
+        let down = s.scale_down(vm, ByteSize::from_gib(8)).unwrap();
+        assert!(down.total_delay > SimDuration::ZERO);
+        assert_eq!(s.vm_memory(vm), Some(ByteSize::from_gib(4)));
+
+        s.release_vm(vm).unwrap();
+        assert_eq!(s.vm_count(), 0);
+        assert_eq!(s.sdm().pool().total_allocated(), ByteSize::ZERO);
+        assert!(matches!(s.release_vm(vm), Err(SystemError::NoSuchVm { .. })));
+    }
+
+    #[test]
+    fn power_off_reflects_consolidation() {
+        let mut s = system();
+        let _vm = s.allocate_vm(2, ByteSize::from_gib(8)).unwrap();
+        let before = s.rack_power();
+        let sweep = s.power_off_unused();
+        // 3 of 4 compute bricks idle, at least 2 memory bricks idle, 2 accelerators idle.
+        assert!(sweep.compute_off >= 3);
+        assert!(sweep.memory_off >= 2);
+        assert!(sweep.total_off() >= 7);
+        assert!(s.rack_power().as_watts() < before.as_watts());
+        assert!(s.unused_fraction(BrickKind::Compute) >= 0.75);
+    }
+
+    #[test]
+    fn impossible_requests_fail_cleanly() {
+        let mut s = system();
+        // The prototype compute brick has 4 cores.
+        assert!(s.allocate_vm(64, ByteSize::from_gib(1)).is_err());
+        // The pool has 4 x 32 GiB.
+        assert!(s.allocate_vm(1, ByteSize::from_gib(1000)).is_err());
+        assert_eq!(s.vm_count(), 0);
+        assert_eq!(s.sdm().pool().total_allocated(), ByteSize::ZERO);
+        // Scale-up on a bogus handle.
+        assert!(matches!(
+            s.scale_up(VmHandle(99), ByteSize::from_gib(1)),
+            Err(SystemError::NoSuchVm { .. })
+        ));
+        // Scale-down of a grant that was never made.
+        let vm = s.allocate_vm(1, ByteSize::from_gib(2)).unwrap();
+        assert!(s.scale_down(vm, ByteSize::from_gib(7)).is_err());
+    }
+
+    #[test]
+    fn remote_read_latency_follows_the_configured_path() {
+        let circuit = system().remote_read_latency(ByteSize::from_bytes(64));
+        let packet_system =
+            DredboxSystem::build(SystemConfig::prototype_rack().with_path(PathKind::PacketSwitched)).unwrap();
+        let packet = packet_system.remote_read_latency(ByteSize::from_bytes(64));
+        assert!(packet.total() > circuit.total());
+    }
+}

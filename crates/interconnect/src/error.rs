@@ -1,0 +1,85 @@
+//! Error type for the interconnect models.
+
+use std::fmt;
+
+use dredbox_bricks::BrickId;
+
+/// Errors produced by the interconnect data-path models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InterconnectError {
+    /// The Remote Memory Segment Table is full.
+    RmstFull {
+        /// Capacity of the table.
+        capacity: usize,
+    },
+    /// No RMST entry covers the requested address.
+    NoRoute {
+        /// The global address that missed.
+        address: u64,
+    },
+    /// Two RMST entries would overlap in the global address space.
+    OverlappingSegment {
+        /// Base address of the conflicting new entry.
+        address: u64,
+    },
+    /// The referenced RMST entry does not exist.
+    NoSuchSegment {
+        /// Base address given.
+        address: u64,
+    },
+    /// The on-brick packet switch has no lookup-table entry for the
+    /// destination brick.
+    NoSwitchRoute {
+        /// The unresolvable destination.
+        destination: BrickId,
+    },
+    /// A zero-length segment or transfer was requested.
+    EmptyRequest,
+}
+
+impl fmt::Display for InterconnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterconnectError::RmstFull { capacity } => {
+                write!(f, "remote memory segment table is full ({capacity} entries)")
+            }
+            InterconnectError::NoRoute { address } => {
+                write!(f, "no remote segment covers address {address:#x}")
+            }
+            InterconnectError::OverlappingSegment { address } => {
+                write!(f, "segment starting at {address:#x} overlaps an existing entry")
+            }
+            InterconnectError::NoSuchSegment { address } => {
+                write!(f, "no segment starts at {address:#x}")
+            }
+            InterconnectError::NoSwitchRoute { destination } => {
+                write!(f, "packet switch has no route towards {destination}")
+            }
+            InterconnectError::EmptyRequest => write!(f, "request must cover at least one byte"),
+        }
+    }
+}
+
+impl std::error::Error for InterconnectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_addresses_in_hex() {
+        let e = InterconnectError::NoRoute { address: 0x4000_0000 };
+        assert!(e.to_string().contains("0x40000000"));
+        assert!(InterconnectError::RmstFull { capacity: 64 }.to_string().contains("64"));
+        assert!(InterconnectError::NoSwitchRoute { destination: BrickId(3) }
+            .to_string()
+            .contains("brick3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<InterconnectError>();
+    }
+}

@@ -1,0 +1,128 @@
+//! Network interface: packetization of memory transactions.
+//!
+//! On the packet-switched path the dCOMPUBRICK implements a Network
+//! Interface in programmable logic that turns AXI memory transactions into
+//! packets (and back). On the circuit-switched mainline path the NI is not
+//! traversed at all.
+
+use serde::{Deserialize, Serialize};
+
+use dredbox_bricks::BrickId;
+use dredbox_sim::time::SimDuration;
+use dredbox_sim::units::ByteSize;
+
+use crate::config::LatencyConfig;
+use crate::packet::{MemPacket, PacketKind};
+
+/// The network interface block of one brick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkInterface {
+    owner: BrickId,
+    traversal: SimDuration,
+    header: ByteSize,
+}
+
+impl NetworkInterface {
+    /// Creates the NI for brick `owner` from the shared latency
+    /// configuration.
+    pub fn new(owner: BrickId, config: &LatencyConfig) -> Self {
+        NetworkInterface {
+            owner,
+            traversal: config.ni_traversal,
+            header: config.packet_header,
+        }
+    }
+
+    /// The brick hosting this NI.
+    pub fn owner(&self) -> BrickId {
+        self.owner
+    }
+
+    /// Fixed traversal latency of one packetization or depacketization pass.
+    pub fn traversal_latency(&self) -> SimDuration {
+        self.traversal
+    }
+
+    /// Packetizes a read of `length` bytes at `address` towards
+    /// `destination`, returning the packet and the time spent in the NI.
+    pub fn packetize_read(
+        &self,
+        destination: BrickId,
+        address: u64,
+        length: ByteSize,
+    ) -> (MemPacket, SimDuration) {
+        (
+            MemPacket::read_request(self.owner, destination, address, length),
+            self.traversal,
+        )
+    }
+
+    /// Packetizes a write of `length` bytes at `address` towards
+    /// `destination`, returning the packet and the time spent in the NI.
+    pub fn packetize_write(
+        &self,
+        destination: BrickId,
+        address: u64,
+        length: ByteSize,
+    ) -> (MemPacket, SimDuration) {
+        (
+            MemPacket::write_request(self.owner, destination, address, length),
+            self.traversal,
+        )
+    }
+
+    /// Bytes a packet occupies on the wire: header plus payload.
+    pub fn wire_size(&self, packet: &MemPacket) -> ByteSize {
+        self.header + packet.payload()
+    }
+
+    /// Depacketizes an arriving packet (checks it is addressed to this
+    /// brick), returning the time spent in the NI.
+    pub fn depacketize(&self, packet: &MemPacket) -> SimDuration {
+        debug_assert_eq!(packet.destination, self.owner, "packet arrived at the wrong brick");
+        self.traversal
+    }
+
+    /// Whether a packet terminates a transaction (no further reply needed).
+    pub fn is_completion(&self, packet: &MemPacket) -> bool {
+        matches!(packet.kind, PacketKind::ReadResponse | PacketKind::WriteAck)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ni() -> NetworkInterface {
+        NetworkInterface::new(BrickId(0), &LatencyConfig::dredbox_default())
+    }
+
+    #[test]
+    fn packetize_read_and_reply() {
+        let ni = ni();
+        assert_eq!(ni.owner(), BrickId(0));
+        let (pkt, t) = ni.packetize_read(BrickId(4), 0x8000, ByteSize::from_bytes(64));
+        assert_eq!(t, ni.traversal_latency());
+        assert_eq!(pkt.kind, PacketKind::ReadRequest);
+        assert!(!ni.is_completion(&pkt));
+        // Request carries no data: wire size is just the header.
+        assert_eq!(ni.wire_size(&pkt), ByteSize::from_bytes(18));
+
+        let reply = pkt.reply().unwrap();
+        assert!(ni.is_completion(&reply));
+        // Response carries the 64-byte cache line.
+        assert_eq!(ni.wire_size(&reply), ByteSize::from_bytes(18 + 64));
+        let remote_ni = NetworkInterface::new(BrickId(4), &LatencyConfig::dredbox_default());
+        assert_eq!(remote_ni.depacketize(&pkt), remote_ni.traversal_latency());
+    }
+
+    #[test]
+    fn packetize_write_carries_payload() {
+        let ni = ni();
+        let (pkt, _) = ni.packetize_write(BrickId(4), 0x8000, ByteSize::from_bytes(256));
+        assert_eq!(pkt.kind, PacketKind::WriteRequest);
+        assert_eq!(ni.wire_size(&pkt), ByteSize::from_bytes(18 + 256));
+        let ack = pkt.reply().unwrap();
+        assert_eq!(ni.wire_size(&ack), ByteSize::from_bytes(18));
+    }
+}

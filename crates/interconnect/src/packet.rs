@@ -1,0 +1,130 @@
+//! Memory-transaction packets for the experimental packet-switched path.
+
+use serde::{Deserialize, Serialize};
+
+use dredbox_bricks::BrickId;
+use dredbox_sim::units::ByteSize;
+
+/// The kind of memory transaction carried by a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Read request (carries only the address and length).
+    ReadRequest,
+    /// Read response (carries the requested data).
+    ReadResponse,
+    /// Write request (carries the data to store).
+    WriteRequest,
+    /// Write acknowledgement (carries no payload).
+    WriteAck,
+}
+
+impl PacketKind {
+    /// Whether packets of this kind carry a data payload.
+    pub fn carries_data(self) -> bool {
+        matches!(self, PacketKind::ReadResponse | PacketKind::WriteRequest)
+    }
+}
+
+/// A memory transaction packet travelling between bricks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemPacket {
+    /// Transaction kind.
+    pub kind: PacketKind,
+    /// Originating brick.
+    pub source: BrickId,
+    /// Destination brick.
+    pub destination: BrickId,
+    /// Target global address.
+    pub address: u64,
+    /// Length of the data being read or written.
+    pub length: ByteSize,
+}
+
+impl MemPacket {
+    /// Builds a read-request packet.
+    pub fn read_request(source: BrickId, destination: BrickId, address: u64, length: ByteSize) -> Self {
+        MemPacket {
+            kind: PacketKind::ReadRequest,
+            source,
+            destination,
+            address,
+            length,
+        }
+    }
+
+    /// Builds a write-request packet.
+    pub fn write_request(source: BrickId, destination: BrickId, address: u64, length: ByteSize) -> Self {
+        MemPacket {
+            kind: PacketKind::WriteRequest,
+            source,
+            destination,
+            address,
+            length,
+        }
+    }
+
+    /// The reply packet that completes this transaction (response for reads,
+    /// acknowledgement for writes), travelling in the opposite direction.
+    ///
+    /// Returns `None` for packets that are already replies.
+    pub fn reply(&self) -> Option<MemPacket> {
+        let kind = match self.kind {
+            PacketKind::ReadRequest => PacketKind::ReadResponse,
+            PacketKind::WriteRequest => PacketKind::WriteAck,
+            PacketKind::ReadResponse | PacketKind::WriteAck => return None,
+        };
+        Some(MemPacket {
+            kind,
+            source: self.destination,
+            destination: self.source,
+            address: self.address,
+            length: self.length,
+        })
+    }
+
+    /// The payload carried on the wire by this packet (zero for requests
+    /// without data and for acknowledgements).
+    pub fn payload(&self) -> ByteSize {
+        if self.kind.carries_data() {
+            self.length
+        } else {
+            ByteSize::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_transaction_reply_chain() {
+        let req = MemPacket::read_request(BrickId(0), BrickId(5), 0x1000, ByteSize::from_bytes(64));
+        assert_eq!(req.kind, PacketKind::ReadRequest);
+        assert_eq!(req.payload(), ByteSize::ZERO);
+        let resp = req.reply().unwrap();
+        assert_eq!(resp.kind, PacketKind::ReadResponse);
+        assert_eq!(resp.source, BrickId(5));
+        assert_eq!(resp.destination, BrickId(0));
+        assert_eq!(resp.payload(), ByteSize::from_bytes(64));
+        assert!(resp.reply().is_none());
+    }
+
+    #[test]
+    fn write_transaction_reply_chain() {
+        let req = MemPacket::write_request(BrickId(1), BrickId(6), 0x2000, ByteSize::from_bytes(128));
+        assert_eq!(req.payload(), ByteSize::from_bytes(128));
+        let ack = req.reply().unwrap();
+        assert_eq!(ack.kind, PacketKind::WriteAck);
+        assert_eq!(ack.payload(), ByteSize::ZERO);
+        assert!(ack.reply().is_none());
+    }
+
+    #[test]
+    fn carries_data_classification() {
+        assert!(!PacketKind::ReadRequest.carries_data());
+        assert!(PacketKind::ReadResponse.carries_data());
+        assert!(PacketKind::WriteRequest.carries_data());
+        assert!(!PacketKind::WriteAck.carries_data());
+    }
+}

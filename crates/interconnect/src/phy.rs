@@ -1,0 +1,87 @@
+//! MAC/PHY block latency model.
+//!
+//! On the experimental packet-switched path, dedicated MAC and PHY blocks on
+//! both the dCOMPUBRICK and the dMEMBRICK frame memory transactions onto the
+//! 10 Gb/s transceivers. Their traversal latency is one of the dominant
+//! contributions in the Figure 8 breakdown.
+
+use serde::{Deserialize, Serialize};
+
+use dredbox_sim::time::SimDuration;
+use dredbox_sim::units::ByteSize;
+
+use crate::config::LatencyConfig;
+
+/// A MAC + PCS + transceiver block on one brick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MacPhy {
+    traversal: SimDuration,
+    fec_penalty: SimDuration,
+}
+
+impl MacPhy {
+    /// Builds the block from the shared latency configuration.
+    pub fn from_config(config: &LatencyConfig) -> Self {
+        MacPhy {
+            traversal: config.mac_phy_traversal,
+            fec_penalty: config.fec_per_traversal,
+        }
+    }
+
+    /// Fixed traversal latency (excluding serialization), including any FEC
+    /// penalty.
+    pub fn traversal_latency(&self) -> SimDuration {
+        self.traversal + self.fec_penalty
+    }
+
+    /// Time to push `frame` through the block and onto the wire at
+    /// `config`'s line rate: fixed traversal plus serialization.
+    pub fn transmit(&self, config: &LatencyConfig, frame: ByteSize) -> SimDuration {
+        self.traversal_latency() + config.serialization(frame)
+    }
+
+    /// Time to receive and deframe `frame`: fixed traversal only (the bits
+    /// were already clocked in during the transmitter's serialization time).
+    pub fn receive(&self, _config: &LatencyConfig, _frame: ByteSize) -> SimDuration {
+        self.traversal_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traversal_includes_fec_penalty_when_configured() {
+        let cfg = LatencyConfig::dredbox_default();
+        let plain = MacPhy::from_config(&cfg);
+        assert_eq!(plain.traversal_latency(), cfg.mac_phy_traversal);
+
+        let with_fec = MacPhy::from_config(&cfg.clone().with_fec(SimDuration::from_nanos(150)));
+        assert_eq!(
+            with_fec.traversal_latency(),
+            cfg.mac_phy_traversal + SimDuration::from_nanos(150)
+        );
+    }
+
+    #[test]
+    fn transmit_adds_serialization_receive_does_not() {
+        let cfg = LatencyConfig::dredbox_default();
+        let phy = MacPhy::from_config(&cfg);
+        let frame = ByteSize::from_bytes(64);
+        let tx = phy.transmit(&cfg, frame);
+        let rx = phy.receive(&cfg, frame);
+        assert!(tx > rx);
+        assert_eq!(rx, cfg.mac_phy_traversal);
+        assert_eq!(tx, cfg.mac_phy_traversal + cfg.serialization(frame));
+    }
+
+    #[test]
+    fn bigger_frames_take_longer_to_transmit() {
+        let cfg = LatencyConfig::dredbox_default();
+        let phy = MacPhy::from_config(&cfg);
+        let small = phy.transmit(&cfg, ByteSize::from_bytes(64));
+        let large = phy.transmit(&cfg, ByteSize::from_bytes(4096));
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,291 @@
+//! Contiguous range allocation within one dMEMBRICK's pool.
+
+use serde::{Deserialize, Serialize};
+
+use dredbox_bricks::BrickId;
+use dredbox_sim::units::ByteSize;
+
+use crate::error::MemoryError;
+
+/// A first-fit free-list allocator over one dMEMBRICK's byte range.
+///
+/// Free ranges are kept sorted by offset and coalesced on release, so
+/// fragmentation statistics ([`BrickAllocator::largest_free_block`]) reflect
+/// real contiguity.
+///
+/// ```
+/// use dredbox_memory::allocator::BrickAllocator;
+/// use dredbox_bricks::BrickId;
+/// use dredbox_sim::units::ByteSize;
+///
+/// let mut alloc = BrickAllocator::new(BrickId(10), ByteSize::from_gib(32));
+/// let offset = alloc.allocate(ByteSize::from_gib(8))?;
+/// assert_eq!(offset, 0);
+/// alloc.release(offset, ByteSize::from_gib(8))?;
+/// assert_eq!(alloc.free(), ByteSize::from_gib(32));
+/// # Ok::<(), dredbox_memory::MemoryError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BrickAllocator {
+    brick: BrickId,
+    capacity: ByteSize,
+    /// Sorted, non-overlapping, coalesced free ranges as (offset, length).
+    free_list: Vec<(u64, u64)>,
+}
+
+impl BrickAllocator {
+    /// Creates an allocator over `capacity` bytes of brick `brick`.
+    pub fn new(brick: BrickId, capacity: ByteSize) -> Self {
+        BrickAllocator {
+            brick,
+            capacity,
+            free_list: if capacity.is_zero() {
+                Vec::new()
+            } else {
+                vec![(0, capacity.as_bytes())]
+            },
+        }
+    }
+
+    /// The brick this allocator manages.
+    pub fn brick(&self) -> BrickId {
+        self.brick
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    /// Total free bytes (possibly fragmented).
+    pub fn free(&self) -> ByteSize {
+        ByteSize::from_bytes(self.free_list.iter().map(|(_, len)| len).sum())
+    }
+
+    /// Total allocated bytes.
+    pub fn allocated(&self) -> ByteSize {
+        self.capacity - self.free()
+    }
+
+    /// Whether nothing is allocated.
+    pub fn is_unused(&self) -> bool {
+        self.free() == self.capacity
+    }
+
+    /// Size of the largest contiguous free block.
+    pub fn largest_free_block(&self) -> ByteSize {
+        ByteSize::from_bytes(self.free_list.iter().map(|(_, len)| *len).max().unwrap_or(0))
+    }
+
+    /// External fragmentation in `[0, 1]`: 1 − largest-free-block / free.
+    /// Zero when empty or when all free space is contiguous.
+    pub fn fragmentation(&self) -> f64 {
+        let free = self.free().as_bytes();
+        if free == 0 {
+            return 0.0;
+        }
+        1.0 - self.largest_free_block().as_bytes() as f64 / free as f64
+    }
+
+    /// Allocates `size` contiguous bytes (first fit), returning the offset.
+    ///
+    /// # Errors
+    ///
+    /// * [`MemoryError::EmptyRequest`] for a zero-byte request.
+    /// * [`MemoryError::OutOfMemory`] if no free range is large enough.
+    pub fn allocate(&mut self, size: ByteSize) -> Result<u64, MemoryError> {
+        if size.is_zero() {
+            return Err(MemoryError::EmptyRequest);
+        }
+        let needed = size.as_bytes();
+        let Some(idx) = self.free_list.iter().position(|(_, len)| *len >= needed) else {
+            return Err(MemoryError::OutOfMemory {
+                requested: size,
+                available: self.free(),
+            });
+        };
+        let (offset, len) = self.free_list[idx];
+        if len == needed {
+            self.free_list.remove(idx);
+        } else {
+            self.free_list[idx] = (offset + needed, len - needed);
+        }
+        Ok(offset)
+    }
+
+    /// Releases a previously allocated range.
+    ///
+    /// # Errors
+    ///
+    /// * [`MemoryError::EmptyRequest`] for a zero-byte release.
+    /// * [`MemoryError::InvalidRelease`] if the range overlaps a free range
+    ///   or extends past the capacity (double free / corruption).
+    pub fn release(&mut self, offset: u64, size: ByteSize) -> Result<(), MemoryError> {
+        if size.is_zero() {
+            return Err(MemoryError::EmptyRequest);
+        }
+        let end = offset + size.as_bytes();
+        if end > self.capacity.as_bytes() {
+            return Err(MemoryError::InvalidRelease { brick: self.brick });
+        }
+        // Reject overlap with any existing free range.
+        if self
+            .free_list
+            .iter()
+            .any(|(o, l)| offset < o + l && *o < end)
+        {
+            return Err(MemoryError::InvalidRelease { brick: self.brick });
+        }
+        // Insert sorted and coalesce neighbours.
+        let pos = self
+            .free_list
+            .iter()
+            .position(|(o, _)| *o > offset)
+            .unwrap_or(self.free_list.len());
+        self.free_list.insert(pos, (offset, size.as_bytes()));
+        self.coalesce();
+        Ok(())
+    }
+
+    fn coalesce(&mut self) {
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.free_list.len());
+        for &(offset, len) in &self.free_list {
+            if let Some(last) = merged.last_mut() {
+                if last.0 + last.1 == offset {
+                    last.1 += len;
+                    continue;
+                }
+            }
+            merged.push((offset, len));
+        }
+        self.free_list = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const GIB: u64 = 1 << 30;
+
+    fn alloc() -> BrickAllocator {
+        BrickAllocator::new(BrickId(10), ByteSize::from_gib(32))
+    }
+
+    #[test]
+    fn first_fit_and_accounting() {
+        let mut a = alloc();
+        assert!(a.is_unused());
+        assert_eq!(a.brick(), BrickId(10));
+        assert_eq!(a.capacity(), ByteSize::from_gib(32));
+        let o1 = a.allocate(ByteSize::from_gib(8)).unwrap();
+        let o2 = a.allocate(ByteSize::from_gib(8)).unwrap();
+        assert_eq!(o1, 0);
+        assert_eq!(o2, 8 * GIB);
+        assert_eq!(a.allocated(), ByteSize::from_gib(16));
+        assert_eq!(a.free(), ByteSize::from_gib(16));
+        assert!(!a.is_unused());
+        assert!(matches!(
+            a.allocate(ByteSize::from_gib(32)),
+            Err(MemoryError::OutOfMemory { .. })
+        ));
+        assert!(matches!(a.allocate(ByteSize::ZERO), Err(MemoryError::EmptyRequest)));
+    }
+
+    #[test]
+    fn release_coalesces_adjacent_ranges() {
+        let mut a = alloc();
+        let o1 = a.allocate(ByteSize::from_gib(8)).unwrap();
+        let o2 = a.allocate(ByteSize::from_gib(8)).unwrap();
+        let _o3 = a.allocate(ByteSize::from_gib(16)).unwrap();
+        assert_eq!(a.free(), ByteSize::ZERO);
+        a.release(o1, ByteSize::from_gib(8)).unwrap();
+        a.release(o2, ByteSize::from_gib(8)).unwrap();
+        // The two released ranges must coalesce into one 16-GiB block.
+        assert_eq!(a.largest_free_block(), ByteSize::from_gib(16));
+        assert_eq!(a.fragmentation(), 0.0);
+        let big = a.allocate(ByteSize::from_gib(16)).unwrap();
+        assert_eq!(big, 0);
+    }
+
+    #[test]
+    fn fragmentation_is_reported() {
+        let mut a = alloc();
+        let o1 = a.allocate(ByteSize::from_gib(8)).unwrap();
+        let _o2 = a.allocate(ByteSize::from_gib(8)).unwrap();
+        let o3 = a.allocate(ByteSize::from_gib(8)).unwrap();
+        let _o4 = a.allocate(ByteSize::from_gib(8)).unwrap();
+        a.release(o1, ByteSize::from_gib(8)).unwrap();
+        a.release(o3, ByteSize::from_gib(8)).unwrap();
+        // 16 GiB free but the largest block is 8 GiB.
+        assert_eq!(a.free(), ByteSize::from_gib(16));
+        assert_eq!(a.largest_free_block(), ByteSize::from_gib(8));
+        assert!((a.fragmentation() - 0.5).abs() < 1e-12);
+        // A 16-GiB contiguous request cannot be satisfied despite 16 GiB free.
+        assert!(a.allocate(ByteSize::from_gib(16)).is_err());
+    }
+
+    #[test]
+    fn invalid_releases_are_rejected() {
+        let mut a = alloc();
+        let o1 = a.allocate(ByteSize::from_gib(8)).unwrap();
+        a.release(o1, ByteSize::from_gib(8)).unwrap();
+        // Double free.
+        assert!(matches!(
+            a.release(o1, ByteSize::from_gib(8)),
+            Err(MemoryError::InvalidRelease { .. })
+        ));
+        // Past-the-end release.
+        assert!(matches!(
+            a.release(31 * GIB, ByteSize::from_gib(2)),
+            Err(MemoryError::InvalidRelease { .. })
+        ));
+        assert!(matches!(a.release(0, ByteSize::ZERO), Err(MemoryError::EmptyRequest)));
+    }
+
+    #[test]
+    fn zero_capacity_allocator_is_always_out_of_memory() {
+        let mut a = BrickAllocator::new(BrickId(1), ByteSize::ZERO);
+        assert!(a.is_unused());
+        assert_eq!(a.largest_free_block(), ByteSize::ZERO);
+        assert!(a.allocate(ByteSize::from_bytes(1)).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn free_plus_allocated_equals_capacity(ops in proptest::collection::vec((1u64..8, proptest::bool::ANY), 1..60)) {
+            let mut a = BrickAllocator::new(BrickId(0), ByteSize::from_gib(64));
+            let mut live: Vec<(u64, ByteSize)> = Vec::new();
+            for (gib, do_alloc) in ops {
+                if do_alloc || live.is_empty() {
+                    if let Ok(offset) = a.allocate(ByteSize::from_gib(gib)) {
+                        live.push((offset, ByteSize::from_gib(gib)));
+                    }
+                } else {
+                    let (offset, size) = live.remove(0);
+                    a.release(offset, size).unwrap();
+                }
+                prop_assert_eq!(a.free() + a.allocated(), a.capacity());
+                prop_assert!(a.largest_free_block() <= a.free());
+                let f = a.fragmentation();
+                prop_assert!((0.0..=1.0).contains(&f));
+            }
+        }
+
+        #[test]
+        fn allocations_never_overlap(sizes in proptest::collection::vec(1u64..6, 1..20)) {
+            let mut a = BrickAllocator::new(BrickId(0), ByteSize::from_gib(64));
+            let mut ranges: Vec<(u64, u64)> = Vec::new();
+            for gib in sizes {
+                if let Ok(offset) = a.allocate(ByteSize::from_gib(gib)) {
+                    let end = offset + gib * GIB;
+                    for &(o, e) in &ranges {
+                        prop_assert!(end <= o || e <= offset, "overlap detected");
+                    }
+                    ranges.push((offset, end));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! The rack-wide software-defined memory pool.
+//!
+//! This is the resource the SDM controller draws from when it serves
+//! scale-up requests: the union of all dMEMBRICK capacities, carved into
+//! [`MemorySegment`]s and granted to compute bricks. Several placement
+//! policies are provided; the power-conscious one prefers dMEMBRICKs that
+//! already serve traffic so that untouched bricks can stay powered off
+//! (Section IV-C, role "b": power-consumption-conscious selection).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use dredbox_bricks::BrickId;
+use dredbox_sim::units::ByteSize;
+
+use crate::allocator::BrickAllocator;
+use crate::error::MemoryError;
+use crate::segment::{MemorySegment, SegmentId};
+
+/// Placement policy for choosing which dMEMBRICK serves an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AllocationPolicy {
+    /// First registered brick with enough contiguous space.
+    #[default]
+    FirstFit,
+    /// Brick whose largest free block leaves the least slack (densest fit).
+    BestFit,
+    /// Brick with the most free space (spreads load, maximises per-brick
+    /// bandwidth headroom).
+    WorstFit,
+    /// Prefer bricks that are already exporting memory, to keep untouched
+    /// bricks powered off (the power-aware policy of the SDM controller).
+    PowerAware,
+}
+
+/// A grant: the set of segments that together satisfy one allocation
+/// request. A single request may span several dMEMBRICKs when no single
+/// brick has enough contiguous space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryGrant {
+    segments: Vec<MemorySegment>,
+}
+
+impl MemoryGrant {
+    /// The segments making up the grant.
+    pub fn segments(&self) -> &[MemorySegment] {
+        &self.segments
+    }
+
+    /// Total granted bytes.
+    pub fn total(&self) -> ByteSize {
+        self.segments.iter().map(|s| s.size).sum()
+    }
+
+    /// Number of distinct dMEMBRICKs involved.
+    pub fn membrick_count(&self) -> usize {
+        let mut bricks: Vec<BrickId> = self.segments.iter().map(|s| s.membrick).collect();
+        bricks.sort_unstable();
+        bricks.dedup();
+        bricks.len()
+    }
+}
+
+/// The software-defined memory pool across all registered dMEMBRICKs.
+///
+/// ```
+/// use dredbox_memory::pool::{AllocationPolicy, MemoryPool};
+/// use dredbox_bricks::BrickId;
+/// use dredbox_sim::units::ByteSize;
+///
+/// let mut pool = MemoryPool::new(AllocationPolicy::PowerAware);
+/// pool.register_membrick(BrickId(10), ByteSize::from_gib(32));
+/// pool.register_membrick(BrickId(11), ByteSize::from_gib(32));
+/// let g1 = pool.allocate(BrickId(0), ByteSize::from_gib(8))?;
+/// let g2 = pool.allocate(BrickId(1), ByteSize::from_gib(8))?;
+/// // The power-aware policy packs both grants onto the same brick, leaving
+/// // the other one untouched (a power-off candidate).
+/// assert_eq!(g1.segments()[0].membrick, g2.segments()[0].membrick);
+/// assert_eq!(pool.unused_membricks().len(), 1);
+/// # Ok::<(), dredbox_memory::MemoryError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryPool {
+    policy: AllocationPolicy,
+    allocators: BTreeMap<BrickId, BrickAllocator>,
+    segments: BTreeMap<SegmentId, MemorySegment>,
+    next_segment: u64,
+}
+
+impl MemoryPool {
+    /// Creates an empty pool with the given placement policy.
+    pub fn new(policy: AllocationPolicy) -> Self {
+        MemoryPool {
+            policy,
+            allocators: BTreeMap::new(),
+            segments: BTreeMap::new(),
+            next_segment: 0,
+        }
+    }
+
+    /// The active placement policy.
+    pub fn policy(&self) -> AllocationPolicy {
+        self.policy
+    }
+
+    /// Changes the placement policy for future allocations.
+    pub fn set_policy(&mut self, policy: AllocationPolicy) {
+        self.policy = policy;
+    }
+
+    /// Registers a dMEMBRICK and its capacity with the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::DuplicateMemBrick`] if already registered.
+    pub fn register_membrick(&mut self, brick: BrickId, capacity: ByteSize) -> &mut Self {
+        // Double registration is a programming error in callers; the
+        // fallible variant is `try_register_membrick`.
+        self.try_register_membrick(brick, capacity)
+            .expect("dMEMBRICK registered twice");
+        self
+    }
+
+    /// Fallible registration of a dMEMBRICK.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::DuplicateMemBrick`] if already registered.
+    pub fn try_register_membrick(
+        &mut self,
+        brick: BrickId,
+        capacity: ByteSize,
+    ) -> Result<(), MemoryError> {
+        if self.allocators.contains_key(&brick) {
+            return Err(MemoryError::DuplicateMemBrick { brick });
+        }
+        self.allocators.insert(brick, BrickAllocator::new(brick, capacity));
+        Ok(())
+    }
+
+    /// Number of registered dMEMBRICKs.
+    pub fn membrick_count(&self) -> usize {
+        self.allocators.len()
+    }
+
+    /// Total capacity across all bricks.
+    pub fn total_capacity(&self) -> ByteSize {
+        self.allocators.values().map(|a| a.capacity()).sum()
+    }
+
+    /// Total free bytes across all bricks.
+    pub fn total_free(&self) -> ByteSize {
+        self.allocators.values().map(|a| a.free()).sum()
+    }
+
+    /// Total allocated bytes across all bricks.
+    pub fn total_allocated(&self) -> ByteSize {
+        self.allocators.values().map(|a| a.allocated()).sum()
+    }
+
+    /// The dMEMBRICKs with no allocation at all (power-off candidates).
+    pub fn unused_membricks(&self) -> Vec<BrickId> {
+        self.allocators
+            .values()
+            .filter(|a| a.is_unused())
+            .map(|a| a.brick())
+            .collect()
+    }
+
+    /// Free bytes on a specific brick.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::UnknownMemBrick`] for unregistered bricks.
+    pub fn free_on(&self, brick: BrickId) -> Result<ByteSize, MemoryError> {
+        self.allocators
+            .get(&brick)
+            .map(|a| a.free())
+            .ok_or(MemoryError::UnknownMemBrick { brick })
+    }
+
+    /// Allocates `size` bytes for compute brick `owner`, splitting across
+    /// dMEMBRICKs if no single brick can host the request contiguously.
+    ///
+    /// # Errors
+    ///
+    /// * [`MemoryError::EmptyRequest`] for a zero-byte request.
+    /// * [`MemoryError::OutOfMemory`] if the pool as a whole cannot cover the
+    ///   request (nothing is allocated in that case).
+    pub fn allocate(&mut self, owner: BrickId, size: ByteSize) -> Result<MemoryGrant, MemoryError> {
+        if size.is_zero() {
+            return Err(MemoryError::EmptyRequest);
+        }
+        if size > self.total_free() {
+            return Err(MemoryError::OutOfMemory {
+                requested: size,
+                available: self.total_free(),
+            });
+        }
+        let mut remaining = size;
+        let mut segments = Vec::new();
+        while !remaining.is_zero() {
+            let Some(brick) = self.pick_brick(remaining) else {
+                // Roll back anything we carved so far.
+                let grant = MemoryGrant { segments };
+                self.release_grant(&grant)
+                    .expect("rollback of freshly carved segments cannot fail");
+                return Err(MemoryError::OutOfMemory {
+                    requested: size,
+                    available: self.total_free(),
+                });
+            };
+            let allocator = self.allocators.get_mut(&brick).expect("picked brick is registered");
+            let chunk = remaining.min(allocator.largest_free_block());
+            let offset = allocator.allocate(chunk).expect("picked brick has the space");
+            let id = SegmentId(self.next_segment);
+            self.next_segment += 1;
+            let segment = MemorySegment {
+                id,
+                membrick: brick,
+                offset,
+                size: chunk,
+                owner,
+            };
+            self.segments.insert(id, segment);
+            segments.push(segment);
+            remaining = remaining.saturating_sub(chunk);
+        }
+        Ok(MemoryGrant { segments })
+    }
+
+    /// Releases one segment back to its dMEMBRICK.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::NoSuchSegment`] for unknown segments.
+    pub fn release(&mut self, segment: SegmentId) -> Result<(), MemoryError> {
+        let seg = self
+            .segments
+            .remove(&segment)
+            .ok_or(MemoryError::NoSuchSegment { segment })?;
+        let allocator = self
+            .allocators
+            .get_mut(&seg.membrick)
+            .ok_or(MemoryError::UnknownMemBrick { brick: seg.membrick })?;
+        allocator.release(seg.offset, seg.size)
+    }
+
+    /// Releases every segment of a grant.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered; earlier segments stay released.
+    pub fn release_grant(&mut self, grant: &MemoryGrant) -> Result<(), MemoryError> {
+        for seg in grant.segments() {
+            self.release(seg.id)?;
+        }
+        Ok(())
+    }
+
+    /// Looks up a live segment.
+    pub fn segment(&self, id: SegmentId) -> Option<&MemorySegment> {
+        self.segments.get(&id)
+    }
+
+    /// All live segments granted to `owner`.
+    pub fn segments_of(&self, owner: BrickId) -> Vec<MemorySegment> {
+        self.segments.values().filter(|s| s.owner == owner).copied().collect()
+    }
+
+    /// Number of live segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    fn pick_brick(&self, want: ByteSize) -> Option<BrickId> {
+        /// Per-brick snapshot used for policy decisions.
+        #[derive(Clone, Copy)]
+        struct Candidate {
+            brick: BrickId,
+            largest: u64,
+            free: u64,
+            in_use: bool,
+        }
+        let candidates: Vec<Candidate> = self
+            .allocators
+            .values()
+            .filter(|a| !a.largest_free_block().is_zero())
+            .map(|a| Candidate {
+                brick: a.brick(),
+                largest: a.largest_free_block().as_bytes(),
+                free: a.free().as_bytes(),
+                in_use: !a.is_unused(),
+            })
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let want_bytes = want.as_bytes();
+        let fits = |c: &Candidate| c.largest >= want_bytes;
+        let chosen: Option<Candidate> = match self.policy {
+            AllocationPolicy::FirstFit => candidates
+                .iter()
+                .copied()
+                .find(fits)
+                .or_else(|| candidates.first().copied()),
+            AllocationPolicy::BestFit => candidates
+                .iter()
+                .copied()
+                .filter(fits)
+                .min_by_key(|c| c.largest)
+                .or_else(|| candidates.iter().copied().max_by_key(|c| c.largest)),
+            AllocationPolicy::WorstFit => candidates.iter().copied().max_by_key(|c| c.free),
+            AllocationPolicy::PowerAware => {
+                // Prefer bricks already in use; among them, the fullest that
+                // still fits. Fall back to waking the brick with the largest
+                // contiguous block.
+                let in_use: Vec<Candidate> = candidates.iter().copied().filter(|c| c.in_use).collect();
+                in_use
+                    .iter()
+                    .copied()
+                    .filter(fits)
+                    .min_by_key(|c| c.free)
+                    .or_else(|| in_use.iter().copied().max_by_key(|c| c.largest))
+                    .or_else(|| candidates.iter().copied().find(fits))
+                    .or_else(|| candidates.iter().copied().max_by_key(|c| c.largest))
+            }
+        };
+        chosen.map(|c| c.brick)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pool(policy: AllocationPolicy) -> MemoryPool {
+        let mut p = MemoryPool::new(policy);
+        p.register_membrick(BrickId(10), ByteSize::from_gib(32));
+        p.register_membrick(BrickId(11), ByteSize::from_gib(32));
+        p.register_membrick(BrickId(12), ByteSize::from_gib(32));
+        p
+    }
+
+    #[test]
+    fn registration_and_capacity() {
+        let p = pool(AllocationPolicy::FirstFit);
+        assert_eq!(p.membrick_count(), 3);
+        assert_eq!(p.total_capacity(), ByteSize::from_gib(96));
+        assert_eq!(p.total_free(), ByteSize::from_gib(96));
+        assert_eq!(p.unused_membricks().len(), 3);
+        assert_eq!(p.free_on(BrickId(10)).unwrap(), ByteSize::from_gib(32));
+        assert!(p.free_on(BrickId(99)).is_err());
+        let mut p2 = pool(AllocationPolicy::FirstFit);
+        assert!(matches!(
+            p2.try_register_membrick(BrickId(10), ByteSize::from_gib(1)),
+            Err(MemoryError::DuplicateMemBrick { .. })
+        ));
+    }
+
+    #[test]
+    fn allocate_and_release_roundtrip() {
+        let mut p = pool(AllocationPolicy::FirstFit);
+        let grant = p.allocate(BrickId(0), ByteSize::from_gib(8)).unwrap();
+        assert_eq!(grant.total(), ByteSize::from_gib(8));
+        assert_eq!(grant.membrick_count(), 1);
+        assert_eq!(p.segment_count(), 1);
+        assert_eq!(p.segments_of(BrickId(0)).len(), 1);
+        assert_eq!(p.total_allocated(), ByteSize::from_gib(8));
+        assert!(p.segment(grant.segments()[0].id).is_some());
+
+        p.release_grant(&grant).unwrap();
+        assert_eq!(p.total_allocated(), ByteSize::ZERO);
+        assert_eq!(p.segment_count(), 0);
+        assert!(matches!(
+            p.release(grant.segments()[0].id),
+            Err(MemoryError::NoSuchSegment { .. })
+        ));
+    }
+
+    #[test]
+    fn request_splits_across_bricks_when_needed() {
+        let mut p = pool(AllocationPolicy::FirstFit);
+        // 40 GiB cannot fit on a single 32-GiB brick.
+        let grant = p.allocate(BrickId(0), ByteSize::from_gib(40)).unwrap();
+        assert_eq!(grant.total(), ByteSize::from_gib(40));
+        assert!(grant.membrick_count() >= 2);
+        assert!(grant.segments().len() >= 2);
+    }
+
+    #[test]
+    fn oversize_request_fails_without_leaking() {
+        let mut p = pool(AllocationPolicy::FirstFit);
+        let before = p.total_free();
+        assert!(matches!(
+            p.allocate(BrickId(0), ByteSize::from_gib(200)),
+            Err(MemoryError::OutOfMemory { .. })
+        ));
+        assert_eq!(p.total_free(), before);
+        assert_eq!(p.segment_count(), 0);
+        assert!(matches!(p.allocate(BrickId(0), ByteSize::ZERO), Err(MemoryError::EmptyRequest)));
+    }
+
+    #[test]
+    fn power_aware_policy_concentrates_allocations() {
+        let mut p = pool(AllocationPolicy::PowerAware);
+        for vm in 0..3u32 {
+            p.allocate(BrickId(vm), ByteSize::from_gib(6)).unwrap();
+        }
+        // 18 GiB fits on one brick, so two bricks stay untouched.
+        assert_eq!(p.unused_membricks().len(), 2);
+
+        // The worst-fit policy would have spread them.
+        let mut spread = pool(AllocationPolicy::WorstFit);
+        for vm in 0..3u32 {
+            spread.allocate(BrickId(vm), ByteSize::from_gib(6)).unwrap();
+        }
+        assert_eq!(spread.unused_membricks().len(), 0);
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_brick() {
+        let mut p = MemoryPool::new(AllocationPolicy::BestFit);
+        p.register_membrick(BrickId(1), ByteSize::from_gib(32));
+        p.register_membrick(BrickId(2), ByteSize::from_gib(8));
+        let grant = p.allocate(BrickId(0), ByteSize::from_gib(8)).unwrap();
+        assert_eq!(grant.segments()[0].membrick, BrickId(2));
+        assert_eq!(p.policy(), AllocationPolicy::BestFit);
+    }
+
+    #[test]
+    fn policy_can_be_changed_at_runtime() {
+        let mut p = pool(AllocationPolicy::FirstFit);
+        p.set_policy(AllocationPolicy::PowerAware);
+        assert_eq!(p.policy(), AllocationPolicy::PowerAware);
+        assert_eq!(AllocationPolicy::default(), AllocationPolicy::FirstFit);
+    }
+
+    proptest! {
+        #[test]
+        fn pool_conserves_bytes(requests in proptest::collection::vec(1u64..24, 1..20)) {
+            for policy in [
+                AllocationPolicy::FirstFit,
+                AllocationPolicy::BestFit,
+                AllocationPolicy::WorstFit,
+                AllocationPolicy::PowerAware,
+            ] {
+                let mut p = pool(policy);
+                let mut grants = Vec::new();
+                for (i, gib) in requests.iter().enumerate() {
+                    if let Ok(g) = p.allocate(BrickId(i as u32), ByteSize::from_gib(*gib)) {
+                        prop_assert_eq!(g.total(), ByteSize::from_gib(*gib));
+                        grants.push(g);
+                    }
+                    prop_assert_eq!(p.total_free() + p.total_allocated(), p.total_capacity());
+                }
+                for g in grants {
+                    p.release_grant(&g).unwrap();
+                }
+                prop_assert_eq!(p.total_free(), p.total_capacity());
+                prop_assert_eq!(p.segment_count(), 0);
+            }
+        }
+
+        #[test]
+        fn live_segments_never_overlap(requests in proptest::collection::vec(1u64..16, 1..16)) {
+            let mut p = pool(AllocationPolicy::PowerAware);
+            for (i, gib) in requests.iter().enumerate() {
+                let _ = p.allocate(BrickId(i as u32), ByteSize::from_gib(*gib));
+            }
+            let segs: Vec<MemorySegment> = (0..100u64).filter_map(|i| p.segment(SegmentId(i)).copied()).collect();
+            for (i, a) in segs.iter().enumerate() {
+                for b in segs.iter().skip(i + 1) {
+                    prop_assert!(!a.overlaps(b), "segments {:?} and {:?} overlap", a, b);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Bit-error-rate model of the FEC-free optical links.
+//!
+//! Figure 7 of the paper plots measured BER against received optical power
+//! for two 10 Gb/s channels after traversing six and eight hops of the
+//! optical switch; all links stay below 1e-12. We reproduce the shape with a
+//! standard thermal-noise-limited direct-detection receiver model: the
+//! Q factor scales linearly with received optical power (in linear units) and
+//! `BER = 0.5 · erfc(Q / √2)`.
+
+use serde::{Deserialize, Serialize};
+
+use dredbox_sim::units::DecibelMilliwatts;
+
+/// Q factor corresponding to a BER of 1e-12 for an OOK receiver.
+const Q_AT_1E12: f64 = 7.033;
+
+/// Complementary error function.
+///
+/// Numerical-Recipes rational approximation; relative error below 1.2e-7 over
+/// the whole real line, which is ample for BER magnitudes down to ~1e-40.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// A thermal-noise-limited direct-detection receiver.
+///
+/// The receiver is characterised by its *sensitivity*: the received power at
+/// which it achieves a BER of 1e-12. Below that power the Q factor (and the
+/// BER) degrades; above it the link gains margin.
+///
+/// ```
+/// use dredbox_optical::ber::ReceiverModel;
+/// use dredbox_sim::units::DecibelMilliwatts;
+///
+/// let rx = ReceiverModel::dredbox_default();
+/// // At eight switch hops the prototype receives about -11.7 dBm and the
+/// // paper reports BER below 1e-12.
+/// let ber = rx.ber(DecibelMilliwatts::new(-11.7));
+/// assert!(ber < 1e-12);
+/// // With a lot more loss the link would no longer be error-free.
+/// assert!(rx.ber(DecibelMilliwatts::new(-20.0)) > 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReceiverModel {
+    sensitivity_dbm: f64,
+}
+
+impl ReceiverModel {
+    /// Receiver matching the prototype measurements: sensitivity of
+    /// −14.0 dBm at BER 1e-12, which leaves ~1.5–2.3 dB of margin on the
+    /// eight-hop channel (including connector losses) and ~3.5–4.3 dB on
+    /// the six-hop channel — consistent with every measured link in
+    /// Figure 7 staying below 1e-12 even across measurement-to-measurement
+    /// received-power jitter.
+    pub fn dredbox_default() -> Self {
+        ReceiverModel {
+            sensitivity_dbm: -14.0,
+        }
+    }
+
+    /// A receiver with a custom sensitivity (received power, in dBm, at
+    /// which BER = 1e-12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensitivity_dbm` is not finite.
+    pub fn with_sensitivity(sensitivity_dbm: f64) -> Self {
+        assert!(sensitivity_dbm.is_finite(), "sensitivity must be finite");
+        ReceiverModel { sensitivity_dbm }
+    }
+
+    /// The receiver sensitivity at BER 1e-12, in dBm.
+    pub fn sensitivity_dbm(&self) -> f64 {
+        self.sensitivity_dbm
+    }
+
+    /// Q factor at the given received power. Thermal-noise-limited receivers
+    /// have Q proportional to the received optical power in linear units.
+    pub fn q_factor(&self, received: DecibelMilliwatts) -> f64 {
+        let margin_db = received.as_dbm() - self.sensitivity_dbm;
+        Q_AT_1E12 * 10f64.powf(margin_db / 10.0)
+    }
+
+    /// Bit error rate at the given received power.
+    pub fn ber(&self, received: DecibelMilliwatts) -> f64 {
+        let q = self.q_factor(received);
+        (0.5 * erfc(q / std::f64::consts::SQRT_2)).max(1e-40)
+    }
+
+    /// The received power required to achieve `target_ber` (binary search
+    /// over the monotone BER curve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_ber` is not within `(0, 0.5)`.
+    pub fn required_power(&self, target_ber: f64) -> DecibelMilliwatts {
+        assert!(target_ber > 0.0 && target_ber < 0.5, "target BER must be in (0, 0.5)");
+        let mut lo = self.sensitivity_dbm - 30.0;
+        let mut hi = self.sensitivity_dbm + 30.0;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.ber(DecibelMilliwatts::new(mid)) > target_ber {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        DecibelMilliwatts::new(hi)
+    }
+}
+
+impl Default for ReceiverModel {
+    fn default() -> Self {
+        ReceiverModel::dredbox_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!((erfc(2.0) - 0.004_677_7).abs() < 1e-6);
+        // Large-argument behaviour stays finite and tiny.
+        assert!(erfc(7.0) < 1e-21);
+        assert!(erfc(7.0) > 0.0);
+    }
+
+    #[test]
+    fn ber_at_sensitivity_is_1e12() {
+        let rx = ReceiverModel::dredbox_default();
+        let ber = rx.ber(DecibelMilliwatts::new(rx.sensitivity_dbm()));
+        assert!(ber < 2e-12 && ber > 5e-13, "ber at sensitivity was {ber:e}");
+        assert!((rx.q_factor(DecibelMilliwatts::new(rx.sensitivity_dbm())) - 7.033).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_operating_points_are_error_free() {
+        let rx = ReceiverModel::dredbox_default();
+        // Eight hops from -3.7 dBm -> -11.7 dBm; six hops -> -9.7 dBm.
+        assert!(rx.ber(DecibelMilliwatts::new(-11.7)) < 1e-12);
+        assert!(rx.ber(DecibelMilliwatts::new(-9.7)) < 1e-12);
+        // The six-hop channel has the better (lower) BER.
+        assert!(rx.ber(DecibelMilliwatts::new(-9.7)) < rx.ber(DecibelMilliwatts::new(-11.7)));
+    }
+
+    #[test]
+    fn ber_degrades_monotonically_with_loss() {
+        let rx = ReceiverModel::dredbox_default();
+        let mut last = 0.0;
+        for dbm in (-25..=0).rev() {
+            let ber = rx.ber(DecibelMilliwatts::new(f64::from(dbm)));
+            assert!(ber >= last, "BER must not improve as power drops");
+            last = ber;
+        }
+    }
+
+    #[test]
+    fn required_power_inverts_ber() {
+        let rx = ReceiverModel::dredbox_default();
+        let p = rx.required_power(1e-12);
+        assert!((p.as_dbm() - rx.sensitivity_dbm()).abs() < 0.05);
+        let p9 = rx.required_power(1e-9);
+        assert!(p9.as_dbm() < p.as_dbm(), "a worse BER target needs less power");
+    }
+
+    #[test]
+    #[should_panic]
+    fn required_power_rejects_silly_target() {
+        let _ = ReceiverModel::dredbox_default().required_power(0.7);
+    }
+
+    proptest! {
+        #[test]
+        fn erfc_is_monotone_decreasing(a in -5.0f64..5.0, b in -5.0f64..5.0) {
+            if a < b {
+                prop_assert!(erfc(a) >= erfc(b));
+            }
+        }
+
+        #[test]
+        fn ber_is_bounded(dbm in -40.0f64..10.0) {
+            let rx = ReceiverModel::dredbox_default();
+            let ber = rx.ber(DecibelMilliwatts::new(dbm));
+            prop_assert!(ber > 0.0 && ber <= 0.5 + 1e-9);
+        }
+
+        #[test]
+        fn required_power_roundtrips(exp in 3.0f64..14.0) {
+            let rx = ReceiverModel::dredbox_default();
+            let target = 10f64.powf(-exp);
+            let p = rx.required_power(target);
+            let achieved = rx.ber(p);
+            // Within a factor of ~2 of the target after the binary search.
+            prop_assert!(achieved <= target * 2.0);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the optical network models.
+
+use std::fmt;
+
+use dredbox_bricks::PortId;
+
+/// Errors produced by the optical interconnect models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OpticalError {
+    /// The optical switch port is already part of a circuit.
+    SwitchPortBusy {
+        /// Index of the busy switch port.
+        port: u16,
+    },
+    /// The optical switch port index does not exist.
+    NoSuchSwitchPort {
+        /// Offending index.
+        port: u16,
+    },
+    /// The switch has no free port pair to host a new circuit.
+    SwitchExhausted,
+    /// The brick port is not cabled to the optical switch.
+    PortNotCabled {
+        /// The un-cabled brick port.
+        port: PortId,
+    },
+    /// The referenced circuit does not exist (or was already torn down).
+    NoSuchCircuit {
+        /// Offending circuit identifier.
+        circuit: u64,
+    },
+    /// The brick port is already carrying a circuit.
+    BrickPortBusy {
+        /// The busy brick port.
+        port: PortId,
+    },
+    /// No free brick port was available on a brick that needs a new circuit.
+    NoFreeBrickPort {
+        /// The brick that ran out of ports.
+        brick: dredbox_bricks::BrickId,
+    },
+}
+
+impl fmt::Display for OpticalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpticalError::SwitchPortBusy { port } => write!(f, "optical switch port {port} is already in use"),
+            OpticalError::NoSuchSwitchPort { port } => write!(f, "no such optical switch port: {port}"),
+            OpticalError::SwitchExhausted => write!(f, "optical switch has no free port pair"),
+            OpticalError::PortNotCabled { port } => write!(f, "brick port {port} is not cabled to the optical switch"),
+            OpticalError::NoSuchCircuit { circuit } => write!(f, "no such circuit: {circuit}"),
+            OpticalError::BrickPortBusy { port } => write!(f, "brick port {port} already carries a circuit"),
+            OpticalError::NoFreeBrickPort { brick } => write!(f, "{brick} has no free GTH port for a new circuit"),
+        }
+    }
+}
+
+impl std::error::Error for OpticalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dredbox_bricks::BrickId;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(OpticalError::SwitchPortBusy { port: 3 }.to_string().contains('3'));
+        assert!(OpticalError::SwitchExhausted.to_string().contains("free port"));
+        let p = PortId::new(BrickId(1), 2);
+        assert!(OpticalError::PortNotCabled { port: p }.to_string().contains("brick1.gth2"));
+        assert!(OpticalError::NoSuchCircuit { circuit: 9 }.to_string().contains('9'));
+        assert!(OpticalError::NoFreeBrickPort { brick: BrickId(4) }.to_string().contains("brick4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OpticalError>();
+    }
+}

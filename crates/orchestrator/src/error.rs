@@ -1,0 +1,99 @@
+//! Error type for the orchestration layer.
+
+use std::fmt;
+
+use dredbox_bricks::BrickId;
+use dredbox_memory::MemoryError;
+use dredbox_sim::units::ByteSize;
+
+use crate::reservation::ReservationId;
+
+/// Errors produced by the SDM controller and its helpers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OrchestratorError {
+    /// No compute brick can host the requested vCPUs.
+    NoComputeCapacity {
+        /// vCPUs requested.
+        requested_vcpus: u32,
+    },
+    /// The memory pool could not satisfy the request.
+    Memory(MemoryError),
+    /// The referenced reservation does not exist or was already finalized.
+    NoSuchReservation {
+        /// Offending reservation.
+        reservation: ReservationId,
+    },
+    /// The referenced compute brick is unknown to the orchestrator.
+    UnknownComputeBrick {
+        /// Offending brick.
+        brick: BrickId,
+    },
+    /// The compute brick cannot be granted that much more remote memory
+    /// (e.g. its remote window or RMST is exhausted).
+    AttachLimit {
+        /// The limited brick.
+        brick: BrickId,
+        /// Amount requested.
+        requested: ByteSize,
+    },
+}
+
+impl fmt::Display for OrchestratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrchestratorError::NoComputeCapacity { requested_vcpus } => {
+                write!(f, "no dCOMPUBRICK has {requested_vcpus} free cores")
+            }
+            OrchestratorError::Memory(e) => write!(f, "memory pool error: {e}"),
+            OrchestratorError::NoSuchReservation { reservation } => {
+                write!(f, "no such reservation: {reservation}")
+            }
+            OrchestratorError::UnknownComputeBrick { brick } => {
+                write!(f, "unknown dCOMPUBRICK: {brick}")
+            }
+            OrchestratorError::AttachLimit { brick, requested } => {
+                write!(f, "{brick} cannot attach another {requested}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrchestratorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OrchestratorError::Memory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemoryError> for OrchestratorError {
+    fn from(e: MemoryError) -> Self {
+        OrchestratorError::Memory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let e = OrchestratorError::NoComputeCapacity { requested_vcpus: 16 };
+        assert!(e.to_string().contains("16"));
+        let m: OrchestratorError = MemoryError::EmptyRequest.into();
+        assert!(m.source().is_some());
+        assert!(m.to_string().contains("memory pool"));
+        assert!(OrchestratorError::UnknownComputeBrick { brick: BrickId(2) }
+            .to_string()
+            .contains("brick2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OrchestratorError>();
+    }
+}

@@ -1,0 +1,67 @@
+//! Requests arriving at the SDM controller.
+
+use serde::{Deserialize, Serialize};
+
+use dredbox_bricks::BrickId;
+use dredbox_sim::units::ByteSize;
+
+/// A request (relayed from OpenStack) to allocate a new VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VmAllocationRequest {
+    /// Virtual CPUs requested.
+    pub vcpus: u32,
+    /// Guest memory requested.
+    pub memory: ByteSize,
+}
+
+impl VmAllocationRequest {
+    /// Creates a request.
+    pub fn new(vcpus: u32, memory: ByteSize) -> Self {
+        VmAllocationRequest { vcpus, memory }
+    }
+}
+
+impl std::fmt::Display for VmAllocationRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "allocate {} vcpus + {}", self.vcpus, self.memory)
+    }
+}
+
+/// A scale-up demand: a VM on a given dCOMPUBRICK asking for more memory
+/// through the Scale-up API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScaleUpDemand {
+    /// The compute brick whose VM is asking.
+    pub compute_brick: BrickId,
+    /// The amount of additional memory requested.
+    pub amount: ByteSize,
+}
+
+impl ScaleUpDemand {
+    /// Creates a demand.
+    pub fn new(compute_brick: BrickId, amount: ByteSize) -> Self {
+        ScaleUpDemand {
+            compute_brick,
+            amount,
+        }
+    }
+}
+
+impl std::fmt::Display for ScaleUpDemand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: scale up by {}", self.compute_brick, self.amount)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let r = VmAllocationRequest::new(8, ByteSize::from_gib(16));
+        assert_eq!(r.to_string(), "allocate 8 vcpus + 16.00 GiB");
+        let s = ScaleUpDemand::new(BrickId(3), ByteSize::from_gib(4));
+        assert_eq!(s.to_string(), "brick3: scale up by 4.00 GiB");
+    }
+}

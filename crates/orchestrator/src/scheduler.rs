@@ -1,0 +1,264 @@
+//! FCFS scheduling of VM allocation requests.
+//!
+//! Role (a) of the SDM controller is to receive VM/bare-metal allocation
+//! requests from OpenStack. The [`FcfsScheduler`] queues timestamped
+//! requests and admits them in arrival order against an [`SdmController`],
+//! recording per-request admission latency and the rack utilization over
+//! time — the same First-Come-First-Served policy the TCO study uses, but
+//! driven dynamically.
+
+use serde::{Deserialize, Serialize};
+
+use dredbox_sim::time::{SimDuration, SimTime};
+use dredbox_sim::units::ByteSize;
+
+use crate::requests::VmAllocationRequest;
+use crate::sdm_controller::{ScaleUpGrant, SdmController};
+
+/// One queued allocation request with its arrival time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueuedRequest {
+    /// When the request arrived at the controller.
+    pub arrival: SimTime,
+    /// What was requested.
+    pub request: VmAllocationRequest,
+}
+
+/// The outcome of one admitted (or rejected) request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Admission {
+    /// The request was admitted.
+    Admitted {
+        /// When the request arrived.
+        arrival: SimTime,
+        /// When the controller finished configuring everything.
+        completed: SimTime,
+        /// The compute brick chosen for the VM.
+        brick: dredbox_bricks::BrickId,
+        /// The memory grant backing the VM.
+        grant: Box<ScaleUpGrant>,
+    },
+    /// The request could not be satisfied.
+    Rejected {
+        /// When the request arrived.
+        arrival: SimTime,
+        /// What was requested.
+        request: VmAllocationRequest,
+    },
+}
+
+impl Admission {
+    /// Whether the request was admitted.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, Admission::Admitted { .. })
+    }
+
+    /// Admission latency (queueing plus service), if admitted.
+    pub fn latency(&self) -> Option<SimDuration> {
+        match self {
+            Admission::Admitted { arrival, completed, .. } => {
+                Some(completed.saturating_duration_since(*arrival))
+            }
+            Admission::Rejected { .. } => None,
+        }
+    }
+}
+
+/// Summary of one scheduling run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleOutcome {
+    /// Per-request admissions, in arrival order.
+    pub admissions: Vec<Admission>,
+    /// Simulated time at which the last admitted request completed.
+    pub makespan: SimTime,
+    /// Total memory granted across admitted requests.
+    pub granted_memory: ByteSize,
+}
+
+impl ScheduleOutcome {
+    /// Number of admitted requests.
+    pub fn admitted_count(&self) -> usize {
+        self.admissions.iter().filter(|a| a.is_admitted()).count()
+    }
+
+    /// Number of rejected requests.
+    pub fn rejected_count(&self) -> usize {
+        self.admissions.len() - self.admitted_count()
+    }
+
+    /// Mean admission latency over admitted requests, if any were admitted.
+    pub fn mean_latency(&self) -> Option<SimDuration> {
+        let latencies: Vec<SimDuration> = self.admissions.iter().filter_map(|a| a.latency()).collect();
+        if latencies.is_empty() {
+            return None;
+        }
+        let total_ns: u64 = latencies.iter().map(|d| d.as_nanos()).sum();
+        Some(SimDuration::from_nanos(total_ns / latencies.len() as u64))
+    }
+}
+
+/// A First-Come-First-Served scheduler in front of one SDM controller.
+///
+/// The controller is a single autonomous service: requests are served one at
+/// a time in arrival order, so a request's completion time is the later of
+/// its arrival and the previous completion, plus its own service time.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FcfsScheduler {
+    queue: Vec<QueuedRequest>,
+}
+
+impl FcfsScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        FcfsScheduler::default()
+    }
+
+    /// Enqueues a request arriving at `arrival`.
+    pub fn submit(&mut self, arrival: SimTime, request: VmAllocationRequest) -> &mut Self {
+        self.queue.push(QueuedRequest { arrival, request });
+        self
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Runs the queue against `sdm` in FCFS order, consuming the queue.
+    pub fn run(&mut self, sdm: &mut SdmController) -> ScheduleOutcome {
+        let mut queue = std::mem::take(&mut self.queue);
+        queue.sort_by_key(|q| q.arrival);
+
+        let mut admissions = Vec::with_capacity(queue.len());
+        let mut busy_until = SimTime::ZERO;
+        let mut granted_memory = ByteSize::ZERO;
+        for queued in queue {
+            let start = queued.arrival.max(busy_until);
+            match sdm.allocate_vm(queued.request) {
+                Ok((brick, grant)) => {
+                    let completed = start + grant.service_time;
+                    busy_until = completed;
+                    granted_memory += grant.grant.total();
+                    admissions.push(Admission::Admitted {
+                        arrival: queued.arrival,
+                        completed,
+                        brick,
+                        grant: Box::new(grant),
+                    });
+                }
+                Err(_) => {
+                    admissions.push(Admission::Rejected {
+                        arrival: queued.arrival,
+                        request: queued.request,
+                    });
+                }
+            }
+        }
+        ScheduleOutcome {
+            makespan: busy_until,
+            granted_memory,
+            admissions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dredbox_bricks::BrickId;
+
+    fn controller(compute: u32, membricks: u32) -> SdmController {
+        let mut sdm = SdmController::dredbox_default();
+        for b in 0..compute {
+            sdm.register_compute_brick(BrickId(b), 32, 8);
+        }
+        for b in 0..membricks {
+            sdm.register_membrick(BrickId(100 + b), ByteSize::from_gib(32));
+        }
+        sdm
+    }
+
+    #[test]
+    fn requests_are_admitted_in_arrival_order() {
+        let mut sdm = controller(4, 4);
+        let mut scheduler = FcfsScheduler::new();
+        // Submit out of order; the scheduler must serve by arrival time.
+        scheduler.submit(SimTime::from_secs(10), VmAllocationRequest::new(4, ByteSize::from_gib(8)));
+        scheduler.submit(SimTime::from_secs(1), VmAllocationRequest::new(4, ByteSize::from_gib(8)));
+        scheduler.submit(SimTime::from_secs(5), VmAllocationRequest::new(4, ByteSize::from_gib(8)));
+        assert_eq!(scheduler.len(), 3);
+        assert!(!scheduler.is_empty());
+
+        let outcome = scheduler.run(&mut sdm);
+        assert!(scheduler.is_empty());
+        assert_eq!(outcome.admitted_count(), 3);
+        assert_eq!(outcome.rejected_count(), 0);
+        assert_eq!(outcome.granted_memory, ByteSize::from_gib(24));
+        let arrivals: Vec<SimTime> = outcome
+            .admissions
+            .iter()
+            .map(|a| match a {
+                Admission::Admitted { arrival, .. } => *arrival,
+                Admission::Rejected { arrival, .. } => *arrival,
+            })
+            .collect();
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        assert!(outcome.makespan > SimTime::from_secs(10));
+        assert!(outcome.mean_latency().expect("admitted requests").as_millis_f64() > 0.0);
+    }
+
+    #[test]
+    fn a_burst_queues_behind_the_single_controller() {
+        let mut sdm = controller(8, 8);
+        let mut scheduler = FcfsScheduler::new();
+        for _ in 0..8 {
+            scheduler.submit(SimTime::ZERO, VmAllocationRequest::new(2, ByteSize::from_gib(4)));
+        }
+        let outcome = scheduler.run(&mut sdm);
+        assert_eq!(outcome.admitted_count(), 8);
+        // Completion times are strictly increasing: one controller, FIFO.
+        let completions: Vec<SimTime> = outcome
+            .admissions
+            .iter()
+            .filter_map(|a| match a {
+                Admission::Admitted { completed, .. } => Some(*completed),
+                Admission::Rejected { .. } => None,
+            })
+            .collect();
+        assert!(completions.windows(2).all(|w| w[0] < w[1]));
+        // The last requester waited for everyone ahead of it (its latency
+        // includes seven service times on top of its own).
+        let first = outcome.admissions[0].latency().expect("admitted");
+        let last = outcome.admissions[7].latency().expect("admitted");
+        assert!(last > first.saturating_mul(2), "last {last} vs first {first}");
+    }
+
+    #[test]
+    fn infeasible_requests_are_rejected_not_dropped() {
+        let mut sdm = controller(1, 1);
+        let mut scheduler = FcfsScheduler::new();
+        scheduler.submit(SimTime::ZERO, VmAllocationRequest::new(16, ByteSize::from_gib(16)));
+        scheduler.submit(SimTime::ZERO, VmAllocationRequest::new(64, ByteSize::from_gib(1)));
+        scheduler.submit(SimTime::ZERO, VmAllocationRequest::new(1, ByteSize::from_gib(500)));
+        let outcome = scheduler.run(&mut sdm);
+        assert_eq!(outcome.admissions.len(), 3);
+        assert_eq!(outcome.admitted_count(), 1);
+        assert_eq!(outcome.rejected_count(), 2);
+        assert!(outcome.admissions[1].latency().is_none());
+    }
+
+    #[test]
+    fn empty_queue_yields_empty_outcome() {
+        let mut sdm = controller(1, 1);
+        let outcome = FcfsScheduler::new().run(&mut sdm);
+        assert!(outcome.admissions.is_empty());
+        assert_eq!(outcome.mean_latency(), None);
+        assert_eq!(outcome.makespan, SimTime::ZERO);
+        assert_eq!(outcome.granted_memory, ByteSize::ZERO);
+    }
+}

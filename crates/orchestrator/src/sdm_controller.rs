@@ -1,0 +1,516 @@
+//! The Software-Defined Memory controller (SDM-C).
+//!
+//! The SDM-C is the autonomous service that receives allocation and scale-up
+//! requests, inspects availability, makes a power-conscious selection,
+//! reserves the resources, and pushes configurations to the optical circuit
+//! switch and the SDM agents on the involved dCOMPUBRICKs. It is the
+//! component whose service time — together with the brick-local hotplug
+//! work — determines the scale-up agility evaluated in Figure 10.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use dredbox_bricks::{BrickId, PortId};
+use dredbox_interconnect::LatencyConfig;
+use dredbox_memory::{AllocationPolicy, MemoryGrant, MemoryPool};
+use dredbox_sim::time::SimDuration;
+use dredbox_sim::units::ByteSize;
+
+use crate::error::OrchestratorError;
+use crate::placement::{ComputeBrickView, PlacementPolicy};
+use crate::requests::{ScaleUpDemand, VmAllocationRequest};
+use crate::reservation::ReservationLedger;
+use crate::sdm_agent::SdmAgent;
+
+/// Control-plane latencies of the SDM controller itself.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SdmTimings {
+    /// Receiving and parsing one request (REST/RPC overhead).
+    pub request_rpc: SimDuration,
+    /// Inspecting resource availability (database/state lookup).
+    pub availability_check: SimDuration,
+    /// Writing the reservation record.
+    pub reservation_write: SimDuration,
+    /// Programming one new cross-connection on the optical circuit switch
+    /// (Polatis-class switches take tens of milliseconds to settle).
+    pub circuit_switch_program: SimDuration,
+    /// Pushing one configuration bundle to an SDM agent.
+    pub agent_push: SimDuration,
+}
+
+impl SdmTimings {
+    /// Defaults for the prototype's management plane.
+    pub fn dredbox_default() -> Self {
+        SdmTimings {
+            request_rpc: SimDuration::from_millis(1),
+            availability_check: SimDuration::from_millis(3),
+            reservation_write: SimDuration::from_millis(2),
+            circuit_switch_program: SimDuration::from_millis(25),
+            agent_push: SimDuration::from_millis(2),
+        }
+    }
+}
+
+impl Default for SdmTimings {
+    fn default() -> Self {
+        SdmTimings::dredbox_default()
+    }
+}
+
+/// The result of one scale-up handled by the controller: the memory grant
+/// plus the controller-side service time (not including the brick-local
+/// hotplug, which the Scale-up controller accounts separately).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleUpGrant {
+    /// The demand that was served.
+    pub demand: ScaleUpDemand,
+    /// The segments granted from the pool.
+    pub grant: MemoryGrant,
+    /// RMST base addresses installed on the compute brick, one per segment.
+    pub rmst_bases: Vec<u64>,
+    /// SDM-controller service time for this request.
+    pub service_time: SimDuration,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ComputeState {
+    total_cores: u32,
+    used_cores: u32,
+    vm_count: u32,
+    gth_ports: u8,
+    attached_segments: u32,
+    powered_on: bool,
+}
+
+/// The SDM controller.
+///
+/// ```
+/// use dredbox_orchestrator::prelude::*;
+/// use dredbox_bricks::BrickId;
+/// use dredbox_sim::units::ByteSize;
+///
+/// let mut sdm = SdmController::dredbox_default();
+/// sdm.register_compute_brick(BrickId(0), 32, 8);
+/// sdm.register_membrick(BrickId(10), ByteSize::from_gib(32));
+/// let grant = sdm.handle_scale_up(ScaleUpDemand::new(BrickId(0), ByteSize::from_gib(8)))?;
+/// assert_eq!(grant.grant.total(), ByteSize::from_gib(8));
+/// assert!(grant.service_time.as_millis_f64() > 0.0);
+/// # Ok::<(), dredbox_orchestrator::OrchestratorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SdmController {
+    pool: MemoryPool,
+    ledger: ReservationLedger,
+    agents: BTreeMap<BrickId, SdmAgent>,
+    compute: BTreeMap<BrickId, ComputeState>,
+    placement: PlacementPolicy,
+    timings: SdmTimings,
+    latency_config: LatencyConfig,
+    /// dMEMBRICKs each compute brick already has a circuit towards; new
+    /// destinations need a switch-programming step.
+    circuits: BTreeMap<BrickId, Vec<BrickId>>,
+}
+
+impl SdmController {
+    /// Creates a controller with power-aware memory placement and default
+    /// timings.
+    pub fn dredbox_default() -> Self {
+        SdmController::new(
+            AllocationPolicy::PowerAware,
+            PlacementPolicy::PowerAware,
+            SdmTimings::dredbox_default(),
+            LatencyConfig::dredbox_default(),
+        )
+    }
+
+    /// Creates a controller with explicit policies and timings.
+    pub fn new(
+        memory_policy: AllocationPolicy,
+        placement: PlacementPolicy,
+        timings: SdmTimings,
+        latency_config: LatencyConfig,
+    ) -> Self {
+        SdmController {
+            pool: MemoryPool::new(memory_policy),
+            ledger: ReservationLedger::new(),
+            agents: BTreeMap::new(),
+            compute: BTreeMap::new(),
+            placement,
+            timings,
+            latency_config,
+            circuits: BTreeMap::new(),
+        }
+    }
+
+    /// The memory pool managed by the controller.
+    pub fn pool(&self) -> &MemoryPool {
+        &self.pool
+    }
+
+    /// The reservation ledger.
+    pub fn ledger(&self) -> &ReservationLedger {
+        &self.ledger
+    }
+
+    /// The controller timings.
+    pub fn timings(&self) -> &SdmTimings {
+        &self.timings
+    }
+
+    /// The SDM agent of a compute brick, if registered.
+    pub fn agent(&self, brick: BrickId) -> Option<&SdmAgent> {
+        self.agents.get(&brick)
+    }
+
+    /// Registers a dCOMPUBRICK (and spawns its SDM agent).
+    pub fn register_compute_brick(&mut self, brick: BrickId, cores: u32, gth_ports: u8) -> &mut Self {
+        self.compute.insert(
+            brick,
+            ComputeState {
+                total_cores: cores,
+                used_cores: 0,
+                vm_count: 0,
+                gth_ports: gth_ports.max(1),
+                attached_segments: 0,
+                powered_on: true,
+            },
+        );
+        self.agents.insert(
+            brick,
+            SdmAgent::new(brick, &self.latency_config, 256, ByteSize::from_gib(1024)),
+        );
+        self
+    }
+
+    /// Registers a dMEMBRICK and its capacity with the pool.
+    pub fn register_membrick(&mut self, brick: BrickId, capacity: ByteSize) -> &mut Self {
+        self.pool.register_membrick(brick, capacity);
+        self
+    }
+
+    /// Number of registered compute bricks.
+    pub fn compute_brick_count(&self) -> usize {
+        self.compute.len()
+    }
+
+    /// Compute bricks currently running no VM (power-off candidates).
+    pub fn idle_compute_bricks(&self) -> Vec<BrickId> {
+        self.compute
+            .iter()
+            .filter(|(_, s)| s.vm_count == 0)
+            .map(|(b, _)| *b)
+            .collect()
+    }
+
+    /// dMEMBRICKs currently exporting nothing (power-off candidates).
+    pub fn idle_membricks(&self) -> Vec<BrickId> {
+        self.pool.unused_membricks()
+    }
+
+    /// Handles a VM allocation request: picks a compute brick for the vCPUs
+    /// and grants the requested memory from the pool. Returns the chosen
+    /// brick, the grant and the controller service time.
+    ///
+    /// # Errors
+    ///
+    /// * [`OrchestratorError::NoComputeCapacity`] if no brick fits the vCPUs.
+    /// * Memory-pool errors if the pool cannot cover the request.
+    pub fn allocate_vm(
+        &mut self,
+        request: VmAllocationRequest,
+    ) -> Result<(BrickId, ScaleUpGrant), OrchestratorError> {
+        let views: Vec<ComputeBrickView> = self
+            .compute
+            .iter()
+            .map(|(b, s)| ComputeBrickView {
+                brick: *b,
+                total_cores: s.total_cores,
+                free_cores: s.total_cores - s.used_cores,
+                active: s.vm_count > 0,
+                powered_on: s.powered_on,
+            })
+            .collect();
+        let brick = self
+            .placement
+            .choose(&views, request.vcpus)
+            .ok_or(OrchestratorError::NoComputeCapacity {
+                requested_vcpus: request.vcpus,
+            })?;
+        // Reserve, grant memory, then commit.
+        let reservation = self.ledger.reserve(Some(brick), request.vcpus, request.memory);
+        let scale_up = match self.handle_scale_up(ScaleUpDemand::new(brick, request.memory)) {
+            Ok(g) => g,
+            Err(e) => {
+                let _ = self.ledger.rollback(reservation);
+                return Err(e);
+            }
+        };
+        self.ledger.commit(reservation)?;
+        let state = self.compute.get_mut(&brick).expect("placement returned a registered brick");
+        state.used_cores += request.vcpus;
+        state.vm_count += 1;
+        state.powered_on = true;
+        Ok((brick, scale_up))
+    }
+
+    /// Handles one scale-up demand: selects dMEMBRICK space (power-aware),
+    /// reserves it, programs any new circuit, and pushes the attach
+    /// configuration to the brick's SDM agent.
+    ///
+    /// # Errors
+    ///
+    /// * [`OrchestratorError::UnknownComputeBrick`] for unregistered bricks.
+    /// * Memory-pool errors when the pool cannot cover the demand.
+    /// * [`OrchestratorError::AttachLimit`] if the agent cannot install the
+    ///   mapping (RMST or remote-window exhaustion).
+    pub fn handle_scale_up(&mut self, demand: ScaleUpDemand) -> Result<ScaleUpGrant, OrchestratorError> {
+        if !self.compute.contains_key(&demand.compute_brick) {
+            return Err(OrchestratorError::UnknownComputeBrick {
+                brick: demand.compute_brick,
+            });
+        }
+        let mut service_time = self.timings.request_rpc
+            + self.timings.availability_check
+            + self.timings.reservation_write;
+
+        // Reserve, then carve the grant out of the pool.
+        let reservation = self.ledger.reserve(None, 0, demand.amount);
+        let grant = match self.pool.allocate(demand.compute_brick, demand.amount) {
+            Ok(g) => g,
+            Err(e) => {
+                let _ = self.ledger.rollback(reservation);
+                return Err(e.into());
+            }
+        };
+
+        // Program circuits towards dMEMBRICKs this brick does not reach yet.
+        let known = self.circuits.entry(demand.compute_brick).or_default();
+        let mut new_circuits = 0u32;
+        for segment in grant.segments() {
+            if !known.contains(&segment.membrick) {
+                known.push(segment.membrick);
+                new_circuits += 1;
+            }
+        }
+        service_time += self.timings.circuit_switch_program.saturating_mul(u64::from(new_circuits));
+
+        // Push the attach configuration to the SDM agent.
+        let state = self.compute.get_mut(&demand.compute_brick).expect("checked above");
+        let agent = self
+            .agents
+            .get_mut(&demand.compute_brick)
+            .expect("agent exists for every registered brick");
+        let mut rmst_bases = Vec::with_capacity(grant.segments().len());
+        for segment in grant.segments() {
+            let port_index = (state.attached_segments % u32::from(state.gth_ports)) as u8;
+            let port = PortId::new(demand.compute_brick, port_index);
+            match agent.apply_attach(segment, port) {
+                Ok(agent_time) => {
+                    service_time += self.timings.agent_push + agent_time;
+                    state.attached_segments += 1;
+                    let base = agent
+                        .mapped_bases()
+                        .into_iter()
+                        .max()
+                        .expect("just attached a segment");
+                    rmst_bases.push(base);
+                }
+                Err(_) => {
+                    // Roll everything back: agent mappings, pool grant, reservation.
+                    for base in &rmst_bases {
+                        let _ = agent.apply_detach(*base);
+                    }
+                    let _ = self.pool.release_grant(&grant);
+                    let _ = self.ledger.rollback(reservation);
+                    return Err(OrchestratorError::AttachLimit {
+                        brick: demand.compute_brick,
+                        requested: demand.amount,
+                    });
+                }
+            }
+        }
+        self.ledger.commit(reservation)?;
+        Ok(ScaleUpGrant {
+            demand,
+            grant,
+            rmst_bases,
+            service_time,
+        })
+    }
+
+    /// Releases a previous scale-up grant: detaches the RMST mappings and
+    /// returns the segments to the pool. Returns the controller service
+    /// time of the release.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool errors for unknown segments.
+    pub fn release_scale_up(&mut self, grant: &ScaleUpGrant) -> Result<SimDuration, OrchestratorError> {
+        let mut service_time = self.timings.request_rpc + self.timings.reservation_write;
+        if let Some(agent) = self.agents.get_mut(&grant.demand.compute_brick) {
+            for base in &grant.rmst_bases {
+                if let Ok(t) = agent.apply_detach(*base) {
+                    service_time += self.timings.agent_push + t;
+                }
+            }
+        }
+        self.pool.release_grant(&grant.grant)?;
+        self.ledger
+            .release_committed(None, 0, grant.grant.total())?;
+        Ok(service_time)
+    }
+
+    /// Processes a burst of concurrent scale-up demands. The SDM controller
+    /// is a single autonomous service, so requests are admitted FIFO and
+    /// each request's completion delay includes the service times of the
+    /// requests queued ahead of it — the "aggressiveness of scale-up
+    /// concurrency" effect visible in Figure 10.
+    ///
+    /// Returns, for each demand (in order), the grant and its completion
+    /// delay (queueing + own service time). Demands that fail are skipped.
+    pub fn scale_up_burst(
+        &mut self,
+        demands: &[ScaleUpDemand],
+    ) -> Vec<(ScaleUpGrant, SimDuration)> {
+        let mut elapsed = SimDuration::ZERO;
+        let mut results = Vec::with_capacity(demands.len());
+        for demand in demands {
+            match self.handle_scale_up(*demand) {
+                Ok(grant) => {
+                    elapsed += grant.service_time;
+                    results.push((grant, elapsed));
+                }
+                Err(_) => continue,
+            }
+        }
+        results
+    }
+}
+
+impl Default for SdmController {
+    fn default() -> Self {
+        SdmController::dredbox_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> SdmController {
+        let mut sdm = SdmController::dredbox_default();
+        for b in 0..4u32 {
+            sdm.register_compute_brick(BrickId(b), 32, 8);
+        }
+        for b in 10..14u32 {
+            sdm.register_membrick(BrickId(b), ByteSize::from_gib(32));
+        }
+        sdm
+    }
+
+    #[test]
+    fn scale_up_grants_memory_and_configures_the_agent() {
+        let mut sdm = controller();
+        let grant = sdm
+            .handle_scale_up(ScaleUpDemand::new(BrickId(0), ByteSize::from_gib(8)))
+            .unwrap();
+        assert_eq!(grant.grant.total(), ByteSize::from_gib(8));
+        assert_eq!(grant.rmst_bases.len(), grant.grant.segments().len());
+        // Service time includes one circuit programming (first contact with
+        // that dMEMBRICK) plus the fixed overheads: tens of milliseconds.
+        assert!(grant.service_time.as_millis_f64() > 25.0);
+        assert!(grant.service_time.as_secs_f64() < 1.0);
+        assert_eq!(
+            sdm.agent(BrickId(0)).unwrap().mapped_remote_memory(),
+            ByteSize::from_gib(8)
+        );
+        assert_eq!(sdm.pool().total_allocated(), ByteSize::from_gib(8));
+        assert_eq!(sdm.ledger().held_memory(), ByteSize::from_gib(8));
+    }
+
+    #[test]
+    fn second_scale_up_to_the_same_membrick_skips_circuit_programming() {
+        let mut sdm = controller();
+        let first = sdm
+            .handle_scale_up(ScaleUpDemand::new(BrickId(0), ByteSize::from_gib(4)))
+            .unwrap();
+        let second = sdm
+            .handle_scale_up(ScaleUpDemand::new(BrickId(0), ByteSize::from_gib(4)))
+            .unwrap();
+        assert!(second.service_time < first.service_time);
+        let delta = first.service_time - second.service_time;
+        assert_eq!(delta, SdmTimings::dredbox_default().circuit_switch_program);
+    }
+
+    #[test]
+    fn release_returns_memory_and_unmaps() {
+        let mut sdm = controller();
+        let grant = sdm
+            .handle_scale_up(ScaleUpDemand::new(BrickId(1), ByteSize::from_gib(16)))
+            .unwrap();
+        let t = sdm.release_scale_up(&grant).unwrap();
+        assert!(t.as_millis_f64() > 0.0);
+        assert_eq!(sdm.pool().total_allocated(), ByteSize::ZERO);
+        assert_eq!(sdm.ledger().held_memory(), ByteSize::ZERO);
+        assert_eq!(sdm.agent(BrickId(1)).unwrap().mapped_remote_memory(), ByteSize::ZERO);
+        assert_eq!(sdm.idle_membricks().len(), 4);
+    }
+
+    #[test]
+    fn vm_allocation_places_cores_and_memory() {
+        let mut sdm = controller();
+        let (brick, grant) = sdm
+            .allocate_vm(VmAllocationRequest::new(8, ByteSize::from_gib(24)))
+            .unwrap();
+        assert!(sdm.compute_brick_count() == 4);
+        assert_eq!(grant.grant.total(), ByteSize::from_gib(24));
+        assert_eq!(grant.demand.compute_brick, brick);
+        assert_eq!(sdm.idle_compute_bricks().len(), 3);
+        // Power-aware placement keeps packing the same brick.
+        let (brick2, _) = sdm
+            .allocate_vm(VmAllocationRequest::new(8, ByteSize::from_gib(8)))
+            .unwrap();
+        assert_eq!(brick, brick2);
+        // Impossible requests fail cleanly.
+        assert!(matches!(
+            sdm.allocate_vm(VmAllocationRequest::new(64, ByteSize::from_gib(1))),
+            Err(OrchestratorError::NoComputeCapacity { .. })
+        ));
+        let before_free = sdm.pool().total_free();
+        assert!(sdm
+            .allocate_vm(VmAllocationRequest::new(1, ByteSize::from_gib(500)))
+            .is_err());
+        assert_eq!(sdm.pool().total_free(), before_free, "failed allocation must not leak");
+    }
+
+    #[test]
+    fn unknown_brick_and_oversize_demands_fail() {
+        let mut sdm = controller();
+        assert!(matches!(
+            sdm.handle_scale_up(ScaleUpDemand::new(BrickId(77), ByteSize::from_gib(1))),
+            Err(OrchestratorError::UnknownComputeBrick { .. })
+        ));
+        assert!(matches!(
+            sdm.handle_scale_up(ScaleUpDemand::new(BrickId(0), ByteSize::from_gib(1_000))),
+            Err(OrchestratorError::Memory(_))
+        ));
+        assert_eq!(sdm.ledger().held_memory(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn burst_delays_grow_with_queue_position() {
+        let mut sdm = controller();
+        let demands: Vec<ScaleUpDemand> = (0..4u32)
+            .map(|i| ScaleUpDemand::new(BrickId(i), ByteSize::from_gib(4)))
+            .collect();
+        let results = sdm.scale_up_burst(&demands);
+        assert_eq!(results.len(), 4);
+        for pair in results.windows(2) {
+            assert!(pair[1].1 > pair[0].1, "completion delays must be increasing");
+        }
+        // The last requester waits for everyone ahead of it.
+        let total_service: SimDuration = results.iter().map(|(g, _)| g.service_time).sum();
+        assert_eq!(results.last().unwrap().1, total_service);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for the simulation substrate.
+
+use std::fmt;
+
+/// Errors produced by the simulation substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An event was scheduled before the current simulated time.
+    ScheduleInPast {
+        /// Current clock value in nanoseconds.
+        now_nanos: u64,
+        /// Requested event time in nanoseconds.
+        requested_nanos: u64,
+    },
+    /// A statistic was requested over an empty sample set.
+    EmptySamples,
+    /// A quantity was outside its valid range.
+    InvalidQuantity {
+        /// Description of the offending quantity.
+        what: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ScheduleInPast {
+                now_nanos,
+                requested_nanos,
+            } => write!(
+                f,
+                "event scheduled in the past (now {now_nanos} ns, requested {requested_nanos} ns)"
+            ),
+            SimError::EmptySamples => write!(f, "statistic requested over an empty sample set"),
+            SimError::InvalidQuantity { what } => write!(f, "invalid quantity: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SimError::ScheduleInPast {
+            now_nanos: 10,
+            requested_nanos: 5,
+        };
+        assert!(e.to_string().contains("10 ns"));
+        assert!(e.to_string().contains("5 ns"));
+        assert_eq!(SimError::EmptySamples.to_string(), "statistic requested over an empty sample set");
+        let q = SimError::InvalidQuantity { what: "negative bandwidth".into() };
+        assert!(q.to_string().contains("negative bandwidth"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,58 @@
+//! Discrete-event simulation substrate for the dReDBox reproduction.
+//!
+//! The dReDBox prototype (Bielski et al., DATE 2018) is a *hardware* rack-scale
+//! system. This workspace reproduces its evaluation in simulation; every other
+//! crate in the workspace builds on the primitives provided here:
+//!
+//! * [`time`] — nanosecond-resolution simulated time ([`SimTime`], [`SimDuration`]).
+//! * [`event`] — a deterministic event queue keyed by time and insertion order.
+//! * [`engine`] — a small engine that drains an [`event::EventQueue`] against a
+//!   user-provided world state.
+//! * [`rng`] — a seedable, reproducible random-number generator wrapper so that
+//!   every experiment in the repository is deterministic given a seed.
+//! * [`stats`] — summary statistics, percentiles and box-plot summaries used by
+//!   the figure-reproduction harnesses.
+//! * [`units`] — strongly-typed quantities (bytes, bandwidth, optical power,
+//!   electrical power) used across the hardware models.
+//! * [`report`] — small table/series containers used to print "paper vs.
+//!   measured" experiment outputs.
+//!
+//! # Example
+//!
+//! ```
+//! use dredbox_sim::prelude::*;
+//!
+//! let mut queue = EventQueue::<&'static str>::new();
+//! queue.schedule(SimTime::from_micros(3), "late");
+//! queue.schedule(SimTime::from_nanos(10), "early");
+//! let (t, ev) = queue.pop().expect("event");
+//! assert_eq!(ev, "early");
+//! assert_eq!(t, SimTime::from_nanos(10));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod event;
+pub mod report;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::engine::{Engine, Process};
+    pub use crate::error::SimError;
+    pub use crate::event::EventQueue;
+    pub use crate::report::{Figure, Row, Series, Table};
+    pub use crate::rng::SimRng;
+    pub use crate::stats::{BoxPlot, Histogram, Summary};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::units::{Bandwidth, ByteSize, DecibelMilliwatts, Milliwatts, Watts};
+}
+
+pub use error::SimError;
+pub use time::{SimDuration, SimTime};

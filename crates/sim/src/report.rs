@@ -1,0 +1,285 @@
+//! Experiment report containers.
+//!
+//! Every figure/table harness in the workspace produces a [`Table`] or a
+//! [`Figure`] (a set of named [`Series`]) and prints it in a uniform,
+//! paper-vs-measured layout. Keeping this in the substrate crate lets the
+//! bench harness, the examples and the integration tests share one format.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A single row of a [`Table`]: a label plus one cell per column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Row label (e.g. a workload configuration name).
+    pub label: String,
+    /// Cell values, one per table column.
+    pub cells: Vec<String>,
+}
+
+impl Row {
+    /// Creates a row from a label and displayable cells.
+    pub fn new<L: Into<String>, C: fmt::Display>(label: L, cells: impl IntoIterator<Item = C>) -> Self {
+        Row {
+            label: label.into(),
+            cells: cells.into_iter().map(|c| c.to_string()).collect(),
+        }
+    }
+}
+
+/// A labelled table with a header, as printed by the figure harness.
+///
+/// ```
+/// use dredbox_sim::report::{Row, Table};
+/// let mut t = Table::new("Table I", ["Configuration", "vCPUs", "RAM"]);
+/// t.push(Row::new("Random", ["1-32 cores", "1-32 GB"]));
+/// let out = t.to_string();
+/// assert!(out.contains("Random"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (e.g. "Table I — VM workloads").
+    pub title: String,
+    /// Column headers. The first header labels the row-label column.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new<T: Into<String>, H: Into<String>>(title: T, headers: impl IntoIterator<Item = H>) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Looks up a row by label.
+    pub fn row(&self, label: &str) -> Option<&Row> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Compute column widths across header + rows.
+        let cols = self.headers.len().max(
+            self.rows.iter().map(|r| r.cells.len() + 1).max().unwrap_or(1),
+        );
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            widths[0] = widths[0].max(row.label.len());
+            for (i, c) in row.cells.iter().enumerate() {
+                if i + 1 < cols {
+                    widths[i + 1] = widths[i + 1].max(c.len());
+                }
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        for (i, h) in self.headers.iter().enumerate() {
+            write!(f, "{:<width$}  ", h, width = widths[i])?;
+        }
+        writeln!(f)?;
+        for (i, _) in self.headers.iter().enumerate() {
+            write!(f, "{:-<width$}  ", "", width = widths[i])?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "{:<width$}  ", row.label, width = widths[0])?;
+            for (i, c) in row.cells.iter().enumerate() {
+                let w = widths.get(i + 1).copied().unwrap_or(0);
+                write!(f, "{:<width$}  ", c, width = w)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named series of `(x, y)` points, one line/box-group of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Series name (e.g. "dReDBox scale-up, 32 VMs").
+    pub name: String,
+    /// Label of the x quantity.
+    pub x_label: String,
+    /// Label of the y quantity.
+    pub y_label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new<N: Into<String>, X: Into<String>, Y: Into<String>>(name: N, x_label: X, y_label: Y) -> Self {
+        Series {
+            name: name.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Maximum y value, if any point exists.
+    pub fn y_max(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, y)| y).fold(None, |acc, y| {
+            Some(acc.map_or(y, |m: f64| m.max(y)))
+        })
+    }
+
+    /// Minimum y value, if any point exists.
+    pub fn y_min(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, y)| y).fold(None, |acc, y| {
+            Some(acc.map_or(y, |m: f64| m.min(y)))
+        })
+    }
+}
+
+/// A reproduced figure: a caption plus one or more series and free-form notes
+/// comparing against the paper's reported shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Figure identifier and caption (e.g. "Figure 12 — % resources powered off").
+    pub caption: String,
+    /// The series making up the figure.
+    pub series: Vec<Series>,
+    /// Notes comparing measured output against the paper's claims.
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Creates an empty figure with the given caption.
+    pub fn new<C: Into<String>>(caption: C) -> Self {
+        Figure {
+            caption: caption.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Adds a comparison note.
+    pub fn note<N: Into<String>>(&mut self, note: N) {
+        self.notes.push(note.into());
+    }
+
+    /// Looks up a series by name.
+    pub fn series_named(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.caption)?;
+        for s in &self.series {
+            writeln!(f, "-- {} [{} vs {}]", s.name, s.y_label, s.x_label)?;
+            for (x, y) in &s.points {
+                writeln!(f, "   {x:>14.6}  {y:>14.6e}")?;
+            }
+        }
+        if !self.notes.is_empty() {
+            writeln!(f, "-- notes")?;
+            for n in &self.notes {
+                writeln!(f, "   * {n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip_and_lookup() {
+        let mut t = Table::new("Table I", ["Configuration", "vCPUs", "RAM"]);
+        t.push(Row::new("Random", ["1-32 cores", "1-32 GB"]));
+        t.push(Row::new("High RAM", ["1-8 cores", "24-32 GB"]));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.row("High RAM").unwrap().cells[1], "24-32 GB");
+        assert!(t.row("Missing").is_none());
+        let rendered = t.to_string();
+        assert!(rendered.contains("Table I"));
+        assert!(rendered.contains("Random"));
+        assert!(rendered.contains("24-32 GB"));
+    }
+
+    #[test]
+    fn series_extrema() {
+        let mut s = Series::new("ber", "power (dBm)", "BER");
+        assert!(s.is_empty());
+        assert_eq!(s.y_max(), None);
+        s.push(-12.0, 1e-13);
+        s.push(-11.0, 1e-14);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.y_max(), Some(1e-13));
+        assert_eq!(s.y_min(), Some(1e-14));
+    }
+
+    #[test]
+    fn figure_display_contains_everything() {
+        let mut fig = Figure::new("Figure 7 — BER vs received power");
+        let mut s = Series::new("channel 1", "received power (dBm)", "BER");
+        s.push(-11.7, 3.2e-13);
+        fig.push_series(s);
+        fig.note("all links below 1e-12 as in the paper");
+        let out = fig.to_string();
+        assert!(out.contains("Figure 7"));
+        assert!(out.contains("channel 1"));
+        assert!(out.contains("notes"));
+        assert!(fig.series_named("channel 1").is_some());
+        assert!(fig.series_named("channel 9").is_none());
+    }
+
+    #[test]
+    fn table_handles_ragged_rows() {
+        let mut t = Table::new("ragged", ["a", "b"]);
+        t.push(Row::new("r1", ["1", "2", "3"]));
+        t.push(Row::new("r2", Vec::<String>::new()));
+        // Must not panic while formatting.
+        let _ = t.to_string();
+    }
+}

@@ -1,0 +1,416 @@
+//! Summary statistics used by the experiment harnesses.
+//!
+//! Figure 7 of the paper is a box plot of measured BER per optical channel;
+//! Figure 10 reports per-VM average delays. [`Summary`], [`BoxPlot`] and
+//! [`Histogram`] provide exactly the aggregations those harnesses print.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics (count, mean, std-dev, min/max, percentiles) of a set
+/// of `f64` samples.
+///
+/// ```
+/// use dredbox_sim::stats::Summary;
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    std_dev: f64,
+    min: f64,
+    max: f64,
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Builds a summary from `samples`. Returns `None` when `samples` is
+    /// empty or contains non-finite values.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() || samples.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Some(Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            sorted,
+        })
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Linear-interpolated percentile, `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.count == 1 {
+            return self.sorted[0];
+        }
+        let rank = p / 100.0 * (self.count - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Box-plot summary (min, Q1, median, Q3, max) of the samples.
+    pub fn box_plot(&self) -> BoxPlot {
+        BoxPlot {
+            min: self.min,
+            q1: self.percentile(25.0),
+            median: self.median(),
+            q3: self.percentile(75.0),
+            max: self.max,
+        }
+    }
+}
+
+/// Five-number box-plot summary, as plotted in Figure 7 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxPlot {
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl BoxPlot {
+    /// Interquartile range (Q3 − Q1).
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+impl std::fmt::Display for BoxPlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min={:.3e} q1={:.3e} med={:.3e} q3={:.3e} max={:.3e}",
+            self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)`.
+///
+/// ```
+/// use dredbox_sim::stats::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.record(1.0);
+/// h.record(9.5);
+/// h.record(100.0); // overflow bucket
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = ((value - self.lo) / width) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total number of recorded samples, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bucket counts, in order of increasing value.
+    pub fn counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The `(low, high)` bounds of bucket `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn bucket_bounds(&self, idx: usize) -> (f64, f64) {
+        assert!(idx < self.buckets.len(), "bucket index out of range");
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        (self.lo + width * idx as f64, self.lo + width * (idx + 1) as f64)
+    }
+}
+
+/// Incremental mean/variance accumulator (Welford's algorithm), for places
+/// where keeping every sample would be wasteful.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation; 0 when fewer than two observations.
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_rejects_empty_and_nan() {
+        assert!(Summary::from_samples(&[]).is_none());
+        assert!(Summary::from_samples(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::from_samples(&[1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn summary_basic_moments() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.median(), 4.5);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = Summary::from_samples(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(100.0), 40.0);
+        assert_eq!(s.percentile(50.0), 25.0);
+        assert!((s.percentile(25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = Summary::from_samples(&[3.5]).unwrap();
+        assert_eq!(s.percentile(10.0), 3.5);
+        assert_eq!(s.median(), 3.5);
+        assert_eq!(s.box_plot().iqr(), 0.0);
+    }
+
+    #[test]
+    fn box_plot_ordering() {
+        let s = Summary::from_samples(&[5.0, 1.0, 9.0, 3.0, 7.0]).unwrap();
+        let b = s.box_plot();
+        assert!(b.min <= b.q1 && b.q1 <= b.median && b.median <= b.q3 && b.q3 <= b.max);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 9.0);
+        assert!(!b.to_string().is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        h.record(-1.0);
+        h.record(100.0);
+        assert_eq!(h.total(), 102);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert!(h.counts().iter().all(|&c| c == 10));
+        assert_eq!(h.bucket_bounds(0), (0.0, 10.0));
+        assert_eq!(h.bucket_bounds(9), (90.0, 100.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_rejects_empty_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn accumulator_matches_summary() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut acc = Accumulator::new();
+        for &x in &data {
+            acc.record(x);
+        }
+        let s = Summary::from_samples(&data).unwrap();
+        assert_eq!(acc.count() as usize, s.count());
+        assert!((acc.mean() - s.mean()).abs() < 1e-12);
+        assert!((acc.std_dev() - s.std_dev()).abs() < 1e-12);
+        assert_eq!(acc.min(), Some(1.0));
+        assert_eq!(acc.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_accumulator() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.std_dev(), 0.0);
+        assert_eq!(acc.min(), None);
+        assert_eq!(acc.max(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_is_monotone(samples in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+            let s = Summary::from_samples(&samples).unwrap();
+            let mut last = f64::NEG_INFINITY;
+            for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+                let v = s.percentile(p);
+                prop_assert!(v >= last - 1e-9);
+                last = v;
+            }
+        }
+
+        #[test]
+        fn mean_is_bounded_by_min_max(samples in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let s = Summary::from_samples(&samples).unwrap();
+            prop_assert!(s.mean() >= s.min() - 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+        }
+
+        #[test]
+        fn histogram_conserves_samples(samples in proptest::collection::vec(-50.0f64..150.0, 0..200)) {
+            let mut h = Histogram::new(0.0, 100.0, 7);
+            for &x in &samples {
+                h.record(x);
+            }
+            prop_assert_eq!(h.total() as usize, samples.len());
+        }
+    }
+}

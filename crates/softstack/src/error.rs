@@ -1,0 +1,94 @@
+//! Error type for the system-software models.
+
+use std::fmt;
+
+use dredbox_bricks::BrickId;
+use dredbox_sim::units::ByteSize;
+
+use crate::vm::VmId;
+
+/// Errors produced by the software-stack models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SoftstackError {
+    /// The referenced VM does not exist on this hypervisor.
+    NoSuchVm {
+        /// Offending VM.
+        vm: VmId,
+    },
+    /// The VM is not in a state that allows the operation.
+    VmNotRunning {
+        /// Offending VM.
+        vm: VmId,
+    },
+    /// The hypervisor's compute brick does not have the requested vCPUs.
+    InsufficientCores {
+        /// The brick backing the hypervisor.
+        brick: BrickId,
+        /// Requested vCPUs.
+        requested: u32,
+        /// Free cores.
+        available: u32,
+    },
+    /// The hypervisor does not have enough attached memory for the guest.
+    InsufficientMemory {
+        /// The brick backing the hypervisor.
+        brick: BrickId,
+        /// Requested memory.
+        requested: ByteSize,
+        /// Memory currently available to guests.
+        available: ByteSize,
+    },
+    /// A memory detach asked for more than the VM holds.
+    DetachUnderflow {
+        /// Offending VM.
+        vm: VmId,
+    },
+}
+
+impl fmt::Display for SoftstackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoftstackError::NoSuchVm { vm } => write!(f, "no such vm: {vm}"),
+            SoftstackError::VmNotRunning { vm } => write!(f, "{vm} is not running"),
+            SoftstackError::InsufficientCores {
+                brick,
+                requested,
+                available,
+            } => write!(f, "{brick}: requested {requested} vcpus but only {available} cores are free"),
+            SoftstackError::InsufficientMemory {
+                brick,
+                requested,
+                available,
+            } => write!(f, "{brick}: requested {requested} but only {available} is available to guests"),
+            SoftstackError::DetachUnderflow { vm } => {
+                write!(f, "{vm}: detach requested more memory than the vm holds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SoftstackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_subject() {
+        assert!(SoftstackError::NoSuchVm { vm: VmId(3) }.to_string().contains("vm3"));
+        let e = SoftstackError::InsufficientMemory {
+            brick: BrickId(1),
+            requested: ByteSize::from_gib(8),
+            available: ByteSize::from_gib(4),
+        };
+        assert!(e.to_string().contains("8.00 GiB"));
+        assert!(SoftstackError::DetachUnderflow { vm: VmId(1) }.to_string().contains("vm1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SoftstackError>();
+    }
+}

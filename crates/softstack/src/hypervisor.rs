@@ -1,0 +1,296 @@
+//! The virtualization layer: a Type-1 hypervisor with memory hotplug.
+//!
+//! Section IV-B: the QEMU hypervisor gains a memory-hotplug support scheme
+//! that adds new RAM DIMMs at runtime and makes them available to the guest
+//! OS, which then onlines them with the baremetal hotplug path. Scale-up
+//! support lets applications inside a VM request the expansion of available
+//! system memory.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use dredbox_bricks::BrickId;
+use dredbox_memory::HotplugModel;
+use dredbox_sim::time::SimDuration;
+use dredbox_sim::units::ByteSize;
+
+use crate::baremetal::BaremetalOs;
+use crate::error::SoftstackError;
+use crate::vm::{Vm, VmId, VmSpec};
+
+/// The hypervisor instance running on one dCOMPUBRICK.
+///
+/// ```
+/// use dredbox_softstack::prelude::*;
+/// use dredbox_bricks::BrickId;
+/// use dredbox_memory::HotplugModel;
+/// use dredbox_sim::units::ByteSize;
+///
+/// let os = BaremetalOs::new(BrickId(0), ByteSize::from_gib(4), HotplugModel::dredbox_default());
+/// let mut hv = Hypervisor::new(os, 4);
+/// let (vm, boot) = hv.create_vm(VmSpec::new(2, ByteSize::from_gib(2)))?;
+/// assert!(boot.as_secs_f64() > 0.0);
+/// assert!(hv.vm(vm).unwrap().is_running());
+/// # Ok::<(), dredbox_softstack::SoftstackError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hypervisor {
+    os: BaremetalOs,
+    total_cores: u32,
+    allocated_cores: u32,
+    vms: BTreeMap<VmId, Vm>,
+    next_vm: u64,
+    /// Fixed QEMU `device_add pc-dimm` + ACPI/DT notification cost per DIMM.
+    dimm_attach_overhead: SimDuration,
+    /// Local boot time of a minimal guest image on the brick.
+    guest_boot_time: SimDuration,
+}
+
+impl Hypervisor {
+    /// Creates a hypervisor over the given baremetal OS and core count.
+    pub fn new(os: BaremetalOs, total_cores: u32) -> Self {
+        Hypervisor {
+            os,
+            total_cores,
+            allocated_cores: 0,
+            vms: BTreeMap::new(),
+            next_vm: 0,
+            dimm_attach_overhead: SimDuration::from_millis(60),
+            guest_boot_time: SimDuration::from_secs(8),
+        }
+    }
+
+    /// The brick this hypervisor runs on.
+    pub fn brick(&self) -> BrickId {
+        self.os.brick()
+    }
+
+    /// The underlying baremetal OS.
+    pub fn os(&self) -> &BaremetalOs {
+        &self.os
+    }
+
+    /// Mutable access to the baremetal OS (used by the SDM agent when it
+    /// attaches remote memory below the hypervisor).
+    pub fn os_mut(&mut self) -> &mut BaremetalOs {
+        &mut self.os
+    }
+
+    /// Total schedulable cores.
+    pub fn total_cores(&self) -> u32 {
+        self.total_cores
+    }
+
+    /// Cores not yet given to VMs.
+    pub fn free_cores(&self) -> u32 {
+        self.total_cores - self.allocated_cores
+    }
+
+    /// Memory visible to the hypervisor but not yet given to any VM.
+    pub fn free_memory(&self) -> ByteSize {
+        let committed: ByteSize = self.vms.values().map(|vm| vm.current_memory()).sum();
+        self.os.total_memory().saturating_sub(committed)
+    }
+
+    /// Number of VMs (in any state except terminated).
+    pub fn vm_count(&self) -> usize {
+        self.vms.values().filter(|vm| !matches!(vm.state(), crate::vm::VmState::Terminated)).count()
+    }
+
+    /// Looks up a VM.
+    pub fn vm(&self, id: VmId) -> Option<&Vm> {
+        self.vms.get(&id)
+    }
+
+    /// Iterates over all VMs.
+    pub fn vms(&self) -> impl Iterator<Item = &Vm> {
+        self.vms.values()
+    }
+
+    /// The guest boot time used by [`Hypervisor::create_vm`].
+    pub fn guest_boot_time(&self) -> SimDuration {
+        self.guest_boot_time
+    }
+
+    /// Creates and boots a VM, returning its id and the provisioning time.
+    ///
+    /// # Errors
+    ///
+    /// * [`SoftstackError::InsufficientCores`] if the brick lacks vCPUs.
+    /// * [`SoftstackError::InsufficientMemory`] if the brick lacks memory
+    ///   (local plus currently attached remote).
+    pub fn create_vm(&mut self, spec: VmSpec) -> Result<(VmId, SimDuration), SoftstackError> {
+        if spec.vcpus > self.free_cores() {
+            return Err(SoftstackError::InsufficientCores {
+                brick: self.brick(),
+                requested: spec.vcpus,
+                available: self.free_cores(),
+            });
+        }
+        if spec.memory > self.free_memory() {
+            return Err(SoftstackError::InsufficientMemory {
+                brick: self.brick(),
+                requested: spec.memory,
+                available: self.free_memory(),
+            });
+        }
+        let id = VmId(self.next_vm);
+        self.next_vm += 1;
+        let mut vm = Vm::new(id, spec);
+        vm.mark_running();
+        self.vms.insert(id, vm);
+        self.allocated_cores += spec.vcpus;
+        Ok((id, self.guest_boot_time))
+    }
+
+    /// Hot-adds a RAM DIMM of `amount` to a running VM, returning the time
+    /// it takes (QEMU device_add plus the guest kernel onlining the blocks).
+    ///
+    /// The memory must already be visible to the hypervisor — i.e. the
+    /// baremetal OS must have onlined the corresponding remote attachment
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// * [`SoftstackError::NoSuchVm`] / [`SoftstackError::VmNotRunning`].
+    /// * [`SoftstackError::InsufficientMemory`] if the hypervisor has not
+    ///   been given that much spare memory.
+    pub fn hot_add_dimm(&mut self, vm: VmId, amount: ByteSize) -> Result<SimDuration, SoftstackError> {
+        if amount > self.free_memory() {
+            return Err(SoftstackError::InsufficientMemory {
+                brick: self.brick(),
+                requested: amount,
+                available: self.free_memory(),
+            });
+        }
+        let guest_hotplug: HotplugModel = *self.os.hotplug_model();
+        let vm_ref = self.vms.get_mut(&vm).ok_or(SoftstackError::NoSuchVm { vm })?;
+        if !vm_ref.is_running() {
+            return Err(SoftstackError::VmNotRunning { vm });
+        }
+        vm_ref.grow_memory(amount);
+        // QEMU device_add + guest kernel onlining of the new blocks.
+        Ok(self.dimm_attach_overhead + guest_hotplug.online_time(amount))
+    }
+
+    /// Hot-removes `amount` of memory from a running VM (balloon-assisted),
+    /// returning the time it takes.
+    ///
+    /// # Errors
+    ///
+    /// * [`SoftstackError::NoSuchVm`] / [`SoftstackError::VmNotRunning`].
+    /// * [`SoftstackError::DetachUnderflow`] if the VM does not hold that
+    ///   much hot-added memory.
+    pub fn hot_remove(&mut self, vm: VmId, amount: ByteSize) -> Result<SimDuration, SoftstackError> {
+        let guest_hotplug: HotplugModel = *self.os.hotplug_model();
+        let vm_ref = self.vms.get_mut(&vm).ok_or(SoftstackError::NoSuchVm { vm })?;
+        if !vm_ref.is_running() {
+            return Err(SoftstackError::VmNotRunning { vm });
+        }
+        if amount > vm_ref.current_memory() {
+            return Err(SoftstackError::DetachUnderflow { vm });
+        }
+        vm_ref.shrink_memory(amount);
+        Ok(self.dimm_attach_overhead + guest_hotplug.offline_time(amount))
+    }
+
+    /// Terminates a VM, releasing its cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftstackError::NoSuchVm`] for unknown VMs.
+    pub fn destroy_vm(&mut self, vm: VmId) -> Result<(), SoftstackError> {
+        let vm_ref = self.vms.get_mut(&vm).ok_or(SoftstackError::NoSuchVm { vm })?;
+        if vm_ref.is_running() {
+            self.allocated_cores -= vm_ref.spec().vcpus;
+        }
+        vm_ref.mark_terminated();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dredbox_memory::HotplugModel;
+
+    fn hypervisor() -> Hypervisor {
+        let os = BaremetalOs::new(BrickId(0), ByteSize::from_gib(4), HotplugModel::dredbox_default());
+        Hypervisor::new(os, 4)
+    }
+
+    #[test]
+    fn create_and_destroy_vms() {
+        let mut hv = hypervisor();
+        assert_eq!(hv.brick(), BrickId(0));
+        assert_eq!(hv.free_cores(), 4);
+        let (vm, boot) = hv.create_vm(VmSpec::new(2, ByteSize::from_gib(2))).unwrap();
+        assert_eq!(boot, hv.guest_boot_time());
+        assert_eq!(hv.vm_count(), 1);
+        assert_eq!(hv.free_cores(), 2);
+        assert_eq!(hv.free_memory(), ByteSize::from_gib(2));
+        assert_eq!(hv.vms().count(), 1);
+
+        // Too many cores.
+        assert!(matches!(
+            hv.create_vm(VmSpec::new(8, ByteSize::from_gib(1))),
+            Err(SoftstackError::InsufficientCores { .. })
+        ));
+        // Too much memory.
+        assert!(matches!(
+            hv.create_vm(VmSpec::new(1, ByteSize::from_gib(8))),
+            Err(SoftstackError::InsufficientMemory { .. })
+        ));
+
+        hv.destroy_vm(vm).unwrap();
+        assert_eq!(hv.vm_count(), 0);
+        assert_eq!(hv.free_cores(), 4);
+        assert!(matches!(hv.destroy_vm(VmId(99)), Err(SoftstackError::NoSuchVm { .. })));
+    }
+
+    #[test]
+    fn scale_up_requires_attached_remote_memory() {
+        let mut hv = hypervisor();
+        let (vm, _) = hv.create_vm(VmSpec::new(1, ByteSize::from_gib(3))).unwrap();
+        // Only 1 GiB of local headroom left; an 8 GiB DIMM needs remote attach first.
+        assert!(matches!(
+            hv.hot_add_dimm(vm, ByteSize::from_gib(8)),
+            Err(SoftstackError::InsufficientMemory { .. })
+        ));
+        // Baremetal OS onlines 16 GiB of remote memory (the SDM agent's job).
+        hv.os_mut().online_remote(ByteSize::from_gib(16));
+        let t = hv.hot_add_dimm(vm, ByteSize::from_gib(8)).unwrap();
+        assert!(t.as_millis_f64() > 100.0 && t.as_secs_f64() < 2.0, "dimm add took {t}");
+        assert_eq!(hv.vm(vm).unwrap().current_memory(), ByteSize::from_gib(11));
+        assert_eq!(hv.vm(vm).unwrap().scale_up_count(), 1);
+    }
+
+    #[test]
+    fn hot_remove_and_errors() {
+        let mut hv = hypervisor();
+        let (vm, _) = hv.create_vm(VmSpec::new(1, ByteSize::from_gib(2))).unwrap();
+        hv.os_mut().online_remote(ByteSize::from_gib(8));
+        hv.hot_add_dimm(vm, ByteSize::from_gib(4)).unwrap();
+        let t = hv.hot_remove(vm, ByteSize::from_gib(2)).unwrap();
+        assert!(t.as_millis_f64() > 0.0);
+        assert_eq!(hv.vm(vm).unwrap().current_memory(), ByteSize::from_gib(4));
+        assert!(matches!(
+            hv.hot_remove(vm, ByteSize::from_gib(100)),
+            Err(SoftstackError::DetachUnderflow { .. })
+        ));
+        assert!(matches!(
+            hv.hot_add_dimm(VmId(50), ByteSize::from_gib(1)),
+            Err(SoftstackError::NoSuchVm { .. })
+        ));
+        hv.destroy_vm(vm).unwrap();
+        assert!(matches!(
+            hv.hot_add_dimm(vm, ByteSize::from_gib(1)),
+            Err(SoftstackError::VmNotRunning { .. })
+        ));
+        assert!(matches!(
+            hv.hot_remove(vm, ByteSize::from_gib(1)),
+            Err(SoftstackError::VmNotRunning { .. })
+        ));
+    }
+}

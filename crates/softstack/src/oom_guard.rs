@@ -1,0 +1,280 @@
+//! Automatic out-of-memory protection.
+//!
+//! Section IV-B closes with: "In the future, the guest memory hotplug
+//! support will be enhanced to automatically protect the guest from running
+//! out-of-memory." This module implements that extension: a per-VM watchdog
+//! that watches guest memory pressure and decides when (and by how much) to
+//! trigger a scale-up through the Scale-up API, and when to give memory back
+//! once pressure subsides.
+
+use serde::{Deserialize, Serialize};
+
+use dredbox_sim::units::ByteSize;
+
+/// What the guard asks the Scale-up controller to do after observing one
+/// memory-pressure sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GuardAction {
+    /// No action required: pressure is within the configured band.
+    None,
+    /// Request this much additional memory before the guest hits OOM.
+    ScaleUp(ByteSize),
+    /// Release this much memory: the guest has been comfortably below the
+    /// low-water mark for long enough.
+    ScaleDown(ByteSize),
+}
+
+/// Configuration of the OOM guard.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OomGuardPolicy {
+    /// Utilization (used / available) above which a scale-up is requested.
+    pub high_watermark: f64,
+    /// Utilization below which a scale-down becomes a candidate.
+    pub low_watermark: f64,
+    /// Granularity of every grow request (matches the hotplug block size so
+    /// each request onlines whole memory blocks).
+    pub grow_step: ByteSize,
+    /// Number of consecutive low-pressure observations required before any
+    /// memory is handed back (hysteresis against oscillation).
+    pub shrink_after_samples: u32,
+    /// Memory the guest must always keep even when idle.
+    pub floor: ByteSize,
+}
+
+impl OomGuardPolicy {
+    /// Defaults: grow at 85% utilization in 2-GiB steps, shrink after four
+    /// consecutive samples below 40%, never below 2 GiB.
+    pub fn dredbox_default() -> Self {
+        OomGuardPolicy {
+            high_watermark: 0.85,
+            low_watermark: 0.40,
+            grow_step: ByteSize::from_gib(2),
+            shrink_after_samples: 4,
+            floor: ByteSize::from_gib(2),
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the watermarks are not ordered within `(0, 1)` or the grow
+    /// step is zero.
+    pub fn validate(&self) {
+        assert!(
+            0.0 < self.low_watermark && self.low_watermark < self.high_watermark && self.high_watermark < 1.0,
+            "watermarks must satisfy 0 < low < high < 1"
+        );
+        assert!(!self.grow_step.is_zero(), "grow step must be non-zero");
+    }
+}
+
+impl Default for OomGuardPolicy {
+    fn default() -> Self {
+        OomGuardPolicy::dredbox_default()
+    }
+}
+
+/// The per-VM out-of-memory guard.
+///
+/// ```
+/// use dredbox_softstack::oom_guard::{GuardAction, OomGuard, OomGuardPolicy};
+/// use dredbox_sim::units::ByteSize;
+///
+/// let mut guard = OomGuard::new(OomGuardPolicy::dredbox_default());
+/// // 7.5 GiB used out of 8 GiB: the guard asks for more memory.
+/// let action = guard.observe(ByteSize::from_mib(7_680), ByteSize::from_gib(8));
+/// assert!(matches!(action, GuardAction::ScaleUp(_)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OomGuard {
+    policy: OomGuardPolicy,
+    consecutive_low: u32,
+    scale_ups_triggered: u64,
+    scale_downs_triggered: u64,
+}
+
+impl OomGuard {
+    /// Creates a guard with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid (see [`OomGuardPolicy::validate`]).
+    pub fn new(policy: OomGuardPolicy) -> Self {
+        policy.validate();
+        OomGuard {
+            policy,
+            consecutive_low: 0,
+            scale_ups_triggered: 0,
+            scale_downs_triggered: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &OomGuardPolicy {
+        &self.policy
+    }
+
+    /// Number of scale-ups this guard has requested so far.
+    pub fn scale_ups_triggered(&self) -> u64 {
+        self.scale_ups_triggered
+    }
+
+    /// Number of scale-downs this guard has requested so far.
+    pub fn scale_downs_triggered(&self) -> u64 {
+        self.scale_downs_triggered
+    }
+
+    /// Feeds one memory-pressure observation (`used` out of `available`
+    /// guest memory) and returns the action to take.
+    pub fn observe(&mut self, used: ByteSize, available: ByteSize) -> GuardAction {
+        if available.is_zero() {
+            // A guest with no memory at all is in immediate danger.
+            self.scale_ups_triggered += 1;
+            return GuardAction::ScaleUp(self.policy.grow_step);
+        }
+        let utilization = used.as_bytes() as f64 / available.as_bytes() as f64;
+        if utilization >= self.policy.high_watermark {
+            self.consecutive_low = 0;
+            self.scale_ups_triggered += 1;
+            // Grow enough (in whole steps) to bring utilization back under
+            // the high-water mark with one step of headroom.
+            let target = (used.as_bytes() as f64 / self.policy.high_watermark).ceil() as u64;
+            let deficit = ByteSize::from_bytes(target.saturating_sub(available.as_bytes()));
+            let steps = deficit.div_ceil_by(self.policy.grow_step).max(1);
+            return GuardAction::ScaleUp(self.policy.grow_step.saturating_mul(steps));
+        }
+        if utilization < self.policy.low_watermark {
+            self.consecutive_low += 1;
+            if self.consecutive_low >= self.policy.shrink_after_samples {
+                self.consecutive_low = 0;
+                // Shrink towards the low-water band without dropping below
+                // the floor, one step at a time.
+                let spare = available.saturating_sub(self.policy.floor.max(used.saturating_mul(2)));
+                let release = spare.min(self.policy.grow_step);
+                if !release.is_zero() {
+                    self.scale_downs_triggered += 1;
+                    return GuardAction::ScaleDown(release);
+                }
+            }
+        } else {
+            self.consecutive_low = 0;
+        }
+        GuardAction::None
+    }
+}
+
+impl Default for OomGuard {
+    fn default() -> Self {
+        OomGuard::new(OomGuardPolicy::dredbox_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn high_pressure_triggers_scale_up_with_enough_headroom() {
+        let mut guard = OomGuard::default();
+        let action = guard.observe(ByteSize::from_mib(7_800), ByteSize::from_gib(8));
+        let GuardAction::ScaleUp(amount) = action else {
+            panic!("expected a scale-up, got {action:?}");
+        };
+        assert!(amount >= guard.policy().grow_step);
+        assert_eq!(amount.as_bytes() % guard.policy().grow_step.as_bytes(), 0);
+        assert_eq!(guard.scale_ups_triggered(), 1);
+        // After the grant, utilization drops below the high-water mark.
+        let new_available = ByteSize::from_gib(8) + amount;
+        let utilization = 7_800.0 * 1024.0 * 1024.0 / new_available.as_bytes() as f64;
+        assert!(utilization < guard.policy().high_watermark);
+    }
+
+    #[test]
+    fn moderate_pressure_does_nothing() {
+        let mut guard = OomGuard::default();
+        for _ in 0..10 {
+            assert_eq!(
+                guard.observe(ByteSize::from_gib(5), ByteSize::from_gib(8)),
+                GuardAction::None
+            );
+        }
+        assert_eq!(guard.scale_ups_triggered(), 0);
+        assert_eq!(guard.scale_downs_triggered(), 0);
+    }
+
+    #[test]
+    fn sustained_low_pressure_shrinks_with_hysteresis() {
+        let mut guard = OomGuard::default();
+        // Three low samples: still nothing (hysteresis).
+        for _ in 0..3 {
+            assert_eq!(
+                guard.observe(ByteSize::from_gib(2), ByteSize::from_gib(16)),
+                GuardAction::None
+            );
+        }
+        // The fourth consecutive low sample releases one step.
+        let action = guard.observe(ByteSize::from_gib(2), ByteSize::from_gib(16));
+        assert!(matches!(action, GuardAction::ScaleDown(amount) if amount == ByteSize::from_gib(2)));
+        assert_eq!(guard.scale_downs_triggered(), 1);
+        // A pressure blip resets the counter.
+        assert_eq!(
+            guard.observe(ByteSize::from_gib(10), ByteSize::from_gib(16)),
+            GuardAction::None
+        );
+        for _ in 0..3 {
+            assert_eq!(
+                guard.observe(ByteSize::from_gib(2), ByteSize::from_gib(16)),
+                GuardAction::None
+            );
+        }
+    }
+
+    #[test]
+    fn never_shrinks_below_the_floor() {
+        let mut guard = OomGuard::default();
+        for _ in 0..16 {
+            let action = guard.observe(ByteSize::from_mib(100), ByteSize::from_gib(2));
+            assert_eq!(action, GuardAction::None, "a guest at the floor must not shrink");
+        }
+    }
+
+    #[test]
+    fn zero_available_memory_is_an_emergency() {
+        let mut guard = OomGuard::default();
+        assert!(matches!(
+            guard.observe(ByteSize::ZERO, ByteSize::ZERO),
+            GuardAction::ScaleUp(_)
+        ));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_watermarks_rejected() {
+        let _ = OomGuard::new(OomGuardPolicy {
+            high_watermark: 0.3,
+            low_watermark: 0.6,
+            ..OomGuardPolicy::dredbox_default()
+        });
+    }
+
+    proptest! {
+        #[test]
+        fn scale_up_amounts_are_whole_steps(used_gib in 1u64..64, avail_gib in 1u64..64) {
+            let mut guard = OomGuard::default();
+            if let GuardAction::ScaleUp(amount) =
+                guard.observe(ByteSize::from_gib(used_gib), ByteSize::from_gib(avail_gib))
+            {
+                prop_assert!(amount.as_bytes() % guard.policy().grow_step.as_bytes() == 0);
+                prop_assert!(!amount.is_zero());
+            }
+        }
+
+        #[test]
+        fn guard_never_panics_on_any_observation(used in 0u64..1_000_000, avail in 0u64..1_000_000) {
+            let mut guard = OomGuard::default();
+            let _ = guard.observe(ByteSize::from_mib(used), ByteSize::from_mib(avail));
+        }
+    }
+}

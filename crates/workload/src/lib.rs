@@ -1,0 +1,42 @@
+//! Workload generators for the dReDBox evaluation.
+//!
+//! * [`demand`] — the (vCPUs, RAM) demand of a single VM.
+//! * [`table1`] — the six VM workload mixes of Table I of the paper, used by
+//!   the TCO study (Figures 12 and 13).
+//! * [`traces`] — arrival processes (Poisson bursts, diurnal patterns).
+//! * [`pilots`] — models of the three pilot applications of Section V:
+//!   video-surveillance analytics, NFV edge computing with a key server,
+//!   and 100 GbE network analytics.
+//!
+//! # Example
+//!
+//! ```
+//! use dredbox_workload::prelude::*;
+//! use dredbox_sim::rng::SimRng;
+//!
+//! let mut rng = SimRng::seed(1);
+//! let vms = WorkloadConfig::HighRam.generate(64, &mut rng);
+//! assert_eq!(vms.len(), 64);
+//! assert!(vms.iter().all(|vm| vm.memory.as_gib() >= 24));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod demand;
+pub mod pilots;
+pub mod table1;
+pub mod traces;
+
+pub use demand::VmDemand;
+pub use pilots::{NetworkAnalyticsWorkload, NfvKeyServerWorkload, VideoAnalyticsWorkload};
+pub use table1::WorkloadConfig;
+pub use traces::{ArrivalTrace, DiurnalPattern};
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::demand::VmDemand;
+    pub use crate::pilots::{NetworkAnalyticsWorkload, NfvKeyServerWorkload, VideoAnalyticsWorkload};
+    pub use crate::table1::WorkloadConfig;
+    pub use crate::traces::{ArrivalTrace, DiurnalPattern};
+}

@@ -1,0 +1,149 @@
+//! Arrival processes and load patterns.
+
+use serde::{Deserialize, Serialize};
+
+use dredbox_sim::rng::SimRng;
+use dredbox_sim::time::{SimDuration, SimTime};
+
+/// A Poisson arrival trace: requests arriving with exponentially distributed
+/// inter-arrival times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalTrace {
+    /// Mean inter-arrival time.
+    pub mean_interarrival: SimDuration,
+}
+
+impl ArrivalTrace {
+    /// Creates a trace with the given mean inter-arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mean is zero.
+    pub fn new(mean_interarrival: SimDuration) -> Self {
+        assert!(mean_interarrival.as_nanos() > 0, "mean inter-arrival must be positive");
+        ArrivalTrace { mean_interarrival }
+    }
+
+    /// Generates `count` arrival instants starting from time zero.
+    pub fn generate(&self, count: usize, rng: &mut SimRng) -> Vec<SimTime> {
+        let mut now = SimTime::ZERO;
+        (0..count)
+            .map(|_| {
+                let gap = rng.exponential(self.mean_interarrival.as_secs_f64());
+                now += SimDuration::from_secs_f64(gap);
+                now
+            })
+            .collect()
+    }
+}
+
+/// A 24-hour diurnal load pattern, as exhibited by the NFV pilot ("very low
+/// load at night and peaks during day hours").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalPattern {
+    /// Load level at the nightly trough, in `[0, 1]`.
+    pub trough: f64,
+    /// Load level at the daily peak, in `[0, 1]`.
+    pub peak: f64,
+    /// Hour of day (0–23) at which the peak occurs.
+    pub peak_hour: f64,
+}
+
+impl DiurnalPattern {
+    /// A typical edge-computing pattern: 10% load at night, 100% at 15:00.
+    pub fn nfv_default() -> Self {
+        DiurnalPattern {
+            trough: 0.1,
+            peak: 1.0,
+            peak_hour: 15.0,
+        }
+    }
+
+    /// Creates a pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= trough <= peak <= 1` and `peak_hour` is within
+    /// `[0, 24)`.
+    pub fn new(trough: f64, peak: f64, peak_hour: f64) -> Self {
+        assert!((0.0..=1.0).contains(&trough) && (0.0..=1.0).contains(&peak) && trough <= peak);
+        assert!((0.0..24.0).contains(&peak_hour));
+        DiurnalPattern { trough, peak, peak_hour }
+    }
+
+    /// Relative load level in `[trough, peak]` at `hour` (fractional hours
+    /// are fine; values wrap modulo 24).
+    pub fn load_at_hour(&self, hour: f64) -> f64 {
+        let hour = hour.rem_euclid(24.0);
+        let phase = (hour - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        let normalized = (phase.cos() + 1.0) / 2.0; // 1 at the peak hour, 0 twelve hours away
+        self.trough + (self.peak - self.trough) * normalized
+    }
+
+    /// Load level at an absolute simulation time (time zero = midnight).
+    pub fn load_at(&self, time: SimTime) -> f64 {
+        self.load_at_hour(time.as_secs_f64() / 3_600.0)
+    }
+}
+
+impl Default for DiurnalPattern {
+    fn default() -> Self {
+        DiurnalPattern::nfv_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn arrivals_are_monotone_and_plausible() {
+        let trace = ArrivalTrace::new(SimDuration::from_secs(10));
+        let mut rng = SimRng::seed(5);
+        let arrivals = trace.generate(500, &mut rng);
+        assert_eq!(arrivals.len(), 500);
+        for pair in arrivals.windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+        // Mean inter-arrival should be near 10 s.
+        let total = arrivals.last().unwrap().as_secs_f64();
+        let mean = total / 500.0;
+        assert!((mean - 10.0).abs() < 1.5, "observed mean {mean}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_interarrival_rejected() {
+        let _ = ArrivalTrace::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn diurnal_pattern_peaks_at_peak_hour() {
+        let p = DiurnalPattern::nfv_default();
+        let at_peak = p.load_at_hour(15.0);
+        let at_night = p.load_at_hour(3.0);
+        assert!((at_peak - 1.0).abs() < 1e-9);
+        assert!((at_night - 0.1).abs() < 1e-9);
+        assert!(p.load_at_hour(12.0) > p.load_at_hour(4.0));
+        // Wrapping.
+        assert!((p.load_at_hour(27.0) - p.load_at_hour(3.0)).abs() < 1e-9);
+        // Absolute time: 15 hours after midnight.
+        assert!((p.load_at(dredbox_sim::time::SimTime::from_secs(15 * 3600)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_pattern_rejected() {
+        let _ = DiurnalPattern::new(0.8, 0.2, 12.0);
+    }
+
+    proptest! {
+        #[test]
+        fn load_is_always_within_bounds(hour in -50.0f64..50.0) {
+            let p = DiurnalPattern::nfv_default();
+            let load = p.load_at_hour(hour);
+            prop_assert!(load >= p.trough - 1e-9 && load <= p.peak + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Pilot application 2: NFV edge computing with a collaborative-cryptography
+//! key server.
+//!
+//! The key server stores private keys, so replicating it (scale-out) is a
+//! security non-starter; yet its memory demand follows the daily traffic
+//! pattern of the edge. With dReDBox the key-server VM scales its memory up
+//! during the day and releases it at night, in well under a second each time.
+//!
+//! Run with: `cargo run --example nfv_keyserver`
+
+use dredbox::prelude::*;
+use dredbox::sim::units::ByteSize;
+use dredbox::workload::NfvKeyServerWorkload;
+
+fn main() -> Result<(), SystemError> {
+    let mut system = DredboxSystem::build(SystemConfig::datacenter_rack(2, 4, 4))?;
+    let workload = NfvKeyServerWorkload::dredbox_default();
+    assert!(workload.requires_scale_up(), "key material must never be replicated");
+
+    // The key server starts at its nightly baseline.
+    let base = workload.memory_at_hour(3.0);
+    let vm = system.allocate_vm(8, base)?;
+    println!("key server boots with {base} at 03:00");
+
+    // Walk through a day in 3-hour steps, resizing to follow the traffic.
+    let mut current = base;
+    let mut worst_delay_s = 0.0f64;
+    for hour in (6..=24).step_by(3) {
+        let wanted = workload.memory_at_hour(hour as f64);
+        if wanted > current {
+            let delta = wanted - current;
+            let report = system.scale_up(vm, delta)?;
+            worst_delay_s = worst_delay_s.max(report.total_delay.as_secs_f64());
+            println!(
+                "{hour:02}:00  traffic rising: +{delta} in {} (now {})",
+                report.total_delay,
+                system.vm_memory(vm).expect("vm exists"),
+            );
+            current = wanted;
+        } else if wanted < current {
+            let delta = current - wanted;
+            // Scale down in the same granularity the scale-ups used.
+            match system.scale_down(vm, delta) {
+                Ok(report) => {
+                    println!(
+                        "{hour:02}:00  traffic falling: -{delta} in {} (now {})",
+                        report.total_delay,
+                        system.vm_memory(vm).expect("vm exists"),
+                    );
+                    current = wanted;
+                }
+                Err(_) => {
+                    // The exact grant size is not always released in one
+                    // piece; keep the memory until the nightly consolidation.
+                    println!("{hour:02}:00  traffic falling: deferring release to the nightly window");
+                }
+            }
+        } else {
+            println!("{hour:02}:00  steady at {current}");
+        }
+    }
+
+    println!(
+        "\nworst scale-up delay over the day: {worst_delay_s:.2} s — versus ~95 s to boot an extra VM, \
+         which would also have copied the private keys"
+    );
+    let _ = ByteSize::from_gib(0);
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build a dReDBox rack, allocate a VM, scale it up, and look at
+//! the remote-memory latency and the power-off opportunity.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dredbox::prelude::*;
+use dredbox::bricks::BrickKind;
+use dredbox::sim::units::ByteSize;
+
+fn main() -> Result<(), SystemError> {
+    // A small rack matching the vertical prototype: 2 trays, each with two
+    // dCOMPUBRICKs, two dMEMBRICKs and one dACCELBRICK.
+    let mut system = DredboxSystem::build(SystemConfig::prototype_rack())?;
+    println!(
+        "built a rack with {} compute bricks, {} memory bricks ({} of pooled memory)",
+        system.rack().brick_count(BrickKind::Compute),
+        system.rack().brick_count(BrickKind::Memory),
+        system.rack().total_memory_pool(),
+    );
+
+    // Allocate a VM: 2 vCPUs, 4 GiB of disaggregated memory.
+    let vm = system.allocate_vm(2, ByteSize::from_gib(4))?;
+    println!(
+        "allocated {vm} on {} with {}",
+        system.vm_brick(vm).expect("vm placed"),
+        system.vm_memory(vm).expect("vm has memory"),
+    );
+
+    // Scale it up by 8 GiB through the Scale-up API.
+    let report = system.scale_up(vm, ByteSize::from_gib(8))?;
+    println!(
+        "scale-up of {}: orchestration {} + brick-local hotplug {} = {} end to end",
+        report.amount, report.orchestration_delay, report.brick_delay, report.total_delay
+    );
+    println!("the VM now sees {}", system.vm_memory(vm).expect("vm still there"));
+
+    // What would one remote read cost on the configured data path?
+    let breakdown = system.remote_read_latency(ByteSize::from_bytes(64));
+    println!("\n64-byte remote read breakdown:\n{breakdown}");
+
+    // Power off everything that is idle — the TCO argument in one call.
+    let before = system.rack_power();
+    let sweep = system.power_off_unused();
+    println!(
+        "powered off {} unused bricks ({} compute, {} memory, {} accelerator): rack power {} -> {}",
+        sweep.total_off(),
+        sweep.compute_off,
+        sweep.memory_off,
+        sweep.accelerator_off,
+        before,
+        system.rack_power(),
+    );
+
+    Ok(())
+}

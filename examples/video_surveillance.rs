@@ -1,0 +1,67 @@
+//! Pilot application 1: real-time video-surveillance analytics.
+//!
+//! Investigations arrive unpredictably; a serious case can require reviewing
+//! up to 100 000 hours of footage quickly, so compute and memory demand are
+//! event-driven and cannot be scheduled ahead of time. A disaggregated rack
+//! lets the investigation VM grow its memory (and lets operators power the
+//! rest of the rack down between cases).
+//!
+//! Run with: `cargo run --example video_surveillance`
+
+use dredbox::prelude::*;
+use dredbox::sim::rng::SimRng;
+use dredbox::sim::time::SimDuration;
+use dredbox::sim::units::ByteSize;
+use dredbox::workload::VideoAnalyticsWorkload;
+
+fn main() -> Result<(), SystemError> {
+    // A datacenter-style rack with 32-core compute bricks and 32-GiB memory
+    // bricks (4 trays x 4 compute + 4 memory).
+    let mut system = DredboxSystem::build(SystemConfig::datacenter_rack(4, 4, 4))?;
+    let workload = VideoAnalyticsWorkload::dredbox_default();
+    let mut rng = SimRng::seed(2024);
+
+    // Three investigations arrive, of very different sizes.
+    let deadline = SimDuration::from_secs(8 * 3600); // results wanted within a shift
+    for case in 0..3 {
+        let hours = workload.sample_case_hours(&mut rng);
+        let memory_needed = workload.memory_demand(hours);
+        let cores_needed = workload.cores_for_deadline(hours, deadline).min(32);
+
+        // Start the investigation VM small, then scale it up as the indexing
+        // working set grows. Cap per-VM memory at what one scale-up pool can
+        // reasonably serve in this small rack.
+        let initial = ByteSize::from_gib(4);
+        let target = memory_needed.min(ByteSize::from_gib(96));
+        let vm = system.allocate_vm(cores_needed, initial)?;
+        println!(
+            "case {case}: {hours:.0} h of footage -> {cores_needed} cores, working set {memory_needed} (capped to {target})"
+        );
+
+        let mut attached = initial;
+        let mut total_delay = SimDuration::ZERO;
+        while attached < target {
+            let step = ByteSize::from_gib(8).min(target - attached);
+            let report = system.scale_up(vm, step)?;
+            attached += step;
+            total_delay += report.total_delay;
+        }
+        println!(
+            "  grew to {} in {} of cumulative scale-up delay ({} scale-ups)",
+            system.vm_memory(vm).expect("vm exists"),
+            total_delay,
+            attached.saturating_sub(initial).as_gib().div_ceil(8),
+        );
+
+        // The case closes: release everything so the bricks can power down.
+        system.release_vm(vm)?;
+    }
+
+    let sweep = system.power_off_unused();
+    println!(
+        "\nbetween cases the rack powers down {} of its {} bricks",
+        sweep.total_off(),
+        system.rack().bricks().count(),
+    );
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! End-to-end integration tests across the whole workspace: rack hardware,
+//! optical wiring, orchestration, software stack and power management, all
+//! driven through the public `dredbox` facade.
+
+use dredbox::bricks::BrickKind;
+use dredbox::prelude::*;
+use dredbox::sim::units::ByteSize;
+
+#[test]
+fn full_vm_lifecycle_on_the_prototype_rack() {
+    let mut system = DredboxSystem::build(SystemConfig::prototype_rack()).expect("build");
+
+    // The prototype rack: 4 compute bricks (4 cores each), 4 memory bricks
+    // (32 GiB each), 2 accelerator bricks.
+    assert_eq!(system.rack().brick_count(BrickKind::Compute), 4);
+    assert_eq!(system.rack().brick_count(BrickKind::Memory), 4);
+    assert_eq!(system.rack().total_memory_pool(), ByteSize::from_gib(128));
+
+    // Fill the rack with VMs, each taking memory from the pool.
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        handles.push(system.allocate_vm(2, ByteSize::from_gib(8)).expect("vm fits"));
+    }
+    assert_eq!(system.vm_count(), 4);
+    assert_eq!(system.sdm().pool().total_allocated(), ByteSize::from_gib(32));
+
+    // Scale each VM up and verify memory bookkeeping end to end: the VM, the
+    // compute brick's attachment counter and the pool all agree.
+    for &vm in &handles {
+        let report = system.scale_up(vm, ByteSize::from_gib(4)).expect("scale up");
+        assert!(report.total_delay.as_secs_f64() < 2.0);
+        assert_eq!(system.vm_memory(vm), Some(ByteSize::from_gib(12)));
+    }
+    assert_eq!(system.sdm().pool().total_allocated(), ByteSize::from_gib(48));
+    let attached_total: u64 = system
+        .rack()
+        .bricks()
+        .filter_map(|b| b.as_compute())
+        .map(|c| c.attached_remote_memory().as_gib())
+        .sum();
+    assert_eq!(attached_total, 48);
+    let exported_total: u64 = system
+        .rack()
+        .bricks()
+        .filter_map(|b| b.as_memory())
+        .map(|m| m.exported().as_gib())
+        .sum();
+    assert_eq!(exported_total, 48);
+
+    // Release everything; the pool must drain completely.
+    for vm in handles {
+        system.release_vm(vm).expect("release");
+    }
+    assert_eq!(system.vm_count(), 0);
+    assert_eq!(system.sdm().pool().total_allocated(), ByteSize::ZERO);
+    assert_eq!(
+        system
+            .rack()
+            .bricks()
+            .filter_map(|b| b.as_memory())
+            .map(|m| m.exported().as_gib())
+            .sum::<u64>(),
+        0
+    );
+
+    // With nothing running, every brick can be powered off.
+    let sweep = system.power_off_unused();
+    assert_eq!(sweep.total_off(), system.rack().bricks().count());
+    assert_eq!(system.rack_power().as_watts(), 0.0);
+}
+
+#[test]
+fn power_aware_placement_consolidates_and_powers_off() {
+    // A datacenter-style rack: 8 compute bricks of 32 cores, 8 memory bricks
+    // of 32 GiB.
+    let mut system = DredboxSystem::build(SystemConfig::datacenter_rack(2, 4, 4)).expect("build");
+    // Eight small VMs: power-aware placement should pack them onto few
+    // bricks.
+    for _ in 0..8 {
+        system.allocate_vm(4, ByteSize::from_gib(4)).expect("vm fits");
+    }
+    let sweep = system.power_off_unused();
+    assert!(
+        sweep.compute_off >= 6,
+        "power-aware placement should leave most compute bricks idle, powered off {}",
+        sweep.compute_off
+    );
+    assert!(
+        sweep.memory_off >= 6,
+        "power-aware memory allocation should leave most memory bricks idle, powered off {}",
+        sweep.memory_off
+    );
+}
+
+#[test]
+fn oversubscription_is_rejected_without_leaking_resources() {
+    let mut system = DredboxSystem::build(SystemConfig::prototype_rack()).expect("build");
+    let vm = system.allocate_vm(4, ByteSize::from_gib(100)).expect("fits in the 128 GiB pool");
+    // The pool now holds 100 GiB; another 100 GiB cannot fit.
+    let before_free = system.sdm().pool().total_free();
+    assert!(system.allocate_vm(4, ByteSize::from_gib(100)).is_err());
+    assert_eq!(system.sdm().pool().total_free(), before_free);
+    // Scale-up beyond the pool also fails cleanly.
+    assert!(system.scale_up(vm, ByteSize::from_gib(100)).is_err());
+    assert_eq!(system.sdm().pool().total_free(), before_free);
+    // And the VM is still healthy.
+    assert_eq!(system.vm_memory(vm), Some(ByteSize::from_gib(100)));
+}
+
+#[test]
+fn remote_reads_are_sub_microsecond_on_the_circuit_path() {
+    let system = DredboxSystem::build(SystemConfig::prototype_rack()).expect("build");
+    let breakdown = system.remote_read_latency(ByteSize::from_bytes(64));
+    assert!(breakdown.total().as_nanos() < 1_000, "circuit path read took {}", breakdown.total());
+}

@@ -1,0 +1,79 @@
+//! Integration tests of the experiment runners: every paper artifact must be
+//! reproducible from a single function call, deterministically per seed, and
+//! must exhibit the shape the paper reports.
+
+use dredbox::experiments;
+
+#[test]
+fn every_artifact_renders_non_empty() {
+    assert_eq!(experiments::table1().len(), 6);
+    assert!(!experiments::fig7(1).series.is_empty());
+    assert!(!experiments::fig8().series.is_empty());
+    assert!(!experiments::fig10(1).series.is_empty());
+    assert_eq!(experiments::fig11().len(), 2);
+    assert_eq!(experiments::fig12(1).series.len(), 4);
+    assert_eq!(experiments::fig13(1).series.len(), 2);
+    assert_eq!(experiments::tco_summary(1).len(), 6);
+    assert!(!experiments::ablation_path().series.is_empty());
+    assert!(!experiments::ablation_fec().series.is_empty());
+}
+
+#[test]
+fn experiments_are_deterministic_per_seed() {
+    assert_eq!(experiments::fig7(42), experiments::fig7(42));
+    assert_eq!(experiments::fig10(42), experiments::fig10(42));
+    assert_eq!(experiments::fig12(42), experiments::fig12(42));
+    assert_eq!(experiments::fig13(42), experiments::fig13(42));
+    // Different seeds give different measurements (the campaign is not a
+    // constant function).
+    assert_ne!(experiments::fig7(1), experiments::fig7(2));
+}
+
+#[test]
+fn printed_artifacts_contain_the_paper_vocabulary() {
+    let table1 = experiments::table1().to_string();
+    for name in ["Random", "High RAM", "High CPU", "Half Half", "More Ram", "More CPU"] {
+        assert!(table1.contains(name), "Table I must mention {name}");
+    }
+    let fig7 = experiments::fig7(7).to_string();
+    assert!(fig7.contains("ch-1") && fig7.contains("ch-8"));
+    let fig8 = experiments::fig8().to_string();
+    assert!(fig8.contains("MAC/PHY") && fig8.contains("optical propagation"));
+    let fig10 = experiments::fig10(7).to_string();
+    assert!(fig10.contains("scale-up") && fig10.contains("scale-out"));
+    let fig12 = experiments::fig12(7).to_string();
+    assert!(fig12.contains("dCOMPUBRICKs") && fig12.contains("dMEMBRICKs"));
+    let fig13 = experiments::fig13(7).to_string();
+    assert!(fig13.contains("normalized"));
+}
+
+#[test]
+fn headline_shapes_hold_across_seeds() {
+    for seed in [1u64, 7, 2018] {
+        // Figure 7: all measured channels below 1e-12.
+        let fig7 = experiments::fig7(seed);
+        for name in ["ch-1 (8 hops)", "ch-8 (6 hops)"] {
+            let series = fig7.series_named(name).expect("channel series");
+            assert!(series.y_max().expect("points") < 1e-12, "seed {seed}: {name} above 1e-12");
+        }
+        // Figure 10: scale-up beats scale-out by at least 10x at every
+        // concurrency level.
+        let fig10 = experiments::fig10(seed);
+        let up = fig10.series_named("dReDBox scale-up").expect("scale-up series");
+        let out = fig10.series_named("conventional scale-out").expect("scale-out series");
+        for (&(_, u), &(_, o)) in up.points.iter().zip(out.points.iter()) {
+            assert!(u * 10.0 < o, "seed {seed}: {u} vs {o}");
+        }
+        // Figures 12/13: large brick power-off fractions and real savings.
+        let fig12 = experiments::fig12(seed);
+        let best = fig12
+            .series_named("dReDBox dCOMPUBRICKs off")
+            .into_iter()
+            .chain(fig12.series_named("dReDBox dMEMBRICKs off"))
+            .filter_map(|s| s.y_max())
+            .fold(0.0f64, f64::max);
+        assert!(best > 70.0, "seed {seed}: best brick-type off fraction {best}%");
+        let fig13 = experiments::fig13(seed);
+        assert!(fig13.series_named("dReDBox").expect("series").y_min().expect("points") < 0.7);
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration tests of the optical memory interconnect (Section III /
+//! Figure 7): link budgets, BER, circuit establishment across a rack, and
+//! the interaction between circuits and the remote-memory latency model.
+
+use dredbox::bricks::{BrickKind, Catalog};
+use dredbox::interconnect::{LatencyComponent, LatencyConfig, RemoteMemoryPath};
+use dredbox::optical::{
+    BerMeasurementCampaign, LinkBudget, MidBoardOptics, OpticalCircuitSwitch, OpticalTopology, ReceiverModel,
+};
+use dredbox::sim::rng::SimRng;
+use dredbox::sim::units::{ByteSize, DecibelMilliwatts};
+
+#[test]
+fn figure7_operating_points_are_error_free_with_margin() {
+    let mbo = MidBoardOptics::dredbox_default();
+    let switch = OpticalCircuitSwitch::polatis_48();
+    let receiver = ReceiverModel::dredbox_default();
+    let campaign = BerMeasurementCampaign::dredbox_default().with_samples(400);
+    let mut rng = SimRng::seed(7);
+
+    // All eight channels, each looped through the switch for eight hops
+    // (except the last, which the paper says traversed six).
+    let mut worst_max_ber = 0.0f64;
+    for channel in mbo.channels() {
+        let hops = if channel.index() == 7 { 6 } else { 8 };
+        let link = LinkBudget::new(channel.launch_power())
+            .with_switch_hops(&switch, hops)
+            .with_connectors(2)
+            .with_fibre_metres(20.0);
+        let m = campaign.measure_channel(&format!("ch-{}", channel.index() + 1), &link, &mut rng);
+        assert!(
+            m.is_error_free(),
+            "channel {} (received {:.1} dBm) must stay below 1e-12, max {:e}",
+            channel.index() + 1,
+            m.received_power_dbm,
+            m.ber.max
+        );
+        worst_max_ber = worst_max_ber.max(m.ber.max);
+    }
+    assert!(worst_max_ber > 0.0);
+
+    // But the margin is finite: ~5 dB of extra loss pushes the link over the
+    // error-free threshold, so the model is not trivially passing.
+    let degraded = LinkBudget::new(DecibelMilliwatts::new(-3.7)).with_switch_hops(&switch, 13);
+    assert!(receiver.ber(degraded.received_power()) > 1e-12);
+}
+
+#[test]
+fn circuits_span_the_rack_and_exhaust_cleanly() {
+    let mut rack = Catalog::prototype().build_rack(2, 2, 2, 0);
+    let mut topo = OpticalTopology::cable_rack(&rack, OpticalCircuitSwitch::polatis_48());
+    let computes = rack.brick_ids(BrickKind::Compute);
+    let memories = rack.brick_ids(BrickKind::Memory);
+
+    // Connect every compute brick to every memory brick until switch ports
+    // run out; 4x4 = 16 circuits need 32 switch ports, which fit in 48 only
+    // if the cabling covered the needed brick ports (32 of 48 cabled per
+    // brick order). Count what succeeds and verify the bookkeeping.
+    let mut established = Vec::new();
+    for &c in &computes {
+        for &m in &memories {
+            if let Ok(id) = topo.connect_bricks(&mut rack, c, m) {
+                established.push(id);
+            }
+        }
+    }
+    assert!(!established.is_empty());
+    assert_eq!(topo.manager().circuit_count(), established.len());
+    // Every circuit consumes exactly two switch ports.
+    assert_eq!(topo.manager().switch().used_ports(), established.len() * 2);
+
+    // Tear everything down; ports and brick-side state must be released.
+    for id in established {
+        topo.disconnect(&mut rack, id).expect("teardown");
+    }
+    assert_eq!(topo.manager().switch().used_ports(), 0);
+    for brick in rack.bricks() {
+        if let Some(c) = brick.as_compute() {
+            assert_eq!(c.ports().free_count(), c.ports().len());
+        }
+    }
+}
+
+#[test]
+fn fec_free_requirement_shows_up_in_the_latency_model() {
+    // The paper requires a FEC-free interface because FEC would add >100 ns;
+    // check that enabling it indeed pushes the packet-path round trip up by
+    // several hundred nanoseconds.
+    let base = RemoteMemoryPath::packet_switched(LatencyConfig::dredbox_default());
+    let with_fec = RemoteMemoryPath::packet_switched(
+        LatencyConfig::dredbox_default().with_fec(dredbox::sim::time::SimDuration::from_nanos(150)),
+    );
+    let delta = with_fec.read(ByteSize::from_bytes(64)).total()
+        - base.read(ByteSize::from_bytes(64)).total();
+    assert!(delta.as_nanos() >= 400, "FEC should add >=400 ns per round trip, added {delta}");
+
+    // Propagation is a minor but visible slice of the breakdown.
+    let share = base
+        .read(ByteSize::from_bytes(64))
+        .share(LatencyComponent::OpticalPropagation);
+    assert!(share > 0.01 && share < 0.25);
+}
