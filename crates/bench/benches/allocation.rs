@@ -24,21 +24,28 @@ fn bench_pool(c: &mut Criterion) {
         AllocationPolicy::WorstFit,
         AllocationPolicy::PowerAware,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{policy:?}")), &policy, |b, &policy| {
-            b.iter_batched(
-                || pool_with(policy),
-                |mut pool| {
-                    let mut grants = Vec::with_capacity(64);
-                    for vm in 0..64u32 {
-                        grants.push(pool.allocate(BrickId(vm), black_box(ByteSize::from_gib(8))).expect("fits"));
-                    }
-                    for grant in &grants {
-                        pool.release_grant(grant).expect("release");
-                    }
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter_batched(
+                    || pool_with(policy),
+                    |mut pool| {
+                        let mut grants = Vec::with_capacity(64);
+                        for vm in 0..64u32 {
+                            grants.push(
+                                pool.allocate(BrickId(vm), black_box(ByteSize::from_gib(8)))
+                                    .expect("fits"),
+                            );
+                        }
+                        for grant in &grants {
+                            pool.release_grant(grant).expect("release");
+                        }
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
     }
     group.finish();
 }
@@ -50,10 +57,16 @@ fn bench_window(c: &mut Criterion) {
             |mut window| {
                 let mut carved = Vec::with_capacity(128);
                 for _ in 0..128 {
-                    carved.push(window.carve(black_box(ByteSize::from_gib(8))).expect("fits"));
+                    carved.push(
+                        window
+                            .carve(black_box(ByteSize::from_gib(8)))
+                            .expect("fits"),
+                    );
                 }
                 for addr in carved {
-                    window.release(addr, ByteSize::from_gib(8)).expect("release");
+                    window
+                        .release(addr, ByteSize::from_gib(8))
+                        .expect("release");
                 }
             },
             BatchSize::SmallInput,

@@ -24,13 +24,17 @@ fn bench_sdm_burst(c: &mut Criterion) {
         let demands: Vec<ScaleUpDemand> = (0..concurrency)
             .map(|i| ScaleUpDemand::new(BrickId(i as u32), ByteSize::from_gib(8)))
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(concurrency), &demands, |b, demands| {
-            b.iter_batched(
-                || controller_with(concurrency),
-                |mut sdm| sdm.scale_up_burst(black_box(demands)),
-                BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(concurrency),
+            &demands,
+            |b, demands| {
+                b.iter_batched(
+                    || controller_with(concurrency),
+                    |mut sdm| sdm.scale_up_burst(black_box(demands)),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
     }
     group.finish();
 }
@@ -44,7 +48,11 @@ fn bench_system_scale_up(c: &mut Criterion) {
                 let vm = system.allocate_vm(4, ByteSize::from_gib(4)).expect("vm");
                 (system, vm)
             },
-            |(mut system, vm)| system.scale_up(vm, black_box(ByteSize::from_gib(8))).expect("scale up"),
+            |(mut system, vm)| {
+                system
+                    .scale_up(vm, black_box(ByteSize::from_gib(8)))
+                    .expect("scale up")
+            },
             BatchSize::SmallInput,
         )
     });

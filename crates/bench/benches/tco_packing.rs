@@ -6,22 +6,30 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 use std::hint::black_box;
 
 use dredbox::sim::rng::SimRng;
-use dredbox::tco::{ConventionalDatacenter, DisaggregatedDatacenter, TcoStudy};
 use dredbox::sim::units::ByteSize;
+use dredbox::tco::{ConventionalDatacenter, DisaggregatedDatacenter, TcoStudy};
 use dredbox::workload::WorkloadConfig;
 
 fn bench_packing(c: &mut Criterion) {
     let conventional = ConventionalDatacenter::new(64, 32, ByteSize::from_gib(32));
     let disaggregated = DisaggregatedDatacenter::new(64, 32, 64, ByteSize::from_gib(32));
     let mut group = c.benchmark_group("tco/pack_64_vms");
-    for config in [WorkloadConfig::Random, WorkloadConfig::HighRam, WorkloadConfig::HighCpu] {
+    for config in [
+        WorkloadConfig::Random,
+        WorkloadConfig::HighRam,
+        WorkloadConfig::HighCpu,
+    ] {
         let workload = config.generate(64, &mut SimRng::seed(2018));
-        group.bench_with_input(BenchmarkId::new("conventional", config.name()), &workload, |b, w| {
-            b.iter(|| conventional.pack_fcfs(black_box(w)))
-        });
-        group.bench_with_input(BenchmarkId::new("disaggregated", config.name()), &workload, |b, w| {
-            b.iter(|| disaggregated.pack_fcfs(black_box(w)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("conventional", config.name()),
+            &workload,
+            |b, w| b.iter(|| conventional.pack_fcfs(black_box(w))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("disaggregated", config.name()),
+            &workload,
+            |b, w| b.iter(|| disaggregated.pack_fcfs(black_box(w))),
+        );
     }
     group.finish();
 }

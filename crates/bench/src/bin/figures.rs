@@ -39,7 +39,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if wanted.iter().any(|w| w == "all") {
-        wanted = dredbox_bench::ARTIFACTS.iter().map(|s| (*s).to_owned()).collect();
+        wanted = dredbox_bench::ARTIFACTS
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
     }
 
     for artifact in &wanted {
@@ -48,7 +51,10 @@ fn main() -> ExitCode {
                 println!("{rendered}");
             }
             None => {
-                eprintln!("unknown artifact: {artifact} (known: {})", dredbox_bench::ARTIFACTS.join(", "));
+                eprintln!(
+                    "unknown artifact: {artifact} (known: {})",
+                    dredbox_bench::ARTIFACTS.join(", ")
+                );
                 return ExitCode::FAILURE;
             }
         }

@@ -183,7 +183,11 @@ impl AcceleratorBrick {
     ///
     /// Returns [`BrickError::SlotEmpty`] if no accelerator is loaded.
     pub fn unload(&mut self) -> Result<Bitstream, BrickError> {
-        let bs = self.slot.loaded.take().ok_or(BrickError::SlotEmpty { brick: self.id })?;
+        let bs = self
+            .slot
+            .loaded
+            .take()
+            .ok_or(BrickError::SlotEmpty { brick: self.id })?;
         if self.power_state != PowerState::Off {
             self.power_state = PowerState::Idle;
         }
@@ -271,7 +275,10 @@ mod tests {
         let t = b
             .load_bitstream(Bitstream::new("sobel", ByteSize::from_mib(16)))
             .unwrap();
-        assert!(t.as_millis_f64() > 10.0, "16 MiB at 3.2 Gb/s should take tens of ms, got {t}");
+        assert!(
+            t.as_millis_f64() > 10.0,
+            "16 MiB at 3.2 Gb/s should take tens of ms, got {t}"
+        );
         assert!(b.slot().is_occupied());
         assert_eq!(b.slot().loaded().unwrap().name, "sobel");
         assert_eq!(b.slot().reconfigurations(), 1);
@@ -292,7 +299,8 @@ mod tests {
     #[test]
     fn power_cycle() {
         let mut b = AcceleratorBrick::new(BrickId(21), spec());
-        b.load_bitstream(Bitstream::new("x", ByteSize::from_mib(1))).unwrap();
+        b.load_bitstream(Bitstream::new("x", ByteSize::from_mib(1)))
+            .unwrap();
         assert!(b.power_off().is_err());
         b.unload().unwrap();
         b.power_off().unwrap();

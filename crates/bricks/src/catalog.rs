@@ -201,7 +201,12 @@ mod tests {
         assert_eq!(c.compute_spec().gth_ports, 8);
         assert_eq!(c.compute_spec().port_rate.as_gbps(), 10.0);
         // The memory brick supports both DDR and HMC controllers.
-        let techs: Vec<_> = c.memory_spec().controllers.iter().map(|mc| mc.technology).collect();
+        let techs: Vec<_> = c
+            .memory_spec()
+            .controllers
+            .iter()
+            .map(|mc| mc.technology)
+            .collect();
         assert!(techs.contains(&MemoryTechnology::Ddr4));
         assert!(techs.contains(&MemoryTechnology::Hmc));
     }

@@ -332,7 +332,10 @@ mod tests {
         ));
         b.release_cores(3).unwrap();
         assert_eq!(b.power_state(), PowerState::Idle);
-        assert!(matches!(b.release_cores(1), Err(BrickError::ReleaseUnderflow { .. })));
+        assert!(matches!(
+            b.release_cores(1),
+            Err(BrickError::ReleaseUnderflow { .. })
+        ));
     }
 
     #[test]
@@ -376,7 +379,10 @@ mod tests {
         b.power_off().unwrap();
         assert_eq!(b.power_state(), PowerState::Off);
         assert_eq!(b.power_draw().as_watts(), 0.0);
-        assert!(matches!(b.allocate_cores(1), Err(BrickError::PoweredOff { .. })));
+        assert!(matches!(
+            b.allocate_cores(1),
+            Err(BrickError::PoweredOff { .. })
+        ));
         b.power_on();
         assert_eq!(b.power_state(), PowerState::Idle);
         b.allocate_cores(1).unwrap();
@@ -387,7 +393,11 @@ mod tests {
         let mut b = ComputeBrick::new(BrickId(5), spec());
         let p0 = b.first_free_port().unwrap();
         assert_eq!(p0.index, 0);
-        b.ports_mut().port_mut(0).unwrap().attach_circuit(1).unwrap();
+        b.ports_mut()
+            .port_mut(0)
+            .unwrap()
+            .attach_circuit(1)
+            .unwrap();
         assert_eq!(b.first_free_port().unwrap().index, 1);
     }
 

@@ -73,16 +73,24 @@ impl fmt::Display for BrickError {
                 brick,
                 requested,
                 available,
-            } => write!(f, "{brick}: requested {requested} cores but only {available} are free"),
+            } => write!(
+                f,
+                "{brick}: requested {requested} cores but only {available} are free"
+            ),
             BrickError::InsufficientMemory {
                 brick,
                 requested,
                 available,
-            } => write!(f, "{brick}: requested {requested} but only {available} is free"),
+            } => write!(
+                f,
+                "{brick}: requested {requested} but only {available} is free"
+            ),
             BrickError::NoSuchPort { port } => write!(f, "no such port: {port}"),
             BrickError::PortBusy { port } => write!(f, "port {port} is already attached"),
             BrickError::PoweredOff { brick } => write!(f, "{brick} is powered off"),
-            BrickError::SlotOccupied { brick } => write!(f, "{brick}: accelerator slot already occupied"),
+            BrickError::SlotOccupied { brick } => {
+                write!(f, "{brick}: accelerator slot already occupied")
+            }
             BrickError::SlotEmpty { brick } => write!(f, "{brick}: accelerator slot is empty"),
             BrickError::ReleaseUnderflow { brick } => {
                 write!(f, "{brick}: released more resources than were allocated")
@@ -113,7 +121,9 @@ mod tests {
             available: ByteSize::from_gib(2),
         };
         assert!(m.to_string().contains("4.00 GiB"));
-        assert!(BrickError::PoweredOff { brick: BrickId(2) }.to_string().contains("powered off"));
+        assert!(BrickError::PoweredOff { brick: BrickId(2) }
+            .to_string()
+            .contains("powered off"));
     }
 
     #[test]

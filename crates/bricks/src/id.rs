@@ -5,15 +5,21 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a rack within the datacenter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct RackId(pub u16);
 
 /// Identifier of a tray within its rack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct TrayId(pub u16);
 
 /// Globally unique identifier of a brick.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct BrickId(pub u32);
 
 /// Identifier of a GTH transceiver port on a specific brick.
@@ -46,7 +52,11 @@ pub enum BrickKind {
 
 impl BrickKind {
     /// All brick kinds, in a stable order.
-    pub const ALL: [BrickKind; 3] = [BrickKind::Compute, BrickKind::Memory, BrickKind::Accelerator];
+    pub const ALL: [BrickKind; 3] = [
+        BrickKind::Compute,
+        BrickKind::Memory,
+        BrickKind::Accelerator,
+    ];
 
     /// The dReDBox name for this brick kind.
     pub fn dredbox_name(self) -> &'static str {

@@ -65,7 +65,10 @@ pub struct MemoryController {
 impl MemoryController {
     /// Creates a controller.
     pub fn new(technology: MemoryTechnology, capacity: ByteSize) -> Self {
-        MemoryController { technology, capacity }
+        MemoryController {
+            technology,
+            capacity,
+        }
     }
 }
 
@@ -377,7 +380,10 @@ mod tests {
 
     #[test]
     fn technology_properties() {
-        assert!(MemoryTechnology::Hmc.peak_bandwidth().as_gbps() > MemoryTechnology::Ddr4.peak_bandwidth().as_gbps());
+        assert!(
+            MemoryTechnology::Hmc.peak_bandwidth().as_gbps()
+                > MemoryTechnology::Ddr4.peak_bandwidth().as_gbps()
+        );
         assert_eq!(MemoryTechnology::Ddr4.to_string(), "DDR4");
         assert_eq!(MemoryTechnology::Hmc.to_string(), "HMC");
     }

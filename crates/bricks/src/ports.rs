@@ -200,7 +200,10 @@ mod tests {
         let mut ps = port_set();
         ps.port_mut(1).unwrap().attach_circuit(99).unwrap();
         assert_eq!(ps.free_count(), 3);
-        assert_eq!(ps.port(1).unwrap().state(), PortState::Circuit { circuit_id: 99 });
+        assert_eq!(
+            ps.port(1).unwrap().state(),
+            PortState::Circuit { circuit_id: 99 }
+        );
         // Double attach fails.
         assert!(matches!(
             ps.port_mut(1).unwrap().attach_packet(),

@@ -84,7 +84,8 @@ impl Rack {
     ///
     /// Returns [`BrickError::NoSuchBrick`] when `id` is not in the rack.
     pub fn brick_mut_or_err(&mut self, id: BrickId) -> Result<&mut Brick, BrickError> {
-        self.brick_mut(id).ok_or(BrickError::NoSuchBrick { brick: id })
+        self.brick_mut(id)
+            .ok_or(BrickError::NoSuchBrick { brick: id })
     }
 
     /// The tray hosting a given brick, if any.

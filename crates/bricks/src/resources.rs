@@ -205,7 +205,10 @@ mod tests {
         assert!(ResourceVector::ZERO.is_zero());
         assert!(!r.is_zero());
         assert_eq!(ResourceVector::cores_only(3).memory(), ByteSize::ZERO);
-        assert_eq!(ResourceVector::memory_only(ByteSize::from_gib(1)).cores(), 0);
+        assert_eq!(
+            ResourceVector::memory_only(ByteSize::from_gib(1)).cores(),
+            0
+        );
     }
 
     proptest! {

@@ -262,7 +262,10 @@ mod tests {
         let brick = tray.unplug(BrickId(1)).unwrap();
         assert_eq!(brick.id(), BrickId(1));
         assert_eq!(tray.brick_count(BrickKind::Compute), 1);
-        assert!(matches!(tray.unplug(BrickId(99)), Err(BrickError::NoSuchBrick { .. })));
+        assert!(matches!(
+            tray.unplug(BrickId(99)),
+            Err(BrickError::NoSuchBrick { .. })
+        ));
         tray.plug(brick);
         assert_eq!(tray.brick_count(BrickKind::Compute), 2);
     }
@@ -276,17 +279,33 @@ mod tests {
         assert!(tray.brick(BrickId(3)).unwrap().as_accelerator().is_some());
         assert!(tray.brick(BrickId(42)).is_none());
 
-        let compute = tray.brick_mut(BrickId(0)).unwrap().as_compute_mut().unwrap();
+        let compute = tray
+            .brick_mut(BrickId(0))
+            .unwrap()
+            .as_compute_mut()
+            .unwrap();
         compute.allocate_cores(1).unwrap();
         assert!(!tray.brick(BrickId(0)).unwrap().is_unused());
-        assert!(tray.brick_mut(BrickId(2)).unwrap().as_memory_mut().is_some());
-        assert!(tray.brick_mut(BrickId(3)).unwrap().as_accelerator_mut().is_some());
+        assert!(tray
+            .brick_mut(BrickId(2))
+            .unwrap()
+            .as_memory_mut()
+            .is_some());
+        assert!(tray
+            .brick_mut(BrickId(3))
+            .unwrap()
+            .as_accelerator_mut()
+            .is_some());
     }
 
     #[test]
     fn tray_power_is_sum_of_bricks() {
         let tray = tray_with_bricks();
-        let expected: f64 = tray.bricks().iter().map(|b| b.power_draw().as_watts()).sum();
+        let expected: f64 = tray
+            .bricks()
+            .iter()
+            .map(|b| b.power_draw().as_watts())
+            .sum();
         assert!((tray.power_draw().as_watts() - expected).abs() < 1e-9);
         assert!(expected > 0.0);
     }

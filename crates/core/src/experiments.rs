@@ -20,7 +20,8 @@ use dredbox_bricks::BrickId;
 use dredbox_interconnect::{LatencyComponent, LatencyConfig, RemoteMemoryPath};
 use dredbox_memory::HotplugModel;
 use dredbox_optical::{
-    BerMeasurementCampaign, FecMode, LinkBudget, MidBoardOptics, OpticalCircuitSwitch, ReceiverModel,
+    BerMeasurementCampaign, FecMode, LinkBudget, MidBoardOptics, OpticalCircuitSwitch,
+    ReceiverModel,
 };
 use dredbox_orchestrator::{ScaleUpDemand, SdmController};
 use dredbox_sim::report::{Figure, Series, Table};
@@ -76,16 +77,27 @@ pub fn fig7(seed: u64) -> Figure {
             m.received_power_dbm,
             m.ber.median,
             m.ber.max,
-            if m.is_error_free() { "below 1e-12 as in the paper" } else { "ABOVE 1e-12" }
+            if m.is_error_free() {
+                "below 1e-12 as in the paper"
+            } else {
+                "ABOVE 1e-12"
+            }
         ));
     }
 
     // Receiver curve: median BER as the received power degrades.
     let receiver = ReceiverModel::dredbox_default();
-    let mut sweep = Series::new("receiver model sweep", "received power (dBm)", "bit error rate");
+    let mut sweep = Series::new(
+        "receiver model sweep",
+        "received power (dBm)",
+        "bit error rate",
+    );
     let mut dbm = -16.0;
     while dbm <= -8.0 + 1e-9 {
-        sweep.push(dbm, receiver.ber(dredbox_sim::units::DecibelMilliwatts::new(dbm)));
+        sweep.push(
+            dbm,
+            receiver.ber(dredbox_sim::units::DecibelMilliwatts::new(dbm)),
+        );
         dbm += 0.5;
     }
     fig.push_series(sweep);
@@ -99,7 +111,8 @@ pub fn fig8() -> Figure {
     let path = RemoteMemoryPath::packet_switched(LatencyConfig::dredbox_default());
     let breakdown = path.read(ByteSize::from_bytes(64));
 
-    let mut fig = Figure::new("Figure 8 — Round-trip remote-memory access latency breakdown (packet path)");
+    let mut fig =
+        Figure::new("Figure 8 — Round-trip remote-memory access latency breakdown (packet path)");
     let mut series = Series::new(
         "packet-switched round trip",
         "component index",
@@ -135,7 +148,11 @@ fn fig10_point(concurrency: usize, seed: u64) -> (f64, f64) {
         let brick = BrickId(i as u32);
         sdm.register_compute_brick(brick, 32, 8);
         sdm.register_membrick(BrickId(1_000 + i as u32), ByteSize::from_gib(32));
-        let os = BaremetalOs::new(brick, ByteSize::from_gib(2), HotplugModel::dredbox_default());
+        let os = BaremetalOs::new(
+            brick,
+            ByteSize::from_gib(2),
+            HotplugModel::dredbox_default(),
+        );
         let mut hv = Hypervisor::new(os, 32);
         let (vm, _) = hv
             .create_vm(VmSpec::new(2, ByteSize::from_gib(1)))
@@ -174,8 +191,16 @@ pub fn fig10(seed: u64) -> Figure {
     let mut fig = Figure::new(
         "Figure 10 — Per-VM average delay of dynamic memory scale-up vs conventional scale-out (lower is better)",
     );
-    let mut scale_up = Series::new("dReDBox scale-up", "concurrent requesting VMs", "average delay (s)");
-    let mut scale_out = Series::new("conventional scale-out", "concurrent requesting VMs", "average delay (s)");
+    let mut scale_up = Series::new(
+        "dReDBox scale-up",
+        "concurrent requesting VMs",
+        "average delay (s)",
+    );
+    let mut scale_out = Series::new(
+        "conventional scale-out",
+        "concurrent requesting VMs",
+        "average delay (s)",
+    );
     for &concurrency in &[8usize, 16, 32] {
         let (up, out) = fig10_point(concurrency, seed + concurrency as u64);
         scale_up.push(concurrency as f64, up);
@@ -198,17 +223,23 @@ pub fn fig11() -> Table {
 
 /// Figure 12: percentage of unutilized resources that can be powered off.
 pub fn fig12(seed: u64) -> Figure {
-    TcoStudy::paper_setup().run_all(&mut SimRng::seed(seed)).figure12()
+    TcoStudy::paper_setup()
+        .run_all(&mut SimRng::seed(seed))
+        .figure12()
 }
 
 /// Figure 13: power consumption normalized to the conventional datacenter.
 pub fn fig13(seed: u64) -> Figure {
-    TcoStudy::paper_setup().run_all(&mut SimRng::seed(seed)).figure13()
+    TcoStudy::paper_setup()
+        .run_all(&mut SimRng::seed(seed))
+        .figure13()
 }
 
 /// TCO summary table (per Table I configuration), backing Figures 12 and 13.
 pub fn tco_summary(seed: u64) -> Table {
-    TcoStudy::paper_setup().run_all(&mut SimRng::seed(seed)).summary_table()
+    TcoStudy::paper_setup()
+        .run_all(&mut SimRng::seed(seed))
+        .summary_table()
 }
 
 /// Ablation: circuit-switched versus packet-switched remote-memory round
@@ -217,11 +248,25 @@ pub fn ablation_path() -> Figure {
     let circuit = RemoteMemoryPath::circuit_switched(LatencyConfig::dredbox_default());
     let packet = RemoteMemoryPath::packet_switched(LatencyConfig::dredbox_default());
     let mut fig = Figure::new("Ablation — circuit-switched vs packet-switched remote access");
-    let mut circuit_series = Series::new("circuit-switched", "transfer size (bytes)", "round trip (ns)");
-    let mut packet_series = Series::new("packet-switched", "transfer size (bytes)", "round trip (ns)");
+    let mut circuit_series = Series::new(
+        "circuit-switched",
+        "transfer size (bytes)",
+        "round trip (ns)",
+    );
+    let mut packet_series = Series::new(
+        "packet-switched",
+        "transfer size (bytes)",
+        "round trip (ns)",
+    );
     for size in [64u64, 128, 256, 512, 1024, 4096] {
-        circuit_series.push(size as f64, circuit.read(ByteSize::from_bytes(size)).total().as_nanos() as f64);
-        packet_series.push(size as f64, packet.read(ByteSize::from_bytes(size)).total().as_nanos() as f64);
+        circuit_series.push(
+            size as f64,
+            circuit.read(ByteSize::from_bytes(size)).total().as_nanos() as f64,
+        );
+        packet_series.push(
+            size as f64,
+            packet.read(ByteSize::from_bytes(size)).total().as_nanos() as f64,
+        );
     }
     let ratio = packet_series.points[0].1 / circuit_series.points[0].1;
     fig.push_series(circuit_series);
@@ -238,7 +283,11 @@ pub fn ablation_fec() -> Figure {
     let receiver = ReceiverModel::dredbox_default();
     let weak_link = dredbox_sim::units::DecibelMilliwatts::new(-15.0);
     let mut fig = Figure::new("Ablation — FEC latency vs post-FEC BER on a weak (-15 dBm) link");
-    let mut latency = Series::new("added latency per round trip", "FEC mode index", "latency (ns)");
+    let mut latency = Series::new(
+        "added latency per round trip",
+        "FEC mode index",
+        "latency (ns)",
+    );
     let mut ber = Series::new("post-FEC BER", "FEC mode index", "bit error rate");
     for (idx, mode) in FecMode::ALL.iter().enumerate() {
         // Four MAC/PHY traversals per round trip on the packet path.
@@ -333,7 +382,10 @@ mod tests {
 
         let fig13 = fig13(2018);
         let dredbox = fig13.series_named("dReDBox").unwrap();
-        assert!(dredbox.y_min().unwrap() < 0.7, "max savings should exceed 30%");
+        assert!(
+            dredbox.y_min().unwrap() < 0.7,
+            "max savings should exceed 30%"
+        );
         assert!(dredbox.y_max().unwrap() <= 1.05);
         assert_eq!(tco_summary(2018).len(), 6);
     }

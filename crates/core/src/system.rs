@@ -8,15 +8,16 @@ use serde::{Deserialize, Serialize};
 
 use dredbox_bricks::{BrickId, BrickKind, Rack};
 use dredbox_interconnect::{LatencyBreakdown, PathKind, RemoteMemoryPath};
+use dredbox_memory::HotplugModel;
 use dredbox_optical::{OpticalCircuitSwitch, OpticalTopology};
 use dredbox_orchestrator::power_mgmt::PowerSweep;
 use dredbox_orchestrator::{
-    OrchestratorError, PowerManager, ScaleUpDemand, ScaleUpGrant, SdmController, VmAllocationRequest,
+    OrchestratorError, PowerManager, ScaleUpDemand, ScaleUpGrant, SdmController,
+    VmAllocationRequest,
 };
 use dredbox_sim::time::SimDuration;
 use dredbox_sim::units::{ByteSize, Watts};
 use dredbox_softstack::{BaremetalOs, Hypervisor, ScaleUpController, SoftstackError, VmId, VmSpec};
-use dredbox_memory::HotplugModel;
 
 use crate::config::SystemConfig;
 
@@ -276,7 +277,11 @@ impl DredboxSystem {
     /// # Errors
     ///
     /// Fails when the pool cannot cover the request or the VM is unknown.
-    pub fn scale_up(&mut self, handle: VmHandle, amount: ByteSize) -> Result<ScaleUpReport, SystemError> {
+    pub fn scale_up(
+        &mut self,
+        handle: VmHandle,
+        amount: ByteSize,
+    ) -> Result<ScaleUpReport, SystemError> {
         let record = self
             .vms
             .get(&handle)
@@ -319,14 +324,21 @@ impl DredboxSystem {
     /// # Errors
     ///
     /// Fails if the VM is unknown or holds no grant of that size.
-    pub fn scale_down(&mut self, handle: VmHandle, amount: ByteSize) -> Result<ScaleUpReport, SystemError> {
+    pub fn scale_down(
+        &mut self,
+        handle: VmHandle,
+        amount: ByteSize,
+    ) -> Result<ScaleUpReport, SystemError> {
         let record = self
             .vms
             .get(&handle)
             .ok_or(SystemError::NoSuchVm { handle })?
             .clone();
         // Find the most recent grant that matches the requested amount.
-        let Some(pos) = record.grants.iter().rposition(|g| g.grant.total() >= amount && g.grant.total() == amount)
+        let Some(pos) = record
+            .grants
+            .iter()
+            .rposition(|g| g.grant.total() == amount)
         else {
             return Err(SystemError::Softstack(SoftstackError::DetachUnderflow {
                 vm: record.vm,
@@ -341,7 +353,11 @@ impl DredboxSystem {
         let outcome = self.scaleup.apply_reclaim(hv, record.vm, amount)?;
         let orch = self.sdm.release_scale_up(&grant)?;
         self.remove_grant_from_rack(record.brick, &grant);
-        self.vms.get_mut(&handle).expect("checked above").grants.remove(pos);
+        self.vms
+            .get_mut(&handle)
+            .expect("checked above")
+            .grants
+            .remove(pos);
 
         Ok(ScaleUpReport {
             vm: handle,
@@ -358,7 +374,10 @@ impl DredboxSystem {
     ///
     /// Fails if the handle is unknown.
     pub fn release_vm(&mut self, handle: VmHandle) -> Result<(), SystemError> {
-        let record = self.vms.remove(&handle).ok_or(SystemError::NoSuchVm { handle })?;
+        let record = self
+            .vms
+            .remove(&handle)
+            .ok_or(SystemError::NoSuchVm { handle })?;
         if let Some(hv) = self.hypervisors.get_mut(&record.brick) {
             let _ = hv.destroy_vm(record.vm);
         }
@@ -366,7 +385,11 @@ impl DredboxSystem {
             let _ = self.sdm.release_scale_up(grant);
             self.remove_grant_from_rack(record.brick, grant);
         }
-        if let Some(compute) = self.rack.brick_mut(record.brick).and_then(|b| b.as_compute_mut()) {
+        if let Some(compute) = self
+            .rack
+            .brick_mut(record.brick)
+            .and_then(|b| b.as_compute_mut())
+        {
             let _ = compute.release_cores(record.vcpus);
         }
         Ok(())
@@ -376,8 +399,12 @@ impl DredboxSystem {
     /// path (Figure 8 when the packet path is selected).
     pub fn remote_read_latency(&self, size: ByteSize) -> LatencyBreakdown {
         let path = match self.config.path {
-            PathKind::CircuitSwitched => RemoteMemoryPath::circuit_switched(self.config.latency.clone()),
-            PathKind::PacketSwitched => RemoteMemoryPath::packet_switched(self.config.latency.clone()),
+            PathKind::CircuitSwitched => {
+                RemoteMemoryPath::circuit_switched(self.config.latency.clone())
+            }
+            PathKind::PacketSwitched => {
+                RemoteMemoryPath::packet_switched(self.config.latency.clone())
+            }
         };
         path.read(size)
     }
@@ -398,22 +425,38 @@ impl DredboxSystem {
     }
 
     fn apply_grant_to_rack(&mut self, compute: BrickId, grant: &ScaleUpGrant) {
-        if let Some(c) = self.rack.brick_mut(compute).and_then(|b| b.as_compute_mut()) {
+        if let Some(c) = self
+            .rack
+            .brick_mut(compute)
+            .and_then(|b| b.as_compute_mut())
+        {
             c.attach_remote_memory(grant.grant.total());
         }
         for segment in grant.grant.segments() {
-            if let Some(m) = self.rack.brick_mut(segment.membrick).and_then(|b| b.as_memory_mut()) {
+            if let Some(m) = self
+                .rack
+                .brick_mut(segment.membrick)
+                .and_then(|b| b.as_memory_mut())
+            {
                 let _ = m.export(compute, segment.size);
             }
         }
     }
 
     fn remove_grant_from_rack(&mut self, compute: BrickId, grant: &ScaleUpGrant) {
-        if let Some(c) = self.rack.brick_mut(compute).and_then(|b| b.as_compute_mut()) {
+        if let Some(c) = self
+            .rack
+            .brick_mut(compute)
+            .and_then(|b| b.as_compute_mut())
+        {
             let _ = c.detach_remote_memory(grant.grant.total());
         }
         for segment in grant.grant.segments() {
-            if let Some(m) = self.rack.brick_mut(segment.membrick).and_then(|b| b.as_memory_mut()) {
+            if let Some(m) = self
+                .rack
+                .brick_mut(segment.membrick)
+                .and_then(|b| b.as_memory_mut())
+            {
                 let _ = m.reclaim(compute, segment.size);
             }
         }
@@ -453,7 +496,10 @@ mod tests {
         assert_eq!(report.amount, ByteSize::from_gib(8));
         assert!(report.orchestration_delay > SimDuration::ZERO);
         assert!(report.brick_delay > SimDuration::ZERO);
-        assert_eq!(report.total_delay, report.orchestration_delay + report.brick_delay);
+        assert_eq!(
+            report.total_delay,
+            report.orchestration_delay + report.brick_delay
+        );
         assert!(report.total_delay.as_secs_f64() < 1.5);
         assert_eq!(s.vm_memory(vm), Some(ByteSize::from_gib(12)));
 
@@ -468,7 +514,10 @@ mod tests {
         s.release_vm(vm).unwrap();
         assert_eq!(s.vm_count(), 0);
         assert_eq!(s.sdm().pool().total_allocated(), ByteSize::ZERO);
-        assert!(matches!(s.release_vm(vm), Err(SystemError::NoSuchVm { .. })));
+        assert!(matches!(
+            s.release_vm(vm),
+            Err(SystemError::NoSuchVm { .. })
+        ));
     }
 
     #[test]
@@ -507,8 +556,10 @@ mod tests {
     #[test]
     fn remote_read_latency_follows_the_configured_path() {
         let circuit = system().remote_read_latency(ByteSize::from_bytes(64));
-        let packet_system =
-            DredboxSystem::build(SystemConfig::prototype_rack().with_path(PathKind::PacketSwitched)).unwrap();
+        let packet_system = DredboxSystem::build(
+            SystemConfig::prototype_rack().with_path(PathKind::PacketSwitched),
+        )
+        .unwrap();
         let packet = packet_system.remote_read_latency(ByteSize::from_bytes(64));
         assert!(packet.total() > circuit.total());
     }

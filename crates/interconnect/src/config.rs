@@ -89,7 +89,10 @@ impl LatencyConfig {
     ///
     /// Panics if `metres` is negative or not finite.
     pub fn with_fibre_metres(mut self, metres: f64) -> Self {
-        assert!(metres.is_finite() && metres >= 0.0, "fibre length must be finite and non-negative");
+        assert!(
+            metres.is_finite() && metres >= 0.0,
+            "fibre length must be finite and non-negative"
+        );
         self.fibre_metres = metres;
         self
     }

@@ -42,13 +42,19 @@ impl fmt::Display for InterconnectError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InterconnectError::RmstFull { capacity } => {
-                write!(f, "remote memory segment table is full ({capacity} entries)")
+                write!(
+                    f,
+                    "remote memory segment table is full ({capacity} entries)"
+                )
             }
             InterconnectError::NoRoute { address } => {
                 write!(f, "no remote segment covers address {address:#x}")
             }
             InterconnectError::OverlappingSegment { address } => {
-                write!(f, "segment starting at {address:#x} overlaps an existing entry")
+                write!(
+                    f,
+                    "segment starting at {address:#x} overlaps an existing entry"
+                )
             }
             InterconnectError::NoSuchSegment { address } => {
                 write!(f, "no segment starts at {address:#x}")
@@ -69,12 +75,18 @@ mod tests {
 
     #[test]
     fn display_mentions_addresses_in_hex() {
-        let e = InterconnectError::NoRoute { address: 0x4000_0000 };
+        let e = InterconnectError::NoRoute {
+            address: 0x4000_0000,
+        };
         assert!(e.to_string().contains("0x40000000"));
-        assert!(InterconnectError::RmstFull { capacity: 64 }.to_string().contains("64"));
-        assert!(InterconnectError::NoSwitchRoute { destination: BrickId(3) }
+        assert!(InterconnectError::RmstFull { capacity: 64 }
             .to_string()
-            .contains("brick3"));
+            .contains("64"));
+        assert!(InterconnectError::NoSwitchRoute {
+            destination: BrickId(3)
+        }
+        .to_string()
+        .contains("brick3"));
     }
 
     #[test]

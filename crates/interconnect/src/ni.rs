@@ -79,7 +79,10 @@ impl NetworkInterface {
     /// Depacketizes an arriving packet (checks it is addressed to this
     /// brick), returning the time spent in the NI.
     pub fn depacketize(&self, packet: &MemPacket) -> SimDuration {
-        debug_assert_eq!(packet.destination, self.owner, "packet arrived at the wrong brick");
+        debug_assert_eq!(
+            packet.destination, self.owner,
+            "packet arrived at the wrong brick"
+        );
         self.traversal
     }
 

@@ -42,7 +42,12 @@ pub struct MemPacket {
 
 impl MemPacket {
     /// Builds a read-request packet.
-    pub fn read_request(source: BrickId, destination: BrickId, address: u64, length: ByteSize) -> Self {
+    pub fn read_request(
+        source: BrickId,
+        destination: BrickId,
+        address: u64,
+        length: ByteSize,
+    ) -> Self {
         MemPacket {
             kind: PacketKind::ReadRequest,
             source,
@@ -53,7 +58,12 @@ impl MemPacket {
     }
 
     /// Builds a write-request packet.
-    pub fn write_request(source: BrickId, destination: BrickId, address: u64, length: ByteSize) -> Self {
+    pub fn write_request(
+        source: BrickId,
+        destination: BrickId,
+        address: u64,
+        length: ByteSize,
+    ) -> Self {
         MemPacket {
             kind: PacketKind::WriteRequest,
             source,
@@ -112,7 +122,8 @@ mod tests {
 
     #[test]
     fn write_transaction_reply_chain() {
-        let req = MemPacket::write_request(BrickId(1), BrickId(6), 0x2000, ByteSize::from_bytes(128));
+        let req =
+            MemPacket::write_request(BrickId(1), BrickId(6), 0x2000, ByteSize::from_bytes(128));
         assert_eq!(req.payload(), ByteSize::from_bytes(128));
         let ack = req.reply().unwrap();
         assert_eq!(ack.kind, PacketKind::WriteAck);

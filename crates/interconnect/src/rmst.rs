@@ -122,7 +122,9 @@ impl RemoteMemorySegmentTable {
             });
         }
         if self.entries.iter().any(|e| e.overlaps(&entry)) {
-            return Err(InterconnectError::OverlappingSegment { address: entry.base });
+            return Err(InterconnectError::OverlappingSegment {
+                address: entry.base,
+            });
         }
         self.entries.push(entry);
         Ok(())
@@ -156,7 +158,9 @@ impl RemoteMemorySegmentTable {
 
     /// All entries towards a given destination brick.
     pub fn entries_towards(&self, destination: BrickId) -> impl Iterator<Item = &RmstEntry> {
-        self.entries.iter().filter(move |e| e.destination == destination)
+        self.entries
+            .iter()
+            .filter(move |e| e.destination == destination)
     }
 
     /// Iterates over all entries.
@@ -199,14 +203,20 @@ mod tests {
         assert_eq!(hit.destination, BrickId(5));
         let hit2 = rmst.lookup(0x1_0000_0000 + 3 * GIB).unwrap();
         assert_eq!(hit2.destination, BrickId(6));
-        assert!(matches!(rmst.lookup(0x10), Err(InterconnectError::NoRoute { .. })));
+        assert!(matches!(
+            rmst.lookup(0x10),
+            Err(InterconnectError::NoRoute { .. })
+        ));
 
         assert_eq!(rmst.entries_towards(BrickId(5)).count(), 1);
         assert_eq!(rmst.entries_towards(BrickId(9)).count(), 0);
 
         let removed = rmst.remove(0x1_0000_0000).unwrap();
         assert_eq!(removed.destination, BrickId(5));
-        assert!(matches!(rmst.remove(0x1_0000_0000), Err(InterconnectError::NoSuchSegment { .. })));
+        assert!(matches!(
+            rmst.remove(0x1_0000_0000),
+            Err(InterconnectError::NoSuchSegment { .. })
+        ));
         assert!(rmst.lookup(0x1_0000_0000 + GIB).is_err());
         assert_eq!(rmst.iter().count(), 1);
     }

@@ -161,14 +161,23 @@ mod tests {
         assert_eq!(r1.destination, BrickId(10));
         assert_eq!(r1.segment_offset, 123);
         assert_eq!(r1.port.index, 0);
-        assert_eq!(r1.decode_latency, LatencyConfig::dredbox_default().tgl_decode);
+        assert_eq!(
+            r1.decode_latency,
+            LatencyConfig::dredbox_default().tgl_decode
+        );
 
         let r2 = tgl.route(16 * GIB + GIB).unwrap();
         assert_eq!(r2.destination, BrickId(11));
         assert_eq!(r2.segment_offset, GIB);
 
-        assert!(matches!(tgl.route(0), Err(InterconnectError::NoRoute { .. })));
-        assert!(matches!(tgl.route(30 * GIB), Err(InterconnectError::NoRoute { .. })));
+        assert!(matches!(
+            tgl.route(0),
+            Err(InterconnectError::NoRoute { .. })
+        ));
+        assert!(matches!(
+            tgl.route(30 * GIB),
+            Err(InterconnectError::NoRoute { .. })
+        ));
     }
 
     #[test]
@@ -194,6 +203,9 @@ mod tests {
             destination: BrickId(12),
             port: PortId::new(BrickId(0), 2),
         });
-        assert!(matches!(err, Err(InterconnectError::OverlappingSegment { .. })));
+        assert!(matches!(
+            err,
+            Err(InterconnectError::OverlappingSegment { .. })
+        ));
     }
 }

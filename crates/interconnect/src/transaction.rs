@@ -207,7 +207,11 @@ impl RemoteMemoryPath {
 
     /// Generic round trip carrying `request_payload` towards the dMEMBRICK
     /// and `response_payload` back.
-    fn round_trip(&self, request_payload: ByteSize, response_payload: ByteSize) -> LatencyBreakdown {
+    fn round_trip(
+        &self,
+        request_payload: ByteSize,
+        response_payload: ByteSize,
+    ) -> LatencyBreakdown {
         let cfg = &self.config;
         let mut b = LatencyBreakdown::new();
 
@@ -221,7 +225,10 @@ impl RemoteMemoryPath {
                     LatencyComponent::MacPhy,
                     cfg.mac_phy_traversal + cfg.fec_per_traversal,
                 );
-                b.add(LatencyComponent::Serialization, cfg.serialization(request_payload));
+                b.add(
+                    LatencyComponent::Serialization,
+                    cfg.serialization(request_payload),
+                );
             }
             PathKind::CircuitSwitched => {
                 // The transaction is serialized directly onto the circuit:
@@ -232,7 +239,10 @@ impl RemoteMemoryPath {
                 );
             }
         }
-        b.add(LatencyComponent::OpticalPropagation, cfg.propagation_delay());
+        b.add(
+            LatencyComponent::OpticalPropagation,
+            cfg.propagation_delay(),
+        );
 
         // Memory-brick side, request direction.
         if self.kind == PathKind::PacketSwitched {
@@ -254,7 +264,10 @@ impl RemoteMemoryPath {
                     LatencyComponent::MacPhy,
                     cfg.mac_phy_traversal + cfg.fec_per_traversal,
                 );
-                b.add(LatencyComponent::Serialization, cfg.serialization(response_payload));
+                b.add(
+                    LatencyComponent::Serialization,
+                    cfg.serialization(response_payload),
+                );
             }
             PathKind::CircuitSwitched => {
                 b.add(
@@ -263,7 +276,10 @@ impl RemoteMemoryPath {
                 );
             }
         }
-        b.add(LatencyComponent::OpticalPropagation, cfg.propagation_delay());
+        b.add(
+            LatencyComponent::OpticalPropagation,
+            cfg.propagation_delay(),
+        );
 
         // Compute-brick side, response direction.
         if self.kind == PathKind::PacketSwitched {
@@ -322,9 +338,18 @@ mod tests {
             packet.total()
         );
         // The circuit path has no NI / switch / MAC contributions at all.
-        assert_eq!(circuit.component_total(LatencyComponent::NetworkInterface), SimDuration::ZERO);
-        assert_eq!(circuit.component_total(LatencyComponent::OnBrickSwitch), SimDuration::ZERO);
-        assert_eq!(circuit.component_total(LatencyComponent::MacPhy), SimDuration::ZERO);
+        assert_eq!(
+            circuit.component_total(LatencyComponent::NetworkInterface),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            circuit.component_total(LatencyComponent::OnBrickSwitch),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            circuit.component_total(LatencyComponent::MacPhy),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

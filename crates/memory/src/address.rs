@@ -16,7 +16,9 @@ use crate::error::MemoryError;
 pub const REMOTE_WINDOW_BASE: u64 = 0x8_0000_0000;
 
 /// A physical address in a compute brick's global address space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct GlobalAddress(pub u64);
 
 impl GlobalAddress {
@@ -154,7 +156,10 @@ mod tests {
             w.carve(ByteSize::from_gib(1)),
             Err(MemoryError::OutOfMemory { .. })
         ));
-        assert!(matches!(w.carve(ByteSize::ZERO), Err(MemoryError::EmptyRequest)));
+        assert!(matches!(
+            w.carve(ByteSize::ZERO),
+            Err(MemoryError::EmptyRequest)
+        ));
     }
 
     #[test]
@@ -168,7 +173,10 @@ mod tests {
         let c = w.carve(ByteSize::from_gib(4)).unwrap();
         assert_eq!(c, a);
         assert_eq!(w.mapped(), ByteSize::from_gib(8));
-        assert!(matches!(w.release(c, ByteSize::ZERO), Err(MemoryError::EmptyRequest)));
+        assert!(matches!(
+            w.release(c, ByteSize::ZERO),
+            Err(MemoryError::EmptyRequest)
+        ));
     }
 
     #[test]

@@ -74,7 +74,13 @@ impl BrickAllocator {
 
     /// Size of the largest contiguous free block.
     pub fn largest_free_block(&self) -> ByteSize {
-        ByteSize::from_bytes(self.free_list.iter().map(|(_, len)| *len).max().unwrap_or(0))
+        ByteSize::from_bytes(
+            self.free_list
+                .iter()
+                .map(|(_, len)| *len)
+                .max()
+                .unwrap_or(0),
+        )
     }
 
     /// External fragmentation in `[0, 1]`: 1 − largest-free-block / free.
@@ -190,7 +196,10 @@ mod tests {
             a.allocate(ByteSize::from_gib(32)),
             Err(MemoryError::OutOfMemory { .. })
         ));
-        assert!(matches!(a.allocate(ByteSize::ZERO), Err(MemoryError::EmptyRequest)));
+        assert!(matches!(
+            a.allocate(ByteSize::ZERO),
+            Err(MemoryError::EmptyRequest)
+        ));
     }
 
     #[test]
@@ -241,7 +250,10 @@ mod tests {
             a.release(31 * GIB, ByteSize::from_gib(2)),
             Err(MemoryError::InvalidRelease { .. })
         ));
-        assert!(matches!(a.release(0, ByteSize::ZERO), Err(MemoryError::EmptyRequest)));
+        assert!(matches!(
+            a.release(0, ByteSize::ZERO),
+            Err(MemoryError::EmptyRequest)
+        ));
     }
 
     #[test]

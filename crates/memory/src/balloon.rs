@@ -104,10 +104,19 @@ mod tests {
     #[test]
     fn bounds_are_enforced() {
         let mut b = BalloonDevice::new(ByteSize::from_gib(4));
-        assert!(matches!(b.inflate(ByteSize::from_gib(4)), Err(MemoryError::BalloonBounds)));
-        assert!(matches!(b.deflate(ByteSize::from_gib(1)), Err(MemoryError::BalloonBounds)));
+        assert!(matches!(
+            b.inflate(ByteSize::from_gib(4)),
+            Err(MemoryError::BalloonBounds)
+        ));
+        assert!(matches!(
+            b.deflate(ByteSize::from_gib(1)),
+            Err(MemoryError::BalloonBounds)
+        ));
         b.inflate(ByteSize::from_gib(2)).unwrap();
-        assert!(matches!(b.deflate(ByteSize::from_gib(3)), Err(MemoryError::BalloonBounds)));
+        assert!(matches!(
+            b.deflate(ByteSize::from_gib(3)),
+            Err(MemoryError::BalloonBounds)
+        ));
     }
 
     #[test]

@@ -49,11 +49,19 @@ pub enum MemoryError {
 impl fmt::Display for MemoryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MemoryError::OutOfMemory { requested, available } => {
-                write!(f, "out of disaggregated memory: requested {requested}, available {available}")
+            MemoryError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "out of disaggregated memory: requested {requested}, available {available}"
+                )
             }
             MemoryError::UnknownMemBrick { brick } => write!(f, "unknown dMEMBRICK: {brick}"),
-            MemoryError::DuplicateMemBrick { brick } => write!(f, "dMEMBRICK already registered: {brick}"),
+            MemoryError::DuplicateMemBrick { brick } => {
+                write!(f, "dMEMBRICK already registered: {brick}")
+            }
             MemoryError::NoSuchSegment { segment } => write!(f, "no such segment: {segment}"),
             MemoryError::EmptyRequest => write!(f, "memory request must cover at least one byte"),
             MemoryError::InvalidRelease { brick } => {
@@ -77,8 +85,14 @@ mod tests {
             available: ByteSize::from_gib(2),
         };
         assert!(e.to_string().contains("8.00 GiB"));
-        assert!(MemoryError::UnknownMemBrick { brick: BrickId(7) }.to_string().contains("brick7"));
-        assert!(MemoryError::NoSuchSegment { segment: SegmentId(3) }.to_string().contains("segment3"));
+        assert!(MemoryError::UnknownMemBrick { brick: BrickId(7) }
+            .to_string()
+            .contains("brick7"));
+        assert!(MemoryError::NoSuchSegment {
+            segment: SegmentId(3)
+        }
+        .to_string()
+        .contains("segment3"));
         assert!(!MemoryError::BalloonBounds.to_string().is_empty());
     }
 

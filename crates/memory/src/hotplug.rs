@@ -61,7 +61,10 @@ impl HotplugModel {
         if amount.is_zero() {
             return SimDuration::ZERO;
         }
-        self.per_operation + self.per_block_online.saturating_mul(self.blocks_for(amount))
+        self.per_operation
+            + self
+                .per_block_online
+                .saturating_mul(self.blocks_for(amount))
     }
 
     /// Time for the kernel to offline and hot-remove `amount` of memory.
@@ -69,7 +72,10 @@ impl HotplugModel {
         if amount.is_zero() {
             return SimDuration::ZERO;
         }
-        self.per_operation + self.per_block_offline.saturating_mul(self.blocks_for(amount))
+        self.per_operation
+            + self
+                .per_block_offline
+                .saturating_mul(self.blocks_for(amount))
     }
 }
 
@@ -90,7 +96,10 @@ mod tests {
         assert_eq!(m.blocks_for(ByteSize::ZERO), 0);
         assert_eq!(m.blocks_for(ByteSize::from_mib(1)), 1);
         assert_eq!(m.blocks_for(ByteSize::from_gib(1)), 1);
-        assert_eq!(m.blocks_for(ByteSize::from_gib(1) + ByteSize::from_bytes(1)), 2);
+        assert_eq!(
+            m.blocks_for(ByteSize::from_gib(1) + ByteSize::from_bytes(1)),
+            2
+        );
         assert_eq!(m.blocks_for(ByteSize::from_gib(8)), 8);
     }
 

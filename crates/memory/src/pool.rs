@@ -135,7 +135,8 @@ impl MemoryPool {
         if self.allocators.contains_key(&brick) {
             return Err(MemoryError::DuplicateMemBrick { brick });
         }
-        self.allocators.insert(brick, BrickAllocator::new(brick, capacity));
+        self.allocators
+            .insert(brick, BrickAllocator::new(brick, capacity));
         Ok(())
     }
 
@@ -211,9 +212,14 @@ impl MemoryPool {
                     available: self.total_free(),
                 });
             };
-            let allocator = self.allocators.get_mut(&brick).expect("picked brick is registered");
+            let allocator = self
+                .allocators
+                .get_mut(&brick)
+                .expect("picked brick is registered");
             let chunk = remaining.min(allocator.largest_free_block());
-            let offset = allocator.allocate(chunk).expect("picked brick has the space");
+            let offset = allocator
+                .allocate(chunk)
+                .expect("picked brick has the space");
             let id = SegmentId(self.next_segment);
             self.next_segment += 1;
             let segment = MemorySegment {
@@ -240,10 +246,12 @@ impl MemoryPool {
             .segments
             .remove(&segment)
             .ok_or(MemoryError::NoSuchSegment { segment })?;
-        let allocator = self
-            .allocators
-            .get_mut(&seg.membrick)
-            .ok_or(MemoryError::UnknownMemBrick { brick: seg.membrick })?;
+        let allocator =
+            self.allocators
+                .get_mut(&seg.membrick)
+                .ok_or(MemoryError::UnknownMemBrick {
+                    brick: seg.membrick,
+                })?;
         allocator.release(seg.offset, seg.size)
     }
 
@@ -266,7 +274,11 @@ impl MemoryPool {
 
     /// All live segments granted to `owner`.
     pub fn segments_of(&self, owner: BrickId) -> Vec<MemorySegment> {
-        self.segments.values().filter(|s| s.owner == owner).copied().collect()
+        self.segments
+            .values()
+            .filter(|s| s.owner == owner)
+            .copied()
+            .collect()
     }
 
     /// Number of live segments.
@@ -316,7 +328,8 @@ impl MemoryPool {
                 // Prefer bricks already in use; among them, the fullest that
                 // still fits. Fall back to waking the brick with the largest
                 // contiguous block.
-                let in_use: Vec<Candidate> = candidates.iter().copied().filter(|c| c.in_use).collect();
+                let in_use: Vec<Candidate> =
+                    candidates.iter().copied().filter(|c| c.in_use).collect();
                 in_use
                     .iter()
                     .copied()
@@ -400,7 +413,10 @@ mod tests {
         ));
         assert_eq!(p.total_free(), before);
         assert_eq!(p.segment_count(), 0);
-        assert!(matches!(p.allocate(BrickId(0), ByteSize::ZERO), Err(MemoryError::EmptyRequest)));
+        assert!(matches!(
+            p.allocate(BrickId(0), ByteSize::ZERO),
+            Err(MemoryError::EmptyRequest)
+        ));
     }
 
     #[test]

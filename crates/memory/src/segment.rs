@@ -10,7 +10,9 @@ use dredbox_bricks::BrickId;
 use dredbox_sim::units::ByteSize;
 
 /// Identifier of a remote memory segment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SegmentId(pub u64);
 
 impl std::fmt::Display for SegmentId {

@@ -29,9 +29,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -111,7 +110,10 @@ impl ReceiverModel {
     ///
     /// Panics if `target_ber` is not within `(0, 0.5)`.
     pub fn required_power(&self, target_ber: f64) -> DecibelMilliwatts {
-        assert!(target_ber > 0.0 && target_ber < 0.5, "target BER must be in (0, 0.5)");
+        assert!(
+            target_ber > 0.0 && target_ber < 0.5,
+            "target BER must be in (0, 0.5)"
+        );
         let mut lo = self.sensitivity_dbm - 30.0;
         let mut hi = self.sensitivity_dbm + 30.0;
         for _ in 0..200 {
@@ -183,7 +185,10 @@ mod tests {
         let p = rx.required_power(1e-12);
         assert!((p.as_dbm() - rx.sensitivity_dbm()).abs() < 0.05);
         let p9 = rx.required_power(1e-9);
-        assert!(p9.as_dbm() < p.as_dbm(), "a worse BER target needs less power");
+        assert!(
+            p9.as_dbm() < p.as_dbm(),
+            "a worse BER target needs less power"
+        );
     }
 
     #[test]

@@ -220,8 +220,11 @@ mod tests {
         let mut mgr = CircuitManager::new(OpticalCircuitSwitch::polatis_48());
         for brick in 0..4u32 {
             for port in 0..2u8 {
-                mgr.cable(PortId::new(BrickId(brick), port), (brick * 2 + u32::from(port)) as u16)
-                    .unwrap();
+                mgr.cable(
+                    PortId::new(BrickId(brick), port),
+                    (brick * 2 + u32::from(port)) as u16,
+                )
+                .unwrap();
             }
         }
         mgr
@@ -256,7 +259,9 @@ mod tests {
         assert_eq!(c.src, src);
         assert_eq!(c.dst, dst);
         assert_eq!(c.hops, 1);
-        assert!(mgr.switch().is_connected(c.switch_ports.0, c.switch_ports.1));
+        assert!(mgr
+            .switch()
+            .is_connected(c.switch_ports.0, c.switch_ports.1));
         assert!(mgr.circuit_between(BrickId(0), BrickId(1)).is_some());
         assert!(mgr.circuit_between(BrickId(1), BrickId(0)).is_some());
         assert!(mgr.circuit_between(BrickId(0), BrickId(3)).is_none());
@@ -271,7 +276,10 @@ mod tests {
         assert_eq!(torn.id, id);
         assert_eq!(mgr.circuit_count(), 0);
         assert_eq!(mgr.switch().used_ports(), 0);
-        assert!(matches!(mgr.teardown(id), Err(OpticalError::NoSuchCircuit { .. })));
+        assert!(matches!(
+            mgr.teardown(id),
+            Err(OpticalError::NoSuchCircuit { .. })
+        ));
     }
 
     #[test]
@@ -304,7 +312,10 @@ mod tests {
         let mut ids = Vec::new();
         for brick in (0..4u32).step_by(2) {
             let id = mgr
-                .establish(PortId::new(BrickId(brick), 0), PortId::new(BrickId(brick + 1), 0))
+                .establish(
+                    PortId::new(BrickId(brick), 0),
+                    PortId::new(BrickId(brick + 1), 0),
+                )
                 .unwrap();
             ids.push(id);
         }

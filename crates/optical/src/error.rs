@@ -45,13 +45,23 @@ pub enum OpticalError {
 impl fmt::Display for OpticalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            OpticalError::SwitchPortBusy { port } => write!(f, "optical switch port {port} is already in use"),
-            OpticalError::NoSuchSwitchPort { port } => write!(f, "no such optical switch port: {port}"),
+            OpticalError::SwitchPortBusy { port } => {
+                write!(f, "optical switch port {port} is already in use")
+            }
+            OpticalError::NoSuchSwitchPort { port } => {
+                write!(f, "no such optical switch port: {port}")
+            }
             OpticalError::SwitchExhausted => write!(f, "optical switch has no free port pair"),
-            OpticalError::PortNotCabled { port } => write!(f, "brick port {port} is not cabled to the optical switch"),
+            OpticalError::PortNotCabled { port } => {
+                write!(f, "brick port {port} is not cabled to the optical switch")
+            }
             OpticalError::NoSuchCircuit { circuit } => write!(f, "no such circuit: {circuit}"),
-            OpticalError::BrickPortBusy { port } => write!(f, "brick port {port} already carries a circuit"),
-            OpticalError::NoFreeBrickPort { brick } => write!(f, "{brick} has no free GTH port for a new circuit"),
+            OpticalError::BrickPortBusy { port } => {
+                write!(f, "brick port {port} already carries a circuit")
+            }
+            OpticalError::NoFreeBrickPort { brick } => {
+                write!(f, "{brick} has no free GTH port for a new circuit")
+            }
         }
     }
 }
@@ -65,12 +75,22 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(OpticalError::SwitchPortBusy { port: 3 }.to_string().contains('3'));
-        assert!(OpticalError::SwitchExhausted.to_string().contains("free port"));
+        assert!(OpticalError::SwitchPortBusy { port: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(OpticalError::SwitchExhausted
+            .to_string()
+            .contains("free port"));
         let p = PortId::new(BrickId(1), 2);
-        assert!(OpticalError::PortNotCabled { port: p }.to_string().contains("brick1.gth2"));
-        assert!(OpticalError::NoSuchCircuit { circuit: 9 }.to_string().contains('9'));
-        assert!(OpticalError::NoFreeBrickPort { brick: BrickId(4) }.to_string().contains("brick4"));
+        assert!(OpticalError::PortNotCabled { port: p }
+            .to_string()
+            .contains("brick1.gth2"));
+        assert!(OpticalError::NoSuchCircuit { circuit: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(OpticalError::NoFreeBrickPort { brick: BrickId(4) }
+            .to_string()
+            .contains("brick4"));
     }
 
     #[test]

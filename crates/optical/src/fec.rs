@@ -30,7 +30,12 @@ pub enum FecMode {
 
 impl FecMode {
     /// All modes, in increasing order of strength.
-    pub const ALL: [FecMode; 4] = [FecMode::None, FecMode::BaseR, FecMode::Rs528, FecMode::Rs544];
+    pub const ALL: [FecMode; 4] = [
+        FecMode::None,
+        FecMode::BaseR,
+        FecMode::Rs528,
+        FecMode::Rs544,
+    ];
 
     /// Added latency per traversal (encode or decode side combined), as the
     /// paper argues this is >100 ns for real FEC implementations.

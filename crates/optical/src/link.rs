@@ -79,7 +79,10 @@ impl LinkBudget {
     ///
     /// Panics if `metres` is negative or not finite.
     pub fn with_fibre_metres(mut self, metres: f64) -> Self {
-        assert!(metres.is_finite() && metres >= 0.0, "fibre length must be finite and non-negative");
+        assert!(
+            metres.is_finite() && metres >= 0.0,
+            "fibre length must be finite and non-negative"
+        );
         self.fibre_metres = metres;
         self
     }
@@ -149,7 +152,10 @@ mod tests {
     fn propagation_delay_is_about_5ns_per_metre() {
         let link = LinkBudget::new(DecibelMilliwatts::new(0.0)).with_fibre_metres(10.0);
         let ns = link.propagation_delay().as_nanos();
-        assert!((48..=50).contains(&ns), "10 m of fibre should be ~49 ns, got {ns}");
+        assert!(
+            (48..=50).contains(&ns),
+            "10 m of fibre should be ~49 ns, got {ns}"
+        );
         let zero = LinkBudget::new(DecibelMilliwatts::new(0.0));
         assert_eq!(zero.propagation_delay(), SimDuration::ZERO);
     }

@@ -112,7 +112,11 @@ impl MidBoardOptics {
 
     /// Average launch power across channels.
     pub fn mean_launch_power(&self) -> DecibelMilliwatts {
-        let sum: f64 = self.channels.iter().map(|c| c.launch_power().as_dbm()).sum();
+        let sum: f64 = self
+            .channels
+            .iter()
+            .map(|c| c.launch_power().as_dbm())
+            .sum();
         DecibelMilliwatts::new(sum / self.channels.len().max(1) as f64)
     }
 }
@@ -145,7 +149,11 @@ mod tests {
     #[test]
     fn custom_mbo() {
         let mbo = MidBoardOptics::new(
-            vec![MboChannel::new(0, DecibelMilliwatts::new(-2.0), Bandwidth::from_gbps(25.0))],
+            vec![MboChannel::new(
+                0,
+                DecibelMilliwatts::new(-2.0),
+                Bandwidth::from_gbps(25.0),
+            )],
             1550,
         );
         assert_eq!(mbo.channel_count(), 1);

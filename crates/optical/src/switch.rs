@@ -65,7 +65,10 @@ impl OpticalCircuitSwitch {
     /// Panics if `port_count` is zero or `insertion_loss_db` is negative.
     pub fn new(port_count: u16, insertion_loss_db: f64, per_port_power: Watts) -> Self {
         assert!(port_count > 0, "switch must have at least one port");
-        assert!(insertion_loss_db >= 0.0, "insertion loss cannot be negative");
+        assert!(
+            insertion_loss_db >= 0.0,
+            "insertion loss cannot be negative"
+        );
         OpticalCircuitSwitch {
             port_count,
             insertion_loss_db,
@@ -199,15 +202,30 @@ mod tests {
         assert_eq!(sw.used_ports(), 2);
         assert!((sw.power_draw().as_watts() - 0.2).abs() < 1e-9);
 
-        assert!(matches!(sw.connect(3, 9), Err(OpticalError::SwitchPortBusy { port: 3 })));
-        assert!(matches!(sw.connect(9, 7), Err(OpticalError::SwitchPortBusy { port: 7 })));
-        assert!(matches!(sw.connect(5, 5), Err(OpticalError::SwitchPortBusy { .. })));
-        assert!(matches!(sw.connect(48, 1), Err(OpticalError::NoSuchSwitchPort { port: 48 })));
+        assert!(matches!(
+            sw.connect(3, 9),
+            Err(OpticalError::SwitchPortBusy { port: 3 })
+        ));
+        assert!(matches!(
+            sw.connect(9, 7),
+            Err(OpticalError::SwitchPortBusy { port: 7 })
+        ));
+        assert!(matches!(
+            sw.connect(5, 5),
+            Err(OpticalError::SwitchPortBusy { .. })
+        ));
+        assert!(matches!(
+            sw.connect(48, 1),
+            Err(OpticalError::NoSuchSwitchPort { port: 48 })
+        ));
 
         sw.disconnect(7).unwrap();
         assert_eq!(sw.used_ports(), 0);
         assert_eq!(sw.peer(3), None);
-        assert!(matches!(sw.disconnect(7), Err(OpticalError::NoSuchSwitchPort { .. })));
+        assert!(matches!(
+            sw.disconnect(7),
+            Err(OpticalError::NoSuchSwitchPort { .. })
+        ));
     }
 
     #[test]

@@ -84,7 +84,10 @@ impl BerMeasurementCampaign {
     ///
     /// Panics if `jitter_db` is negative or not finite.
     pub fn with_power_jitter(mut self, jitter_db: f64) -> Self {
-        assert!(jitter_db.is_finite() && jitter_db >= 0.0, "jitter must be finite and non-negative");
+        assert!(
+            jitter_db.is_finite() && jitter_db >= 0.0,
+            "jitter must be finite and non-negative"
+        );
         self.power_jitter_db = jitter_db;
         self
     }
@@ -95,7 +98,12 @@ impl BerMeasurementCampaign {
     }
 
     /// Measures one channel described by its link budget.
-    pub fn measure_channel(&self, label: &str, link: &LinkBudget, rng: &mut SimRng) -> ChannelMeasurement {
+    pub fn measure_channel(
+        &self,
+        label: &str,
+        link: &LinkBudget,
+        rng: &mut SimRng,
+    ) -> ChannelMeasurement {
         let nominal = link.received_power();
         let samples: Vec<f64> = (0..self.samples_per_channel)
             .map(|_| {
@@ -104,7 +112,8 @@ impl BerMeasurementCampaign {
                 self.receiver.ber(power)
             })
             .collect();
-        let summary = Summary::from_samples(&samples).expect("campaign produces at least one finite sample");
+        let summary =
+            Summary::from_samples(&samples).expect("campaign produces at least one finite sample");
         ChannelMeasurement {
             label: label.to_owned(),
             hops: link.switch_hops(),
@@ -154,8 +163,16 @@ mod tests {
         let mut rng = SimRng::seed(7);
         let m8 = campaign.measure_channel("ch-1 (8 hops)", &eight_hop_link(), &mut rng);
         let m6 = campaign.measure_channel("ch-8 (6 hops)", &six_hop_link(), &mut rng);
-        assert!(m8.is_error_free(), "8-hop channel should stay below 1e-12, max {:e}", m8.ber.max);
-        assert!(m6.is_error_free(), "6-hop channel should stay below 1e-12, max {:e}", m6.ber.max);
+        assert!(
+            m8.is_error_free(),
+            "8-hop channel should stay below 1e-12, max {:e}",
+            m8.ber.max
+        );
+        assert!(
+            m6.is_error_free(),
+            "6-hop channel should stay below 1e-12, max {:e}",
+            m6.ber.max
+        );
         // The channel with less loss has the better (lower) median BER.
         assert!(m6.ber.median < m8.ber.median);
         assert!(m6.received_power_dbm > m8.received_power_dbm);
@@ -179,7 +196,9 @@ mod tests {
 
     #[test]
     fn zero_jitter_collapses_the_box() {
-        let campaign = BerMeasurementCampaign::dredbox_default().with_power_jitter(0.0).with_samples(16);
+        let campaign = BerMeasurementCampaign::dredbox_default()
+            .with_power_jitter(0.0)
+            .with_samples(16);
         let mut rng = SimRng::seed(3);
         let m = campaign.measure_channel("ch", &eight_hop_link(), &mut rng);
         assert!((m.ber.max - m.ber.min).abs() < 1e-25);
@@ -202,8 +221,8 @@ mod tests {
     fn degraded_receiver_fails_the_error_free_target() {
         // A receiver 4 dB worse than the prototype's cannot keep the 8-hop
         // channel below 1e-12.
-        let campaign =
-            BerMeasurementCampaign::dredbox_default().with_receiver(ReceiverModel::with_sensitivity(-9.0));
+        let campaign = BerMeasurementCampaign::dredbox_default()
+            .with_receiver(ReceiverModel::with_sensitivity(-9.0));
         let mut rng = SimRng::seed(5);
         let m = campaign.measure_channel("bad", &eight_hop_link(), &mut rng);
         assert!(!m.is_error_free());

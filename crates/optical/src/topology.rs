@@ -114,19 +114,45 @@ impl OpticalTopology {
     fn free_cabled_port(&self, rack: &Rack, brick: BrickId) -> Option<PortId> {
         let b = rack.brick(brick)?;
         let free_ports: Vec<PortId> = match b {
-            Brick::Compute(c) => c.ports().iter().filter(|p| p.is_free()).map(|p| p.id()).collect(),
-            Brick::Memory(m) => m.ports().iter().filter(|p| p.is_free()).map(|p| p.id()).collect(),
-            Brick::Accelerator(a) => a.ports().iter().filter(|p| p.is_free()).map(|p| p.id()).collect(),
+            Brick::Compute(c) => c
+                .ports()
+                .iter()
+                .filter(|p| p.is_free())
+                .map(|p| p.id())
+                .collect(),
+            Brick::Memory(m) => m
+                .ports()
+                .iter()
+                .filter(|p| p.is_free())
+                .map(|p| p.id())
+                .collect(),
+            Brick::Accelerator(a) => a
+                .ports()
+                .iter()
+                .filter(|p| p.is_free())
+                .map(|p| p.id())
+                .collect(),
         };
-        free_ports.into_iter().find(|p| self.manager.cabled_to(*p).is_some())
+        free_ports
+            .into_iter()
+            .find(|p| self.manager.cabled_to(*p).is_some())
     }
 
     fn attach_brick_port(rack: &mut Rack, port: PortId, circuit: u64) {
         if let Some(brick) = rack.brick_mut(port.brick) {
             let result = match brick {
-                Brick::Compute(b) => b.ports_mut().port_mut(port.index).and_then(|p| p.attach_circuit(circuit)),
-                Brick::Memory(b) => b.ports_mut().port_mut(port.index).and_then(|p| p.attach_circuit(circuit)),
-                Brick::Accelerator(b) => b.ports_mut().port_mut(port.index).and_then(|p| p.attach_circuit(circuit)),
+                Brick::Compute(b) => b
+                    .ports_mut()
+                    .port_mut(port.index)
+                    .and_then(|p| p.attach_circuit(circuit)),
+                Brick::Memory(b) => b
+                    .ports_mut()
+                    .port_mut(port.index)
+                    .and_then(|p| p.attach_circuit(circuit)),
+                Brick::Accelerator(b) => b
+                    .ports_mut()
+                    .port_mut(port.index)
+                    .and_then(|p| p.attach_circuit(circuit)),
             };
             debug_assert!(result.is_ok(), "port chosen as free must attach");
         }
@@ -187,9 +213,15 @@ mod tests {
 
         // Both brick-side ports should now be circuit-attached.
         let cb = rack.brick(compute).unwrap().as_compute().unwrap();
-        assert!(matches!(cb.ports().port(0).unwrap().state(), PortState::Circuit { .. }));
+        assert!(matches!(
+            cb.ports().port(0).unwrap().state(),
+            PortState::Circuit { .. }
+        ));
         let mb = rack.brick(memory).unwrap().as_memory().unwrap();
-        assert!(matches!(mb.ports().port(0).unwrap().state(), PortState::Circuit { .. }));
+        assert!(matches!(
+            mb.ports().port(0).unwrap().state(),
+            PortState::Circuit { .. }
+        ));
         assert!(topo.manager().circuit_between(compute, memory).is_some());
 
         topo.disconnect(&mut rack, id).unwrap();

@@ -81,7 +81,9 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = OrchestratorError::NoComputeCapacity { requested_vcpus: 16 };
+        let e = OrchestratorError::NoComputeCapacity {
+            requested_vcpus: 16,
+        };
         assert!(e.to_string().contains("16"));
         let m: OrchestratorError = MemoryError::EmptyRequest.into();
         assert!(m.source().is_some());

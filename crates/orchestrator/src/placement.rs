@@ -52,8 +52,10 @@ impl PlacementPolicy {
     /// (all of them, as a last resort).
     pub fn choose(self, bricks: &[ComputeBrickView], vcpus: u32) -> Option<BrickId> {
         let fits_on = |b: &ComputeBrickView| b.free_cores >= vcpus;
-        let powered: Vec<ComputeBrickView> = bricks.iter().copied().filter(|b| b.powered_on).collect();
-        let sleeping: Vec<ComputeBrickView> = bricks.iter().copied().filter(|b| !b.powered_on).collect();
+        let powered: Vec<ComputeBrickView> =
+            bricks.iter().copied().filter(|b| b.powered_on).collect();
+        let sleeping: Vec<ComputeBrickView> =
+            bricks.iter().copied().filter(|b| !b.powered_on).collect();
 
         let choice = match self {
             PlacementPolicy::FirstFit => powered
@@ -112,8 +114,14 @@ mod tests {
             view(1, 32, 16, true, true),
             view(2, 32, 32, false, true),
         ];
-        assert_eq!(PlacementPolicy::FirstFit.choose(&bricks, 8), Some(BrickId(1)));
-        assert_eq!(PlacementPolicy::FirstFit.choose(&bricks, 1), Some(BrickId(0)));
+        assert_eq!(
+            PlacementPolicy::FirstFit.choose(&bricks, 8),
+            Some(BrickId(1))
+        );
+        assert_eq!(
+            PlacementPolicy::FirstFit.choose(&bricks, 1),
+            Some(BrickId(0))
+        );
         assert_eq!(PlacementPolicy::FirstFit.choose(&bricks, 33), None);
     }
 
@@ -125,18 +133,24 @@ mod tests {
             view(2, 32, 20, true, true),
         ];
         // Fits on an active brick: pick the fullest active brick that fits.
-        assert_eq!(PlacementPolicy::PowerAware.choose(&bricks, 8), Some(BrickId(1)));
+        assert_eq!(
+            PlacementPolicy::PowerAware.choose(&bricks, 8),
+            Some(BrickId(1))
+        );
         // Too big for active bricks: fall back to any powered brick.
-        assert_eq!(PlacementPolicy::PowerAware.choose(&bricks, 30), Some(BrickId(0)));
+        assert_eq!(
+            PlacementPolicy::PowerAware.choose(&bricks, 30),
+            Some(BrickId(0))
+        );
     }
 
     #[test]
     fn balanced_spreads_load() {
-        let bricks = [
-            view(0, 32, 12, true, true),
-            view(1, 32, 30, false, true),
-        ];
-        assert_eq!(PlacementPolicy::Balanced.choose(&bricks, 8), Some(BrickId(1)));
+        let bricks = [view(0, 32, 12, true, true), view(1, 32, 30, false, true)];
+        assert_eq!(
+            PlacementPolicy::Balanced.choose(&bricks, 8),
+            Some(BrickId(1))
+        );
         assert_eq!(PlacementPolicy::default(), PlacementPolicy::FirstFit);
     }
 
@@ -147,10 +161,19 @@ mod tests {
             view(1, 32, 0, false, false), // powered off, full capacity available once woken
         ];
         // Fits on the powered brick: do not wake.
-        assert_eq!(PlacementPolicy::PowerAware.choose(&bricks, 4), Some(BrickId(0)));
+        assert_eq!(
+            PlacementPolicy::PowerAware.choose(&bricks, 4),
+            Some(BrickId(0))
+        );
         // Does not fit: wake the sleeping brick.
-        assert_eq!(PlacementPolicy::PowerAware.choose(&bricks, 16), Some(BrickId(1)));
-        assert_eq!(PlacementPolicy::FirstFit.choose(&bricks, 16), Some(BrickId(1)));
+        assert_eq!(
+            PlacementPolicy::PowerAware.choose(&bricks, 16),
+            Some(BrickId(1))
+        );
+        assert_eq!(
+            PlacementPolicy::FirstFit.choose(&bricks, 16),
+            Some(BrickId(1))
+        );
         // Nothing can host 64 cores.
         assert_eq!(PlacementPolicy::FirstFit.choose(&bricks, 64), None);
     }

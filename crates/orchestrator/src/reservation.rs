@@ -16,7 +16,9 @@ use dredbox_sim::units::ByteSize;
 use crate::error::OrchestratorError;
 
 /// Identifier of a pending reservation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ReservationId(pub u64);
 
 impl std::fmt::Display for ReservationId {
@@ -215,7 +217,9 @@ mod tests {
         assert_eq!(ledger.held_cores(BrickId(0)), 0);
         assert_eq!(ledger.held_memory(), ByteSize::from_gib(4));
         ledger.commit(id).unwrap();
-        ledger.release_committed(None, 0, ByteSize::from_gib(4)).unwrap();
+        ledger
+            .release_committed(None, 0, ByteSize::from_gib(4))
+            .unwrap();
         assert_eq!(ledger.held_memory(), ByteSize::ZERO);
     }
 

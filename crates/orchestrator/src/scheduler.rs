@@ -56,9 +56,9 @@ impl Admission {
     /// Admission latency (queueing plus service), if admitted.
     pub fn latency(&self) -> Option<SimDuration> {
         match self {
-            Admission::Admitted { arrival, completed, .. } => {
-                Some(completed.saturating_duration_since(*arrival))
-            }
+            Admission::Admitted {
+                arrival, completed, ..
+            } => Some(completed.saturating_duration_since(*arrival)),
             Admission::Rejected { .. } => None,
         }
     }
@@ -88,7 +88,8 @@ impl ScheduleOutcome {
 
     /// Mean admission latency over admitted requests, if any were admitted.
     pub fn mean_latency(&self) -> Option<SimDuration> {
-        let latencies: Vec<SimDuration> = self.admissions.iter().filter_map(|a| a.latency()).collect();
+        let latencies: Vec<SimDuration> =
+            self.admissions.iter().filter_map(|a| a.latency()).collect();
         if latencies.is_empty() {
             return None;
         }
@@ -188,9 +189,18 @@ mod tests {
         let mut sdm = controller(4, 4);
         let mut scheduler = FcfsScheduler::new();
         // Submit out of order; the scheduler must serve by arrival time.
-        scheduler.submit(SimTime::from_secs(10), VmAllocationRequest::new(4, ByteSize::from_gib(8)));
-        scheduler.submit(SimTime::from_secs(1), VmAllocationRequest::new(4, ByteSize::from_gib(8)));
-        scheduler.submit(SimTime::from_secs(5), VmAllocationRequest::new(4, ByteSize::from_gib(8)));
+        scheduler.submit(
+            SimTime::from_secs(10),
+            VmAllocationRequest::new(4, ByteSize::from_gib(8)),
+        );
+        scheduler.submit(
+            SimTime::from_secs(1),
+            VmAllocationRequest::new(4, ByteSize::from_gib(8)),
+        );
+        scheduler.submit(
+            SimTime::from_secs(5),
+            VmAllocationRequest::new(4, ByteSize::from_gib(8)),
+        );
         assert_eq!(scheduler.len(), 3);
         assert!(!scheduler.is_empty());
 
@@ -209,7 +219,13 @@ mod tests {
             .collect();
         assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
         assert!(outcome.makespan > SimTime::from_secs(10));
-        assert!(outcome.mean_latency().expect("admitted requests").as_millis_f64() > 0.0);
+        assert!(
+            outcome
+                .mean_latency()
+                .expect("admitted requests")
+                .as_millis_f64()
+                > 0.0
+        );
     }
 
     #[test]
@@ -217,7 +233,10 @@ mod tests {
         let mut sdm = controller(8, 8);
         let mut scheduler = FcfsScheduler::new();
         for _ in 0..8 {
-            scheduler.submit(SimTime::ZERO, VmAllocationRequest::new(2, ByteSize::from_gib(4)));
+            scheduler.submit(
+                SimTime::ZERO,
+                VmAllocationRequest::new(2, ByteSize::from_gib(4)),
+            );
         }
         let outcome = scheduler.run(&mut sdm);
         assert_eq!(outcome.admitted_count(), 8);
@@ -235,16 +254,28 @@ mod tests {
         // includes seven service times on top of its own).
         let first = outcome.admissions[0].latency().expect("admitted");
         let last = outcome.admissions[7].latency().expect("admitted");
-        assert!(last > first.saturating_mul(2), "last {last} vs first {first}");
+        assert!(
+            last > first.saturating_mul(2),
+            "last {last} vs first {first}"
+        );
     }
 
     #[test]
     fn infeasible_requests_are_rejected_not_dropped() {
         let mut sdm = controller(1, 1);
         let mut scheduler = FcfsScheduler::new();
-        scheduler.submit(SimTime::ZERO, VmAllocationRequest::new(16, ByteSize::from_gib(16)));
-        scheduler.submit(SimTime::ZERO, VmAllocationRequest::new(64, ByteSize::from_gib(1)));
-        scheduler.submit(SimTime::ZERO, VmAllocationRequest::new(1, ByteSize::from_gib(500)));
+        scheduler.submit(
+            SimTime::ZERO,
+            VmAllocationRequest::new(16, ByteSize::from_gib(16)),
+        );
+        scheduler.submit(
+            SimTime::ZERO,
+            VmAllocationRequest::new(64, ByteSize::from_gib(1)),
+        );
+        scheduler.submit(
+            SimTime::ZERO,
+            VmAllocationRequest::new(1, ByteSize::from_gib(500)),
+        );
         let outcome = scheduler.run(&mut sdm);
         assert_eq!(outcome.admissions.len(), 3);
         assert_eq!(outcome.admitted_count(), 1);

@@ -81,7 +81,10 @@ impl SdmAgent {
         segment: &MemorySegment,
         port: PortId,
     ) -> Result<SimDuration, AgentError> {
-        let base = self.window.carve(segment.size).map_err(AgentError::Window)?;
+        let base = self
+            .window
+            .carve(segment.size)
+            .map_err(AgentError::Window)?;
         let entry = RmstEntry {
             base: base.0,
             size: segment.size,
@@ -104,13 +107,22 @@ impl SdmAgent {
     ///
     /// Returns an error if no segment is mapped at that base.
     pub fn apply_detach(&mut self, rmst_base: u64) -> Result<SimDuration, AgentError> {
-        let entry = self.tgl.unmap_segment(rmst_base).map_err(AgentError::Rmst)?;
+        let entry = self
+            .tgl
+            .unmap_segment(rmst_base)
+            .map_err(AgentError::Rmst)?;
         let _ = self
             .window
             .release(dredbox_memory::GlobalAddress(entry.base), entry.size);
         // Only drop the switch route if no other segment still targets the
         // same dMEMBRICK.
-        if self.tgl.rmst().entries_towards(entry.destination).next().is_none() {
+        if self
+            .tgl
+            .rmst()
+            .entries_towards(entry.destination)
+            .next()
+            .is_none()
+        {
             self.packet_switch.remove_route(entry.destination);
         }
         Ok(self.glue_config_latency + self.switch_table_latency)
@@ -196,7 +208,10 @@ mod tests {
         agent.apply_detach(bases[1]).unwrap();
         assert!(agent.packet_switch().route(BrickId(10)).is_err());
         assert_eq!(agent.mapped_remote_memory(), ByteSize::ZERO);
-        assert!(matches!(agent.apply_detach(bases[0]), Err(AgentError::Rmst(_))));
+        assert!(matches!(
+            agent.apply_detach(bases[0]),
+            Err(AgentError::Rmst(_))
+        ));
     }
 
     #[test]

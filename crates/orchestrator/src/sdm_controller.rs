@@ -164,7 +164,12 @@ impl SdmController {
     }
 
     /// Registers a dCOMPUBRICK (and spawns its SDM agent).
-    pub fn register_compute_brick(&mut self, brick: BrickId, cores: u32, gth_ports: u8) -> &mut Self {
+    pub fn register_compute_brick(
+        &mut self,
+        brick: BrickId,
+        cores: u32,
+        gth_ports: u8,
+    ) -> &mut Self {
         self.compute.insert(
             brick,
             ComputeState {
@@ -231,14 +236,15 @@ impl SdmController {
                 powered_on: s.powered_on,
             })
             .collect();
-        let brick = self
-            .placement
-            .choose(&views, request.vcpus)
-            .ok_or(OrchestratorError::NoComputeCapacity {
+        let brick = self.placement.choose(&views, request.vcpus).ok_or(
+            OrchestratorError::NoComputeCapacity {
                 requested_vcpus: request.vcpus,
-            })?;
+            },
+        )?;
         // Reserve, grant memory, then commit.
-        let reservation = self.ledger.reserve(Some(brick), request.vcpus, request.memory);
+        let reservation = self
+            .ledger
+            .reserve(Some(brick), request.vcpus, request.memory);
         let scale_up = match self.handle_scale_up(ScaleUpDemand::new(brick, request.memory)) {
             Ok(g) => g,
             Err(e) => {
@@ -247,7 +253,10 @@ impl SdmController {
             }
         };
         self.ledger.commit(reservation)?;
-        let state = self.compute.get_mut(&brick).expect("placement returned a registered brick");
+        let state = self
+            .compute
+            .get_mut(&brick)
+            .expect("placement returned a registered brick");
         state.used_cores += request.vcpus;
         state.vm_count += 1;
         state.powered_on = true;
@@ -264,7 +273,10 @@ impl SdmController {
     /// * Memory-pool errors when the pool cannot cover the demand.
     /// * [`OrchestratorError::AttachLimit`] if the agent cannot install the
     ///   mapping (RMST or remote-window exhaustion).
-    pub fn handle_scale_up(&mut self, demand: ScaleUpDemand) -> Result<ScaleUpGrant, OrchestratorError> {
+    pub fn handle_scale_up(
+        &mut self,
+        demand: ScaleUpDemand,
+    ) -> Result<ScaleUpGrant, OrchestratorError> {
         if !self.compute.contains_key(&demand.compute_brick) {
             return Err(OrchestratorError::UnknownComputeBrick {
                 brick: demand.compute_brick,
@@ -293,10 +305,16 @@ impl SdmController {
                 new_circuits += 1;
             }
         }
-        service_time += self.timings.circuit_switch_program.saturating_mul(u64::from(new_circuits));
+        service_time += self
+            .timings
+            .circuit_switch_program
+            .saturating_mul(u64::from(new_circuits));
 
         // Push the attach configuration to the SDM agent.
-        let state = self.compute.get_mut(&demand.compute_brick).expect("checked above");
+        let state = self
+            .compute
+            .get_mut(&demand.compute_brick)
+            .expect("checked above");
         let agent = self
             .agents
             .get_mut(&demand.compute_brick)
@@ -346,7 +364,10 @@ impl SdmController {
     /// # Errors
     ///
     /// Propagates pool errors for unknown segments.
-    pub fn release_scale_up(&mut self, grant: &ScaleUpGrant) -> Result<SimDuration, OrchestratorError> {
+    pub fn release_scale_up(
+        &mut self,
+        grant: &ScaleUpGrant,
+    ) -> Result<SimDuration, OrchestratorError> {
         let mut service_time = self.timings.request_rpc + self.timings.reservation_write;
         if let Some(agent) = self.agents.get_mut(&grant.demand.compute_brick) {
             for base in &grant.rmst_bases {
@@ -453,7 +474,10 @@ mod tests {
         assert!(t.as_millis_f64() > 0.0);
         assert_eq!(sdm.pool().total_allocated(), ByteSize::ZERO);
         assert_eq!(sdm.ledger().held_memory(), ByteSize::ZERO);
-        assert_eq!(sdm.agent(BrickId(1)).unwrap().mapped_remote_memory(), ByteSize::ZERO);
+        assert_eq!(
+            sdm.agent(BrickId(1)).unwrap().mapped_remote_memory(),
+            ByteSize::ZERO
+        );
         assert_eq!(sdm.idle_membricks().len(), 4);
     }
 
@@ -481,7 +505,11 @@ mod tests {
         assert!(sdm
             .allocate_vm(VmAllocationRequest::new(1, ByteSize::from_gib(500)))
             .is_err());
-        assert_eq!(sdm.pool().total_free(), before_free, "failed allocation must not leak");
+        assert_eq!(
+            sdm.pool().total_free(),
+            before_free,
+            "failed allocation must not leak"
+        );
     }
 
     #[test]
@@ -507,7 +535,10 @@ mod tests {
         let results = sdm.scale_up_burst(&demands);
         assert_eq!(results.len(), 4);
         for pair in results.windows(2) {
-            assert!(pair[1].1 > pair[0].1, "completion delays must be increasing");
+            assert!(
+                pair[1].1 > pair[0].1,
+                "completion delays must be increasing"
+            );
         }
         // The last requester waits for everyone ahead of it.
         let total_service: SimDuration = results.iter().map(|(g, _)| g.service_time).sum();

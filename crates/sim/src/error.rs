@@ -52,8 +52,13 @@ mod tests {
         };
         assert!(e.to_string().contains("10 ns"));
         assert!(e.to_string().contains("5 ns"));
-        assert_eq!(SimError::EmptySamples.to_string(), "statistic requested over an empty sample set");
-        let q = SimError::InvalidQuantity { what: "negative bandwidth".into() };
+        assert_eq!(
+            SimError::EmptySamples.to_string(),
+            "statistic requested over an empty sample set"
+        );
+        let q = SimError::InvalidQuantity {
+            what: "negative bandwidth".into(),
+        };
         assert!(q.to_string().contains("negative bandwidth"));
     }
 

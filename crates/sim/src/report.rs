@@ -20,7 +20,10 @@ pub struct Row {
 
 impl Row {
     /// Creates a row from a label and displayable cells.
-    pub fn new<L: Into<String>, C: fmt::Display>(label: L, cells: impl IntoIterator<Item = C>) -> Self {
+    pub fn new<L: Into<String>, C: fmt::Display>(
+        label: L,
+        cells: impl IntoIterator<Item = C>,
+    ) -> Self {
         Row {
             label: label.into(),
             cells: cells.into_iter().map(|c| c.to_string()).collect(),
@@ -49,7 +52,10 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table with the given title and column headers.
-    pub fn new<T: Into<String>, H: Into<String>>(title: T, headers: impl IntoIterator<Item = H>) -> Self {
+    pub fn new<T: Into<String>, H: Into<String>>(
+        title: T,
+        headers: impl IntoIterator<Item = H>,
+    ) -> Self {
         Table {
             title: title.into(),
             headers: headers.into_iter().map(Into::into).collect(),
@@ -82,7 +88,11 @@ impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Compute column widths across header + rows.
         let cols = self.headers.len().max(
-            self.rows.iter().map(|r| r.cells.len() + 1).max().unwrap_or(1),
+            self.rows
+                .iter()
+                .map(|r| r.cells.len() + 1)
+                .max()
+                .unwrap_or(1),
         );
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
@@ -132,7 +142,11 @@ pub struct Series {
 
 impl Series {
     /// Creates an empty series.
-    pub fn new<N: Into<String>, X: Into<String>, Y: Into<String>>(name: N, x_label: X, y_label: Y) -> Self {
+    pub fn new<N: Into<String>, X: Into<String>, Y: Into<String>>(
+        name: N,
+        x_label: X,
+        y_label: Y,
+    ) -> Self {
         Series {
             name: name.into(),
             x_label: x_label.into(),
@@ -158,16 +172,18 @@ impl Series {
 
     /// Maximum y value, if any point exists.
     pub fn y_max(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, y)| y).fold(None, |acc, y| {
-            Some(acc.map_or(y, |m: f64| m.max(y)))
-        })
+        self.points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(None, |acc, y| Some(acc.map_or(y, |m: f64| m.max(y))))
     }
 
     /// Minimum y value, if any point exists.
     pub fn y_min(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, y)| y).fold(None, |acc, y| {
-            Some(acc.map_or(y, |m: f64| m.min(y)))
-        })
+        self.points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(None, |acc, y| Some(acc.map_or(y, |m: f64| m.min(y))))
     }
 }
 

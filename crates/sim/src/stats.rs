@@ -220,7 +220,10 @@ impl Histogram {
     pub fn bucket_bounds(&self, idx: usize) -> (f64, f64) {
         assert!(idx < self.buckets.len(), "bucket index out of range");
         let width = (self.hi - self.lo) / self.buckets.len() as f64;
-        (self.lo + width * idx as f64, self.lo + width * (idx + 1) as f64)
+        (
+            self.lo + width * idx as f64,
+            self.lo + width * (idx + 1) as f64,
+        )
     }
 }
 

@@ -18,7 +18,9 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_micros(2);
 /// assert_eq!(t.as_nanos(), 2_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, measured in nanoseconds.
@@ -28,7 +30,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_millis(3) + SimDuration::from_micros(500);
 /// assert_eq!(d.as_micros_f64(), 3_500.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -120,7 +124,10 @@ impl SimDuration {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "seconds must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "seconds must be finite and non-negative"
+        );
         SimDuration((secs * 1e9).round() as u64)
     }
 
@@ -130,7 +137,10 @@ impl SimDuration {
     ///
     /// Panics if `micros` is negative or not finite.
     pub fn from_micros_f64(micros: f64) -> Self {
-        assert!(micros.is_finite() && micros >= 0.0, "microseconds must be finite and non-negative");
+        assert!(
+            micros.is_finite() && micros >= 0.0,
+            "microseconds must be finite and non-negative"
+        );
         SimDuration((micros * 1e3).round() as u64)
     }
 
@@ -140,7 +150,10 @@ impl SimDuration {
     ///
     /// Panics if `nanos` is negative or not finite.
     pub fn from_nanos_f64(nanos: f64) -> Self {
-        assert!(nanos.is_finite() && nanos >= 0.0, "nanoseconds must be finite and non-negative");
+        assert!(
+            nanos.is_finite() && nanos >= 0.0,
+            "nanoseconds must be finite and non-negative"
+        );
         SimDuration(nanos.round() as u64)
     }
 

@@ -20,7 +20,9 @@ use crate::time::SimDuration;
 /// let total = ByteSize::from_gib(2) + ByteSize::from_mib(512);
 /// assert_eq!(total.as_mib(), 2_560);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ByteSize(u64);
 
 impl ByteSize {
@@ -173,7 +175,10 @@ impl Bandwidth {
     ///
     /// Panics if `bps` is not finite or is negative.
     pub fn from_bps(bps: f64) -> Self {
-        assert!(bps.is_finite() && bps >= 0.0, "bandwidth must be finite and non-negative");
+        assert!(
+            bps.is_finite() && bps >= 0.0,
+            "bandwidth must be finite and non-negative"
+        );
         Bandwidth(bps)
     }
 
@@ -242,7 +247,10 @@ impl DecibelMilliwatts {
     ///
     /// Panics if `loss_db` is negative or not finite.
     pub fn attenuate(self, loss_db: f64) -> DecibelMilliwatts {
-        assert!(loss_db.is_finite() && loss_db >= 0.0, "loss must be finite and non-negative");
+        assert!(
+            loss_db.is_finite() && loss_db >= 0.0,
+            "loss must be finite and non-negative"
+        );
         DecibelMilliwatts(self.0 - loss_db)
     }
 }
@@ -264,7 +272,10 @@ impl Milliwatts {
     ///
     /// Panics if `mw` is negative or not finite.
     pub fn new(mw: f64) -> Self {
-        assert!(mw.is_finite() && mw >= 0.0, "power must be finite and non-negative");
+        assert!(
+            mw.is_finite() && mw >= 0.0,
+            "power must be finite and non-negative"
+        );
         Milliwatts(mw)
     }
 
@@ -301,7 +312,10 @@ impl Watts {
     ///
     /// Panics if `w` is negative or not finite.
     pub fn new(w: f64) -> Self {
-        assert!(w.is_finite() && w >= 0.0, "power must be finite and non-negative");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "power must be finite and non-negative"
+        );
         Watts(w)
     }
 

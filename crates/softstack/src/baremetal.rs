@@ -105,7 +105,11 @@ mod tests {
     use super::*;
 
     fn os() -> BaremetalOs {
-        BaremetalOs::new(BrickId(0), ByteSize::from_gib(4), HotplugModel::dredbox_default())
+        BaremetalOs::new(
+            BrickId(0),
+            ByteSize::from_gib(4),
+            HotplugModel::dredbox_default(),
+        )
     }
 
     #[test]
@@ -128,7 +132,10 @@ mod tests {
         let mut os = os();
         os.online_remote(ByteSize::from_gib(8));
         let t = os.offline_remote(ByteSize::from_gib(4)).unwrap();
-        assert!(t > os.hotplug_model().online_time(ByteSize::from_gib(4)), "offlining is slower");
+        assert!(
+            t > os.hotplug_model().online_time(ByteSize::from_gib(4)),
+            "offlining is slower"
+        );
         assert_eq!(os.onlined_remote(), ByteSize::from_gib(4));
         assert!(matches!(
             os.offline_remote(ByteSize::from_gib(16)),

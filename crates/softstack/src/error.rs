@@ -55,12 +55,18 @@ impl fmt::Display for SoftstackError {
                 brick,
                 requested,
                 available,
-            } => write!(f, "{brick}: requested {requested} vcpus but only {available} cores are free"),
+            } => write!(
+                f,
+                "{brick}: requested {requested} vcpus but only {available} cores are free"
+            ),
             SoftstackError::InsufficientMemory {
                 brick,
                 requested,
                 available,
-            } => write!(f, "{brick}: requested {requested} but only {available} is available to guests"),
+            } => write!(
+                f,
+                "{brick}: requested {requested} but only {available} is available to guests"
+            ),
             SoftstackError::DetachUnderflow { vm } => {
                 write!(f, "{vm}: detach requested more memory than the vm holds")
             }
@@ -76,14 +82,18 @@ mod tests {
 
     #[test]
     fn display_names_the_subject() {
-        assert!(SoftstackError::NoSuchVm { vm: VmId(3) }.to_string().contains("vm3"));
+        assert!(SoftstackError::NoSuchVm { vm: VmId(3) }
+            .to_string()
+            .contains("vm3"));
         let e = SoftstackError::InsufficientMemory {
             brick: BrickId(1),
             requested: ByteSize::from_gib(8),
             available: ByteSize::from_gib(4),
         };
         assert!(e.to_string().contains("8.00 GiB"));
-        assert!(SoftstackError::DetachUnderflow { vm: VmId(1) }.to_string().contains("vm1"));
+        assert!(SoftstackError::DetachUnderflow { vm: VmId(1) }
+            .to_string()
+            .contains("vm1"));
     }
 
     #[test]

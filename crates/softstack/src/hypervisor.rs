@@ -95,7 +95,10 @@ impl Hypervisor {
 
     /// Number of VMs (in any state except terminated).
     pub fn vm_count(&self) -> usize {
-        self.vms.values().filter(|vm| !matches!(vm.state(), crate::vm::VmState::Terminated)).count()
+        self.vms
+            .values()
+            .filter(|vm| !matches!(vm.state(), crate::vm::VmState::Terminated))
+            .count()
     }
 
     /// Looks up a VM.
@@ -156,7 +159,11 @@ impl Hypervisor {
     /// * [`SoftstackError::NoSuchVm`] / [`SoftstackError::VmNotRunning`].
     /// * [`SoftstackError::InsufficientMemory`] if the hypervisor has not
     ///   been given that much spare memory.
-    pub fn hot_add_dimm(&mut self, vm: VmId, amount: ByteSize) -> Result<SimDuration, SoftstackError> {
+    pub fn hot_add_dimm(
+        &mut self,
+        vm: VmId,
+        amount: ByteSize,
+    ) -> Result<SimDuration, SoftstackError> {
         if amount > self.free_memory() {
             return Err(SoftstackError::InsufficientMemory {
                 brick: self.brick(),
@@ -165,7 +172,10 @@ impl Hypervisor {
             });
         }
         let guest_hotplug: HotplugModel = *self.os.hotplug_model();
-        let vm_ref = self.vms.get_mut(&vm).ok_or(SoftstackError::NoSuchVm { vm })?;
+        let vm_ref = self
+            .vms
+            .get_mut(&vm)
+            .ok_or(SoftstackError::NoSuchVm { vm })?;
         if !vm_ref.is_running() {
             return Err(SoftstackError::VmNotRunning { vm });
         }
@@ -182,9 +192,16 @@ impl Hypervisor {
     /// * [`SoftstackError::NoSuchVm`] / [`SoftstackError::VmNotRunning`].
     /// * [`SoftstackError::DetachUnderflow`] if the VM does not hold that
     ///   much hot-added memory.
-    pub fn hot_remove(&mut self, vm: VmId, amount: ByteSize) -> Result<SimDuration, SoftstackError> {
+    pub fn hot_remove(
+        &mut self,
+        vm: VmId,
+        amount: ByteSize,
+    ) -> Result<SimDuration, SoftstackError> {
         let guest_hotplug: HotplugModel = *self.os.hotplug_model();
-        let vm_ref = self.vms.get_mut(&vm).ok_or(SoftstackError::NoSuchVm { vm })?;
+        let vm_ref = self
+            .vms
+            .get_mut(&vm)
+            .ok_or(SoftstackError::NoSuchVm { vm })?;
         if !vm_ref.is_running() {
             return Err(SoftstackError::VmNotRunning { vm });
         }
@@ -201,7 +218,10 @@ impl Hypervisor {
     ///
     /// Returns [`SoftstackError::NoSuchVm`] for unknown VMs.
     pub fn destroy_vm(&mut self, vm: VmId) -> Result<(), SoftstackError> {
-        let vm_ref = self.vms.get_mut(&vm).ok_or(SoftstackError::NoSuchVm { vm })?;
+        let vm_ref = self
+            .vms
+            .get_mut(&vm)
+            .ok_or(SoftstackError::NoSuchVm { vm })?;
         if vm_ref.is_running() {
             self.allocated_cores -= vm_ref.spec().vcpus;
         }
@@ -216,7 +236,11 @@ mod tests {
     use dredbox_memory::HotplugModel;
 
     fn hypervisor() -> Hypervisor {
-        let os = BaremetalOs::new(BrickId(0), ByteSize::from_gib(4), HotplugModel::dredbox_default());
+        let os = BaremetalOs::new(
+            BrickId(0),
+            ByteSize::from_gib(4),
+            HotplugModel::dredbox_default(),
+        );
         Hypervisor::new(os, 4)
     }
 
@@ -246,7 +270,10 @@ mod tests {
         hv.destroy_vm(vm).unwrap();
         assert_eq!(hv.vm_count(), 0);
         assert_eq!(hv.free_cores(), 4);
-        assert!(matches!(hv.destroy_vm(VmId(99)), Err(SoftstackError::NoSuchVm { .. })));
+        assert!(matches!(
+            hv.destroy_vm(VmId(99)),
+            Err(SoftstackError::NoSuchVm { .. })
+        ));
     }
 
     #[test]
@@ -261,7 +288,10 @@ mod tests {
         // Baremetal OS onlines 16 GiB of remote memory (the SDM agent's job).
         hv.os_mut().online_remote(ByteSize::from_gib(16));
         let t = hv.hot_add_dimm(vm, ByteSize::from_gib(8)).unwrap();
-        assert!(t.as_millis_f64() > 100.0 && t.as_secs_f64() < 2.0, "dimm add took {t}");
+        assert!(
+            t.as_millis_f64() > 100.0 && t.as_secs_f64() < 2.0,
+            "dimm add took {t}"
+        );
         assert_eq!(hv.vm(vm).unwrap().current_memory(), ByteSize::from_gib(11));
         assert_eq!(hv.vm(vm).unwrap().scale_up_count(), 1);
     }

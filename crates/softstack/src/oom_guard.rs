@@ -62,7 +62,9 @@ impl OomGuardPolicy {
     /// step is zero.
     pub fn validate(&self) {
         assert!(
-            0.0 < self.low_watermark && self.low_watermark < self.high_watermark && self.high_watermark < 1.0,
+            0.0 < self.low_watermark
+                && self.low_watermark < self.high_watermark
+                && self.high_watermark < 1.0,
             "watermarks must satisfy 0 < low < high < 1"
         );
         assert!(!self.grow_step.is_zero(), "grow step must be non-zero");
@@ -216,7 +218,9 @@ mod tests {
         }
         // The fourth consecutive low sample releases one step.
         let action = guard.observe(ByteSize::from_gib(2), ByteSize::from_gib(16));
-        assert!(matches!(action, GuardAction::ScaleDown(amount) if amount == ByteSize::from_gib(2)));
+        assert!(
+            matches!(action, GuardAction::ScaleDown(amount) if amount == ByteSize::from_gib(2))
+        );
         assert_eq!(guard.scale_downs_triggered(), 1);
         // A pressure blip resets the counter.
         assert_eq!(
@@ -236,7 +240,11 @@ mod tests {
         let mut guard = OomGuard::default();
         for _ in 0..16 {
             let action = guard.observe(ByteSize::from_mib(100), ByteSize::from_gib(2));
-            assert_eq!(action, GuardAction::None, "a guest at the floor must not shrink");
+            assert_eq!(
+                action,
+                GuardAction::None,
+                "a guest at the floor must not shrink"
+            );
         }
     }
 

@@ -51,13 +51,20 @@ impl ScaleOutBaseline {
         let startup = startup.max(self.min_startup.as_secs_f64());
         // Each request also waits, on average, for half of its peers at the
         // control plane before being admitted.
-        let queueing = self.per_concurrent_penalty.as_secs_f64() * (concurrency.saturating_sub(1) as f64) / 2.0;
+        let queueing = self.per_concurrent_penalty.as_secs_f64()
+            * (concurrency.saturating_sub(1) as f64)
+            / 2.0;
         SimDuration::from_secs_f64(startup + queueing)
     }
 
     /// Average provisioning delay over a burst of `concurrency` simultaneous
     /// requests.
-    pub fn average_delay(&self, concurrency: usize, samples: usize, rng: &mut SimRng) -> SimDuration {
+    pub fn average_delay(
+        &self,
+        concurrency: usize,
+        samples: usize,
+        rng: &mut SimRng,
+    ) -> SimDuration {
         assert!(samples > 0, "need at least one sample");
         let total: f64 = (0..samples)
             .map(|_| self.provision_delay(concurrency, rng).as_secs_f64())
@@ -82,7 +89,10 @@ mod tests {
         let mut rng = SimRng::seed(1);
         for _ in 0..100 {
             let d = model.provision_delay(1, &mut rng).as_secs_f64();
-            assert!((40.0..=200.0).contains(&d), "delay {d}s outside plausible range");
+            assert!(
+                (40.0..=200.0).contains(&d),
+                "delay {d}s outside plausible range"
+            );
         }
     }
 
@@ -100,7 +110,10 @@ mod tests {
     fn scale_out_is_orders_of_magnitude_slower_than_a_second() {
         let model = ScaleOutBaseline::default();
         let avg = model.average_delay(8, 100, &mut SimRng::seed(3));
-        assert!(avg.as_secs_f64() > 60.0, "scale-out must be tens of seconds, got {avg}");
+        assert!(
+            avg.as_secs_f64() > 60.0,
+            "scale-out must be tens of seconds, got {avg}"
+        );
     }
 
     #[test]

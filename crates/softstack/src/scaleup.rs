@@ -174,7 +174,11 @@ mod tests {
     use dredbox_memory::HotplugModel;
 
     fn setup() -> (Hypervisor, VmId) {
-        let os = BaremetalOs::new(BrickId(0), ByteSize::from_gib(4), HotplugModel::dredbox_default());
+        let os = BaremetalOs::new(
+            BrickId(0),
+            ByteSize::from_gib(4),
+            HotplugModel::dredbox_default(),
+        );
         let mut hv = Hypervisor::new(os, 4);
         let (vm, _) = hv.create_vm(VmSpec::new(2, ByteSize::from_gib(2))).unwrap();
         (hv, vm)
@@ -184,15 +188,24 @@ mod tests {
     fn grant_flows_through_both_hotplug_layers() {
         let (mut hv, vm) = setup();
         let controller = ScaleUpController::default();
-        let outcome = controller.apply_grant(&mut hv, vm, ByteSize::from_gib(8)).unwrap();
+        let outcome = controller
+            .apply_grant(&mut hv, vm, ByteSize::from_gib(8))
+            .unwrap();
         assert_eq!(outcome.vm, vm);
         assert_eq!(outcome.amount, ByteSize::from_gib(8));
         assert!(outcome.baremetal_online.as_millis_f64() > 0.0);
         assert!(outcome.guest_hotplug.as_millis_f64() > 0.0);
-        assert_eq!(outcome.control_overhead, ScaleUpTimings::dredbox_default().fixed_overhead());
+        assert_eq!(
+            outcome.control_overhead,
+            ScaleUpTimings::dredbox_default().fixed_overhead()
+        );
         // Scale-up completes within about a second on the brick — the key
         // property behind Figure 10.
-        assert!(outcome.total().as_secs_f64() < 1.5, "total was {}", outcome.total());
+        assert!(
+            outcome.total().as_secs_f64() < 1.5,
+            "total was {}",
+            outcome.total()
+        );
         assert_eq!(hv.vm(vm).unwrap().current_memory(), ByteSize::from_gib(10));
         assert_eq!(hv.os().onlined_remote(), ByteSize::from_gib(8));
     }
@@ -201,8 +214,12 @@ mod tests {
     fn reclaim_reverses_a_grant() {
         let (mut hv, vm) = setup();
         let controller = ScaleUpController::default();
-        controller.apply_grant(&mut hv, vm, ByteSize::from_gib(8)).unwrap();
-        let outcome = controller.apply_reclaim(&mut hv, vm, ByteSize::from_gib(8)).unwrap();
+        controller
+            .apply_grant(&mut hv, vm, ByteSize::from_gib(8))
+            .unwrap();
+        let outcome = controller
+            .apply_reclaim(&mut hv, vm, ByteSize::from_gib(8))
+            .unwrap();
         assert!(outcome.total() > SimDuration::ZERO);
         assert_eq!(hv.vm(vm).unwrap().current_memory(), ByteSize::from_gib(2));
         assert_eq!(hv.os().onlined_remote(), ByteSize::ZERO);
@@ -214,7 +231,11 @@ mod tests {
         let controller = ScaleUpController::default();
         let err = controller.apply_grant(&mut hv, VmId(404), ByteSize::from_gib(8));
         assert!(matches!(err, Err(SoftstackError::NoSuchVm { .. })));
-        assert_eq!(hv.os().onlined_remote(), ByteSize::ZERO, "baremetal attach must be rolled back");
+        assert_eq!(
+            hv.os().onlined_remote(),
+            ByteSize::ZERO,
+            "baremetal attach must be rolled back"
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@ use dredbox_memory::BalloonDevice;
 use dredbox_sim::units::ByteSize;
 
 /// Identifier of a virtual machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct VmId(pub u64);
 
 impl std::fmt::Display for VmId {

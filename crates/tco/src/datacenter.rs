@@ -196,7 +196,8 @@ impl DisaggregatedDatacenter {
     pub fn aggregate(&self) -> ResourceVector {
         ResourceVector::new(
             self.compute_cores_per_brick * self.compute_bricks as u32,
-            self.memory_per_brick.saturating_mul(self.memory_bricks as u64),
+            self.memory_per_brick
+                .saturating_mul(self.memory_bricks as u64),
         )
     }
 
@@ -256,8 +257,8 @@ impl DisaggregatedDatacenter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dredbox_workload::WorkloadConfig;
     use dredbox_sim::rng::SimRng;
+    use dredbox_workload::WorkloadConfig;
     use proptest::prelude::*;
 
     fn conventional() -> ConventionalDatacenter {
@@ -272,7 +273,10 @@ mod tests {
     fn aggregates_are_equal_as_in_figure_11() {
         assert_eq!(conventional().aggregate(), disaggregated().aggregate());
         assert_eq!(conventional().aggregate().cores(), 2048);
-        assert_eq!(conventional().aggregate().memory(), ByteSize::from_gib(2048));
+        assert_eq!(
+            conventional().aggregate().memory(),
+            ByteSize::from_gib(2048)
+        );
     }
 
     #[test]
@@ -297,7 +301,11 @@ mod tests {
         let conv = conventional().pack_fcfs(&workload);
         let dis = disaggregated().pack_fcfs(&workload);
         // Conventional servers are core-bound: one VM per server, nothing off.
-        assert!(conv.off_fraction() < 0.1, "conventional off {}", conv.off_fraction());
+        assert!(
+            conv.off_fraction() < 0.1,
+            "conventional off {}",
+            conv.off_fraction()
+        );
         // Disaggregated: almost all memory bricks are idle.
         assert!(
             dis.memory_off_fraction() > 0.75,

@@ -48,9 +48,14 @@ impl TcoPowerModel {
     /// Power drawn by the disaggregated datacenter after powering off unused
     /// bricks.
     pub fn disaggregated_power(&self, outcome: &DisaggregatedOutcome) -> Watts {
-        self.compute_brick_active.scale(outcome.compute_bricks_used as f64)
-            + self.memory_brick_active.scale(outcome.memory_bricks_used as f64)
-            + self.network_per_active_brick.scale(outcome.compute_bricks_used as f64)
+        self.compute_brick_active
+            .scale(outcome.compute_bricks_used as f64)
+            + self
+                .memory_brick_active
+                .scale(outcome.memory_bricks_used as f64)
+            + self
+                .network_per_active_brick
+                .scale(outcome.compute_bricks_used as f64)
     }
 
     /// dReDBox power normalized to the conventional datacenter (the Figure
@@ -69,7 +74,11 @@ impl TcoPowerModel {
     }
 
     /// Energy savings fraction in `[0, 1]` (1 − normalized power, clamped).
-    pub fn savings(&self, conventional: &ConventionalOutcome, disaggregated: &DisaggregatedOutcome) -> f64 {
+    pub fn savings(
+        &self,
+        conventional: &ConventionalOutcome,
+        disaggregated: &DisaggregatedOutcome,
+    ) -> f64 {
         (1.0 - self.normalized_power(conventional, disaggregated)).clamp(0.0, 1.0)
     }
 }
@@ -92,7 +101,12 @@ mod tests {
         }
     }
 
-    fn dis(cb_total: usize, cb_used: usize, mb_total: usize, mb_used: usize) -> DisaggregatedOutcome {
+    fn dis(
+        cb_total: usize,
+        cb_used: usize,
+        mb_total: usize,
+        mb_used: usize,
+    ) -> DisaggregatedOutcome {
         DisaggregatedOutcome {
             total_compute_bricks: cb_total,
             compute_bricks_used: cb_used,

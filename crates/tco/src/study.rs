@@ -59,11 +59,28 @@ impl TcoResults {
     /// Renders Figure 12: percentage of unutilized resources that can be
     /// powered off, per configuration and datacenter type.
     pub fn figure12(&self) -> Figure {
-        let mut fig = Figure::new("Figure 12 — Percentage of unutilized resources that can be powered off");
-        let mut conventional = Series::new("conventional hosts off", "Table I configuration index", "% powered off");
-        let mut compute = Series::new("dReDBox dCOMPUBRICKs off", "Table I configuration index", "% powered off");
-        let mut memory = Series::new("dReDBox dMEMBRICKs off", "Table I configuration index", "% powered off");
-        let mut combined = Series::new("dReDBox all bricks off", "Table I configuration index", "% powered off");
+        let mut fig =
+            Figure::new("Figure 12 — Percentage of unutilized resources that can be powered off");
+        let mut conventional = Series::new(
+            "conventional hosts off",
+            "Table I configuration index",
+            "% powered off",
+        );
+        let mut compute = Series::new(
+            "dReDBox dCOMPUBRICKs off",
+            "Table I configuration index",
+            "% powered off",
+        );
+        let mut memory = Series::new(
+            "dReDBox dMEMBRICKs off",
+            "Table I configuration index",
+            "% powered off",
+        );
+        let mut combined = Series::new(
+            "dReDBox all bricks off",
+            "Table I configuration index",
+            "% powered off",
+        );
         for (idx, o) in self.outcomes.iter().enumerate() {
             let x = idx as f64;
             conventional.push(x, o.conventional.off_fraction() * 100.0);
@@ -85,8 +102,14 @@ impl TcoResults {
     /// Renders Figure 13: power consumption normalized to the conventional
     /// datacenter.
     pub fn figure13(&self) -> Figure {
-        let mut fig = Figure::new("Figure 13 — Estimated power consumption, normalized to the conventional datacenter");
-        let mut conventional = Series::new("conventional (baseline)", "Table I configuration index", "normalized power");
+        let mut fig = Figure::new(
+            "Figure 13 — Estimated power consumption, normalized to the conventional datacenter",
+        );
+        let mut conventional = Series::new(
+            "conventional (baseline)",
+            "Table I configuration index",
+            "normalized power",
+        );
         let mut dredbox = Series::new("dReDBox", "Table I configuration index", "normalized power");
         for (idx, o) in self.outcomes.iter().enumerate() {
             let x = idx as f64;
@@ -216,7 +239,10 @@ impl TcoStudy {
         table.push(Row::new(
             "dReDBox",
             [
-                format!("{} dCOMPUBRICKs + {} dMEMBRICKs", self.servers, self.servers),
+                format!(
+                    "{} dCOMPUBRICKs + {} dMEMBRICKs",
+                    self.servers, self.servers
+                ),
                 dis.cores().to_string(),
                 dis.memory().to_string(),
             ],
@@ -262,7 +288,10 @@ mod tests {
     #[test]
     fn figure11_aggregates_match() {
         let study = TcoStudy::paper_setup();
-        assert_eq!(study.conventional().aggregate(), study.disaggregated().aggregate());
+        assert_eq!(
+            study.conventional().aggregate(),
+            study.disaggregated().aggregate()
+        );
         let table = study.figure11();
         assert_eq!(table.len(), 2);
         assert_eq!(
@@ -294,7 +323,11 @@ mod tests {
         }
         // Paper: up to ~50% energy savings; the balanced Half-Half mix saves
         // essentially nothing.
-        assert!(results.max_savings() > 0.3, "max savings {}", results.max_savings());
+        assert!(
+            results.max_savings() > 0.3,
+            "max savings {}",
+            results.max_savings()
+        );
         let half = results.outcome(WorkloadConfig::HalfHalf).unwrap();
         assert!(half.normalized_power > 0.9);
         // Unbalanced mixes beat the balanced one.

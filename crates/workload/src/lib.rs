@@ -36,7 +36,9 @@ pub use traces::{ArrivalTrace, DiurnalPattern};
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::demand::VmDemand;
-    pub use crate::pilots::{NetworkAnalyticsWorkload, NfvKeyServerWorkload, VideoAnalyticsWorkload};
+    pub use crate::pilots::{
+        NetworkAnalyticsWorkload, NfvKeyServerWorkload, VideoAnalyticsWorkload,
+    };
     pub use crate::table1::WorkloadConfig;
     pub use crate::traces::{ArrivalTrace, DiurnalPattern};
 }

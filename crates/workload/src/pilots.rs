@@ -105,7 +105,8 @@ impl NfvKeyServerWorkload {
     /// The scale-up (positive) or scale-down (negative) in bytes needed when
     /// moving from `from_hour` to `to_hour`.
     pub fn memory_delta(&self, from_hour: f64, to_hour: f64) -> i64 {
-        self.memory_at_hour(to_hour).as_bytes() as i64 - self.memory_at_hour(from_hour).as_bytes() as i64
+        self.memory_at_hour(to_hour).as_bytes() as i64
+            - self.memory_at_hour(from_hour).as_bytes() as i64
     }
 
     /// Why scale-out is unacceptable for this pilot: replicating the key

@@ -90,8 +90,16 @@ impl WorkloadConfig {
     pub fn sample(self, rng: &mut SimRng) -> VmDemand {
         let (c_lo, c_hi) = self.vcpu_range();
         let (m_lo, m_hi) = self.ram_range_gib();
-        let vcpus = if c_lo == c_hi { c_lo } else { rng.range(c_lo..=c_hi) };
-        let ram = if m_lo == m_hi { m_lo } else { rng.range(m_lo..=m_hi) };
+        let vcpus = if c_lo == c_hi {
+            c_lo
+        } else {
+            rng.range(c_lo..=c_hi)
+        };
+        let ram = if m_lo == m_hi {
+            m_lo
+        } else {
+            rng.range(m_lo..=m_hi)
+        };
         VmDemand::from_gib(vcpus, ram)
     }
 
@@ -140,19 +148,36 @@ mod tests {
     fn table1_matches_the_paper() {
         let t = WorkloadConfig::table1();
         assert_eq!(t.len(), 6);
-        assert_eq!(t.row("Random").unwrap().cells, vec!["1-32 cores", "1-32 GB"]);
-        assert_eq!(t.row("High RAM").unwrap().cells, vec!["1-8 cores", "24-32 GB"]);
-        assert_eq!(t.row("High CPU").unwrap().cells, vec!["24-32 cores", "1-8 GB"]);
+        assert_eq!(
+            t.row("Random").unwrap().cells,
+            vec!["1-32 cores", "1-32 GB"]
+        );
+        assert_eq!(
+            t.row("High RAM").unwrap().cells,
+            vec!["1-8 cores", "24-32 GB"]
+        );
+        assert_eq!(
+            t.row("High CPU").unwrap().cells,
+            vec!["24-32 cores", "1-8 GB"]
+        );
         assert_eq!(t.row("Half Half").unwrap().cells, vec!["16 cores", "16 GB"]);
-        assert_eq!(t.row("More Ram").unwrap().cells, vec!["1-6 cores", "17-32 GB"]);
-        assert_eq!(t.row("More CPU").unwrap().cells, vec!["17-32 cores", "1-16 GB"]);
+        assert_eq!(
+            t.row("More Ram").unwrap().cells,
+            vec!["1-6 cores", "17-32 GB"]
+        );
+        assert_eq!(
+            t.row("More CPU").unwrap().cells,
+            vec!["17-32 cores", "1-16 GB"]
+        );
     }
 
     #[test]
     fn half_half_is_deterministic() {
         let mut rng = SimRng::seed(0);
         let vms = WorkloadConfig::HalfHalf.generate(10, &mut rng);
-        assert!(vms.iter().all(|vm| vm.vcpus == 16 && vm.memory.as_gib() == 16));
+        assert!(vms
+            .iter()
+            .all(|vm| vm.vcpus == 16 && vm.memory.as_gib() == 16));
         assert!(!WorkloadConfig::HalfHalf.is_unbalanced());
         assert!(WorkloadConfig::HighRam.is_unbalanced());
     }

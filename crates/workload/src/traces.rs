@@ -20,7 +20,10 @@ impl ArrivalTrace {
     ///
     /// Panics if the mean is zero.
     pub fn new(mean_interarrival: SimDuration) -> Self {
-        assert!(mean_interarrival.as_nanos() > 0, "mean inter-arrival must be positive");
+        assert!(
+            mean_interarrival.as_nanos() > 0,
+            "mean inter-arrival must be positive"
+        );
         ArrivalTrace { mean_interarrival }
     }
 
@@ -68,7 +71,11 @@ impl DiurnalPattern {
     pub fn new(trough: f64, peak: f64, peak_hour: f64) -> Self {
         assert!((0.0..=1.0).contains(&trough) && (0.0..=1.0).contains(&peak) && trough <= peak);
         assert!((0.0..24.0).contains(&peak_hour));
-        DiurnalPattern { trough, peak, peak_hour }
+        DiurnalPattern {
+            trough,
+            peak,
+            peak_hour,
+        }
     }
 
     /// Relative load level in `[trough, peak]` at `hour` (fractional hours

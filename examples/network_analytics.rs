@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --example network_analytics`
 
-use dredbox::prelude::*;
 use dredbox::bricks::{Bitstream, BrickKind};
+use dredbox::prelude::*;
 use dredbox::sim::time::SimDuration;
 use dredbox::sim::units::ByteSize;
 use dredbox::workload::NetworkAnalyticsWorkload;
@@ -27,8 +27,8 @@ fn main() -> Result<(), SystemError> {
     // Load the classifier bitstream into an accelerator brick of the
     // prototype catalog (the datacenter_rack config has no accelerator
     // bricks, so model the near-data path standalone).
-    let mut accel = dredbox::bricks::Catalog::prototype()
-        .accelerator_brick(dredbox::bricks::BrickId(10_000));
+    let mut accel =
+        dredbox::bricks::Catalog::prototype().accelerator_brick(dredbox::bricks::BrickId(10_000));
     let programming = accel
         .load_bitstream(Bitstream::new("frame-classifier", ByteSize::from_mib(24)))
         .expect("empty slot accepts the bitstream");
@@ -52,8 +52,12 @@ fn main() -> Result<(), SystemError> {
     // A datacenter-wide memory peak arrives: shed the last growth step but
     // keep analysing (the pilot's "continuously executed" requirement).
     let before = system.vm_memory(vm).expect("vm exists");
-    let last_step = workload.offline_memory(SimDuration::from_secs(900)).min(ByteSize::from_gib(96))
-        - workload.offline_memory(SimDuration::from_secs(300)).min(ByteSize::from_gib(96));
+    let last_step = workload
+        .offline_memory(SimDuration::from_secs(900))
+        .min(ByteSize::from_gib(96))
+        - workload
+            .offline_memory(SimDuration::from_secs(300))
+            .min(ByteSize::from_gib(96));
     if system.scale_down(vm, last_step).is_ok() {
         println!(
             "memory peak elsewhere: offline stage shrank {before} -> {} and keeps running",

@@ -15,7 +15,10 @@ use dredbox::workload::NfvKeyServerWorkload;
 fn main() -> Result<(), SystemError> {
     let mut system = DredboxSystem::build(SystemConfig::datacenter_rack(2, 4, 4))?;
     let workload = NfvKeyServerWorkload::dredbox_default();
-    assert!(workload.requires_scale_up(), "key material must never be replicated");
+    assert!(
+        workload.requires_scale_up(),
+        "key material must never be replicated"
+    );
 
     // The key server starts at its nightly baseline.
     let base = workload.memory_at_hour(3.0);
@@ -52,7 +55,9 @@ fn main() -> Result<(), SystemError> {
                 Err(_) => {
                     // The exact grant size is not always released in one
                     // piece; keep the memory until the nightly consolidation.
-                    println!("{hour:02}:00  traffic falling: deferring release to the nightly window");
+                    println!(
+                        "{hour:02}:00  traffic falling: deferring release to the nightly window"
+                    );
                 }
             }
         } else {

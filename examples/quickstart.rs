@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use dredbox::prelude::*;
 use dredbox::bricks::BrickKind;
+use dredbox::prelude::*;
 use dredbox::sim::units::ByteSize;
 
 fn main() -> Result<(), SystemError> {
@@ -32,7 +32,10 @@ fn main() -> Result<(), SystemError> {
         "scale-up of {}: orchestration {} + brick-local hotplug {} = {} end to end",
         report.amount, report.orchestration_delay, report.brick_delay, report.total_delay
     );
-    println!("the VM now sees {}", system.vm_memory(vm).expect("vm still there"));
+    println!(
+        "the VM now sees {}",
+        system.vm_memory(vm).expect("vm still there")
+    );
 
     // What would one remote read cost on the configured data path?
     let breakdown = system.remote_read_latency(ByteSize::from_bytes(64));

@@ -19,19 +19,31 @@ fn full_vm_lifecycle_on_the_prototype_rack() {
     // Fill the rack with VMs, each taking memory from the pool.
     let mut handles = Vec::new();
     for _ in 0..4 {
-        handles.push(system.allocate_vm(2, ByteSize::from_gib(8)).expect("vm fits"));
+        handles.push(
+            system
+                .allocate_vm(2, ByteSize::from_gib(8))
+                .expect("vm fits"),
+        );
     }
     assert_eq!(system.vm_count(), 4);
-    assert_eq!(system.sdm().pool().total_allocated(), ByteSize::from_gib(32));
+    assert_eq!(
+        system.sdm().pool().total_allocated(),
+        ByteSize::from_gib(32)
+    );
 
     // Scale each VM up and verify memory bookkeeping end to end: the VM, the
     // compute brick's attachment counter and the pool all agree.
     for &vm in &handles {
-        let report = system.scale_up(vm, ByteSize::from_gib(4)).expect("scale up");
+        let report = system
+            .scale_up(vm, ByteSize::from_gib(4))
+            .expect("scale up");
         assert!(report.total_delay.as_secs_f64() < 2.0);
         assert_eq!(system.vm_memory(vm), Some(ByteSize::from_gib(12)));
     }
-    assert_eq!(system.sdm().pool().total_allocated(), ByteSize::from_gib(48));
+    assert_eq!(
+        system.sdm().pool().total_allocated(),
+        ByteSize::from_gib(48)
+    );
     let attached_total: u64 = system
         .rack()
         .bricks()
@@ -77,7 +89,9 @@ fn power_aware_placement_consolidates_and_powers_off() {
     // Eight small VMs: power-aware placement should pack them onto few
     // bricks.
     for _ in 0..8 {
-        system.allocate_vm(4, ByteSize::from_gib(4)).expect("vm fits");
+        system
+            .allocate_vm(4, ByteSize::from_gib(4))
+            .expect("vm fits");
     }
     let sweep = system.power_off_unused();
     assert!(
@@ -95,7 +109,9 @@ fn power_aware_placement_consolidates_and_powers_off() {
 #[test]
 fn oversubscription_is_rejected_without_leaking_resources() {
     let mut system = DredboxSystem::build(SystemConfig::prototype_rack()).expect("build");
-    let vm = system.allocate_vm(4, ByteSize::from_gib(100)).expect("fits in the 128 GiB pool");
+    let vm = system
+        .allocate_vm(4, ByteSize::from_gib(100))
+        .expect("fits in the 128 GiB pool");
     // The pool now holds 100 GiB; another 100 GiB cannot fit.
     let before_free = system.sdm().pool().total_free();
     assert!(system.allocate_vm(4, ByteSize::from_gib(100)).is_err());
@@ -111,5 +127,9 @@ fn oversubscription_is_rejected_without_leaking_resources() {
 fn remote_reads_are_sub_microsecond_on_the_circuit_path() {
     let system = DredboxSystem::build(SystemConfig::prototype_rack()).expect("build");
     let breakdown = system.remote_read_latency(ByteSize::from_bytes(64));
-    assert!(breakdown.total().as_nanos() < 1_000, "circuit path read took {}", breakdown.total());
+    assert!(
+        breakdown.total().as_nanos() < 1_000,
+        "circuit path read took {}",
+        breakdown.total()
+    );
 }

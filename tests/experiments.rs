@@ -32,7 +32,14 @@ fn experiments_are_deterministic_per_seed() {
 #[test]
 fn printed_artifacts_contain_the_paper_vocabulary() {
     let table1 = experiments::table1().to_string();
-    for name in ["Random", "High RAM", "High CPU", "Half Half", "More Ram", "More CPU"] {
+    for name in [
+        "Random",
+        "High RAM",
+        "High CPU",
+        "Half Half",
+        "More Ram",
+        "More CPU",
+    ] {
         assert!(table1.contains(name), "Table I must mention {name}");
     }
     let fig7 = experiments::fig7(7).to_string();
@@ -54,13 +61,20 @@ fn headline_shapes_hold_across_seeds() {
         let fig7 = experiments::fig7(seed);
         for name in ["ch-1 (8 hops)", "ch-8 (6 hops)"] {
             let series = fig7.series_named(name).expect("channel series");
-            assert!(series.y_max().expect("points") < 1e-12, "seed {seed}: {name} above 1e-12");
+            assert!(
+                series.y_max().expect("points") < 1e-12,
+                "seed {seed}: {name} above 1e-12"
+            );
         }
         // Figure 10: scale-up beats scale-out by at least 10x at every
         // concurrency level.
         let fig10 = experiments::fig10(seed);
-        let up = fig10.series_named("dReDBox scale-up").expect("scale-up series");
-        let out = fig10.series_named("conventional scale-out").expect("scale-out series");
+        let up = fig10
+            .series_named("dReDBox scale-up")
+            .expect("scale-up series");
+        let out = fig10
+            .series_named("conventional scale-out")
+            .expect("scale-out series");
         for (&(_, u), &(_, o)) in up.points.iter().zip(out.points.iter()) {
             assert!(u * 10.0 < o, "seed {seed}: {u} vs {o}");
         }
@@ -72,8 +86,18 @@ fn headline_shapes_hold_across_seeds() {
             .chain(fig12.series_named("dReDBox dMEMBRICKs off"))
             .filter_map(|s| s.y_max())
             .fold(0.0f64, f64::max);
-        assert!(best > 70.0, "seed {seed}: best brick-type off fraction {best}%");
+        assert!(
+            best > 70.0,
+            "seed {seed}: best brick-type off fraction {best}%"
+        );
         let fig13 = experiments::fig13(seed);
-        assert!(fig13.series_named("dReDBox").expect("series").y_min().expect("points") < 0.7);
+        assert!(
+            fig13
+                .series_named("dReDBox")
+                .expect("series")
+                .y_min()
+                .expect("points")
+                < 0.7
+        );
     }
 }

@@ -5,7 +5,8 @@
 use dredbox::bricks::{BrickKind, Catalog};
 use dredbox::interconnect::{LatencyComponent, LatencyConfig, RemoteMemoryPath};
 use dredbox::optical::{
-    BerMeasurementCampaign, LinkBudget, MidBoardOptics, OpticalCircuitSwitch, OpticalTopology, ReceiverModel,
+    BerMeasurementCampaign, LinkBudget, MidBoardOptics, OpticalCircuitSwitch, OpticalTopology,
+    ReceiverModel,
 };
 use dredbox::sim::rng::SimRng;
 use dredbox::sim::units::{ByteSize, DecibelMilliwatts};
@@ -92,7 +93,10 @@ fn fec_free_requirement_shows_up_in_the_latency_model() {
     );
     let delta = with_fec.read(ByteSize::from_bytes(64)).total()
         - base.read(ByteSize::from_bytes(64)).total();
-    assert!(delta.as_nanos() >= 400, "FEC should add >=400 ns per round trip, added {delta}");
+    assert!(
+        delta.as_nanos() >= 400,
+        "FEC should add >=400 ns per round trip, added {delta}"
+    );
 
     // Propagation is a minor but visible slice of the breakdown.
     let share = base

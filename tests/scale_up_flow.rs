@@ -11,9 +11,15 @@ use dredbox::sim::units::ByteSize;
 use dredbox::softstack::{BaremetalOs, Hypervisor, ScaleOutBaseline, ScaleUpController, VmSpec};
 
 fn brick_stack(brick: u32) -> (Hypervisor, dredbox::softstack::VmId) {
-    let os = BaremetalOs::new(BrickId(brick), ByteSize::from_gib(2), HotplugModel::dredbox_default());
+    let os = BaremetalOs::new(
+        BrickId(brick),
+        ByteSize::from_gib(2),
+        HotplugModel::dredbox_default(),
+    );
     let mut hv = Hypervisor::new(os, 32);
-    let (vm, _) = hv.create_vm(VmSpec::new(2, ByteSize::from_gib(1))).expect("initial vm");
+    let (vm, _) = hv
+        .create_vm(VmSpec::new(2, ByteSize::from_gib(1)))
+        .expect("initial vm");
     (hv, vm)
 }
 
@@ -28,7 +34,9 @@ fn scale_up_attaches_memory_through_every_layer() {
     let grant = sdm
         .handle_scale_up(ScaleUpDemand::new(BrickId(0), ByteSize::from_gib(8)))
         .expect("pool has space");
-    let outcome = scaleup.apply_grant(&mut hv, vm, ByteSize::from_gib(8)).expect("apply");
+    let outcome = scaleup
+        .apply_grant(&mut hv, vm, ByteSize::from_gib(8))
+        .expect("apply");
 
     // Orchestration side: pool, ledger, agent RMST and switch routes agree.
     assert_eq!(sdm.pool().total_allocated(), ByteSize::from_gib(8));
@@ -40,7 +48,10 @@ fn scale_up_attaches_memory_through_every_layer() {
 
     // Brick side: baremetal onlined the memory and the guest received it.
     assert_eq!(hv.os().onlined_remote(), ByteSize::from_gib(8));
-    assert_eq!(hv.vm(vm).expect("vm").current_memory(), ByteSize::from_gib(9));
+    assert_eq!(
+        hv.vm(vm).expect("vm").current_memory(),
+        ByteSize::from_gib(9)
+    );
     assert_eq!(hv.vm(vm).expect("vm").scale_up_count(), 1);
 
     // Latency plausibility: orchestration tens of ms, hotplug a few hundred
@@ -49,11 +60,16 @@ fn scale_up_attaches_memory_through_every_layer() {
     assert!(outcome.total().as_secs_f64() < 1.0);
 
     // And it all unwinds.
-    let reclaim = scaleup.apply_reclaim(&mut hv, vm, ByteSize::from_gib(8)).expect("reclaim");
+    let reclaim = scaleup
+        .apply_reclaim(&mut hv, vm, ByteSize::from_gib(8))
+        .expect("reclaim");
     assert!(reclaim.total() > dredbox::sim::time::SimDuration::ZERO);
     sdm.release_scale_up(&grant).expect("release");
     assert_eq!(sdm.pool().total_allocated(), ByteSize::ZERO);
-    assert_eq!(sdm.agent(BrickId(0)).expect("agent").mapped_remote_memory(), ByteSize::ZERO);
+    assert_eq!(
+        sdm.agent(BrickId(0)).expect("agent").mapped_remote_memory(),
+        ByteSize::ZERO
+    );
     assert_eq!(hv.os().onlined_remote(), ByteSize::ZERO);
 }
 
@@ -73,7 +89,9 @@ fn concurrent_bursts_degrade_gracefully_and_beat_scale_out() {
         }
         let scaleup = ScaleUpController::default();
         let demands: Vec<ScaleUpDemand> = (0..concurrency)
-            .map(|i| ScaleUpDemand::new(BrickId(i as u32), ByteSize::from_gib(rng.range(1u64..=16))))
+            .map(|i| {
+                ScaleUpDemand::new(BrickId(i as u32), ByteSize::from_gib(rng.range(1u64..=16)))
+            })
             .collect();
         let grants = sdm.scale_up_burst(&demands);
         assert_eq!(grants.len(), concurrency, "no request may be dropped");
@@ -81,7 +99,9 @@ fn concurrent_bursts_degrade_gracefully_and_beat_scale_out() {
         let mut total = 0.0;
         for (i, (grant, completion)) in grants.iter().enumerate() {
             let (hv, vm) = &mut stacks[i];
-            let outcome = scaleup.apply_grant(hv, *vm, grant.demand.amount).expect("apply");
+            let outcome = scaleup
+                .apply_grant(hv, *vm, grant.demand.amount)
+                .expect("apply");
             total += (*completion + outcome.total()).as_secs_f64();
         }
         averages.push(total / concurrency as f64);
@@ -90,7 +110,11 @@ fn concurrent_bursts_degrade_gracefully_and_beat_scale_out() {
     // More concurrency means more queueing at the SDM controller...
     assert!(averages[2] > averages[1] && averages[1] > averages[0]);
     // ...but even the most aggressive burst stays within seconds...
-    assert!(averages[2] < 10.0, "32-way average was {:.2} s", averages[2]);
+    assert!(
+        averages[2] < 10.0,
+        "32-way average was {:.2} s",
+        averages[2]
+    );
     // ...which is at least an order of magnitude better than scale-out.
     let scale_out = ScaleOutBaseline::mao_humphrey_default()
         .average_delay(32, 64, &mut rng)
@@ -109,6 +133,9 @@ fn failed_attach_rolls_back_across_layers() {
         .is_err());
     assert_eq!(sdm.pool().total_allocated(), ByteSize::ZERO);
     assert_eq!(sdm.ledger().held_memory(), ByteSize::ZERO);
-    assert_eq!(sdm.agent(BrickId(0)).expect("agent").mapped_remote_memory(), ByteSize::ZERO);
+    assert_eq!(
+        sdm.agent(BrickId(0)).expect("agent").mapped_remote_memory(),
+        ByteSize::ZERO
+    );
     let _ = LatencyConfig::dredbox_default();
 }

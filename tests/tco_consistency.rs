@@ -10,7 +10,10 @@ use dredbox::workload::{VmDemand, WorkloadConfig};
 #[test]
 fn equal_aggregate_requirement_of_figure_11_holds() {
     let study = TcoStudy::paper_setup();
-    assert_eq!(study.conventional().aggregate(), study.disaggregated().aggregate());
+    assert_eq!(
+        study.conventional().aggregate(),
+        study.disaggregated().aggregate()
+    );
 }
 
 #[test]
@@ -52,18 +55,29 @@ fn paper_headline_claims_hold_in_shape() {
 
     // "The opportunity to power down resources may translate into almost 50%
     // energy savings depending on the workload."
-    assert!(results.max_savings() >= 0.35, "max savings {:.0}%", results.max_savings() * 100.0);
+    assert!(
+        results.max_savings() >= 0.35,
+        "max savings {:.0}%",
+        results.max_savings() * 100.0
+    );
 
     // The balanced mix shows essentially no advantage — the point of the
     // unbalanced-vs-balanced comparison.
-    let half = results.outcome(WorkloadConfig::HalfHalf).expect("half half present");
+    let half = results
+        .outcome(WorkloadConfig::HalfHalf)
+        .expect("half half present");
     assert!(half.normalized_power > 0.9);
 
     // Disaggregation never *hurts*: normalized power stays at or below ~1,
     // and the disaggregated datacenter never rejects more VMs than the
     // conventional one.
     for outcome in &results.outcomes {
-        assert!(outcome.normalized_power <= 1.05, "{}: {}", outcome.config, outcome.normalized_power);
+        assert!(
+            outcome.normalized_power <= 1.05,
+            "{}: {}",
+            outcome.config,
+            outcome.normalized_power
+        );
         assert!(outcome.disaggregated.rejected_vms <= outcome.conventional.rejected_vms);
     }
 }
@@ -80,7 +94,10 @@ fn disaggregated_packing_dominates_conventional_packing() {
         let workload = config.generate(48, &mut rng);
         let conv = conventional.pack_fcfs(&workload);
         let dis = disaggregated.pack_fcfs(&workload);
-        assert!(dis.rejected_vms <= conv.rejected_vms, "{config}: disaggregated rejected more VMs");
+        assert!(
+            dis.rejected_vms <= conv.rejected_vms,
+            "{config}: disaggregated rejected more VMs"
+        );
         assert!(
             dis.combined_off_fraction() + 1e-9 >= conv.off_fraction() - 0.35,
             "{config}: sanity bound on off fractions"
@@ -96,15 +113,23 @@ fn power_model_is_consistent_with_packing_extremes() {
 
     // Fully loaded with balanced VMs: both datacenters burn about the same.
     let full: Vec<VmDemand> = (0..32).map(|_| VmDemand::from_gib(16, 16)).collect();
-    let ratio_full = power.normalized_power(&conventional.pack_fcfs(&full), &disaggregated.pack_fcfs(&full));
-    assert!((ratio_full - 1.0).abs() < 0.05, "balanced full load ratio {ratio_full}");
+    let ratio_full = power.normalized_power(
+        &conventional.pack_fcfs(&full),
+        &disaggregated.pack_fcfs(&full),
+    );
+    assert!(
+        (ratio_full - 1.0).abs() < 0.05,
+        "balanced full load ratio {ratio_full}"
+    );
 
     // One tiny memory-heavy VM: the conventional DC keeps a whole server on,
     // the disaggregated one keeps one compute brick + one memory brick on —
     // at most the same power, usually similar; the savings come from *many*
     // such VMs consolidating, which the study tests cover.
     let single = vec![VmDemand::from_gib(1, 24)];
-    let ratio_single =
-        power.normalized_power(&conventional.pack_fcfs(&single), &disaggregated.pack_fcfs(&single));
+    let ratio_single = power.normalized_power(
+        &conventional.pack_fcfs(&single),
+        &disaggregated.pack_fcfs(&single),
+    );
     assert!(ratio_single <= 1.05);
 }

@@ -1,0 +1,37 @@
+//! One-command workspace smoke check.
+//!
+//! Exercises the facade quickstart contract — build a prototype rack,
+//! allocate a VM — without the heavier experiment suites, so
+//! `cargo test --test workspace_smoke` gives a fast signal that the
+//! workspace wiring (all ten crates plus the facade) is intact.
+
+use dredbox::prelude::*;
+use dredbox_sim::units::ByteSize;
+
+#[test]
+fn prototype_rack_builds_and_allocates() {
+    let mut system =
+        DredboxSystem::build(SystemConfig::prototype_rack()).expect("prototype rack builds");
+
+    let vm = system
+        .allocate_vm(2, ByteSize::from_gib(4))
+        .expect("2-core / 4 GiB VM fits in the prototype rack");
+
+    let report = system
+        .scale_up(vm, ByteSize::from_gib(8))
+        .expect("scale-up to 8 GiB succeeds");
+    assert!(
+        report.total_delay.as_secs_f64() < 1.5,
+        "scale-up agility contract: delay was {:?}",
+        report.total_delay
+    );
+}
+
+#[test]
+fn facade_reexports_every_layer() {
+    // Touch one item per re-exported sub-crate so a broken re-export fails
+    // this cheap test rather than only the full integration suites.
+    let _ = dredbox::bricks::BrickId(1);
+    let _ = dredbox::sim::units::ByteSize::from_gib(1);
+    let _ = std::any::type_name::<dredbox::SystemError>();
+}

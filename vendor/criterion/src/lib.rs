@@ -1,0 +1,265 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the exact API surface the `dredbox-bench` benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! wall-clock measurement loop instead of criterion's statistical machinery.
+//! Benches therefore compile under `cargo bench --no-run` and, when actually
+//! run, print a median-of-batches nanoseconds-per-iteration estimate.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost. Only a hint here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input: large batches.
+    SmallInput,
+    /// Large per-iteration input: small batches.
+    LargeInput,
+    /// Fresh input for every iteration.
+    PerIteration,
+    /// Explicit number of batches.
+    NumBatches(u64),
+    /// Explicit number of iterations per batch.
+    NumIterations(u64),
+}
+
+impl BatchSize {
+    fn iters_per_batch(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+            BatchSize::NumBatches(_) => 16,
+            BatchSize::NumIterations(n) => n.max(1),
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timing loop for one benchmark.
+pub struct Bencher {
+    nanos_per_iter: f64,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            nanos_per_iter: f64::NAN,
+            budget,
+        }
+    }
+
+    /// Times `routine` back-to-back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate a batch size so one batch takes roughly 1/50 of the
+        // budget: timing whole batches keeps clock-read overhead out of
+        // nanosecond-scale routines and bounds the number of samples kept.
+        let calibration = Instant::now();
+        let mut probe_iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..probe_iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= self.budget / 50 || probe_iters >= 1 << 24 {
+                break;
+            }
+            probe_iters *= 2;
+        }
+        let per_batch = probe_iters;
+
+        let mut samples = Vec::new();
+        while calibration.elapsed() < self.budget || samples.is_empty() {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / per_batch as f64);
+        }
+        self.record(samples);
+    }
+
+    /// Times `routine` on inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let per_batch = size.iters_per_batch() as usize;
+        let started = Instant::now();
+        let mut samples = Vec::new();
+        while started.elapsed() < self.budget || samples.is_empty() {
+            let inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / per_batch as f64);
+        }
+        self.record(samples);
+    }
+
+    /// Like `iter_batched`, but the routine borrows its input.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size)
+    }
+
+    fn record(&mut self, mut samples: Vec<f64>) {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.nanos_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Keep `cargo bench` quick: this stub is about compiling and
+            // smoke-running the benches, not statistics.
+            budget: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.budget);
+        f(&mut bencher);
+        report(name, bencher.nanos_per_iter);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.criterion.budget);
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), bencher.nanos_per_iter);
+        self
+    }
+
+    /// Runs one benchmark in the group with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.criterion.budget);
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id), bencher.nanos_per_iter);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export matching `criterion::black_box` (forwards to `std::hint`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+fn report(name: &str, nanos: f64) {
+    if nanos >= 1_000_000.0 {
+        println!("{name:60} {:>12.3} ms/iter", nanos / 1_000_000.0);
+    } else if nanos >= 1_000.0 {
+        println!("{name:60} {:>12.3} us/iter", nanos / 1_000.0);
+    } else {
+        println!("{name:60} {nanos:>12.1} ns/iter");
+    }
+}
+
+/// Declares a group function that runs each target, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs every group, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

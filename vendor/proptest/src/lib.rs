@@ -1,0 +1,287 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of proptest this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro over `fn name(arg in strategy, ...) { body }`
+//! * range strategies over integers and floats (`0u64..1_000`)
+//! * tuple strategies (`(0u32..6, proptest::bool::ANY)`)
+//! * [`collection::vec`] with a `Range<usize>` length
+//! * [`bool::ANY`]
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`]
+//!
+//! Instead of proptest's shrinking search, each property runs a fixed number
+//! of deterministic cases from a seeded SplitMix64 stream: reproducible
+//! run-to-run, which is what the simulation test-suite relies on.
+
+/// Deterministic RNG handed to strategies by the [`proptest!`] expansion.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream; each generated test uses a distinct case index.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty length range");
+        let span = (hi - lo) as u64;
+        lo + (((self.next_u64() as u128 * span as u128) >> 64) as usize)
+    }
+}
+
+/// A generator of test-case values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Produces one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! range_strategy_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + (((rng.next_u64() as u128 * span as u128) >> 64) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full 64-bit inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(((rng.next_u64() as u128 * span as u128) >> 64) as $t)
+            }
+        }
+    )*};
+}
+range_strategy_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! range_strategy_int {
+    ($($t:ty : $u:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let offset = ((rng.next_u64() as u128 * span as u128) >> 64) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+range_strategy_int!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+macro_rules! range_strategy_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+range_strategy_float!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+/// Wraps a constant as a strategy, mirroring `proptest::strategy::Just`.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies, mirroring `proptest::bool`.
+
+    use super::{Strategy, TestRng};
+
+    /// A fair coin flip.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical instance, mirroring `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Generates `Vec`s whose length is drawn from `len` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.len.start, self.len.end);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+    };
+}
+
+/// Asserts inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Skips the current case when its precondition fails. With no shrinking
+/// machinery, a violated assumption simply moves on to the next case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Each test body runs [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng = $crate::TestRng::new(0xD2ED_B0C5_0000_0000);
+                #[allow(clippy::redundant_closure_call)]
+                for __proptest_case in 0..$crate::CASES {
+                    let _ = __proptest_case;
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut __proptest_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Number of cases each property runs.
+pub const CASES: u32 = 64;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..256 {
+            let x = (3u32..9).sample(&mut rng);
+            assert!((3..9).contains(&x));
+            let (a, b) = ((0u64..5), crate::bool::ANY).sample(&mut rng);
+            assert!(a < 5);
+            let _: bool = b;
+            let v = crate::collection::vec(0u8..4, 1..7).sample(&mut rng);
+            assert!((1..7).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 4));
+            let f = (-2.0f64..2.0).sample(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u32..10, flip in crate::bool::ANY) {
+            prop_assert!(x < 10);
+            if flip {
+                prop_assert_eq!(x, x);
+            } else {
+                prop_assert_ne!(x, x + 1);
+            }
+        }
+    }
+}

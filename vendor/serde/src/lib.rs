@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! This container has no access to crates.io, so the workspace vendors the
+//! tiny slice of serde it actually exercises: the `Serialize` / `Deserialize`
+//! derive macros used as annotations on plain data types. No code path
+//! serializes anything through serde, so the traits are empty markers and the
+//! derives (see `serde_derive`) expand to nothing.
+//!
+//! Swapping this for the real crate is a one-line change in the workspace
+//! manifest and requires no source edits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Mirrors `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirrors `serde::ser` far enough for `Serialize` imports.
+pub mod ser {
+    pub use crate::Serialize;
+}
