@@ -5,7 +5,8 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 use std::hint::black_box;
 
 use dredbox::bricks::BrickId;
-use dredbox::memory::{AllocationPolicy, MemoryPool, RemoteWindow};
+use dredbox::memory::{AllocationPolicy, BrickAllocator, MemoryPool, RemoteWindow};
+use dredbox::sim::rng::SimRng;
 use dredbox::sim::units::ByteSize;
 
 fn pool_with(policy: AllocationPolicy) -> MemoryPool {
@@ -74,5 +75,127 @@ fn bench_window(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_pool, bench_window);
+/// The old O(n) first-fit scan over a sorted `Vec`, kept verbatim as the
+/// baseline the segregated free-list replaced.
+struct FirstFitReference {
+    free_list: Vec<(u64, u64)>,
+}
+
+impl FirstFitReference {
+    fn new(capacity: ByteSize) -> Self {
+        FirstFitReference {
+            free_list: vec![(0, capacity.as_bytes())],
+        }
+    }
+
+    fn allocate(&mut self, size: ByteSize) -> Option<u64> {
+        let needed = size.as_bytes();
+        let idx = self.free_list.iter().position(|(_, len)| *len >= needed)?;
+        let (offset, len) = self.free_list[idx];
+        if len == needed {
+            self.free_list.remove(idx);
+        } else {
+            self.free_list[idx] = (offset + needed, len - needed);
+        }
+        Some(offset)
+    }
+
+    fn release(&mut self, offset: u64, size: ByteSize) {
+        let end = offset + size.as_bytes();
+        // The overlap validation of the old release path.
+        if self
+            .free_list
+            .iter()
+            .any(|(o, l)| offset < o + l && *o < end)
+        {
+            return;
+        }
+        let pos = self
+            .free_list
+            .iter()
+            .position(|(o, _)| *o > offset)
+            .unwrap_or(self.free_list.len());
+        self.free_list.insert(pos, (offset, size.as_bytes()));
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.free_list.len());
+        for &(o, l) in &self.free_list {
+            if let Some(last) = merged.last_mut() {
+                if last.0 + last.1 == o {
+                    last.1 += l;
+                    continue;
+                }
+            }
+            merged.push((o, l));
+        }
+        self.free_list = merged;
+    }
+}
+
+/// A deterministic 10k-op mixed alloc/release trace over one 512-GiB
+/// memory tray. Irregular sizes (uniform 1–512 MiB) fragment the free list
+/// into hundreds of ranges: released ranges rarely match a later request,
+/// so gaps persist, and the old first-fit allocator pays an O(n) scan per
+/// allocation plus O(n) validation/coalescing passes per release — the hot
+/// path the size-class index removes.
+fn mixed_ops(count: usize) -> Vec<(bool, u64)> {
+    let mut rng = SimRng::seed(4242);
+    (0..count)
+        .map(|_| (rng.chance(0.55), rng.range(1u64..=512)))
+        .collect()
+}
+
+fn bench_allocator_mixed(c: &mut Criterion) {
+    const MIB: u64 = 1 << 20;
+    let ops = mixed_ops(10_000);
+    let mut group = c.benchmark_group("memory/allocator_mixed_10k_ops");
+
+    group.bench_function("segregated_free_list", |b| {
+        b.iter_batched(
+            || ops.clone(),
+            |ops| {
+                let mut alloc = BrickAllocator::new(BrickId(0), ByteSize::from_gib(512));
+                let mut live: Vec<(u64, ByteSize)> = Vec::new();
+                for (do_alloc, n) in ops {
+                    if do_alloc || live.is_empty() {
+                        let size = ByteSize::from_bytes(n * MIB);
+                        if let Ok(offset) = alloc.allocate(black_box(size)) {
+                            live.push((offset, size));
+                        }
+                    } else {
+                        let (offset, size) = live.swap_remove(n as usize % live.len());
+                        alloc.release(offset, size).expect("live range releases");
+                    }
+                }
+                black_box(alloc.free())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("first_fit_reference", |b| {
+        b.iter_batched(
+            || ops.clone(),
+            |ops| {
+                let mut alloc = FirstFitReference::new(ByteSize::from_gib(512));
+                let mut live: Vec<(u64, ByteSize)> = Vec::new();
+                for (do_alloc, n) in ops {
+                    if do_alloc || live.is_empty() {
+                        let size = ByteSize::from_bytes(n * MIB);
+                        if let Some(offset) = alloc.allocate(black_box(size)) {
+                            live.push((offset, size));
+                        }
+                    } else {
+                        let (offset, size) = live.swap_remove(n as usize % live.len());
+                        alloc.release(offset, size);
+                    }
+                }
+                black_box(alloc.free_list.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool, bench_window, bench_allocator_mixed);
 criterion_main!(benches);

@@ -58,9 +58,13 @@
 
 pub mod config;
 pub mod experiments;
+pub mod scenario;
 pub mod system;
 
 pub use config::SystemConfig;
+pub use scenario::{
+    run_builtin_suite, ArrivalModel, ChurnModel, ScenarioReport, ScenarioSpec, SuiteReport,
+};
 pub use system::{DredboxSystem, ScaleUpReport, SystemError, VmHandle};
 
 // Re-export the sub-crates so downstream users need a single dependency.
@@ -78,6 +82,9 @@ pub use dredbox_workload as workload;
 pub mod prelude {
     pub use crate::config::SystemConfig;
     pub use crate::experiments;
+    pub use crate::scenario::{
+        run_builtin_suite, ArrivalModel, ChurnModel, ScenarioReport, ScenarioSpec, SuiteReport,
+    };
     pub use crate::system::{DredboxSystem, ScaleUpReport, SystemError, VmHandle};
     pub use dredbox_sim::prelude::*;
 }

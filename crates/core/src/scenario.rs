@@ -1,0 +1,779 @@
+//! Closed-loop rack-scale scenario engine.
+//!
+//! The paper's headline claim is a *full-stack* prototype: VM requests flow
+//! through the SDM controller into disaggregated memory and the rack behaves
+//! as one elastic machine. This module drives every layer of the workspace
+//! together over simulated time: a discrete-event loop replays VM
+//! arrival/lifetime/departure traces from `dredbox-workload` through the
+//! orchestrator (placement → reservation → power management), backs each VM
+//! with memory carved from the `dredbox-memory` pool (hotplugged into the
+//! guest on scale-up), charges per-access latency through the
+//! `dredbox-interconnect` data-path models, and emits per-scenario
+//! [`Summary`]/[`Table`] reports.
+//!
+//! Four built-in scenarios ship with the engine (see
+//! [`ScenarioSpec::builtin_suite`]):
+//!
+//! * **steady-state** — Poisson arrivals of mixed Table I VMs with mild
+//!   scale-up churn, the baseline capacity picture.
+//! * **diurnal** — a 24-hour NFV-style day/night load curve (thinned Poisson
+//!   arrivals following [`DiurnalPattern`]).
+//! * **burst-arrival** — groups of compute-heavy VMs arriving together, the
+//!   network-analytics stress case.
+//! * **memory-churn** — few long-lived VMs continuously growing and
+//!   shrinking through the Scale-up API, the allocator hot path.
+//!
+//! Replays are deterministic: the same spec and seed produce a bit-identical
+//! [`ScenarioReport`].
+//!
+//! ```
+//! use dredbox::scenario::ScenarioSpec;
+//!
+//! let spec = ScenarioSpec::memory_churn();
+//! let a = spec.run(7)?;
+//! let b = spec.run(7)?;
+//! assert_eq!(a, b);
+//! assert!(a.admitted > 0);
+//! # Ok::<(), dredbox::SystemError>(())
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use dredbox_sim::engine::{Engine, Process, RunOutcome};
+use dredbox_sim::event::EventQueue;
+use dredbox_sim::report::{Row, Table};
+use dredbox_sim::rng::SimRng;
+use dredbox_sim::stats::Summary;
+use dredbox_sim::time::{SimDuration, SimTime};
+use dredbox_sim::units::ByteSize;
+use dredbox_workload::{
+    ArrivalTrace, BurstTrace, DiurnalPattern, LifetimeModel, VmDemand, WorkloadConfig,
+};
+
+use crate::config::SystemConfig;
+use crate::system::{DredboxSystem, SystemError, VmHandle};
+
+/// How VM arrivals are laid out over simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalModel {
+    /// Poisson process with the given mean inter-arrival time.
+    Poisson {
+        /// Mean inter-arrival time.
+        mean_interarrival: SimDuration,
+    },
+    /// Bursts of near-simultaneous arrivals separated by quiet gaps.
+    Bursts {
+        /// Arrivals per burst.
+        burst_size: usize,
+        /// Time between burst starts.
+        gap: SimDuration,
+        /// Window over which one burst's arrivals spread.
+        spread: SimDuration,
+    },
+    /// Poisson process modulated by a 24-hour diurnal load pattern; the mean
+    /// holds at the pattern's peak hour.
+    Diurnal {
+        /// Mean inter-arrival time at the peak hour.
+        mean_at_peak: SimDuration,
+        /// The day/night load curve.
+        pattern: DiurnalPattern,
+    },
+}
+
+/// Scale-up/scale-down churn applied to every admitted VM: after `hold`, the
+/// VM grows by a sampled amount through the Scale-up API, holds it for
+/// another `hold`, gives it back, and repeats for `cycles_per_vm` cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnModel {
+    /// Grow/shrink cycles per VM.
+    pub cycles_per_vm: u32,
+    /// Delay before the first scale-up and between the steps of a cycle.
+    pub hold: SimDuration,
+    /// Inclusive range (GiB) the scale-up amount is drawn from.
+    pub amount_gib: (u64, u64),
+}
+
+/// One closed-loop scenario: a rack configuration plus the trace replayed
+/// against it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name, used in reports.
+    pub name: String,
+    /// The rack and policies under test.
+    pub system: SystemConfig,
+    /// Number of VM arrivals to replay.
+    pub vm_count: usize,
+    /// Table I mix the per-VM demands are sampled from.
+    pub mix: WorkloadConfig,
+    /// Arrival process.
+    pub arrivals: ArrivalModel,
+    /// Lifetime distribution driving departures.
+    pub lifetime: LifetimeModel,
+    /// Optional scale-up/down churn applied to admitted VMs.
+    pub churn: Option<ChurnModel>,
+    /// Remote reads charged (through the interconnect model) per admitted VM.
+    pub reads_per_vm: u32,
+    /// Simulated-time horizon; the run stops here at the latest.
+    pub horizon: SimTime,
+    /// Period of the power-management sweep, if any.
+    pub power_sweep_every: Option<SimDuration>,
+    /// Hard cap on processed events (runaway guard).
+    pub event_budget: u64,
+}
+
+impl ScenarioSpec {
+    /// Baseline: Poisson arrivals of mixed Table I VMs with mild scale-up
+    /// churn on a two-tray datacenter rack.
+    pub fn steady_state() -> Self {
+        ScenarioSpec {
+            name: "steady-state".to_owned(),
+            system: SystemConfig::datacenter_rack(2, 4, 4),
+            vm_count: 48,
+            mix: WorkloadConfig::Random,
+            arrivals: ArrivalModel::Poisson {
+                mean_interarrival: SimDuration::from_secs(45),
+            },
+            lifetime: LifetimeModel::new(SimDuration::from_secs(900), SimDuration::from_secs(60)),
+            churn: Some(ChurnModel {
+                cycles_per_vm: 1,
+                hold: SimDuration::from_secs(120),
+                amount_gib: (1, 4),
+            }),
+            reads_per_vm: 8,
+            horizon: SimTime::from_secs(2 * 3_600),
+            power_sweep_every: Some(SimDuration::from_secs(600)),
+            event_budget: 100_000,
+        }
+    }
+
+    /// A 24-hour NFV-style day/night curve: memory-heavy VMs arrive
+    /// following [`DiurnalPattern::nfv_default`], so the rack empties at
+    /// night and the power sweep can switch bricks off.
+    pub fn diurnal() -> Self {
+        ScenarioSpec {
+            name: "diurnal".to_owned(),
+            system: SystemConfig::datacenter_rack(2, 4, 4),
+            vm_count: 72,
+            mix: WorkloadConfig::HighRam,
+            arrivals: ArrivalModel::Diurnal {
+                mean_at_peak: SimDuration::from_secs(600),
+                pattern: DiurnalPattern::nfv_default(),
+            },
+            lifetime: LifetimeModel::new(
+                SimDuration::from_secs(2 * 3_600),
+                SimDuration::from_secs(600),
+            ),
+            churn: None,
+            reads_per_vm: 8,
+            horizon: SimTime::from_secs(24 * 3_600),
+            power_sweep_every: Some(SimDuration::from_secs(3_600)),
+            event_budget: 100_000,
+        }
+    }
+
+    /// Bursts of compute-heavy VMs arriving together — the bursty,
+    /// memory-churning traffic of the network-analytics pilot.
+    pub fn burst_arrival() -> Self {
+        ScenarioSpec {
+            name: "burst-arrival".to_owned(),
+            system: SystemConfig::datacenter_rack(2, 4, 4),
+            vm_count: 64,
+            mix: WorkloadConfig::MoreCpu,
+            arrivals: ArrivalModel::Bursts {
+                burst_size: 8,
+                gap: SimDuration::from_secs(300),
+                spread: SimDuration::from_secs(5),
+            },
+            lifetime: LifetimeModel::new(SimDuration::from_secs(180), SimDuration::from_secs(30)),
+            churn: None,
+            reads_per_vm: 16,
+            horizon: SimTime::from_secs(3_600),
+            power_sweep_every: Some(SimDuration::from_secs(300)),
+            event_budget: 100_000,
+        }
+    }
+
+    /// Few long-lived, memory-heavy VMs continuously growing and shrinking
+    /// through the Scale-up API — the allocator and hotplug hot path.
+    pub fn memory_churn() -> Self {
+        ScenarioSpec {
+            name: "memory-churn".to_owned(),
+            system: SystemConfig::datacenter_rack(2, 4, 4),
+            vm_count: 8,
+            mix: WorkloadConfig::MoreRam,
+            arrivals: ArrivalModel::Poisson {
+                mean_interarrival: SimDuration::from_secs(45),
+            },
+            lifetime: LifetimeModel::new(
+                SimDuration::from_secs(3_600),
+                SimDuration::from_secs(600),
+            ),
+            churn: Some(ChurnModel {
+                cycles_per_vm: 6,
+                hold: SimDuration::from_secs(90),
+                amount_gib: (2, 12),
+            }),
+            reads_per_vm: 8,
+            horizon: SimTime::from_secs(2 * 3_600),
+            power_sweep_every: Some(SimDuration::from_secs(900)),
+            event_budget: 100_000,
+        }
+    }
+
+    /// The four scenarios shipped with the engine.
+    pub fn builtin_suite() -> Vec<ScenarioSpec> {
+        vec![
+            ScenarioSpec::steady_state(),
+            ScenarioSpec::diurnal(),
+            ScenarioSpec::burst_arrival(),
+            ScenarioSpec::memory_churn(),
+        ]
+    }
+
+    /// Replays the scenario from `seed`. The same spec and seed always
+    /// produce a bit-identical report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates system-construction failures and rejects invalid specs
+    /// (e.g. deserialized with zero-size bursts or a zero mean lifetime)
+    /// with [`SystemError::InvalidConfig`]; trace-replay errors (pool
+    /// exhaustion, no compute capacity, races with departures) are counted
+    /// in the report instead of aborting the run.
+    pub fn run(&self, seed: u64) -> Result<ScenarioReport, SystemError> {
+        self.validate()?;
+        let mut rng = SimRng::seed(seed);
+        let system = DredboxSystem::build(self.system.clone())?;
+
+        let demands = self.mix.generate(self.vm_count, &mut rng.fork(1));
+        let mut arrival_rng = rng.fork(2);
+        let arrivals = match &self.arrivals {
+            ArrivalModel::Poisson { mean_interarrival } => {
+                ArrivalTrace::new(*mean_interarrival).generate(self.vm_count, &mut arrival_rng)
+            }
+            ArrivalModel::Bursts {
+                burst_size,
+                gap,
+                spread,
+            } => BurstTrace::new(*burst_size, *gap, *spread)
+                .generate(self.vm_count, &mut arrival_rng),
+            ArrivalModel::Diurnal {
+                mean_at_peak,
+                pattern,
+            } => ArrivalTrace::new(*mean_at_peak).generate_diurnal(
+                self.vm_count,
+                pattern,
+                &mut arrival_rng,
+            ),
+        };
+
+        let mut engine = Engine::new()
+            .with_horizon(self.horizon)
+            .with_event_budget(self.event_budget);
+        for (index, at) in arrivals.iter().enumerate() {
+            engine.schedule(*at, ScenarioEvent::Arrival { index });
+        }
+        if let Some(every) = self.power_sweep_every {
+            engine.schedule(SimTime::ZERO + every, ScenarioEvent::PowerSweep);
+        }
+
+        let mut world = ScenarioWorld {
+            spec: self,
+            system,
+            demands,
+            rng: rng.fork(3),
+            counters: Counters::default(),
+            scale_up_delays_s: Vec::new(),
+            read_latencies_ns: Vec::new(),
+            utilization: Vec::new(),
+        };
+        let outcome = engine.run(&mut world);
+        Ok(world.finish(outcome, engine.now(), engine.processed()))
+    }
+
+    /// Rejects parameter combinations the trace generators would panic on,
+    /// so a spec deserialized from config reaches the caller as an error.
+    fn validate(&self) -> Result<(), SystemError> {
+        let invalid = |reason: &str| SystemError::InvalidConfig {
+            reason: reason.to_owned(),
+        };
+        if self.lifetime.mean.as_nanos() == 0 {
+            return Err(invalid("lifetime mean must be positive"));
+        }
+        match &self.arrivals {
+            ArrivalModel::Poisson { mean_interarrival } if mean_interarrival.as_nanos() == 0 => {
+                Err(invalid("Poisson mean inter-arrival must be positive"))
+            }
+            ArrivalModel::Bursts {
+                burst_size, gap, ..
+            } if *burst_size == 0 || gap.as_nanos() == 0 => {
+                Err(invalid("bursts need a positive burst size and gap"))
+            }
+            ArrivalModel::Diurnal {
+                mean_at_peak,
+                pattern,
+            } if mean_at_peak.as_nanos() == 0
+                || !(0.0..=1.0).contains(&pattern.trough)
+                || !(0.0..=1.0).contains(&pattern.peak)
+                || pattern.trough > pattern.peak =>
+            {
+                Err(invalid(
+                    "diurnal arrivals need a positive at-peak mean and 0 <= trough <= peak <= 1",
+                ))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Runs the four built-in scenarios with one seed and collects their reports
+/// plus a cross-scenario summary table.
+///
+/// # Errors
+///
+/// Propagates system-construction failures from any scenario.
+pub fn run_builtin_suite(seed: u64) -> Result<SuiteReport, SystemError> {
+    let mut reports = Vec::new();
+    for spec in ScenarioSpec::builtin_suite() {
+        reports.push(spec.run(seed)?);
+    }
+    Ok(SuiteReport { seed, reports })
+}
+
+/// Events driving one scenario replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScenarioEvent {
+    /// The `index`-th VM of the trace arrives and requests admission.
+    Arrival { index: usize },
+    /// A churning VM grows by `amount` through the Scale-up API.
+    ScaleUp {
+        vm: VmHandle,
+        remaining: u32,
+        amount: ByteSize,
+    },
+    /// A churning VM gives `amount` back.
+    ScaleDown {
+        vm: VmHandle,
+        remaining: u32,
+        amount: ByteSize,
+    },
+    /// The VM's lifetime ends; all its resources return to the pool.
+    Departure { vm: VmHandle },
+    /// Periodic power-management sweep over the rack.
+    PowerSweep,
+}
+
+/// Plain event counters of one replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Counters {
+    admitted: u64,
+    rejected: u64,
+    live: u64,
+    peak_live: u64,
+    departed: u64,
+    scale_ups: u64,
+    scale_up_failures: u64,
+    scale_downs: u64,
+    power_sweeps: u64,
+    bricks_powered_off: u64,
+}
+
+/// The mutable world the discrete-event engine drives.
+struct ScenarioWorld<'a> {
+    spec: &'a ScenarioSpec,
+    system: DredboxSystem,
+    demands: Vec<VmDemand>,
+    rng: SimRng,
+    counters: Counters,
+    scale_up_delays_s: Vec<f64>,
+    read_latencies_ns: Vec<f64>,
+    utilization: Vec<f64>,
+}
+
+impl ScenarioWorld<'_> {
+    /// Charges the configured number of remote reads (of mixed transfer
+    /// sizes) through the interconnect latency model.
+    fn charge_reads(&mut self) {
+        const READ_SIZES: [u64; 4] = [64, 256, 1_024, 4_096];
+        for _ in 0..self.spec.reads_per_vm {
+            let size = *self.rng.choose(&READ_SIZES).expect("sizes non-empty");
+            let breakdown = self.system.remote_read_latency(ByteSize::from_bytes(size));
+            self.read_latencies_ns
+                .push(breakdown.total().as_nanos() as f64);
+        }
+    }
+
+    fn sample_utilization(&mut self) {
+        self.utilization.push(self.system.pool_utilization());
+    }
+
+    fn sample_churn_amount(&mut self, churn: &ChurnModel) -> ByteSize {
+        let (lo, hi) = churn.amount_gib;
+        if lo >= hi {
+            ByteSize::from_gib(lo)
+        } else {
+            ByteSize::from_gib(self.rng.range(lo..=hi))
+        }
+    }
+
+    fn finish(self, outcome: RunOutcome, end: SimTime, events: u64) -> ScenarioReport {
+        let c = self.counters;
+        ScenarioReport {
+            name: self.spec.name.clone(),
+            outcome,
+            end,
+            events,
+            admitted: c.admitted,
+            rejected: c.rejected,
+            peak_live: c.peak_live,
+            departed: c.departed,
+            scale_ups: c.scale_ups,
+            scale_up_failures: c.scale_up_failures,
+            scale_downs: c.scale_downs,
+            power_sweeps: c.power_sweeps,
+            bricks_powered_off: c.bricks_powered_off,
+            scale_up_delay: Summary::from_samples(&self.scale_up_delays_s),
+            read_latency: Summary::from_samples(&self.read_latencies_ns),
+            pool_utilization: Summary::from_samples(&self.utilization),
+        }
+    }
+}
+
+impl Process for ScenarioWorld<'_> {
+    type Event = ScenarioEvent;
+
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: ScenarioEvent,
+        queue: &mut EventQueue<ScenarioEvent>,
+    ) {
+        match event {
+            ScenarioEvent::Arrival { index } => {
+                let demand = self.demands[index];
+                match self.system.allocate_vm(demand.vcpus, demand.memory) {
+                    Ok(vm) => {
+                        self.counters.admitted += 1;
+                        self.counters.live += 1;
+                        self.counters.peak_live = self.counters.peak_live.max(self.counters.live);
+                        self.charge_reads();
+                        let lifetime = self.spec.lifetime.sample(&mut self.rng);
+                        queue.schedule(now + lifetime, ScenarioEvent::Departure { vm });
+                        if let Some(churn) = self.spec.churn {
+                            if churn.cycles_per_vm > 0 {
+                                let amount = self.sample_churn_amount(&churn);
+                                queue.schedule(
+                                    now + churn.hold,
+                                    ScenarioEvent::ScaleUp {
+                                        vm,
+                                        remaining: churn.cycles_per_vm,
+                                        amount,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    Err(_) => self.counters.rejected += 1,
+                }
+                self.sample_utilization();
+            }
+            ScenarioEvent::ScaleUp {
+                vm,
+                remaining,
+                amount,
+            } => {
+                match self.system.scale_up(vm, amount) {
+                    Ok(report) => {
+                        self.counters.scale_ups += 1;
+                        self.scale_up_delays_s
+                            .push(report.total_delay.as_secs_f64());
+                        if let Some(churn) = self.spec.churn {
+                            queue.schedule(
+                                now + churn.hold,
+                                ScenarioEvent::ScaleDown {
+                                    vm,
+                                    remaining,
+                                    amount,
+                                },
+                            );
+                        }
+                    }
+                    // The VM departed before its churn fired: not a failure.
+                    Err(SystemError::NoSuchVm { .. }) => {}
+                    Err(_) => self.counters.scale_up_failures += 1,
+                }
+                self.sample_utilization();
+            }
+            ScenarioEvent::ScaleDown {
+                vm,
+                remaining,
+                amount,
+            } => {
+                if self.system.scale_down(vm, amount).is_ok() {
+                    self.counters.scale_downs += 1;
+                    if remaining > 1 {
+                        if let Some(churn) = self.spec.churn {
+                            let next = self.sample_churn_amount(&churn);
+                            queue.schedule(
+                                now + churn.hold,
+                                ScenarioEvent::ScaleUp {
+                                    vm,
+                                    remaining: remaining - 1,
+                                    amount: next,
+                                },
+                            );
+                        }
+                    }
+                }
+                self.sample_utilization();
+            }
+            ScenarioEvent::Departure { vm } => {
+                if self.system.release_vm(vm).is_ok() {
+                    self.counters.departed += 1;
+                    self.counters.live -= 1;
+                }
+                self.sample_utilization();
+            }
+            ScenarioEvent::PowerSweep => {
+                let sweep = self.system.power_off_unused();
+                self.counters.power_sweeps += 1;
+                self.counters.bricks_powered_off += sweep.total_off() as u64;
+                self.sample_utilization();
+                if let Some(every) = self.spec.power_sweep_every {
+                    queue.schedule(now + every, ScenarioEvent::PowerSweep);
+                }
+            }
+        }
+    }
+}
+
+/// The result of one scenario replay: headline counters, latency/utilization
+/// summaries, and a rendered per-scenario table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// How the event loop ended (drained / horizon / budget).
+    pub outcome: RunOutcome,
+    /// Simulated time of the last processed event.
+    pub end: SimTime,
+    /// Number of events processed.
+    pub events: u64,
+    /// VMs admitted into the rack.
+    pub admitted: u64,
+    /// VM requests rejected (no compute capacity or pool exhausted).
+    pub rejected: u64,
+    /// Peak number of simultaneously live VMs.
+    pub peak_live: u64,
+    /// VMs that completed their lifetime and released their resources.
+    pub departed: u64,
+    /// Successful scale-up operations.
+    pub scale_ups: u64,
+    /// Scale-up operations rejected by the pool or the orchestrator.
+    pub scale_up_failures: u64,
+    /// Successful scale-down operations.
+    pub scale_downs: u64,
+    /// Power-management sweeps executed.
+    pub power_sweeps: u64,
+    /// Total bricks switched off across all sweeps.
+    pub bricks_powered_off: u64,
+    /// End-to-end scale-up delay (seconds), if any scale-up ran.
+    pub scale_up_delay: Option<Summary>,
+    /// Remote-read round-trip latency (nanoseconds), if any read was charged.
+    pub read_latency: Option<Summary>,
+    /// Pool utilization in `[0, 1]`, sampled after every event.
+    pub pool_utilization: Option<Summary>,
+}
+
+impl ScenarioReport {
+    /// Renders the per-scenario metric table from the report fields.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(format!("Scenario — {}", self.name), ["Metric", "Value"]);
+        table.push(Row::new("run outcome", [self.outcome.to_string()]));
+        table.push(Row::new(
+            "simulated end time (s)",
+            [format!("{:.3}", self.end.as_secs_f64())],
+        ));
+        table.push(Row::new("events processed", [self.events.to_string()]));
+        table.push(Row::new(
+            "VMs admitted / rejected",
+            [format!("{} / {}", self.admitted, self.rejected)],
+        ));
+        table.push(Row::new("peak live VMs", [self.peak_live.to_string()]));
+        table.push(Row::new("departures", [self.departed.to_string()]));
+        table.push(Row::new(
+            "scale-ups ok / failed",
+            [format!("{} / {}", self.scale_ups, self.scale_up_failures)],
+        ));
+        table.push(Row::new("scale-downs", [self.scale_downs.to_string()]));
+        table.push(Row::new(
+            "power sweeps / bricks powered off",
+            [format!(
+                "{} / {}",
+                self.power_sweeps, self.bricks_powered_off
+            )],
+        ));
+        if let Some(s) = &self.scale_up_delay {
+            table.push(Row::new(
+                "scale-up delay mean / p95 (ms)",
+                [format!(
+                    "{:.3} / {:.3}",
+                    s.mean() * 1e3,
+                    s.percentile(95.0) * 1e3
+                )],
+            ));
+        }
+        if let Some(s) = &self.read_latency {
+            table.push(Row::new(
+                "remote read mean / max (ns)",
+                [format!("{:.1} / {:.1}", s.mean(), s.max())],
+            ));
+        }
+        if let Some(s) = &self.pool_utilization {
+            table.push(Row::new(
+                "pool utilization mean / peak (%)",
+                [format!("{:.2} / {:.2}", s.mean() * 100.0, s.max() * 100.0)],
+            ));
+        }
+        table
+    }
+}
+
+impl std::fmt::Display for ScenarioReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.table().fmt(f)
+    }
+}
+
+/// Reports of a whole scenario suite plus a cross-scenario summary table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// The seed the suite was replayed from.
+    pub seed: u64,
+    /// Per-scenario reports, in suite order.
+    pub reports: Vec<ScenarioReport>,
+}
+
+impl SuiteReport {
+    /// Renders the one-row-per-scenario summary table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            format!("Scenario suite (seed {})", self.seed),
+            [
+                "Scenario",
+                "Admitted",
+                "Rejected",
+                "Peak live",
+                "Scale-ups",
+                "Mean scale-up (ms)",
+                "Mean read (ns)",
+                "Peak pool util (%)",
+                "Bricks off",
+                "End (s)",
+            ],
+        );
+        for r in &self.reports {
+            table.push(Row::new(
+                r.name.clone(),
+                [
+                    r.admitted.to_string(),
+                    r.rejected.to_string(),
+                    r.peak_live.to_string(),
+                    r.scale_ups.to_string(),
+                    r.scale_up_delay
+                        .as_ref()
+                        .map_or_else(|| "-".to_owned(), |s| format!("{:.3}", s.mean() * 1e3)),
+                    r.read_latency
+                        .as_ref()
+                        .map_or_else(|| "-".to_owned(), |s| format!("{:.1}", s.mean())),
+                    r.pool_utilization
+                        .as_ref()
+                        .map_or_else(|| "-".to_owned(), |s| format!("{:.2}", s.max() * 100.0)),
+                    r.bricks_powered_off.to_string(),
+                    format!("{:.3}", r.end.as_secs_f64()),
+                ],
+            ));
+        }
+        table
+    }
+
+    /// Looks up one scenario's report by name.
+    pub fn report(&self, name: &str) -> Option<&ScenarioReport> {
+        self.reports.iter().find(|r| r.name == name)
+    }
+}
+
+impl std::fmt::Display for SuiteReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for r in &self.reports {
+            writeln!(f, "{r}")?;
+        }
+        self.table().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_replay_is_deterministic() {
+        let spec = ScenarioSpec::steady_state();
+        let a = spec.run(2018).expect("run");
+        let b = spec.run(2018).expect("run");
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), b.to_string());
+        assert!(a.admitted > 0);
+    }
+
+    #[test]
+    fn churn_scenario_exercises_the_scale_up_path() {
+        let report = ScenarioSpec::memory_churn().run(7).expect("run");
+        assert!(report.admitted > 0);
+        assert!(report.scale_ups > 0, "churn must trigger scale-ups");
+        assert!(report.scale_downs > 0, "churn must trigger scale-downs");
+        let delay = report.scale_up_delay.expect("delays recorded");
+        // Figure 10 territory: well under two seconds end to end per VM.
+        assert!(delay.max() < 2.0, "scale-up took {} s", delay.max());
+    }
+
+    #[test]
+    fn burst_scenario_sees_concurrent_vms() {
+        let report = ScenarioSpec::burst_arrival().run(5).expect("run");
+        assert!(report.admitted > 0);
+        assert!(
+            report.peak_live >= 4,
+            "bursts of 8 should overlap, peak was {}",
+            report.peak_live
+        );
+    }
+
+    #[test]
+    fn invalid_specs_error_instead_of_panicking() {
+        let mut spec = ScenarioSpec::burst_arrival();
+        spec.arrivals = ArrivalModel::Bursts {
+            burst_size: 0,
+            gap: SimDuration::from_secs(1),
+            spread: SimDuration::ZERO,
+        };
+        assert!(matches!(
+            spec.run(1),
+            Err(SystemError::InvalidConfig { .. })
+        ));
+        let mut spec = ScenarioSpec::steady_state();
+        spec.lifetime.mean = SimDuration::ZERO;
+        assert!(matches!(
+            spec.run(1),
+            Err(SystemError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn suite_runs_all_four_scenarios() {
+        let suite = run_builtin_suite(1).expect("suite");
+        assert_eq!(suite.reports.len(), 4);
+        assert_eq!(suite.table().len(), 4);
+        assert!(suite.report("diurnal").is_some());
+        assert!(suite.report("missing").is_none());
+    }
+}

@@ -6,7 +6,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use dredbox_bricks::{BrickId, BrickKind, Rack};
+use dredbox_bricks::{BrickId, BrickKind, PowerState, Rack};
 use dredbox_interconnect::{LatencyBreakdown, PathKind, RemoteMemoryPath};
 use dredbox_memory::HotplugModel;
 use dredbox_optical::{OpticalCircuitSwitch, OpticalTopology};
@@ -61,6 +61,11 @@ pub enum SystemError {
         /// Offending handle.
         handle: VmHandle,
     },
+    /// A configuration (e.g. a deserialized scenario spec) is invalid.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SystemError {
@@ -69,6 +74,7 @@ impl fmt::Display for SystemError {
             SystemError::Orchestrator(e) => write!(f, "orchestration: {e}"),
             SystemError::Softstack(e) => write!(f, "system software: {e}"),
             SystemError::NoSuchVm { handle } => write!(f, "no such vm handle: {handle}"),
+            SystemError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
         }
     }
 }
@@ -78,7 +84,7 @@ impl std::error::Error for SystemError {
         match self {
             SystemError::Orchestrator(e) => Some(e),
             SystemError::Softstack(e) => Some(e),
-            SystemError::NoSuchVm { .. } => None,
+            SystemError::NoSuchVm { .. } | SystemError::InvalidConfig { .. } => None,
         }
     }
 }
@@ -246,6 +252,10 @@ impl DredboxSystem {
             Err(e) => {
                 let _ = hv.os_mut().offline_remote(grant.grant.total());
                 let _ = self.sdm.release_scale_up(&grant);
+                // The SDM controller already committed the cores for this
+                // VM; hand them back too or the brick's capacity shrinks
+                // forever.
+                let _ = self.sdm.release_vm(brick, vcpus);
                 return Err(e.into());
             }
         };
@@ -380,11 +390,19 @@ impl DredboxSystem {
             .ok_or(SystemError::NoSuchVm { handle })?;
         if let Some(hv) = self.hypervisors.get_mut(&record.brick) {
             let _ = hv.destroy_vm(record.vm);
+            // Offline what the grants onlined, so the baremetal OS's view of
+            // remote memory does not inflate across admit/depart cycles.
+            for grant in &record.grants {
+                let _ = hv.os_mut().offline_remote(grant.grant.total());
+            }
         }
         for grant in &record.grants {
             let _ = self.sdm.release_scale_up(grant);
             self.remove_grant_from_rack(record.brick, grant);
         }
+        // Return the cores to the SDM controller's availability view, so the
+        // brick can host future arrivals.
+        let _ = self.sdm.release_vm(record.brick, record.vcpus);
         if let Some(compute) = self
             .rack
             .brick_mut(record.brick)
@@ -409,9 +427,32 @@ impl DredboxSystem {
         path.read(size)
     }
 
-    /// Powers off every brick that currently holds no allocation.
+    /// Fraction of the disaggregated memory pool currently allocated, in
+    /// `[0, 1]`. Zero when the pool has no capacity.
+    pub fn pool_utilization(&self) -> f64 {
+        let capacity = self.sdm.pool().total_capacity().as_bytes();
+        if capacity == 0 {
+            return 0.0;
+        }
+        self.sdm.pool().total_allocated().as_bytes() as f64 / capacity as f64
+    }
+
+    /// Powers off every brick that currently holds no allocation, and syncs
+    /// the SDM controller's availability view so placement treats the swept
+    /// bricks as sleeping (waking them only as a last resort).
     pub fn power_off_unused(&mut self) -> PowerSweep {
-        self.power.power_off_unused(&mut self.rack)
+        let sweep = self.power.power_off_unused(&mut self.rack);
+        let off: Vec<BrickId> = self
+            .rack
+            .bricks()
+            .filter_map(|b| b.as_compute())
+            .filter(|c| c.power_state() == PowerState::Off)
+            .map(|c| c.id())
+            .collect();
+        for brick in off {
+            let _ = self.sdm.set_compute_power(brick, false);
+        }
+        sweep
     }
 
     /// Current electrical draw of the rack's bricks.
@@ -425,11 +466,16 @@ impl DredboxSystem {
     }
 
     fn apply_grant_to_rack(&mut self, compute: BrickId, grant: &ScaleUpGrant) {
+        // Wake-on-demand: a brick selected by placement may have been
+        // switched off by an earlier power sweep; power it back on before
+        // attaching, so long-running scenarios keep the rack-level
+        // bookkeeping consistent with the pool.
         if let Some(c) = self
             .rack
             .brick_mut(compute)
             .and_then(|b| b.as_compute_mut())
         {
+            c.power_on();
             c.attach_remote_memory(grant.grant.total());
         }
         for segment in grant.grant.segments() {
@@ -438,6 +484,7 @@ impl DredboxSystem {
                 .brick_mut(segment.membrick)
                 .and_then(|b| b.as_memory_mut())
             {
+                m.power_on();
                 let _ = m.export(compute, segment.size);
             }
         }
@@ -532,6 +579,27 @@ mod tests {
         assert!(sweep.total_off() >= 7);
         assert!(s.rack_power().as_watts() < before.as_watts());
         assert!(s.unused_fraction(BrickKind::Compute) >= 0.75);
+    }
+
+    #[test]
+    fn allocation_wakes_powered_off_bricks() {
+        let mut s = system();
+        let sweep = s.power_off_unused();
+        assert!(sweep.total_off() > 0);
+        // Allocating after a sweep must wake the involved bricks so that the
+        // rack-level export bookkeeping matches the pool.
+        let vm = s.allocate_vm(2, ByteSize::from_gib(4)).unwrap();
+        let brick = s.vm_brick(vm).unwrap();
+        let compute = s.rack().brick(brick).unwrap().as_compute().unwrap();
+        assert_eq!(compute.attached_remote_memory(), ByteSize::from_gib(4));
+        let exported: u64 = s
+            .rack()
+            .bricks()
+            .filter_map(|b| b.as_memory())
+            .map(|m| m.exported().as_bytes())
+            .sum();
+        assert_eq!(exported, ByteSize::from_gib(4).as_bytes());
+        assert!(s.pool_utilization() > 0.0);
     }
 
     #[test]

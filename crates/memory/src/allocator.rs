@@ -1,5 +1,7 @@
 //! Contiguous range allocation within one dMEMBRICK's pool.
 
+use std::collections::{BTreeSet, HashMap};
+
 use serde::{Deserialize, Serialize};
 
 use dredbox_bricks::BrickId;
@@ -7,11 +9,22 @@ use dredbox_sim::units::ByteSize;
 
 use crate::error::MemoryError;
 
-/// A first-fit free-list allocator over one dMEMBRICK's byte range.
+/// A segregated free-list allocator over one dMEMBRICK's byte range.
 ///
-/// Free ranges are kept sorted by offset and coalesced on release, so
-/// fragmentation statistics ([`BrickAllocator::largest_free_block`]) reflect
-/// real contiguity.
+/// Free ranges are held in two synchronized indices: an offset-ordered map
+/// (sorted, non-overlapping, coalesced on release — so fragmentation
+/// statistics like [`BrickAllocator::largest_free_block`] reflect real
+/// contiguity) and a size-ordered index over the same ranges, so finding a
+/// fitting range is an `O(log n)` lookup instead of an `O(n)` first-fit
+/// scan. Allocation takes the smallest free range that fits, lowest offset
+/// on ties, which keeps placement deterministic and fragmentation low under
+/// rack-scale churn.
+///
+/// Live allocations are tracked alongside the free ranges, so
+/// [`BrickAllocator::release`] accepts exactly the ranges handed out by
+/// [`BrickAllocator::allocate`] and rejects everything else — double frees,
+/// partial frees, never-allocated ranges and offsets that would wrap past
+/// the end of the address space.
 ///
 /// ```
 /// use dredbox_memory::allocator::BrickAllocator;
@@ -29,21 +42,37 @@ use crate::error::MemoryError;
 pub struct BrickAllocator {
     brick: BrickId,
     capacity: ByteSize,
-    /// Sorted, non-overlapping, coalesced free ranges as (offset, length).
+    /// Total free bytes; kept in sync with `free_list`.
+    free_bytes: u64,
+    /// Free ranges as `(offset, length)`: sorted by offset, non-overlapping,
+    /// coalesced. Lookups are binary searches; splits and single-neighbour
+    /// merges update entries in place.
     free_list: Vec<(u64, u64)>,
+    /// The same free ranges as `(length, offset)` — the size-class index
+    /// that makes finding a fitting range `O(log n)`.
+    free_by_size: BTreeSet<(u64, u64)>,
+    /// Live allocations as offset → length, validated on release. A hash
+    /// map keeps the hot-path validation O(1); it is only ever iterated by
+    /// [`BrickAllocator::allocated_ranges`], which sorts.
+    allocated: HashMap<u64, u64>,
 }
 
 impl BrickAllocator {
     /// Creates an allocator over `capacity` bytes of brick `brick`.
     pub fn new(brick: BrickId, capacity: ByteSize) -> Self {
+        let mut free_list = Vec::new();
+        let mut free_by_size = BTreeSet::new();
+        if !capacity.is_zero() {
+            free_list.push((0, capacity.as_bytes()));
+            free_by_size.insert((capacity.as_bytes(), 0));
+        }
         BrickAllocator {
             brick,
             capacity,
-            free_list: if capacity.is_zero() {
-                Vec::new()
-            } else {
-                vec![(0, capacity.as_bytes())]
-            },
+            free_bytes: capacity.as_bytes(),
+            free_list,
+            free_by_size,
+            allocated: HashMap::new(),
         }
     }
 
@@ -59,7 +88,7 @@ impl BrickAllocator {
 
     /// Total free bytes (possibly fragmented).
     pub fn free(&self) -> ByteSize {
-        ByteSize::from_bytes(self.free_list.iter().map(|(_, len)| len).sum())
+        ByteSize::from_bytes(self.free_bytes)
     }
 
     /// Total allocated bytes.
@@ -69,18 +98,35 @@ impl BrickAllocator {
 
     /// Whether nothing is allocated.
     pub fn is_unused(&self) -> bool {
-        self.free() == self.capacity
+        self.allocated.is_empty()
     }
 
     /// Size of the largest contiguous free block.
     pub fn largest_free_block(&self) -> ByteSize {
         ByteSize::from_bytes(
-            self.free_list
+            self.free_by_size
                 .iter()
-                .map(|(_, len)| *len)
-                .max()
+                .next_back()
+                .map(|&(len, _)| len)
                 .unwrap_or(0),
         )
+    }
+
+    /// Number of discrete free ranges (fragments).
+    pub fn free_range_count(&self) -> usize {
+        self.free_list.len()
+    }
+
+    /// The free ranges as `(offset, length)` pairs, ascending by offset.
+    pub fn free_ranges(&self) -> Vec<(u64, u64)> {
+        self.free_list.clone()
+    }
+
+    /// The live allocated ranges as `(offset, length)`, ascending by offset.
+    pub fn allocated_ranges(&self) -> Vec<(u64, u64)> {
+        let mut ranges: Vec<(u64, u64)> = self.allocated.iter().map(|(&o, &l)| (o, l)).collect();
+        ranges.sort_unstable();
+        ranges
     }
 
     /// External fragmentation in `[0, 1]`: 1 − largest-free-block / free.
@@ -93,7 +139,9 @@ impl BrickAllocator {
         1.0 - self.largest_free_block().as_bytes() as f64 / free as f64
     }
 
-    /// Allocates `size` contiguous bytes (first fit), returning the offset.
+    /// Allocates `size` contiguous bytes, returning the offset. The
+    /// size-class index yields the smallest free range that fits (lowest
+    /// offset on ties) in `O(log n)`.
     ///
     /// # Errors
     ///
@@ -104,67 +152,101 @@ impl BrickAllocator {
             return Err(MemoryError::EmptyRequest);
         }
         let needed = size.as_bytes();
-        let Some(idx) = self.free_list.iter().position(|(_, len)| *len >= needed) else {
+        let Some(&(len, offset)) = self.free_by_size.range((needed, 0)..).next() else {
             return Err(MemoryError::OutOfMemory {
                 requested: size,
                 available: self.free(),
             });
         };
-        let (offset, len) = self.free_list[idx];
+        self.free_by_size.remove(&(len, offset));
+        let idx = self
+            .free_list
+            .binary_search_by_key(&offset, |&(o, _)| o)
+            .expect("size index entry exists in the free list");
         if len == needed {
             self.free_list.remove(idx);
         } else {
+            // Split in place: the remainder keeps the slot, order unchanged.
             self.free_list[idx] = (offset + needed, len - needed);
+            self.free_by_size.insert((len - needed, offset + needed));
         }
+        self.allocated.insert(offset, needed);
+        self.free_bytes -= needed;
         Ok(offset)
     }
 
-    /// Releases a previously allocated range.
+    /// Releases a previously allocated range. Only ranges exactly as handed
+    /// out by [`BrickAllocator::allocate`] are accepted.
     ///
     /// # Errors
     ///
     /// * [`MemoryError::EmptyRequest`] for a zero-byte release.
-    /// * [`MemoryError::InvalidRelease`] if the range overlaps a free range
-    ///   or extends past the capacity (double free / corruption).
+    /// * [`MemoryError::InvalidRelease`] if `offset + size` overflows or
+    ///   extends past the capacity, or the range does not match a live
+    ///   allocation (double free, partial free, never allocated).
     pub fn release(&mut self, offset: u64, size: ByteSize) -> Result<(), MemoryError> {
         if size.is_zero() {
             return Err(MemoryError::EmptyRequest);
         }
-        let end = offset + size.as_bytes();
+        let len = size.as_bytes();
+        // A near-u64::MAX offset must not wrap and slip past the capacity
+        // check.
+        let Some(end) = offset.checked_add(len) else {
+            return Err(MemoryError::InvalidRelease { brick: self.brick });
+        };
         if end > self.capacity.as_bytes() {
             return Err(MemoryError::InvalidRelease { brick: self.brick });
         }
-        // Reject overlap with any existing free range.
-        if self
-            .free_list
-            .iter()
-            .any(|(o, l)| offset < o + l && *o < end)
-        {
+        if self.allocated.get(&offset) != Some(&len) {
             return Err(MemoryError::InvalidRelease { brick: self.brick });
         }
-        // Insert sorted and coalesce neighbours.
-        let pos = self
-            .free_list
-            .iter()
-            .position(|(o, _)| *o > offset)
-            .unwrap_or(self.free_list.len());
-        self.free_list.insert(pos, (offset, size.as_bytes()));
-        self.coalesce();
+        self.allocated.remove(&offset);
+        self.insert_coalesced(offset, len);
+        self.free_bytes += len;
         Ok(())
     }
 
-    fn coalesce(&mut self) {
-        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.free_list.len());
-        for &(offset, len) in &self.free_list {
-            if let Some(last) = merged.last_mut() {
-                if last.0 + last.1 == offset {
-                    last.1 += len;
-                    continue;
-                }
+    /// Inserts a free range, merging it with adjacent free neighbours.
+    fn insert_coalesced(&mut self, offset: u64, len: u64) {
+        let idx = match self.free_list.binary_search_by_key(&offset, |&(o, _)| o) {
+            // The range was validated against live allocations, so it can
+            // never collide with an existing free range.
+            Ok(_) => unreachable!("released range duplicates a free range"),
+            Err(idx) => idx,
+        };
+        let merges_prev = idx > 0 && {
+            let (prev_off, prev_len) = self.free_list[idx - 1];
+            prev_off + prev_len == offset
+        };
+        let merges_next = idx < self.free_list.len() && self.free_list[idx].0 == offset + len;
+        match (merges_prev, merges_next) {
+            (true, true) => {
+                let (prev_off, prev_len) = self.free_list[idx - 1];
+                let (next_off, next_len) = self.free_list[idx];
+                self.free_by_size.remove(&(prev_len, prev_off));
+                self.free_by_size.remove(&(next_len, next_off));
+                self.free_list[idx - 1] = (prev_off, prev_len + len + next_len);
+                self.free_list.remove(idx);
+                self.free_by_size
+                    .insert((prev_len + len + next_len, prev_off));
             }
-            merged.push((offset, len));
+            (true, false) => {
+                let (prev_off, prev_len) = self.free_list[idx - 1];
+                self.free_by_size.remove(&(prev_len, prev_off));
+                self.free_list[idx - 1] = (prev_off, prev_len + len);
+                self.free_by_size.insert((prev_len + len, prev_off));
+            }
+            (false, true) => {
+                let (next_off, next_len) = self.free_list[idx];
+                self.free_by_size.remove(&(next_len, next_off));
+                self.free_list[idx] = (offset, len + next_len);
+                self.free_by_size.insert((len + next_len, offset));
+            }
+            (false, false) => {
+                self.free_list.insert(idx, (offset, len));
+                self.free_by_size.insert((len, offset));
+            }
         }
-        self.free_list = merged;
     }
 }
 
@@ -180,7 +262,7 @@ mod tests {
     }
 
     #[test]
-    fn first_fit_and_accounting() {
+    fn allocation_and_accounting() {
         let mut a = alloc();
         assert!(a.is_unused());
         assert_eq!(a.brick(), BrickId(10));
@@ -192,6 +274,7 @@ mod tests {
         assert_eq!(a.allocated(), ByteSize::from_gib(16));
         assert_eq!(a.free(), ByteSize::from_gib(16));
         assert!(!a.is_unused());
+        assert_eq!(a.allocated_ranges(), vec![(0, 8 * GIB), (8 * GIB, 8 * GIB)]);
         assert!(matches!(
             a.allocate(ByteSize::from_gib(32)),
             Err(MemoryError::OutOfMemory { .. })
@@ -200,6 +283,21 @@ mod tests {
             a.allocate(ByteSize::ZERO),
             Err(MemoryError::EmptyRequest)
         ));
+    }
+
+    #[test]
+    fn size_index_prefers_the_tightest_range() {
+        let mut a = alloc();
+        let o1 = a.allocate(ByteSize::from_gib(4)).unwrap(); // 0..4
+        let _o2 = a.allocate(ByteSize::from_gib(8)).unwrap(); // 4..12
+        let o3 = a.allocate(ByteSize::from_gib(2)).unwrap(); // 12..14
+        let _o4 = a.allocate(ByteSize::from_gib(10)).unwrap(); // 14..24
+        a.release(o1, ByteSize::from_gib(4)).unwrap(); // free: 0..4
+        a.release(o3, ByteSize::from_gib(2)).unwrap(); // free: 12..14, 24..32
+                                                       // A 2-GiB request lands in the 2-GiB hole, not the 4-GiB one.
+        assert_eq!(a.allocate(ByteSize::from_gib(2)).unwrap(), 12 * GIB);
+        // A 3-GiB request takes the smallest range that fits: the 4-GiB hole.
+        assert_eq!(a.allocate(ByteSize::from_gib(3)).unwrap(), 0);
     }
 
     #[test]
@@ -213,6 +311,7 @@ mod tests {
         a.release(o2, ByteSize::from_gib(8)).unwrap();
         // The two released ranges must coalesce into one 16-GiB block.
         assert_eq!(a.largest_free_block(), ByteSize::from_gib(16));
+        assert_eq!(a.free_range_count(), 1);
         assert_eq!(a.fragmentation(), 0.0);
         let big = a.allocate(ByteSize::from_gib(16)).unwrap();
         assert_eq!(big, 0);
@@ -230,6 +329,7 @@ mod tests {
         // 16 GiB free but the largest block is 8 GiB.
         assert_eq!(a.free(), ByteSize::from_gib(16));
         assert_eq!(a.largest_free_block(), ByteSize::from_gib(8));
+        assert_eq!(a.free_ranges(), vec![(0, 8 * GIB), (16 * GIB, 8 * GIB)]);
         assert!((a.fragmentation() - 0.5).abs() < 1e-12);
         // A 16-GiB contiguous request cannot be satisfied despite 16 GiB free.
         assert!(a.allocate(ByteSize::from_gib(16)).is_err());
@@ -257,10 +357,44 @@ mod tests {
     }
 
     #[test]
+    fn overflowing_release_is_rejected() {
+        let mut a = alloc();
+        let _o = a.allocate(ByteSize::from_gib(8)).unwrap();
+        // offset + size wraps past u64::MAX; the old unchecked add let this
+        // slip under the capacity check and corrupt the free list.
+        assert!(matches!(
+            a.release(u64::MAX - GIB + 1, ByteSize::from_gib(2)),
+            Err(MemoryError::InvalidRelease { .. })
+        ));
+        assert!(matches!(
+            a.release(u64::MAX, ByteSize::from_bytes(1)),
+            Err(MemoryError::InvalidRelease { .. })
+        ));
+        assert_eq!(a.free() + a.allocated(), a.capacity());
+    }
+
+    #[test]
+    fn releasing_unallocated_space_is_rejected() {
+        let mut a = alloc();
+        let o = a.allocate(ByteSize::from_gib(16)).unwrap();
+        // A never-allocated range strictly inside allocated space: the old
+        // overlap-with-free-ranges check accepted this and inflated free().
+        assert!(a.release(o + GIB, ByteSize::from_gib(1)).is_err());
+        // A partial head of a live allocation.
+        assert!(a.release(o, ByteSize::from_gib(8)).is_err());
+        assert_eq!(a.free(), ByteSize::from_gib(16));
+        // The exact range is still releasable.
+        a.release(o, ByteSize::from_gib(16)).unwrap();
+        assert!(a.is_unused());
+        assert_eq!(a.free(), a.capacity());
+    }
+
+    #[test]
     fn zero_capacity_allocator_is_always_out_of_memory() {
         let mut a = BrickAllocator::new(BrickId(1), ByteSize::ZERO);
         assert!(a.is_unused());
         assert_eq!(a.largest_free_block(), ByteSize::ZERO);
+        assert_eq!(a.free_range_count(), 0);
         assert!(a.allocate(ByteSize::from_bytes(1)).is_err());
     }
 
@@ -298,6 +432,65 @@ mod tests {
                     ranges.push((offset, end));
                 }
             }
+        }
+
+        /// Alloc/release churn preserves the byte ledger and keeps the free
+        /// list sorted, coalesced, non-overlapping and in sync with the
+        /// size-class index.
+        #[test]
+        fn free_list_stays_well_formed_under_churn(ops in proptest::collection::vec((1u64..9, proptest::bool::ANY), 1..80)) {
+            let mut a = BrickAllocator::new(BrickId(0), ByteSize::from_gib(64));
+            let mut live: Vec<(u64, ByteSize)> = Vec::new();
+            for (i, (gib, do_alloc)) in ops.into_iter().enumerate() {
+                if do_alloc || live.is_empty() {
+                    if let Ok(offset) = a.allocate(ByteSize::from_gib(gib)) {
+                        live.push((offset, ByteSize::from_gib(gib)));
+                    }
+                } else {
+                    let (offset, size) = live.remove(i % live.len());
+                    a.release(offset, size).unwrap();
+                }
+                prop_assert_eq!(a.free() + a.allocated(), a.capacity());
+                let ranges = a.free_ranges();
+                for w in ranges.windows(2) {
+                    // Sorted, disjoint, and coalesced: a zero gap would mean
+                    // two adjacent ranges were never merged.
+                    prop_assert!(w[0].0 + w[0].1 < w[1].0, "free list not sorted/coalesced: {ranges:?}");
+                }
+                for &(o, l) in &ranges {
+                    prop_assert!(l > 0);
+                    prop_assert!(o + l <= a.capacity().as_bytes());
+                }
+                prop_assert_eq!(
+                    ranges.iter().map(|&(_, l)| l).sum::<u64>(),
+                    a.free().as_bytes()
+                );
+                prop_assert_eq!(
+                    ranges.iter().map(|&(_, l)| l).max().unwrap_or(0),
+                    a.largest_free_block().as_bytes()
+                );
+            }
+            // Draining the survivors restores a pristine allocator.
+            for (offset, size) in live {
+                a.release(offset, size).unwrap();
+            }
+            prop_assert!(a.is_unused());
+            prop_assert_eq!(a.free_range_count(), 1);
+        }
+
+        /// Hostile releases — wrapped offsets, never-allocated or mismatched
+        /// ranges — are rejected without touching the ledger.
+        #[test]
+        fn hostile_releases_never_corrupt(offset in 0u64..u64::MAX, gib in 1u64..8) {
+            let mut a = BrickAllocator::new(BrickId(0), ByteSize::from_gib(64));
+            let good = a.allocate(ByteSize::from_gib(32)).unwrap();
+            let before_free = a.free();
+            // Only (good, 32 GiB) is live; any (offset, 1..8 GiB) mismatches.
+            prop_assert!(a.release(offset, ByteSize::from_gib(gib)).is_err());
+            prop_assert_eq!(a.free(), before_free);
+            prop_assert_eq!(a.free() + a.allocated(), a.capacity());
+            a.release(good, ByteSize::from_gib(32)).unwrap();
+            prop_assert!(a.is_unused());
         }
     }
 }

@@ -287,6 +287,8 @@ impl MemoryPool {
     }
 
     fn pick_brick(&self, want: ByteSize) -> Option<BrickId> {
+        use std::cmp::Reverse;
+
         /// Per-brick snapshot used for policy decisions.
         #[derive(Clone, Copy)]
         struct Candidate {
@@ -311,19 +313,31 @@ impl MemoryPool {
         }
         let want_bytes = want.as_bytes();
         let fits = |c: &Candidate| c.largest >= want_bytes;
+        // Every policy breaks score ties on the lowest BrickId, so placement
+        // is deterministic regardless of candidate ordering — the scenario
+        // engine's replay guarantee depends on it.
         let chosen: Option<Candidate> = match self.policy {
             AllocationPolicy::FirstFit => candidates
                 .iter()
                 .copied()
-                .find(fits)
-                .or_else(|| candidates.first().copied()),
+                .filter(fits)
+                .min_by_key(|c| c.brick)
+                .or_else(|| candidates.iter().copied().min_by_key(|c| c.brick)),
             AllocationPolicy::BestFit => candidates
                 .iter()
                 .copied()
                 .filter(fits)
-                .min_by_key(|c| c.largest)
-                .or_else(|| candidates.iter().copied().max_by_key(|c| c.largest)),
-            AllocationPolicy::WorstFit => candidates.iter().copied().max_by_key(|c| c.free),
+                .min_by_key(|c| (c.largest, c.brick))
+                .or_else(|| {
+                    candidates
+                        .iter()
+                        .copied()
+                        .max_by_key(|c| (c.largest, Reverse(c.brick)))
+                }),
+            AllocationPolicy::WorstFit => candidates
+                .iter()
+                .copied()
+                .max_by_key(|c| (c.free, Reverse(c.brick))),
             AllocationPolicy::PowerAware => {
                 // Prefer bricks already in use; among them, the fullest that
                 // still fits. Fall back to waking the brick with the largest
@@ -334,10 +348,26 @@ impl MemoryPool {
                     .iter()
                     .copied()
                     .filter(fits)
-                    .min_by_key(|c| c.free)
-                    .or_else(|| in_use.iter().copied().max_by_key(|c| c.largest))
-                    .or_else(|| candidates.iter().copied().find(fits))
-                    .or_else(|| candidates.iter().copied().max_by_key(|c| c.largest))
+                    .min_by_key(|c| (c.free, c.brick))
+                    .or_else(|| {
+                        in_use
+                            .iter()
+                            .copied()
+                            .max_by_key(|c| (c.largest, Reverse(c.brick)))
+                    })
+                    .or_else(|| {
+                        candidates
+                            .iter()
+                            .copied()
+                            .filter(fits)
+                            .min_by_key(|c| c.brick)
+                    })
+                    .or_else(|| {
+                        candidates
+                            .iter()
+                            .copied()
+                            .max_by_key(|c| (c.largest, Reverse(c.brick)))
+                    })
             }
         };
         chosen.map(|c| c.brick)

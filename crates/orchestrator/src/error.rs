@@ -37,6 +37,14 @@ pub enum OrchestratorError {
         /// Amount requested.
         requested: ByteSize,
     },
+    /// A VM release did not match the brick's recorded allocations (more
+    /// cores than are in use, or no VM left to release).
+    MismatchedVmRelease {
+        /// Offending brick.
+        brick: BrickId,
+        /// Cores the caller tried to release.
+        vcpus: u32,
+    },
 }
 
 impl fmt::Display for OrchestratorError {
@@ -54,6 +62,9 @@ impl fmt::Display for OrchestratorError {
             }
             OrchestratorError::AttachLimit { brick, requested } => {
                 write!(f, "{brick} cannot attach another {requested}")
+            }
+            OrchestratorError::MismatchedVmRelease { brick, vcpus } => {
+                write!(f, "{brick} has no VM holding {vcpus} cores to release")
             }
         }
     }

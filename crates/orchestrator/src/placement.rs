@@ -50,7 +50,13 @@ impl PlacementPolicy {
     /// (or wakeable) brick fits it. Bricks that are powered off are
     /// considered only by the policies that are allowed to wake them
     /// (all of them, as a last resort).
+    ///
+    /// Score ties always break on the lowest [`BrickId`], independent of the
+    /// order `bricks` is passed in, so placement is deterministic — the
+    /// scenario engine's same-seed replay guarantee depends on it.
     pub fn choose(self, bricks: &[ComputeBrickView], vcpus: u32) -> Option<BrickId> {
+        use std::cmp::Reverse;
+
         let fits_on = |b: &ComputeBrickView| b.free_cores >= vcpus;
         let powered: Vec<ComputeBrickView> =
             bricks.iter().copied().filter(|b| b.powered_on).collect();
@@ -68,26 +74,27 @@ impl PlacementPolicy {
                 .copied()
                 .filter(|b| b.active)
                 .filter(fits_on)
-                .min_by_key(|b| b.free_cores)
+                .min_by_key(|b| (b.free_cores, b.brick))
                 .or_else(|| {
                     powered
                         .iter()
                         .copied()
                         .filter(fits_on)
-                        .min_by_key(|b| b.free_cores)
+                        .min_by_key(|b| (b.free_cores, b.brick))
                 }),
             PlacementPolicy::Balanced => powered
                 .iter()
                 .copied()
                 .filter(fits_on)
-                .max_by_key(|b| b.free_cores),
+                .max_by_key(|b| (b.free_cores, Reverse(b.brick))),
         };
         choice.map(|b| b.brick).or_else(|| {
             // Last resort for every policy: wake a sleeping brick that
             // could host the VM at full capacity.
             sleeping
                 .iter()
-                .find(|b| b.total_cores >= vcpus)
+                .filter(|b| b.total_cores >= vcpus)
+                .min_by_key(|b| b.brick)
                 .map(|b| b.brick)
         })
     }
@@ -176,6 +183,32 @@ mod tests {
         );
         // Nothing can host 64 cores.
         assert_eq!(PlacementPolicy::FirstFit.choose(&bricks, 64), None);
+    }
+
+    #[test]
+    fn tie_breaks_are_deterministic_by_lowest_brick_id() {
+        // Equal scores in deliberately unsorted input order: every policy
+        // must resolve the tie to the lowest BrickId, not the slice order.
+        let tied = [
+            view(3, 32, 16, true, true),
+            view(1, 32, 16, true, true),
+            view(2, 32, 16, true, true),
+        ];
+        assert_eq!(PlacementPolicy::Balanced.choose(&tied, 4), Some(BrickId(1)));
+        assert_eq!(
+            PlacementPolicy::PowerAware.choose(&tied, 4),
+            Some(BrickId(1))
+        );
+        assert_eq!(PlacementPolicy::FirstFit.choose(&tied, 4), Some(BrickId(1)));
+        // The sleeping-brick fallback is deterministic too.
+        let asleep = [view(7, 32, 0, false, false), view(5, 32, 0, false, false)];
+        for policy in [
+            PlacementPolicy::FirstFit,
+            PlacementPolicy::PowerAware,
+            PlacementPolicy::Balanced,
+        ] {
+            assert_eq!(policy.choose(&asleep, 8), Some(BrickId(5)));
+        }
     }
 
     #[test]

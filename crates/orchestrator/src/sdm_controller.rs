@@ -78,6 +78,9 @@ struct ComputeState {
     total_cores: u32,
     used_cores: u32,
     vm_count: u32,
+    /// Multiset of per-VM core counts (vcpus → number of VMs holding that
+    /// many), so releases can be matched against an actual admission.
+    vm_cores: BTreeMap<u32, u32>,
     gth_ports: u8,
     attached_segments: u32,
     powered_on: bool,
@@ -176,6 +179,7 @@ impl SdmController {
                 total_cores: cores,
                 used_cores: 0,
                 vm_count: 0,
+                vm_cores: BTreeMap::new(),
                 gth_ports: gth_ports.max(1),
                 attached_segments: 0,
                 powered_on: true,
@@ -241,10 +245,12 @@ impl SdmController {
                 requested_vcpus: request.vcpus,
             },
         )?;
-        // Reserve, grant memory, then commit.
+        // Reserve the cores, grant memory, then commit. The memory itself is
+        // reserved (and later released) by the inner scale-up, so holding it
+        // here too would double-count it in the ledger.
         let reservation = self
             .ledger
-            .reserve(Some(brick), request.vcpus, request.memory);
+            .reserve(Some(brick), request.vcpus, ByteSize::ZERO);
         let scale_up = match self.handle_scale_up(ScaleUpDemand::new(brick, request.memory)) {
             Ok(g) => g,
             Err(e) => {
@@ -259,8 +265,68 @@ impl SdmController {
             .expect("placement returned a registered brick");
         state.used_cores += request.vcpus;
         state.vm_count += 1;
+        *state.vm_cores.entry(request.vcpus).or_insert(0) += 1;
         state.powered_on = true;
         Ok((brick, scale_up))
+    }
+
+    /// Releases a terminated VM's cores back to its compute brick and drops
+    /// the ledger hold, so departed capacity can be re-admitted — the other
+    /// half of the closed admit → run → depart loop. The memory grants are
+    /// released separately through [`SdmController::release_scale_up`].
+    /// Returns the controller service time of the release.
+    ///
+    /// # Errors
+    ///
+    /// * [`OrchestratorError::UnknownComputeBrick`] for unregistered bricks.
+    /// * [`OrchestratorError::MismatchedVmRelease`] if no VM with exactly
+    ///   that core count was admitted on the brick; nothing is released in
+    ///   that case, so the controller and ledger views never half-apply.
+    pub fn release_vm(
+        &mut self,
+        brick: BrickId,
+        vcpus: u32,
+    ) -> Result<SimDuration, OrchestratorError> {
+        let state = self
+            .compute
+            .get_mut(&brick)
+            .ok_or(OrchestratorError::UnknownComputeBrick { brick })?;
+        if !state.vm_cores.contains_key(&vcpus) {
+            return Err(OrchestratorError::MismatchedVmRelease { brick, vcpus });
+        }
+        self.ledger
+            .release_committed(Some(brick), vcpus, ByteSize::ZERO)?;
+        let state = self.compute.get_mut(&brick).expect("checked above");
+        let holders = state.vm_cores.get_mut(&vcpus).expect("checked above");
+        *holders -= 1;
+        if *holders == 0 {
+            state.vm_cores.remove(&vcpus);
+        }
+        state.used_cores -= vcpus;
+        state.vm_count -= 1;
+        Ok(self.timings.request_rpc + self.timings.reservation_write)
+    }
+
+    /// Updates the controller's power view of a compute brick, e.g. after a
+    /// rack-level power sweep. Placement treats powered-off bricks as
+    /// sleeping and wakes them only as a last resort; a successful
+    /// [`SdmController::allocate_vm`] on the brick marks it powered on
+    /// again.
+    ///
+    /// # Errors
+    ///
+    /// * [`OrchestratorError::UnknownComputeBrick`] for unregistered bricks.
+    pub fn set_compute_power(
+        &mut self,
+        brick: BrickId,
+        powered_on: bool,
+    ) -> Result<(), OrchestratorError> {
+        let state = self
+            .compute
+            .get_mut(&brick)
+            .ok_or(OrchestratorError::UnknownComputeBrick { brick })?;
+        state.powered_on = powered_on;
+        Ok(())
     }
 
     /// Handles one scale-up demand: selects dMEMBRICK space (power-aware),
@@ -510,6 +576,81 @@ mod tests {
             before_free,
             "failed allocation must not leak"
         );
+    }
+
+    #[test]
+    fn released_vms_return_their_cores_for_re_admission() {
+        let mut sdm = SdmController::dredbox_default();
+        sdm.register_compute_brick(BrickId(0), 32, 8);
+        sdm.register_membrick(BrickId(10), ByteSize::from_gib(32));
+        // Fill the brick, then terminate and re-admit: the closed loop must
+        // not leak cores or ledger holds.
+        for _ in 0..3 {
+            let (brick, grant) = sdm
+                .allocate_vm(VmAllocationRequest::new(32, ByteSize::from_gib(8)))
+                .unwrap();
+            // The brick is full now: another VM cannot be placed.
+            assert!(matches!(
+                sdm.allocate_vm(VmAllocationRequest::new(32, ByteSize::from_gib(8))),
+                Err(OrchestratorError::NoComputeCapacity { .. })
+            ));
+            let t = sdm.release_vm(brick, 32).unwrap();
+            assert!(t > SimDuration::ZERO);
+            sdm.release_scale_up(&grant).unwrap();
+        }
+        assert_eq!(sdm.idle_compute_bricks().len(), 1);
+        assert_eq!(sdm.ledger().held_memory(), ByteSize::ZERO);
+        assert_eq!(sdm.ledger().held_cores(BrickId(0)), 0);
+        assert!(matches!(
+            sdm.release_vm(BrickId(99), 1),
+            Err(OrchestratorError::UnknownComputeBrick { .. })
+        ));
+        // With no VM left, another release must be rejected without touching
+        // the availability view.
+        assert!(matches!(
+            sdm.release_vm(BrickId(0), 32),
+            Err(OrchestratorError::MismatchedVmRelease { .. })
+        ));
+        // A release spanning several VMs' cores must not pass either: admit
+        // a 4-core and an 8-core VM, then try to release "12 cores".
+        let (b1, _) = sdm
+            .allocate_vm(VmAllocationRequest::new(4, ByteSize::from_gib(1)))
+            .unwrap();
+        let (b2, _) = sdm
+            .allocate_vm(VmAllocationRequest::new(8, ByteSize::from_gib(1)))
+            .unwrap();
+        assert_eq!(b1, b2, "power-aware placement packs one brick");
+        assert!(matches!(
+            sdm.release_vm(b1, 12),
+            Err(OrchestratorError::MismatchedVmRelease { .. })
+        ));
+        sdm.release_vm(b1, 8).unwrap();
+        sdm.release_vm(b1, 4).unwrap();
+    }
+
+    #[test]
+    fn power_view_steers_placement_away_from_swept_bricks() {
+        let mut sdm = controller();
+        // Sweep bricks 1-3; placement must now prefer the powered brick 0.
+        for b in 1..4u32 {
+            sdm.set_compute_power(BrickId(b), false).unwrap();
+        }
+        let (brick, grant) = sdm
+            .allocate_vm(VmAllocationRequest::new(8, ByteSize::from_gib(4)))
+            .unwrap();
+        assert_eq!(brick, BrickId(0));
+        sdm.release_vm(brick, 8).unwrap();
+        sdm.release_scale_up(&grant).unwrap();
+        // With every brick swept, the lowest-id sleeping brick is woken.
+        sdm.set_compute_power(BrickId(0), false).unwrap();
+        let (woken, _) = sdm
+            .allocate_vm(VmAllocationRequest::new(8, ByteSize::from_gib(4)))
+            .unwrap();
+        assert_eq!(woken, BrickId(0));
+        assert!(matches!(
+            sdm.set_compute_power(BrickId(77), true),
+            Err(OrchestratorError::UnknownComputeBrick { .. })
+        ));
     }
 
     #[test]

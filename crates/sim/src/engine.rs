@@ -20,7 +20,7 @@ pub trait Process {
 }
 
 /// Outcome of an [`Engine::run`] call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum RunOutcome {
     /// The event queue drained completely.
     Drained,
@@ -28,6 +28,16 @@ pub enum RunOutcome {
     HorizonReached,
     /// The event budget was exhausted before the queue drained.
     BudgetExhausted,
+}
+
+impl std::fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RunOutcome::Drained => "drained",
+            RunOutcome::HorizonReached => "horizon reached",
+            RunOutcome::BudgetExhausted => "event budget exhausted",
+        })
+    }
 }
 
 /// Discrete-event engine: a clock plus an event queue.
@@ -207,6 +217,16 @@ mod tests {
         };
         assert_eq!(engine.run(&mut world), RunOutcome::BudgetExhausted);
         assert_eq!(world.count, 7);
+    }
+
+    #[test]
+    fn run_outcome_displays() {
+        assert_eq!(RunOutcome::Drained.to_string(), "drained");
+        assert_eq!(RunOutcome::HorizonReached.to_string(), "horizon reached");
+        assert_eq!(
+            RunOutcome::BudgetExhausted.to_string(),
+            "event budget exhausted"
+        );
     }
 
     #[test]

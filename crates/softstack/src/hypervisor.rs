@@ -93,12 +93,10 @@ impl Hypervisor {
         self.os.total_memory().saturating_sub(committed)
     }
 
-    /// Number of VMs (in any state except terminated).
+    /// Number of live VMs. Destroyed VMs are removed from the hypervisor's
+    /// tables entirely, so every VM in the map counts.
     pub fn vm_count(&self) -> usize {
-        self.vms
-            .values()
-            .filter(|vm| !matches!(vm.state(), crate::vm::VmState::Terminated))
-            .count()
+        self.vms.len()
     }
 
     /// Looks up a VM.
@@ -212,7 +210,9 @@ impl Hypervisor {
         Ok(self.dimm_attach_overhead + guest_hotplug.offline_time(amount))
     }
 
-    /// Terminates a VM, releasing its cores.
+    /// Terminates a VM, releasing its cores and memory and dropping it from
+    /// the hypervisor's tables — long create/destroy churn must not grow
+    /// them without bound.
     ///
     /// # Errors
     ///
@@ -220,12 +220,11 @@ impl Hypervisor {
     pub fn destroy_vm(&mut self, vm: VmId) -> Result<(), SoftstackError> {
         let vm_ref = self
             .vms
-            .get_mut(&vm)
+            .remove(&vm)
             .ok_or(SoftstackError::NoSuchVm { vm })?;
-        if vm_ref.is_running() {
-            self.allocated_cores -= vm_ref.spec().vcpus;
-        }
-        vm_ref.mark_terminated();
+        // Every VM in the map holds its spec'd cores (create_vm marks it
+        // running on insert), so the release is unconditional.
+        self.allocated_cores -= vm_ref.spec().vcpus;
         Ok(())
     }
 }
@@ -270,6 +269,14 @@ mod tests {
         hv.destroy_vm(vm).unwrap();
         assert_eq!(hv.vm_count(), 0);
         assert_eq!(hv.free_cores(), 4);
+        // Terminated VMs must give their memory back: repeated
+        // create/destroy cycles cannot shrink the free pool.
+        assert_eq!(hv.free_memory(), ByteSize::from_gib(4));
+        for _ in 0..3 {
+            let (vm, _) = hv.create_vm(VmSpec::new(2, ByteSize::from_gib(3))).unwrap();
+            hv.destroy_vm(vm).unwrap();
+        }
+        assert_eq!(hv.free_memory(), ByteSize::from_gib(4));
         assert!(matches!(
             hv.destroy_vm(VmId(99)),
             Err(SoftstackError::NoSuchVm { .. })
@@ -316,11 +323,11 @@ mod tests {
         hv.destroy_vm(vm).unwrap();
         assert!(matches!(
             hv.hot_add_dimm(vm, ByteSize::from_gib(1)),
-            Err(SoftstackError::VmNotRunning { .. })
+            Err(SoftstackError::NoSuchVm { .. })
         ));
         assert!(matches!(
             hv.hot_remove(vm, ByteSize::from_gib(1)),
-            Err(SoftstackError::VmNotRunning { .. })
+            Err(SoftstackError::NoSuchVm { .. })
         ));
     }
 }

@@ -31,7 +31,7 @@ pub mod traces;
 pub use demand::VmDemand;
 pub use pilots::{NetworkAnalyticsWorkload, NfvKeyServerWorkload, VideoAnalyticsWorkload};
 pub use table1::WorkloadConfig;
-pub use traces::{ArrivalTrace, DiurnalPattern};
+pub use traces::{ArrivalTrace, BurstTrace, DiurnalPattern, LifetimeModel};
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
@@ -40,5 +40,5 @@ pub mod prelude {
         NetworkAnalyticsWorkload, NfvKeyServerWorkload, VideoAnalyticsWorkload,
     };
     pub use crate::table1::WorkloadConfig;
-    pub use crate::traces::{ArrivalTrace, DiurnalPattern};
+    pub use crate::traces::{ArrivalTrace, BurstTrace, DiurnalPattern, LifetimeModel};
 }

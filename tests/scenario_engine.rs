@@ -1,0 +1,89 @@
+//! Integration tests for the closed-loop scenario engine: determinism given
+//! a seed, and end-to-end coverage of the orchestration, memory, hotplug,
+//! interconnect and power-management layers by the four built-in scenarios.
+
+use dredbox::prelude::*;
+
+#[test]
+fn same_seed_replays_bit_identically_for_every_builtin_scenario() {
+    for spec in ScenarioSpec::builtin_suite() {
+        let a = spec.run(42).expect("scenario runs");
+        let b = spec.run(42).expect("scenario runs");
+        assert_eq!(a, b, "scenario {} must replay deterministically", spec.name);
+        assert_eq!(
+            a.to_string(),
+            b.to_string(),
+            "rendered report of {} must be identical",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_traces() {
+    let spec = ScenarioSpec::steady_state();
+    let a = spec.run(1).expect("run");
+    let b = spec.run(2).expect("run");
+    assert_ne!(a, b, "different seeds should not replay the same trace");
+}
+
+#[test]
+fn the_suite_exercises_every_layer_of_the_stack() {
+    let suite = run_builtin_suite(7).expect("suite runs");
+    assert_eq!(suite.reports.len(), 4);
+    assert_eq!(suite.table().len(), 4);
+
+    for report in &suite.reports {
+        assert!(report.admitted > 0, "{}: no VM admitted", report.name);
+        assert!(report.events > 0, "{}: no events processed", report.name);
+        // Every admitted VM charges reads through the interconnect model.
+        let reads = report
+            .read_latency
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: no reads charged", report.name));
+        assert!(reads.mean() > 0.0);
+        // The pool saw real allocations.
+        let util = report
+            .pool_utilization
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: no utilization samples", report.name));
+        assert!(util.max() > 0.0, "{}: pool never utilized", report.name);
+    }
+
+    // The churn scenario drives the hotplug/ballooning scale-up hot path.
+    let churn = suite.report("memory-churn").expect("scenario present");
+    assert!(churn.scale_ups > 0, "memory-churn must scale up");
+    assert!(churn.scale_downs > 0, "memory-churn must scale down");
+    let delay = churn.scale_up_delay.as_ref().expect("delays recorded");
+    assert!(
+        delay.max() < 2.0,
+        "per-VM scale-up should stay under 2 s, got {}",
+        delay.max()
+    );
+
+    // Bursts overlap in time.
+    let burst = suite.report("burst-arrival").expect("scenario present");
+    assert!(
+        burst.peak_live >= 4,
+        "burst arrivals should overlap, peak live was {}",
+        burst.peak_live
+    );
+
+    // The diurnal scenario spans a real fraction of its 24-hour day.
+    let diurnal = suite.report("diurnal").expect("scenario present");
+    assert!(
+        diurnal.end.as_secs_f64() > 6.0 * 3_600.0,
+        "diurnal run ended too early at {} s",
+        diurnal.end.as_secs_f64()
+    );
+
+    // Power management fires and finds idle bricks to switch off.
+    assert!(
+        suite.reports.iter().any(|r| r.power_sweeps > 0),
+        "no power sweep ran"
+    );
+    assert!(
+        suite.reports.iter().any(|r| r.bricks_powered_off > 0),
+        "no brick was ever powered off"
+    );
+}

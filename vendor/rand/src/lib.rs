@@ -216,7 +216,8 @@ pub mod distributions {
                 T::sample_uniform(rng, self.start, self.end, false)
             }
             fn is_empty(&self) -> bool {
-                !(self.start < self.end)
+                // Incomparable bounds (e.g. NaN) also make the range empty.
+                self.start.partial_cmp(&self.end) != Some(core::cmp::Ordering::Less)
             }
         }
 
@@ -225,7 +226,10 @@ pub mod distributions {
                 T::sample_uniform(rng, *self.start(), *self.end(), true)
             }
             fn is_empty(&self) -> bool {
-                !(self.start() <= self.end())
+                !matches!(
+                    self.start().partial_cmp(self.end()),
+                    Some(core::cmp::Ordering::Less | core::cmp::Ordering::Equal)
+                )
             }
         }
     }
