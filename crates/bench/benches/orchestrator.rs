@@ -1,0 +1,177 @@
+//! Criterion bench for the SDM control-plane hot path: mixed
+//! allocate/release/power traces driven through the controller at 16 / 64 /
+//! 256 compute bricks, comparing the incrementally maintained capacity
+//! indexes (`allocate_vm`, indexed pool selection) against the reference
+//! rack-wide scan (`allocate_vm_scan`, candidate-list pool scan) the
+//! indexes replaced. A second group isolates the placement decision itself
+//! (`choose_indexed` vs the slice scan) per policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dredbox::bricks::BrickId;
+use dredbox::interconnect::LatencyConfig;
+use dredbox::memory::{AllocationPolicy, PickStrategy};
+use dredbox::orchestrator::prelude::*;
+use dredbox::sim::rng::SimRng;
+use dredbox::sim::units::ByteSize;
+
+/// One step of the mixed control-plane trace.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Admit a VM (vcpus, GiB of pooled memory).
+    Alloc(u32, u64),
+    /// Release the n-th live VM (cores and memory).
+    Release(usize),
+    /// Flip a brick's power view.
+    Power(u32, bool),
+}
+
+/// A deterministic mixed trace: ~55% allocations, ~35% releases, ~10%
+/// power flips — enough churn that the availability view never goes stale.
+fn trace(ops: usize, bricks: u32) -> Vec<Op> {
+    let mut rng = SimRng::seed(2018);
+    (0..ops)
+        .map(|_| {
+            let roll = rng.range(0u64..100);
+            if roll < 55 {
+                Op::Alloc(rng.range(1u64..=8) as u32, rng.range(1u64..=2))
+            } else if roll < 90 {
+                Op::Release(rng.range(0u64..1_000) as usize)
+            } else {
+                Op::Power(rng.range(0u64..u64::from(bricks)) as u32, rng.chance(0.5))
+            }
+        })
+        .collect()
+}
+
+/// A rack with `bricks` 32-core dCOMPUBRICKs and `bricks / 4` 32-GiB
+/// dMEMBRICKs, under the dReDBox default power-aware policies.
+fn controller(bricks: u32, strategy: PickStrategy) -> SdmController {
+    let mut sdm = SdmController::new(
+        AllocationPolicy::PowerAware,
+        PlacementPolicy::PowerAware,
+        SdmTimings::dredbox_default(),
+        LatencyConfig::dredbox_default(),
+    );
+    sdm.set_memory_pick_strategy(strategy);
+    for b in 0..bricks {
+        sdm.register_compute_brick(BrickId(b), 32, 8);
+    }
+    for m in 0..bricks / 4 {
+        sdm.register_membrick(BrickId(10_000 + m), ByteSize::from_gib(32));
+    }
+    sdm
+}
+
+/// Replays the trace through one controller. `scan` selects the reference
+/// rack-wide-scan admission path; the indexed path otherwise.
+fn run_trace(sdm: &mut SdmController, ops: &[Op], scan: bool) -> usize {
+    let mut live: Vec<(BrickId, u32, ScaleUpGrant)> = Vec::new();
+    let mut admitted = 0usize;
+    for op in ops {
+        match *op {
+            Op::Alloc(vcpus, gib) => {
+                let request = VmAllocationRequest::new(vcpus, ByteSize::from_gib(gib));
+                let outcome = if scan {
+                    sdm.allocate_vm_scan(request)
+                } else {
+                    sdm.allocate_vm(request)
+                };
+                if let Ok((brick, grant)) = outcome {
+                    live.push((brick, vcpus, grant));
+                    admitted += 1;
+                }
+            }
+            Op::Release(pick) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (brick, vcpus, grant) = live.swap_remove(pick % live.len());
+                sdm.release_vm(brick, vcpus).expect("live VM releases");
+                sdm.release_scale_up(&grant).expect("live grant releases");
+            }
+            Op::Power(brick, on) => {
+                let _ = sdm.set_compute_power(BrickId(brick), on);
+            }
+        }
+    }
+    admitted
+}
+
+fn bench_control_plane(c: &mut Criterion) {
+    const OPS: usize = 2_000;
+    let mut group = c.benchmark_group("orchestrator/mixed_trace_2k_ops");
+    // 16/64/256 span the prototype-to-rack range; 1024 shows the asymptote
+    // as the scan term takes over the reference path completely.
+    for bricks in [16u32, 64, 256, 1024] {
+        let ops = trace(OPS, bricks);
+        group.bench_with_input(
+            BenchmarkId::new("indexed", bricks),
+            &bricks,
+            |b, &bricks| {
+                b.iter_batched(
+                    || controller(bricks, PickStrategy::Indexed),
+                    |mut sdm| black_box(run_trace(&mut sdm, &ops, false)),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference_scan", bricks),
+            &bricks,
+            |b, &bricks| {
+                b.iter_batched(
+                    || controller(bricks, PickStrategy::ReferenceScan),
+                    |mut sdm| black_box(run_trace(&mut sdm, &ops, true)),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_placement_decision(c: &mut Criterion) {
+    const BRICKS: u32 = 256;
+    // A half-loaded rack: varied free cores, some idle, some asleep.
+    let mut sdm = controller(BRICKS, PickStrategy::Indexed);
+    let warmup = trace(2_000, BRICKS);
+    run_trace(&mut sdm, &warmup, false);
+    let index = sdm.capacity().clone();
+    let views = sdm.compute_views();
+
+    let mut group = c.benchmark_group("orchestrator/placement_choose_256_bricks");
+    for policy in [
+        PlacementPolicy::FirstFit,
+        PlacementPolicy::PowerAware,
+        PlacementPolicy::Balanced,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("indexed", format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                let mut vcpus = 0u32;
+                b.iter(|| {
+                    vcpus = vcpus % 8 + 1;
+                    black_box(policy.choose_indexed(black_box(&index), vcpus))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference_scan", format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                let mut vcpus = 0u32;
+                b.iter(|| {
+                    vcpus = vcpus % 8 + 1;
+                    black_box(policy.choose(black_box(&views), vcpus))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_control_plane, bench_placement_decision);
+criterion_main!(benches);

@@ -23,6 +23,12 @@
 //! * **memory-churn** — few long-lived VMs continuously growing and
 //!   shrinking through the Scale-up API, the allocator hot path.
 //!
+//! A fifth, much larger scenario — **rack-scale** ([`ScenarioSpec::rack_scale`],
+//! 256 dCOMPUBRICKs, 128 dMEMBRICKs, 4096 VM arrivals) — stresses the SDM
+//! control plane itself; it rides on the incrementally maintained capacity
+//! indexes and is deliberately kept out of [`ScenarioSpec::builtin_suite`]
+//! so the quick suite stays quick (use [`ScenarioSpec::extended_suite`]).
+//!
 //! Replays are deterministic: the same spec and seed produce a bit-identical
 //! [`ScenarioReport`].
 //!
@@ -220,6 +226,39 @@ impl ScenarioSpec {
         }
     }
 
+    /// The control-plane stress case: a full-height rack (16 trays × 16
+    /// dCOMPUBRICKs + 8 dMEMBRICKs each → 256 compute bricks, 128 memory
+    /// bricks, 8192 cores, 4 TiB of pooled memory) absorbing 4096 mixed
+    /// Table I VM arrivals with departures, churn and periodic power
+    /// sweeps. Every arrival walks the full placement → reservation →
+    /// hotplug path, so the run scales with the cost of the SDM
+    /// controller's availability inspection — the hot path the capacity
+    /// indexes keep at `O(log n)` per request.
+    pub fn rack_scale() -> Self {
+        ScenarioSpec {
+            name: "rack-scale".to_owned(),
+            system: SystemConfig::datacenter_rack(16, 16, 8),
+            vm_count: 4096,
+            mix: WorkloadConfig::Random,
+            arrivals: ArrivalModel::Poisson {
+                mean_interarrival: SimDuration::from_secs(2),
+            },
+            lifetime: LifetimeModel::new(
+                SimDuration::from_secs(1_800),
+                SimDuration::from_secs(300),
+            ),
+            churn: Some(ChurnModel {
+                cycles_per_vm: 1,
+                hold: SimDuration::from_secs(120),
+                amount_gib: (1, 2),
+            }),
+            reads_per_vm: 4,
+            horizon: SimTime::from_secs(4 * 3_600),
+            power_sweep_every: Some(SimDuration::from_secs(600)),
+            event_budget: 200_000,
+        }
+    }
+
     /// The four scenarios shipped with the engine.
     pub fn builtin_suite() -> Vec<ScenarioSpec> {
         vec![
@@ -228,6 +267,13 @@ impl ScenarioSpec {
             ScenarioSpec::burst_arrival(),
             ScenarioSpec::memory_churn(),
         ]
+    }
+
+    /// The built-in suite plus the rack-scale control-plane stress case.
+    pub fn extended_suite() -> Vec<ScenarioSpec> {
+        let mut suite = ScenarioSpec::builtin_suite();
+        suite.push(ScenarioSpec::rack_scale());
+        suite
     }
 
     /// Replays the scenario from `seed`. The same spec and seed always

@@ -5,6 +5,8 @@
 //! (Section II). The Transaction Glue Logic consults it for every remote
 //! transaction to find the destination brick and outgoing port.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
 use dredbox_bricks::{BrickId, PortId};
@@ -67,7 +69,16 @@ impl RmstEntry {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RemoteMemorySegmentTable {
     capacity: usize,
-    entries: Vec<RmstEntry>,
+    /// Installed entries keyed by base address. The hardware table is fully
+    /// associative; keeping the model base-ordered makes the overlap check
+    /// on insert, the address lookup and the removal `O(log n)` — these sit
+    /// on the SDM controller's attach/detach and the data-path hot paths.
+    entries: BTreeMap<u64, RmstEntry>,
+    /// Live entries per destination brick, so "does any segment still
+    /// target this dMEMBRICK" (the route-teardown check) is `O(log n)`.
+    towards: BTreeMap<BrickId, u32>,
+    /// Sum of installed segment sizes, kept incrementally.
+    mapped: u64,
 }
 
 impl RemoteMemorySegmentTable {
@@ -80,7 +91,9 @@ impl RemoteMemorySegmentTable {
         assert!(capacity > 0, "RMST needs at least one entry");
         RemoteMemorySegmentTable {
             capacity,
-            entries: Vec::new(),
+            entries: BTreeMap::new(),
+            towards: BTreeMap::new(),
+            mapped: 0,
         }
     }
 
@@ -121,12 +134,26 @@ impl RemoteMemorySegmentTable {
                 capacity: self.capacity,
             });
         }
-        if self.entries.iter().any(|e| e.overlaps(&entry)) {
+        // Installed entries never overlap, so only the nearest neighbours
+        // (by base) can collide with the new one.
+        let overlaps_prev = self
+            .entries
+            .range(..=entry.base)
+            .next_back()
+            .is_some_and(|(_, prev)| prev.overlaps(&entry));
+        let overlaps_next = self
+            .entries
+            .range(entry.base..)
+            .next()
+            .is_some_and(|(_, next)| next.overlaps(&entry));
+        if overlaps_prev || overlaps_next {
             return Err(InterconnectError::OverlappingSegment {
                 address: entry.base,
             });
         }
-        self.entries.push(entry);
+        self.entries.insert(entry.base, entry);
+        *self.towards.entry(entry.destination).or_insert(0) += 1;
+        self.mapped += entry.size.as_bytes();
         Ok(())
     }
 
@@ -136,41 +163,57 @@ impl RemoteMemorySegmentTable {
     ///
     /// Returns [`InterconnectError::NoSuchSegment`] if no entry starts there.
     pub fn remove(&mut self, base: u64) -> Result<RmstEntry, InterconnectError> {
-        let pos = self
+        let entry = self
             .entries
-            .iter()
-            .position(|e| e.base == base)
+            .remove(&base)
             .ok_or(InterconnectError::NoSuchSegment { address: base })?;
-        Ok(self.entries.remove(pos))
+        if let Some(count) = self.towards.get_mut(&entry.destination) {
+            *count -= 1;
+            if *count == 0 {
+                self.towards.remove(&entry.destination);
+            }
+        }
+        self.mapped -= entry.size.as_bytes();
+        Ok(entry)
     }
 
     /// Fully associative lookup: returns the entry covering `address`.
+    /// Entries never overlap, so only the entry with the greatest base at or
+    /// below `address` can cover it — an `O(log n)` range probe.
     ///
     /// # Errors
     ///
     /// Returns [`InterconnectError::NoRoute`] if no entry covers the address.
     pub fn lookup(&self, address: u64) -> Result<&RmstEntry, InterconnectError> {
         self.entries
-            .iter()
-            .find(|e| e.covers(address))
+            .range(..=address)
+            .next_back()
+            .map(|(_, e)| e)
+            .filter(|e| e.covers(address))
             .ok_or(InterconnectError::NoRoute { address })
     }
 
     /// All entries towards a given destination brick.
     pub fn entries_towards(&self, destination: BrickId) -> impl Iterator<Item = &RmstEntry> {
         self.entries
-            .iter()
+            .values()
             .filter(move |e| e.destination == destination)
     }
 
-    /// Iterates over all entries.
-    pub fn iter(&self) -> impl Iterator<Item = &RmstEntry> {
-        self.entries.iter()
+    /// Number of entries towards a given destination brick — the
+    /// route-teardown check, `O(log n)` instead of a table scan.
+    pub fn towards_count(&self, destination: BrickId) -> u32 {
+        self.towards.get(&destination).copied().unwrap_or(0)
     }
 
-    /// Total remote memory reachable through the table.
+    /// Iterates over all entries, ascending by base address.
+    pub fn iter(&self) -> impl Iterator<Item = &RmstEntry> {
+        self.entries.values()
+    }
+
+    /// Total remote memory reachable through the table. `O(1)`.
     pub fn mapped_bytes(&self) -> ByteSize {
-        self.entries.iter().map(|e| e.size).sum()
+        ByteSize::from_bytes(self.mapped)
     }
 }
 

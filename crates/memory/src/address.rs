@@ -5,6 +5,8 @@
 //! window out onto the interconnect. [`RemoteWindow`] hands out
 //! non-overlapping sub-ranges of the window as segments are attached.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
 use dredbox_sim::units::ByteSize;
@@ -61,7 +63,10 @@ impl std::fmt::Display for GlobalAddress {
 pub struct RemoteWindow {
     capacity: ByteSize,
     next_offset: u64,
-    holes: Vec<(u64, ByteSize)>,
+    /// Released ranges grouped by size, so the exact-size reuse check on
+    /// [`RemoteWindow::carve`] is an `O(log n)` lookup instead of a scan of
+    /// every hole — this sits on the SDM controller's attach hot path.
+    holes: BTreeMap<u64, Vec<u64>>,
     mapped: ByteSize,
 }
 
@@ -72,7 +77,7 @@ impl RemoteWindow {
         RemoteWindow {
             capacity,
             next_offset: 0,
-            holes: Vec::new(),
+            holes: BTreeMap::new(),
             mapped: ByteSize::ZERO,
         }
     }
@@ -98,8 +103,11 @@ impl RemoteWindow {
             return Err(MemoryError::EmptyRequest);
         }
         // Reuse an exact-size hole left by a previous release, if any.
-        if let Some(pos) = self.holes.iter().position(|(_, s)| *s == size) {
-            let (offset, _) = self.holes.remove(pos);
+        if let Some(offsets) = self.holes.get_mut(&size.as_bytes()) {
+            let offset = offsets.pop().expect("empty hole buckets are removed");
+            if offsets.is_empty() {
+                self.holes.remove(&size.as_bytes());
+            }
             self.mapped += size;
             return Ok(GlobalAddress(REMOTE_WINDOW_BASE + offset));
         }
@@ -125,7 +133,7 @@ impl RemoteWindow {
             return Err(MemoryError::EmptyRequest);
         }
         let offset = address.0 - REMOTE_WINDOW_BASE;
-        self.holes.push((offset, size));
+        self.holes.entry(size.as_bytes()).or_default().push(offset);
         self.mapped = self.mapped.saturating_sub(size);
         Ok(())
     }

@@ -49,7 +49,7 @@ pub use allocator::BrickAllocator;
 pub use balloon::BalloonDevice;
 pub use error::MemoryError;
 pub use hotplug::HotplugModel;
-pub use pool::{AllocationPolicy, MemoryGrant, MemoryPool};
+pub use pool::{AllocationPolicy, MemoryGrant, MemoryPool, PickStrategy};
 pub use segment::{MemorySegment, SegmentId};
 
 /// Convenient re-exports of the most commonly used items.
@@ -59,6 +59,6 @@ pub mod prelude {
     pub use crate::balloon::BalloonDevice;
     pub use crate::error::MemoryError;
     pub use crate::hotplug::HotplugModel;
-    pub use crate::pool::{AllocationPolicy, MemoryGrant, MemoryPool};
+    pub use crate::pool::{AllocationPolicy, MemoryGrant, MemoryPool, PickStrategy};
     pub use crate::segment::{MemorySegment, SegmentId};
 }

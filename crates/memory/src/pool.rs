@@ -7,7 +7,7 @@
 //! already serve traffic so that untouched bricks can stay powered off
 //! (Section IV-C, role "b": power-consumption-conscious selection).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -32,6 +32,168 @@ pub enum AllocationPolicy {
     /// Prefer bricks that are already exporting memory, to keep untouched
     /// bricks powered off (the power-aware policy of the SDM controller).
     PowerAware,
+}
+
+/// How the pool evaluates its [`AllocationPolicy`] per allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PickStrategy {
+    /// Answer policy queries from the incrementally maintained brick index —
+    /// the production hot path.
+    #[default]
+    Indexed,
+    /// Rebuild the per-brick candidate list and scan it per allocation, as
+    /// the pre-index pool did. Kept as the reference implementation for
+    /// equivalence testing and benchmarking; both strategies make identical
+    /// placement decisions.
+    ReferenceScan,
+}
+
+/// The per-brick facts the selection policies rank on, as indexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct BrickStat {
+    /// Free bytes (possibly fragmented).
+    free: u64,
+    /// Largest contiguous free block.
+    largest: u64,
+    /// Whether the brick currently exports any allocation.
+    in_use: bool,
+}
+
+fn bucket_insert(map: &mut BTreeMap<u64, BTreeSet<BrickId>>, key: u64, brick: BrickId) {
+    map.entry(key).or_default().insert(brick);
+}
+
+fn bucket_remove(map: &mut BTreeMap<u64, BTreeSet<BrickId>>, key: u64, brick: BrickId) {
+    if let Some(bucket) = map.get_mut(&key) {
+        bucket.remove(&brick);
+        if bucket.is_empty() {
+            map.remove(&key);
+        }
+    }
+}
+
+/// Incrementally maintained selection index over the pool's dMEMBRICKs,
+/// updated whenever a brick's allocator changes. Inside every bucket bricks
+/// are ordered by [`BrickId`], preserving the deterministic lowest-id
+/// tie-breaks of the reference scan.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+struct PoolIndex {
+    /// Authoritative stat per registered brick (including full ones).
+    stats: BTreeMap<BrickId, BrickStat>,
+    /// Bricks with a non-zero largest free block (allocation candidates),
+    /// in id order.
+    candidates: BTreeSet<BrickId>,
+    /// Candidates bucketed by free bytes.
+    by_free: BTreeMap<u64, BTreeSet<BrickId>>,
+    /// Candidates bucketed by largest contiguous block.
+    by_largest: BTreeMap<u64, BTreeSet<BrickId>>,
+    /// In-use candidates bucketed by free bytes.
+    in_use_by_free: BTreeMap<u64, BTreeSet<BrickId>>,
+    /// In-use candidates bucketed by largest contiguous block.
+    in_use_by_largest: BTreeMap<u64, BTreeSet<BrickId>>,
+    /// Bricks with no allocation at all (power-off candidates), in id order.
+    unused: BTreeSet<BrickId>,
+}
+
+impl PoolIndex {
+    /// Inserts or refreshes one brick's stat, keeping every bucket in sync.
+    /// `O(log n)`.
+    fn upsert(&mut self, brick: BrickId, stat: BrickStat) {
+        if let Some(old) = self.stats.insert(brick, stat) {
+            self.unindex(brick, old);
+        }
+        if stat.largest > 0 {
+            self.candidates.insert(brick);
+            bucket_insert(&mut self.by_free, stat.free, brick);
+            bucket_insert(&mut self.by_largest, stat.largest, brick);
+            if stat.in_use {
+                bucket_insert(&mut self.in_use_by_free, stat.free, brick);
+                bucket_insert(&mut self.in_use_by_largest, stat.largest, brick);
+            }
+        }
+        if stat.in_use {
+            self.unused.remove(&brick);
+        } else {
+            self.unused.insert(brick);
+        }
+    }
+
+    fn unindex(&mut self, brick: BrickId, old: BrickStat) {
+        if old.largest > 0 {
+            self.candidates.remove(&brick);
+            bucket_remove(&mut self.by_free, old.free, brick);
+            bucket_remove(&mut self.by_largest, old.largest, brick);
+            if old.in_use {
+                bucket_remove(&mut self.in_use_by_free, old.free, brick);
+                bucket_remove(&mut self.in_use_by_largest, old.largest, brick);
+            }
+        }
+    }
+
+    fn largest_of(&self, brick: BrickId) -> u64 {
+        self.stats.get(&brick).map_or(0, |s| s.largest)
+    }
+
+    /// Lowest-id candidate whose largest block fits `want`. Walks candidates
+    /// in id order and stops at the first fit — the work a first-fit scan
+    /// does anyway, without rebuilding the candidate list.
+    fn first_candidate_fit(&self, want: u64) -> Option<BrickId> {
+        self.candidates
+            .iter()
+            .copied()
+            .find(|b| self.largest_of(*b) >= want)
+    }
+
+    /// Lowest-id candidate, fitting or not (the split fallback).
+    fn min_candidate(&self) -> Option<BrickId> {
+        self.candidates.iter().next().copied()
+    }
+
+    /// Candidate with the smallest largest-block that still fits `want`
+    /// (lowest id on ties) — the BestFit query. `O(log n)`.
+    fn tightest_fit(&self, want: u64) -> Option<BrickId> {
+        self.by_largest
+            .range(want..)
+            .next()
+            .and_then(|(_, bucket)| bucket.iter().next().copied())
+    }
+
+    /// Candidate with the largest contiguous block (lowest id on ties).
+    /// `O(log n)`.
+    fn largest_block_brick(&self) -> Option<BrickId> {
+        self.by_largest
+            .iter()
+            .next_back()
+            .and_then(|(_, bucket)| bucket.iter().next().copied())
+    }
+
+    /// Candidate with the most free bytes (lowest id on ties) — the
+    /// WorstFit query. `O(log n)`.
+    fn most_free_brick(&self) -> Option<BrickId> {
+        self.by_free
+            .iter()
+            .next_back()
+            .and_then(|(_, bucket)| bucket.iter().next().copied())
+    }
+
+    /// Fullest in-use candidate (fewest free bytes, lowest id on ties) whose
+    /// largest block fits `want` — the power-aware packing query. Walks the
+    /// in-use bricks in (free, id) order and stops at the first fit.
+    fn fullest_in_use_fit(&self, want: u64) -> Option<BrickId> {
+        self.in_use_by_free
+            .values()
+            .flat_map(|bucket| bucket.iter().copied())
+            .find(|b| self.largest_of(*b) >= want)
+    }
+
+    /// In-use candidate with the largest contiguous block (lowest id on
+    /// ties). `O(log n)`.
+    fn largest_in_use_block(&self) -> Option<BrickId> {
+        self.in_use_by_largest
+            .iter()
+            .next_back()
+            .and_then(|(_, bucket)| bucket.iter().next().copied())
+    }
 }
 
 /// A grant: the set of segments that together satisfy one allocation
@@ -77,13 +239,21 @@ impl MemoryGrant {
 /// // The power-aware policy packs both grants onto the same brick, leaving
 /// // the other one untouched (a power-off candidate).
 /// assert_eq!(g1.segments()[0].membrick, g2.segments()[0].membrick);
-/// assert_eq!(pool.unused_membricks().len(), 1);
+/// assert_eq!(pool.unused_membricks().count(), 1);
 /// # Ok::<(), dredbox_memory::MemoryError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MemoryPool {
     policy: AllocationPolicy,
+    strategy: PickStrategy,
     allocators: BTreeMap<BrickId, BrickAllocator>,
+    /// Selection index over the allocators, refreshed on every allocator
+    /// mutation so policy decisions never rebuild a candidate list.
+    index: PoolIndex,
+    /// Aggregate byte ledger, so the rack-wide totals are `O(1)` instead of
+    /// a sum over every brick.
+    capacity_total: u64,
+    free_total: u64,
     segments: BTreeMap<SegmentId, MemorySegment>,
     next_segment: u64,
 }
@@ -93,7 +263,11 @@ impl MemoryPool {
     pub fn new(policy: AllocationPolicy) -> Self {
         MemoryPool {
             policy,
+            strategy: PickStrategy::Indexed,
             allocators: BTreeMap::new(),
+            index: PoolIndex::default(),
+            capacity_total: 0,
+            free_total: 0,
             segments: BTreeMap::new(),
             next_segment: 0,
         }
@@ -107,6 +281,18 @@ impl MemoryPool {
     /// Changes the placement policy for future allocations.
     pub fn set_policy(&mut self, policy: AllocationPolicy) {
         self.policy = policy;
+    }
+
+    /// The active selection strategy.
+    pub fn pick_strategy(&self) -> PickStrategy {
+        self.strategy
+    }
+
+    /// Switches between the indexed selection hot path and the reference
+    /// candidate-list scan (they make identical decisions; the scan exists
+    /// for equivalence testing and benchmarking).
+    pub fn set_pick_strategy(&mut self, strategy: PickStrategy) {
+        self.strategy = strategy;
     }
 
     /// Registers a dMEMBRICK and its capacity with the pool.
@@ -137,7 +323,25 @@ impl MemoryPool {
         }
         self.allocators
             .insert(brick, BrickAllocator::new(brick, capacity));
+        self.capacity_total += capacity.as_bytes();
+        self.free_total += capacity.as_bytes();
+        self.reindex(brick);
         Ok(())
+    }
+
+    /// Refreshes one brick's entry in the selection index from its
+    /// allocator's authoritative state.
+    fn reindex(&mut self, brick: BrickId) {
+        if let Some(allocator) = self.allocators.get(&brick) {
+            self.index.upsert(
+                brick,
+                BrickStat {
+                    free: allocator.free().as_bytes(),
+                    largest: allocator.largest_free_block().as_bytes(),
+                    in_use: !allocator.is_unused(),
+                },
+            );
+        }
     }
 
     /// Number of registered dMEMBRICKs.
@@ -145,28 +349,26 @@ impl MemoryPool {
         self.allocators.len()
     }
 
-    /// Total capacity across all bricks.
+    /// Total capacity across all bricks. `O(1)`.
     pub fn total_capacity(&self) -> ByteSize {
-        self.allocators.values().map(|a| a.capacity()).sum()
+        ByteSize::from_bytes(self.capacity_total)
     }
 
-    /// Total free bytes across all bricks.
+    /// Total free bytes across all bricks. `O(1)`.
     pub fn total_free(&self) -> ByteSize {
-        self.allocators.values().map(|a| a.free()).sum()
+        ByteSize::from_bytes(self.free_total)
     }
 
-    /// Total allocated bytes across all bricks.
+    /// Total allocated bytes across all bricks. `O(1)`.
     pub fn total_allocated(&self) -> ByteSize {
-        self.allocators.values().map(|a| a.allocated()).sum()
+        ByteSize::from_bytes(self.capacity_total - self.free_total)
     }
 
-    /// The dMEMBRICKs with no allocation at all (power-off candidates).
-    pub fn unused_membricks(&self) -> Vec<BrickId> {
-        self.allocators
-            .values()
-            .filter(|a| a.is_unused())
-            .map(|a| a.brick())
-            .collect()
+    /// The dMEMBRICKs with no allocation at all (power-off candidates),
+    /// ascending by id. Served from the selection index — no per-call
+    /// snapshot `Vec`.
+    pub fn unused_membricks(&self) -> impl Iterator<Item = BrickId> + '_ {
+        self.index.unused.iter().copied()
     }
 
     /// Free bytes on a specific brick.
@@ -193,10 +395,16 @@ impl MemoryPool {
         if size.is_zero() {
             return Err(MemoryError::EmptyRequest);
         }
-        if size > self.total_free() {
+        // Same value either way; the reference strategy stays faithful to
+        // the pre-index pool, which re-summed every allocator per request.
+        let available = match self.strategy {
+            PickStrategy::Indexed => self.total_free(),
+            PickStrategy::ReferenceScan => self.allocators.values().map(|a| a.free()).sum(),
+        };
+        if size > available {
             return Err(MemoryError::OutOfMemory {
                 requested: size,
-                available: self.total_free(),
+                available,
             });
         }
         let mut remaining = size;
@@ -220,6 +428,8 @@ impl MemoryPool {
             let offset = allocator
                 .allocate(chunk)
                 .expect("picked brick has the space");
+            self.free_total -= chunk.as_bytes();
+            self.reindex(brick);
             let id = SegmentId(self.next_segment);
             self.next_segment += 1;
             let segment = MemorySegment {
@@ -252,7 +462,10 @@ impl MemoryPool {
                 .ok_or(MemoryError::UnknownMemBrick {
                     brick: seg.membrick,
                 })?;
-        allocator.release(seg.offset, seg.size)
+        allocator.release(seg.offset, seg.size)?;
+        self.free_total += seg.size.as_bytes();
+        self.reindex(seg.membrick);
+        Ok(())
     }
 
     /// Releases every segment of a grant.
@@ -286,7 +499,46 @@ impl MemoryPool {
         self.segments.len()
     }
 
+    /// Selects the dMEMBRICK that serves (part of) an allocation of `want`
+    /// bytes, honouring the active policy. Dispatches to the indexed hot
+    /// path or the reference candidate-list scan; both make identical,
+    /// deterministic decisions (a property test holds them together).
     fn pick_brick(&self, want: ByteSize) -> Option<BrickId> {
+        match self.strategy {
+            PickStrategy::Indexed => self.pick_brick_indexed(want),
+            PickStrategy::ReferenceScan => self.pick_brick_scan(want),
+        }
+    }
+
+    /// Index-backed selection: no candidate list is rebuilt and no per-call
+    /// allocation happens. BestFit/WorstFit and all "largest block" queries
+    /// are `O(log n)`; the first-fit and power-aware packing walks visit
+    /// bricks in ranking order and stop at the first fit.
+    fn pick_brick_indexed(&self, want: ByteSize) -> Option<BrickId> {
+        let want = want.as_bytes();
+        match self.policy {
+            AllocationPolicy::FirstFit => self
+                .index
+                .first_candidate_fit(want)
+                .or_else(|| self.index.min_candidate()),
+            AllocationPolicy::BestFit => self
+                .index
+                .tightest_fit(want)
+                .or_else(|| self.index.largest_block_brick()),
+            AllocationPolicy::WorstFit => self.index.most_free_brick(),
+            AllocationPolicy::PowerAware => self
+                .index
+                .fullest_in_use_fit(want)
+                .or_else(|| self.index.largest_in_use_block())
+                .or_else(|| self.index.first_candidate_fit(want))
+                .or_else(|| self.index.largest_block_brick()),
+        }
+    }
+
+    /// Reference selection: rebuilds the per-brick candidate list and scans
+    /// it, exactly as the pre-index pool did (`O(bricks)` plus a `Vec` per
+    /// call). Kept for equivalence testing and benchmarking.
+    fn pick_brick_scan(&self, want: ByteSize) -> Option<BrickId> {
         use std::cmp::Reverse;
 
         /// Per-brick snapshot used for policy decisions.
@@ -393,7 +645,7 @@ mod tests {
         assert_eq!(p.membrick_count(), 3);
         assert_eq!(p.total_capacity(), ByteSize::from_gib(96));
         assert_eq!(p.total_free(), ByteSize::from_gib(96));
-        assert_eq!(p.unused_membricks().len(), 3);
+        assert_eq!(p.unused_membricks().count(), 3);
         assert_eq!(p.free_on(BrickId(10)).unwrap(), ByteSize::from_gib(32));
         assert!(p.free_on(BrickId(99)).is_err());
         let mut p2 = pool(AllocationPolicy::FirstFit);
@@ -456,14 +708,14 @@ mod tests {
             p.allocate(BrickId(vm), ByteSize::from_gib(6)).unwrap();
         }
         // 18 GiB fits on one brick, so two bricks stay untouched.
-        assert_eq!(p.unused_membricks().len(), 2);
+        assert_eq!(p.unused_membricks().count(), 2);
 
         // The worst-fit policy would have spread them.
         let mut spread = pool(AllocationPolicy::WorstFit);
         for vm in 0..3u32 {
             spread.allocate(BrickId(vm), ByteSize::from_gib(6)).unwrap();
         }
-        assert_eq!(spread.unused_membricks().len(), 0);
+        assert_eq!(spread.unused_membricks().count(), 0);
     }
 
     #[test]
@@ -484,7 +736,54 @@ mod tests {
         assert_eq!(AllocationPolicy::default(), AllocationPolicy::FirstFit);
     }
 
+    #[test]
+    fn pick_strategy_is_switchable_and_defaults_to_indexed() {
+        let mut p = pool(AllocationPolicy::FirstFit);
+        assert_eq!(p.pick_strategy(), PickStrategy::Indexed);
+        p.set_pick_strategy(PickStrategy::ReferenceScan);
+        assert_eq!(p.pick_strategy(), PickStrategy::ReferenceScan);
+        assert_eq!(PickStrategy::default(), PickStrategy::Indexed);
+    }
+
     proptest! {
+        /// Determinism regression guard: the indexed selection and the
+        /// reference candidate-list scan must hand out bit-identical grants
+        /// (and fail identically) for every policy over random
+        /// allocate/release traces.
+        #[test]
+        fn indexed_pick_matches_reference_scan(ops in proptest::collection::vec((1u64..24, proptest::bool::ANY), 1..40)) {
+            for policy in [
+                AllocationPolicy::FirstFit,
+                AllocationPolicy::BestFit,
+                AllocationPolicy::WorstFit,
+                AllocationPolicy::PowerAware,
+            ] {
+                let mut indexed = pool(policy);
+                let mut scan = pool(policy);
+                scan.set_pick_strategy(PickStrategy::ReferenceScan);
+                let mut live: Vec<MemoryGrant> = Vec::new();
+                for (i, (gib, do_alloc)) in ops.iter().enumerate() {
+                    if *do_alloc || live.is_empty() {
+                        let a = indexed.allocate(BrickId(i as u32), ByteSize::from_gib(*gib));
+                        let b = scan.allocate(BrickId(i as u32), ByteSize::from_gib(*gib));
+                        prop_assert_eq!(&a, &b, "{:?} diverged on allocate", policy);
+                        if let Ok(g) = a {
+                            live.push(g);
+                        }
+                    } else {
+                        let g = live.remove(i % live.len());
+                        indexed.release_grant(&g).unwrap();
+                        scan.release_grant(&g).unwrap();
+                    }
+                    prop_assert_eq!(indexed.total_free(), scan.total_free());
+                    prop_assert_eq!(
+                        indexed.unused_membricks().collect::<Vec<_>>(),
+                        scan.unused_membricks().collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+
         #[test]
         fn pool_conserves_bytes(requests in proptest::collection::vec(1u64..24, 1..20)) {
             for policy in [

@@ -1,0 +1,316 @@
+//! Incrementally maintained capacity indexes for the SDM control plane.
+//!
+//! The paper's SDM controller must "safely inspect resource availability"
+//! for every request. Rebuilding a rack-wide snapshot per request makes the
+//! control plane O(bricks × requests) — fine for the four-brick vertical
+//! prototype, ruinous at rack scale. The [`CapacityIndex`] keeps the
+//! availability inspection *incremental*: every allocate, release, scale-up
+//! and power transition updates a handful of ordered sets, and each
+//! placement query becomes an index lookup with zero per-request heap
+//! allocation.
+//!
+//! ## Structure
+//!
+//! Bricks are bucketed by their query key so every policy's argmin/argmax
+//! maps onto ordered-map navigation:
+//!
+//! * `powered_by_free` — powered-on bricks, keyed by free cores. Serves
+//!   best-fit ("fullest that fits": first bucket at or above the request)
+//!   and worst-fit ("emptiest": last bucket) queries in `O(log n)`.
+//! * `active_by_free` — the subset already running VMs, same key; the
+//!   power-aware policy consults it first so sleeping bricks stay asleep.
+//! * `sleeping_by_total` — powered-off bricks keyed by total cores, the
+//!   wake-as-last-resort fallback every policy shares.
+//! * `idle` — bricks running no VM (any power state), the power-off
+//!   candidates, kept sorted so sweeps iterate without snapshotting.
+//!
+//! Inside every bucket bricks are ordered by [`BrickId`], which preserves
+//! the documented lowest-id tie-breaks the scenario engine's same-seed
+//! replay guarantee depends on: the reference slice scan
+//! ([`crate::placement::PlacementPolicy::choose`]) and the indexed path
+//! ([`crate::placement::PlacementPolicy::choose_indexed`]) are decision-for-
+//! decision identical (see the `capacity_equivalence` property tests).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use dredbox_bricks::BrickId;
+
+use crate::placement::ComputeBrickView;
+
+/// The capacity facts of one compute brick, as indexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapacitySlot {
+    /// Total schedulable cores.
+    pub total_cores: u32,
+    /// Cores currently free.
+    pub free_cores: u32,
+    /// Whether the brick runs at least one VM.
+    pub active: bool,
+    /// Whether the brick is powered on.
+    pub powered_on: bool,
+}
+
+impl CapacitySlot {
+    /// The slot as a placement view (the reference-scan currency).
+    pub fn view(&self, brick: BrickId) -> ComputeBrickView {
+        ComputeBrickView {
+            brick,
+            total_cores: self.total_cores,
+            free_cores: self.free_cores,
+            active: self.active,
+            powered_on: self.powered_on,
+        }
+    }
+}
+
+fn bucket_insert(map: &mut BTreeMap<u32, BTreeSet<BrickId>>, key: u32, brick: BrickId) {
+    map.entry(key).or_default().insert(brick);
+}
+
+fn bucket_remove(map: &mut BTreeMap<u32, BTreeSet<BrickId>>, key: u32, brick: BrickId) {
+    if let Some(bucket) = map.get_mut(&key) {
+        bucket.remove(&brick);
+        if bucket.is_empty() {
+            map.remove(&key);
+        }
+    }
+}
+
+/// The incrementally maintained availability view over all compute bricks.
+///
+/// ```
+/// use dredbox_orchestrator::capacity::{CapacityIndex, CapacitySlot};
+/// use dredbox_orchestrator::placement::PlacementPolicy;
+/// use dredbox_bricks::BrickId;
+///
+/// let mut index = CapacityIndex::new();
+/// index.upsert(BrickId(0), CapacitySlot { total_cores: 32, free_cores: 8, active: true, powered_on: true });
+/// index.upsert(BrickId(1), CapacitySlot { total_cores: 32, free_cores: 32, active: false, powered_on: true });
+/// // Power-aware packing prefers the active brick while the request fits.
+/// assert_eq!(PlacementPolicy::PowerAware.choose_indexed(&index, 8), Some(BrickId(0)));
+/// assert_eq!(PlacementPolicy::PowerAware.choose_indexed(&index, 16), Some(BrickId(1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CapacityIndex {
+    /// Authoritative slot per brick, so updates can unindex the old state.
+    slots: BTreeMap<BrickId, CapacitySlot>,
+    /// Powered-on bricks bucketed by free cores.
+    powered_by_free: BTreeMap<u32, BTreeSet<BrickId>>,
+    /// Powered-on bricks that run at least one VM, bucketed by free cores.
+    active_by_free: BTreeMap<u32, BTreeSet<BrickId>>,
+    /// Powered-off bricks bucketed by total cores (wake-up candidates).
+    sleeping_by_total: BTreeMap<u32, BTreeSet<BrickId>>,
+    /// Bricks running no VM, in id order (power-off candidates).
+    idle: BTreeSet<BrickId>,
+}
+
+impl CapacityIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        CapacityIndex::default()
+    }
+
+    /// Number of indexed bricks.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no brick is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The indexed slot of a brick, if present.
+    pub fn slot(&self, brick: BrickId) -> Option<&CapacitySlot> {
+        self.slots.get(&brick)
+    }
+
+    /// Inserts or replaces a brick's slot, keeping every bucket in sync.
+    /// `O(log n)`.
+    pub fn upsert(&mut self, brick: BrickId, slot: CapacitySlot) {
+        if let Some(old) = self.slots.insert(brick, slot) {
+            self.unindex(brick, &old);
+        }
+        if slot.powered_on {
+            bucket_insert(&mut self.powered_by_free, slot.free_cores, brick);
+            if slot.active {
+                bucket_insert(&mut self.active_by_free, slot.free_cores, brick);
+            }
+        } else {
+            bucket_insert(&mut self.sleeping_by_total, slot.total_cores, brick);
+        }
+        if slot.active {
+            self.idle.remove(&brick);
+        } else {
+            self.idle.insert(brick);
+        }
+    }
+
+    /// Removes a brick from the index. `O(log n)`.
+    pub fn remove(&mut self, brick: BrickId) {
+        if let Some(old) = self.slots.remove(&brick) {
+            self.unindex(brick, &old);
+            self.idle.remove(&brick);
+        }
+    }
+
+    fn unindex(&mut self, brick: BrickId, old: &CapacitySlot) {
+        if old.powered_on {
+            bucket_remove(&mut self.powered_by_free, old.free_cores, brick);
+            if old.active {
+                bucket_remove(&mut self.active_by_free, old.free_cores, brick);
+            }
+        } else {
+            bucket_remove(&mut self.sleeping_by_total, old.total_cores, brick);
+        }
+    }
+
+    /// Bricks currently running no VM, ascending by id. Zero-allocation; the
+    /// iterator borrows the index.
+    pub fn idle_bricks(&self) -> impl Iterator<Item = BrickId> + '_ {
+        self.idle.iter().copied()
+    }
+
+    /// Placement views of every indexed brick, ascending by id (the
+    /// reference scan input).
+    pub fn views(&self) -> impl Iterator<Item = ComputeBrickView> + '_ {
+        self.slots.iter().map(|(b, s)| s.view(*b))
+    }
+
+    /// Lowest-id powered-on brick with at least `vcpus` free cores — the
+    /// FirstFit query. Walks the free-core buckets at or above `vcpus`:
+    /// `O(F log n)` where `F` is the number of distinct free-core levels
+    /// (bounded by cores-per-brick + 1, independent of brick count).
+    pub fn first_powered_fit(&self, vcpus: u32) -> Option<BrickId> {
+        self.powered_by_free
+            .range(vcpus..)
+            .filter_map(|(_, bucket)| bucket.iter().next().copied())
+            .min()
+    }
+
+    /// Fullest active brick (fewest free cores, lowest id on ties) that
+    /// still fits `vcpus` — the power-aware packing query. `O(log n)`.
+    pub fn fullest_active_fit(&self, vcpus: u32) -> Option<BrickId> {
+        Self::fullest_fit(&self.active_by_free, vcpus)
+    }
+
+    /// Fullest powered-on brick that fits `vcpus` (power-aware fallback when
+    /// no active brick fits). `O(log n)`.
+    pub fn fullest_powered_fit(&self, vcpus: u32) -> Option<BrickId> {
+        Self::fullest_fit(&self.powered_by_free, vcpus)
+    }
+
+    /// Emptiest powered-on brick (most free cores, lowest id on ties),
+    /// provided it fits `vcpus` — the Balanced query. `O(log n)`.
+    pub fn emptiest_powered_fit(&self, vcpus: u32) -> Option<BrickId> {
+        let (&free, bucket) = self.powered_by_free.iter().next_back()?;
+        if free < vcpus {
+            return None;
+        }
+        bucket.iter().next().copied()
+    }
+
+    /// Lowest-id sleeping brick whose full capacity could host `vcpus` —
+    /// the wake-as-last-resort fallback shared by every policy. Walks the
+    /// total-core buckets at or above `vcpus`: `O(T log n)` where `T` is the
+    /// number of distinct brick sizes in the rack (1 for homogeneous racks).
+    pub fn first_sleeping_capable(&self, vcpus: u32) -> Option<BrickId> {
+        self.sleeping_by_total
+            .range(vcpus..)
+            .filter_map(|(_, bucket)| bucket.iter().next().copied())
+            .min()
+    }
+
+    fn fullest_fit(map: &BTreeMap<u32, BTreeSet<BrickId>>, vcpus: u32) -> Option<BrickId> {
+        map.range(vcpus..)
+            .next()
+            .and_then(|(_, bucket)| bucket.iter().next().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacementPolicy;
+
+    fn slot(total: u32, free: u32, active: bool, on: bool) -> CapacitySlot {
+        CapacitySlot {
+            total_cores: total,
+            free_cores: free,
+            active,
+            powered_on: on,
+        }
+    }
+
+    #[test]
+    fn upsert_moves_bricks_between_buckets() {
+        let mut index = CapacityIndex::new();
+        assert!(index.is_empty());
+        index.upsert(BrickId(0), slot(32, 32, false, true));
+        index.upsert(BrickId(1), slot(32, 8, true, true));
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.slot(BrickId(1)).unwrap().free_cores, 8);
+        assert_eq!(index.idle_bricks().collect::<Vec<_>>(), vec![BrickId(0)]);
+        assert_eq!(index.first_powered_fit(16), Some(BrickId(0)));
+        assert_eq!(index.fullest_active_fit(8), Some(BrickId(1)));
+
+        // Power brick 0 off: it leaves the powered buckets and becomes a
+        // wake-up candidate.
+        index.upsert(BrickId(0), slot(32, 32, false, false));
+        assert_eq!(index.first_powered_fit(16), None);
+        assert_eq!(index.first_sleeping_capable(16), Some(BrickId(0)));
+
+        // Brick 1 releases its VM: it leaves the active bucket.
+        index.upsert(BrickId(1), slot(32, 32, false, true));
+        assert_eq!(index.fullest_active_fit(1), None);
+        assert_eq!(
+            index.idle_bricks().collect::<Vec<_>>(),
+            vec![BrickId(0), BrickId(1)]
+        );
+
+        index.remove(BrickId(0));
+        index.remove(BrickId(0)); // double remove is a no-op
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.first_sleeping_capable(1), None);
+    }
+
+    #[test]
+    fn queries_tie_break_on_lowest_brick_id() {
+        let mut index = CapacityIndex::new();
+        for id in [7u32, 3, 5] {
+            index.upsert(BrickId(id), slot(32, 16, true, true));
+        }
+        assert_eq!(index.first_powered_fit(4), Some(BrickId(3)));
+        assert_eq!(index.fullest_active_fit(4), Some(BrickId(3)));
+        assert_eq!(index.emptiest_powered_fit(4), Some(BrickId(3)));
+        assert_eq!(index.emptiest_powered_fit(17), None);
+        for id in [9u32, 2] {
+            index.upsert(BrickId(id), slot(32, 0, false, false));
+        }
+        assert_eq!(index.first_sleeping_capable(8), Some(BrickId(2)));
+    }
+
+    #[test]
+    fn views_round_trip_through_the_reference_scan() {
+        let mut index = CapacityIndex::new();
+        index.upsert(BrickId(0), slot(32, 2, true, true));
+        index.upsert(BrickId(1), slot(32, 16, true, true));
+        index.upsert(BrickId(2), slot(32, 32, false, true));
+        let views: Vec<ComputeBrickView> = index.views().collect();
+        for policy in [
+            PlacementPolicy::FirstFit,
+            PlacementPolicy::PowerAware,
+            PlacementPolicy::Balanced,
+        ] {
+            for vcpus in [1, 8, 16, 32, 64] {
+                assert_eq!(
+                    policy.choose(&views, vcpus),
+                    policy.choose_indexed(&index, vcpus),
+                    "{policy:?} diverged at {vcpus} vcpus"
+                );
+            }
+        }
+    }
+}

@@ -9,6 +9,8 @@ use serde::{Deserialize, Serialize};
 
 use dredbox_bricks::BrickId;
 
+use crate::capacity::CapacityIndex;
+
 /// A snapshot of one compute brick as seen by the placement logic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ComputeBrickView {
@@ -54,49 +56,60 @@ impl PlacementPolicy {
     /// Score ties always break on the lowest [`BrickId`], independent of the
     /// order `bricks` is passed in, so placement is deterministic — the
     /// scenario engine's same-seed replay guarantee depends on it.
+    ///
+    /// This is the reference implementation: a single allocation-free pass
+    /// over the slice per query, `O(bricks)`. The production request path
+    /// uses [`PlacementPolicy::choose_indexed`], which answers the same
+    /// queries from a [`CapacityIndex`] in `O(log n)`; a property test keeps
+    /// the two decision-for-decision identical.
     pub fn choose(self, bricks: &[ComputeBrickView], vcpus: u32) -> Option<BrickId> {
         use std::cmp::Reverse;
 
-        let fits_on = |b: &ComputeBrickView| b.free_cores >= vcpus;
-        let powered: Vec<ComputeBrickView> =
-            bricks.iter().copied().filter(|b| b.powered_on).collect();
-        let sleeping: Vec<ComputeBrickView> =
-            bricks.iter().copied().filter(|b| !b.powered_on).collect();
+        let powered = || bricks.iter().filter(|b| b.powered_on);
+        let fits = move |b: &&ComputeBrickView| b.free_cores >= vcpus;
 
         let choice = match self {
-            PlacementPolicy::FirstFit => powered
-                .iter()
-                .copied()
-                .filter(fits_on)
-                .min_by_key(|b| b.brick),
-            PlacementPolicy::PowerAware => powered
-                .iter()
-                .copied()
+            PlacementPolicy::FirstFit => powered().filter(fits).map(|b| b.brick).min(),
+            PlacementPolicy::PowerAware => powered()
                 .filter(|b| b.active)
-                .filter(fits_on)
+                .filter(fits)
                 .min_by_key(|b| (b.free_cores, b.brick))
                 .or_else(|| {
-                    powered
-                        .iter()
-                        .copied()
-                        .filter(fits_on)
+                    powered()
+                        .filter(fits)
                         .min_by_key(|b| (b.free_cores, b.brick))
-                }),
-            PlacementPolicy::Balanced => powered
-                .iter()
-                .copied()
-                .filter(fits_on)
-                .max_by_key(|b| (b.free_cores, Reverse(b.brick))),
+                })
+                .map(|b| b.brick),
+            PlacementPolicy::Balanced => powered()
+                .filter(fits)
+                .max_by_key(|b| (b.free_cores, Reverse(b.brick)))
+                .map(|b| b.brick),
         };
-        choice.map(|b| b.brick).or_else(|| {
+        choice.or_else(|| {
             // Last resort for every policy: wake a sleeping brick that
             // could host the VM at full capacity.
-            sleeping
+            bricks
                 .iter()
-                .filter(|b| b.total_cores >= vcpus)
-                .min_by_key(|b| b.brick)
+                .filter(|b| !b.powered_on && b.total_cores >= vcpus)
                 .map(|b| b.brick)
+                .min()
         })
+    }
+
+    /// Answers the same query as [`PlacementPolicy::choose`] from the
+    /// incrementally maintained [`CapacityIndex`] — `O(log n)` per request
+    /// with zero heap allocation, instead of a fresh `O(bricks)` snapshot
+    /// scan. Decision-for-decision identical to the reference scan,
+    /// including every lowest-[`BrickId`] tie-break.
+    pub fn choose_indexed(self, index: &CapacityIndex, vcpus: u32) -> Option<BrickId> {
+        let choice = match self {
+            PlacementPolicy::FirstFit => index.first_powered_fit(vcpus),
+            PlacementPolicy::PowerAware => index
+                .fullest_active_fit(vcpus)
+                .or_else(|| index.fullest_powered_fit(vcpus)),
+            PlacementPolicy::Balanced => index.emptiest_powered_fit(vcpus),
+        };
+        choice.or_else(|| index.first_sleeping_capable(vcpus))
     }
 }
 

@@ -14,6 +14,16 @@ use dredbox_memory::{MemorySegment, RemoteWindow};
 use dredbox_sim::time::SimDuration;
 use dredbox_sim::units::ByteSize;
 
+/// The result of applying one attach configuration: where the segment was
+/// mapped, and what the control path cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttachOutcome {
+    /// RMST base address the segment was installed at (the detach handle).
+    pub rmst_base: u64,
+    /// Control-path time spent installing the mapping.
+    pub control_time: SimDuration,
+}
+
 /// The SDM agent (plus the hardware state it manages) for one compute brick.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SdmAgent {
@@ -70,7 +80,9 @@ impl SdmAgent {
     /// Applies an attach configuration for `segment`, reachable through
     /// local port `port`: carves a window range, installs the RMST entry and
     /// programs the packet-switch route towards the hosting dMEMBRICK.
-    /// Returns the control-path time spent.
+    /// Returns where the segment was mapped and the control-path time spent,
+    /// so the controller never has to re-enumerate the RMST to learn the
+    /// base it just installed.
     ///
     /// # Errors
     ///
@@ -80,7 +92,7 @@ impl SdmAgent {
         &mut self,
         segment: &MemorySegment,
         port: PortId,
-    ) -> Result<SimDuration, AgentError> {
+    ) -> Result<AttachOutcome, AgentError> {
         let base = self
             .window
             .carve(segment.size)
@@ -97,7 +109,10 @@ impl SdmAgent {
             return Err(AgentError::Rmst(e));
         }
         self.packet_switch.program_route(segment.membrick, port);
-        Ok(self.glue_config_latency + self.switch_table_latency)
+        Ok(AttachOutcome {
+            rmst_base: base.0,
+            control_time: self.glue_config_latency + self.switch_table_latency,
+        })
     }
 
     /// Applies a detach configuration for a segment previously attached at
@@ -116,19 +131,16 @@ impl SdmAgent {
             .release(dredbox_memory::GlobalAddress(entry.base), entry.size);
         // Only drop the switch route if no other segment still targets the
         // same dMEMBRICK.
-        if self
-            .tgl
-            .rmst()
-            .entries_towards(entry.destination)
-            .next()
-            .is_none()
-        {
+        if self.tgl.rmst().towards_count(entry.destination) == 0 {
             self.packet_switch.remove_route(entry.destination);
         }
         Ok(self.glue_config_latency + self.switch_table_latency)
     }
 
-    /// The RMST bases currently mapped, useful for detaching in LIFO order.
+    /// The RMST bases currently mapped, ascending by base address (the
+    /// table is base-ordered, not attach-ordered). To detach exactly what
+    /// an attach installed, keep the [`AttachOutcome::rmst_base`] it
+    /// returned instead of re-enumerating the table.
     pub fn mapped_bases(&self) -> Vec<u64> {
         self.tgl.rmst().iter().map(|e| e.base).collect()
     }
@@ -185,12 +197,12 @@ mod tests {
         assert_eq!(agent.brick(), BrickId(0));
         let seg = segment(1, 10, 8);
         let port = PortId::new(BrickId(0), 1);
-        let t = agent.apply_attach(&seg, port).unwrap();
-        assert!(t.as_millis_f64() >= 2.0);
+        let outcome = agent.apply_attach(&seg, port).unwrap();
+        assert!(outcome.control_time.as_millis_f64() >= 2.0);
         assert_eq!(agent.mapped_remote_memory(), ByteSize::from_gib(8));
         assert_eq!(agent.tgl().rmst().len(), 1);
         assert_eq!(agent.packet_switch().route(BrickId(10)).unwrap(), port);
-        assert_eq!(agent.mapped_bases().len(), 1);
+        assert_eq!(agent.mapped_bases(), vec![outcome.rmst_base]);
     }
 
     #[test]

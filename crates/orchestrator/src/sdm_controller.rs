@@ -7,16 +7,17 @@
 //! component whose service time — together with the brick-local hotplug
 //! work — determines the scale-up agility evaluated in Figure 10.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
 use dredbox_bricks::{BrickId, PortId};
 use dredbox_interconnect::LatencyConfig;
-use dredbox_memory::{AllocationPolicy, MemoryGrant, MemoryPool};
+use dredbox_memory::{AllocationPolicy, MemoryGrant, MemoryPool, PickStrategy};
 use dredbox_sim::time::SimDuration;
 use dredbox_sim::units::ByteSize;
 
+use crate::capacity::{CapacityIndex, CapacitySlot};
 use crate::error::OrchestratorError;
 use crate::placement::{ComputeBrickView, PlacementPolicy};
 use crate::requests::{ScaleUpDemand, VmAllocationRequest};
@@ -86,6 +87,18 @@ struct ComputeState {
     powered_on: bool,
 }
 
+impl ComputeState {
+    /// The brick's capacity facts, as the index records them.
+    fn slot(&self) -> CapacitySlot {
+        CapacitySlot {
+            total_cores: self.total_cores,
+            free_cores: self.total_cores - self.used_cores,
+            active: self.vm_count > 0,
+            powered_on: self.powered_on,
+        }
+    }
+}
+
 /// The SDM controller.
 ///
 /// ```
@@ -107,12 +120,16 @@ pub struct SdmController {
     ledger: ReservationLedger,
     agents: BTreeMap<BrickId, SdmAgent>,
     compute: BTreeMap<BrickId, ComputeState>,
+    /// Incremental availability view over `compute`, kept in lockstep by
+    /// every allocate / release / power transition so placement queries are
+    /// `O(log n)` index lookups instead of rack-wide scans.
+    capacity: CapacityIndex,
     placement: PlacementPolicy,
     timings: SdmTimings,
     latency_config: LatencyConfig,
     /// dMEMBRICKs each compute brick already has a circuit towards; new
     /// destinations need a switch-programming step.
-    circuits: BTreeMap<BrickId, Vec<BrickId>>,
+    circuits: BTreeMap<BrickId, BTreeSet<BrickId>>,
 }
 
 impl SdmController {
@@ -139,6 +156,7 @@ impl SdmController {
             ledger: ReservationLedger::new(),
             agents: BTreeMap::new(),
             compute: BTreeMap::new(),
+            capacity: CapacityIndex::new(),
             placement,
             timings,
             latency_config,
@@ -166,6 +184,18 @@ impl SdmController {
         self.agents.get(&brick)
     }
 
+    /// The controller's incremental availability view.
+    pub fn capacity(&self) -> &CapacityIndex {
+        &self.capacity
+    }
+
+    /// Switches the memory pool between its indexed and reference-scan
+    /// dMEMBRICK selection — the equivalence-testing / benchmarking knob of
+    /// [`MemoryPool::set_pick_strategy`].
+    pub fn set_memory_pick_strategy(&mut self, strategy: PickStrategy) {
+        self.pool.set_pick_strategy(strategy);
+    }
+
     /// Registers a dCOMPUBRICK (and spawns its SDM agent).
     pub fn register_compute_brick(
         &mut self,
@@ -185,11 +215,19 @@ impl SdmController {
                 powered_on: true,
             },
         );
+        self.sync_capacity(brick);
         self.agents.insert(
             brick,
             SdmAgent::new(brick, &self.latency_config, 256, ByteSize::from_gib(1024)),
         );
         self
+    }
+
+    /// Re-indexes one brick's capacity slot from its authoritative state.
+    fn sync_capacity(&mut self, brick: BrickId) {
+        if let Some(state) = self.compute.get(&brick) {
+            self.capacity.upsert(brick, state.slot());
+        }
     }
 
     /// Registers a dMEMBRICK and its capacity with the pool.
@@ -203,23 +241,36 @@ impl SdmController {
         self.compute.len()
     }
 
-    /// Compute bricks currently running no VM (power-off candidates).
-    pub fn idle_compute_bricks(&self) -> Vec<BrickId> {
-        self.compute
-            .iter()
-            .filter(|(_, s)| s.vm_count == 0)
-            .map(|(b, _)| *b)
-            .collect()
+    /// Compute bricks currently running no VM (power-off candidates),
+    /// ascending by id. Served straight from the capacity index — no
+    /// per-call snapshot `Vec`.
+    pub fn idle_compute_bricks(&self) -> impl Iterator<Item = BrickId> + '_ {
+        self.capacity.idle_bricks()
     }
 
-    /// dMEMBRICKs currently exporting nothing (power-off candidates).
-    pub fn idle_membricks(&self) -> Vec<BrickId> {
+    /// dMEMBRICKs currently exporting nothing (power-off candidates),
+    /// ascending by id, served from the pool's index.
+    pub fn idle_membricks(&self) -> impl Iterator<Item = BrickId> + '_ {
         self.pool.unused_membricks()
+    }
+
+    /// Rebuilds the per-brick placement views by scanning every registered
+    /// compute brick — the pre-index availability inspection, kept as the
+    /// reference path for equivalence testing and benchmarking.
+    pub fn compute_views(&self) -> Vec<ComputeBrickView> {
+        self.compute
+            .iter()
+            .map(|(b, s)| s.slot().view(*b))
+            .collect()
     }
 
     /// Handles a VM allocation request: picks a compute brick for the vCPUs
     /// and grants the requested memory from the pool. Returns the chosen
     /// brick, the grant and the controller service time.
+    ///
+    /// The brick is selected through the incremental [`CapacityIndex`] in
+    /// `O(log n)`; [`SdmController::allocate_vm_scan`] is the reference
+    /// implementation that re-scans the rack per request.
     ///
     /// # Errors
     ///
@@ -229,22 +280,62 @@ impl SdmController {
         &mut self,
         request: VmAllocationRequest,
     ) -> Result<(BrickId, ScaleUpGrant), OrchestratorError> {
-        let views: Vec<ComputeBrickView> = self
-            .compute
-            .iter()
-            .map(|(b, s)| ComputeBrickView {
-                brick: *b,
-                total_cores: s.total_cores,
-                free_cores: s.total_cores - s.used_cores,
-                active: s.vm_count > 0,
-                powered_on: s.powered_on,
-            })
-            .collect();
+        let brick = self
+            .placement
+            .choose_indexed(&self.capacity, request.vcpus)
+            .ok_or(OrchestratorError::NoComputeCapacity {
+                requested_vcpus: request.vcpus,
+            })?;
+        debug_assert_eq!(
+            Some(brick),
+            self.placement.choose(&self.compute_views(), request.vcpus),
+            "indexed placement diverged from the reference scan"
+        );
+        self.admit_on(brick, request)
+    }
+
+    /// Reference implementation of [`SdmController::allocate_vm`]: rebuilds
+    /// the rack-wide view slice and scans it, exactly as the pre-index
+    /// control plane did. Kept for equivalence testing and as the benchmark
+    /// baseline; both paths make identical placement decisions.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SdmController::allocate_vm`].
+    pub fn allocate_vm_scan(
+        &mut self,
+        request: VmAllocationRequest,
+    ) -> Result<(BrickId, ScaleUpGrant), OrchestratorError> {
+        let views = self.compute_views();
         let brick = self.placement.choose(&views, request.vcpus).ok_or(
             OrchestratorError::NoComputeCapacity {
                 requested_vcpus: request.vcpus,
             },
         )?;
+        self.admit_on(brick, request)
+    }
+
+    /// Admits a VM on the brick placement chose: reserve cores, grant
+    /// memory, commit, and re-index the brick's capacity slot.
+    fn admit_on(
+        &mut self,
+        brick: BrickId,
+        request: VmAllocationRequest,
+    ) -> Result<(BrickId, ScaleUpGrant), OrchestratorError> {
+        // The wake-sleeping fallback of both placement paths screens on
+        // *total* cores (a swept brick is normally empty), but the power
+        // view can be flipped off under live VMs; never over-commit the
+        // brick's cores in that case — reject instead of corrupting the
+        // availability accounting.
+        let state = self
+            .compute
+            .get(&brick)
+            .expect("placement returned a registered brick");
+        if state.total_cores - state.used_cores < request.vcpus {
+            return Err(OrchestratorError::NoComputeCapacity {
+                requested_vcpus: request.vcpus,
+            });
+        }
         // Reserve the cores, grant memory, then commit. The memory itself is
         // reserved (and later released) by the inner scale-up, so holding it
         // here too would double-count it in the ledger.
@@ -267,6 +358,7 @@ impl SdmController {
         state.vm_count += 1;
         *state.vm_cores.entry(request.vcpus).or_insert(0) += 1;
         state.powered_on = true;
+        self.sync_capacity(brick);
         Ok((brick, scale_up))
     }
 
@@ -304,6 +396,7 @@ impl SdmController {
         }
         state.used_cores -= vcpus;
         state.vm_count -= 1;
+        self.sync_capacity(brick);
         Ok(self.timings.request_rpc + self.timings.reservation_write)
     }
 
@@ -326,6 +419,7 @@ impl SdmController {
             .get_mut(&brick)
             .ok_or(OrchestratorError::UnknownComputeBrick { brick })?;
         state.powered_on = powered_on;
+        self.sync_capacity(brick);
         Ok(())
     }
 
@@ -366,8 +460,7 @@ impl SdmController {
         let known = self.circuits.entry(demand.compute_brick).or_default();
         let mut new_circuits = 0u32;
         for segment in grant.segments() {
-            if !known.contains(&segment.membrick) {
-                known.push(segment.membrick);
+            if known.insert(segment.membrick) {
                 new_circuits += 1;
             }
         }
@@ -390,15 +483,10 @@ impl SdmController {
             let port_index = (state.attached_segments % u32::from(state.gth_ports)) as u8;
             let port = PortId::new(demand.compute_brick, port_index);
             match agent.apply_attach(segment, port) {
-                Ok(agent_time) => {
-                    service_time += self.timings.agent_push + agent_time;
+                Ok(outcome) => {
+                    service_time += self.timings.agent_push + outcome.control_time;
                     state.attached_segments += 1;
-                    let base = agent
-                        .mapped_bases()
-                        .into_iter()
-                        .max()
-                        .expect("just attached a segment");
-                    rmst_bases.push(base);
+                    rmst_bases.push(outcome.rmst_base);
                 }
                 Err(_) => {
                     // Roll everything back: agent mappings, pool grant, reservation.
@@ -544,7 +632,7 @@ mod tests {
             sdm.agent(BrickId(1)).unwrap().mapped_remote_memory(),
             ByteSize::ZERO
         );
-        assert_eq!(sdm.idle_membricks().len(), 4);
+        assert_eq!(sdm.idle_membricks().count(), 4);
     }
 
     #[test]
@@ -556,7 +644,7 @@ mod tests {
         assert!(sdm.compute_brick_count() == 4);
         assert_eq!(grant.grant.total(), ByteSize::from_gib(24));
         assert_eq!(grant.demand.compute_brick, brick);
-        assert_eq!(sdm.idle_compute_bricks().len(), 3);
+        assert_eq!(sdm.idle_compute_bricks().count(), 3);
         // Power-aware placement keeps packing the same brick.
         let (brick2, _) = sdm
             .allocate_vm(VmAllocationRequest::new(8, ByteSize::from_gib(8)))
@@ -598,7 +686,7 @@ mod tests {
             assert!(t > SimDuration::ZERO);
             sdm.release_scale_up(&grant).unwrap();
         }
-        assert_eq!(sdm.idle_compute_bricks().len(), 1);
+        assert_eq!(sdm.idle_compute_bricks().count(), 1);
         assert_eq!(sdm.ledger().held_memory(), ByteSize::ZERO);
         assert_eq!(sdm.ledger().held_cores(BrickId(0)), 0);
         assert!(matches!(
@@ -651,6 +739,40 @@ mod tests {
             sdm.set_compute_power(BrickId(77), true),
             Err(OrchestratorError::UnknownComputeBrick { .. })
         ));
+    }
+
+    #[test]
+    fn waking_an_occupied_swept_brick_never_over_commits() {
+        let mut sdm = SdmController::dredbox_default();
+        sdm.register_compute_brick(BrickId(0), 32, 8);
+        sdm.register_membrick(BrickId(10), ByteSize::from_gib(32));
+        sdm.allocate_vm(VmAllocationRequest::new(20, ByteSize::from_gib(1)))
+            .unwrap();
+        // Sweep the brick while its VM still runs, then ask for more cores
+        // than remain: the wake fallback selects the brick on total
+        // capacity, but the admission must reject rather than over-commit
+        // (which would underflow the brick's free-core accounting).
+        sdm.set_compute_power(BrickId(0), false).unwrap();
+        for request in [
+            VmAllocationRequest::new(16, ByteSize::from_gib(1)),
+            VmAllocationRequest::new(13, ByteSize::from_gib(1)),
+        ] {
+            assert!(matches!(
+                sdm.allocate_vm(request),
+                Err(OrchestratorError::NoComputeCapacity { .. })
+            ));
+            assert!(matches!(
+                sdm.allocate_vm_scan(request),
+                Err(OrchestratorError::NoComputeCapacity { .. })
+            ));
+        }
+        // The remaining capacity is still admittable, and the rejected
+        // requests left nothing behind in the ledger.
+        let (brick, _) = sdm
+            .allocate_vm(VmAllocationRequest::new(12, ByteSize::from_gib(1)))
+            .unwrap();
+        assert_eq!(brick, BrickId(0));
+        assert_eq!(sdm.ledger().held_cores(BrickId(0)), 32);
     }
 
     #[test]

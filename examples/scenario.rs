@@ -4,15 +4,18 @@
 //! interconnect latency charging and power management — and print the
 //! per-scenario reports.
 //!
-//! Run with: `cargo run --release --example scenario [seed]`
+//! Run with: `cargo run --release --example scenario [seed] [rack-scale]`
+//!
+//! Passing `rack-scale` additionally replays the 256-compute-brick / 4096-VM
+//! control-plane stress scenario (the capacity-index hot path) and checks
+//! its same-seed determinism too.
 
 use dredbox::prelude::*;
 
 fn main() -> Result<(), SystemError> {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2018);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = args.iter().find_map(|a| a.parse().ok()).unwrap_or(2018);
+    let with_rack_scale = args.iter().any(|a| a == "rack-scale");
 
     let suite = run_builtin_suite(seed)?;
     println!("{suite}");
@@ -22,5 +25,22 @@ fn main() -> Result<(), SystemError> {
     let replay = run_builtin_suite(seed)?;
     assert_eq!(suite, replay, "same-seed replay diverged");
     println!("\ndeterminism check: replay with seed {seed} produced an identical report");
+
+    if with_rack_scale {
+        let spec = ScenarioSpec::rack_scale();
+        let started = std::time::Instant::now();
+        let report = spec.run(seed)?;
+        let elapsed = started.elapsed();
+        println!("\n{report}");
+        println!(
+            "rack-scale: {} bricks, {} arrivals replayed in {:.3} s wall-clock",
+            spec.system.total_compute_bricks() + spec.system.total_memory_bricks(),
+            spec.vm_count,
+            elapsed.as_secs_f64()
+        );
+        let replay = spec.run(seed)?;
+        assert_eq!(report, replay, "rack-scale same-seed replay diverged");
+        println!("determinism check: rack-scale replay with seed {seed} was identical");
+    }
     Ok(())
 }

@@ -87,3 +87,34 @@ fn the_suite_exercises_every_layer_of_the_stack() {
         "no brick was ever powered off"
     );
 }
+
+#[test]
+fn rack_scale_scenario_stresses_the_control_plane_deterministically() {
+    let spec = ScenarioSpec::rack_scale();
+    assert!(spec.system.total_compute_bricks() >= 256);
+    assert!(spec.system.total_memory_bricks() >= 64);
+    assert!(
+        spec.vm_count >= 2_000,
+        "rack-scale must replay thousands of arrivals"
+    );
+
+    let a = spec.run(2018).expect("rack-scale runs");
+    let b = spec.run(2018).expect("rack-scale runs");
+    assert_eq!(a, b, "rack-scale must replay bit-identically");
+
+    // The trace genuinely loads the rack: hundreds of concurrent VMs, a
+    // busy pool, real departures and power management.
+    assert!(a.admitted >= 1_000, "only {} VMs admitted", a.admitted);
+    assert!(a.peak_live >= 100, "peak live was only {}", a.peak_live);
+    assert!(a.departed > 0);
+    assert!(a.scale_ups > 0);
+    assert!(a.power_sweeps > 0);
+    assert!(a.bricks_powered_off > 0);
+    let util = a.pool_utilization.as_ref().expect("utilization sampled");
+    assert!(util.max() > 0.5, "pool never filled: {}", util.max());
+
+    // The extended suite carries it alongside the four quick scenarios.
+    let extended = ScenarioSpec::extended_suite();
+    assert_eq!(extended.len(), 5);
+    assert_eq!(extended[4].name, "rack-scale");
+}

@@ -9,7 +9,12 @@
 //! run, print a median-of-batches nanoseconds-per-iteration estimate.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results collected by [`report`] over the whole bench run, so
+/// [`write_summary_json`] can emit a machine-readable summary.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 /// How `iter_batched` amortises setup cost. Only a hint here.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -239,6 +244,44 @@ fn report(name: &str, nanos: f64) {
     } else {
         println!("{name:60} {nanos:>12.1} ns/iter");
     }
+    if let Ok(mut results) = RESULTS.lock() {
+        results.push((name.to_owned(), nanos));
+    }
+}
+
+/// Writes every benchmark's median nanoseconds-per-iteration as a JSON
+/// array to the path named by the `CRITERION_SUMMARY_JSON` environment
+/// variable (no-op when unset). Called by the [`criterion_main!`]
+/// expansion after all groups ran, so CI can track the perf trajectory
+/// from a machine-readable artifact (e.g. `BENCH_orchestrator.json`).
+pub fn write_summary_json() {
+    let Ok(path) = std::env::var("CRITERION_SUMMARY_JSON") else {
+        return;
+    };
+    let results = match RESULTS.lock() {
+        Ok(results) => results,
+        Err(_) => return,
+    };
+    let mut json = String::from("[\n");
+    for (i, (name, nanos)) in results.iter().enumerate() {
+        let escaped: String = name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        json.push_str(&format!(
+            "  {{\"benchmark\": \"{escaped}\", \"median_ns_per_iter\": {nanos:.3}}}"
+        ));
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("criterion summary: could not write {path}: {e}");
+    } else {
+        println!("criterion summary written to {path}");
+    }
 }
 
 /// Declares a group function that runs each target, mirroring
@@ -260,6 +303,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_summary_json();
         }
     };
 }
