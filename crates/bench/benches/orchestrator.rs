@@ -4,7 +4,10 @@
 //! indexes (`allocate_vm`, indexed pool selection) against the reference
 //! rack-wide scan (`allocate_vm_scan`, candidate-list pool scan) the
 //! indexes replaced. A second group isolates the placement decision itself
-//! (`choose_indexed` vs the slice scan) per policy.
+//! (`choose_indexed` vs the slice scan) per policy, and a third drives a
+//! migration-heavy 2k-op trace (admit / migrate / release / power) so the
+//! cost of the reserve → re-route → drain → switchover flow is tracked per
+//! rack size in `BENCH_orchestrator.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -25,6 +28,8 @@ enum Op {
     Release(usize),
     /// Flip a brick's power view.
     Power(u32, bool),
+    /// Migrate the n-th live VM to the brick offset by the second value.
+    Migrate(usize, u32),
 }
 
 /// A deterministic mixed trace: ~55% allocations, ~35% releases, ~10%
@@ -37,6 +42,30 @@ fn trace(ops: usize, bricks: u32) -> Vec<Op> {
             if roll < 55 {
                 Op::Alloc(rng.range(1u64..=8) as u32, rng.range(1u64..=2))
             } else if roll < 90 {
+                Op::Release(rng.range(0u64..1_000) as usize)
+            } else {
+                Op::Power(rng.range(0u64..u64::from(bricks)) as u32, rng.chance(0.5))
+            }
+        })
+        .collect()
+}
+
+/// A deterministic migration-heavy trace: ~40% allocations, ~30%
+/// migrations, ~25% releases, ~5% power flips — every fourth op walks the
+/// full reserve → re-route → drain → switchover flow.
+fn migration_trace(ops: usize, bricks: u32) -> Vec<Op> {
+    let mut rng = SimRng::seed(2018);
+    (0..ops)
+        .map(|_| {
+            let roll = rng.range(0u64..100);
+            if roll < 40 {
+                Op::Alloc(rng.range(1u64..=8) as u32, rng.range(1u64..=2))
+            } else if roll < 70 {
+                Op::Migrate(
+                    rng.range(0u64..1_000) as usize,
+                    rng.range(1u64..u64::from(bricks)) as u32,
+                )
+            } else if roll < 95 {
                 Op::Release(rng.range(0u64..1_000) as usize)
             } else {
                 Op::Power(rng.range(0u64..u64::from(bricks)) as u32, rng.chance(0.5))
@@ -94,6 +123,23 @@ fn run_trace(sdm: &mut SdmController, ops: &[Op], scan: bool) -> usize {
             Op::Power(brick, on) => {
                 let _ = sdm.set_compute_power(BrickId(brick), on);
             }
+            Op::Migrate(pick, offset) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let slot = pick % live.len();
+                let (from, vcpus, grant) = live[slot].clone();
+                let bricks = sdm.compute_brick_count() as u32;
+                let to = BrickId((from.0 + offset) % bricks);
+                if let Ok(outcome) = sdm.migrate_vm(from, to, vcpus, &[grant]) {
+                    let rebased = outcome
+                        .rebased
+                        .into_iter()
+                        .next()
+                        .expect("one grant in, one grant out");
+                    live[slot] = (to, vcpus, rebased);
+                }
+            }
         }
     }
     admitted
@@ -124,6 +170,26 @@ fn bench_control_plane(c: &mut Criterion) {
                 b.iter_batched(
                     || controller(bricks, PickStrategy::ReferenceScan),
                     |mut sdm| black_box(run_trace(&mut sdm, &ops, true)),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_migration_trace(c: &mut Criterion) {
+    const OPS: usize = 2_000;
+    let mut group = c.benchmark_group("orchestrator/migration_trace_2k_ops");
+    for bricks in [16u32, 64, 256, 1024] {
+        let ops = migration_trace(OPS, bricks);
+        group.bench_with_input(
+            BenchmarkId::new("indexed", bricks),
+            &bricks,
+            |b, &bricks| {
+                b.iter_batched(
+                    || controller(bricks, PickStrategy::Indexed),
+                    |mut sdm| black_box(run_trace(&mut sdm, &ops, false)),
                     criterion::BatchSize::LargeInput,
                 )
             },
@@ -173,5 +239,10 @@ fn bench_placement_decision(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_control_plane, bench_placement_decision);
+criterion_group!(
+    benches,
+    bench_control_plane,
+    bench_migration_trace,
+    bench_placement_decision
+);
 criterion_main!(benches);

@@ -6,7 +6,7 @@ use dredbox_bricks::Catalog;
 use dredbox_interconnect::{LatencyConfig, PathKind};
 use dredbox_memory::AllocationPolicy;
 use dredbox_orchestrator::{PlacementPolicy, SdmTimings};
-use dredbox_softstack::ScaleUpTimings;
+use dredbox_softstack::{MigrationModel, ScaleUpTimings};
 
 /// Configuration of a [`crate::DredboxSystem`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -33,6 +33,8 @@ pub struct SystemConfig {
     pub sdm_timings: SdmTimings,
     /// Scale-up controller timings on each compute brick.
     pub scaleup_timings: ScaleUpTimings,
+    /// VM migration cost model (disaggregated vs conventional pre-copy).
+    pub migration: MigrationModel,
 }
 
 impl SystemConfig {
@@ -51,6 +53,7 @@ impl SystemConfig {
             placement: PlacementPolicy::PowerAware,
             sdm_timings: SdmTimings::dredbox_default(),
             scaleup_timings: ScaleUpTimings::dredbox_default(),
+            migration: MigrationModel::dredbox_default(),
         }
     }
 
@@ -69,6 +72,7 @@ impl SystemConfig {
             placement: PlacementPolicy::PowerAware,
             sdm_timings: SdmTimings::dredbox_default(),
             scaleup_timings: ScaleUpTimings::dredbox_default(),
+            migration: MigrationModel::dredbox_default(),
         }
     }
 

@@ -63,9 +63,10 @@ pub mod system;
 
 pub use config::SystemConfig;
 pub use scenario::{
-    run_builtin_suite, ArrivalModel, ChurnModel, ScenarioReport, ScenarioSpec, SuiteReport,
+    run_builtin_suite, ArrivalModel, ChurnModel, ControlPlaneQueue, MigrationPolicy,
+    QueueAdmission, ScenarioReport, ScenarioSpec, SuiteReport,
 };
-pub use system::{DredboxSystem, ScaleUpReport, SystemError, VmHandle};
+pub use system::{DredboxSystem, MigrationReport, ScaleUpReport, SystemError, VmHandle};
 
 // Re-export the sub-crates so downstream users need a single dependency.
 pub use dredbox_bricks as bricks;
@@ -83,8 +84,9 @@ pub mod prelude {
     pub use crate::config::SystemConfig;
     pub use crate::experiments;
     pub use crate::scenario::{
-        run_builtin_suite, ArrivalModel, ChurnModel, ScenarioReport, ScenarioSpec, SuiteReport,
+        run_builtin_suite, ArrivalModel, ChurnModel, ControlPlaneQueue, MigrationPolicy,
+        QueueAdmission, ScenarioReport, ScenarioSpec, SuiteReport,
     };
-    pub use crate::system::{DredboxSystem, ScaleUpReport, SystemError, VmHandle};
+    pub use crate::system::{DredboxSystem, MigrationReport, ScaleUpReport, SystemError, VmHandle};
     pub use dredbox_sim::prelude::*;
 }

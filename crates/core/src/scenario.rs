@@ -23,11 +23,26 @@
 //! * **memory-churn** — few long-lived VMs continuously growing and
 //!   shrinking through the Scale-up API, the allocator hot path.
 //!
-//! A fifth, much larger scenario — **rack-scale** ([`ScenarioSpec::rack_scale`],
-//! 256 dCOMPUBRICKs, 128 dMEMBRICKs, 4096 VM arrivals) — stresses the SDM
-//! control plane itself; it rides on the incrementally maintained capacity
-//! indexes and is deliberately kept out of [`ScenarioSpec::builtin_suite`]
-//! so the quick suite stays quick (use [`ScenarioSpec::extended_suite`]).
+//! Three more ride in [`ScenarioSpec::extended_suite`]:
+//!
+//! * **rack-scale** ([`ScenarioSpec::rack_scale`], 256 dCOMPUBRICKs, 128
+//!   dMEMBRICKs, 4096 VM arrivals) — stresses the SDM control plane itself,
+//!   riding on the incrementally maintained capacity indexes.
+//! * **consolidation** ([`ScenarioSpec::consolidation`]) — a periodic
+//!   rebalance migrates VMs off sparsely used bricks (memory staying
+//!   resident on the dMEMBRICKs) so the power sweep can sleep the emptied
+//!   bricks, reporting migration downtime against the conventional
+//!   pre-copy counterfactual.
+//! * **hotspot-evacuation** ([`ScenarioSpec::hotspot_evacuation`]) — burst
+//!   arrivals saturate a brick; its VMs are evacuated onto (woken) spare
+//!   bricks, reported against the 45–100 s conventional scale-out baseline
+//!   of Figure 10.
+//!
+//! Every SDM request of a replay — admissions, scale-ups/downs, releases,
+//! migrations — is serialized through a [`ControlPlaneQueue`]: the
+//! controller is a single autonomous service, so concurrent events queue
+//! and pay a per-queued-request contention penalty on top of their own
+//! service time.
 //!
 //! Replays are deterministic: the same spec and seed produce a bit-identical
 //! [`ScenarioReport`].
@@ -45,19 +60,23 @@
 
 use serde::{Deserialize, Serialize};
 
+use dredbox_bricks::BrickId;
+use dredbox_orchestrator::PlacementPolicy;
 use dredbox_sim::engine::{Engine, Process, RunOutcome};
 use dredbox_sim::event::EventQueue;
+pub use dredbox_sim::queue::{ControlPlaneQueue, QueueAdmission};
 use dredbox_sim::report::{Row, Table};
 use dredbox_sim::rng::SimRng;
 use dredbox_sim::stats::Summary;
 use dredbox_sim::time::{SimDuration, SimTime};
 use dredbox_sim::units::ByteSize;
+use dredbox_softstack::ScaleOutBaseline;
 use dredbox_workload::{
     ArrivalTrace, BurstTrace, DiurnalPattern, LifetimeModel, VmDemand, WorkloadConfig,
 };
 
 use crate::config::SystemConfig;
-use crate::system::{DredboxSystem, SystemError, VmHandle};
+use crate::system::{DredboxSystem, MigrationReport, SystemError, VmHandle};
 
 /// How VM arrivals are laid out over simulated time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -99,6 +118,45 @@ pub struct ChurnModel {
     pub amount_gib: (u64, u64),
 }
 
+/// How (and whether) a scenario rebalances running VMs through the
+/// migration flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MigrationPolicy {
+    /// Periodically migrate VMs off sparsely used bricks onto fuller ones,
+    /// so the power sweep can sleep the emptied bricks.
+    Consolidate {
+        /// Rebalance period.
+        every: SimDuration,
+        /// A brick is a consolidation source when its used-core fraction is
+        /// at or below this (and it runs at least one VM).
+        spare_below: f64,
+        /// Migrations allowed per rebalance cycle.
+        max_moves: usize,
+    },
+    /// Periodically evacuate the most loaded brick once its used-core
+    /// fraction reaches a threshold, spreading its VMs onto (woken) spare
+    /// bricks.
+    EvacuateHotspot {
+        /// Check period.
+        every: SimDuration,
+        /// Used-core fraction at which a brick counts as saturated.
+        saturated_at: f64,
+        /// The conventional scale-out model whose provisioning delay is
+        /// reported as the counterfactual for each evacuation burst.
+        baseline: ScaleOutBaseline,
+    },
+}
+
+impl MigrationPolicy {
+    /// The policy's rebalance period.
+    pub fn every(&self) -> SimDuration {
+        match self {
+            MigrationPolicy::Consolidate { every, .. }
+            | MigrationPolicy::EvacuateHotspot { every, .. } => *every,
+        }
+    }
+}
+
 /// One closed-loop scenario: a rack configuration plus the trace replayed
 /// against it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -117,6 +175,8 @@ pub struct ScenarioSpec {
     pub lifetime: LifetimeModel,
     /// Optional scale-up/down churn applied to admitted VMs.
     pub churn: Option<ChurnModel>,
+    /// Optional periodic migration/rebalance policy.
+    pub migration: Option<MigrationPolicy>,
     /// Remote reads charged (through the interconnect model) per admitted VM.
     pub reads_per_vm: u32,
     /// Simulated-time horizon; the run stops here at the latest.
@@ -145,6 +205,7 @@ impl ScenarioSpec {
                 hold: SimDuration::from_secs(120),
                 amount_gib: (1, 4),
             }),
+            migration: None,
             reads_per_vm: 8,
             horizon: SimTime::from_secs(2 * 3_600),
             power_sweep_every: Some(SimDuration::from_secs(600)),
@@ -170,6 +231,7 @@ impl ScenarioSpec {
                 SimDuration::from_secs(600),
             ),
             churn: None,
+            migration: None,
             reads_per_vm: 8,
             horizon: SimTime::from_secs(24 * 3_600),
             power_sweep_every: Some(SimDuration::from_secs(3_600)),
@@ -192,6 +254,7 @@ impl ScenarioSpec {
             },
             lifetime: LifetimeModel::new(SimDuration::from_secs(180), SimDuration::from_secs(30)),
             churn: None,
+            migration: None,
             reads_per_vm: 16,
             horizon: SimTime::from_secs(3_600),
             power_sweep_every: Some(SimDuration::from_secs(300)),
@@ -219,6 +282,7 @@ impl ScenarioSpec {
                 hold: SimDuration::from_secs(90),
                 amount_gib: (2, 12),
             }),
+            migration: None,
             reads_per_vm: 8,
             horizon: SimTime::from_secs(2 * 3_600),
             power_sweep_every: Some(SimDuration::from_secs(900)),
@@ -252,10 +316,77 @@ impl ScenarioSpec {
                 hold: SimDuration::from_secs(120),
                 amount_gib: (1, 2),
             }),
+            migration: None,
             reads_per_vm: 4,
             horizon: SimTime::from_secs(4 * 3_600),
             power_sweep_every: Some(SimDuration::from_secs(600)),
             event_budget: 200_000,
+        }
+    }
+
+    /// The elasticity case: VMs spread over the rack (Balanced placement)
+    /// and mostly outlive the two-hour horizon, so without intervention
+    /// every brick stays busy. A periodic rebalance migrates VMs off
+    /// sparsely used bricks — memory staying resident on the dMEMBRICKs —
+    /// so the power sweep can sleep the emptied sources. The report carries
+    /// the migration downtime against the conventional pre-copy
+    /// counterfactual of the same guests.
+    pub fn consolidation() -> Self {
+        let mut system = SystemConfig::datacenter_rack(2, 4, 4);
+        system.placement = PlacementPolicy::Balanced;
+        ScenarioSpec {
+            name: "consolidation".to_owned(),
+            system,
+            vm_count: 40,
+            mix: WorkloadConfig::Random,
+            arrivals: ArrivalModel::Poisson {
+                mean_interarrival: SimDuration::from_secs(60),
+            },
+            lifetime: LifetimeModel::new(
+                SimDuration::from_secs(3_600),
+                SimDuration::from_secs(600),
+            ),
+            churn: None,
+            migration: Some(MigrationPolicy::Consolidate {
+                every: SimDuration::from_secs(600),
+                spare_below: 0.5,
+                max_moves: 6,
+            }),
+            reads_per_vm: 4,
+            horizon: SimTime::from_secs(2 * 3_600),
+            power_sweep_every: Some(SimDuration::from_secs(900)),
+            event_budget: 100_000,
+        }
+    }
+
+    /// The burst-pressure case: power-aware placement packs the
+    /// compute-heavy bursts onto as few bricks as possible, saturating
+    /// them; once a brick crosses the load threshold its VMs are evacuated
+    /// onto (woken) spare bricks. The report carries, per evacuation burst,
+    /// the 45–100 s conventional scale-out provisioning counterfactual of
+    /// Figure 10.
+    pub fn hotspot_evacuation() -> Self {
+        ScenarioSpec {
+            name: "hotspot-evacuation".to_owned(),
+            system: SystemConfig::datacenter_rack(2, 4, 4),
+            vm_count: 48,
+            mix: WorkloadConfig::MoreCpu,
+            arrivals: ArrivalModel::Bursts {
+                burst_size: 8,
+                gap: SimDuration::from_secs(300),
+                spread: SimDuration::from_secs(5),
+            },
+            lifetime: LifetimeModel::new(SimDuration::from_secs(600), SimDuration::from_secs(120)),
+            churn: None,
+            migration: Some(MigrationPolicy::EvacuateHotspot {
+                every: SimDuration::from_secs(120),
+                saturated_at: 0.75,
+                baseline: ScaleOutBaseline::mao_humphrey_default(),
+            }),
+            reads_per_vm: 8,
+            horizon: SimTime::from_secs(3_600),
+            power_sweep_every: Some(SimDuration::from_secs(600)),
+            event_budget: 100_000,
         }
     }
 
@@ -269,10 +400,13 @@ impl ScenarioSpec {
         ]
     }
 
-    /// The built-in suite plus the rack-scale control-plane stress case.
+    /// The built-in suite plus the rack-scale control-plane stress case and
+    /// the two migration scenarios (consolidation, hotspot-evacuation).
     pub fn extended_suite() -> Vec<ScenarioSpec> {
         let mut suite = ScenarioSpec::builtin_suite();
         suite.push(ScenarioSpec::rack_scale());
+        suite.push(ScenarioSpec::consolidation());
+        suite.push(ScenarioSpec::hotspot_evacuation());
         suite
     }
 
@@ -322,16 +456,25 @@ impl ScenarioSpec {
         if let Some(every) = self.power_sweep_every {
             engine.schedule(SimTime::ZERO + every, ScenarioEvent::PowerSweep);
         }
+        if let Some(policy) = &self.migration {
+            engine.schedule(SimTime::ZERO + policy.every(), ScenarioEvent::Rebalance);
+        }
 
+        let control_plane = ControlPlaneQueue::new(self.system.sdm_timings.queued_request_penalty);
         let mut world = ScenarioWorld {
             spec: self,
             system,
             demands,
             rng: rng.fork(3),
             counters: Counters::default(),
+            control_plane,
             scale_up_delays_s: Vec::new(),
             read_latencies_ns: Vec::new(),
             utilization: Vec::new(),
+            migration_downtime_s: Vec::new(),
+            precopy_counterfactual_s: Vec::new(),
+            scaleout_counterfactual_s: Vec::new(),
+            control_plane_wait_s: Vec::new(),
         };
         let outcome = engine.run(&mut world);
         Ok(world.finish(outcome, engine.now(), engine.processed()))
@@ -345,6 +488,30 @@ impl ScenarioSpec {
         };
         if self.lifetime.mean.as_nanos() == 0 {
             return Err(invalid("lifetime mean must be positive"));
+        }
+        match &self.migration {
+            Some(MigrationPolicy::Consolidate {
+                every,
+                spare_below,
+                max_moves,
+            }) if every.as_nanos() == 0
+                || !(0.0..=1.0).contains(spare_below)
+                || *max_moves == 0 =>
+            {
+                return Err(invalid(
+                    "consolidation needs a positive period, 0 <= spare_below <= 1 and max_moves > 0",
+                ));
+            }
+            Some(MigrationPolicy::EvacuateHotspot {
+                every,
+                saturated_at,
+                ..
+            }) if every.as_nanos() == 0 || !(0.0..=1.0).contains(saturated_at) => {
+                return Err(invalid(
+                    "hotspot evacuation needs a positive period and 0 <= saturated_at <= 1",
+                ));
+            }
+            _ => {}
         }
         match &self.arrivals {
             ArrivalModel::Poisson { mean_interarrival } if mean_interarrival.as_nanos() == 0 => {
@@ -407,6 +574,9 @@ enum ScenarioEvent {
     Departure { vm: VmHandle },
     /// Periodic power-management sweep over the rack.
     PowerSweep,
+    /// Periodic migration/rebalance pass per the spec's
+    /// [`MigrationPolicy`].
+    Rebalance,
 }
 
 /// Plain event counters of one replay.
@@ -422,6 +592,10 @@ struct Counters {
     scale_downs: u64,
     power_sweeps: u64,
     bricks_powered_off: u64,
+    rebalances: u64,
+    migrations: u64,
+    migration_failures: u64,
+    evacuations: u64,
 }
 
 /// The mutable world the discrete-event engine drives.
@@ -431,9 +605,16 @@ struct ScenarioWorld<'a> {
     demands: Vec<VmDemand>,
     rng: SimRng,
     counters: Counters,
+    /// Serializes every SDM request of the replay (admissions, scale-ups,
+    /// releases, migrations) through the single controller.
+    control_plane: ControlPlaneQueue,
     scale_up_delays_s: Vec<f64>,
     read_latencies_ns: Vec<f64>,
     utilization: Vec<f64>,
+    migration_downtime_s: Vec<f64>,
+    precopy_counterfactual_s: Vec<f64>,
+    scaleout_counterfactual_s: Vec<f64>,
+    control_plane_wait_s: Vec<f64>,
 }
 
 impl ScenarioWorld<'_> {
@@ -462,6 +643,95 @@ impl ScenarioWorld<'_> {
         }
     }
 
+    /// Serializes one SDM request through the control-plane queue and
+    /// records its queueing delay.
+    fn admit_control(&mut self, now: SimTime, service: SimDuration) -> QueueAdmission {
+        let admission = self.control_plane.admit(now, service);
+        self.control_plane_wait_s
+            .push(admission.queue_wait.as_secs_f64());
+        admission
+    }
+
+    /// Runs one migration through the system and the control-plane queue,
+    /// recording downtime and the pre-copy counterfactual. Returns whether
+    /// the migration happened.
+    fn try_migrate(&mut self, now: SimTime, vm: VmHandle, target: BrickId) -> bool {
+        match self.system.migrate_vm(vm, target) {
+            Ok(report) => {
+                self.record_migration(now, &report);
+                true
+            }
+            Err(_) => {
+                self.counters.migration_failures += 1;
+                false
+            }
+        }
+    }
+
+    fn record_migration(&mut self, now: SimTime, report: &MigrationReport) {
+        let admission = self.admit_control(now, report.orchestration_delay);
+        self.counters.migrations += 1;
+        self.migration_downtime_s
+            .push((admission.queue_wait + report.downtime).as_secs_f64());
+        self.precopy_counterfactual_s
+            .push(report.conventional_precopy.as_secs_f64());
+    }
+
+    /// One rebalance pass per the spec's migration policy.
+    fn rebalance(&mut self, now: SimTime, policy: MigrationPolicy) {
+        self.counters.rebalances += 1;
+        match policy {
+            MigrationPolicy::Consolidate {
+                spare_below,
+                max_moves,
+                ..
+            } => {
+                let mut moved = 0usize;
+                'sources: for brick in self.system.sparse_bricks(spare_below) {
+                    for vm in self.system.vms_on(brick) {
+                        if moved >= max_moves {
+                            break 'sources;
+                        }
+                        let Some(target) = self.system.consolidation_target(vm) else {
+                            continue;
+                        };
+                        if self.try_migrate(now, vm, target) {
+                            moved += 1;
+                        }
+                    }
+                }
+            }
+            MigrationPolicy::EvacuateHotspot {
+                saturated_at,
+                baseline,
+                ..
+            } => {
+                let Some(hot) = self.system.hotspot_brick(saturated_at) else {
+                    return;
+                };
+                let mut evacuated = 0usize;
+                for vm in self.system.vms_on(hot) {
+                    let Some(target) = self.system.evacuation_target(vm) else {
+                        self.counters.migration_failures += 1;
+                        continue;
+                    };
+                    if self.try_migrate(now, vm, target) {
+                        evacuated += 1;
+                    }
+                }
+                if evacuated > 0 {
+                    self.counters.evacuations += 1;
+                    // The counterfactual: conventional elasticity would
+                    // spread the load by provisioning as many fresh VMs
+                    // through the cloud control plane.
+                    for delay in baseline.provision_burst(evacuated, &mut self.rng) {
+                        self.scaleout_counterfactual_s.push(delay.as_secs_f64());
+                    }
+                }
+            }
+        }
+    }
+
     fn finish(self, outcome: RunOutcome, end: SimTime, events: u64) -> ScenarioReport {
         let c = self.counters;
         ScenarioReport {
@@ -478,9 +748,18 @@ impl ScenarioWorld<'_> {
             scale_downs: c.scale_downs,
             power_sweeps: c.power_sweeps,
             bricks_powered_off: c.bricks_powered_off,
+            rebalances: c.rebalances,
+            migrations: c.migrations,
+            migration_failures: c.migration_failures,
+            evacuations: c.evacuations,
+            control_plane_peak_queue: self.control_plane.peak_depth() as u64,
             scale_up_delay: Summary::from_samples(&self.scale_up_delays_s),
             read_latency: Summary::from_samples(&self.read_latencies_ns),
             pool_utilization: Summary::from_samples(&self.utilization),
+            migration_downtime: Summary::from_samples(&self.migration_downtime_s),
+            precopy_counterfactual: Summary::from_samples(&self.precopy_counterfactual_s),
+            scaleout_counterfactual: Summary::from_samples(&self.scaleout_counterfactual_s),
+            control_plane_wait: Summary::from_samples(&self.control_plane_wait_s),
         }
     }
 }
@@ -502,14 +781,22 @@ impl Process for ScenarioWorld<'_> {
                         self.counters.admitted += 1;
                         self.counters.live += 1;
                         self.counters.peak_live = self.counters.peak_live.max(self.counters.live);
+                        // Serialize the admission through the SDM controller
+                        // queue: its lifetime starts once the control plane
+                        // actually finished configuring it.
+                        let service = self.system.admission_service_time(vm).unwrap_or_default();
+                        let admission = self.admit_control(now, service);
                         self.charge_reads();
                         let lifetime = self.spec.lifetime.sample(&mut self.rng);
-                        queue.schedule(now + lifetime, ScenarioEvent::Departure { vm });
+                        queue.schedule(
+                            admission.completion + lifetime,
+                            ScenarioEvent::Departure { vm },
+                        );
                         if let Some(churn) = self.spec.churn {
                             if churn.cycles_per_vm > 0 {
                                 let amount = self.sample_churn_amount(&churn);
                                 queue.schedule(
-                                    now + churn.hold,
+                                    admission.completion + churn.hold,
                                     ScenarioEvent::ScaleUp {
                                         vm,
                                         remaining: churn.cycles_per_vm,
@@ -519,7 +806,13 @@ impl Process for ScenarioWorld<'_> {
                             }
                         }
                     }
-                    Err(_) => self.counters.rejected += 1,
+                    Err(_) => {
+                        self.counters.rejected += 1;
+                        // Rejections still occupy the controller for the
+                        // request parse + availability inspection.
+                        let timings = self.spec.system.sdm_timings;
+                        self.admit_control(now, timings.request_rpc + timings.availability_check);
+                    }
                 }
                 self.sample_utilization();
             }
@@ -530,12 +823,13 @@ impl Process for ScenarioWorld<'_> {
             } => {
                 match self.system.scale_up(vm, amount) {
                     Ok(report) => {
+                        let admission = self.admit_control(now, report.orchestration_delay);
                         self.counters.scale_ups += 1;
                         self.scale_up_delays_s
-                            .push(report.total_delay.as_secs_f64());
+                            .push((admission.queue_wait + report.total_delay).as_secs_f64());
                         if let Some(churn) = self.spec.churn {
                             queue.schedule(
-                                now + churn.hold,
+                                admission.completion + churn.hold,
                                 ScenarioEvent::ScaleDown {
                                     vm,
                                     remaining,
@@ -555,13 +849,14 @@ impl Process for ScenarioWorld<'_> {
                 remaining,
                 amount,
             } => {
-                if self.system.scale_down(vm, amount).is_ok() {
+                if let Ok(report) = self.system.scale_down(vm, amount) {
+                    let admission = self.admit_control(now, report.orchestration_delay);
                     self.counters.scale_downs += 1;
                     if remaining > 1 {
                         if let Some(churn) = self.spec.churn {
                             let next = self.sample_churn_amount(&churn);
                             queue.schedule(
-                                now + churn.hold,
+                                admission.completion + churn.hold,
                                 ScenarioEvent::ScaleUp {
                                     vm,
                                     remaining: remaining - 1,
@@ -577,6 +872,8 @@ impl Process for ScenarioWorld<'_> {
                 if self.system.release_vm(vm).is_ok() {
                     self.counters.departed += 1;
                     self.counters.live -= 1;
+                    let timings = self.spec.system.sdm_timings;
+                    self.admit_control(now, timings.request_rpc + timings.reservation_write);
                 }
                 self.sample_utilization();
             }
@@ -587,6 +884,13 @@ impl Process for ScenarioWorld<'_> {
                 self.sample_utilization();
                 if let Some(every) = self.spec.power_sweep_every {
                     queue.schedule(now + every, ScenarioEvent::PowerSweep);
+                }
+            }
+            ScenarioEvent::Rebalance => {
+                if let Some(policy) = self.spec.migration {
+                    self.rebalance(now, policy);
+                    self.sample_utilization();
+                    queue.schedule(now + policy.every(), ScenarioEvent::Rebalance);
                 }
             }
         }
@@ -623,12 +927,31 @@ pub struct ScenarioReport {
     pub power_sweeps: u64,
     /// Total bricks switched off across all sweeps.
     pub bricks_powered_off: u64,
+    /// Migration/rebalance passes executed.
+    pub rebalances: u64,
+    /// VMs live-migrated between bricks.
+    pub migrations: u64,
+    /// Migration attempts that were rejected (no target, no capacity).
+    pub migration_failures: u64,
+    /// Rebalance passes that evacuated at least one VM off a hotspot.
+    pub evacuations: u64,
+    /// Deepest the SDM control-plane queue ever got.
+    pub control_plane_peak_queue: u64,
     /// End-to-end scale-up delay (seconds), if any scale-up ran.
     pub scale_up_delay: Option<Summary>,
     /// Remote-read round-trip latency (nanoseconds), if any read was charged.
     pub read_latency: Option<Summary>,
     /// Pool utilization in `[0, 1]`, sampled after every event.
     pub pool_utilization: Option<Summary>,
+    /// Per-migration downtime (seconds): local-state move + switchover +
+    /// orchestration + control-plane queueing.
+    pub migration_downtime: Option<Summary>,
+    /// Per-migration conventional pre-copy counterfactual (seconds).
+    pub precopy_counterfactual: Option<Summary>,
+    /// Per-evacuation conventional scale-out counterfactual (seconds).
+    pub scaleout_counterfactual: Option<Summary>,
+    /// Per-request SDM control-plane queueing delay (seconds).
+    pub control_plane_wait: Option<Summary>,
 }
 
 impl ScenarioReport {
@@ -659,6 +982,43 @@ impl ScenarioReport {
                 self.power_sweeps, self.bricks_powered_off
             )],
         ));
+        if self.rebalances > 0 {
+            table.push(Row::new(
+                "rebalances / migrations ok / failed",
+                [format!(
+                    "{} / {} / {}",
+                    self.rebalances, self.migrations, self.migration_failures
+                )],
+            ));
+        }
+        if let Some(s) = &self.migration_downtime {
+            table.push(Row::new(
+                "migration downtime mean / max (ms)",
+                [format!("{:.3} / {:.3}", s.mean() * 1e3, s.max() * 1e3)],
+            ));
+        }
+        if let Some(s) = &self.precopy_counterfactual {
+            table.push(Row::new(
+                "pre-copy counterfactual mean (s)",
+                [format!("{:.3}", s.mean())],
+            ));
+        }
+        if let Some(s) = &self.scaleout_counterfactual {
+            table.push(Row::new(
+                "scale-out counterfactual mean (s)",
+                [format!("{:.3}", s.mean())],
+            ));
+        }
+        if let Some(s) = &self.control_plane_wait {
+            table.push(Row::new(
+                "control-plane wait mean (ms) / peak queue",
+                [format!(
+                    "{:.3} / {}",
+                    s.mean() * 1e3,
+                    self.control_plane_peak_queue
+                )],
+            ));
+        }
         if let Some(s) = &self.scale_up_delay {
             table.push(Row::new(
                 "scale-up delay mean / p95 (ms)",
@@ -711,6 +1071,7 @@ impl SuiteReport {
                 "Rejected",
                 "Peak live",
                 "Scale-ups",
+                "Migrations",
                 "Mean scale-up (ms)",
                 "Mean read (ns)",
                 "Peak pool util (%)",
@@ -726,6 +1087,7 @@ impl SuiteReport {
                     r.rejected.to_string(),
                     r.peak_live.to_string(),
                     r.scale_ups.to_string(),
+                    r.migrations.to_string(),
                     r.scale_up_delay
                         .as_ref()
                         .map_or_else(|| "-".to_owned(), |s| format!("{:.3}", s.mean() * 1e3)),

@@ -480,6 +480,35 @@ impl MemoryPool {
         Ok(())
     }
 
+    /// Re-points every segment of a live grant at a new owning compute
+    /// brick — the memory-side half of a VM migration: the bytes stay where
+    /// they are on their dMEMBRICKs, only the consumer changes. Returns the
+    /// grant as it now stands. The operation is atomic: if any segment is
+    /// unknown, nothing is reassigned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::NoSuchSegment`] if any segment of the grant is
+    /// not live in the pool.
+    pub fn reassign_owner(
+        &mut self,
+        grant: &MemoryGrant,
+        new_owner: BrickId,
+    ) -> Result<MemoryGrant, MemoryError> {
+        for seg in grant.segments() {
+            if !self.segments.contains_key(&seg.id) {
+                return Err(MemoryError::NoSuchSegment { segment: seg.id });
+            }
+        }
+        let mut segments = Vec::with_capacity(grant.segments().len());
+        for seg in grant.segments() {
+            let live = self.segments.get_mut(&seg.id).expect("checked above");
+            live.owner = new_owner;
+            segments.push(*live);
+        }
+        Ok(MemoryGrant { segments })
+    }
+
     /// Looks up a live segment.
     pub fn segment(&self, id: SegmentId) -> Option<&MemorySegment> {
         self.segments.get(&id)

@@ -196,6 +196,27 @@ impl CapacityIndex {
         Self::fullest_fit(&self.active_by_free, vcpus)
     }
 
+    /// Like [`CapacityIndex::fullest_active_fit`] but never returns
+    /// `exclude` — the consolidation-target query (a migrating VM must not
+    /// be "placed" back onto the brick it is leaving).
+    pub fn fullest_active_fit_excluding(&self, vcpus: u32, exclude: BrickId) -> Option<BrickId> {
+        self.active_by_free
+            .range(vcpus..)
+            .find_map(|(_, bucket)| bucket.iter().find(|&&b| b != exclude).copied())
+    }
+
+    /// Like [`CapacityIndex::emptiest_powered_fit`] but never returns
+    /// `exclude` — the hotspot-evacuation target query. Walks the free-core
+    /// buckets downwards until one holds a brick other than `exclude` that
+    /// fits.
+    pub fn emptiest_powered_fit_excluding(&self, vcpus: u32, exclude: BrickId) -> Option<BrickId> {
+        self.powered_by_free
+            .iter()
+            .rev()
+            .take_while(|(&free, _)| free >= vcpus)
+            .find_map(|(_, bucket)| bucket.iter().find(|&&b| b != exclude).copied())
+    }
+
     /// Fullest powered-on brick that fits `vcpus` (power-aware fallback when
     /// no active brick fits). `O(log n)`.
     pub fn fullest_powered_fit(&self, vcpus: u32) -> Option<BrickId> {
@@ -220,6 +241,20 @@ impl CapacityIndex {
         self.sleeping_by_total
             .range(vcpus..)
             .filter_map(|(_, bucket)| bucket.iter().next().copied())
+            .min()
+    }
+
+    /// Like [`CapacityIndex::first_sleeping_capable`] but never returns
+    /// `exclude` — the evacuation fallback must not "wake" the brick being
+    /// evacuated (its power view can be off while it still hosts VMs).
+    pub fn first_sleeping_capable_excluding(
+        &self,
+        vcpus: u32,
+        exclude: BrickId,
+    ) -> Option<BrickId> {
+        self.sleeping_by_total
+            .range(vcpus..)
+            .filter_map(|(_, bucket)| bucket.iter().find(|&&b| b != exclude).copied())
             .min()
     }
 
@@ -290,6 +325,19 @@ mod tests {
             index.upsert(BrickId(id), slot(32, 0, false, false));
         }
         assert_eq!(index.first_sleeping_capable(8), Some(BrickId(2)));
+        // Exclusion skips past the lowest-id brick to the next capable one.
+        assert_eq!(
+            index.first_sleeping_capable_excluding(8, BrickId(2)),
+            Some(BrickId(9))
+        );
+        assert_eq!(
+            index.fullest_active_fit_excluding(4, BrickId(3)),
+            Some(BrickId(5))
+        );
+        assert_eq!(
+            index.emptiest_powered_fit_excluding(4, BrickId(3)),
+            Some(BrickId(5))
+        );
     }
 
     #[test]

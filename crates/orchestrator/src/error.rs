@@ -45,6 +45,14 @@ pub enum OrchestratorError {
         /// Cores the caller tried to release.
         vcpus: u32,
     },
+    /// A migration request was malformed: source and destination are the
+    /// same brick, or the presented grants do not belong to the source.
+    InvalidMigration {
+        /// The brick the VM was said to run on.
+        from: BrickId,
+        /// The requested destination.
+        to: BrickId,
+    },
 }
 
 impl fmt::Display for OrchestratorError {
@@ -65,6 +73,9 @@ impl fmt::Display for OrchestratorError {
             }
             OrchestratorError::MismatchedVmRelease { brick, vcpus } => {
                 write!(f, "{brick} has no VM holding {vcpus} cores to release")
+            }
+            OrchestratorError::InvalidMigration { from, to } => {
+                write!(f, "invalid migration from {from} to {to}")
             }
         }
     }

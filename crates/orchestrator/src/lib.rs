@@ -40,7 +40,7 @@ pub use requests::{ScaleUpDemand, VmAllocationRequest};
 pub use reservation::{Reservation, ReservationId, ReservationLedger};
 pub use scheduler::{Admission, FcfsScheduler, ScheduleOutcome};
 pub use sdm_agent::{AttachOutcome, SdmAgent};
-pub use sdm_controller::{ScaleUpGrant, SdmController, SdmTimings};
+pub use sdm_controller::{MigrationOutcome, ScaleUpGrant, SdmController, SdmTimings};
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
@@ -51,5 +51,5 @@ pub mod prelude {
     pub use crate::requests::{ScaleUpDemand, VmAllocationRequest};
     pub use crate::reservation::{Reservation, ReservationId, ReservationLedger};
     pub use crate::sdm_agent::{AttachOutcome, SdmAgent};
-    pub use crate::sdm_controller::{ScaleUpGrant, SdmController, SdmTimings};
+    pub use crate::sdm_controller::{MigrationOutcome, ScaleUpGrant, SdmController, SdmTimings};
 }

@@ -14,7 +14,8 @@ use serde::{Deserialize, Serialize};
 use dredbox_bricks::{BrickId, PortId};
 use dredbox_interconnect::LatencyConfig;
 use dredbox_memory::{AllocationPolicy, MemoryGrant, MemoryPool, PickStrategy};
-use dredbox_sim::time::SimDuration;
+use dredbox_sim::queue::ControlPlaneQueue;
+use dredbox_sim::time::{SimDuration, SimTime};
 use dredbox_sim::units::ByteSize;
 
 use crate::capacity::{CapacityIndex, CapacitySlot};
@@ -38,6 +39,11 @@ pub struct SdmTimings {
     pub circuit_switch_program: SimDuration,
     /// Pushing one configuration bundle to an SDM agent.
     pub agent_push: SimDuration,
+    /// Extra scheduler/state-store contention charged per request found
+    /// queued ahead of an arrival at the controller (the SDM-side analogue
+    /// of `ScaleOutBaseline::per_concurrent_penalty`, charged through
+    /// [`ControlPlaneQueue`]).
+    pub queued_request_penalty: SimDuration,
 }
 
 impl SdmTimings {
@@ -49,6 +55,7 @@ impl SdmTimings {
             reservation_write: SimDuration::from_millis(2),
             circuit_switch_program: SimDuration::from_millis(25),
             agent_push: SimDuration::from_millis(2),
+            queued_request_penalty: SimDuration::from_micros(500),
         }
     }
 }
@@ -71,6 +78,30 @@ pub struct ScaleUpGrant {
     /// RMST base addresses installed on the compute brick, one per segment.
     pub rmst_bases: Vec<u64>,
     /// SDM-controller service time for this request.
+    pub service_time: SimDuration,
+}
+
+/// The result of migrating a VM's compute placement between bricks through
+/// the SDM controller: the grants as re-based onto the destination (new
+/// owner, new RMST bases on the destination agent) plus what the
+/// reserve → re-route → drain → switchover flow cost at the control plane.
+/// The dMEMBRICK segments themselves never move.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationOutcome {
+    /// The brick the VM left.
+    pub from: BrickId,
+    /// The brick now hosting the VM's cores.
+    pub to: BrickId,
+    /// Cores moved.
+    pub vcpus: u32,
+    /// The VM's grants, re-pointed at the destination (same segments, new
+    /// RMST bases). Replaces the caller's previous grant records.
+    pub rebased: Vec<ScaleUpGrant>,
+    /// New optical circuits programmed towards the involved dMEMBRICKs.
+    pub circuits_programmed: u32,
+    /// Source-side circuits torn down because no RMST route needs them.
+    pub circuits_torn_down: u32,
+    /// SDM-controller service time of the whole flow.
     pub service_time: SimDuration,
 }
 
@@ -400,6 +431,254 @@ impl SdmController {
         Ok(self.timings.request_rpc + self.timings.reservation_write)
     }
 
+    /// Migrates a VM's compute placement from `from` to `to` while its
+    /// memory stays resident on the dMEMBRICKs: reserves the destination
+    /// cores in the two-phase ledger, installs the VM's segments on the
+    /// destination agent (programming any missing circuits), then drains the
+    /// source-side RMST routes, tears down circuits no remaining route
+    /// needs, and switches the core accounting over — re-indexing both
+    /// bricks' capacity slots incrementally.
+    ///
+    /// The flow is atomic: every failure path returns before the source (or
+    /// any committed state) is touched, so a rejected migration leaves the
+    /// controller bit-identical to before the call.
+    ///
+    /// # Errors
+    ///
+    /// * [`OrchestratorError::InvalidMigration`] if `from == to` or the
+    ///   grants do not belong to `from`.
+    /// * [`OrchestratorError::UnknownComputeBrick`] for unregistered bricks.
+    /// * [`OrchestratorError::MismatchedVmRelease`] if no VM with exactly
+    ///   `vcpus` cores was admitted on `from`.
+    /// * [`OrchestratorError::NoComputeCapacity`] if `to` lacks the free
+    ///   cores.
+    /// * [`OrchestratorError::AttachLimit`] if the destination agent cannot
+    ///   map all segments (RMST or remote-window exhaustion).
+    pub fn migrate_vm(
+        &mut self,
+        from: BrickId,
+        to: BrickId,
+        vcpus: u32,
+        grants: &[ScaleUpGrant],
+    ) -> Result<MigrationOutcome, OrchestratorError> {
+        // Validation phase: every rejection below leaves the controller
+        // untouched.
+        if from == to {
+            return Err(OrchestratorError::InvalidMigration { from, to });
+        }
+        let src = self
+            .compute
+            .get(&from)
+            .ok_or(OrchestratorError::UnknownComputeBrick { brick: from })?;
+        if !src.vm_cores.contains_key(&vcpus) {
+            return Err(OrchestratorError::MismatchedVmRelease { brick: from, vcpus });
+        }
+        for grant in grants {
+            let live = grant
+                .grant
+                .segments()
+                .iter()
+                .all(|s| self.pool.segment(s.id).is_some());
+            if grant.demand.compute_brick != from
+                || grant.rmst_bases.len() != grant.grant.segments().len()
+                || !live
+            {
+                return Err(OrchestratorError::InvalidMigration { from, to });
+            }
+        }
+        let dst = self
+            .compute
+            .get(&to)
+            .ok_or(OrchestratorError::UnknownComputeBrick { brick: to })?;
+        if dst.total_cores - dst.used_cores < vcpus {
+            return Err(OrchestratorError::NoComputeCapacity {
+                requested_vcpus: vcpus,
+            });
+        }
+        let dst_ports = u32::from(dst.gth_ports);
+        let mut dst_attached = dst.attached_segments;
+        let segment_count: u32 = grants.iter().map(|g| g.grant.segments().len() as u32).sum();
+
+        let mut service_time = self.timings.request_rpc
+            + self.timings.availability_check
+            + self.timings.reservation_write;
+
+        // Reserve: hold the destination cores in the two-phase ledger.
+        let reservation = self.ledger.reserve(Some(to), vcpus, ByteSize::ZERO);
+
+        // Re-route: install every segment on the destination agent *before*
+        // touching the source, so an attach failure rolls back to the exact
+        // pre-migration state while the source keeps serving.
+        let mut new_bases: Vec<Vec<u64>> = Vec::with_capacity(grants.len());
+        let mut attach_failed = false;
+        {
+            let agent = self
+                .agents
+                .get_mut(&to)
+                .expect("agent exists for every registered brick");
+            'grants: for grant in grants {
+                let mut bases = Vec::with_capacity(grant.grant.segments().len());
+                for segment in grant.grant.segments() {
+                    let port = PortId::new(to, (dst_attached % dst_ports) as u8);
+                    match agent.apply_attach(segment, port) {
+                        Ok(outcome) => {
+                            service_time += self.timings.agent_push + outcome.control_time;
+                            dst_attached += 1;
+                            bases.push(outcome.rmst_base);
+                        }
+                        Err(_) => {
+                            attach_failed = true;
+                            new_bases.push(bases);
+                            break 'grants;
+                        }
+                    }
+                }
+                new_bases.push(bases);
+            }
+            if attach_failed {
+                for base in new_bases.iter().flatten() {
+                    let _ = agent.apply_detach(*base);
+                }
+            }
+        }
+        if attach_failed {
+            let _ = self.ledger.rollback(reservation);
+            return Err(OrchestratorError::AttachLimit {
+                brick: to,
+                requested: grants.iter().map(|g| g.grant.total()).sum(),
+            });
+        }
+
+        // Program circuits towards dMEMBRICKs the destination can't reach.
+        let involved: BTreeSet<BrickId> = grants
+            .iter()
+            .flat_map(|g| g.grant.segments().iter().map(|s| s.membrick))
+            .collect();
+        let known = self.circuits.entry(to).or_default();
+        let mut circuits_programmed = 0u32;
+        for membrick in &involved {
+            if known.insert(*membrick) {
+                circuits_programmed += 1;
+            }
+        }
+        service_time += self
+            .timings
+            .circuit_switch_program
+            .saturating_mul(u64::from(circuits_programmed));
+
+        // Switchover: move the core accounting. Nothing past this point can
+        // fail — the reservation is fresh and the source's committed cores
+        // were validated above.
+        self.ledger.commit(reservation)?;
+        self.ledger
+            .release_committed(Some(from), vcpus, ByteSize::ZERO)?;
+
+        // Drain: unmap the source-side routes and tear down circuits no
+        // remaining RMST entry needs.
+        {
+            let agent = self
+                .agents
+                .get_mut(&from)
+                .expect("agent exists for every registered brick");
+            for base in grants.iter().flat_map(|g| g.rmst_bases.iter()) {
+                if let Ok(t) = agent.apply_detach(*base) {
+                    service_time += self.timings.agent_push + t;
+                }
+            }
+        }
+        let circuits_torn_down = self.tear_down_unused_circuits(from, &involved);
+        service_time += self
+            .timings
+            .circuit_switch_program
+            .saturating_mul(u64::from(circuits_torn_down));
+
+        // Re-index both bricks' capacity slots.
+        let src = self.compute.get_mut(&from).expect("validated above");
+        let holders = src.vm_cores.get_mut(&vcpus).expect("validated above");
+        *holders -= 1;
+        if *holders == 0 {
+            src.vm_cores.remove(&vcpus);
+        }
+        src.used_cores -= vcpus;
+        src.vm_count -= 1;
+        src.attached_segments = src.attached_segments.saturating_sub(segment_count);
+        let dst = self.compute.get_mut(&to).expect("validated above");
+        dst.used_cores += vcpus;
+        dst.vm_count += 1;
+        *dst.vm_cores.entry(vcpus).or_insert(0) += 1;
+        dst.attached_segments = dst_attached;
+        dst.powered_on = true;
+        self.sync_capacity(from);
+        self.sync_capacity(to);
+
+        // Re-point the pool's segment ownership and hand back the grants as
+        // they now stand on the destination.
+        let mut rebased = Vec::with_capacity(grants.len());
+        for (grant, bases) in grants.iter().zip(new_bases) {
+            let regrant = self
+                .pool
+                .reassign_owner(&grant.grant, to)
+                .expect("segments validated as live above");
+            rebased.push(ScaleUpGrant {
+                demand: ScaleUpDemand::new(to, grant.demand.amount),
+                grant: regrant,
+                rmst_bases: bases,
+                service_time: grant.service_time,
+            });
+        }
+        service_time += self.timings.reservation_write;
+
+        Ok(MigrationOutcome {
+            from,
+            to,
+            vcpus,
+            rebased,
+            circuits_programmed,
+            circuits_torn_down,
+            service_time,
+        })
+    }
+
+    /// The consolidation-target query: the fullest active brick other than
+    /// `exclude` that fits `vcpus` — migrating onto it packs the rack so
+    /// the emptied source can be slept.
+    pub fn consolidation_target(&self, vcpus: u32, exclude: BrickId) -> Option<BrickId> {
+        self.capacity.fullest_active_fit_excluding(vcpus, exclude)
+    }
+
+    /// The hotspot-evacuation target query: the emptiest powered brick
+    /// other than `exclude` that fits `vcpus`, waking a sleeping brick as a
+    /// last resort.
+    pub fn evacuation_target(&self, vcpus: u32, exclude: BrickId) -> Option<BrickId> {
+        self.capacity
+            .emptiest_powered_fit_excluding(vcpus, exclude)
+            .or_else(|| {
+                self.capacity
+                    .first_sleeping_capable_excluding(vcpus, exclude)
+            })
+    }
+
+    /// Tears down `brick`'s circuits towards the `involved` dMEMBRICKs
+    /// that no remaining RMST route needs, returning how many were torn
+    /// down (callers charge one switch-programming step per teardown).
+    /// Shared by grant release and the migration drain so the circuit view
+    /// always equals the set of dMEMBRICKs with live routes.
+    fn tear_down_unused_circuits(&mut self, brick: BrickId, involved: &BTreeSet<BrickId>) -> u32 {
+        let Some(agent) = self.agents.get(&brick) else {
+            return 0;
+        };
+        let Some(routes) = self.circuits.get_mut(&brick) else {
+            return 0;
+        };
+        let mut torn_down = 0u32;
+        for membrick in involved {
+            if agent.tgl().rmst().towards_count(*membrick) == 0 && routes.remove(membrick) {
+                torn_down += 1;
+            }
+        }
+        torn_down
+    }
+
     /// Updates the controller's power view of a compute brick, e.g. after a
     /// rack-level power sweep. Placement treats powered-off bricks as
     /// sleeping and wakes them only as a last resort; a successful
@@ -456,18 +735,19 @@ impl SdmController {
             }
         };
 
-        // Program circuits towards dMEMBRICKs this brick does not reach yet.
+        // Program circuits towards dMEMBRICKs this brick does not reach yet
+        // (remembering which ones, so a failed attach can unwind them).
         let known = self.circuits.entry(demand.compute_brick).or_default();
-        let mut new_circuits = 0u32;
+        let mut new_circuits: Vec<BrickId> = Vec::new();
         for segment in grant.segments() {
             if known.insert(segment.membrick) {
-                new_circuits += 1;
+                new_circuits.push(segment.membrick);
             }
         }
         service_time += self
             .timings
             .circuit_switch_program
-            .saturating_mul(u64::from(new_circuits));
+            .saturating_mul(new_circuits.len() as u64);
 
         // Push the attach configuration to the SDM agent.
         let state = self
@@ -489,9 +769,15 @@ impl SdmController {
                     rmst_bases.push(outcome.rmst_base);
                 }
                 Err(_) => {
-                    // Roll everything back: agent mappings, pool grant, reservation.
+                    // Roll everything back: agent mappings, freshly
+                    // programmed circuits, pool grant, reservation.
                     for base in &rmst_bases {
                         let _ = agent.apply_detach(*base);
+                    }
+                    if let Some(routes) = self.circuits.get_mut(&demand.compute_brick) {
+                        for membrick in &new_circuits {
+                            routes.remove(membrick);
+                        }
                     }
                     let _ = self.pool.release_grant(&grant);
                     let _ = self.ledger.rollback(reservation);
@@ -530,6 +816,17 @@ impl SdmController {
                 }
             }
         }
+        // Tear down circuits no remaining RMST route needs, so the
+        // controller's circuit view tracks the data path (and future
+        // scale-ups to that dMEMBRICK re-program the switch, as the
+        // hardware would).
+        let involved: BTreeSet<BrickId> =
+            grant.grant.segments().iter().map(|s| s.membrick).collect();
+        let torn_down = self.tear_down_unused_circuits(grant.demand.compute_brick, &involved);
+        service_time += self
+            .timings
+            .circuit_switch_program
+            .saturating_mul(u64::from(torn_down));
         self.pool.release_grant(&grant.grant)?;
         self.ledger
             .release_committed(None, 0, grant.grant.total())?;
@@ -537,10 +834,13 @@ impl SdmController {
     }
 
     /// Processes a burst of concurrent scale-up demands. The SDM controller
-    /// is a single autonomous service, so requests are admitted FIFO and
-    /// each request's completion delay includes the service times of the
-    /// requests queued ahead of it — the "aggressiveness of scale-up
-    /// concurrency" effect visible in Figure 10.
+    /// is a single autonomous service, so requests are serialized through a
+    /// [`ControlPlaneQueue`]: each request's completion delay includes the
+    /// service times of the requests queued ahead of it plus the
+    /// per-queued-request contention penalty
+    /// ([`SdmTimings::queued_request_penalty`]) — the "aggressiveness of
+    /// scale-up concurrency" effect visible in Figure 10, charged by the
+    /// same queue model the scenario engine and the scale-out baseline use.
     ///
     /// Returns, for each demand (in order), the grant and its completion
     /// delay (queueing + own service time). Demands that fail are skipped.
@@ -548,13 +848,13 @@ impl SdmController {
         &mut self,
         demands: &[ScaleUpDemand],
     ) -> Vec<(ScaleUpGrant, SimDuration)> {
-        let mut elapsed = SimDuration::ZERO;
+        let mut queue = ControlPlaneQueue::new(self.timings.queued_request_penalty);
         let mut results = Vec::with_capacity(demands.len());
         for demand in demands {
             match self.handle_scale_up(*demand) {
                 Ok(grant) => {
-                    elapsed += grant.service_time;
-                    results.push((grant, elapsed));
+                    let admission = queue.admit(SimTime::ZERO, grant.service_time);
+                    results.push((grant, admission.completion.duration_since(SimTime::ZERO)));
                 }
                 Err(_) => continue,
             }
@@ -803,8 +1103,140 @@ mod tests {
                 "completion delays must be increasing"
             );
         }
-        // The last requester waits for everyone ahead of it.
+        // The last requester waits for everyone ahead of it, plus the
+        // queued-request contention penalty of each position it queued at
+        // (1 + 2 + 3 requests ahead across the burst).
         let total_service: SimDuration = results.iter().map(|(g, _)| g.service_time).sum();
-        assert_eq!(results.last().unwrap().1, total_service);
+        let penalties = SdmTimings::dredbox_default()
+            .queued_request_penalty
+            .saturating_mul(1 + 2 + 3);
+        assert_eq!(results.last().unwrap().1, total_service + penalties);
+    }
+
+    #[test]
+    fn migration_moves_cores_and_reroutes_memory() {
+        let mut sdm = controller();
+        let (from, grant) = sdm
+            .allocate_vm(VmAllocationRequest::new(8, ByteSize::from_gib(8)))
+            .unwrap();
+        let to = BrickId(if from.0 == 3 { 2 } else { 3 });
+        let pool_allocated = sdm.pool().total_allocated();
+
+        let outcome = sdm
+            .migrate_vm(from, to, 8, std::slice::from_ref(&grant))
+            .unwrap();
+        assert_eq!(outcome.from, from);
+        assert_eq!(outcome.to, to);
+        assert_eq!(outcome.rebased.len(), 1);
+        // The memory never moved: same segments, same pool totals.
+        assert_eq!(sdm.pool().total_allocated(), pool_allocated);
+        assert_eq!(
+            outcome.rebased[0].grant.segments()[0].id,
+            grant.grant.segments()[0].id
+        );
+        assert_eq!(outcome.rebased[0].demand.compute_brick, to);
+        // The routes moved: the source agent maps nothing, the destination
+        // maps the full grant; the destination paid circuit programming.
+        assert_eq!(
+            sdm.agent(from).unwrap().mapped_remote_memory(),
+            ByteSize::ZERO
+        );
+        assert_eq!(
+            sdm.agent(to).unwrap().mapped_remote_memory(),
+            ByteSize::from_gib(8)
+        );
+        assert!(outcome.circuits_programmed >= 1);
+        assert!(outcome.circuits_torn_down >= 1);
+        assert!(outcome.service_time > SimDuration::ZERO);
+        // The cores moved: source releasable state is gone, destination has
+        // the VM.
+        assert!(matches!(
+            sdm.release_vm(from, 8),
+            Err(OrchestratorError::MismatchedVmRelease { .. })
+        ));
+        sdm.release_vm(to, 8).unwrap();
+        sdm.release_scale_up(&outcome.rebased[0]).unwrap();
+        assert_eq!(sdm.pool().total_allocated(), ByteSize::ZERO);
+        assert_eq!(sdm.ledger().held_memory(), ByteSize::ZERO);
+        assert_eq!(sdm.ledger().held_cores(from), 0);
+        assert_eq!(sdm.ledger().held_cores(to), 0);
+    }
+
+    #[test]
+    fn rejected_migration_leaves_the_controller_untouched() {
+        let mut sdm = controller();
+        let (from, grant) = sdm
+            .allocate_vm(VmAllocationRequest::new(8, ByteSize::from_gib(8)))
+            .unwrap();
+        // Fill the destination brick completely so the cores don't fit.
+        let to = BrickId(if from.0 == 3 { 2 } else { 3 });
+        let filler = ScaleUpDemand::new(to, ByteSize::from_gib(1));
+        let _filler_grant = sdm.handle_scale_up(filler).unwrap();
+        // Occupy all of `to`'s cores through the public admission path.
+        // (Power off the other bricks so placement must use `to`.)
+        for b in 0..4u32 {
+            if BrickId(b) != to {
+                sdm.set_compute_power(BrickId(b), false).unwrap();
+            }
+        }
+        let (occupied, _) = sdm
+            .allocate_vm(VmAllocationRequest::new(32, ByteSize::from_gib(1)))
+            .unwrap();
+        assert_eq!(occupied, to);
+        for b in 0..4u32 {
+            sdm.set_compute_power(BrickId(b), true).unwrap();
+        }
+
+        let before = sdm.clone();
+        // No free cores on the destination.
+        assert!(matches!(
+            sdm.migrate_vm(from, to, 8, std::slice::from_ref(&grant)),
+            Err(OrchestratorError::NoComputeCapacity { .. })
+        ));
+        assert_eq!(sdm, before, "failed migration must not mutate state");
+        // Self-migration and bogus bricks are rejected just as cleanly.
+        assert!(matches!(
+            sdm.migrate_vm(from, from, 8, std::slice::from_ref(&grant)),
+            Err(OrchestratorError::InvalidMigration { .. })
+        ));
+        assert!(matches!(
+            sdm.migrate_vm(from, BrickId(99), 8, std::slice::from_ref(&grant)),
+            Err(OrchestratorError::UnknownComputeBrick { .. })
+        ));
+        assert!(matches!(
+            sdm.migrate_vm(from, to, 5, std::slice::from_ref(&grant)),
+            Err(OrchestratorError::MismatchedVmRelease { .. })
+        ));
+        // Grants that don't belong to the source are rejected.
+        let stranger = ScaleUpGrant {
+            demand: ScaleUpDemand::new(BrickId(99), ByteSize::from_gib(8)),
+            ..grant.clone()
+        };
+        assert!(matches!(
+            sdm.migrate_vm(from, to, 8, &[stranger]),
+            Err(OrchestratorError::InvalidMigration { .. })
+        ));
+        assert_eq!(sdm, before);
+    }
+
+    #[test]
+    fn consolidation_and_evacuation_targets_exclude_the_source() {
+        let mut sdm = controller();
+        let (brick, _) = sdm
+            .allocate_vm(VmAllocationRequest::new(8, ByteSize::from_gib(4)))
+            .unwrap();
+        // Only one active brick: consolidation has nowhere else to pack.
+        assert_eq!(sdm.consolidation_target(8, brick), None);
+        // Evacuation spreads onto the emptiest other brick.
+        let target = sdm.evacuation_target(8, brick).unwrap();
+        assert_ne!(target, brick);
+        // With everything else asleep, evacuation wakes a sleeping brick.
+        for b in 0..4u32 {
+            if BrickId(b) != brick {
+                sdm.set_compute_power(BrickId(b), false).unwrap();
+            }
+        }
+        let woken = sdm.evacuation_target(8, brick).unwrap();
+        assert_ne!(woken, brick);
     }
 }

@@ -10,6 +10,8 @@
 //!   user-provided world state.
 //! * [`rng`] — a seedable, reproducible random-number generator wrapper so that
 //!   every experiment in the repository is deterministic given a seed.
+//! * [`queue`] — deterministic FIFO serialization of control-plane requests
+//!   with a per-queued-request penalty.
 //! * [`stats`] — summary statistics, percentiles and box-plot summaries used by
 //!   the figure-reproduction harnesses.
 //! * [`units`] — strongly-typed quantities (bytes, bandwidth, optical power,
@@ -36,6 +38,7 @@
 pub mod engine;
 pub mod error;
 pub mod event;
+pub mod queue;
 pub mod report;
 pub mod rng;
 pub mod stats;
@@ -47,6 +50,7 @@ pub mod prelude {
     pub use crate::engine::{Engine, Process};
     pub use crate::error::SimError;
     pub use crate::event::EventQueue;
+    pub use crate::queue::{ControlPlaneQueue, QueueAdmission};
     pub use crate::report::{Figure, Row, Series, Table};
     pub use crate::rng::SimRng;
     pub use crate::stats::{BoxPlot, Histogram, Summary};

@@ -210,6 +210,60 @@ impl Hypervisor {
         Ok(self.dimm_attach_overhead + guest_hotplug.offline_time(amount))
     }
 
+    /// Removes a live VM from this hypervisor without terminating it — the
+    /// source half of a migration. The VM keeps its state and memory
+    /// footprint; its cores return to this brick. The caller is expected to
+    /// [`Hypervisor::adopt_vm`] it elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftstackError::NoSuchVm`] for unknown VMs.
+    pub fn evict_vm(&mut self, vm: VmId) -> Result<Vm, SoftstackError> {
+        let vm_ref = self
+            .vms
+            .remove(&vm)
+            .ok_or(SoftstackError::NoSuchVm { vm })?;
+        self.allocated_cores -= vm_ref.spec().vcpus;
+        Ok(vm_ref)
+    }
+
+    /// Adopts a VM evicted from another hypervisor — the destination half
+    /// of a migration. The VM is re-numbered into this hypervisor's id
+    /// space and keeps running; its current (possibly scaled-up) memory
+    /// must already be visible to this brick (the SDM agent re-attaches the
+    /// remote segments before the switchover).
+    ///
+    /// # Errors
+    ///
+    /// * [`SoftstackError::InsufficientCores`] if this brick lacks vCPUs.
+    /// * [`SoftstackError::InsufficientMemory`] if the brick lacks memory
+    ///   for the VM's current footprint. On failure the VM is dropped, so
+    ///   callers must validate capacity (or clone) before evicting from the
+    ///   source.
+    pub fn adopt_vm(&mut self, mut vm: Vm) -> Result<VmId, SoftstackError> {
+        let vcpus = vm.spec().vcpus;
+        if vcpus > self.free_cores() {
+            return Err(SoftstackError::InsufficientCores {
+                brick: self.brick(),
+                requested: vcpus,
+                available: self.free_cores(),
+            });
+        }
+        if vm.current_memory() > self.free_memory() {
+            return Err(SoftstackError::InsufficientMemory {
+                brick: self.brick(),
+                requested: vm.current_memory(),
+                available: self.free_memory(),
+            });
+        }
+        let id = VmId(self.next_vm);
+        self.next_vm += 1;
+        vm.renumber(id);
+        self.vms.insert(id, vm);
+        self.allocated_cores += vcpus;
+        Ok(id)
+    }
+
     /// Terminates a VM, releasing its cores and memory and dropping it from
     /// the hypervisor's tables — long create/destroy churn must not grow
     /// them without bound.
@@ -280,6 +334,51 @@ mod tests {
         assert!(matches!(
             hv.destroy_vm(VmId(99)),
             Err(SoftstackError::NoSuchVm { .. })
+        ));
+    }
+
+    #[test]
+    fn evict_and_adopt_move_a_running_vm() {
+        let mut src = hypervisor();
+        let mut dst = hypervisor();
+        let (vm, _) = src
+            .create_vm(VmSpec::new(2, ByteSize::from_gib(2)))
+            .unwrap();
+        src.os_mut().online_remote(ByteSize::from_gib(4));
+        src.hot_add_dimm(vm, ByteSize::from_gib(4)).unwrap();
+
+        let evicted = src.evict_vm(vm).unwrap();
+        assert_eq!(src.vm_count(), 0);
+        assert_eq!(src.free_cores(), 4);
+        assert_eq!(evicted.current_memory(), ByteSize::from_gib(6));
+        assert!(matches!(
+            src.evict_vm(vm),
+            Err(SoftstackError::NoSuchVm { .. })
+        ));
+
+        // The destination must see the VM's memory before the switchover —
+        // 6 GiB against 4 GiB of local memory needs the remote attach first.
+        assert!(matches!(
+            dst.adopt_vm(evicted.clone()),
+            Err(SoftstackError::InsufficientMemory { .. })
+        ));
+        dst.os_mut().online_remote(ByteSize::from_gib(6));
+        let new_id = dst.adopt_vm(evicted).unwrap();
+        assert_eq!(dst.vm_count(), 1);
+        assert_eq!(dst.free_cores(), 2);
+        let adopted = dst.vm(new_id).unwrap();
+        assert!(adopted.is_running());
+        assert_eq!(adopted.id(), new_id);
+        assert_eq!(adopted.current_memory(), ByteSize::from_gib(6));
+
+        // A full destination rejects the cores.
+        let mut full = hypervisor();
+        full.create_vm(VmSpec::new(4, ByteSize::from_gib(1)))
+            .unwrap();
+        let straggler = dst.evict_vm(new_id).unwrap();
+        assert!(matches!(
+            full.adopt_vm(straggler),
+            Err(SoftstackError::InsufficientCores { .. })
         ));
     }
 

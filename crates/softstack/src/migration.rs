@@ -23,18 +23,29 @@ pub struct MigrationModel {
     pub max_rounds: u32,
     /// Fixed cost of transferring vCPU/device state and switching over.
     pub switchover: SimDuration,
+    /// Brick-local working state per vCPU (caches, page tables, device
+    /// queues) — the only memory a disaggregated migration must move.
+    pub local_state_per_vcpu: ByteSize,
 }
 
 impl MigrationModel {
     /// Defaults: a 10 Gb/s migration link, a 1 Gb/s dirty rate, at most five
-    /// pre-copy rounds, 50 ms of switchover.
+    /// pre-copy rounds, 50 ms of switchover, 128 MiB of brick-local state
+    /// per vCPU.
     pub fn dredbox_default() -> Self {
         MigrationModel {
             link: Bandwidth::from_gbps(10.0),
             dirty_rate: Bandwidth::from_gbps(1.0),
             max_rounds: 5,
             switchover: SimDuration::from_millis(50),
+            local_state_per_vcpu: ByteSize::from_mib(128),
         }
+    }
+
+    /// The brick-local state a VM with `vcpus` cores must move when its
+    /// memory is disaggregated.
+    pub fn local_state(&self, vcpus: u32) -> ByteSize {
+        self.local_state_per_vcpu.saturating_mul(u64::from(vcpus))
     }
 
     /// Total time to live-migrate a VM whose guest RAM must be copied (the
@@ -123,5 +134,16 @@ mod tests {
         let m = MigrationModel::dredbox_default();
         assert_eq!(m.conventional_migration(ByteSize::ZERO), m.switchover);
         assert_eq!(m.disaggregated_migration(ByteSize::ZERO), m.switchover);
+    }
+
+    #[test]
+    fn local_state_scales_with_vcpus() {
+        let m = MigrationModel::dredbox_default();
+        assert_eq!(m.local_state(0), ByteSize::ZERO);
+        assert_eq!(m.local_state(4), ByteSize::from_mib(512));
+        // A 4-vCPU / 32 GiB guest: moving only the local state beats the
+        // pre-copy of the full RAM by well over an order of magnitude.
+        let speedup = m.speedup(ByteSize::from_gib(32), m.local_state(4));
+        assert!(speedup > 20.0, "got {speedup:.1}x");
     }
 }

@@ -9,8 +9,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use dredbox_sim::queue::ControlPlaneQueue;
 use dredbox_sim::rng::SimRng;
-use dredbox_sim::time::SimDuration;
+use dredbox_sim::time::{SimDuration, SimTime};
 
 /// Model of how long spawning one additional VM takes in a conventional
 /// cloud, plus the per-request overhead the cloud control plane adds when
@@ -55,6 +56,31 @@ impl ScaleOutBaseline {
             * (concurrency.saturating_sub(1) as f64)
             / 2.0;
         SimDuration::from_secs_f64(startup + queueing)
+    }
+
+    /// The exact FIFO realization of one burst of `concurrency` simultaneous
+    /// scale-out requests: each request queues for a
+    /// [`ControlPlaneQueue`]-serialized control-plane admission slot of
+    /// [`ScaleOutBaseline::per_concurrent_penalty`] (image-store and
+    /// scheduler contention), then its sampled VM startup runs in parallel
+    /// with its peers'. [`ScaleOutBaseline::provision_delay`] is the
+    /// closed-form average of this realization.
+    ///
+    /// Returns the per-request end-to-end delays, in admission order.
+    pub fn provision_burst(&self, concurrency: usize, rng: &mut SimRng) -> Vec<SimDuration> {
+        let mut queue = ControlPlaneQueue::new(SimDuration::ZERO);
+        (0..concurrency)
+            .map(|_| {
+                let admission = queue.admit(SimTime::ZERO, self.per_concurrent_penalty);
+                let startup = rng
+                    .normal(
+                        self.mean_startup.as_secs_f64(),
+                        self.startup_std_dev.as_secs_f64(),
+                    )
+                    .max(self.min_startup.as_secs_f64());
+                admission.queue_wait + SimDuration::from_secs_f64(startup)
+            })
+            .collect()
     }
 
     /// Average provisioning delay over a burst of `concurrency` simultaneous
@@ -120,5 +146,24 @@ mod tests {
     #[should_panic]
     fn zero_samples_rejected() {
         let _ = ScaleOutBaseline::default().average_delay(1, 0, &mut SimRng::seed(0));
+    }
+
+    #[test]
+    fn burst_realization_queues_each_request_behind_its_peers() {
+        let model = ScaleOutBaseline::mao_humphrey_default();
+        let delays = model.provision_burst(8, &mut SimRng::seed(4));
+        assert_eq!(delays.len(), 8);
+        // Request i waits i control-plane admission slots of 1.5 s each on
+        // top of its own (>= 40 s) startup.
+        for (i, d) in delays.iter().enumerate() {
+            let floor = model.min_startup.as_secs_f64()
+                + model.per_concurrent_penalty.as_secs_f64() * i as f64;
+            assert!(
+                d.as_secs_f64() >= floor,
+                "request {i} finished in {d}, below its queueing floor"
+            );
+        }
+        // The realization is deterministic given the seed.
+        assert_eq!(delays, model.provision_burst(8, &mut SimRng::seed(4)));
     }
 }

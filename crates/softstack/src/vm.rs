@@ -109,6 +109,12 @@ impl Vm {
         self.scale_ups
     }
 
+    /// Re-numbers the VM under a new hypervisor's id space (migration
+    /// adoption); the guest itself is untouched.
+    pub(crate) fn renumber(&mut self, id: VmId) {
+        self.id = id;
+    }
+
     /// Marks the VM running (boot finished).
     pub fn mark_running(&mut self) {
         self.state = VmState::Running;

@@ -4,11 +4,16 @@
 //! interconnect latency charging and power management — and print the
 //! per-scenario reports.
 //!
-//! Run with: `cargo run --release --example scenario [seed] [rack-scale]`
+//! Run with:
+//! `cargo run --release --example scenario [seed] [rack-scale] [migration]`
 //!
 //! Passing `rack-scale` additionally replays the 256-compute-brick / 4096-VM
 //! control-plane stress scenario (the capacity-index hot path) and checks
-//! its same-seed determinism too.
+//! its same-seed determinism too. Passing `migration` replays the
+//! consolidation and hotspot-evacuation scenarios — the live-migration flow
+//! (memory resident on the dMEMBRICKs, only compute state moves) against
+//! its conventional pre-copy / scale-out counterfactuals — with the same
+//! determinism check.
 
 use dredbox::prelude::*;
 
@@ -16,6 +21,7 @@ fn main() -> Result<(), SystemError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let seed = args.iter().find_map(|a| a.parse().ok()).unwrap_or(2018);
     let with_rack_scale = args.iter().any(|a| a == "rack-scale");
+    let with_migration = args.iter().any(|a| a == "migration");
 
     let suite = run_builtin_suite(seed)?;
     println!("{suite}");
@@ -25,6 +31,23 @@ fn main() -> Result<(), SystemError> {
     let replay = run_builtin_suite(seed)?;
     assert_eq!(suite, replay, "same-seed replay diverged");
     println!("\ndeterminism check: replay with seed {seed} produced an identical report");
+
+    if with_migration {
+        for spec in [
+            ScenarioSpec::consolidation(),
+            ScenarioSpec::hotspot_evacuation(),
+        ] {
+            let report = spec.run(seed)?;
+            println!("\n{report}");
+            let replay = spec.run(seed)?;
+            assert_eq!(report, replay, "{} same-seed replay diverged", spec.name);
+            println!(
+                "determinism check: {} replay with seed {seed} was identical \
+                 ({} migrations, {} bricks powered off)",
+                spec.name, report.migrations, report.bricks_powered_off
+            );
+        }
+    }
 
     if with_rack_scale {
         let spec = ScenarioSpec::rack_scale();

@@ -113,8 +113,125 @@ fn rack_scale_scenario_stresses_the_control_plane_deterministically() {
     let util = a.pool_utilization.as_ref().expect("utilization sampled");
     assert!(util.max() > 0.5, "pool never filled: {}", util.max());
 
-    // The extended suite carries it alongside the four quick scenarios.
+    // The extended suite carries it alongside the four quick scenarios and
+    // the two migration scenarios.
     let extended = ScenarioSpec::extended_suite();
-    assert_eq!(extended.len(), 5);
+    assert_eq!(extended.len(), 7);
     assert_eq!(extended[4].name, "rack-scale");
+    assert_eq!(extended[5].name, "consolidation");
+    assert_eq!(extended[6].name, "hotspot-evacuation");
+}
+
+#[test]
+fn migration_scenarios_replay_bit_identically_at_fixed_seeds() {
+    for spec in [
+        ScenarioSpec::consolidation(),
+        ScenarioSpec::hotspot_evacuation(),
+    ] {
+        for seed in [2018u64, 7] {
+            let a = spec.run(seed).expect("scenario runs");
+            let b = spec.run(seed).expect("scenario runs");
+            assert_eq!(
+                a, b,
+                "{} must replay bit-identically at seed {seed}",
+                spec.name
+            );
+            assert_eq!(
+                a.to_string(),
+                b.to_string(),
+                "rendered report of {} must be byte-identical at seed {seed}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn consolidation_migrates_vms_and_sleeps_more_bricks_than_a_no_migration_run() {
+    let spec = ScenarioSpec::consolidation();
+    let report = spec.run(2018).expect("consolidation runs");
+    assert!(report.admitted > 0);
+    assert!(report.rebalances > 0, "no rebalance pass ran");
+    assert!(report.migrations > 0, "consolidation never migrated a VM");
+
+    // The headline elasticity claim: moving only the brick-local compute
+    // state beats the conventional pre-copy of the full guest RAM by a wide
+    // margin — per VM, not just on average.
+    let downtime = report
+        .migration_downtime
+        .as_ref()
+        .expect("downtime recorded");
+    let precopy = report
+        .precopy_counterfactual
+        .as_ref()
+        .expect("counterfactual recorded");
+    assert!(
+        downtime.mean() < precopy.mean(),
+        "disaggregated migration ({:.3} s) must beat pre-copy ({:.3} s)",
+        downtime.mean(),
+        precopy.mean()
+    );
+    assert!(
+        downtime.max() < precopy.min(),
+        "even the slowest migration ({:.3} s) must beat the fastest pre-copy ({:.3} s)",
+        downtime.max(),
+        precopy.min()
+    );
+
+    // Consolidation must buy the power manager something: the same trace
+    // without migrations sleeps fewer bricks.
+    let mut no_migration = spec.clone();
+    no_migration.migration = None;
+    let baseline = no_migration.run(2018).expect("baseline runs");
+    assert!(
+        report.bricks_powered_off > baseline.bricks_powered_off,
+        "consolidation slept {} bricks, the no-migration run slept {}",
+        report.bricks_powered_off,
+        baseline.bricks_powered_off
+    );
+}
+
+#[test]
+fn hotspot_evacuation_spreads_load_and_reports_the_scaleout_counterfactual() {
+    let report = ScenarioSpec::hotspot_evacuation()
+        .run(2018)
+        .expect("hotspot-evacuation runs");
+    assert!(report.admitted > 0);
+    assert!(report.evacuations > 0, "no hotspot was ever evacuated");
+    assert!(report.migrations > 0);
+
+    let downtime = report
+        .migration_downtime
+        .as_ref()
+        .expect("downtime recorded");
+    let scaleout = report
+        .scaleout_counterfactual
+        .as_ref()
+        .expect("scale-out counterfactual recorded");
+    // Figure 10: conventional scale-out is 45-100 s per VM; evacuating the
+    // running VMs (memory resident on the dMEMBRICKs) is sub-second.
+    assert!(scaleout.min() > 40.0, "scale-out floor is tens of seconds");
+    assert!(
+        downtime.max() * 10.0 < scaleout.min(),
+        "evacuation ({:.3} s max) must be at least 10x faster than scale-out ({:.1} s min)",
+        downtime.max(),
+        scaleout.min()
+    );
+}
+
+#[test]
+fn every_scenario_serializes_requests_through_the_control_plane_queue() {
+    for spec in ScenarioSpec::builtin_suite() {
+        let report = spec.run(7).expect("scenario runs");
+        let wait = report
+            .control_plane_wait
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: no control-plane waits recorded", report.name));
+        assert!(
+            wait.count() as u64 >= report.admitted,
+            "{}: every admission must pass the queue",
+            report.name
+        );
+        assert!(report.control_plane_peak_queue >= 1, "{}", report.name);
+    }
 }
