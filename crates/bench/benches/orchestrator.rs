@@ -4,20 +4,23 @@
 //! indexes (`allocate_vm`, indexed pool selection) against the reference
 //! rack-wide scan (`allocate_vm_scan`, candidate-list pool scan) the
 //! indexes replaced. A second group isolates the placement decision itself
-//! (`choose_indexed` vs the slice scan) per policy, and a third drives a
+//! (`choose_indexed` vs the slice scan) per policy, a third drives a
 //! migration-heavy 2k-op trace (admit / migrate / release / power) so the
 //! cost of the reserve → re-route → drain → switchover flow is tracked per
-//! rack size in `BENCH_orchestrator.json`.
+//! rack size in `BENCH_orchestrator.json`, and a fourth drives an
+//! offload-heavy 2k-op trace (admit / offload begin+end / release / power)
+//! so the dACCELBRICK session flow — `AccelIndex` placement, ledger holds,
+//! circuit setup and teardown — is tracked the same way.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use dredbox::bricks::BrickId;
+use dredbox::bricks::{Bitstream, BrickId};
 use dredbox::interconnect::LatencyConfig;
 use dredbox::memory::{AllocationPolicy, PickStrategy};
 use dredbox::orchestrator::prelude::*;
 use dredbox::sim::rng::SimRng;
-use dredbox::sim::units::ByteSize;
+use dredbox::sim::units::{Bandwidth, ByteSize};
 
 /// One step of the mixed control-plane trace.
 #[derive(Debug, Clone, Copy)]
@@ -30,6 +33,10 @@ enum Op {
     Power(u32, bool),
     /// Migrate the n-th live VM to the brick offset by the second value.
     Migrate(usize, u32),
+    /// Begin an offload of the n-th kernel from the brick's compute side.
+    OffloadBegin(u32, u8),
+    /// End the n-th live offload session.
+    OffloadEnd(usize),
 }
 
 /// A deterministic mixed trace: ~55% allocations, ~35% releases, ~10%
@@ -74,6 +81,33 @@ fn migration_trace(ops: usize, bricks: u32) -> Vec<Op> {
         .collect()
 }
 
+/// A deterministic offload-heavy trace: ~30% allocations, ~30% offload
+/// begins (four kernels rotating, so reuse and reprogramming both occur),
+/// ~20% offload ends, ~15% releases, ~5% power flips — every third op walks
+/// the accelerator placement → ledger hold → circuit flow.
+fn offload_trace(ops: usize, bricks: u32) -> Vec<Op> {
+    let mut rng = SimRng::seed(2018);
+    (0..ops)
+        .map(|_| {
+            let roll = rng.range(0u64..100);
+            if roll < 30 {
+                Op::Alloc(rng.range(1u64..=8) as u32, rng.range(1u64..=2))
+            } else if roll < 60 {
+                Op::OffloadBegin(
+                    rng.range(0u64..u64::from(bricks)) as u32,
+                    rng.range(0u64..4) as u8,
+                )
+            } else if roll < 80 {
+                Op::OffloadEnd(rng.range(0u64..1_000) as usize)
+            } else if roll < 95 {
+                Op::Release(rng.range(0u64..1_000) as usize)
+            } else {
+                Op::Power(rng.range(0u64..u64::from(bricks)) as u32, rng.chance(0.5))
+            }
+        })
+        .collect()
+}
+
 /// A rack with `bricks` 32-core dCOMPUBRICKs and `bricks / 4` 32-GiB
 /// dMEMBRICKs, under the dReDBox default power-aware policies.
 fn controller(bricks: u32, strategy: PickStrategy) -> SdmController {
@@ -93,10 +127,21 @@ fn controller(bricks: u32, strategy: PickStrategy) -> SdmController {
     sdm
 }
 
+/// The same rack plus `bricks / 8` (min 1) dACCELBRICKs with 4 streaming
+/// slots each, as the offload-heavy trace needs.
+fn accel_controller(bricks: u32, strategy: PickStrategy) -> SdmController {
+    let mut sdm = controller(bricks, strategy);
+    for a in 0..(bricks / 8).max(1) {
+        sdm.register_accel_brick(BrickId(20_000 + a), Bandwidth::from_gbps(3.2), 4);
+    }
+    sdm
+}
+
 /// Replays the trace through one controller. `scan` selects the reference
 /// rack-wide-scan admission path; the indexed path otherwise.
 fn run_trace(sdm: &mut SdmController, ops: &[Op], scan: bool) -> usize {
     let mut live: Vec<(BrickId, u32, ScaleUpGrant)> = Vec::new();
+    let mut sessions: Vec<OffloadSessionId> = Vec::new();
     let mut admitted = 0usize;
     for op in ops {
         match *op {
@@ -139,6 +184,23 @@ fn run_trace(sdm: &mut SdmController, ops: &[Op], scan: bool) -> usize {
                         .expect("one grant in, one grant out");
                     live[slot] = (to, vcpus, rebased);
                 }
+            }
+            Op::OffloadBegin(brick, kernel) => {
+                let request = OffloadRequest::new(
+                    BrickId(brick),
+                    Bitstream::new(format!("kernel-{kernel}"), ByteSize::from_mib(8)),
+                    ByteSize::from_gib(1),
+                );
+                if let Ok(grant) = sdm.begin_offload(request) {
+                    sessions.push(grant.session.id);
+                }
+            }
+            Op::OffloadEnd(pick) => {
+                if sessions.is_empty() {
+                    continue;
+                }
+                let session = sessions.swap_remove(pick % sessions.len());
+                sdm.end_offload(session).expect("live session ends");
             }
         }
     }
@@ -198,6 +260,26 @@ fn bench_migration_trace(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_offload_trace(c: &mut Criterion) {
+    const OPS: usize = 2_000;
+    let mut group = c.benchmark_group("orchestrator/offload_trace_2k_ops");
+    for bricks in [16u32, 64, 256, 1024] {
+        let ops = offload_trace(OPS, bricks);
+        group.bench_with_input(
+            BenchmarkId::new("indexed", bricks),
+            &bricks,
+            |b, &bricks| {
+                b.iter_batched(
+                    || accel_controller(bricks, PickStrategy::Indexed),
+                    |mut sdm| black_box(run_trace(&mut sdm, &ops, false)),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_placement_decision(c: &mut Criterion) {
     const BRICKS: u32 = 256;
     // A half-loaded rack: varied free cores, some idle, some asleep.
@@ -243,6 +325,7 @@ criterion_group!(
     benches,
     bench_control_plane,
     bench_migration_trace,
+    bench_offload_trace,
     bench_placement_decision
 );
 criterion_main!(benches);

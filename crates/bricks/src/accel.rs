@@ -99,6 +99,8 @@ pub struct AcceleratorBrick {
     ports: PortSet,
     power_state: PowerState,
     slot: AcceleratorSlot,
+    /// Offload sessions currently streaming through the loaded kernel.
+    active_sessions: u32,
 }
 
 impl AcceleratorBrick {
@@ -111,6 +113,7 @@ impl AcceleratorBrick {
             ports,
             power_state: PowerState::Idle,
             slot: AcceleratorSlot::default(),
+            active_sessions: 0,
         }
     }
 
@@ -149,9 +152,49 @@ impl AcceleratorBrick {
         self.power_state
     }
 
-    /// Whether no accelerator is loaded.
+    /// Offload sessions currently streaming through the brick.
+    pub fn active_sessions(&self) -> u32 {
+        self.active_sessions
+    }
+
+    /// Whether the brick serves no offload session. A loaded-but-idle brick
+    /// counts as unused: the power sweep may switch it off, at the price of
+    /// losing the cached bitstream (partial-reconfiguration state does not
+    /// survive power-down).
     pub fn is_unused(&self) -> bool {
-        !self.slot.is_occupied()
+        self.active_sessions == 0
+    }
+
+    /// Starts one offload session against the loaded kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrickError::PoweredOff`] if the brick is off, or
+    /// [`BrickError::SlotEmpty`] if no bitstream is programmed.
+    pub fn begin_session(&mut self) -> Result<(), BrickError> {
+        if self.power_state == PowerState::Off {
+            return Err(BrickError::PoweredOff { brick: self.id });
+        }
+        if !self.slot.is_occupied() {
+            return Err(BrickError::SlotEmpty { brick: self.id });
+        }
+        self.active_sessions += 1;
+        self.power_state = PowerState::Active;
+        Ok(())
+    }
+
+    /// Ends one offload session. The bitstream stays loaded so a later
+    /// session with the same kernel skips the PCAP reprogramming.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrickError::ReleaseUnderflow`] if no session is active.
+    pub fn end_session(&mut self) -> Result<(), BrickError> {
+        if self.active_sessions == 0 {
+            return Err(BrickError::ReleaseUnderflow { brick: self.id });
+        }
+        self.active_sessions -= 1;
+        Ok(())
     }
 
     /// Loads `bitstream` into the reconfigurable slot via the PCAP port,
@@ -181,8 +224,16 @@ impl AcceleratorBrick {
     ///
     /// # Errors
     ///
-    /// Returns [`BrickError::SlotEmpty`] if no accelerator is loaded.
+    /// Returns [`BrickError::SlotEmpty`] if no accelerator is loaded, or
+    /// [`BrickError::SessionActive`] while offload sessions still stream
+    /// through the kernel.
     pub fn unload(&mut self) -> Result<Bitstream, BrickError> {
+        if self.active_sessions > 0 {
+            return Err(BrickError::SessionActive {
+                brick: self.id,
+                sessions: self.active_sessions,
+            });
+        }
         let bs = self
             .slot
             .loaded
@@ -203,16 +254,24 @@ impl AcceleratorBrick {
         MemoryStreamModel::default().stream_time(input)
     }
 
-    /// Powers the brick off.
+    /// Powers the brick off. A loaded-but-idle bitstream is dropped — the
+    /// reconfigurable fabric loses its partial-reconfiguration state on
+    /// power-down, so the next offload of that kernel pays the PCAP
+    /// programming again (the power-saving vs bitstream-reuse tension the
+    /// offload-heavy scenario reports).
     ///
     /// # Errors
     ///
-    /// Returns [`BrickError::SlotOccupied`] if an accelerator is still
-    /// loaded.
+    /// Returns [`BrickError::SessionActive`] while offload sessions still
+    /// stream through the brick: a busy accelerator is not sleepable.
     pub fn power_off(&mut self) -> Result<(), BrickError> {
-        if self.slot.is_occupied() {
-            return Err(BrickError::SlotOccupied { brick: self.id });
+        if self.active_sessions > 0 {
+            return Err(BrickError::SessionActive {
+                brick: self.id,
+                sessions: self.active_sessions,
+            });
         }
+        self.slot.loaded = None;
         self.power_state = PowerState::Off;
         Ok(())
     }
@@ -301,9 +360,19 @@ mod tests {
         let mut b = AcceleratorBrick::new(BrickId(21), spec());
         b.load_bitstream(Bitstream::new("x", ByteSize::from_mib(1)))
             .unwrap();
-        assert!(b.power_off().is_err());
-        b.unload().unwrap();
+        b.begin_session().unwrap();
+        // A busy accelerator is not sleepable, and its bitstream cannot be
+        // swapped out from under the running session.
+        assert!(matches!(
+            b.power_off(),
+            Err(BrickError::SessionActive { sessions: 1, .. })
+        ));
+        assert!(matches!(b.unload(), Err(BrickError::SessionActive { .. })));
+        b.end_session().unwrap();
+        // Idle (even with a bitstream loaded) it can sleep — but the PR
+        // state is lost, so the slot comes back empty.
         b.power_off().unwrap();
+        assert!(!b.slot().is_occupied());
         assert_eq!(b.power_draw().as_watts(), 0.0);
         assert!(matches!(
             b.load_bitstream(Bitstream::new("x", ByteSize::from_mib(1))),
@@ -311,6 +380,38 @@ mod tests {
         ));
         b.power_on();
         assert_eq!(b.power_state(), PowerState::Idle);
+    }
+
+    #[test]
+    fn session_lifecycle_gates_power_and_unload() {
+        let mut b = AcceleratorBrick::new(BrickId(23), spec());
+        // No kernel programmed: sessions cannot start.
+        assert!(matches!(
+            b.begin_session(),
+            Err(BrickError::SlotEmpty { .. })
+        ));
+        assert!(matches!(
+            b.end_session(),
+            Err(BrickError::ReleaseUnderflow { .. })
+        ));
+        b.load_bitstream(Bitstream::new("sobel", ByteSize::from_mib(8)))
+            .unwrap();
+        b.begin_session().unwrap();
+        b.begin_session().unwrap();
+        assert_eq!(b.active_sessions(), 2);
+        assert!(!b.is_unused(), "a streaming brick is busy");
+        b.end_session().unwrap();
+        b.end_session().unwrap();
+        assert!(b.is_unused(), "an idle loaded brick is sleepable");
+        // The bitstream survived the sessions for reuse.
+        assert_eq!(b.slot().loaded().unwrap().name, "sobel");
+        assert_eq!(b.slot().reconfigurations(), 1);
+        // A powered-off brick cannot start sessions.
+        b.power_off().unwrap();
+        assert!(matches!(
+            b.begin_session(),
+            Err(BrickError::PoweredOff { .. })
+        ));
     }
 
     #[test]

@@ -54,6 +54,14 @@ pub enum BrickError {
         /// Brick that was asked.
         brick: BrickId,
     },
+    /// An accelerator brick still streams at least one offload session, so
+    /// it cannot be powered off (and its bitstream cannot be swapped).
+    SessionActive {
+        /// Brick that was asked.
+        brick: BrickId,
+        /// Sessions still in flight.
+        sessions: u32,
+    },
     /// A release was attempted for more resources than are allocated.
     ReleaseUnderflow {
         /// Brick that was asked.
@@ -92,6 +100,9 @@ impl fmt::Display for BrickError {
                 write!(f, "{brick}: accelerator slot already occupied")
             }
             BrickError::SlotEmpty { brick } => write!(f, "{brick}: accelerator slot is empty"),
+            BrickError::SessionActive { brick, sessions } => {
+                write!(f, "{brick}: {sessions} offload session(s) still active")
+            }
             BrickError::ReleaseUnderflow { brick } => {
                 write!(f, "{brick}: released more resources than were allocated")
             }

@@ -76,6 +76,21 @@ impl SystemConfig {
         }
     }
 
+    /// A datacenter rack that also carries dACCELBRICKs on every tray — the
+    /// offload-heavy configuration where near-data acceleration is a
+    /// scheduled resource class alongside compute and memory.
+    pub fn accelerated_rack(
+        trays: u16,
+        compute_per_tray: u16,
+        memory_per_tray: u16,
+        accel_per_tray: u16,
+    ) -> Self {
+        SystemConfig {
+            accel_per_tray,
+            ..SystemConfig::datacenter_rack(trays, compute_per_tray, memory_per_tray)
+        }
+    }
+
     /// Switches the remote-memory data path.
     pub fn with_path(mut self, path: PathKind) -> Self {
         self.path = path;
@@ -90,6 +105,11 @@ impl SystemConfig {
     /// Total number of memory bricks in the configuration.
     pub fn total_memory_bricks(&self) -> usize {
         usize::from(self.trays) * usize::from(self.memory_per_tray)
+    }
+
+    /// Total number of accelerator bricks in the configuration.
+    pub fn total_accel_bricks(&self) -> usize {
+        usize::from(self.trays) * usize::from(self.accel_per_tray)
     }
 }
 
@@ -116,8 +136,19 @@ mod tests {
     fn datacenter_rack_uses_tco_catalog() {
         let c = SystemConfig::datacenter_rack(4, 8, 8);
         assert_eq!(c.total_compute_bricks(), 32);
+        assert_eq!(c.total_accel_bricks(), 0);
         assert_eq!(c.catalog.compute_spec().apu_cores, 32);
         let packet = c.with_path(PathKind::PacketSwitched);
         assert_eq!(packet.path, PathKind::PacketSwitched);
+    }
+
+    #[test]
+    fn accelerated_rack_adds_accel_bricks_per_tray() {
+        let c = SystemConfig::accelerated_rack(2, 4, 4, 2);
+        assert_eq!(c.total_compute_bricks(), 8);
+        assert_eq!(c.total_memory_bricks(), 8);
+        assert_eq!(c.total_accel_bricks(), 4);
+        // Everything else matches the datacenter preset.
+        assert_eq!(c.catalog, SystemConfig::datacenter_rack(2, 4, 4).catalog);
     }
 }

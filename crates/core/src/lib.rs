@@ -63,10 +63,12 @@ pub mod system;
 
 pub use config::SystemConfig;
 pub use scenario::{
-    run_builtin_suite, ArrivalModel, ChurnModel, ControlPlaneQueue, MigrationPolicy,
+    run_builtin_suite, ArrivalModel, ChurnModel, ControlPlaneQueue, MigrationPolicy, OffloadPlan,
     QueueAdmission, ScenarioReport, ScenarioSpec, SuiteReport,
 };
-pub use system::{DredboxSystem, MigrationReport, ScaleUpReport, SystemError, VmHandle};
+pub use system::{
+    DredboxSystem, MigrationReport, OffloadReport, ScaleUpReport, SystemError, VmHandle,
+};
 
 // Re-export the sub-crates so downstream users need a single dependency.
 pub use dredbox_bricks as bricks;
@@ -85,8 +87,11 @@ pub mod prelude {
     pub use crate::experiments;
     pub use crate::scenario::{
         run_builtin_suite, ArrivalModel, ChurnModel, ControlPlaneQueue, MigrationPolicy,
-        QueueAdmission, ScenarioReport, ScenarioSpec, SuiteReport,
+        OffloadPlan, QueueAdmission, ScenarioReport, ScenarioSpec, SuiteReport,
     };
-    pub use crate::system::{DredboxSystem, MigrationReport, ScaleUpReport, SystemError, VmHandle};
+    pub use crate::system::{
+        DredboxSystem, MigrationReport, OffloadReport, ScaleUpReport, SystemError, VmHandle,
+    };
+    pub use dredbox_orchestrator::sdm_controller::OffloadSessionId;
     pub use dredbox_sim::prelude::*;
 }

@@ -23,7 +23,7 @@
 //! * **memory-churn** — few long-lived VMs continuously growing and
 //!   shrinking through the Scale-up API, the allocator hot path.
 //!
-//! Three more ride in [`ScenarioSpec::extended_suite`]:
+//! Four more ride in [`ScenarioSpec::extended_suite`]:
 //!
 //! * **rack-scale** ([`ScenarioSpec::rack_scale`], 256 dCOMPUBRICKs, 128
 //!   dMEMBRICKs, 4096 VM arrivals) — stresses the SDM control plane itself,
@@ -37,12 +37,17 @@
 //!   arrivals saturate a brick; its VMs are evacuated onto (woken) spare
 //!   bricks, reported against the 45–100 s conventional scale-out baseline
 //!   of Figure 10.
+//! * **offload-heavy** ([`ScenarioSpec::offload_heavy`]) — VMs on an
+//!   accelerated rack issue near-data offload sessions sized from the
+//!   Section V pilots; the report carries accelerator utilization,
+//!   bitstream reuse vs reprogram counts and the offload-vs-local-compute
+//!   counterfactual.
 //!
 //! Every SDM request of a replay — admissions, scale-ups/downs, releases,
-//! migrations — is serialized through a [`ControlPlaneQueue`]: the
-//! controller is a single autonomous service, so concurrent events queue
-//! and pay a per-queued-request contention penalty on top of their own
-//! service time.
+//! migrations, offload begins/ends — is serialized through a
+//! [`ControlPlaneQueue`]: the controller is a single autonomous service, so
+//! concurrent events queue and pay a per-queued-request contention penalty
+//! on top of their own service time.
 //!
 //! Replays are deterministic: the same spec and seed produce a bit-identical
 //! [`ScenarioReport`].
@@ -61,6 +66,7 @@
 use serde::{Deserialize, Serialize};
 
 use dredbox_bricks::BrickId;
+use dredbox_orchestrator::OffloadSessionId;
 use dredbox_orchestrator::PlacementPolicy;
 use dredbox_sim::engine::{Engine, Process, RunOutcome};
 use dredbox_sim::event::EventQueue;
@@ -72,11 +78,12 @@ use dredbox_sim::time::{SimDuration, SimTime};
 use dredbox_sim::units::ByteSize;
 use dredbox_softstack::ScaleOutBaseline;
 use dredbox_workload::{
-    ArrivalTrace, BurstTrace, DiurnalPattern, LifetimeModel, VmDemand, WorkloadConfig,
+    ArrivalTrace, BurstTrace, DiurnalPattern, LifetimeModel, PilotOffloadMix, VmDemand,
+    WorkloadConfig,
 };
 
 use crate::config::SystemConfig;
-use crate::system::{DredboxSystem, MigrationReport, SystemError, VmHandle};
+use crate::system::{DredboxSystem, MigrationReport, OffloadReport, SystemError, VmHandle};
 
 /// How VM arrivals are laid out over simulated time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -116,6 +123,24 @@ pub struct ChurnModel {
     pub hold: SimDuration,
     /// Inclusive range (GiB) the scale-up amount is drawn from.
     pub amount_gib: (u64, u64),
+}
+
+/// Near-data offload demand applied to every admitted VM: after
+/// `start_after`, the VM issues an offload request sized from the Section V
+/// pilot models, holds the session for `hold` (or the session's own data
+/// time if longer), ends it, and repeats for `sessions_per_vm` sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OffloadPlan {
+    /// Offload sessions each admitted VM issues over its lifetime.
+    pub sessions_per_vm: u32,
+    /// Delay before the first offload and between session end and the next
+    /// begin.
+    pub start_after: SimDuration,
+    /// Minimum session duration (streaming longer than this keeps the
+    /// session open until the data drains).
+    pub hold: SimDuration,
+    /// The pilot mix offload kernels and input sizes are sampled from.
+    pub mix: PilotOffloadMix,
 }
 
 /// How (and whether) a scenario rebalances running VMs through the
@@ -177,6 +202,8 @@ pub struct ScenarioSpec {
     pub churn: Option<ChurnModel>,
     /// Optional periodic migration/rebalance policy.
     pub migration: Option<MigrationPolicy>,
+    /// Optional near-data offload demand issued by admitted VMs.
+    pub offload: Option<OffloadPlan>,
     /// Remote reads charged (through the interconnect model) per admitted VM.
     pub reads_per_vm: u32,
     /// Simulated-time horizon; the run stops here at the latest.
@@ -206,6 +233,7 @@ impl ScenarioSpec {
                 amount_gib: (1, 4),
             }),
             migration: None,
+            offload: None,
             reads_per_vm: 8,
             horizon: SimTime::from_secs(2 * 3_600),
             power_sweep_every: Some(SimDuration::from_secs(600)),
@@ -232,6 +260,7 @@ impl ScenarioSpec {
             ),
             churn: None,
             migration: None,
+            offload: None,
             reads_per_vm: 8,
             horizon: SimTime::from_secs(24 * 3_600),
             power_sweep_every: Some(SimDuration::from_secs(3_600)),
@@ -255,6 +284,7 @@ impl ScenarioSpec {
             lifetime: LifetimeModel::new(SimDuration::from_secs(180), SimDuration::from_secs(30)),
             churn: None,
             migration: None,
+            offload: None,
             reads_per_vm: 16,
             horizon: SimTime::from_secs(3_600),
             power_sweep_every: Some(SimDuration::from_secs(300)),
@@ -283,6 +313,7 @@ impl ScenarioSpec {
                 amount_gib: (2, 12),
             }),
             migration: None,
+            offload: None,
             reads_per_vm: 8,
             horizon: SimTime::from_secs(2 * 3_600),
             power_sweep_every: Some(SimDuration::from_secs(900)),
@@ -317,6 +348,7 @@ impl ScenarioSpec {
                 amount_gib: (1, 2),
             }),
             migration: None,
+            offload: None,
             reads_per_vm: 4,
             horizon: SimTime::from_secs(4 * 3_600),
             power_sweep_every: Some(SimDuration::from_secs(600)),
@@ -352,6 +384,7 @@ impl ScenarioSpec {
                 spare_below: 0.5,
                 max_moves: 6,
             }),
+            offload: None,
             reads_per_vm: 4,
             horizon: SimTime::from_secs(2 * 3_600),
             power_sweep_every: Some(SimDuration::from_secs(900)),
@@ -383,8 +416,46 @@ impl ScenarioSpec {
                 saturated_at: 0.75,
                 baseline: ScaleOutBaseline::mao_humphrey_default(),
             }),
+            offload: None,
             reads_per_vm: 8,
             horizon: SimTime::from_secs(3_600),
+            power_sweep_every: Some(SimDuration::from_secs(600)),
+            event_budget: 100_000,
+        }
+    }
+
+    /// The near-data acceleration case: an accelerated rack (two
+    /// dACCELBRICKs per tray) absorbs VMs that continuously issue offload
+    /// sessions sized from the Section V pilot models (video analytics,
+    /// NFV key server, 100 GbE network analytics). Three kernels rotate
+    /// over four accelerators, so bitstream reuse and PCAP reprogramming
+    /// both occur; periodic power sweeps sleep idle accelerators (dropping
+    /// their cached bitstreams), making the power-saving vs reuse tension
+    /// visible. The report carries accelerator utilization, reuse vs
+    /// program counts and the offload-vs-local-compute counterfactual.
+    pub fn offload_heavy() -> Self {
+        ScenarioSpec {
+            name: "offload-heavy".to_owned(),
+            system: SystemConfig::accelerated_rack(2, 4, 4, 2),
+            vm_count: 32,
+            mix: WorkloadConfig::Random,
+            arrivals: ArrivalModel::Poisson {
+                mean_interarrival: SimDuration::from_secs(45),
+            },
+            lifetime: LifetimeModel::new(
+                SimDuration::from_secs(1_800),
+                SimDuration::from_secs(300),
+            ),
+            churn: None,
+            migration: None,
+            offload: Some(OffloadPlan {
+                sessions_per_vm: 3,
+                start_after: SimDuration::from_secs(30),
+                hold: SimDuration::from_secs(60),
+                mix: PilotOffloadMix::dredbox_default(),
+            }),
+            reads_per_vm: 4,
+            horizon: SimTime::from_secs(2 * 3_600),
             power_sweep_every: Some(SimDuration::from_secs(600)),
             event_budget: 100_000,
         }
@@ -400,13 +471,15 @@ impl ScenarioSpec {
         ]
     }
 
-    /// The built-in suite plus the rack-scale control-plane stress case and
-    /// the two migration scenarios (consolidation, hotspot-evacuation).
+    /// The built-in suite plus the rack-scale control-plane stress case,
+    /// the two migration scenarios (consolidation, hotspot-evacuation) and
+    /// the near-data offload-heavy scenario.
     pub fn extended_suite() -> Vec<ScenarioSpec> {
         let mut suite = ScenarioSpec::builtin_suite();
         suite.push(ScenarioSpec::rack_scale());
         suite.push(ScenarioSpec::consolidation());
         suite.push(ScenarioSpec::hotspot_evacuation());
+        suite.push(ScenarioSpec::offload_heavy());
         suite
     }
 
@@ -475,6 +548,9 @@ impl ScenarioSpec {
             precopy_counterfactual_s: Vec::new(),
             scaleout_counterfactual_s: Vec::new(),
             control_plane_wait_s: Vec::new(),
+            offload_time_s: Vec::new(),
+            offload_local_counterfactual_s: Vec::new(),
+            accel_utilization: Vec::new(),
         };
         let outcome = engine.run(&mut world);
         Ok(world.finish(outcome, engine.now(), engine.processed()))
@@ -512,6 +588,18 @@ impl ScenarioSpec {
                 ));
             }
             _ => {}
+        }
+        if let Some(plan) = &self.offload {
+            if plan.sessions_per_vm == 0 || plan.hold.as_nanos() == 0 {
+                return Err(invalid(
+                    "offload plans need sessions_per_vm > 0 and a positive hold",
+                ));
+            }
+            if self.system.total_accel_bricks() == 0 {
+                return Err(invalid(
+                    "offload plans need at least one dACCELBRICK in the rack",
+                ));
+            }
         }
         match &self.arrivals {
             ArrivalModel::Poisson { mean_interarrival } if mean_interarrival.as_nanos() == 0 => {
@@ -572,6 +660,15 @@ enum ScenarioEvent {
     },
     /// The VM's lifetime ends; all its resources return to the pool.
     Departure { vm: VmHandle },
+    /// A VM issues a near-data offload request per the spec's
+    /// [`OffloadPlan`].
+    OffloadBegin { vm: VmHandle, remaining: u32 },
+    /// An offload session ends; the accelerator's streaming slot frees.
+    OffloadEnd {
+        vm: VmHandle,
+        session: OffloadSessionId,
+        remaining: u32,
+    },
     /// Periodic power-management sweep over the rack.
     PowerSweep,
     /// Periodic migration/rebalance pass per the spec's
@@ -596,6 +693,12 @@ struct Counters {
     migrations: u64,
     migration_failures: u64,
     evacuations: u64,
+    offloads: u64,
+    offload_failures: u64,
+    offloads_completed: u64,
+    bitstream_reuses: u64,
+    bitstream_programs: u64,
+    accel_wakes: u64,
 }
 
 /// The mutable world the discrete-event engine drives.
@@ -615,6 +718,9 @@ struct ScenarioWorld<'a> {
     precopy_counterfactual_s: Vec<f64>,
     scaleout_counterfactual_s: Vec<f64>,
     control_plane_wait_s: Vec<f64>,
+    offload_time_s: Vec<f64>,
+    offload_local_counterfactual_s: Vec<f64>,
+    accel_utilization: Vec<f64>,
 }
 
 impl ScenarioWorld<'_> {
@@ -632,6 +738,30 @@ impl ScenarioWorld<'_> {
 
     fn sample_utilization(&mut self) {
         self.utilization.push(self.system.pool_utilization());
+        // Accelerator utilization is sampled only on racks that carry
+        // dACCELBRICKs, so accelerator-free scenarios report `None`.
+        if self.system.sdm().accel_brick_count() > 0 {
+            self.accel_utilization.push(self.system.accel_utilization());
+        }
+    }
+
+    /// Records one successful offload's report and counters.
+    fn record_offload(&mut self, now: SimTime, report: &OffloadReport) -> QueueAdmission {
+        let admission = self.admit_control(now, report.orchestration_delay);
+        self.counters.offloads += 1;
+        if report.reused_bitstream {
+            self.counters.bitstream_reuses += 1;
+        } else {
+            self.counters.bitstream_programs += 1;
+        }
+        if report.woke_brick {
+            self.counters.accel_wakes += 1;
+        }
+        self.offload_time_s
+            .push((admission.queue_wait + report.offload_total).as_secs_f64());
+        self.offload_local_counterfactual_s
+            .push(report.local_compute.as_secs_f64());
+        admission
     }
 
     fn sample_churn_amount(&mut self, churn: &ChurnModel) -> ByteSize {
@@ -752,6 +882,12 @@ impl ScenarioWorld<'_> {
             migrations: c.migrations,
             migration_failures: c.migration_failures,
             evacuations: c.evacuations,
+            offloads: c.offloads,
+            offload_failures: c.offload_failures,
+            offloads_completed: c.offloads_completed,
+            bitstream_reuses: c.bitstream_reuses,
+            bitstream_programs: c.bitstream_programs,
+            accel_wakes: c.accel_wakes,
             control_plane_peak_queue: self.control_plane.peak_depth() as u64,
             scale_up_delay: Summary::from_samples(&self.scale_up_delays_s),
             read_latency: Summary::from_samples(&self.read_latencies_ns),
@@ -760,6 +896,11 @@ impl ScenarioWorld<'_> {
             precopy_counterfactual: Summary::from_samples(&self.precopy_counterfactual_s),
             scaleout_counterfactual: Summary::from_samples(&self.scaleout_counterfactual_s),
             control_plane_wait: Summary::from_samples(&self.control_plane_wait_s),
+            offload_time: Summary::from_samples(&self.offload_time_s),
+            offload_local_counterfactual: Summary::from_samples(
+                &self.offload_local_counterfactual_s,
+            ),
+            accel_utilization: Summary::from_samples(&self.accel_utilization),
         }
     }
 }
@@ -801,6 +942,17 @@ impl Process for ScenarioWorld<'_> {
                                         vm,
                                         remaining: churn.cycles_per_vm,
                                         amount,
+                                    },
+                                );
+                            }
+                        }
+                        if let Some(plan) = self.spec.offload {
+                            if plan.sessions_per_vm > 0 {
+                                queue.schedule(
+                                    admission.completion + plan.start_after,
+                                    ScenarioEvent::OffloadBegin {
+                                        vm,
+                                        remaining: plan.sessions_per_vm,
                                     },
                                 );
                             }
@@ -877,6 +1029,73 @@ impl Process for ScenarioWorld<'_> {
                 }
                 self.sample_utilization();
             }
+            ScenarioEvent::OffloadBegin { vm, remaining } => {
+                let Some(plan) = self.spec.offload else {
+                    return;
+                };
+                let demand = plan.mix.sample(&mut self.rng);
+                match self.system.begin_offload(vm, &demand) {
+                    Ok(report) => {
+                        let admission = self.record_offload(now, &report);
+                        // The session stays open at least `hold`, or as long
+                        // as the data takes to drain through the kernel —
+                        // `admission.completion` already accounts for the
+                        // orchestration, so only the data stage adds here.
+                        let data_time = report.transfer_time.max(report.kernel_time);
+                        queue.schedule(
+                            admission.completion + plan.hold.max(data_time),
+                            ScenarioEvent::OffloadEnd {
+                                vm,
+                                session: report.session,
+                                remaining,
+                            },
+                        );
+                    }
+                    // The VM departed before its offload fired: not a failure.
+                    Err(SystemError::NoSuchVm { .. }) => {}
+                    Err(_) => {
+                        self.counters.offload_failures += 1;
+                        // Rejections still occupy the controller for the
+                        // request parse + availability inspection...
+                        let timings = self.spec.system.sdm_timings;
+                        let admission = self
+                            .admit_control(now, timings.request_rpc + timings.availability_check);
+                        // ...and the VM retries once a streaming slot may
+                        // have freed, rather than abandoning the rest of
+                        // its offload plan (sessions end over time, so the
+                        // retry eventually lands or the VM departs).
+                        queue.schedule(
+                            admission.completion + plan.start_after,
+                            ScenarioEvent::OffloadBegin { vm, remaining },
+                        );
+                    }
+                }
+                self.sample_utilization();
+            }
+            ScenarioEvent::OffloadEnd {
+                vm,
+                session,
+                remaining,
+            } => {
+                // The VM may have departed mid-session, in which case its
+                // release already drained the session.
+                if let Ok(service) = self.system.end_offload(session) {
+                    let admission = self.admit_control(now, service);
+                    self.counters.offloads_completed += 1;
+                    if remaining > 1 {
+                        if let Some(plan) = self.spec.offload {
+                            queue.schedule(
+                                admission.completion + plan.start_after,
+                                ScenarioEvent::OffloadBegin {
+                                    vm,
+                                    remaining: remaining - 1,
+                                },
+                            );
+                        }
+                    }
+                }
+                self.sample_utilization();
+            }
             ScenarioEvent::PowerSweep => {
                 let sweep = self.system.power_off_unused();
                 self.counters.power_sweeps += 1;
@@ -935,6 +1154,18 @@ pub struct ScenarioReport {
     pub migration_failures: u64,
     /// Rebalance passes that evacuated at least one VM off a hotspot.
     pub evacuations: u64,
+    /// Offload sessions begun on dACCELBRICKs.
+    pub offloads: u64,
+    /// Offload requests rejected (every accelerator saturated).
+    pub offload_failures: u64,
+    /// Offload sessions that ran to completion.
+    pub offloads_completed: u64,
+    /// Sessions that reused an already-programmed bitstream.
+    pub bitstream_reuses: u64,
+    /// Sessions that paid a PCAP (re)programming.
+    pub bitstream_programs: u64,
+    /// Sessions that had to wake a sleeping accelerator.
+    pub accel_wakes: u64,
     /// Deepest the SDM control-plane queue ever got.
     pub control_plane_peak_queue: u64,
     /// End-to-end scale-up delay (seconds), if any scale-up ran.
@@ -952,6 +1183,15 @@ pub struct ScenarioReport {
     pub scaleout_counterfactual: Option<Summary>,
     /// Per-request SDM control-plane queueing delay (seconds).
     pub control_plane_wait: Option<Summary>,
+    /// Per-session near-data offload time (seconds): queueing +
+    /// orchestration + pipelined transfer/kernel.
+    pub offload_time: Option<Summary>,
+    /// Per-session local-compute counterfactual (seconds): page-granular
+    /// remote reads into the dCOMPUBRICK plus the software scan.
+    pub offload_local_counterfactual: Option<Summary>,
+    /// Fraction of accelerator bricks streaming a session, sampled after
+    /// every event on accelerated racks.
+    pub accel_utilization: Option<Summary>,
 }
 
 impl ScenarioReport {
@@ -1007,6 +1247,40 @@ impl ScenarioReport {
             table.push(Row::new(
                 "scale-out counterfactual mean (s)",
                 [format!("{:.3}", s.mean())],
+            ));
+        }
+        if self.offloads > 0 || self.offload_failures > 0 {
+            table.push(Row::new(
+                "offloads ok / failed / completed",
+                [format!(
+                    "{} / {} / {}",
+                    self.offloads, self.offload_failures, self.offloads_completed
+                )],
+            ));
+            table.push(Row::new(
+                "bitstream reuses / programs / wakes",
+                [format!(
+                    "{} / {} / {}",
+                    self.bitstream_reuses, self.bitstream_programs, self.accel_wakes
+                )],
+            ));
+        }
+        if let Some(s) = &self.offload_time {
+            table.push(Row::new(
+                "offload time mean / max (s)",
+                [format!("{:.3} / {:.3}", s.mean(), s.max())],
+            ));
+        }
+        if let Some(s) = &self.offload_local_counterfactual {
+            table.push(Row::new(
+                "local-compute counterfactual mean (s)",
+                [format!("{:.3}", s.mean())],
+            ));
+        }
+        if let Some(s) = &self.accel_utilization {
+            table.push(Row::new(
+                "accel utilization mean / peak (%)",
+                [format!("{:.2} / {:.2}", s.mean() * 100.0, s.max() * 100.0)],
             ));
         }
         if let Some(s) = &self.control_plane_wait {
@@ -1174,6 +1448,48 @@ mod tests {
             spec.run(1),
             Err(SystemError::InvalidConfig { .. })
         ));
+        // Offload plans need sessions, a hold, and accelerators to land on.
+        let mut spec = ScenarioSpec::offload_heavy();
+        spec.offload = Some(OffloadPlan {
+            sessions_per_vm: 0,
+            ..spec.offload.unwrap()
+        });
+        assert!(matches!(
+            spec.run(1),
+            Err(SystemError::InvalidConfig { .. })
+        ));
+        let mut spec = ScenarioSpec::offload_heavy();
+        spec.system = SystemConfig::datacenter_rack(2, 4, 4);
+        assert!(matches!(
+            spec.run(1),
+            Err(SystemError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn offload_heavy_drives_the_accelerators() {
+        let report = ScenarioSpec::offload_heavy().run(2018).expect("run");
+        assert!(report.admitted > 0);
+        assert!(report.offloads > 0, "no offload session ever began");
+        assert!(report.offloads_completed > 0);
+        // Bitstream reuse and PCAP programming must both occur, or the
+        // scenario exercises only half the accel placement order.
+        assert!(report.bitstream_reuses > 0, "no bitstream was ever reused");
+        assert!(report.bitstream_programs > 0, "no bitstream was programmed");
+        let util = report.accel_utilization.as_ref().expect("accel sampled");
+        assert!(util.max() > 0.0, "accelerators never utilized");
+        // The near-data claim, per session on average.
+        let offload = report.offload_time.as_ref().expect("offload timed");
+        let local = report
+            .offload_local_counterfactual
+            .as_ref()
+            .expect("counterfactual recorded");
+        assert!(
+            offload.mean() < local.mean(),
+            "near-data offload ({:.3} s) must beat local compute ({:.3} s)",
+            offload.mean(),
+            local.mean()
+        );
     }
 
     #[test]

@@ -6,18 +6,19 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use dredbox_bricks::{BrickId, BrickKind, PowerState, Rack};
+use dredbox_bricks::{Bitstream, BrickId, BrickKind, PowerState, Rack};
 use dredbox_interconnect::{LatencyBreakdown, PathKind, RemoteMemoryPath};
 use dredbox_memory::HotplugModel;
 use dredbox_optical::{OpticalCircuitSwitch, OpticalTopology};
 use dredbox_orchestrator::power_mgmt::PowerSweep;
 use dredbox_orchestrator::{
-    OrchestratorError, PowerManager, ScaleUpDemand, ScaleUpGrant, SdmController,
-    VmAllocationRequest,
+    OffloadRequest, OffloadSessionId, OrchestratorError, PowerManager, ScaleUpDemand, ScaleUpGrant,
+    SdmController, VmAllocationRequest,
 };
 use dredbox_sim::time::SimDuration;
 use dredbox_sim::units::{ByteSize, Watts};
 use dredbox_softstack::{BaremetalOs, Hypervisor, ScaleUpController, SoftstackError, VmId, VmSpec};
+use dredbox_workload::OffloadDemand;
 
 use crate::config::SystemConfig;
 
@@ -54,6 +55,45 @@ pub struct MigrationReport {
     /// What a conventional pre-copy of the full guest RAM would have cost
     /// (the counterfactual the consolidation scenario reports).
     pub conventional_precopy: SimDuration,
+}
+
+/// What one near-data offload session cost end to end, against its
+/// stream-to-the-dCOMPUBRICK counterfactual — the Section V pilot claim:
+/// moving the kernel to the data (dACCELBRICK) beats moving the data to the
+/// cores over the remote-memory path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OffloadReport {
+    /// The VM that offloaded.
+    pub vm: VmHandle,
+    /// The session the SDM controller opened.
+    pub session: OffloadSessionId,
+    /// The compute brick hosting the VM.
+    pub compute_brick: BrickId,
+    /// The accelerator brick serving the session.
+    pub accel_brick: BrickId,
+    /// The kernel that ran.
+    pub kernel: String,
+    /// Input data streamed through the kernel.
+    pub input: ByteSize,
+    /// Whether the accelerator was already programmed with the kernel.
+    pub reused_bitstream: bool,
+    /// Whether a sleeping accelerator was woken for the session.
+    pub woke_brick: bool,
+    /// SDM-controller service time (placement, ledger hold, any PCAP
+    /// programming and circuit setup).
+    pub orchestration_delay: SimDuration,
+    /// Bulk-streaming the input over the circuit onto the accelerator.
+    pub transfer_time: SimDuration,
+    /// Kernel streaming time over the accelerator's PL-side DDR.
+    pub kernel_time: SimDuration,
+    /// Total near-data cost: orchestration plus the pipelined data stage —
+    /// the kernel consumes the stream as it arrives, so the slower of
+    /// transfer and kernel bounds it.
+    pub offload_total: SimDuration,
+    /// The counterfactual: the dCOMPUBRICK reading the same input out of
+    /// its dMEMBRICKs page by page over the remote-memory path and scanning
+    /// it in software on the APU.
+    pub local_compute: SimDuration,
 }
 
 /// What a scale-up (or scale-down) operation cost, end to end.
@@ -132,6 +172,8 @@ struct VmRecord {
     vm: VmId,
     vcpus: u32,
     grants: Vec<ScaleUpGrant>,
+    /// Live offload sessions the VM holds on dACCELBRICKs.
+    offloads: Vec<OffloadSessionId>,
 }
 
 /// The assembled dReDBox system.
@@ -145,6 +187,8 @@ pub struct DredboxSystem {
     scaleup: ScaleUpController,
     power: PowerManager,
     vms: BTreeMap<VmHandle, VmRecord>,
+    /// Owner of every live offload session, so departures can drain them.
+    offload_owners: BTreeMap<OffloadSessionId, VmHandle>,
     next_handle: u64,
 }
 
@@ -193,7 +237,18 @@ impl DredboxSystem {
                     let memory = brick.as_memory().expect("kind checked");
                     sdm.register_membrick(memory.id(), memory.capacity());
                 }
-                BrickKind::Accelerator => {}
+                BrickKind::Accelerator => {
+                    // Accelerators are a scheduled resource class like the
+                    // other bricks: register the PCAP programming bandwidth
+                    // (the reprogram-cost key) and one streaming slot per
+                    // GTH transceiver with the SDM controller.
+                    let accel = brick.as_accelerator().expect("kind checked");
+                    sdm.register_accel_brick(
+                        accel.id(),
+                        accel.spec().pcap_bandwidth,
+                        u32::from(accel.spec().gth_ports),
+                    );
+                }
             }
         }
 
@@ -206,6 +261,7 @@ impl DredboxSystem {
             hypervisors,
             power: PowerManager::new(),
             vms: BTreeMap::new(),
+            offload_owners: BTreeMap::new(),
             next_handle: 0,
         })
     }
@@ -311,6 +367,7 @@ impl DredboxSystem {
                 vm,
                 vcpus,
                 grants: vec![grant],
+                offloads: Vec::new(),
             },
         );
         Ok(handle)
@@ -437,6 +494,14 @@ impl DredboxSystem {
             .ok_or(SystemError::NoSuchVm { handle })?
             .clone();
         let from = record.brick;
+        // A VM streaming offload sessions is pinned: its sessions' circuits
+        // and the accelerator-side ledger holds reference the source brick,
+        // so migration is rejected until the sessions end.
+        if !record.offloads.is_empty() {
+            return Err(SystemError::Orchestrator(
+                OrchestratorError::InvalidMigration { from, to },
+            ));
+        }
         let guest_memory = self
             .hypervisors
             .get(&from)
@@ -514,6 +579,7 @@ impl DredboxSystem {
                 vm: new_vm,
                 vcpus: record.vcpus,
                 grants: outcome.rebased,
+                offloads: Vec::new(),
             },
         );
 
@@ -530,6 +596,164 @@ impl DredboxSystem {
             downtime,
             conventional_precopy: self.config.migration.conventional_migration(guest_memory),
         })
+    }
+
+    /// Begins a near-data offload session for a VM: the SDM controller
+    /// places the kernel on a dACCELBRICK (reusing a programmed bitstream
+    /// when one is available, else paying the cheapest PCAP reprogram and
+    /// waking a sleeping brick only as a last resort), programs the optical
+    /// circuit from the VM's compute brick, and the input streams once onto
+    /// the accelerator-local DDR where the kernel consumes it at near-data
+    /// bandwidth. The report carries the offload-vs-local-compute
+    /// counterfactual: what the same scan would cost streaming the input
+    /// page by page out of the dMEMBRICKs into the dCOMPUBRICK.
+    ///
+    /// The session stays live (and the accelerator busy) until
+    /// [`DredboxSystem::end_offload`]; releasing the VM drains its sessions.
+    ///
+    /// # Errors
+    ///
+    /// Fails without mutating any state if the handle is unknown or every
+    /// accelerator is saturated with sessions of other kernels.
+    pub fn begin_offload(
+        &mut self,
+        handle: VmHandle,
+        demand: &OffloadDemand,
+    ) -> Result<OffloadReport, SystemError> {
+        let record = self
+            .vms
+            .get(&handle)
+            .ok_or(SystemError::NoSuchVm { handle })?;
+        let (brick, vm) = (record.brick, record.vm);
+
+        let bitstream = Bitstream::new(demand.kernel.clone(), demand.bitstream);
+        let grant =
+            self.sdm
+                .begin_offload(OffloadRequest::new(brick, bitstream.clone(), demand.input))?;
+
+        // Softstack: the VM records its issued offload.
+        self.hypervisors
+            .get_mut(&brick)
+            .expect("record refers to a registered brick")
+            .issue_offload(vm)
+            .expect("record refers to a live VM");
+
+        // Rack: mirror the controller's decision on the physical brick —
+        // wake it, (re)program the slot if the controller did, start the
+        // session stream.
+        let accel_brick = grant.session.accel_brick;
+        let accel = self
+            .rack
+            .brick_mut(accel_brick)
+            .and_then(|b| b.as_accelerator_mut())
+            .expect("SDM only places on registered accelerator bricks");
+        accel.power_on();
+        if !grant.reused_bitstream {
+            if accel.slot().is_occupied() {
+                accel.unload().expect("controller picked an idle brick");
+            }
+            accel
+                .load_bitstream(bitstream)
+                .expect("brick was woken and its slot emptied");
+        }
+        accel
+            .begin_session()
+            .expect("bitstream was just confirmed loaded");
+        let kernel_time = accel.offload_time(demand.input);
+
+        // Data-path accounting. Near-data: the input bulk-streams over the
+        // circuit while the kernel consumes it from the PL-side DDR — a
+        // pipeline, so the slower stage bounds the data time. The
+        // counterfactual moves the data to the cores instead: page-granular
+        // remote reads out of the dMEMBRICKs (each paying the round trip)
+        // plus the software scan on the APU.
+        let transfer_time = self.config.latency.line_rate.transfer_time(demand.input);
+        const PAGE: u64 = 4096;
+        // Software scan throughput of the brick's APU cores — well below
+        // both the 100 Gb/s fabric kernel and the 10 Gb/s link, the reason
+        // the pilots offload in the first place.
+        let sw_scan = dredbox_sim::units::Bandwidth::from_gbps(16.0);
+        let pages = demand.input.as_bytes().div_ceil(PAGE);
+        let per_page = self.remote_read_latency(ByteSize::from_bytes(PAGE)).total();
+        let local_compute = per_page.saturating_mul(pages) + sw_scan.transfer_time(demand.input);
+
+        let session = grant.session.id;
+        self.vms
+            .get_mut(&handle)
+            .expect("checked above")
+            .offloads
+            .push(session);
+        self.offload_owners.insert(session, handle);
+
+        Ok(OffloadReport {
+            vm: handle,
+            session,
+            compute_brick: brick,
+            accel_brick,
+            kernel: demand.kernel.clone(),
+            input: demand.input,
+            reused_bitstream: grant.reused_bitstream,
+            woke_brick: grant.woke_brick,
+            orchestration_delay: grant.service_time,
+            transfer_time,
+            kernel_time,
+            offload_total: grant.service_time + transfer_time.max(kernel_time),
+            local_compute,
+        })
+    }
+
+    /// Ends an offload session: the SDM controller drops the ledger hold
+    /// and tears down the compute→accelerator circuit if no other session
+    /// needs it; the accelerator keeps the bitstream loaded for reuse.
+    /// Returns the controller service time of the release.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the session is unknown or already ended.
+    pub fn end_offload(&mut self, session: OffloadSessionId) -> Result<SimDuration, SystemError> {
+        let release = self.sdm.end_offload(session)?;
+        let owner = self
+            .offload_owners
+            .remove(&session)
+            .expect("every controller session has a recorded owner");
+        if let Some(record) = self.vms.get_mut(&owner) {
+            record.offloads.retain(|s| *s != session);
+        }
+        if let Some(accel) = self
+            .rack
+            .brick_mut(release.session.accel_brick)
+            .and_then(|b| b.as_accelerator_mut())
+        {
+            accel
+                .end_session()
+                .expect("rack sessions mirror controller sessions");
+        }
+        Ok(release.service_time)
+    }
+
+    /// Live offload sessions of a VM, in begin order.
+    pub fn vm_offloads(&self, handle: VmHandle) -> Vec<OffloadSessionId> {
+        self.vms
+            .get(&handle)
+            .map(|r| r.offloads.clone())
+            .unwrap_or_default()
+    }
+
+    /// Total live offload sessions across the rack.
+    pub fn offload_session_count(&self) -> usize {
+        self.offload_owners.len()
+    }
+
+    /// Fraction of accelerator bricks currently streaming at least one
+    /// offload session, in `[0, 1]`. Zero when the rack has no
+    /// accelerators.
+    pub fn accel_utilization(&self) -> f64 {
+        let total = self.sdm.accel_brick_count();
+        if total == 0 {
+            return 0.0;
+        }
+        let busy = total - self.sdm.idle_accel_bricks().count();
+        busy as f64 / total as f64
     }
 
     /// VMs currently hosted on a compute brick, ascending by handle.
@@ -626,6 +850,20 @@ impl DredboxSystem {
             .vms
             .remove(&handle)
             .ok_or(SystemError::NoSuchVm { handle })?;
+        // Drain the VM's live offload sessions so the accelerators, ledger
+        // holds and circuits don't leak when a guest departs mid-session.
+        for session in &record.offloads {
+            if let Ok(release) = self.sdm.end_offload(*session) {
+                self.offload_owners.remove(session);
+                if let Some(accel) = self
+                    .rack
+                    .brick_mut(release.session.accel_brick)
+                    .and_then(|b| b.as_accelerator_mut())
+                {
+                    let _ = accel.end_session();
+                }
+            }
+        }
         if let Some(hv) = self.hypervisors.get_mut(&record.brick) {
             let _ = hv.destroy_vm(record.vm);
             // Offline what the grants onlined, so the baremetal OS's view of
@@ -689,6 +927,20 @@ impl DredboxSystem {
             .collect();
         for brick in off {
             let _ = self.sdm.set_compute_power(brick, false);
+        }
+        // Accelerators too: the sweep only switches off session-free bricks
+        // (a streaming dACCELBRICK refuses `power_off`), and powering one
+        // off drops its cached bitstream — mirrored into the controller's
+        // accelerator index so placement re-programs on the next use.
+        let accel_off: Vec<BrickId> = self
+            .rack
+            .bricks()
+            .filter_map(|b| b.as_accelerator())
+            .filter(|a| a.power_state() == PowerState::Off)
+            .map(|a| a.id())
+            .collect();
+        for brick in accel_off {
+            let _ = self.sdm.set_accel_power(brick, false);
         }
         sweep
     }
@@ -979,6 +1231,171 @@ mod tests {
             assert_eq!(s.consolidation_target(b), None);
         }
         assert_eq!(s.hotspot_brick(1.0), None);
+    }
+
+    fn video_demand() -> dredbox_workload::OffloadDemand {
+        dredbox_workload::OffloadDemand {
+            kernel: "video-motion-detect".to_owned(),
+            bitstream: ByteSize::from_mib(16),
+            input: ByteSize::from_gib(2),
+        }
+    }
+
+    #[test]
+    fn build_registers_accelerator_bricks_with_the_sdm() {
+        let s = system();
+        // The prototype rack carries one dACCELBRICK per tray; they are no
+        // longer silently skipped during system wiring.
+        assert_eq!(s.config().total_accel_bricks(), 2);
+        assert_eq!(s.sdm().accel_brick_count(), 2);
+        assert_eq!(s.sdm().idle_accel_bricks().count(), 2);
+        assert_eq!(s.accel_utilization(), 0.0);
+    }
+
+    #[test]
+    fn offload_lifecycle_reuses_bitstreams_and_beats_local_compute() {
+        let mut s = system();
+        let vm = s.allocate_vm(2, ByteSize::from_gib(4)).unwrap();
+        let demand = video_demand();
+
+        let first = s.begin_offload(vm, &demand).unwrap();
+        assert!(!first.reused_bitstream, "first offload must program");
+        assert!(first.kernel_time > SimDuration::ZERO);
+        assert!(first.transfer_time > first.kernel_time, "10 vs 100 Gb/s");
+        assert_eq!(
+            first.offload_total,
+            first.orchestration_delay + first.transfer_time.max(first.kernel_time)
+        );
+        // The near-data claim: the offload beats streaming the input page
+        // by page into the dCOMPUBRICK.
+        assert!(
+            first.offload_total < first.local_compute,
+            "offload {} must beat local {}",
+            first.offload_total,
+            first.local_compute
+        );
+        assert!(s.accel_utilization() > 0.0);
+        assert_eq!(s.offload_session_count(), 1);
+        assert_eq!(s.vm_offloads(vm), vec![first.session]);
+        let accel = s
+            .rack()
+            .brick(first.accel_brick)
+            .unwrap()
+            .as_accelerator()
+            .unwrap();
+        assert_eq!(accel.active_sessions(), 1);
+        assert_eq!(accel.slot().loaded().unwrap().name, demand.kernel);
+
+        // A second session of the same kernel reuses the programmed slot
+        // and is strictly cheaper at the control plane.
+        let second = s.begin_offload(vm, &demand).unwrap();
+        assert!(second.reused_bitstream);
+        assert_eq!(second.accel_brick, first.accel_brick);
+        assert!(second.orchestration_delay < first.orchestration_delay);
+
+        // Sessions end cleanly; the bitstream stays for reuse.
+        assert!(s.end_offload(first.session).unwrap() > SimDuration::ZERO);
+        s.end_offload(second.session).unwrap();
+        assert_eq!(s.offload_session_count(), 0);
+        assert!(matches!(
+            s.end_offload(first.session),
+            Err(SystemError::Orchestrator(_))
+        ));
+        let accel = s
+            .rack()
+            .brick(first.accel_brick)
+            .unwrap()
+            .as_accelerator()
+            .unwrap();
+        assert_eq!(accel.active_sessions(), 0);
+        assert!(accel.slot().is_occupied(), "bitstream cached for reuse");
+        s.release_vm(vm).unwrap();
+    }
+
+    #[test]
+    fn departing_vms_drain_their_offload_sessions() {
+        let mut s = system();
+        let vm = s.allocate_vm(2, ByteSize::from_gib(4)).unwrap();
+        let report = s.begin_offload(vm, &video_demand()).unwrap();
+        s.release_vm(vm).unwrap();
+        assert_eq!(s.offload_session_count(), 0);
+        assert_eq!(s.sdm().offload_session_count(), 0);
+        assert_eq!(s.sdm().ledger().held_cores(report.accel_brick), 0);
+        let accel = s
+            .rack()
+            .brick(report.accel_brick)
+            .unwrap()
+            .as_accelerator()
+            .unwrap();
+        assert_eq!(accel.active_sessions(), 0);
+    }
+
+    #[test]
+    fn power_sweeps_spare_streaming_accelerators_and_drop_idle_bitstreams() {
+        let mut s = system();
+        let vm = s.allocate_vm(2, ByteSize::from_gib(4)).unwrap();
+        let report = s.begin_offload(vm, &video_demand()).unwrap();
+        let sweep = s.power_off_unused();
+        // One accelerator streams (busy, not sleepable); the other sleeps.
+        assert_eq!(sweep.accelerator_off, 1);
+        let busy = s
+            .rack()
+            .brick(report.accel_brick)
+            .unwrap()
+            .as_accelerator()
+            .unwrap();
+        assert_ne!(busy.power_state(), PowerState::Off);
+        assert!(s.sdm().accel().slot(report.accel_brick).unwrap().powered_on);
+
+        // After the session ends, the next sweep sleeps it and drops the
+        // cached bitstream from rack and controller alike...
+        s.end_offload(report.session).unwrap();
+        s.power_off_unused();
+        let slept = s
+            .rack()
+            .brick(report.accel_brick)
+            .unwrap()
+            .as_accelerator()
+            .unwrap();
+        assert_eq!(slept.power_state(), PowerState::Off);
+        assert!(!slept.slot().is_occupied(), "PR state lost on power-down");
+        let slot = s.sdm().accel().slot(report.accel_brick).unwrap();
+        assert!(!slot.powered_on);
+        assert!(slot.loaded.is_none());
+
+        // ...so the next offload wakes a brick and programs again.
+        let rewoken = s.begin_offload(vm, &video_demand()).unwrap();
+        assert!(rewoken.woke_brick);
+        assert!(!rewoken.reused_bitstream);
+        s.end_offload(rewoken.session).unwrap();
+        s.release_vm(vm).unwrap();
+    }
+
+    #[test]
+    fn vms_with_live_offload_sessions_do_not_migrate() {
+        let mut s = system();
+        let vm = s.allocate_vm(2, ByteSize::from_gib(4)).unwrap();
+        let from = s.vm_brick(vm).unwrap();
+        let to = s
+            .rack()
+            .bricks()
+            .filter_map(|b| b.as_compute())
+            .map(|c| c.id())
+            .find(|&id| id != from)
+            .unwrap();
+        let report = s.begin_offload(vm, &video_demand()).unwrap();
+        let before = s.clone();
+        assert!(matches!(
+            s.migrate_vm(vm, to),
+            Err(SystemError::Orchestrator(
+                OrchestratorError::InvalidMigration { .. }
+            ))
+        ));
+        assert_eq!(s, before, "rejected migration must not mutate the system");
+        // Once the session ends the VM migrates normally.
+        s.end_offload(report.session).unwrap();
+        s.migrate_vm(vm, to).unwrap();
+        assert_eq!(s.vm_brick(vm), Some(to));
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Shared bucket-maintenance helpers for the incremental indexes.
+//!
+//! Both [`crate::capacity::CapacityIndex`] and
+//! [`crate::accel_index::AccelIndex`] keep `BTreeMap<key, BTreeSet<BrickId>>`
+//! buckets; these helpers insert and remove members while dropping buckets
+//! that empty, so bucket-semantics fixes live in one place.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dredbox_bricks::BrickId;
+
+/// Adds `brick` to the bucket at `key`, creating the bucket if needed.
+pub(crate) fn bucket_insert<K: Ord>(
+    map: &mut BTreeMap<K, BTreeSet<BrickId>>,
+    key: K,
+    brick: BrickId,
+) {
+    map.entry(key).or_default().insert(brick);
+}
+
+/// Removes `brick` from the bucket at `key`, dropping the bucket once empty.
+pub(crate) fn bucket_remove<K: Ord>(
+    map: &mut BTreeMap<K, BTreeSet<BrickId>>,
+    key: &K,
+    brick: BrickId,
+) {
+    if let Some(bucket) = map.get_mut(key) {
+        bucket.remove(&brick);
+        if bucket.is_empty() {
+            map.remove(key);
+        }
+    }
+}

@@ -37,6 +37,7 @@ use serde::{Deserialize, Serialize};
 
 use dredbox_bricks::BrickId;
 
+use crate::bucket::{bucket_insert, bucket_remove};
 use crate::placement::ComputeBrickView;
 
 /// The capacity facts of one compute brick, as indexed.
@@ -61,19 +62,6 @@ impl CapacitySlot {
             free_cores: self.free_cores,
             active: self.active,
             powered_on: self.powered_on,
-        }
-    }
-}
-
-fn bucket_insert(map: &mut BTreeMap<u32, BTreeSet<BrickId>>, key: u32, brick: BrickId) {
-    map.entry(key).or_default().insert(brick);
-}
-
-fn bucket_remove(map: &mut BTreeMap<u32, BTreeSet<BrickId>>, key: u32, brick: BrickId) {
-    if let Some(bucket) = map.get_mut(&key) {
-        bucket.remove(&brick);
-        if bucket.is_empty() {
-            map.remove(&key);
         }
     }
 }
@@ -158,12 +146,12 @@ impl CapacityIndex {
 
     fn unindex(&mut self, brick: BrickId, old: &CapacitySlot) {
         if old.powered_on {
-            bucket_remove(&mut self.powered_by_free, old.free_cores, brick);
+            bucket_remove(&mut self.powered_by_free, &old.free_cores, brick);
             if old.active {
-                bucket_remove(&mut self.active_by_free, old.free_cores, brick);
+                bucket_remove(&mut self.active_by_free, &old.free_cores, brick);
             }
         } else {
-            bucket_remove(&mut self.sleeping_by_total, old.total_cores, brick);
+            bucket_remove(&mut self.sleeping_by_total, &old.total_cores, brick);
         }
     }
 

@@ -7,6 +7,7 @@ use dredbox_memory::MemoryError;
 use dredbox_sim::units::ByteSize;
 
 use crate::reservation::ReservationId;
+use crate::sdm_controller::OffloadSessionId;
 
 /// Errors produced by the SDM controller and its helpers.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +54,30 @@ pub enum OrchestratorError {
         /// The requested destination.
         to: BrickId,
     },
+    /// No dACCELBRICK can host the offload: every registered accelerator is
+    /// saturated with sessions of other kernels.
+    NoAcceleratorCapacity {
+        /// The bitstream the request needed.
+        bitstream: String,
+    },
+    /// The referenced accelerator brick is unknown to the orchestrator.
+    UnknownAcceleratorBrick {
+        /// Offending brick.
+        brick: BrickId,
+    },
+    /// The referenced offload session does not exist or was already ended.
+    NoSuchOffloadSession {
+        /// Offending session.
+        session: OffloadSessionId,
+    },
+    /// An accelerator brick still streams offload sessions, so its power
+    /// view cannot be flipped off.
+    AcceleratorBusy {
+        /// Offending brick.
+        brick: BrickId,
+        /// Sessions still in flight.
+        sessions: u32,
+    },
 }
 
 impl fmt::Display for OrchestratorError {
@@ -76,6 +101,18 @@ impl fmt::Display for OrchestratorError {
             }
             OrchestratorError::InvalidMigration { from, to } => {
                 write!(f, "invalid migration from {from} to {to}")
+            }
+            OrchestratorError::NoAcceleratorCapacity { bitstream } => {
+                write!(f, "no dACCELBRICK can host an offload of '{bitstream}'")
+            }
+            OrchestratorError::UnknownAcceleratorBrick { brick } => {
+                write!(f, "unknown dACCELBRICK: {brick}")
+            }
+            OrchestratorError::NoSuchOffloadSession { session } => {
+                write!(f, "no such offload session: {session}")
+            }
+            OrchestratorError::AcceleratorBusy { brick, sessions } => {
+                write!(f, "{brick} still streams {sessions} offload session(s)")
             }
         }
     }

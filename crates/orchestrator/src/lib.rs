@@ -22,6 +22,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accel_index;
+mod bucket;
 pub mod capacity;
 pub mod error;
 pub mod placement;
@@ -32,24 +34,32 @@ pub mod scheduler;
 pub mod sdm_agent;
 pub mod sdm_controller;
 
+pub use accel_index::{AccelIndex, AccelSlot};
 pub use capacity::{CapacityIndex, CapacitySlot};
 pub use error::OrchestratorError;
 pub use placement::{ComputeBrickView, PlacementPolicy};
 pub use power_mgmt::PowerManager;
-pub use requests::{ScaleUpDemand, VmAllocationRequest};
+pub use requests::{OffloadRequest, ScaleUpDemand, VmAllocationRequest};
 pub use reservation::{Reservation, ReservationId, ReservationLedger};
 pub use scheduler::{Admission, FcfsScheduler, ScheduleOutcome};
 pub use sdm_agent::{AttachOutcome, SdmAgent};
-pub use sdm_controller::{MigrationOutcome, ScaleUpGrant, SdmController, SdmTimings};
+pub use sdm_controller::{
+    MigrationOutcome, OffloadGrant, OffloadRelease, OffloadSession, OffloadSessionId, ScaleUpGrant,
+    SdmController, SdmTimings,
+};
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::accel_index::{AccelIndex, AccelSlot};
     pub use crate::capacity::{CapacityIndex, CapacitySlot};
     pub use crate::error::OrchestratorError;
     pub use crate::placement::{ComputeBrickView, PlacementPolicy};
     pub use crate::power_mgmt::PowerManager;
-    pub use crate::requests::{ScaleUpDemand, VmAllocationRequest};
+    pub use crate::requests::{OffloadRequest, ScaleUpDemand, VmAllocationRequest};
     pub use crate::reservation::{Reservation, ReservationId, ReservationLedger};
     pub use crate::sdm_agent::{AttachOutcome, SdmAgent};
-    pub use crate::sdm_controller::{MigrationOutcome, ScaleUpGrant, SdmController, SdmTimings};
+    pub use crate::sdm_controller::{
+        MigrationOutcome, OffloadGrant, OffloadRelease, OffloadSession, OffloadSessionId,
+        ScaleUpGrant, SdmController, SdmTimings,
+    };
 }

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dredbox_bricks::BrickId;
+use dredbox_bricks::{Bitstream, BrickId};
 use dredbox_sim::units::ByteSize;
 
 /// A request (relayed from OpenStack) to allocate a new VM.
@@ -53,6 +53,39 @@ impl std::fmt::Display for ScaleUpDemand {
     }
 }
 
+/// An offload request: a VM on a dCOMPUBRICK asking the SDM controller to
+/// run a kernel near the data on a dACCELBRICK.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OffloadRequest {
+    /// The compute brick whose VM is asking.
+    pub compute_brick: BrickId,
+    /// The partial-reconfiguration bitstream implementing the kernel.
+    pub bitstream: Bitstream,
+    /// Input data the kernel streams through once.
+    pub input: ByteSize,
+}
+
+impl OffloadRequest {
+    /// Creates a request.
+    pub fn new(compute_brick: BrickId, bitstream: Bitstream, input: ByteSize) -> Self {
+        OffloadRequest {
+            compute_brick,
+            bitstream,
+            input,
+        }
+    }
+}
+
+impl std::fmt::Display for OffloadRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: offload '{}' over {}",
+            self.compute_brick, self.bitstream.name, self.input
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +96,11 @@ mod tests {
         assert_eq!(r.to_string(), "allocate 8 vcpus + 16.00 GiB");
         let s = ScaleUpDemand::new(BrickId(3), ByteSize::from_gib(4));
         assert_eq!(s.to_string(), "brick3: scale up by 4.00 GiB");
+        let o = OffloadRequest::new(
+            BrickId(0),
+            Bitstream::new("sobel", ByteSize::from_mib(16)),
+            ByteSize::from_gib(1),
+        );
+        assert_eq!(o.to_string(), "brick0: offload 'sobel' over 1.00 GiB");
     }
 }

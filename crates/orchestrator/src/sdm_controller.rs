@@ -16,12 +16,13 @@ use dredbox_interconnect::LatencyConfig;
 use dredbox_memory::{AllocationPolicy, MemoryGrant, MemoryPool, PickStrategy};
 use dredbox_sim::queue::ControlPlaneQueue;
 use dredbox_sim::time::{SimDuration, SimTime};
-use dredbox_sim::units::ByteSize;
+use dredbox_sim::units::{Bandwidth, ByteSize};
 
+use crate::accel_index::{AccelIndex, AccelSlot};
 use crate::capacity::{CapacityIndex, CapacitySlot};
 use crate::error::OrchestratorError;
 use crate::placement::{ComputeBrickView, PlacementPolicy};
-use crate::requests::{ScaleUpDemand, VmAllocationRequest};
+use crate::requests::{OffloadRequest, ScaleUpDemand, VmAllocationRequest};
 use crate::reservation::ReservationLedger;
 use crate::sdm_agent::SdmAgent;
 
@@ -105,6 +106,103 @@ pub struct MigrationOutcome {
     pub service_time: SimDuration,
 }
 
+/// Identifier of a live offload session managed by the SDM controller.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct OffloadSessionId(pub u64);
+
+impl std::fmt::Display for OffloadSessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "offload{}", self.0)
+    }
+}
+
+/// A live offload session: which VM-hosting compute brick streams which
+/// kernel on which dACCELBRICK. Held by the controller from
+/// [`SdmController::begin_offload`] until [`SdmController::end_offload`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OffloadSession {
+    /// Session identifier.
+    pub id: OffloadSessionId,
+    /// The compute brick whose VM issued the offload.
+    pub compute_brick: BrickId,
+    /// The accelerator brick serving it.
+    pub accel_brick: BrickId,
+    /// Name of the kernel bitstream in the accelerator's slot.
+    pub bitstream: String,
+    /// Input data the kernel streams through.
+    pub input: ByteSize,
+}
+
+/// The result of one `begin_offload` handled by the controller: where the
+/// session landed, what (if anything) had to be programmed, and the
+/// controller-side service time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OffloadGrant {
+    /// The new session.
+    pub session: OffloadSession,
+    /// Whether the accelerator was already programmed with the kernel
+    /// (bitstream reuse — no PCAP reconfiguration paid).
+    pub reused_bitstream: bool,
+    /// Whether a sleeping accelerator had to be woken (its PR state was
+    /// lost on power-down, so it also programmed).
+    pub woke_brick: bool,
+    /// Whether a new optical circuit from the compute brick to the
+    /// accelerator was programmed on the switch.
+    pub circuit_programmed: bool,
+    /// PCAP partial-reconfiguration time paid (zero on reuse).
+    pub pcap_time: SimDuration,
+    /// SDM-controller service time for this request (includes `pcap_time`
+    /// and any circuit programming).
+    pub service_time: SimDuration,
+}
+
+/// What ending one offload session cost at the control plane.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OffloadRelease {
+    /// The session that ended.
+    pub session: OffloadSession,
+    /// Whether the compute→accelerator circuit was torn down (no other
+    /// session between the pair needed it).
+    pub circuit_torn_down: bool,
+    /// SDM-controller service time of the release.
+    pub service_time: SimDuration,
+}
+
+/// Authoritative per-accelerator state the controller schedules against.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct AccelState {
+    /// Effective PCAP programming bandwidth, bits per second.
+    pcap_bps: u64,
+    /// Concurrent streaming slots (one per GTH transceiver).
+    session_capacity: u32,
+    /// Sessions currently streaming.
+    active_sessions: u32,
+    /// The kernel programmed into the reconfigurable slot.
+    loaded: Option<String>,
+    /// Power view (synced with rack sweeps like the compute one).
+    powered_on: bool,
+}
+
+impl AccelState {
+    /// The brick's scheduling facts, as the index records them.
+    fn slot(&self) -> AccelSlot {
+        AccelSlot {
+            loaded: self.loaded.clone(),
+            active_sessions: self.active_sessions,
+            session_capacity: self.session_capacity,
+            pcap_bps: self.pcap_bps,
+            powered_on: self.powered_on,
+        }
+    }
+
+    /// PCAP partial-reconfiguration time for a bitstream of `size`.
+    fn pcap_time(&self, size: ByteSize) -> SimDuration {
+        SimDuration::from_secs_f64(size.as_bytes() as f64 * 8.0 / self.pcap_bps as f64)
+    }
+}
+
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct ComputeState {
     total_cores: u32,
@@ -161,6 +259,18 @@ pub struct SdmController {
     /// dMEMBRICKs each compute brick already has a circuit towards; new
     /// destinations need a switch-programming step.
     circuits: BTreeMap<BrickId, BTreeSet<BrickId>>,
+    /// Authoritative per-accelerator state, mirrored into `accel_index`.
+    accel: BTreeMap<BrickId, AccelState>,
+    /// Incremental availability view over `accel`, kept in lockstep by
+    /// every offload begin/end and power transition (the dACCELBRICK
+    /// analogue of `capacity`).
+    accel_index: AccelIndex,
+    /// Per compute brick, the accelerators it holds a circuit towards and
+    /// how many live sessions use each (torn down when the count drains).
+    accel_circuits: BTreeMap<BrickId, BTreeMap<BrickId, u32>>,
+    /// Live offload sessions by id.
+    sessions: BTreeMap<OffloadSessionId, OffloadSession>,
+    next_session: u64,
 }
 
 impl SdmController {
@@ -192,6 +302,11 @@ impl SdmController {
             timings,
             latency_config,
             circuits: BTreeMap::new(),
+            accel: BTreeMap::new(),
+            accel_index: AccelIndex::new(),
+            accel_circuits: BTreeMap::new(),
+            sessions: BTreeMap::new(),
+            next_session: 0,
         }
     }
 
@@ -265,6 +380,67 @@ impl SdmController {
     pub fn register_membrick(&mut self, brick: BrickId, capacity: ByteSize) -> &mut Self {
         self.pool.register_membrick(brick, capacity);
         self
+    }
+
+    /// Registers a dACCELBRICK: its PCAP programming bandwidth (the
+    /// reprogram-cost key) and its concurrent streaming slots (one per GTH
+    /// transceiver towards the rack interconnect).
+    pub fn register_accel_brick(
+        &mut self,
+        brick: BrickId,
+        pcap_bandwidth: Bandwidth,
+        session_capacity: u32,
+    ) -> &mut Self {
+        self.accel.insert(
+            brick,
+            AccelState {
+                pcap_bps: pcap_bandwidth.as_bps() as u64,
+                session_capacity: session_capacity.max(1),
+                active_sessions: 0,
+                loaded: None,
+                powered_on: true,
+            },
+        );
+        self.sync_accel(brick);
+        self
+    }
+
+    /// Re-indexes one accelerator's slot from its authoritative state.
+    fn sync_accel(&mut self, brick: BrickId) {
+        if let Some(state) = self.accel.get(&brick) {
+            self.accel_index.upsert(brick, state.slot());
+        }
+    }
+
+    /// The controller's incremental accelerator-availability view.
+    pub fn accel(&self) -> &AccelIndex {
+        &self.accel_index
+    }
+
+    /// Number of registered accelerator bricks.
+    pub fn accel_brick_count(&self) -> usize {
+        self.accel.len()
+    }
+
+    /// Live offload sessions, ascending by id.
+    pub fn offload_sessions(&self) -> impl Iterator<Item = &OffloadSession> {
+        self.sessions.values()
+    }
+
+    /// Number of live offload sessions.
+    pub fn offload_session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Looks up a live offload session.
+    pub fn offload_session(&self, session: OffloadSessionId) -> Option<&OffloadSession> {
+        self.sessions.get(&session)
+    }
+
+    /// Accelerator bricks streaming no session (power-off candidates),
+    /// ascending by id, served from the accelerator index.
+    pub fn idle_accel_bricks(&self) -> impl Iterator<Item = BrickId> + '_ {
+        self.accel_index.idle_bricks()
     }
 
     /// Number of registered compute bricks.
@@ -700,6 +876,200 @@ impl SdmController {
         state.powered_on = powered_on;
         self.sync_capacity(brick);
         Ok(())
+    }
+
+    /// Updates the controller's power view of an accelerator brick, e.g.
+    /// after a rack-level power sweep. Powering off drops the recorded
+    /// bitstream (the fabric loses its partial-reconfiguration state), so
+    /// future offloads of that kernel pay the PCAP programming again; a
+    /// sleeping brick is woken only as a last resort by
+    /// [`SdmController::begin_offload`].
+    ///
+    /// # Errors
+    ///
+    /// * [`OrchestratorError::UnknownAcceleratorBrick`] for unregistered
+    ///   bricks.
+    /// * [`OrchestratorError::AcceleratorBusy`] when switching off a brick
+    ///   that still streams sessions; the power view is left untouched.
+    pub fn set_accel_power(
+        &mut self,
+        brick: BrickId,
+        powered_on: bool,
+    ) -> Result<(), OrchestratorError> {
+        let state = self
+            .accel
+            .get_mut(&brick)
+            .ok_or(OrchestratorError::UnknownAcceleratorBrick { brick })?;
+        if !powered_on && state.active_sessions > 0 {
+            return Err(OrchestratorError::AcceleratorBusy {
+                brick,
+                sessions: state.active_sessions,
+            });
+        }
+        state.powered_on = powered_on;
+        if !powered_on {
+            state.loaded = None;
+        }
+        self.sync_accel(brick);
+        Ok(())
+    }
+
+    /// Begins an offload session: places the kernel on a dACCELBRICK
+    /// already programmed with the needed bitstream if one has a free
+    /// streaming slot, else picks the cheapest reprogram by PCAP time
+    /// (empty slot first, then an idle loaded one, waking a sleeping brick
+    /// as a last resort), programs the optical circuit from the VM's
+    /// compute brick if none exists, takes a ledger hold on the session's
+    /// streaming slot, and pushes the session configuration to the
+    /// accelerator middleware.
+    ///
+    /// Rejections leave the controller bit-identical to before the call,
+    /// like [`SdmController::migrate_vm`].
+    ///
+    /// # Errors
+    ///
+    /// * [`OrchestratorError::UnknownComputeBrick`] for unregistered
+    ///   compute bricks.
+    /// * [`OrchestratorError::NoAcceleratorCapacity`] when every
+    ///   accelerator is saturated with sessions of other kernels.
+    pub fn begin_offload(
+        &mut self,
+        request: OffloadRequest,
+    ) -> Result<OffloadGrant, OrchestratorError> {
+        // Validation phase: every rejection below leaves the controller
+        // untouched.
+        if !self.compute.contains_key(&request.compute_brick) {
+            return Err(OrchestratorError::UnknownComputeBrick {
+                brick: request.compute_brick,
+            });
+        }
+        let name = &request.bitstream.name;
+        let (accel_brick, reused, woke) = if let Some(b) = self.accel_index.loaded_fit(name) {
+            (b, true, false)
+        } else if let Some(b) = self.accel_index.fastest_empty() {
+            (b, false, false)
+        } else if let Some(b) = self.accel_index.fastest_idle_loaded() {
+            (b, false, false)
+        } else if let Some(b) = self.accel_index.fastest_sleeping() {
+            (b, false, true)
+        } else {
+            return Err(OrchestratorError::NoAcceleratorCapacity {
+                bitstream: name.clone(),
+            });
+        };
+
+        // Nothing past placement can fail: reserve the streaming slot in
+        // the two-phase ledger (one "core" on the accelerator brick per
+        // session, so ledger holds always equal live sessions), then apply.
+        let mut service_time = self.timings.request_rpc
+            + self.timings.availability_check
+            + self.timings.reservation_write;
+        let reservation = self.ledger.reserve(Some(accel_brick), 1, ByteSize::ZERO);
+        self.ledger
+            .commit(reservation)
+            .expect("freshly reserved id commits");
+
+        let state = self
+            .accel
+            .get_mut(&accel_brick)
+            .expect("index only holds registered bricks");
+        let mut pcap_time = SimDuration::ZERO;
+        if !reused {
+            // PCAP partial reconfiguration (middleware stores the
+            // bitstream, then reconfigures the PL through the static part).
+            pcap_time = state.pcap_time(request.bitstream.size);
+            service_time += pcap_time;
+            state.loaded = Some(name.clone());
+        }
+        state.active_sessions += 1;
+        state.powered_on = true;
+        self.sync_accel(accel_brick);
+
+        // Program the compute→accelerator circuit if this pair has none.
+        let routes = self
+            .accel_circuits
+            .entry(request.compute_brick)
+            .or_default();
+        let users = routes.entry(accel_brick).or_insert(0);
+        let circuit_programmed = *users == 0;
+        *users += 1;
+        if circuit_programmed {
+            service_time += self.timings.circuit_switch_program;
+        }
+        // Push the session configuration to the accelerator middleware.
+        service_time += self.timings.agent_push;
+
+        let id = OffloadSessionId(self.next_session);
+        self.next_session += 1;
+        let session = OffloadSession {
+            id,
+            compute_brick: request.compute_brick,
+            accel_brick,
+            bitstream: name.clone(),
+            input: request.input,
+        };
+        self.sessions.insert(id, session.clone());
+
+        Ok(OffloadGrant {
+            session,
+            reused_bitstream: reused,
+            woke_brick: woke,
+            circuit_programmed,
+            pcap_time,
+            service_time,
+        })
+    }
+
+    /// Ends an offload session: drops the ledger hold, frees the streaming
+    /// slot (the bitstream stays loaded for reuse), and tears down the
+    /// compute→accelerator circuit if no other session between the pair
+    /// needs it — re-indexing the accelerator incrementally.
+    ///
+    /// # Errors
+    ///
+    /// * [`OrchestratorError::NoSuchOffloadSession`] for unknown or
+    ///   already-ended sessions; the controller is left untouched.
+    pub fn end_offload(
+        &mut self,
+        session: OffloadSessionId,
+    ) -> Result<OffloadRelease, OrchestratorError> {
+        let record = self
+            .sessions
+            .remove(&session)
+            .ok_or(OrchestratorError::NoSuchOffloadSession { session })?;
+        self.ledger
+            .release_committed(Some(record.accel_brick), 1, ByteSize::ZERO)
+            .expect("begin_offload committed this hold");
+        let mut service_time =
+            self.timings.request_rpc + self.timings.reservation_write + self.timings.agent_push;
+
+        let state = self
+            .accel
+            .get_mut(&record.accel_brick)
+            .expect("sessions only reference registered bricks");
+        state.active_sessions -= 1;
+        self.sync_accel(record.accel_brick);
+
+        let mut circuit_torn_down = false;
+        if let Some(routes) = self.accel_circuits.get_mut(&record.compute_brick) {
+            if let Some(users) = routes.get_mut(&record.accel_brick) {
+                *users -= 1;
+                if *users == 0 {
+                    routes.remove(&record.accel_brick);
+                    circuit_torn_down = true;
+                    service_time += self.timings.circuit_switch_program;
+                }
+            }
+            if routes.is_empty() {
+                self.accel_circuits.remove(&record.compute_brick);
+            }
+        }
+
+        Ok(OffloadRelease {
+            session: record,
+            circuit_torn_down,
+            service_time,
+        })
     }
 
     /// Handles one scale-up demand: selects dMEMBRICK space (power-aware),
@@ -1217,6 +1587,125 @@ mod tests {
             Err(OrchestratorError::InvalidMigration { .. })
         ));
         assert_eq!(sdm, before);
+    }
+
+    fn accel_controller() -> SdmController {
+        let mut sdm = controller();
+        for b in 20..22u32 {
+            sdm.register_accel_brick(BrickId(b), Bandwidth::from_gbps(3.2), 2);
+        }
+        sdm
+    }
+
+    fn offload(kernel: &str) -> OffloadRequest {
+        OffloadRequest::new(
+            BrickId(0),
+            dredbox_bricks::Bitstream::new(kernel, ByteSize::from_mib(16)),
+            ByteSize::from_gib(1),
+        )
+    }
+
+    #[test]
+    fn offload_reuses_programmed_bitstreams_and_charges_pcap_otherwise() {
+        let mut sdm = accel_controller();
+        let first = sdm.begin_offload(offload("sobel")).unwrap();
+        assert!(!first.reused_bitstream);
+        assert!(first.circuit_programmed);
+        assert!(first.pcap_time.as_millis_f64() > 10.0, "16 MiB over PCAP");
+        assert_eq!(first.session.accel_brick, BrickId(20));
+        assert_eq!(sdm.ledger().held_cores(BrickId(20)), 1);
+
+        // Same kernel: lands on the programmed brick, no PCAP, no new
+        // circuit (same compute brick), strictly cheaper.
+        let second = sdm.begin_offload(offload("sobel")).unwrap();
+        assert!(second.reused_bitstream);
+        assert!(!second.circuit_programmed);
+        assert_eq!(second.pcap_time, SimDuration::ZERO);
+        assert_eq!(second.session.accel_brick, BrickId(20));
+        assert!(second.service_time < first.service_time);
+        assert_eq!(sdm.offload_session_count(), 2);
+        assert_eq!(sdm.ledger().held_cores(BrickId(20)), 2);
+
+        // A different kernel cannot evict the busy brick: it programs the
+        // empty one.
+        let third = sdm.begin_offload(offload("aes")).unwrap();
+        assert!(!third.reused_bitstream);
+        assert_eq!(third.session.accel_brick, BrickId(21));
+
+        // Ending the sessions drains holds and tears the circuit down once
+        // the last session between the pair ends.
+        let rel = sdm.end_offload(second.session.id).unwrap();
+        assert!(!rel.circuit_torn_down, "first sobel session still live");
+        let rel = sdm.end_offload(first.session.id).unwrap();
+        assert!(rel.circuit_torn_down);
+        assert_eq!(sdm.ledger().held_cores(BrickId(20)), 0);
+        // The bitstream survived for reuse.
+        assert_eq!(
+            sdm.accel().slot(BrickId(20)).unwrap().loaded.as_deref(),
+            Some("sobel")
+        );
+        sdm.end_offload(third.session.id).unwrap();
+        assert_eq!(sdm.offload_session_count(), 0);
+        assert_eq!(sdm.idle_accel_bricks().count(), 2);
+    }
+
+    #[test]
+    fn rejected_offloads_leave_the_controller_untouched() {
+        let mut sdm = accel_controller();
+        // Saturate both bricks (2 streaming slots each) with two kernels.
+        let mut live = Vec::new();
+        for kernel in ["a", "a", "b", "b"] {
+            live.push(sdm.begin_offload(offload(kernel)).unwrap());
+        }
+        let before = sdm.clone();
+        // A third kernel has no reuse target, no empty slot, no idle loaded
+        // brick and nothing sleeping: rejected as a perfect no-op.
+        assert!(matches!(
+            sdm.begin_offload(offload("c")),
+            Err(OrchestratorError::NoAcceleratorCapacity { .. })
+        ));
+        assert_eq!(sdm, before, "failed offload must not mutate state");
+        // Unknown compute bricks and bogus sessions too.
+        let mut bogus = offload("a");
+        bogus.compute_brick = BrickId(99);
+        assert!(matches!(
+            sdm.begin_offload(bogus),
+            Err(OrchestratorError::UnknownComputeBrick { .. })
+        ));
+        assert!(matches!(
+            sdm.end_offload(OffloadSessionId(999)),
+            Err(OrchestratorError::NoSuchOffloadSession { .. })
+        ));
+        assert_eq!(sdm, before);
+        for grant in live {
+            sdm.end_offload(grant.session.id).unwrap();
+        }
+    }
+
+    #[test]
+    fn accel_power_view_wakes_and_reprograms_on_demand() {
+        let mut sdm = accel_controller();
+        let grant = sdm.begin_offload(offload("sobel")).unwrap();
+        // A streaming brick cannot be swept off.
+        assert!(matches!(
+            sdm.set_accel_power(BrickId(20), false),
+            Err(OrchestratorError::AcceleratorBusy { sessions: 1, .. })
+        ));
+        sdm.end_offload(grant.session.id).unwrap();
+        // Sweeping both bricks drops the cached bitstreams.
+        sdm.set_accel_power(BrickId(20), false).unwrap();
+        sdm.set_accel_power(BrickId(21), false).unwrap();
+        assert!(sdm.accel().slot(BrickId(20)).unwrap().loaded.is_none());
+        // The next offload wakes a sleeping brick and pays the PCAP again.
+        let woken = sdm.begin_offload(offload("sobel")).unwrap();
+        assert!(woken.woke_brick);
+        assert!(!woken.reused_bitstream);
+        assert_eq!(woken.session.accel_brick, BrickId(20));
+        assert!(sdm.accel().slot(BrickId(20)).unwrap().powered_on);
+        assert!(matches!(
+            sdm.set_accel_power(BrickId(77), true),
+            Err(OrchestratorError::UnknownAcceleratorBrick { .. })
+        ));
     }
 
     #[test]

@@ -210,6 +210,25 @@ impl Hypervisor {
         Ok(self.dimm_attach_overhead + guest_hotplug.offline_time(amount))
     }
 
+    /// Records that a running VM issued a near-data offload request (the
+    /// dACCELBRICK demand the SDM controller turns into a session),
+    /// returning the VM's updated offload count.
+    ///
+    /// # Errors
+    ///
+    /// * [`SoftstackError::NoSuchVm`] / [`SoftstackError::VmNotRunning`].
+    pub fn issue_offload(&mut self, vm: VmId) -> Result<u32, SoftstackError> {
+        let vm_ref = self
+            .vms
+            .get_mut(&vm)
+            .ok_or(SoftstackError::NoSuchVm { vm })?;
+        if !vm_ref.is_running() {
+            return Err(SoftstackError::VmNotRunning { vm });
+        }
+        vm_ref.record_offload();
+        Ok(vm_ref.offload_count())
+    }
+
     /// Removes a live VM from this hypervisor without terminating it — the
     /// source half of a migration. The VM keeps its state and memory
     /// footprint; its cores return to this brick. The caller is expected to
@@ -400,6 +419,25 @@ mod tests {
         );
         assert_eq!(hv.vm(vm).unwrap().current_memory(), ByteSize::from_gib(11));
         assert_eq!(hv.vm(vm).unwrap().scale_up_count(), 1);
+    }
+
+    #[test]
+    fn offload_requests_are_counted_per_running_vm() {
+        let mut hv = hypervisor();
+        let (vm, _) = hv.create_vm(VmSpec::new(1, ByteSize::from_gib(1))).unwrap();
+        assert_eq!(hv.vm(vm).unwrap().offload_count(), 0);
+        assert_eq!(hv.issue_offload(vm).unwrap(), 1);
+        assert_eq!(hv.issue_offload(vm).unwrap(), 2);
+        assert_eq!(hv.vm(vm).unwrap().offload_count(), 2);
+        assert!(matches!(
+            hv.issue_offload(VmId(99)),
+            Err(SoftstackError::NoSuchVm { .. })
+        ));
+        hv.destroy_vm(vm).unwrap();
+        assert!(matches!(
+            hv.issue_offload(vm),
+            Err(SoftstackError::NoSuchVm { .. })
+        ));
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub struct Vm {
     current_memory: ByteSize,
     balloon: BalloonDevice,
     scale_ups: u32,
+    offloads: u32,
 }
 
 impl Vm {
@@ -71,6 +72,7 @@ impl Vm {
             current_memory: spec.memory,
             balloon: BalloonDevice::new(spec.memory),
             scale_ups: 0,
+            offloads: 0,
         }
     }
 
@@ -107,6 +109,16 @@ impl Vm {
     /// Number of scale-up operations this VM has received.
     pub fn scale_up_count(&self) -> u32 {
         self.scale_ups
+    }
+
+    /// Number of near-data offload requests this VM has issued.
+    pub fn offload_count(&self) -> u32 {
+        self.offloads
+    }
+
+    /// Records one issued offload request.
+    pub(crate) fn record_offload(&mut self) {
+        self.offloads += 1;
     }
 
     /// Re-numbers the VM under a new hypervisor's id space (migration

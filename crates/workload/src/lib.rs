@@ -29,7 +29,10 @@ pub mod table1;
 pub mod traces;
 
 pub use demand::VmDemand;
-pub use pilots::{NetworkAnalyticsWorkload, NfvKeyServerWorkload, VideoAnalyticsWorkload};
+pub use pilots::{
+    NetworkAnalyticsWorkload, NfvKeyServerWorkload, OffloadDemand, PilotOffloadMix,
+    VideoAnalyticsWorkload,
+};
 pub use table1::WorkloadConfig;
 pub use traces::{ArrivalTrace, BurstTrace, DiurnalPattern, LifetimeModel};
 
@@ -37,7 +40,8 @@ pub use traces::{ArrivalTrace, BurstTrace, DiurnalPattern, LifetimeModel};
 pub mod prelude {
     pub use crate::demand::VmDemand;
     pub use crate::pilots::{
-        NetworkAnalyticsWorkload, NfvKeyServerWorkload, VideoAnalyticsWorkload,
+        NetworkAnalyticsWorkload, NfvKeyServerWorkload, OffloadDemand, PilotOffloadMix,
+        VideoAnalyticsWorkload,
     };
     pub use crate::table1::WorkloadConfig;
     pub use crate::traces::{ArrivalTrace, BurstTrace, DiurnalPattern, LifetimeModel};

@@ -170,6 +170,105 @@ impl Default for NetworkAnalyticsWorkload {
     }
 }
 
+/// A near-data offload demand derived from one of the Section V pilots: a
+/// kernel (named partial-reconfiguration bitstream) plus the input data it
+/// streams through once on the dACCELBRICK.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OffloadDemand {
+    /// Kernel name; offloads naming the same kernel can reuse a programmed
+    /// accelerator slot.
+    pub kernel: String,
+    /// Size of the partial bitstream (determines PCAP programming time).
+    pub bitstream: ByteSize,
+    /// Input data the kernel streams through.
+    pub input: ByteSize,
+}
+
+impl VideoAnalyticsWorkload {
+    /// The motion-detection kernel an investigation offloads near the
+    /// footage: input is the resident working set of `case_hours` of
+    /// footage, capped so a single session stays rack-serviceable.
+    pub fn offload_demand(&self, case_hours: f64) -> OffloadDemand {
+        let cap = ByteSize::from_gib(8);
+        OffloadDemand {
+            kernel: "video-motion-detect".to_owned(),
+            bitstream: ByteSize::from_mib(16),
+            input: self.memory_demand(case_hours).min(cap),
+        }
+    }
+}
+
+impl NetworkAnalyticsWorkload {
+    /// The frame-classification kernel the offline stage offloads: input is
+    /// the flagged-traffic buffer of one capture window.
+    pub fn offload_demand(&self, window: SimDuration) -> OffloadDemand {
+        OffloadDemand {
+            kernel: "frame-classify".to_owned(),
+            bitstream: ByteSize::from_mib(8),
+            input: self.offline_buffer(window),
+        }
+    }
+}
+
+impl NfvKeyServerWorkload {
+    /// The TLS handshake-offload kernel the key server uses at a given hour:
+    /// input scales with the session-cache footprint at that hour.
+    pub fn offload_demand(&self, hour: f64) -> OffloadDemand {
+        OffloadDemand {
+            kernel: "tls-handshake".to_owned(),
+            bitstream: ByteSize::from_mib(4),
+            input: self.memory_at_hour(hour),
+        }
+    }
+}
+
+/// Samples offload demands from a mix of the three pilots — the kernel set
+/// an offload-heavy scenario rotates through, so bitstream reuse (repeated
+/// kernels) and reprogramming (kernel changes) both occur.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PilotOffloadMix {
+    /// Video-surveillance analytics pilot.
+    pub video: VideoAnalyticsWorkload,
+    /// NFV key-server pilot.
+    pub nfv: NfvKeyServerWorkload,
+    /// 100 GbE network-analytics pilot.
+    pub network: NetworkAnalyticsWorkload,
+}
+
+impl PilotOffloadMix {
+    /// The default mix over the three pilot models.
+    pub fn dredbox_default() -> Self {
+        PilotOffloadMix {
+            video: VideoAnalyticsWorkload::dredbox_default(),
+            nfv: NfvKeyServerWorkload::dredbox_default(),
+            network: NetworkAnalyticsWorkload::dredbox_default(),
+        }
+    }
+
+    /// Samples one offload demand: picks a pilot, then sizes the input from
+    /// that pilot's own model (case hours, hour of day, capture window).
+    pub fn sample(&self, rng: &mut SimRng) -> OffloadDemand {
+        match rng.range(0u64..3) {
+            0 => {
+                // Moderate slices of a case: near-data review of one chunk.
+                let hours = self.video.sample_case_hours(rng).min(4_000.0);
+                self.video.offload_demand(hours)
+            }
+            1 => self.nfv.offload_demand(rng.range(0u64..24) as f64),
+            _ => {
+                let window = SimDuration::from_secs(rng.range(1u64..=4));
+                self.network.offload_demand(window)
+            }
+        }
+    }
+}
+
+impl Default for PilotOffloadMix {
+    fn default() -> Self {
+        PilotOffloadMix::dredbox_default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +303,39 @@ mod tests {
         assert!(w.memory_delta(3.0, 15.0) > 0);
         assert!(w.memory_delta(15.0, 3.0) < 0);
         assert!(w.requires_scale_up());
+    }
+
+    #[test]
+    fn offload_demands_are_pilot_sized_and_deterministic() {
+        let mix = PilotOffloadMix::dredbox_default();
+        let mut a = SimRng::seed(9);
+        let mut b = SimRng::seed(9);
+        let demands: Vec<OffloadDemand> = (0..64).map(|_| mix.sample(&mut a)).collect();
+        let replay: Vec<OffloadDemand> = (0..64).map(|_| mix.sample(&mut b)).collect();
+        assert_eq!(demands, replay, "same seed must sample the same demands");
+        // All three pilot kernels appear, inputs are nonzero and bounded.
+        for kernel in ["video-motion-detect", "tls-handshake", "frame-classify"] {
+            assert!(
+                demands.iter().any(|d| d.kernel == kernel),
+                "kernel {kernel} never sampled"
+            );
+        }
+        for d in &demands {
+            assert!(!d.input.is_zero(), "{}: empty input", d.kernel);
+            assert!(d.input <= ByteSize::from_gib(32), "{}: oversized", d.kernel);
+            assert!(!d.bitstream.is_zero());
+        }
+        // Individual pilot demands carry their model's sizing.
+        let video = mix.video.offload_demand(100.0);
+        assert_eq!(video.input, mix.video.memory_demand(100.0));
+        let capped = mix.video.offload_demand(1_000_000.0);
+        assert_eq!(capped.input, ByteSize::from_gib(8));
+        let net = mix.network.offload_demand(SimDuration::from_secs(2));
+        assert_eq!(
+            net.input,
+            mix.network.offline_buffer(SimDuration::from_secs(2))
+        );
+        assert!(mix.nfv.offload_demand(15.0).input > mix.nfv.offload_demand(3.0).input);
     }
 
     #[test]

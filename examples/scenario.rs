@@ -5,7 +5,7 @@
 //! per-scenario reports.
 //!
 //! Run with:
-//! `cargo run --release --example scenario [seed] [rack-scale] [migration]`
+//! `cargo run --release --example scenario [seed] [rack-scale] [migration] [offload]`
 //!
 //! Passing `rack-scale` additionally replays the 256-compute-brick / 4096-VM
 //! control-plane stress scenario (the capacity-index hot path) and checks
@@ -13,7 +13,10 @@
 //! consolidation and hotspot-evacuation scenarios — the live-migration flow
 //! (memory resident on the dMEMBRICKs, only compute state moves) against
 //! its conventional pre-copy / scale-out counterfactuals — with the same
-//! determinism check.
+//! determinism check. Passing `offload` replays the offload-heavy scenario —
+//! near-data dACCELBRICK sessions against the stream-to-the-dCOMPUBRICK
+//! counterfactual, with bitstream reuse vs reprogram counts — likewise
+//! determinism-checked.
 
 use dredbox::prelude::*;
 
@@ -22,6 +25,7 @@ fn main() -> Result<(), SystemError> {
     let seed = args.iter().find_map(|a| a.parse().ok()).unwrap_or(2018);
     let with_rack_scale = args.iter().any(|a| a == "rack-scale");
     let with_migration = args.iter().any(|a| a == "migration");
+    let with_offload = args.iter().any(|a| a == "offload");
 
     let suite = run_builtin_suite(seed)?;
     println!("{suite}");
@@ -47,6 +51,19 @@ fn main() -> Result<(), SystemError> {
                 spec.name, report.migrations, report.bricks_powered_off
             );
         }
+    }
+
+    if with_offload {
+        let spec = ScenarioSpec::offload_heavy();
+        let report = spec.run(seed)?;
+        println!("\n{report}");
+        let replay = spec.run(seed)?;
+        assert_eq!(report, replay, "offload-heavy same-seed replay diverged");
+        println!(
+            "determinism check: offload-heavy replay with seed {seed} was identical \
+             ({} sessions, {} bitstream reuses, {} programs, {} wakes)",
+            report.offloads, report.bitstream_reuses, report.bitstream_programs, report.accel_wakes
+        );
     }
 
     if with_rack_scale {

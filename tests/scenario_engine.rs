@@ -113,13 +113,14 @@ fn rack_scale_scenario_stresses_the_control_plane_deterministically() {
     let util = a.pool_utilization.as_ref().expect("utilization sampled");
     assert!(util.max() > 0.5, "pool never filled: {}", util.max());
 
-    // The extended suite carries it alongside the four quick scenarios and
-    // the two migration scenarios.
+    // The extended suite carries it alongside the four quick scenarios,
+    // the two migration scenarios and the offload scenario.
     let extended = ScenarioSpec::extended_suite();
-    assert_eq!(extended.len(), 7);
+    assert_eq!(extended.len(), 8);
     assert_eq!(extended[4].name, "rack-scale");
     assert_eq!(extended[5].name, "consolidation");
     assert_eq!(extended[6].name, "hotspot-evacuation");
+    assert_eq!(extended[7].name, "offload-heavy");
 }
 
 #[test]
@@ -217,6 +218,76 @@ fn hotspot_evacuation_spreads_load_and_reports_the_scaleout_counterfactual() {
         downtime.max(),
         scaleout.min()
     );
+}
+
+#[test]
+fn offload_heavy_replays_bit_identically_at_fixed_seeds() {
+    let spec = ScenarioSpec::offload_heavy();
+    for seed in [2018u64, 7] {
+        let a = spec.run(seed).expect("offload-heavy runs");
+        let b = spec.run(seed).expect("offload-heavy runs");
+        assert_eq!(
+            a, b,
+            "offload-heavy must replay bit-identically at seed {seed}"
+        );
+        assert_eq!(
+            a.to_string(),
+            b.to_string(),
+            "rendered report must be byte-identical at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn offload_heavy_reports_utilization_reuse_and_the_counterfactual() {
+    for seed in [2018u64, 7] {
+        let report = ScenarioSpec::offload_heavy()
+            .run(seed)
+            .expect("offload-heavy runs");
+        assert!(report.admitted > 0);
+        assert!(report.offloads > 0, "seed {seed}: no offload session began");
+        assert!(report.offloads_completed > 0, "seed {seed}");
+
+        // The dACCELBRICKs genuinely work: nonzero utilization, with both
+        // bitstream reuse and PCAP (re)programming occurring — the reuse
+        // vs thrash picture the report carries.
+        let util = report
+            .accel_utilization
+            .as_ref()
+            .expect("accel utilization sampled");
+        assert!(util.max() > 0.0, "seed {seed}: accelerators never busy");
+        assert!(
+            report.bitstream_reuses > 0,
+            "seed {seed}: no bitstream reuse"
+        );
+        assert!(
+            report.bitstream_programs > 0,
+            "seed {seed}: nothing programmed"
+        );
+        // Power sweeps interact with offload: sleeping accelerators lose
+        // their bitstreams, so later sessions wake and reprogram them.
+        assert!(report.accel_wakes > 0, "seed {seed}: no accelerator woken");
+        assert!(
+            report.bitstream_reuses > report.bitstream_programs,
+            "seed {seed}: three kernels over four accelerators should mostly reuse"
+        );
+
+        // The near-data counterfactual: streaming to the dCOMPUBRICK and
+        // scanning in software costs more than offloading, on average.
+        let offload = report.offload_time.as_ref().expect("offload timed");
+        let local = report
+            .offload_local_counterfactual
+            .as_ref()
+            .expect("counterfactual recorded");
+        assert!(
+            offload.mean() < local.mean(),
+            "seed {seed}: offload ({:.3} s) must beat local compute ({:.3} s)",
+            offload.mean(),
+            local.mean()
+        );
+        assert_eq!(offload.count(), local.count());
+        assert_eq!(offload.count() as u64, report.offloads);
+    }
 }
 
 #[test]
