@@ -1,0 +1,133 @@
+//! Criterion bench for the discrete-event engine itself, tracked in
+//! `BENCH_engine.json` (set `CRITERION_SUMMARY_JSON`).
+//!
+//! Three groups:
+//!
+//! * `engine/scenario_replay` — full closed-loop scenario replays
+//!   (steady-state and the 4096-arrival rack-scale control-plane stress
+//!   case) timed end to end. The benchmark id carries the replay's event
+//!   count, so `events * 1e9 / median_ns_per_iter` is the headline
+//!   events-per-second figure.
+//! * `engine/scenario_sharding` — the same steady-state replay under both
+//!   [`ShardingMode`]s. One rack resolves to one shard either way, so this
+//!   tracks the overhead of the sharded calendar machinery itself.
+//! * `engine/synthetic_relay` — a pure engine trace with no system model
+//!   behind it: self-rescheduling event chains, one per shard, with every
+//!   eighth hop crossing shards through the timestamped mailbox. Run at
+//!   1 / 2 / 4 shards over 100k events, this isolates calendar + mailbox
+//!   cost from scenario work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dredbox::prelude::*;
+
+/// A synthetic relay world: each event carries a countdown and reschedules
+/// itself one nanosecond later until it reaches zero; every eighth hop on a
+/// multi-shard engine crosses to the next shard through the mailbox instead.
+struct Relay {
+    shards: u32,
+    hops: u64,
+}
+
+impl ShardedProcess for Relay {
+    type Event = u64;
+
+    fn handle(
+        &mut self,
+        shard: ShardId,
+        now: SimTime,
+        event: u64,
+        ctx: &mut ShardContext<'_, u64>,
+    ) {
+        self.hops += 1;
+        if event == 0 {
+            return;
+        }
+        let at = now + SimDuration::from_nanos(1);
+        if self.shards > 1 && self.hops % 8 == 0 {
+            ctx.send(ShardId((shard.0 + 1) % self.shards), at, event - 1);
+        } else {
+            ctx.schedule(at, event - 1);
+        }
+    }
+}
+
+/// Drives `total` events through a `shards`-shard engine and returns the
+/// processed count (asserted, so a scheduling bug fails the bench loudly).
+fn run_relay(shards: u32, total: u64) -> u64 {
+    let mut engine = ShardedEngine::new(shards as usize);
+    let per_chain = total / u64::from(shards);
+    for s in 0..shards {
+        engine.schedule(ShardId(s), SimTime::ZERO, per_chain - 1);
+    }
+    let mut world = Relay { shards, hops: 0 };
+    let outcome = engine.run(&mut world);
+    assert_eq!(outcome, RunOutcome::Drained);
+    assert_eq!(engine.processed(), per_chain * u64::from(shards));
+    engine.processed()
+}
+
+fn bench_scenario_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/scenario_replay");
+    for spec in [ScenarioSpec::steady_state(), ScenarioSpec::rack_scale()] {
+        // Declaring the replay's event count as throughput puts the
+        // headline events-per-second figure in the report and summary JSON.
+        let events = spec.run(2018).expect("scenario runs").events;
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(
+            BenchmarkId::new(&spec.name, format!("{events}_events")),
+            &spec,
+            |b, spec| b.iter(|| black_box(spec.run(2018).expect("scenario runs"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_system_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/system_build");
+    for spec in [ScenarioSpec::steady_state(), ScenarioSpec::rack_scale()] {
+        group.bench_with_input(BenchmarkId::from_parameter(&spec.name), &spec, |b, spec| {
+            b.iter(|| black_box(DredboxSystem::build(spec.system.clone()).expect("builds")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scenario_sharding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/scenario_sharding");
+    for mode in [ShardingMode::Single, ShardingMode::PerRack] {
+        let mut spec = ScenarioSpec::steady_state();
+        spec.sharding = mode;
+        group.throughput(Throughput::Elements(
+            spec.run(2018).expect("scenario runs").events,
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("steady-state", format!("{mode:?}")),
+            &spec,
+            |b, spec| b.iter(|| black_box(spec.run(2018).expect("scenario runs"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_synthetic_relay(c: &mut Criterion) {
+    const TOTAL: u64 = 100_000;
+    let mut group = c.benchmark_group("engine/synthetic_relay_100k_events");
+    group.throughput(Throughput::Elements(TOTAL));
+    for shards in [1u32, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| black_box(run_relay(shards, TOTAL)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scenario_replay,
+    bench_system_build,
+    bench_scenario_sharding,
+    bench_synthetic_relay
+);
+criterion_main!(benches);

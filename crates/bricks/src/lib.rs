@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod accel;
+pub mod brick_map;
 pub mod catalog;
 pub mod compute;
 pub mod error;
@@ -45,6 +46,7 @@ pub mod resources;
 pub mod tray;
 
 pub use accel::{AcceleratorBrick, AcceleratorSlot, Bitstream};
+pub use brick_map::BrickMap;
 pub use catalog::Catalog;
 pub use compute::{ComputeBrick, ComputeBrickSpec};
 pub use error::BrickError;

@@ -1,6 +1,7 @@
 //! Racks: collections of trays interconnected by the optical network.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 use dredbox_sim::units::{ByteSize, Watts};
 
@@ -18,10 +19,24 @@ use crate::tray::{Brick, Tray};
 /// assert_eq!(rack.brick_count(BrickKind::Compute), 8);
 /// assert!(rack.total_memory_pool().as_gib() > 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Rack {
     id: RackId,
     trays: Vec<Tray>,
+    /// Tray-position hints for brick lookups, so the per-event
+    /// [`Rack::brick_mut`] calls of a rack-scale replay are an index probe
+    /// plus a tray-local scan instead of a walk over every brick. Purely an
+    /// accelerator: a stale hint (a brick unplugged through
+    /// [`Rack::trays_mut`]) falls back to the full scan, which refreshes it.
+    #[serde(skip)]
+    tray_hints: BTreeMap<BrickId, usize>,
+}
+
+/// Hints are derived state; rack equality is the trays' contents.
+impl PartialEq for Rack {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.trays == other.trays
+    }
 }
 
 impl Rack {
@@ -30,6 +45,7 @@ impl Rack {
         Rack {
             id,
             trays: Vec::new(),
+            tray_hints: BTreeMap::new(),
         }
     }
 
@@ -40,6 +56,10 @@ impl Rack {
 
     /// Adds a tray to the rack.
     pub fn add_tray(&mut self, tray: Tray) {
+        let idx = self.trays.len();
+        for brick in tray.bricks() {
+            self.tray_hints.insert(brick.id(), idx);
+        }
         self.trays.push(tray);
     }
 
@@ -70,12 +90,29 @@ impl Rack {
 
     /// Finds a brick anywhere in the rack.
     pub fn brick(&self, id: BrickId) -> Option<&Brick> {
+        if let Some(&t) = self.tray_hints.get(&id) {
+            if let Some(brick) = self.trays.get(t).and_then(|tray| tray.brick(id)) {
+                return Some(brick);
+            }
+        }
         self.bricks().find(|b| b.id() == id)
     }
 
     /// Finds a brick mutably anywhere in the rack.
     pub fn brick_mut(&mut self, id: BrickId) -> Option<&mut Brick> {
-        self.bricks_mut().find(|b| b.id() == id)
+        // Validate the hint with a shared probe first, so the mutable borrow
+        // of the hinted tray never blocks the fallback scan below.
+        let hinted = self.tray_hints.get(&id).copied().filter(|&t| {
+            self.trays
+                .get(t)
+                .is_some_and(|tray| tray.brick(id).is_some())
+        });
+        if let Some(t) = hinted {
+            return self.trays[t].brick_mut(id);
+        }
+        let pos = self.trays.iter().position(|t| t.brick(id).is_some())?;
+        self.tray_hints.insert(id, pos);
+        self.trays[pos].brick_mut(id)
     }
 
     /// Finds a brick mutably, returning an error if it does not exist.

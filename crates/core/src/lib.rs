@@ -64,7 +64,7 @@ pub mod system;
 pub use config::SystemConfig;
 pub use scenario::{
     run_builtin_suite, ArrivalModel, ChurnModel, ControlPlaneQueue, MigrationPolicy, OffloadPlan,
-    QueueAdmission, ScenarioReport, ScenarioSpec, SuiteReport,
+    QueueAdmission, ScenarioReport, ScenarioSpec, ShardingMode, SuiteReport,
 };
 pub use system::{
     DredboxSystem, MigrationReport, OffloadReport, ScaleUpReport, SystemError, VmHandle,
@@ -87,7 +87,7 @@ pub mod prelude {
     pub use crate::experiments;
     pub use crate::scenario::{
         run_builtin_suite, ArrivalModel, ChurnModel, ControlPlaneQueue, MigrationPolicy,
-        OffloadPlan, QueueAdmission, ScenarioReport, ScenarioSpec, SuiteReport,
+        OffloadPlan, QueueAdmission, ScenarioReport, ScenarioSpec, ShardingMode, SuiteReport,
     };
     pub use crate::system::{
         DredboxSystem, MigrationReport, OffloadReport, ScaleUpReport, SystemError, VmHandle,

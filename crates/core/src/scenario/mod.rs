@@ -11,6 +11,15 @@
 //! `dredbox-interconnect` data-path models, and emits per-scenario
 //! [`Summary`]/[`Table`] reports.
 //!
+//! The module splits in two: this file holds the declarative side — specs,
+//! suites, validation and report types — while [`world`] (private) holds the
+//! state machine the engine drives. Replays run on the
+//! [`ShardedEngine`]: each shard owns its own event calendar and
+//! control-plane queue, and the [`ScenarioSpec::sharding`] mode says how the
+//! system maps onto shards. The workspace models a single rack today, so
+//! both modes resolve to one shard and the engine degenerates to the flat
+//! event loop — bit for bit.
+//!
 //! Four built-in scenarios ship with the engine (see
 //! [`ScenarioSpec::builtin_suite`]):
 //!
@@ -44,10 +53,11 @@
 //!   counterfactual.
 //!
 //! Every SDM request of a replay — admissions, scale-ups/downs, releases,
-//! migrations, offload begins/ends — is serialized through a
-//! [`ControlPlaneQueue`]: the controller is a single autonomous service, so
-//! concurrent events queue and pay a per-queued-request contention penalty
-//! on top of their own service time.
+//! migrations, offload begins/ends — is serialized through its shard's
+//! [`ControlPlaneQueue`]: the controller is a single autonomous service per
+//! shard, so concurrent events queue and pay a per-queued-request contention
+//! penalty on top of their own service time. Power sweeps batch per shard
+//! per tick: each shard's periodic sweep covers exactly its own bricks.
 //!
 //! Replays are deterministic: the same spec and seed produce a bit-identical
 //! [`ScenarioReport`].
@@ -63,27 +73,27 @@
 //! # Ok::<(), dredbox::SystemError>(())
 //! ```
 
+mod world;
+
 use serde::{Deserialize, Serialize};
 
-use dredbox_bricks::BrickId;
-use dredbox_orchestrator::OffloadSessionId;
 use dredbox_orchestrator::PlacementPolicy;
-use dredbox_sim::engine::{Engine, Process, RunOutcome};
-use dredbox_sim::event::EventQueue;
+use dredbox_sim::engine::RunOutcome;
 pub use dredbox_sim::queue::{ControlPlaneQueue, QueueAdmission};
 use dredbox_sim::report::{Row, Table};
 use dredbox_sim::rng::SimRng;
+use dredbox_sim::shard::{ShardId, ShardedEngine};
 use dredbox_sim::stats::Summary;
 use dredbox_sim::time::{SimDuration, SimTime};
-use dredbox_sim::units::ByteSize;
 use dredbox_softstack::ScaleOutBaseline;
 use dredbox_workload::{
-    ArrivalTrace, BurstTrace, DiurnalPattern, LifetimeModel, PilotOffloadMix, VmDemand,
-    WorkloadConfig,
+    ArrivalTrace, BurstTrace, DiurnalPattern, LifetimeModel, PilotOffloadMix, WorkloadConfig,
 };
 
 use crate::config::SystemConfig;
-use crate::system::{DredboxSystem, MigrationReport, OffloadReport, SystemError, VmHandle};
+use crate::system::{DredboxSystem, SystemError};
+
+use world::{ScenarioEvent, ScenarioWorld};
 
 /// How VM arrivals are laid out over simulated time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -182,6 +192,34 @@ impl MigrationPolicy {
     }
 }
 
+/// How a scenario partitions its event calendar across engine shards.
+///
+/// The shard boundary is the rack: bricks never share state across racks
+/// (every data path, capacity index and power domain is rack-local), so a
+/// rack's events can run on their own calendar and only explicitly
+/// timestamped cross-rack messages — none today — cross shards. The
+/// workspace models a single rack, so both modes currently resolve to one
+/// shard and replays are bit-identical between them; [`ShardingMode::PerRack`]
+/// is where multi-rack configurations will fan out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ShardingMode {
+    /// One calendar for the whole system, whatever its size.
+    Single,
+    /// One calendar (and one control-plane queue) per rack.
+    #[default]
+    PerRack,
+}
+
+impl ShardingMode {
+    /// Number of engine shards for a system spanning `racks` racks.
+    pub fn shard_count(self, racks: usize) -> u32 {
+        match self {
+            ShardingMode::Single => 1,
+            ShardingMode::PerRack => racks.max(1) as u32,
+        }
+    }
+}
+
 /// One closed-loop scenario: a rack configuration plus the trace replayed
 /// against it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -212,6 +250,8 @@ pub struct ScenarioSpec {
     pub power_sweep_every: Option<SimDuration>,
     /// Hard cap on processed events (runaway guard).
     pub event_budget: u64,
+    /// How the replay maps onto engine shards.
+    pub sharding: ShardingMode,
 }
 
 impl ScenarioSpec {
@@ -238,6 +278,7 @@ impl ScenarioSpec {
             horizon: SimTime::from_secs(2 * 3_600),
             power_sweep_every: Some(SimDuration::from_secs(600)),
             event_budget: 100_000,
+            sharding: ShardingMode::PerRack,
         }
     }
 
@@ -265,6 +306,7 @@ impl ScenarioSpec {
             horizon: SimTime::from_secs(24 * 3_600),
             power_sweep_every: Some(SimDuration::from_secs(3_600)),
             event_budget: 100_000,
+            sharding: ShardingMode::PerRack,
         }
     }
 
@@ -289,6 +331,7 @@ impl ScenarioSpec {
             horizon: SimTime::from_secs(3_600),
             power_sweep_every: Some(SimDuration::from_secs(300)),
             event_budget: 100_000,
+            sharding: ShardingMode::PerRack,
         }
     }
 
@@ -318,6 +361,7 @@ impl ScenarioSpec {
             horizon: SimTime::from_secs(2 * 3_600),
             power_sweep_every: Some(SimDuration::from_secs(900)),
             event_budget: 100_000,
+            sharding: ShardingMode::PerRack,
         }
     }
 
@@ -353,6 +397,7 @@ impl ScenarioSpec {
             horizon: SimTime::from_secs(4 * 3_600),
             power_sweep_every: Some(SimDuration::from_secs(600)),
             event_budget: 200_000,
+            sharding: ShardingMode::PerRack,
         }
     }
 
@@ -389,6 +434,7 @@ impl ScenarioSpec {
             horizon: SimTime::from_secs(2 * 3_600),
             power_sweep_every: Some(SimDuration::from_secs(900)),
             event_budget: 100_000,
+            sharding: ShardingMode::PerRack,
         }
     }
 
@@ -421,6 +467,7 @@ impl ScenarioSpec {
             horizon: SimTime::from_secs(3_600),
             power_sweep_every: Some(SimDuration::from_secs(600)),
             event_budget: 100_000,
+            sharding: ShardingMode::PerRack,
         }
     }
 
@@ -458,6 +505,7 @@ impl ScenarioSpec {
             horizon: SimTime::from_secs(2 * 3_600),
             power_sweep_every: Some(SimDuration::from_secs(600)),
             event_budget: 100_000,
+            sharding: ShardingMode::PerRack,
         }
     }
 
@@ -520,38 +568,35 @@ impl ScenarioSpec {
             ),
         };
 
-        let mut engine = Engine::new()
+        // The workspace models a single rack, so both sharding modes
+        // resolve to one shard today.
+        let shards = self.sharding.shard_count(1);
+        let mut engine = ShardedEngine::new(shards as usize)
             .with_horizon(self.horizon)
             .with_event_budget(self.event_budget);
+        // The workload front door (arrivals, rebalances) lives on shard 0;
+        // each shard sweeps its own bricks on its own calendar.
         for (index, at) in arrivals.iter().enumerate() {
-            engine.schedule(*at, ScenarioEvent::Arrival { index });
+            engine.schedule(ShardId(0), *at, ScenarioEvent::Arrival { index });
         }
         if let Some(every) = self.power_sweep_every {
-            engine.schedule(SimTime::ZERO + every, ScenarioEvent::PowerSweep);
+            for shard in 0..shards {
+                engine.schedule(
+                    ShardId(shard),
+                    SimTime::ZERO + every,
+                    ScenarioEvent::PowerSweep,
+                );
+            }
         }
         if let Some(policy) = &self.migration {
-            engine.schedule(SimTime::ZERO + policy.every(), ScenarioEvent::Rebalance);
+            engine.schedule(
+                ShardId(0),
+                SimTime::ZERO + policy.every(),
+                ScenarioEvent::Rebalance,
+            );
         }
 
-        let control_plane = ControlPlaneQueue::new(self.system.sdm_timings.queued_request_penalty);
-        let mut world = ScenarioWorld {
-            spec: self,
-            system,
-            demands,
-            rng: rng.fork(3),
-            counters: Counters::default(),
-            control_plane,
-            scale_up_delays_s: Vec::new(),
-            read_latencies_ns: Vec::new(),
-            utilization: Vec::new(),
-            migration_downtime_s: Vec::new(),
-            precopy_counterfactual_s: Vec::new(),
-            scaleout_counterfactual_s: Vec::new(),
-            control_plane_wait_s: Vec::new(),
-            offload_time_s: Vec::new(),
-            offload_local_counterfactual_s: Vec::new(),
-            accel_utilization: Vec::new(),
-        };
+        let mut world = ScenarioWorld::new(self, system, demands, rng.fork(3), shards);
         let outcome = engine.run(&mut world);
         Ok(world.finish(outcome, engine.now(), engine.processed()))
     }
@@ -641,481 +686,6 @@ pub fn run_builtin_suite(seed: u64) -> Result<SuiteReport, SystemError> {
     Ok(SuiteReport { seed, reports })
 }
 
-/// Events driving one scenario replay.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ScenarioEvent {
-    /// The `index`-th VM of the trace arrives and requests admission.
-    Arrival { index: usize },
-    /// A churning VM grows by `amount` through the Scale-up API.
-    ScaleUp {
-        vm: VmHandle,
-        remaining: u32,
-        amount: ByteSize,
-    },
-    /// A churning VM gives `amount` back.
-    ScaleDown {
-        vm: VmHandle,
-        remaining: u32,
-        amount: ByteSize,
-    },
-    /// The VM's lifetime ends; all its resources return to the pool.
-    Departure { vm: VmHandle },
-    /// A VM issues a near-data offload request per the spec's
-    /// [`OffloadPlan`].
-    OffloadBegin { vm: VmHandle, remaining: u32 },
-    /// An offload session ends; the accelerator's streaming slot frees.
-    OffloadEnd {
-        vm: VmHandle,
-        session: OffloadSessionId,
-        remaining: u32,
-    },
-    /// Periodic power-management sweep over the rack.
-    PowerSweep,
-    /// Periodic migration/rebalance pass per the spec's
-    /// [`MigrationPolicy`].
-    Rebalance,
-}
-
-/// Plain event counters of one replay.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct Counters {
-    admitted: u64,
-    rejected: u64,
-    live: u64,
-    peak_live: u64,
-    departed: u64,
-    scale_ups: u64,
-    scale_up_failures: u64,
-    scale_downs: u64,
-    power_sweeps: u64,
-    bricks_powered_off: u64,
-    rebalances: u64,
-    migrations: u64,
-    migration_failures: u64,
-    evacuations: u64,
-    offloads: u64,
-    offload_failures: u64,
-    offloads_completed: u64,
-    bitstream_reuses: u64,
-    bitstream_programs: u64,
-    accel_wakes: u64,
-}
-
-/// The mutable world the discrete-event engine drives.
-struct ScenarioWorld<'a> {
-    spec: &'a ScenarioSpec,
-    system: DredboxSystem,
-    demands: Vec<VmDemand>,
-    rng: SimRng,
-    counters: Counters,
-    /// Serializes every SDM request of the replay (admissions, scale-ups,
-    /// releases, migrations) through the single controller.
-    control_plane: ControlPlaneQueue,
-    scale_up_delays_s: Vec<f64>,
-    read_latencies_ns: Vec<f64>,
-    utilization: Vec<f64>,
-    migration_downtime_s: Vec<f64>,
-    precopy_counterfactual_s: Vec<f64>,
-    scaleout_counterfactual_s: Vec<f64>,
-    control_plane_wait_s: Vec<f64>,
-    offload_time_s: Vec<f64>,
-    offload_local_counterfactual_s: Vec<f64>,
-    accel_utilization: Vec<f64>,
-}
-
-impl ScenarioWorld<'_> {
-    /// Charges the configured number of remote reads (of mixed transfer
-    /// sizes) through the interconnect latency model.
-    fn charge_reads(&mut self) {
-        const READ_SIZES: [u64; 4] = [64, 256, 1_024, 4_096];
-        for _ in 0..self.spec.reads_per_vm {
-            let size = *self.rng.choose(&READ_SIZES).expect("sizes non-empty");
-            let breakdown = self.system.remote_read_latency(ByteSize::from_bytes(size));
-            self.read_latencies_ns
-                .push(breakdown.total().as_nanos() as f64);
-        }
-    }
-
-    fn sample_utilization(&mut self) {
-        self.utilization.push(self.system.pool_utilization());
-        // Accelerator utilization is sampled only on racks that carry
-        // dACCELBRICKs, so accelerator-free scenarios report `None`.
-        if self.system.sdm().accel_brick_count() > 0 {
-            self.accel_utilization.push(self.system.accel_utilization());
-        }
-    }
-
-    /// Records one successful offload's report and counters.
-    fn record_offload(&mut self, now: SimTime, report: &OffloadReport) -> QueueAdmission {
-        let admission = self.admit_control(now, report.orchestration_delay);
-        self.counters.offloads += 1;
-        if report.reused_bitstream {
-            self.counters.bitstream_reuses += 1;
-        } else {
-            self.counters.bitstream_programs += 1;
-        }
-        if report.woke_brick {
-            self.counters.accel_wakes += 1;
-        }
-        self.offload_time_s
-            .push((admission.queue_wait + report.offload_total).as_secs_f64());
-        self.offload_local_counterfactual_s
-            .push(report.local_compute.as_secs_f64());
-        admission
-    }
-
-    fn sample_churn_amount(&mut self, churn: &ChurnModel) -> ByteSize {
-        let (lo, hi) = churn.amount_gib;
-        if lo >= hi {
-            ByteSize::from_gib(lo)
-        } else {
-            ByteSize::from_gib(self.rng.range(lo..=hi))
-        }
-    }
-
-    /// Serializes one SDM request through the control-plane queue and
-    /// records its queueing delay.
-    fn admit_control(&mut self, now: SimTime, service: SimDuration) -> QueueAdmission {
-        let admission = self.control_plane.admit(now, service);
-        self.control_plane_wait_s
-            .push(admission.queue_wait.as_secs_f64());
-        admission
-    }
-
-    /// Runs one migration through the system and the control-plane queue,
-    /// recording downtime and the pre-copy counterfactual. Returns whether
-    /// the migration happened.
-    fn try_migrate(&mut self, now: SimTime, vm: VmHandle, target: BrickId) -> bool {
-        match self.system.migrate_vm(vm, target) {
-            Ok(report) => {
-                self.record_migration(now, &report);
-                true
-            }
-            Err(_) => {
-                self.counters.migration_failures += 1;
-                false
-            }
-        }
-    }
-
-    fn record_migration(&mut self, now: SimTime, report: &MigrationReport) {
-        let admission = self.admit_control(now, report.orchestration_delay);
-        self.counters.migrations += 1;
-        self.migration_downtime_s
-            .push((admission.queue_wait + report.downtime).as_secs_f64());
-        self.precopy_counterfactual_s
-            .push(report.conventional_precopy.as_secs_f64());
-    }
-
-    /// One rebalance pass per the spec's migration policy.
-    fn rebalance(&mut self, now: SimTime, policy: MigrationPolicy) {
-        self.counters.rebalances += 1;
-        match policy {
-            MigrationPolicy::Consolidate {
-                spare_below,
-                max_moves,
-                ..
-            } => {
-                let mut moved = 0usize;
-                'sources: for brick in self.system.sparse_bricks(spare_below) {
-                    for vm in self.system.vms_on(brick) {
-                        if moved >= max_moves {
-                            break 'sources;
-                        }
-                        let Some(target) = self.system.consolidation_target(vm) else {
-                            continue;
-                        };
-                        if self.try_migrate(now, vm, target) {
-                            moved += 1;
-                        }
-                    }
-                }
-            }
-            MigrationPolicy::EvacuateHotspot {
-                saturated_at,
-                baseline,
-                ..
-            } => {
-                let Some(hot) = self.system.hotspot_brick(saturated_at) else {
-                    return;
-                };
-                let mut evacuated = 0usize;
-                for vm in self.system.vms_on(hot) {
-                    let Some(target) = self.system.evacuation_target(vm) else {
-                        self.counters.migration_failures += 1;
-                        continue;
-                    };
-                    if self.try_migrate(now, vm, target) {
-                        evacuated += 1;
-                    }
-                }
-                if evacuated > 0 {
-                    self.counters.evacuations += 1;
-                    // The counterfactual: conventional elasticity would
-                    // spread the load by provisioning as many fresh VMs
-                    // through the cloud control plane.
-                    for delay in baseline.provision_burst(evacuated, &mut self.rng) {
-                        self.scaleout_counterfactual_s.push(delay.as_secs_f64());
-                    }
-                }
-            }
-        }
-    }
-
-    fn finish(self, outcome: RunOutcome, end: SimTime, events: u64) -> ScenarioReport {
-        let c = self.counters;
-        ScenarioReport {
-            name: self.spec.name.clone(),
-            outcome,
-            end,
-            events,
-            admitted: c.admitted,
-            rejected: c.rejected,
-            peak_live: c.peak_live,
-            departed: c.departed,
-            scale_ups: c.scale_ups,
-            scale_up_failures: c.scale_up_failures,
-            scale_downs: c.scale_downs,
-            power_sweeps: c.power_sweeps,
-            bricks_powered_off: c.bricks_powered_off,
-            rebalances: c.rebalances,
-            migrations: c.migrations,
-            migration_failures: c.migration_failures,
-            evacuations: c.evacuations,
-            offloads: c.offloads,
-            offload_failures: c.offload_failures,
-            offloads_completed: c.offloads_completed,
-            bitstream_reuses: c.bitstream_reuses,
-            bitstream_programs: c.bitstream_programs,
-            accel_wakes: c.accel_wakes,
-            control_plane_peak_queue: self.control_plane.peak_depth() as u64,
-            scale_up_delay: Summary::from_samples(&self.scale_up_delays_s),
-            read_latency: Summary::from_samples(&self.read_latencies_ns),
-            pool_utilization: Summary::from_samples(&self.utilization),
-            migration_downtime: Summary::from_samples(&self.migration_downtime_s),
-            precopy_counterfactual: Summary::from_samples(&self.precopy_counterfactual_s),
-            scaleout_counterfactual: Summary::from_samples(&self.scaleout_counterfactual_s),
-            control_plane_wait: Summary::from_samples(&self.control_plane_wait_s),
-            offload_time: Summary::from_samples(&self.offload_time_s),
-            offload_local_counterfactual: Summary::from_samples(
-                &self.offload_local_counterfactual_s,
-            ),
-            accel_utilization: Summary::from_samples(&self.accel_utilization),
-        }
-    }
-}
-
-impl Process for ScenarioWorld<'_> {
-    type Event = ScenarioEvent;
-
-    fn handle(
-        &mut self,
-        now: SimTime,
-        event: ScenarioEvent,
-        queue: &mut EventQueue<ScenarioEvent>,
-    ) {
-        match event {
-            ScenarioEvent::Arrival { index } => {
-                let demand = self.demands[index];
-                match self.system.allocate_vm(demand.vcpus, demand.memory) {
-                    Ok(vm) => {
-                        self.counters.admitted += 1;
-                        self.counters.live += 1;
-                        self.counters.peak_live = self.counters.peak_live.max(self.counters.live);
-                        // Serialize the admission through the SDM controller
-                        // queue: its lifetime starts once the control plane
-                        // actually finished configuring it.
-                        let service = self.system.admission_service_time(vm).unwrap_or_default();
-                        let admission = self.admit_control(now, service);
-                        self.charge_reads();
-                        let lifetime = self.spec.lifetime.sample(&mut self.rng);
-                        queue.schedule(
-                            admission.completion + lifetime,
-                            ScenarioEvent::Departure { vm },
-                        );
-                        if let Some(churn) = self.spec.churn {
-                            if churn.cycles_per_vm > 0 {
-                                let amount = self.sample_churn_amount(&churn);
-                                queue.schedule(
-                                    admission.completion + churn.hold,
-                                    ScenarioEvent::ScaleUp {
-                                        vm,
-                                        remaining: churn.cycles_per_vm,
-                                        amount,
-                                    },
-                                );
-                            }
-                        }
-                        if let Some(plan) = self.spec.offload {
-                            if plan.sessions_per_vm > 0 {
-                                queue.schedule(
-                                    admission.completion + plan.start_after,
-                                    ScenarioEvent::OffloadBegin {
-                                        vm,
-                                        remaining: plan.sessions_per_vm,
-                                    },
-                                );
-                            }
-                        }
-                    }
-                    Err(_) => {
-                        self.counters.rejected += 1;
-                        // Rejections still occupy the controller for the
-                        // request parse + availability inspection.
-                        let timings = self.spec.system.sdm_timings;
-                        self.admit_control(now, timings.request_rpc + timings.availability_check);
-                    }
-                }
-                self.sample_utilization();
-            }
-            ScenarioEvent::ScaleUp {
-                vm,
-                remaining,
-                amount,
-            } => {
-                match self.system.scale_up(vm, amount) {
-                    Ok(report) => {
-                        let admission = self.admit_control(now, report.orchestration_delay);
-                        self.counters.scale_ups += 1;
-                        self.scale_up_delays_s
-                            .push((admission.queue_wait + report.total_delay).as_secs_f64());
-                        if let Some(churn) = self.spec.churn {
-                            queue.schedule(
-                                admission.completion + churn.hold,
-                                ScenarioEvent::ScaleDown {
-                                    vm,
-                                    remaining,
-                                    amount,
-                                },
-                            );
-                        }
-                    }
-                    // The VM departed before its churn fired: not a failure.
-                    Err(SystemError::NoSuchVm { .. }) => {}
-                    Err(_) => self.counters.scale_up_failures += 1,
-                }
-                self.sample_utilization();
-            }
-            ScenarioEvent::ScaleDown {
-                vm,
-                remaining,
-                amount,
-            } => {
-                if let Ok(report) = self.system.scale_down(vm, amount) {
-                    let admission = self.admit_control(now, report.orchestration_delay);
-                    self.counters.scale_downs += 1;
-                    if remaining > 1 {
-                        if let Some(churn) = self.spec.churn {
-                            let next = self.sample_churn_amount(&churn);
-                            queue.schedule(
-                                admission.completion + churn.hold,
-                                ScenarioEvent::ScaleUp {
-                                    vm,
-                                    remaining: remaining - 1,
-                                    amount: next,
-                                },
-                            );
-                        }
-                    }
-                }
-                self.sample_utilization();
-            }
-            ScenarioEvent::Departure { vm } => {
-                if self.system.release_vm(vm).is_ok() {
-                    self.counters.departed += 1;
-                    self.counters.live -= 1;
-                    let timings = self.spec.system.sdm_timings;
-                    self.admit_control(now, timings.request_rpc + timings.reservation_write);
-                }
-                self.sample_utilization();
-            }
-            ScenarioEvent::OffloadBegin { vm, remaining } => {
-                let Some(plan) = self.spec.offload else {
-                    return;
-                };
-                let demand = plan.mix.sample(&mut self.rng);
-                match self.system.begin_offload(vm, &demand) {
-                    Ok(report) => {
-                        let admission = self.record_offload(now, &report);
-                        // The session stays open at least `hold`, or as long
-                        // as the data takes to drain through the kernel —
-                        // `admission.completion` already accounts for the
-                        // orchestration, so only the data stage adds here.
-                        let data_time = report.transfer_time.max(report.kernel_time);
-                        queue.schedule(
-                            admission.completion + plan.hold.max(data_time),
-                            ScenarioEvent::OffloadEnd {
-                                vm,
-                                session: report.session,
-                                remaining,
-                            },
-                        );
-                    }
-                    // The VM departed before its offload fired: not a failure.
-                    Err(SystemError::NoSuchVm { .. }) => {}
-                    Err(_) => {
-                        self.counters.offload_failures += 1;
-                        // Rejections still occupy the controller for the
-                        // request parse + availability inspection...
-                        let timings = self.spec.system.sdm_timings;
-                        let admission = self
-                            .admit_control(now, timings.request_rpc + timings.availability_check);
-                        // ...and the VM retries once a streaming slot may
-                        // have freed, rather than abandoning the rest of
-                        // its offload plan (sessions end over time, so the
-                        // retry eventually lands or the VM departs).
-                        queue.schedule(
-                            admission.completion + plan.start_after,
-                            ScenarioEvent::OffloadBegin { vm, remaining },
-                        );
-                    }
-                }
-                self.sample_utilization();
-            }
-            ScenarioEvent::OffloadEnd {
-                vm,
-                session,
-                remaining,
-            } => {
-                // The VM may have departed mid-session, in which case its
-                // release already drained the session.
-                if let Ok(service) = self.system.end_offload(session) {
-                    let admission = self.admit_control(now, service);
-                    self.counters.offloads_completed += 1;
-                    if remaining > 1 {
-                        if let Some(plan) = self.spec.offload {
-                            queue.schedule(
-                                admission.completion + plan.start_after,
-                                ScenarioEvent::OffloadBegin {
-                                    vm,
-                                    remaining: remaining - 1,
-                                },
-                            );
-                        }
-                    }
-                }
-                self.sample_utilization();
-            }
-            ScenarioEvent::PowerSweep => {
-                let sweep = self.system.power_off_unused();
-                self.counters.power_sweeps += 1;
-                self.counters.bricks_powered_off += sweep.total_off() as u64;
-                self.sample_utilization();
-                if let Some(every) = self.spec.power_sweep_every {
-                    queue.schedule(now + every, ScenarioEvent::PowerSweep);
-                }
-            }
-            ScenarioEvent::Rebalance => {
-                if let Some(policy) = self.spec.migration {
-                    self.rebalance(now, policy);
-                    self.sample_utilization();
-                    queue.schedule(now + policy.every(), ScenarioEvent::Rebalance);
-                }
-            }
-        }
-    }
-}
-
 /// The result of one scenario replay: headline counters, latency/utilization
 /// summaries, and a rendered per-scenario table.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -1166,7 +736,7 @@ pub struct ScenarioReport {
     pub bitstream_programs: u64,
     /// Sessions that had to wake a sleeping accelerator.
     pub accel_wakes: u64,
-    /// Deepest the SDM control-plane queue ever got.
+    /// Deepest any shard's SDM control-plane queue ever got.
     pub control_plane_peak_queue: u64,
     /// End-to-end scale-up delay (seconds), if any scale-up ran.
     pub scale_up_delay: Option<Summary>,
@@ -1406,6 +976,26 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.to_string(), b.to_string());
         assert!(a.admitted > 0);
+    }
+
+    #[test]
+    fn sharding_modes_replay_bit_identically() {
+        // One rack means Single and PerRack both resolve to one shard; the
+        // reports (and their rendered forms) must not differ in a single
+        // bit between the modes.
+        for spec in [ScenarioSpec::steady_state(), ScenarioSpec::consolidation()] {
+            let mut single = spec.clone();
+            single.sharding = ShardingMode::Single;
+            let mut per_rack = spec;
+            per_rack.sharding = ShardingMode::PerRack;
+            let a = single.run(2018).expect("run");
+            let b = per_rack.run(2018).expect("run");
+            assert_eq!(a, b);
+            assert_eq!(format!("{a:#?}\n{a}"), format!("{b:#?}\n{b}"));
+        }
+        assert_eq!(ShardingMode::Single.shard_count(4), 1);
+        assert_eq!(ShardingMode::PerRack.shard_count(4), 4);
+        assert_eq!(ShardingMode::PerRack.shard_count(0), 1);
     }
 
     #[test]

@@ -1,0 +1,595 @@
+//! The mutable world the sharded discrete-event engine drives.
+//!
+//! This module is the state-machine half of the scenario engine: the
+//! [`ScenarioEvent`] alphabet, the per-replay [`Counters`], and
+//! [`ScenarioWorld`] — the [`ShardedProcess`] implementation that turns
+//! each popped event into calls on the [`DredboxSystem`] and schedules the
+//! follow-ups. The spec/report half lives in the parent module.
+//!
+//! Hot-path discipline: the world never clones system state per event —
+//! VM and hypervisor records are interned in slab arenas inside
+//! [`DredboxSystem`], every SDM request serializes through the firing
+//! shard's [`ControlPlaneQueue`], and power sweeps batch per shard per
+//! tick via [`DredboxSystem::power_off_unused_where`].
+
+use dredbox_bricks::BrickId;
+use dredbox_orchestrator::OffloadSessionId;
+use dredbox_sim::engine::RunOutcome;
+use dredbox_sim::queue::{ControlPlaneQueue, QueueAdmission};
+use dredbox_sim::rng::SimRng;
+use dredbox_sim::shard::{ShardContext, ShardId, ShardedProcess};
+use dredbox_sim::stats::Summary;
+use dredbox_sim::time::{SimDuration, SimTime};
+use dredbox_sim::units::ByteSize;
+use dredbox_workload::VmDemand;
+
+use crate::system::{DredboxSystem, MigrationReport, OffloadReport, SystemError, VmHandle};
+
+use super::{ChurnModel, MigrationPolicy, ScenarioReport, ScenarioSpec};
+
+/// Events driving one scenario replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum ScenarioEvent {
+    /// The `index`-th VM of the trace arrives and requests admission.
+    Arrival { index: usize },
+    /// A churning VM grows by `amount` through the Scale-up API.
+    ScaleUp {
+        vm: VmHandle,
+        remaining: u32,
+        amount: ByteSize,
+    },
+    /// A churning VM gives `amount` back.
+    ScaleDown {
+        vm: VmHandle,
+        remaining: u32,
+        amount: ByteSize,
+    },
+    /// The VM's lifetime ends; all its resources return to the pool.
+    Departure { vm: VmHandle },
+    /// A VM issues a near-data offload request per the spec's
+    /// [`OffloadPlan`](super::OffloadPlan).
+    OffloadBegin { vm: VmHandle, remaining: u32 },
+    /// An offload session ends; the accelerator's streaming slot frees.
+    OffloadEnd {
+        vm: VmHandle,
+        session: OffloadSessionId,
+        remaining: u32,
+    },
+    /// Periodic power-management sweep over the firing shard's bricks.
+    PowerSweep,
+    /// Periodic migration/rebalance pass per the spec's
+    /// [`MigrationPolicy`].
+    Rebalance,
+}
+
+/// The engine shard a brick's power management belongs to. Shards map to
+/// racks and the workspace models a single rack today, so every brick
+/// sweeps on shard 0; a multi-rack configuration would key this off the
+/// brick's rack instead.
+fn brick_shard(_brick: BrickId, _shards: u32) -> ShardId {
+    ShardId(0)
+}
+
+/// Plain event counters of one replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Counters {
+    admitted: u64,
+    rejected: u64,
+    live: u64,
+    peak_live: u64,
+    departed: u64,
+    scale_ups: u64,
+    scale_up_failures: u64,
+    scale_downs: u64,
+    power_sweeps: u64,
+    bricks_powered_off: u64,
+    rebalances: u64,
+    migrations: u64,
+    migration_failures: u64,
+    evacuations: u64,
+    offloads: u64,
+    offload_failures: u64,
+    offloads_completed: u64,
+    bitstream_reuses: u64,
+    bitstream_programs: u64,
+    accel_wakes: u64,
+}
+
+/// The remote-read transfer sizes the per-arrival read charges draw from.
+const READ_SIZES: [u64; 4] = [64, 256, 1_024, 4_096];
+
+/// The mutable world the discrete-event engine drives.
+pub(super) struct ScenarioWorld<'a> {
+    spec: &'a ScenarioSpec,
+    system: DredboxSystem,
+    demands: Vec<VmDemand>,
+    rng: SimRng,
+    counters: Counters,
+    /// Serializes every SDM request of the replay (admissions, scale-ups,
+    /// releases, migrations) — one queue per engine shard, so a sharded
+    /// control plane contends only within its own shard.
+    control_planes: Vec<ControlPlaneQueue>,
+    shards: u32,
+    scale_up_delays_s: Vec<f64>,
+    read_latencies_ns: Vec<f64>,
+    /// Precomputed remote-read latency total per [`READ_SIZES`] entry.
+    read_latency_ns: [f64; READ_SIZES.len()],
+    utilization: Vec<f64>,
+    migration_downtime_s: Vec<f64>,
+    precopy_counterfactual_s: Vec<f64>,
+    scaleout_counterfactual_s: Vec<f64>,
+    control_plane_wait_s: Vec<f64>,
+    offload_time_s: Vec<f64>,
+    offload_local_counterfactual_s: Vec<f64>,
+    accel_utilization: Vec<f64>,
+}
+
+impl<'a> ScenarioWorld<'a> {
+    /// Builds the world for one replay: `shards` control-plane queues
+    /// (each paying the spec's per-queued-request penalty) and empty
+    /// counters/metric series.
+    pub(super) fn new(
+        spec: &'a ScenarioSpec,
+        system: DredboxSystem,
+        demands: Vec<VmDemand>,
+        rng: SimRng,
+        shards: u32,
+    ) -> Self {
+        let penalty = spec.system.sdm_timings.queued_request_penalty;
+        // The remote-read latency model is pure in the transfer size, so
+        // the per-arrival read charges look the totals up instead of
+        // rebuilding a full hop-by-hop breakdown per read.
+        let read_latency_ns = READ_SIZES.map(|size| {
+            system
+                .remote_read_latency(ByteSize::from_bytes(size))
+                .total()
+                .as_nanos() as f64
+        });
+        ScenarioWorld {
+            spec,
+            system,
+            demands,
+            rng,
+            read_latency_ns,
+            counters: Counters::default(),
+            control_planes: (0..shards)
+                .map(|_| ControlPlaneQueue::new(penalty))
+                .collect(),
+            shards,
+            scale_up_delays_s: Vec::new(),
+            read_latencies_ns: Vec::new(),
+            utilization: Vec::new(),
+            migration_downtime_s: Vec::new(),
+            precopy_counterfactual_s: Vec::new(),
+            scaleout_counterfactual_s: Vec::new(),
+            control_plane_wait_s: Vec::new(),
+            offload_time_s: Vec::new(),
+            offload_local_counterfactual_s: Vec::new(),
+            accel_utilization: Vec::new(),
+        }
+    }
+
+    /// Charges the configured number of remote reads (of mixed transfer
+    /// sizes) through the interconnect latency model. The per-size totals
+    /// are precomputed at construction; the per-read size draw is unchanged.
+    fn charge_reads(&mut self) {
+        for _ in 0..self.spec.reads_per_vm {
+            let pick = self.rng.choose(&READ_SIZES).expect("sizes non-empty");
+            let slot = READ_SIZES
+                .iter()
+                .position(|s| s == pick)
+                .expect("chosen from READ_SIZES");
+            self.read_latencies_ns.push(self.read_latency_ns[slot]);
+        }
+    }
+
+    fn sample_utilization(&mut self) {
+        self.utilization.push(self.system.pool_utilization());
+        // Accelerator utilization is sampled only on racks that carry
+        // dACCELBRICKs, so accelerator-free scenarios report `None`.
+        if self.system.sdm().accel_brick_count() > 0 {
+            self.accel_utilization.push(self.system.accel_utilization());
+        }
+    }
+
+    /// Records one successful offload's report and counters.
+    fn record_offload(
+        &mut self,
+        shard: ShardId,
+        now: SimTime,
+        report: &OffloadReport,
+    ) -> QueueAdmission {
+        let admission = self.admit_control(shard, now, report.orchestration_delay);
+        self.counters.offloads += 1;
+        if report.reused_bitstream {
+            self.counters.bitstream_reuses += 1;
+        } else {
+            self.counters.bitstream_programs += 1;
+        }
+        if report.woke_brick {
+            self.counters.accel_wakes += 1;
+        }
+        self.offload_time_s
+            .push((admission.queue_wait + report.offload_total).as_secs_f64());
+        self.offload_local_counterfactual_s
+            .push(report.local_compute.as_secs_f64());
+        admission
+    }
+
+    fn sample_churn_amount(&mut self, churn: &ChurnModel) -> ByteSize {
+        let (lo, hi) = churn.amount_gib;
+        if lo >= hi {
+            ByteSize::from_gib(lo)
+        } else {
+            ByteSize::from_gib(self.rng.range(lo..=hi))
+        }
+    }
+
+    /// Serializes one SDM request through the firing shard's control-plane
+    /// queue and records its queueing delay.
+    fn admit_control(
+        &mut self,
+        shard: ShardId,
+        now: SimTime,
+        service: SimDuration,
+    ) -> QueueAdmission {
+        let admission = self.control_planes[shard.0 as usize].admit(now, service);
+        self.control_plane_wait_s
+            .push(admission.queue_wait.as_secs_f64());
+        admission
+    }
+
+    /// Runs one migration through the system and the control-plane queue,
+    /// recording downtime and the pre-copy counterfactual. Returns whether
+    /// the migration happened.
+    fn try_migrate(&mut self, shard: ShardId, now: SimTime, vm: VmHandle, target: BrickId) -> bool {
+        match self.system.migrate_vm(vm, target) {
+            Ok(report) => {
+                self.record_migration(shard, now, &report);
+                true
+            }
+            Err(_) => {
+                self.counters.migration_failures += 1;
+                false
+            }
+        }
+    }
+
+    fn record_migration(&mut self, shard: ShardId, now: SimTime, report: &MigrationReport) {
+        let admission = self.admit_control(shard, now, report.orchestration_delay);
+        self.counters.migrations += 1;
+        self.migration_downtime_s
+            .push((admission.queue_wait + report.downtime).as_secs_f64());
+        self.precopy_counterfactual_s
+            .push(report.conventional_precopy.as_secs_f64());
+    }
+
+    /// One rebalance pass per the spec's migration policy.
+    fn rebalance(&mut self, shard: ShardId, now: SimTime, policy: MigrationPolicy) {
+        self.counters.rebalances += 1;
+        match policy {
+            MigrationPolicy::Consolidate {
+                spare_below,
+                max_moves,
+                ..
+            } => {
+                let mut moved = 0usize;
+                'sources: for brick in self.system.sparse_bricks(spare_below) {
+                    for vm in self.system.vms_on(brick) {
+                        if moved >= max_moves {
+                            break 'sources;
+                        }
+                        let Some(target) = self.system.consolidation_target(vm) else {
+                            continue;
+                        };
+                        if self.try_migrate(shard, now, vm, target) {
+                            moved += 1;
+                        }
+                    }
+                }
+            }
+            MigrationPolicy::EvacuateHotspot {
+                saturated_at,
+                baseline,
+                ..
+            } => {
+                let Some(hot) = self.system.hotspot_brick(saturated_at) else {
+                    return;
+                };
+                let mut evacuated = 0usize;
+                for vm in self.system.vms_on(hot) {
+                    let Some(target) = self.system.evacuation_target(vm) else {
+                        self.counters.migration_failures += 1;
+                        continue;
+                    };
+                    if self.try_migrate(shard, now, vm, target) {
+                        evacuated += 1;
+                    }
+                }
+                if evacuated > 0 {
+                    self.counters.evacuations += 1;
+                    // The counterfactual: conventional elasticity would
+                    // spread the load by provisioning as many fresh VMs
+                    // through the cloud control plane.
+                    for delay in baseline.provision_burst(evacuated, &mut self.rng) {
+                        self.scaleout_counterfactual_s.push(delay.as_secs_f64());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Assembles the report once the engine stops.
+    pub(super) fn finish(self, outcome: RunOutcome, end: SimTime, events: u64) -> ScenarioReport {
+        let c = self.counters;
+        ScenarioReport {
+            name: self.spec.name.clone(),
+            outcome,
+            end,
+            events,
+            admitted: c.admitted,
+            rejected: c.rejected,
+            peak_live: c.peak_live,
+            departed: c.departed,
+            scale_ups: c.scale_ups,
+            scale_up_failures: c.scale_up_failures,
+            scale_downs: c.scale_downs,
+            power_sweeps: c.power_sweeps,
+            bricks_powered_off: c.bricks_powered_off,
+            rebalances: c.rebalances,
+            migrations: c.migrations,
+            migration_failures: c.migration_failures,
+            evacuations: c.evacuations,
+            offloads: c.offloads,
+            offload_failures: c.offload_failures,
+            offloads_completed: c.offloads_completed,
+            bitstream_reuses: c.bitstream_reuses,
+            bitstream_programs: c.bitstream_programs,
+            accel_wakes: c.accel_wakes,
+            control_plane_peak_queue: self
+                .control_planes
+                .iter()
+                .map(ControlPlaneQueue::peak_depth)
+                .max()
+                .unwrap_or(0) as u64,
+            scale_up_delay: Summary::from_samples(&self.scale_up_delays_s),
+            read_latency: Summary::from_samples(&self.read_latencies_ns),
+            pool_utilization: Summary::from_samples(&self.utilization),
+            migration_downtime: Summary::from_samples(&self.migration_downtime_s),
+            precopy_counterfactual: Summary::from_samples(&self.precopy_counterfactual_s),
+            scaleout_counterfactual: Summary::from_samples(&self.scaleout_counterfactual_s),
+            control_plane_wait: Summary::from_samples(&self.control_plane_wait_s),
+            offload_time: Summary::from_samples(&self.offload_time_s),
+            offload_local_counterfactual: Summary::from_samples(
+                &self.offload_local_counterfactual_s,
+            ),
+            accel_utilization: Summary::from_samples(&self.accel_utilization),
+        }
+    }
+}
+
+impl ShardedProcess for ScenarioWorld<'_> {
+    type Event = ScenarioEvent;
+
+    fn handle(
+        &mut self,
+        shard: ShardId,
+        now: SimTime,
+        event: ScenarioEvent,
+        ctx: &mut ShardContext<'_, ScenarioEvent>,
+    ) {
+        match event {
+            ScenarioEvent::Arrival { index } => {
+                let demand = self.demands[index];
+                match self.system.allocate_vm(demand.vcpus, demand.memory) {
+                    Ok(vm) => {
+                        self.counters.admitted += 1;
+                        self.counters.live += 1;
+                        self.counters.peak_live = self.counters.peak_live.max(self.counters.live);
+                        // Serialize the admission through the SDM controller
+                        // queue: its lifetime starts once the control plane
+                        // actually finished configuring it.
+                        let service = self.system.admission_service_time(vm).unwrap_or_default();
+                        let admission = self.admit_control(shard, now, service);
+                        self.charge_reads();
+                        let lifetime = self.spec.lifetime.sample(&mut self.rng);
+                        ctx.schedule(
+                            admission.completion + lifetime,
+                            ScenarioEvent::Departure { vm },
+                        );
+                        if let Some(churn) = self.spec.churn {
+                            if churn.cycles_per_vm > 0 {
+                                let amount = self.sample_churn_amount(&churn);
+                                ctx.schedule(
+                                    admission.completion + churn.hold,
+                                    ScenarioEvent::ScaleUp {
+                                        vm,
+                                        remaining: churn.cycles_per_vm,
+                                        amount,
+                                    },
+                                );
+                            }
+                        }
+                        if let Some(plan) = self.spec.offload {
+                            if plan.sessions_per_vm > 0 {
+                                ctx.schedule(
+                                    admission.completion + plan.start_after,
+                                    ScenarioEvent::OffloadBegin {
+                                        vm,
+                                        remaining: plan.sessions_per_vm,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        self.counters.rejected += 1;
+                        // Rejections still occupy the controller for the
+                        // request parse + availability inspection.
+                        let timings = self.spec.system.sdm_timings;
+                        self.admit_control(
+                            shard,
+                            now,
+                            timings.request_rpc + timings.availability_check,
+                        );
+                    }
+                }
+                self.sample_utilization();
+            }
+            ScenarioEvent::ScaleUp {
+                vm,
+                remaining,
+                amount,
+            } => {
+                match self.system.scale_up(vm, amount) {
+                    Ok(report) => {
+                        let admission = self.admit_control(shard, now, report.orchestration_delay);
+                        self.counters.scale_ups += 1;
+                        self.scale_up_delays_s
+                            .push((admission.queue_wait + report.total_delay).as_secs_f64());
+                        if let Some(churn) = self.spec.churn {
+                            ctx.schedule(
+                                admission.completion + churn.hold,
+                                ScenarioEvent::ScaleDown {
+                                    vm,
+                                    remaining,
+                                    amount,
+                                },
+                            );
+                        }
+                    }
+                    // The VM departed before its churn fired: not a failure.
+                    Err(SystemError::NoSuchVm { .. }) => {}
+                    Err(_) => self.counters.scale_up_failures += 1,
+                }
+                self.sample_utilization();
+            }
+            ScenarioEvent::ScaleDown {
+                vm,
+                remaining,
+                amount,
+            } => {
+                if let Ok(report) = self.system.scale_down(vm, amount) {
+                    let admission = self.admit_control(shard, now, report.orchestration_delay);
+                    self.counters.scale_downs += 1;
+                    if remaining > 1 {
+                        if let Some(churn) = self.spec.churn {
+                            let next = self.sample_churn_amount(&churn);
+                            ctx.schedule(
+                                admission.completion + churn.hold,
+                                ScenarioEvent::ScaleUp {
+                                    vm,
+                                    remaining: remaining - 1,
+                                    amount: next,
+                                },
+                            );
+                        }
+                    }
+                }
+                self.sample_utilization();
+            }
+            ScenarioEvent::Departure { vm } => {
+                if self.system.release_vm(vm).is_ok() {
+                    self.counters.departed += 1;
+                    self.counters.live -= 1;
+                    let timings = self.spec.system.sdm_timings;
+                    self.admit_control(shard, now, timings.request_rpc + timings.reservation_write);
+                }
+                self.sample_utilization();
+            }
+            ScenarioEvent::OffloadBegin { vm, remaining } => {
+                let Some(plan) = self.spec.offload else {
+                    return;
+                };
+                let demand = plan.mix.sample(&mut self.rng);
+                match self.system.begin_offload(vm, &demand) {
+                    Ok(report) => {
+                        let admission = self.record_offload(shard, now, &report);
+                        // The session stays open at least `hold`, or as long
+                        // as the data takes to drain through the kernel —
+                        // `admission.completion` already accounts for the
+                        // orchestration, so only the data stage adds here.
+                        let data_time = report.transfer_time.max(report.kernel_time);
+                        ctx.schedule(
+                            admission.completion + plan.hold.max(data_time),
+                            ScenarioEvent::OffloadEnd {
+                                vm,
+                                session: report.session,
+                                remaining,
+                            },
+                        );
+                    }
+                    // The VM departed before its offload fired: not a failure.
+                    Err(SystemError::NoSuchVm { .. }) => {}
+                    Err(_) => {
+                        self.counters.offload_failures += 1;
+                        // Rejections still occupy the controller for the
+                        // request parse + availability inspection...
+                        let timings = self.spec.system.sdm_timings;
+                        let admission = self.admit_control(
+                            shard,
+                            now,
+                            timings.request_rpc + timings.availability_check,
+                        );
+                        // ...and the VM retries once a streaming slot may
+                        // have freed, rather than abandoning the rest of
+                        // its offload plan (sessions end over time, so the
+                        // retry eventually lands or the VM departs).
+                        ctx.schedule(
+                            admission.completion + plan.start_after,
+                            ScenarioEvent::OffloadBegin { vm, remaining },
+                        );
+                    }
+                }
+                self.sample_utilization();
+            }
+            ScenarioEvent::OffloadEnd {
+                vm,
+                session,
+                remaining,
+            } => {
+                // The VM may have departed mid-session, in which case its
+                // release already drained the session.
+                if let Ok(service) = self.system.end_offload(session) {
+                    let admission = self.admit_control(shard, now, service);
+                    self.counters.offloads_completed += 1;
+                    if remaining > 1 {
+                        if let Some(plan) = self.spec.offload {
+                            ctx.schedule(
+                                admission.completion + plan.start_after,
+                                ScenarioEvent::OffloadBegin {
+                                    vm,
+                                    remaining: remaining - 1,
+                                },
+                            );
+                        }
+                    }
+                }
+                self.sample_utilization();
+            }
+            ScenarioEvent::PowerSweep => {
+                // Sweeps batch per shard per tick: each shard's sweep event
+                // covers only its own bricks, so a multi-shard run never
+                // touches another shard's power state. With one shard this
+                // is exactly the whole-rack sweep.
+                let shards = self.shards;
+                let sweep = self
+                    .system
+                    .power_off_unused_where(|brick| brick_shard(brick, shards) == shard);
+                self.counters.power_sweeps += 1;
+                self.counters.bricks_powered_off += sweep.total_off() as u64;
+                self.sample_utilization();
+                if let Some(every) = self.spec.power_sweep_every {
+                    ctx.schedule(now + every, ScenarioEvent::PowerSweep);
+                }
+            }
+            ScenarioEvent::Rebalance => {
+                if let Some(policy) = self.spec.migration {
+                    self.rebalance(shard, now, policy);
+                    self.sample_utilization();
+                    ctx.schedule(now + policy.every(), ScenarioEvent::Rebalance);
+                }
+            }
+        }
+    }
+}

@@ -6,7 +6,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use dredbox_bricks::{Bitstream, BrickId, BrickKind, PowerState, Rack};
+use dredbox_bricks::{Bitstream, BrickId, BrickKind, Rack};
 use dredbox_interconnect::{LatencyBreakdown, PathKind, RemoteMemoryPath};
 use dredbox_memory::HotplugModel;
 use dredbox_optical::{OpticalCircuitSwitch, OpticalTopology};
@@ -15,6 +15,7 @@ use dredbox_orchestrator::{
     OffloadRequest, OffloadSessionId, OrchestratorError, PowerManager, ScaleUpDemand, ScaleUpGrant,
     SdmController, VmAllocationRequest,
 };
+use dredbox_sim::arena::{SlotArena, SlotKey};
 use dredbox_sim::time::SimDuration;
 use dredbox_sim::units::{ByteSize, Watts};
 use dredbox_softstack::{BaremetalOs, Hypervisor, ScaleUpController, SoftstackError, VmId, VmSpec};
@@ -171,9 +172,18 @@ struct VmRecord {
     brick: BrickId,
     vm: VmId,
     vcpus: u32,
+    /// Admission order stamp: arena slots are recycled, so the record
+    /// carries the order the control plane admitted it in — the order
+    /// [`DredboxSystem::vms_on`] reports.
+    seq: u64,
     grants: Vec<ScaleUpGrant>,
     /// Live offload sessions the VM holds on dACCELBRICKs.
     offloads: Vec<OffloadSessionId>,
+}
+
+/// The arena key a [`VmHandle`] packs.
+fn handle_key(handle: VmHandle) -> SlotKey {
+    SlotKey::from_u64(handle.0)
 }
 
 /// The assembled dReDBox system.
@@ -183,13 +193,24 @@ pub struct DredboxSystem {
     rack: Rack,
     topology: OpticalTopology,
     sdm: SdmController,
-    hypervisors: BTreeMap<BrickId, Hypervisor>,
+    /// Hypervisors in a dense table indexed by brick id (`None` for
+    /// non-compute bricks), so the per-event lookup is a bounds check
+    /// instead of a tree walk.
+    hypervisors: Vec<Option<Hypervisor>>,
     scaleup: ScaleUpController,
     power: PowerManager,
-    vms: BTreeMap<VmHandle, VmRecord>,
+    /// Live VM records interned in a generational slab arena: a
+    /// [`VmHandle`] is the packed slot key, so steady-state admit/depart
+    /// churn stops allocating map nodes and a departed handle keeps
+    /// missing even after its slot is recycled.
+    vms: SlotArena<VmRecord>,
     /// Owner of every live offload session, so departures can drain them.
     offload_owners: BTreeMap<OffloadSessionId, VmHandle>,
-    next_handle: u64,
+    /// Admission counter stamped into [`VmRecord::seq`].
+    next_seq: u64,
+    /// The configured remote-memory data path, built once so per-read
+    /// latency queries on the hot path stop cloning the latency model.
+    read_path: RemoteMemoryPath,
 }
 
 impl DredboxSystem {
@@ -216,7 +237,7 @@ impl DredboxSystem {
             config.sdm_timings,
             config.latency.clone(),
         );
-        let mut hypervisors = BTreeMap::new();
+        let mut hypervisors: Vec<Option<Hypervisor>> = Vec::new();
         for brick in rack.bricks() {
             match brick.kind() {
                 BrickKind::Compute => {
@@ -231,7 +252,11 @@ impl DredboxSystem {
                         compute.spec().local_memory,
                         HotplugModel::dredbox_default(),
                     );
-                    hypervisors.insert(compute.id(), Hypervisor::new(os, compute.spec().apu_cores));
+                    let slot = compute.id().0 as usize;
+                    if hypervisors.len() <= slot {
+                        hypervisors.resize_with(slot + 1, || None);
+                    }
+                    hypervisors[slot] = Some(Hypervisor::new(os, compute.spec().apu_cores));
                 }
                 BrickKind::Memory => {
                     let memory = brick.as_memory().expect("kind checked");
@@ -252,6 +277,10 @@ impl DredboxSystem {
             }
         }
 
+        let read_path = match config.path {
+            PathKind::CircuitSwitched => RemoteMemoryPath::circuit_switched(config.latency.clone()),
+            PathKind::PacketSwitched => RemoteMemoryPath::packet_switched(config.latency.clone()),
+        };
         Ok(DredboxSystem {
             scaleup: ScaleUpController::new(config.scaleup_timings),
             config,
@@ -260,9 +289,10 @@ impl DredboxSystem {
             sdm,
             hypervisors,
             power: PowerManager::new(),
-            vms: BTreeMap::new(),
+            vms: SlotArena::new(),
             offload_owners: BTreeMap::new(),
-            next_handle: 0,
+            next_seq: 0,
+            read_path,
         })
     }
 
@@ -288,7 +318,9 @@ impl DredboxSystem {
 
     /// The hypervisor running on a given compute brick.
     pub fn hypervisor(&self, brick: BrickId) -> Option<&Hypervisor> {
-        self.hypervisors.get(&brick)
+        self.hypervisors
+            .get(brick.0 as usize)
+            .and_then(|h| h.as_ref())
     }
 
     /// Number of live VMs.
@@ -298,7 +330,7 @@ impl DredboxSystem {
 
     /// The compute brick hosting a VM.
     pub fn vm_brick(&self, handle: VmHandle) -> Option<BrickId> {
-        self.vms.get(&handle).map(|r| r.brick)
+        self.vms.get(handle_key(handle)).map(|r| r.brick)
     }
 
     /// The SDM-controller service time of the VM's admission grant — what
@@ -306,16 +338,15 @@ impl DredboxSystem {
     /// initial allocation (the quantity a control-plane queue serializes).
     pub fn admission_service_time(&self, handle: VmHandle) -> Option<SimDuration> {
         self.vms
-            .get(&handle)
+            .get(handle_key(handle))
             .and_then(|r| r.grants.first())
             .map(|g| g.service_time)
     }
 
     /// Memory currently assigned to a VM.
     pub fn vm_memory(&self, handle: VmHandle) -> Option<ByteSize> {
-        let record = self.vms.get(&handle)?;
-        self.hypervisors
-            .get(&record.brick)
+        let record = self.vms.get(handle_key(handle))?;
+        self.hypervisor(record.brick)
             .and_then(|hv| hv.vm(record.vm))
             .map(|vm| vm.current_memory())
     }
@@ -333,7 +364,8 @@ impl DredboxSystem {
             .allocate_vm(VmAllocationRequest::new(vcpus, memory))?;
         let hv = self
             .hypervisors
-            .get_mut(&brick)
+            .get_mut(brick.0 as usize)
+            .and_then(|h| h.as_mut())
             .expect("SDM only places on registered bricks");
         // The grant's memory becomes visible to the baremetal OS, then the
         // VM boots with it.
@@ -358,19 +390,17 @@ impl DredboxSystem {
             .transpose()
             .ok();
 
-        let handle = VmHandle(self.next_handle);
-        self.next_handle += 1;
-        self.vms.insert(
-            handle,
-            VmRecord {
-                brick,
-                vm,
-                vcpus,
-                grants: vec![grant],
-                offloads: Vec::new(),
-            },
-        );
-        Ok(handle)
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let key = self.vms.insert(VmRecord {
+            brick,
+            vm,
+            vcpus,
+            seq,
+            grants: vec![grant],
+            offloads: Vec::new(),
+        });
+        Ok(VmHandle(key.to_u64()))
     }
 
     /// Grows a running VM's memory through the Scale-up API, returning the
@@ -384,26 +414,26 @@ impl DredboxSystem {
         handle: VmHandle,
         amount: ByteSize,
     ) -> Result<ScaleUpReport, SystemError> {
-        let record = self
-            .vms
-            .get(&handle)
-            .ok_or(SystemError::NoSuchVm { handle })?
-            .clone();
+        let (brick, vm) = match self.vms.get(handle_key(handle)) {
+            Some(r) => (r.brick, r.vm),
+            None => return Err(SystemError::NoSuchVm { handle }),
+        };
         let grant = self
             .sdm
-            .handle_scale_up(ScaleUpDemand::new(record.brick, amount))?;
+            .handle_scale_up(ScaleUpDemand::new(brick, amount))?;
         let hv = self
             .hypervisors
-            .get_mut(&record.brick)
+            .get_mut(brick.0 as usize)
+            .and_then(|h| h.as_mut())
             .expect("record refers to a registered brick");
-        let outcome = match self.scaleup.apply_grant(hv, record.vm, amount) {
+        let outcome = match self.scaleup.apply_grant(hv, vm, amount) {
             Ok(o) => o,
             Err(e) => {
                 let _ = self.sdm.release_scale_up(&grant);
                 return Err(e.into());
             }
         };
-        self.apply_grant_to_rack(record.brick, &grant);
+        self.apply_grant_to_rack(brick, &grant);
 
         let report = ScaleUpReport {
             vm: handle,
@@ -413,7 +443,7 @@ impl DredboxSystem {
             total_delay: grant.service_time + outcome.total(),
         };
         self.vms
-            .get_mut(&handle)
+            .get_mut(handle_key(handle))
             .expect("checked above")
             .grants
             .push(grant);
@@ -433,9 +463,9 @@ impl DredboxSystem {
     ) -> Result<ScaleUpReport, SystemError> {
         let record = self
             .vms
-            .get(&handle)
-            .ok_or(SystemError::NoSuchVm { handle })?
-            .clone();
+            .get(handle_key(handle))
+            .ok_or(SystemError::NoSuchVm { handle })?;
+        let (brick, vm) = (record.brick, record.vm);
         // Find the most recent grant that matches the requested amount.
         let Some(pos) = record
             .grants
@@ -443,23 +473,46 @@ impl DredboxSystem {
             .rposition(|g| g.grant.total() == amount)
         else {
             return Err(SystemError::Softstack(SoftstackError::DetachUnderflow {
-                vm: record.vm,
+                vm,
             }));
         };
-        let grant = record.grants[pos].clone();
-
-        let hv = self
-            .hypervisors
-            .get_mut(&record.brick)
-            .expect("record refers to a registered brick");
-        let outcome = self.scaleup.apply_reclaim(hv, record.vm, amount)?;
-        let orch = self.sdm.release_scale_up(&grant)?;
-        self.remove_grant_from_rack(record.brick, &grant);
-        self.vms
-            .get_mut(&handle)
+        // Take the grant out instead of cloning it; failed releases put it
+        // back so a rejected scale-down leaves the record as it found it.
+        let grant = self
+            .vms
+            .get_mut(handle_key(handle))
             .expect("checked above")
             .grants
             .remove(pos);
+
+        let hv = self
+            .hypervisors
+            .get_mut(brick.0 as usize)
+            .and_then(|h| h.as_mut())
+            .expect("record refers to a registered brick");
+        let outcome = match self.scaleup.apply_reclaim(hv, vm, amount) {
+            Ok(o) => o,
+            Err(e) => {
+                self.vms
+                    .get_mut(handle_key(handle))
+                    .expect("checked above")
+                    .grants
+                    .insert(pos, grant);
+                return Err(e.into());
+            }
+        };
+        let orch = match self.sdm.release_scale_up(&grant) {
+            Ok(o) => o,
+            Err(e) => {
+                self.vms
+                    .get_mut(handle_key(handle))
+                    .expect("checked above")
+                    .grants
+                    .insert(pos, grant);
+                return Err(e.into());
+            }
+        };
+        self.remove_grant_from_rack(brick, &grant);
 
         Ok(ScaleUpReport {
             vm: handle,
@@ -490,10 +543,9 @@ impl DredboxSystem {
     ) -> Result<MigrationReport, SystemError> {
         let record = self
             .vms
-            .get(&handle)
-            .ok_or(SystemError::NoSuchVm { handle })?
-            .clone();
-        let from = record.brick;
+            .get(handle_key(handle))
+            .ok_or(SystemError::NoSuchVm { handle })?;
+        let (from, vm_id, vcpus) = (record.brick, record.vm, record.vcpus);
         // A VM streaming offload sessions is pinned: its sessions' circuits
         // and the accelerator-side ledger holds reference the source brick,
         // so migration is rejected until the sessions end.
@@ -503,47 +555,66 @@ impl DredboxSystem {
             ));
         }
         let guest_memory = self
-            .hypervisors
-            .get(&from)
-            .and_then(|hv| hv.vm(record.vm))
+            .hypervisor(from)
+            .and_then(|hv| hv.vm(vm_id))
             .map(|vm| vm.current_memory())
             .ok_or(SystemError::NoSuchVm { handle })?;
         // Validate the destination hypervisor up front so the softstack
         // hand-over below cannot fail after the SDM controller has already
         // switched over.
-        let dest_hv = self.hypervisors.get(&to).ok_or(SystemError::Orchestrator(
+        let dest_hv = self.hypervisor(to).ok_or(SystemError::Orchestrator(
             OrchestratorError::UnknownComputeBrick { brick: to },
         ))?;
-        if record.vcpus > dest_hv.free_cores() {
+        if vcpus > dest_hv.free_cores() {
             return Err(SystemError::Orchestrator(
                 OrchestratorError::NoComputeCapacity {
-                    requested_vcpus: record.vcpus,
+                    requested_vcpus: vcpus,
                 },
             ));
         }
 
         // Control plane: reserve → re-route → drain → switchover. Rejections
         // leave the whole system untouched.
-        let outcome = self
-            .sdm
-            .migrate_vm(from, to, record.vcpus, &record.grants)?;
+        let grants_ref = &self
+            .vms
+            .get(handle_key(handle))
+            .expect("checked above")
+            .grants;
+        let outcome = self.sdm.migrate_vm(from, to, vcpus, grants_ref)?;
+
+        // From here on nothing fails: take the old grants out of the record
+        // (they are replaced by the rebased set below) instead of cloning
+        // them around the softstack hand-over.
+        let grants = std::mem::take(
+            &mut self
+                .vms
+                .get_mut(handle_key(handle))
+                .expect("checked above")
+                .grants,
+        );
 
         // Software stack: make the memory visible on the destination, hand
         // the running guest over, retire the source's view.
-        let preserved: ByteSize = record.grants.iter().map(|g| g.grant.total()).sum();
-        let dest_hv = self.hypervisors.get_mut(&to).expect("validated above");
+        let preserved: ByteSize = grants.iter().map(|g| g.grant.total()).sum();
+        let dest_hv = self
+            .hypervisors
+            .get_mut(to.0 as usize)
+            .and_then(|h| h.as_mut())
+            .expect("validated above");
         dest_hv.os_mut().online_remote(preserved);
         let src_hv = self
             .hypervisors
-            .get_mut(&from)
+            .get_mut(from.0 as usize)
+            .and_then(|h| h.as_mut())
             .expect("record refers to a registered brick");
         let guest = src_hv
-            .evict_vm(record.vm)
+            .evict_vm(vm_id)
             .expect("record refers to a live VM (checked above)");
         let _ = src_hv.os_mut().offline_remote(preserved);
         let new_vm = self
             .hypervisors
-            .get_mut(&to)
+            .get_mut(to.0 as usize)
+            .and_then(|h| h.as_mut())
             .expect("validated above")
             .adopt_vm(guest)
             .expect("destination capacity validated above");
@@ -552,14 +623,14 @@ impl DredboxSystem {
         // VM; the dMEMBRICK exports are re-pointed at the new consumer.
         if let Some(c) = self.rack.brick_mut(from).and_then(|b| b.as_compute_mut()) {
             let _ = c.detach_remote_memory(preserved);
-            let _ = c.release_cores(record.vcpus);
+            let _ = c.release_cores(vcpus);
         }
         if let Some(c) = self.rack.brick_mut(to).and_then(|b| b.as_compute_mut()) {
             c.power_on();
             c.attach_remote_memory(preserved);
-            let _ = c.allocate_cores(record.vcpus);
+            let _ = c.allocate_cores(vcpus);
         }
-        for grant in &record.grants {
+        for grant in &grants {
             for segment in grant.grant.segments() {
                 if let Some(m) = self
                     .rack
@@ -572,18 +643,14 @@ impl DredboxSystem {
             }
         }
 
-        self.vms.insert(
-            handle,
-            VmRecord {
-                brick: to,
-                vm: new_vm,
-                vcpus: record.vcpus,
-                grants: outcome.rebased,
-                offloads: Vec::new(),
-            },
-        );
+        // The handle (and its admission stamp) survives the move; only the
+        // placement fields change.
+        let rec = self.vms.get_mut(handle_key(handle)).expect("checked above");
+        rec.brick = to;
+        rec.vm = new_vm;
+        rec.grants = outcome.rebased;
 
-        let local_state = self.config.migration.local_state(record.vcpus);
+        let local_state = self.config.migration.local_state(vcpus);
         let downtime =
             self.config.migration.disaggregated_migration(local_state) + outcome.service_time;
         Ok(MigrationReport {
@@ -622,7 +689,7 @@ impl DredboxSystem {
     ) -> Result<OffloadReport, SystemError> {
         let record = self
             .vms
-            .get(&handle)
+            .get(handle_key(handle))
             .ok_or(SystemError::NoSuchVm { handle })?;
         let (brick, vm) = (record.brick, record.vm);
 
@@ -633,7 +700,8 @@ impl DredboxSystem {
 
         // Softstack: the VM records its issued offload.
         self.hypervisors
-            .get_mut(&brick)
+            .get_mut(brick.0 as usize)
+            .and_then(|h| h.as_mut())
             .expect("record refers to a registered brick")
             .issue_offload(vm)
             .expect("record refers to a live VM");
@@ -679,7 +747,7 @@ impl DredboxSystem {
 
         let session = grant.session.id;
         self.vms
-            .get_mut(&handle)
+            .get_mut(handle_key(handle))
             .expect("checked above")
             .offloads
             .push(session);
@@ -716,7 +784,7 @@ impl DredboxSystem {
             .offload_owners
             .remove(&session)
             .expect("every controller session has a recorded owner");
-        if let Some(record) = self.vms.get_mut(&owner) {
+        if let Some(record) = self.vms.get_mut(handle_key(owner)) {
             record.offloads.retain(|s| *s != session);
         }
         if let Some(accel) = self
@@ -734,7 +802,7 @@ impl DredboxSystem {
     /// Live offload sessions of a VM, in begin order.
     pub fn vm_offloads(&self, handle: VmHandle) -> Vec<OffloadSessionId> {
         self.vms
-            .get(&handle)
+            .get(handle_key(handle))
             .map(|r| r.offloads.clone())
             .unwrap_or_default()
     }
@@ -756,13 +824,16 @@ impl DredboxSystem {
         busy as f64 / total as f64
     }
 
-    /// VMs currently hosted on a compute brick, ascending by handle.
+    /// VMs currently hosted on a compute brick, in admission order.
     pub fn vms_on(&self, brick: BrickId) -> Vec<VmHandle> {
-        self.vms
+        let mut out: Vec<(u64, VmHandle)> = self
+            .vms
             .iter()
             .filter(|(_, r)| r.brick == brick)
-            .map(|(h, _)| *h)
-            .collect()
+            .map(|(key, r)| (r.seq, VmHandle(key.to_u64())))
+            .collect();
+        out.sort_unstable_by_key(|(seq, _)| *seq);
+        out.into_iter().map(|(_, h)| h).collect()
     }
 
     /// The consolidation target for a VM: the fullest *other* active brick
@@ -770,7 +841,7 @@ impl DredboxSystem {
     /// there packs the rack tighter so the emptied source can be slept.
     /// `None` when no such brick exists (the VM is already well placed).
     pub fn consolidation_target(&self, handle: VmHandle) -> Option<BrickId> {
-        let record = self.vms.get(&handle)?;
+        let record = self.vms.get(handle_key(handle))?;
         let src = self.sdm.capacity().slot(record.brick)?;
         let to = self.sdm.consolidation_target(record.vcpus, record.brick)?;
         let dst = self.sdm.capacity().slot(to)?;
@@ -792,7 +863,7 @@ impl DredboxSystem {
     /// The evacuation target for a VM: the emptiest other powered brick
     /// that fits it, waking a sleeping brick as a last resort.
     pub fn evacuation_target(&self, handle: VmHandle) -> Option<BrickId> {
-        let record = self.vms.get(&handle)?;
+        let record = self.vms.get(handle_key(handle))?;
         self.sdm.evacuation_target(record.vcpus, record.brick)
     }
 
@@ -848,7 +919,7 @@ impl DredboxSystem {
     pub fn release_vm(&mut self, handle: VmHandle) -> Result<(), SystemError> {
         let record = self
             .vms
-            .remove(&handle)
+            .remove(handle_key(handle))
             .ok_or(SystemError::NoSuchVm { handle })?;
         // Drain the VM's live offload sessions so the accelerators, ledger
         // holds and circuits don't leak when a guest departs mid-session.
@@ -864,7 +935,11 @@ impl DredboxSystem {
                 }
             }
         }
-        if let Some(hv) = self.hypervisors.get_mut(&record.brick) {
+        if let Some(hv) = self
+            .hypervisors
+            .get_mut(record.brick.0 as usize)
+            .and_then(|h| h.as_mut())
+        {
             let _ = hv.destroy_vm(record.vm);
             // Offline what the grants onlined, so the baremetal OS's view of
             // remote memory does not inflate across admit/depart cycles.
@@ -892,15 +967,7 @@ impl DredboxSystem {
     /// Latency breakdown of one remote memory read over the configured data
     /// path (Figure 8 when the packet path is selected).
     pub fn remote_read_latency(&self, size: ByteSize) -> LatencyBreakdown {
-        let path = match self.config.path {
-            PathKind::CircuitSwitched => {
-                RemoteMemoryPath::circuit_switched(self.config.latency.clone())
-            }
-            PathKind::PacketSwitched => {
-                RemoteMemoryPath::packet_switched(self.config.latency.clone())
-            }
-        };
-        path.read(size)
+        self.read_path.read(size)
     }
 
     /// Fraction of the disaggregated memory pool currently allocated, in
@@ -917,29 +984,27 @@ impl DredboxSystem {
     /// the SDM controller's availability view so placement treats the swept
     /// bricks as sleeping (waking them only as a last resort).
     pub fn power_off_unused(&mut self) -> PowerSweep {
-        let sweep = self.power.power_off_unused(&mut self.rack);
-        let off: Vec<BrickId> = self
-            .rack
-            .bricks()
-            .filter_map(|b| b.as_compute())
-            .filter(|c| c.power_state() == PowerState::Off)
-            .map(|c| c.id())
-            .collect();
-        for brick in off {
+        self.power_off_unused_where(|_| true)
+    }
+
+    /// [`DredboxSystem::power_off_unused`] restricted to the bricks
+    /// `filter` selects — the per-shard variant: when sweeps are batched
+    /// per event-engine shard, each shard sweeps (and syncs) only its own
+    /// bricks, and the identity filter recovers the whole-rack sweep.
+    pub fn power_off_unused_where(&mut self, filter: impl FnMut(BrickId) -> bool) -> PowerSweep {
+        // The sweep is the only path that powers bricks off, so syncing the
+        // controller for just this sweep's newly-off bricks keeps its
+        // availability view exact without re-walking every already-off brick
+        // on each sweep of a long replay.
+        let (sweep, newly_off) = self.power.power_off_unused_tracked(&mut self.rack, filter);
+        for brick in newly_off.compute {
             let _ = self.sdm.set_compute_power(brick, false);
         }
         // Accelerators too: the sweep only switches off session-free bricks
         // (a streaming dACCELBRICK refuses `power_off`), and powering one
         // off drops its cached bitstream — mirrored into the controller's
         // accelerator index so placement re-programs on the next use.
-        let accel_off: Vec<BrickId> = self
-            .rack
-            .bricks()
-            .filter_map(|b| b.as_accelerator())
-            .filter(|a| a.power_state() == PowerState::Off)
-            .map(|a| a.id())
-            .collect();
-        for brick in accel_off {
+        for brick in newly_off.accelerator {
             let _ = self.sdm.set_accel_power(brick, false);
         }
         sweep
@@ -1003,6 +1068,7 @@ impl DredboxSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dredbox_bricks::PowerState;
 
     fn system() -> DredboxSystem {
         DredboxSystem::build(SystemConfig::prototype_rack()).expect("build")

@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
-use dredbox_bricks::BrickId;
+use dredbox_bricks::{BrickId, BrickMap};
 use dredbox_sim::units::ByteSize;
 
 use crate::allocator::BrickAllocator;
@@ -59,38 +59,40 @@ struct BrickStat {
     in_use: bool,
 }
 
-fn bucket_insert(map: &mut BTreeMap<u64, BTreeSet<BrickId>>, key: u64, brick: BrickId) {
-    map.entry(key).or_default().insert(brick);
-}
+/// A selection-index rank set: `(key, brick)` pairs kept flat in one
+/// `BTreeSet` instead of key-bucketed sub-sets. Tuple order is
+/// `(key asc, id asc)`, exactly the bucket walk's visiting order, while
+/// insert/remove are a single tree operation with no per-bucket allocation
+/// — the index maintenance sits on the scenario engine's per-event path.
+type RankSet = BTreeSet<(u64, BrickId)>;
 
-fn bucket_remove(map: &mut BTreeMap<u64, BTreeSet<BrickId>>, key: u64, brick: BrickId) {
-    if let Some(bucket) = map.get_mut(&key) {
-        bucket.remove(&brick);
-        if bucket.is_empty() {
-            map.remove(&key);
-        }
-    }
+/// First brick of the maximum-key rank in `set` — i.e. the lowest-id brick
+/// among those sharing the largest key, preserving the deterministic
+/// tie-break of the reference scan. `O(log n)`.
+fn max_rank_first_brick(set: &RankSet) -> Option<BrickId> {
+    let &(top, _) = set.last()?;
+    set.range((top, BrickId(0))..).next().map(|&(_, b)| b)
 }
 
 /// Incrementally maintained selection index over the pool's dMEMBRICKs,
-/// updated whenever a brick's allocator changes. Inside every bucket bricks
-/// are ordered by [`BrickId`], preserving the deterministic lowest-id
-/// tie-breaks of the reference scan.
+/// updated whenever a brick's allocator changes. Rank sets are ordered by
+/// `(key, id)`, preserving the deterministic lowest-id tie-breaks of the
+/// reference scan.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 struct PoolIndex {
     /// Authoritative stat per registered brick (including full ones).
-    stats: BTreeMap<BrickId, BrickStat>,
+    stats: BrickMap<BrickStat>,
     /// Bricks with a non-zero largest free block (allocation candidates),
     /// in id order.
     candidates: BTreeSet<BrickId>,
-    /// Candidates bucketed by free bytes.
-    by_free: BTreeMap<u64, BTreeSet<BrickId>>,
-    /// Candidates bucketed by largest contiguous block.
-    by_largest: BTreeMap<u64, BTreeSet<BrickId>>,
-    /// In-use candidates bucketed by free bytes.
-    in_use_by_free: BTreeMap<u64, BTreeSet<BrickId>>,
-    /// In-use candidates bucketed by largest contiguous block.
-    in_use_by_largest: BTreeMap<u64, BTreeSet<BrickId>>,
+    /// Candidates ranked by free bytes.
+    by_free: RankSet,
+    /// Candidates ranked by largest contiguous block.
+    by_largest: RankSet,
+    /// In-use candidates ranked by free bytes.
+    in_use_by_free: RankSet,
+    /// In-use candidates ranked by largest contiguous block.
+    in_use_by_largest: RankSet,
     /// Bricks with no allocation at all (power-off candidates), in id order.
     unused: BTreeSet<BrickId>,
 }
@@ -104,11 +106,11 @@ impl PoolIndex {
         }
         if stat.largest > 0 {
             self.candidates.insert(brick);
-            bucket_insert(&mut self.by_free, stat.free, brick);
-            bucket_insert(&mut self.by_largest, stat.largest, brick);
+            self.by_free.insert((stat.free, brick));
+            self.by_largest.insert((stat.largest, brick));
             if stat.in_use {
-                bucket_insert(&mut self.in_use_by_free, stat.free, brick);
-                bucket_insert(&mut self.in_use_by_largest, stat.largest, brick);
+                self.in_use_by_free.insert((stat.free, brick));
+                self.in_use_by_largest.insert((stat.largest, brick));
             }
         }
         if stat.in_use {
@@ -121,17 +123,17 @@ impl PoolIndex {
     fn unindex(&mut self, brick: BrickId, old: BrickStat) {
         if old.largest > 0 {
             self.candidates.remove(&brick);
-            bucket_remove(&mut self.by_free, old.free, brick);
-            bucket_remove(&mut self.by_largest, old.largest, brick);
+            self.by_free.remove(&(old.free, brick));
+            self.by_largest.remove(&(old.largest, brick));
             if old.in_use {
-                bucket_remove(&mut self.in_use_by_free, old.free, brick);
-                bucket_remove(&mut self.in_use_by_largest, old.largest, brick);
+                self.in_use_by_free.remove(&(old.free, brick));
+                self.in_use_by_largest.remove(&(old.largest, brick));
             }
         }
     }
 
     fn largest_of(&self, brick: BrickId) -> u64 {
-        self.stats.get(&brick).map_or(0, |s| s.largest)
+        self.stats.get(brick).map_or(0, |s| s.largest)
     }
 
     /// Lowest-id candidate whose largest block fits `want`. Walks candidates
@@ -153,46 +155,40 @@ impl PoolIndex {
     /// (lowest id on ties) — the BestFit query. `O(log n)`.
     fn tightest_fit(&self, want: u64) -> Option<BrickId> {
         self.by_largest
-            .range(want..)
+            .range((want, BrickId(0))..)
             .next()
-            .and_then(|(_, bucket)| bucket.iter().next().copied())
+            .map(|&(_, b)| b)
     }
 
     /// Candidate with the largest contiguous block (lowest id on ties).
     /// `O(log n)`.
     fn largest_block_brick(&self) -> Option<BrickId> {
-        self.by_largest
-            .iter()
-            .next_back()
-            .and_then(|(_, bucket)| bucket.iter().next().copied())
+        max_rank_first_brick(&self.by_largest)
     }
 
     /// Candidate with the most free bytes (lowest id on ties) — the
     /// WorstFit query. `O(log n)`.
     fn most_free_brick(&self) -> Option<BrickId> {
-        self.by_free
-            .iter()
-            .next_back()
-            .and_then(|(_, bucket)| bucket.iter().next().copied())
+        max_rank_first_brick(&self.by_free)
     }
 
     /// Fullest in-use candidate (fewest free bytes, lowest id on ties) whose
     /// largest block fits `want` — the power-aware packing query. Walks the
-    /// in-use bricks in (free, id) order and stops at the first fit.
+    /// in-use bricks in (free, id) order and stops at the first fit. A brick
+    /// with fewer than `want` free bytes can never fit (its largest block is
+    /// at most its free total), so the walk starts at the `want` bucket —
+    /// under packing the skipped prefix is exactly the nearly-full bricks.
     fn fullest_in_use_fit(&self, want: u64) -> Option<BrickId> {
         self.in_use_by_free
-            .values()
-            .flat_map(|bucket| bucket.iter().copied())
+            .range((want, BrickId(0))..)
+            .map(|&(_, b)| b)
             .find(|b| self.largest_of(*b) >= want)
     }
 
     /// In-use candidate with the largest contiguous block (lowest id on
     /// ties). `O(log n)`.
     fn largest_in_use_block(&self) -> Option<BrickId> {
-        self.in_use_by_largest
-            .iter()
-            .next_back()
-            .and_then(|(_, bucket)| bucket.iter().next().copied())
+        max_rank_first_brick(&self.in_use_by_largest)
     }
 }
 
@@ -228,7 +224,7 @@ impl MemoryGrant {
 ///
 /// ```
 /// use dredbox_memory::pool::{AllocationPolicy, MemoryPool};
-/// use dredbox_bricks::BrickId;
+/// use dredbox_bricks::{BrickId, BrickMap};
 /// use dredbox_sim::units::ByteSize;
 ///
 /// let mut pool = MemoryPool::new(AllocationPolicy::PowerAware);
@@ -246,7 +242,7 @@ impl MemoryGrant {
 pub struct MemoryPool {
     policy: AllocationPolicy,
     strategy: PickStrategy,
-    allocators: BTreeMap<BrickId, BrickAllocator>,
+    allocators: BrickMap<BrickAllocator>,
     /// Selection index over the allocators, refreshed on every allocator
     /// mutation so policy decisions never rebuild a candidate list.
     index: PoolIndex,
@@ -264,7 +260,7 @@ impl MemoryPool {
         MemoryPool {
             policy,
             strategy: PickStrategy::Indexed,
-            allocators: BTreeMap::new(),
+            allocators: BrickMap::new(),
             index: PoolIndex::default(),
             capacity_total: 0,
             free_total: 0,
@@ -318,7 +314,7 @@ impl MemoryPool {
         brick: BrickId,
         capacity: ByteSize,
     ) -> Result<(), MemoryError> {
-        if self.allocators.contains_key(&brick) {
+        if self.allocators.contains_key(brick) {
             return Err(MemoryError::DuplicateMemBrick { brick });
         }
         self.allocators
@@ -332,7 +328,7 @@ impl MemoryPool {
     /// Refreshes one brick's entry in the selection index from its
     /// allocator's authoritative state.
     fn reindex(&mut self, brick: BrickId) {
-        if let Some(allocator) = self.allocators.get(&brick) {
+        if let Some(allocator) = self.allocators.get(brick) {
             self.index.upsert(
                 brick,
                 BrickStat {
@@ -378,7 +374,7 @@ impl MemoryPool {
     /// Returns [`MemoryError::UnknownMemBrick`] for unregistered bricks.
     pub fn free_on(&self, brick: BrickId) -> Result<ByteSize, MemoryError> {
         self.allocators
-            .get(&brick)
+            .get(brick)
             .map(|a| a.free())
             .ok_or(MemoryError::UnknownMemBrick { brick })
     }
@@ -422,7 +418,7 @@ impl MemoryPool {
             };
             let allocator = self
                 .allocators
-                .get_mut(&brick)
+                .get_mut(brick)
                 .expect("picked brick is registered");
             let chunk = remaining.min(allocator.largest_free_block());
             let offset = allocator
@@ -458,7 +454,7 @@ impl MemoryPool {
             .ok_or(MemoryError::NoSuchSegment { segment })?;
         let allocator =
             self.allocators
-                .get_mut(&seg.membrick)
+                .get_mut(seg.membrick)
                 .ok_or(MemoryError::UnknownMemBrick {
                     brick: seg.membrick,
                 })?;

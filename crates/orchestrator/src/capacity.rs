@@ -11,12 +11,16 @@
 //!
 //! ## Structure
 //!
-//! Bricks are bucketed by their query key so every policy's argmin/argmax
-//! maps onto ordered-map navigation:
+//! Bricks are ranked by their query key so every policy's argmin/argmax
+//! maps onto ordered-set navigation. Each rank set holds flat
+//! `(key, brick)` pairs — tuple order `(key asc, id asc)` is exactly the
+//! walk order of a key-bucketed map, while insert/remove are a single tree
+//! operation with no per-bucket allocation (index maintenance runs on the
+//! scenario engine's per-event path):
 //!
 //! * `powered_by_free` — powered-on bricks, keyed by free cores. Serves
-//!   best-fit ("fullest that fits": first bucket at or above the request)
-//!   and worst-fit ("emptiest": last bucket) queries in `O(log n)`.
+//!   best-fit ("fullest that fits": first entry at or above the request)
+//!   and worst-fit ("emptiest": last key group) queries in `O(log n)`.
 //! * `active_by_free` — the subset already running VMs, same key; the
 //!   power-aware policy consults it first so sleeping bricks stay asleep.
 //! * `sleeping_by_total` — powered-off bricks keyed by total cores, the
@@ -24,21 +28,24 @@
 //! * `idle` — bricks running no VM (any power state), the power-off
 //!   candidates, kept sorted so sweeps iterate without snapshotting.
 //!
-//! Inside every bucket bricks are ordered by [`BrickId`], which preserves
+//! Within every key, entries are ordered by [`BrickId`], which preserves
 //! the documented lowest-id tie-breaks the scenario engine's same-seed
 //! replay guarantee depends on: the reference slice scan
 //! ([`crate::placement::PlacementPolicy::choose`]) and the indexed path
 //! ([`crate::placement::PlacementPolicy::choose_indexed`]) are decision-for-
 //! decision identical (see the `capacity_equivalence` property tests).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
-use dredbox_bricks::BrickId;
+use dredbox_bricks::{BrickId, BrickMap};
 
-use crate::bucket::{bucket_insert, bucket_remove};
 use crate::placement::ComputeBrickView;
+
+/// A capacity rank set: flat `(key, brick)` pairs standing in for a
+/// key-bucketed map (see the module docs).
+type RankSet = BTreeSet<(u32, BrickId)>;
 
 /// The capacity facts of one compute brick, as indexed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -71,7 +78,7 @@ impl CapacitySlot {
 /// ```
 /// use dredbox_orchestrator::capacity::{CapacityIndex, CapacitySlot};
 /// use dredbox_orchestrator::placement::PlacementPolicy;
-/// use dredbox_bricks::BrickId;
+/// use dredbox_bricks::{BrickId, BrickMap};
 ///
 /// let mut index = CapacityIndex::new();
 /// index.upsert(BrickId(0), CapacitySlot { total_cores: 32, free_cores: 8, active: true, powered_on: true });
@@ -83,13 +90,13 @@ impl CapacitySlot {
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct CapacityIndex {
     /// Authoritative slot per brick, so updates can unindex the old state.
-    slots: BTreeMap<BrickId, CapacitySlot>,
-    /// Powered-on bricks bucketed by free cores.
-    powered_by_free: BTreeMap<u32, BTreeSet<BrickId>>,
-    /// Powered-on bricks that run at least one VM, bucketed by free cores.
-    active_by_free: BTreeMap<u32, BTreeSet<BrickId>>,
-    /// Powered-off bricks bucketed by total cores (wake-up candidates).
-    sleeping_by_total: BTreeMap<u32, BTreeSet<BrickId>>,
+    slots: BrickMap<CapacitySlot>,
+    /// Powered-on bricks ranked by free cores.
+    powered_by_free: RankSet,
+    /// Powered-on bricks that run at least one VM, ranked by free cores.
+    active_by_free: RankSet,
+    /// Powered-off bricks ranked by total cores (wake-up candidates).
+    sleeping_by_total: RankSet,
     /// Bricks running no VM, in id order (power-off candidates).
     idle: BTreeSet<BrickId>,
 }
@@ -112,7 +119,7 @@ impl CapacityIndex {
 
     /// The indexed slot of a brick, if present.
     pub fn slot(&self, brick: BrickId) -> Option<&CapacitySlot> {
-        self.slots.get(&brick)
+        self.slots.get(brick)
     }
 
     /// Inserts or replaces a brick's slot, keeping every bucket in sync.
@@ -122,12 +129,12 @@ impl CapacityIndex {
             self.unindex(brick, &old);
         }
         if slot.powered_on {
-            bucket_insert(&mut self.powered_by_free, slot.free_cores, brick);
+            self.powered_by_free.insert((slot.free_cores, brick));
             if slot.active {
-                bucket_insert(&mut self.active_by_free, slot.free_cores, brick);
+                self.active_by_free.insert((slot.free_cores, brick));
             }
         } else {
-            bucket_insert(&mut self.sleeping_by_total, slot.total_cores, brick);
+            self.sleeping_by_total.insert((slot.total_cores, brick));
         }
         if slot.active {
             self.idle.remove(&brick);
@@ -138,7 +145,7 @@ impl CapacityIndex {
 
     /// Removes a brick from the index. `O(log n)`.
     pub fn remove(&mut self, brick: BrickId) {
-        if let Some(old) = self.slots.remove(&brick) {
+        if let Some(old) = self.slots.remove(brick) {
             self.unindex(brick, &old);
             self.idle.remove(&brick);
         }
@@ -146,12 +153,12 @@ impl CapacityIndex {
 
     fn unindex(&mut self, brick: BrickId, old: &CapacitySlot) {
         if old.powered_on {
-            bucket_remove(&mut self.powered_by_free, &old.free_cores, brick);
+            self.powered_by_free.remove(&(old.free_cores, brick));
             if old.active {
-                bucket_remove(&mut self.active_by_free, &old.free_cores, brick);
+                self.active_by_free.remove(&(old.free_cores, brick));
             }
         } else {
-            bucket_remove(&mut self.sleeping_by_total, &old.total_cores, brick);
+            self.sleeping_by_total.remove(&(old.total_cores, brick));
         }
     }
 
@@ -164,17 +171,16 @@ impl CapacityIndex {
     /// Placement views of every indexed brick, ascending by id (the
     /// reference scan input).
     pub fn views(&self) -> impl Iterator<Item = ComputeBrickView> + '_ {
-        self.slots.iter().map(|(b, s)| s.view(*b))
+        self.slots.iter().map(|(b, s)| s.view(b))
     }
 
     /// Lowest-id powered-on brick with at least `vcpus` free cores — the
-    /// FirstFit query. Walks the free-core buckets at or above `vcpus`:
-    /// `O(F log n)` where `F` is the number of distinct free-core levels
-    /// (bounded by cores-per-brick + 1, independent of brick count).
+    /// FirstFit query. Walks the rank entries at or above `vcpus`:
+    /// `O(F log n)` where `F` is the number of fitting bricks.
     pub fn first_powered_fit(&self, vcpus: u32) -> Option<BrickId> {
         self.powered_by_free
-            .range(vcpus..)
-            .filter_map(|(_, bucket)| bucket.iter().next().copied())
+            .range((vcpus, BrickId(0))..)
+            .map(|&(_, b)| b)
             .min()
     }
 
@@ -189,20 +195,40 @@ impl CapacityIndex {
     /// be "placed" back onto the brick it is leaving).
     pub fn fullest_active_fit_excluding(&self, vcpus: u32, exclude: BrickId) -> Option<BrickId> {
         self.active_by_free
-            .range(vcpus..)
-            .find_map(|(_, bucket)| bucket.iter().find(|&&b| b != exclude).copied())
+            .range((vcpus, BrickId(0))..)
+            .map(|&(_, b)| b)
+            .find(|&b| b != exclude)
     }
 
     /// Like [`CapacityIndex::emptiest_powered_fit`] but never returns
     /// `exclude` — the hotspot-evacuation target query. Walks the free-core
-    /// buckets downwards until one holds a brick other than `exclude` that
-    /// fits.
+    /// key groups downwards until one holds a brick other than `exclude`
+    /// that fits, taking the lowest id within each group.
     pub fn emptiest_powered_fit_excluding(&self, vcpus: u32, exclude: BrickId) -> Option<BrickId> {
-        self.powered_by_free
-            .iter()
-            .rev()
-            .take_while(|(&free, _)| free >= vcpus)
-            .find_map(|(_, bucket)| bucket.iter().find(|&&b| b != exclude).copied())
+        let mut below = None;
+        loop {
+            // Highest remaining key group that still fits.
+            let &(key, _) = match below {
+                None => self
+                    .powered_by_free
+                    .range((vcpus, BrickId(0))..)
+                    .next_back(),
+                Some(k) => self
+                    .powered_by_free
+                    .range((vcpus, BrickId(0))..(k, BrickId(0)))
+                    .next_back(),
+            }?;
+            let found = self
+                .powered_by_free
+                .range((key, BrickId(0))..)
+                .take_while(|&&(k, _)| k == key)
+                .map(|&(_, b)| b)
+                .find(|&b| b != exclude);
+            if found.is_some() {
+                return found;
+            }
+            below = Some(key);
+        }
     }
 
     /// Fullest powered-on brick that fits `vcpus` (power-aware fallback when
@@ -214,21 +240,24 @@ impl CapacityIndex {
     /// Emptiest powered-on brick (most free cores, lowest id on ties),
     /// provided it fits `vcpus` — the Balanced query. `O(log n)`.
     pub fn emptiest_powered_fit(&self, vcpus: u32) -> Option<BrickId> {
-        let (&free, bucket) = self.powered_by_free.iter().next_back()?;
+        let &(free, _) = self.powered_by_free.last()?;
         if free < vcpus {
             return None;
         }
-        bucket.iter().next().copied()
+        self.powered_by_free
+            .range((free, BrickId(0))..)
+            .next()
+            .map(|&(_, b)| b)
     }
 
     /// Lowest-id sleeping brick whose full capacity could host `vcpus` —
     /// the wake-as-last-resort fallback shared by every policy. Walks the
-    /// total-core buckets at or above `vcpus`: `O(T log n)` where `T` is the
-    /// number of distinct brick sizes in the rack (1 for homogeneous racks).
+    /// rank entries at or above `vcpus`: `O(C log n)` where `C` is the
+    /// number of capable sleeping bricks.
     pub fn first_sleeping_capable(&self, vcpus: u32) -> Option<BrickId> {
         self.sleeping_by_total
-            .range(vcpus..)
-            .filter_map(|(_, bucket)| bucket.iter().next().copied())
+            .range((vcpus, BrickId(0))..)
+            .map(|&(_, b)| b)
             .min()
     }
 
@@ -241,15 +270,14 @@ impl CapacityIndex {
         exclude: BrickId,
     ) -> Option<BrickId> {
         self.sleeping_by_total
-            .range(vcpus..)
-            .filter_map(|(_, bucket)| bucket.iter().find(|&&b| b != exclude).copied())
+            .range((vcpus, BrickId(0))..)
+            .map(|&(_, b)| b)
+            .filter(|&b| b != exclude)
             .min()
     }
 
-    fn fullest_fit(map: &BTreeMap<u32, BTreeSet<BrickId>>, vcpus: u32) -> Option<BrickId> {
-        map.range(vcpus..)
-            .next()
-            .and_then(|(_, bucket)| bucket.iter().next().copied())
+    fn fullest_fit(set: &RankSet, vcpus: u32) -> Option<BrickId> {
+        set.range((vcpus, BrickId(0))..).next().map(|&(_, b)| b)
     }
 }
 

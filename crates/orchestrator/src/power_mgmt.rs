@@ -28,6 +28,16 @@ impl PowerSweep {
     }
 }
 
+/// The bricks a [`PowerManager::power_off_unused_tracked`] sweep newly
+/// switched off, in rack iteration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NewlyOff {
+    /// dCOMPUBRICKs this sweep powered off.
+    pub compute: Vec<dredbox_bricks::BrickId>,
+    /// dACCELBRICKs this sweep powered off.
+    pub accelerator: Vec<dredbox_bricks::BrickId>,
+}
+
 /// Rack-level power manager.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct PowerManager;
@@ -40,15 +50,41 @@ impl PowerManager {
 
     /// Powers off every brick that currently holds no allocation.
     pub fn power_off_unused(&self, rack: &mut Rack) -> PowerSweep {
+        self.power_off_unused_where(rack, |_| true)
+    }
+
+    /// Powers off every unallocated brick `filter` selects — the per-shard
+    /// variant used when sweeps are batched per event-engine shard: each
+    /// shard sweeps only its own bricks, and a whole-rack sweep is the
+    /// identity filter.
+    pub fn power_off_unused_where(
+        &self,
+        rack: &mut Rack,
+        filter: impl FnMut(dredbox_bricks::BrickId) -> bool,
+    ) -> PowerSweep {
+        self.power_off_unused_tracked(rack, filter).0
+    }
+
+    /// [`PowerManager::power_off_unused_where`] that also reports which
+    /// compute and accelerator bricks this sweep newly switched off, so
+    /// callers can sync dependent views (the SDM controller's availability
+    /// indexes) without re-scanning the rack for every already-off brick.
+    pub fn power_off_unused_tracked(
+        &self,
+        rack: &mut Rack,
+        mut filter: impl FnMut(dredbox_bricks::BrickId) -> bool,
+    ) -> (PowerSweep, NewlyOff) {
         let mut sweep = PowerSweep::default();
+        let mut newly = NewlyOff::default();
         for brick in rack.bricks_mut() {
-            if !brick.is_unused() {
+            if !brick.is_unused() || !filter(brick.id()) {
                 continue;
             }
             match brick {
                 Brick::Compute(b) => {
                     if b.power_off().is_ok() {
                         sweep.compute_off += 1;
+                        newly.compute.push(b.id());
                     }
                 }
                 Brick::Memory(b) => {
@@ -59,11 +95,12 @@ impl PowerManager {
                 Brick::Accelerator(b) => {
                     if b.power_off().is_ok() {
                         sweep.accelerator_off += 1;
+                        newly.accelerator.push(b.id());
                     }
                 }
             }
         }
-        sweep
+        (sweep, newly)
     }
 
     /// Powers every brick in the rack back on.
@@ -136,6 +173,29 @@ mod tests {
 
         pm.power_on_all(&mut rack);
         assert!(pm.rack_power(&rack).as_watts() >= before.as_watts() - 1e-9);
+    }
+
+    #[test]
+    fn filtered_sweep_only_touches_selected_bricks() {
+        let mut rack = rack_with_load();
+        let pm = PowerManager::new();
+        // Sweep only even brick ids; odd unused bricks must stay on.
+        let sweep = pm.power_off_unused_where(&mut rack, |id| id.0 % 2 == 0);
+        assert!(sweep.total_off() > 0);
+        for brick in rack.bricks() {
+            let state = match brick {
+                Brick::Compute(b) => b.power_state(),
+                Brick::Memory(b) => b.power_state(),
+                Brick::Accelerator(b) => b.power_state(),
+            };
+            if brick.id().0 % 2 == 1 {
+                assert_ne!(state, dredbox_bricks::PowerState::Off, "{}", brick.id());
+            }
+        }
+        // The complementary sweep finishes the job: together the two
+        // disjoint filters cover exactly the 8 sleepable bricks.
+        let rest = pm.power_off_unused_where(&mut rack, |id| id.0 % 2 == 1);
+        assert_eq!(sweep.total_off() + rest.total_off(), 8);
     }
 
     #[test]

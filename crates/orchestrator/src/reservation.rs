@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use dredbox_bricks::BrickId;
+use dredbox_bricks::{BrickId, BrickMap};
 use dredbox_sim::units::ByteSize;
 
 use crate::error::OrchestratorError;
@@ -49,7 +49,7 @@ pub struct Reservation {
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ReservationLedger {
     pending: BTreeMap<ReservationId, Reservation>,
-    committed_cores: BTreeMap<BrickId, u32>,
+    committed_cores: BrickMap<u32>,
     committed_memory: ByteSize,
     next_id: u64,
 }
@@ -93,7 +93,7 @@ impl ReservationLedger {
             .remove(&id)
             .ok_or(OrchestratorError::NoSuchReservation { reservation: id })?;
         if let Some(brick) = r.compute_brick {
-            *self.committed_cores.entry(brick).or_insert(0) += r.cores;
+            *self.committed_cores.get_or_insert_default(brick) += r.cores;
         }
         self.committed_memory += r.memory;
         Ok(r)
@@ -127,11 +127,11 @@ impl ReservationLedger {
         if let Some(brick) = compute_brick {
             let entry = self
                 .committed_cores
-                .get_mut(&brick)
+                .get_mut(brick)
                 .ok_or(OrchestratorError::UnknownComputeBrick { brick })?;
             *entry = entry.saturating_sub(cores);
             if *entry == 0 {
-                self.committed_cores.remove(&brick);
+                self.committed_cores.remove(brick);
             }
         }
         self.committed_memory = self.committed_memory.saturating_sub(memory);
@@ -151,7 +151,7 @@ impl ReservationLedger {
             .filter(|r| r.compute_brick == Some(brick))
             .map(|r| r.cores)
             .sum();
-        pending + self.committed_cores.get(&brick).copied().unwrap_or(0)
+        pending + self.committed_cores.get(brick).copied().unwrap_or(0)
     }
 
     /// Memory held (pending plus committed) across the pool.

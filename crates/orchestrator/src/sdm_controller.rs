@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
-use dredbox_bricks::{BrickId, PortId};
+use dredbox_bricks::{BrickId, BrickMap, PortId};
 use dredbox_interconnect::LatencyConfig;
 use dredbox_memory::{AllocationPolicy, MemoryGrant, MemoryPool, PickStrategy};
 use dredbox_sim::queue::ControlPlaneQueue;
@@ -232,7 +232,7 @@ impl ComputeState {
 ///
 /// ```
 /// use dredbox_orchestrator::prelude::*;
-/// use dredbox_bricks::BrickId;
+/// use dredbox_bricks::{BrickId, BrickMap};
 /// use dredbox_sim::units::ByteSize;
 ///
 /// let mut sdm = SdmController::dredbox_default();
@@ -247,8 +247,8 @@ impl ComputeState {
 pub struct SdmController {
     pool: MemoryPool,
     ledger: ReservationLedger,
-    agents: BTreeMap<BrickId, SdmAgent>,
-    compute: BTreeMap<BrickId, ComputeState>,
+    agents: BrickMap<SdmAgent>,
+    compute: BrickMap<ComputeState>,
     /// Incremental availability view over `compute`, kept in lockstep by
     /// every allocate / release / power transition so placement queries are
     /// `O(log n)` index lookups instead of rack-wide scans.
@@ -258,7 +258,7 @@ pub struct SdmController {
     latency_config: LatencyConfig,
     /// dMEMBRICKs each compute brick already has a circuit towards; new
     /// destinations need a switch-programming step.
-    circuits: BTreeMap<BrickId, BTreeSet<BrickId>>,
+    circuits: BrickMap<BTreeSet<BrickId>>,
     /// Authoritative per-accelerator state, mirrored into `accel_index`.
     accel: BTreeMap<BrickId, AccelState>,
     /// Incremental availability view over `accel`, kept in lockstep by
@@ -295,13 +295,13 @@ impl SdmController {
         SdmController {
             pool: MemoryPool::new(memory_policy),
             ledger: ReservationLedger::new(),
-            agents: BTreeMap::new(),
-            compute: BTreeMap::new(),
+            agents: BrickMap::new(),
+            compute: BrickMap::new(),
             capacity: CapacityIndex::new(),
             placement,
             timings,
             latency_config,
-            circuits: BTreeMap::new(),
+            circuits: BrickMap::new(),
             accel: BTreeMap::new(),
             accel_index: AccelIndex::new(),
             accel_circuits: BTreeMap::new(),
@@ -327,7 +327,7 @@ impl SdmController {
 
     /// The SDM agent of a compute brick, if registered.
     pub fn agent(&self, brick: BrickId) -> Option<&SdmAgent> {
-        self.agents.get(&brick)
+        self.agents.get(brick)
     }
 
     /// The controller's incremental availability view.
@@ -371,7 +371,7 @@ impl SdmController {
 
     /// Re-indexes one brick's capacity slot from its authoritative state.
     fn sync_capacity(&mut self, brick: BrickId) {
-        if let Some(state) = self.compute.get(&brick) {
+        if let Some(state) = self.compute.get(brick) {
             self.capacity.upsert(brick, state.slot());
         }
     }
@@ -465,10 +465,7 @@ impl SdmController {
     /// compute brick — the pre-index availability inspection, kept as the
     /// reference path for equivalence testing and benchmarking.
     pub fn compute_views(&self) -> Vec<ComputeBrickView> {
-        self.compute
-            .iter()
-            .map(|(b, s)| s.slot().view(*b))
-            .collect()
+        self.compute.iter().map(|(b, s)| s.slot().view(b)).collect()
     }
 
     /// Handles a VM allocation request: picks a compute brick for the vCPUs
@@ -536,7 +533,7 @@ impl SdmController {
         // availability accounting.
         let state = self
             .compute
-            .get(&brick)
+            .get(brick)
             .expect("placement returned a registered brick");
         if state.total_cores - state.used_cores < request.vcpus {
             return Err(OrchestratorError::NoComputeCapacity {
@@ -559,7 +556,7 @@ impl SdmController {
         self.ledger.commit(reservation)?;
         let state = self
             .compute
-            .get_mut(&brick)
+            .get_mut(brick)
             .expect("placement returned a registered brick");
         state.used_cores += request.vcpus;
         state.vm_count += 1;
@@ -588,14 +585,14 @@ impl SdmController {
     ) -> Result<SimDuration, OrchestratorError> {
         let state = self
             .compute
-            .get_mut(&brick)
+            .get_mut(brick)
             .ok_or(OrchestratorError::UnknownComputeBrick { brick })?;
         if !state.vm_cores.contains_key(&vcpus) {
             return Err(OrchestratorError::MismatchedVmRelease { brick, vcpus });
         }
         self.ledger
             .release_committed(Some(brick), vcpus, ByteSize::ZERO)?;
-        let state = self.compute.get_mut(&brick).expect("checked above");
+        let state = self.compute.get_mut(brick).expect("checked above");
         let holders = state.vm_cores.get_mut(&vcpus).expect("checked above");
         *holders -= 1;
         if *holders == 0 {
@@ -644,7 +641,7 @@ impl SdmController {
         }
         let src = self
             .compute
-            .get(&from)
+            .get(from)
             .ok_or(OrchestratorError::UnknownComputeBrick { brick: from })?;
         if !src.vm_cores.contains_key(&vcpus) {
             return Err(OrchestratorError::MismatchedVmRelease { brick: from, vcpus });
@@ -664,7 +661,7 @@ impl SdmController {
         }
         let dst = self
             .compute
-            .get(&to)
+            .get(to)
             .ok_or(OrchestratorError::UnknownComputeBrick { brick: to })?;
         if dst.total_cores - dst.used_cores < vcpus {
             return Err(OrchestratorError::NoComputeCapacity {
@@ -690,7 +687,7 @@ impl SdmController {
         {
             let agent = self
                 .agents
-                .get_mut(&to)
+                .get_mut(to)
                 .expect("agent exists for every registered brick");
             'grants: for grant in grants {
                 let mut bases = Vec::with_capacity(grant.grant.segments().len());
@@ -730,7 +727,7 @@ impl SdmController {
             .iter()
             .flat_map(|g| g.grant.segments().iter().map(|s| s.membrick))
             .collect();
-        let known = self.circuits.entry(to).or_default();
+        let known = self.circuits.get_or_insert_default(to);
         let mut circuits_programmed = 0u32;
         for membrick in &involved {
             if known.insert(*membrick) {
@@ -754,7 +751,7 @@ impl SdmController {
         {
             let agent = self
                 .agents
-                .get_mut(&from)
+                .get_mut(from)
                 .expect("agent exists for every registered brick");
             for base in grants.iter().flat_map(|g| g.rmst_bases.iter()) {
                 if let Ok(t) = agent.apply_detach(*base) {
@@ -769,7 +766,7 @@ impl SdmController {
             .saturating_mul(u64::from(circuits_torn_down));
 
         // Re-index both bricks' capacity slots.
-        let src = self.compute.get_mut(&from).expect("validated above");
+        let src = self.compute.get_mut(from).expect("validated above");
         let holders = src.vm_cores.get_mut(&vcpus).expect("validated above");
         *holders -= 1;
         if *holders == 0 {
@@ -778,7 +775,7 @@ impl SdmController {
         src.used_cores -= vcpus;
         src.vm_count -= 1;
         src.attached_segments = src.attached_segments.saturating_sub(segment_count);
-        let dst = self.compute.get_mut(&to).expect("validated above");
+        let dst = self.compute.get_mut(to).expect("validated above");
         dst.used_cores += vcpus;
         dst.vm_count += 1;
         *dst.vm_cores.entry(vcpus).or_insert(0) += 1;
@@ -840,10 +837,10 @@ impl SdmController {
     /// Shared by grant release and the migration drain so the circuit view
     /// always equals the set of dMEMBRICKs with live routes.
     fn tear_down_unused_circuits(&mut self, brick: BrickId, involved: &BTreeSet<BrickId>) -> u32 {
-        let Some(agent) = self.agents.get(&brick) else {
+        let Some(agent) = self.agents.get(brick) else {
             return 0;
         };
-        let Some(routes) = self.circuits.get_mut(&brick) else {
+        let Some(routes) = self.circuits.get_mut(brick) else {
             return 0;
         };
         let mut torn_down = 0u32;
@@ -871,7 +868,7 @@ impl SdmController {
     ) -> Result<(), OrchestratorError> {
         let state = self
             .compute
-            .get_mut(&brick)
+            .get_mut(brick)
             .ok_or(OrchestratorError::UnknownComputeBrick { brick })?;
         state.powered_on = powered_on;
         self.sync_capacity(brick);
@@ -938,7 +935,7 @@ impl SdmController {
     ) -> Result<OffloadGrant, OrchestratorError> {
         // Validation phase: every rejection below leaves the controller
         // untouched.
-        if !self.compute.contains_key(&request.compute_brick) {
+        if !self.compute.contains_key(request.compute_brick) {
             return Err(OrchestratorError::UnknownComputeBrick {
                 brick: request.compute_brick,
             });
@@ -1086,7 +1083,7 @@ impl SdmController {
         &mut self,
         demand: ScaleUpDemand,
     ) -> Result<ScaleUpGrant, OrchestratorError> {
-        if !self.compute.contains_key(&demand.compute_brick) {
+        if !self.compute.contains_key(demand.compute_brick) {
             return Err(OrchestratorError::UnknownComputeBrick {
                 brick: demand.compute_brick,
             });
@@ -1107,7 +1104,7 @@ impl SdmController {
 
         // Program circuits towards dMEMBRICKs this brick does not reach yet
         // (remembering which ones, so a failed attach can unwind them).
-        let known = self.circuits.entry(demand.compute_brick).or_default();
+        let known = self.circuits.get_or_insert_default(demand.compute_brick);
         let mut new_circuits: Vec<BrickId> = Vec::new();
         for segment in grant.segments() {
             if known.insert(segment.membrick) {
@@ -1122,11 +1119,11 @@ impl SdmController {
         // Push the attach configuration to the SDM agent.
         let state = self
             .compute
-            .get_mut(&demand.compute_brick)
+            .get_mut(demand.compute_brick)
             .expect("checked above");
         let agent = self
             .agents
-            .get_mut(&demand.compute_brick)
+            .get_mut(demand.compute_brick)
             .expect("agent exists for every registered brick");
         let mut rmst_bases = Vec::with_capacity(grant.segments().len());
         for segment in grant.segments() {
@@ -1144,7 +1141,7 @@ impl SdmController {
                     for base in &rmst_bases {
                         let _ = agent.apply_detach(*base);
                     }
-                    if let Some(routes) = self.circuits.get_mut(&demand.compute_brick) {
+                    if let Some(routes) = self.circuits.get_mut(demand.compute_brick) {
                         for membrick in &new_circuits {
                             routes.remove(membrick);
                         }
@@ -1179,7 +1176,7 @@ impl SdmController {
         grant: &ScaleUpGrant,
     ) -> Result<SimDuration, OrchestratorError> {
         let mut service_time = self.timings.request_rpc + self.timings.reservation_write;
-        if let Some(agent) = self.agents.get_mut(&grant.demand.compute_brick) {
+        if let Some(agent) = self.agents.get_mut(grant.demand.compute_brick) {
             for base in &grant.rmst_bases {
                 if let Ok(t) = agent.apply_detach(*base) {
                     service_time += self.timings.agent_push + t;

@@ -3,6 +3,18 @@
 //! Events are ordered by their scheduled [`SimTime`]; ties are broken by
 //! insertion order so that two runs of the same experiment with the same seed
 //! always produce identical traces.
+//!
+//! # Ordering contract
+//!
+//! Every [`EventQueue::schedule`] call stamps the event with a monotonically
+//! increasing sequence number, and [`EventQueue::pop`] returns events in
+//! strict (time, seq) order: earliest time first, and — for events scheduled
+//! at the *same* time — FIFO in push order. Nothing else influences the
+//! order; in particular the event payload is never compared. The
+//! [`shard`](crate::shard) module extends this same contract across
+//! per-shard queues to (time, shard, seq): at equal times the lowest shard
+//! pops first, and cross-shard mailbox arrivals merge by
+//! (time, source shard, send seq).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -152,6 +164,27 @@ mod tests {
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         let expected: Vec<_> = (0..100).collect();
         assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn fifo_tie_break_holds_between_interleaved_times() {
+        // Equal-time events must pop in push order even when pushes at
+        // other times are interleaved between them and the heap has been
+        // exercised by pops in the meantime.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(20), "t20-first");
+        q.schedule(SimTime::from_nanos(10), "t10-first");
+        q.schedule(SimTime::from_nanos(20), "t20-second");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "t10-first")));
+        q.schedule(SimTime::from_nanos(20), "t20-third");
+        q.schedule(SimTime::from_nanos(10), "t10-late");
+        // The late t=10 event still precedes every t=20 event…
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "t10-late")));
+        // …and the t=20 events come out strictly in push order.
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "t20-first")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "t20-second")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "t20-third")));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! * [`event`] — a deterministic event queue keyed by time and insertion order.
 //! * [`engine`] — a small engine that drains an [`event::EventQueue`] against a
 //!   user-provided world state.
+//! * [`shard`] — the same engine partitioned into per-shard calendars (one per
+//!   rack) with deterministic (time, shard, seq) cross-shard mailboxes.
+//! * [`arena`] — generational slab arenas giving the scenario hot path stable
+//!   `u32` slots and an allocation-free steady state.
 //! * [`rng`] — a seedable, reproducible random-number generator wrapper so that
 //!   every experiment in the repository is deterministic given a seed.
 //! * [`queue`] — deterministic FIFO serialization of control-plane requests
@@ -35,24 +39,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod engine;
 pub mod error;
 pub mod event;
 pub mod queue;
 pub mod report;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod units;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
-    pub use crate::engine::{Engine, Process};
+    pub use crate::arena::{SlotArena, SlotKey};
+    pub use crate::engine::{Engine, Process, RunOutcome};
     pub use crate::error::SimError;
     pub use crate::event::EventQueue;
     pub use crate::queue::{ControlPlaneQueue, QueueAdmission};
     pub use crate::report::{Figure, Row, Series, Table};
     pub use crate::rng::SimRng;
+    pub use crate::shard::{ShardContext, ShardId, ShardedEngine, ShardedProcess};
     pub use crate::stats::{BoxPlot, Histogram, Summary};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::units::{Bandwidth, ByteSize, DecibelMilliwatts, Milliwatts, Watts};

@@ -1,0 +1,617 @@
+//! Shard-partitioned discrete-event engine with a deterministic
+//! cross-shard mailbox.
+//!
+//! A [`ShardedEngine`] runs one event calendar per *shard* — a rack in the
+//! dReDBox scenarios; the whole system is shard 0 for everything that does
+//! not opt into partitioning. The engine stays single-threaded: sharding
+//! here is a *data-structure* boundary (per-shard heaps, per-shard control
+//! planes) that a future threaded runner can pick up without changing a
+//! single report bit.
+//!
+//! # Ordering contract
+//!
+//! The engine extends the [`EventQueue`](crate::event::EventQueue)
+//! contract of (time, seq) FIFO tie-breaking to (time, shard, seq):
+//!
+//! 1. **Within a shard**, locally scheduled events fire in (time, local
+//!    seq) order — exactly the single-engine contract.
+//! 2. **Across shards**, the next event globally is the one with the
+//!    earliest time; at equal times the lowest shard id goes first.
+//! 3. **Cross-shard sends** land in the destination shard's mailbox, a
+//!    min-heap ordered by (arrival time, source shard, send seq). At equal
+//!    arrival times a shard fires its *local* events before its mailbox
+//!    arrivals, and mailbox arrivals fire in (source shard, send seq)
+//!    order — independent of the wall-clock order the sends were issued
+//!    in. This is what keeps a sharded replay bit-deterministic: the merge
+//!    is a pure function of timestamps and ids, never of execution
+//!    interleaving.
+//!
+//! With a single shard and only local scheduling, the run is
+//! *bit-identical* to [`Engine`](crate::engine::Engine) on the same trace:
+//! same pops, same clock, same [`RunOutcome`].
+//!
+//! ```
+//! use dredbox_sim::shard::{ShardContext, ShardId, ShardedEngine, ShardedProcess};
+//! use dredbox_sim::engine::RunOutcome;
+//! use dredbox_sim::time::{SimDuration, SimTime};
+//!
+//! /// A token bounces between two racks until it has hopped 6 times.
+//! struct PingPong { hops: u32 }
+//! impl ShardedProcess for PingPong {
+//!     type Event = u32;
+//!     fn handle(&mut self, shard: ShardId, now: SimTime, hop: u32,
+//!               ctx: &mut ShardContext<'_, u32>) {
+//!         self.hops = hop;
+//!         if hop < 6 {
+//!             let to = ShardId((shard.0 + 1) % 2);
+//!             ctx.send(to, now + SimDuration::from_micros(1), hop + 1);
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = ShardedEngine::new(2);
+//! engine.schedule(ShardId(0), SimTime::ZERO, 1);
+//! let mut world = PingPong { hops: 0 };
+//! assert_eq!(engine.run(&mut world), RunOutcome::Drained);
+//! assert_eq!(world.hops, 6);
+//! assert_eq!(engine.processed(), 6);
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::engine::RunOutcome;
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// Identifies one shard (one per-rack event domain) of a [`ShardedEngine`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct ShardId(pub u32);
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// A cross-shard event waiting in a destination mailbox.
+#[derive(Debug, Clone)]
+struct MailEntry<E> {
+    at: SimTime,
+    from: ShardId,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for MailEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.from == other.from && self.seq == other.seq
+    }
+}
+impl<E> Eq for MailEntry<E> {}
+
+impl<E> PartialOrd for MailEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for MailEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap inverted into the (time, source shard, send seq) merge
+        // order of the module contract.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.from.cmp(&self.from))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A process partitioned across shards: reacts to events of type `E`
+/// delivered on a given shard, scheduling follow-ups through the
+/// [`ShardContext`].
+pub trait ShardedProcess {
+    /// The event type handled by this process.
+    type Event;
+
+    /// Handles `event` firing on `shard` at `now`. Local follow-ups and
+    /// cross-shard sends go through `ctx`; scheduling in the past is a
+    /// logic error and panics inside [`ShardedEngine::run`].
+    fn handle(
+        &mut self,
+        shard: ShardId,
+        now: SimTime,
+        event: Self::Event,
+        ctx: &mut ShardContext<'_, Self::Event>,
+    );
+}
+
+/// Scheduling surface handed to [`ShardedProcess::handle`]: the firing
+/// shard's own calendar plus the mailboxes of every other shard.
+pub struct ShardContext<'a, E> {
+    shard: ShardId,
+    now: SimTime,
+    local: &'a mut EventQueue<E>,
+    mailboxes: &'a mut [BinaryHeap<MailEntry<E>>],
+    send_seq: &'a mut u64,
+}
+
+impl<E> ShardContext<'_, E> {
+    /// The shard the current event fired on.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` on the current shard's own calendar at absolute
+    /// time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule an event in the past");
+        self.local.schedule(at, event);
+    }
+
+    /// Sends `event` to shard `to`, arriving at absolute time `at`. A send
+    /// to the current shard is a plain local [`ShardContext::schedule`];
+    /// anything else goes through `to`'s mailbox and fires in
+    /// (time, source shard, send seq) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock or `to` is not a
+    /// shard of this engine.
+    pub fn send(&mut self, to: ShardId, at: SimTime, event: E) {
+        if to == self.shard {
+            self.schedule(at, event);
+            return;
+        }
+        assert!(at >= self.now, "cannot send an event into the past");
+        let seq = *self.send_seq;
+        *self.send_seq += 1;
+        self.mailboxes
+            .get_mut(to.0 as usize)
+            .unwrap_or_else(|| panic!("{to} is not a shard of this engine"))
+            .push(MailEntry {
+                at,
+                from: self.shard,
+                seq,
+                event,
+            });
+    }
+}
+
+/// Where a shard's next event comes from: its own calendar or its mailbox.
+/// Local sorts first so that, at equal times, locally scheduled events
+/// fire before cross-shard arrivals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Source {
+    Local,
+    Mailbox,
+}
+
+/// Discrete-event engine with one calendar per shard and deterministic
+/// cross-shard mailboxes. See the module docs for the ordering contract;
+/// run semantics (horizon, event budget, outcomes) mirror
+/// [`Engine`](crate::engine::Engine).
+#[derive(Debug)]
+pub struct ShardedEngine<E> {
+    now: SimTime,
+    queues: Vec<EventQueue<E>>,
+    mailboxes: Vec<BinaryHeap<MailEntry<E>>>,
+    send_seq: u64,
+    horizon: Option<SimTime>,
+    max_events: Option<u64>,
+    processed: u64,
+}
+
+impl<E> ShardedEngine<E> {
+    /// Creates an engine with `shards` event domains, the clock at
+    /// [`SimTime::ZERO`] and no limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a sharded engine needs at least one shard");
+        ShardedEngine {
+            now: SimTime::ZERO,
+            queues: (0..shards).map(|_| EventQueue::new()).collect(),
+            mailboxes: (0..shards).map(|_| BinaryHeap::new()).collect(),
+            send_seq: 0,
+            horizon: None,
+            max_events: None,
+            processed: 0,
+        }
+    }
+
+    /// Stops the run once the clock would advance past `horizon`.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Stops the run after `max_events` events have been processed.
+    pub fn with_event_budget(mut self, max_events: u64) -> Self {
+        self.max_events = Some(max_events);
+        self
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far, across all shards.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events across all calendars and mailboxes.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(EventQueue::len).sum::<usize>()
+            + self.mailboxes.iter().map(BinaryHeap::len).sum::<usize>()
+    }
+
+    /// Schedules `event` on `shard`'s calendar at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock or `shard` is out
+    /// of range.
+    pub fn schedule(&mut self, shard: ShardId, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule an event in the past");
+        self.queues
+            .get_mut(shard.0 as usize)
+            .unwrap_or_else(|| panic!("{shard} is not a shard of this engine"))
+            .schedule(at, event);
+    }
+
+    /// The (time, source) of `shard`'s next event, if it has one. At equal
+    /// times the local calendar wins over the mailbox.
+    fn shard_next(&self, shard: usize) -> Option<(SimTime, Source)> {
+        let local = self.queues[shard].peek_time();
+        let mail = self.mailboxes[shard].peek().map(|e| e.at);
+        match (local, mail) {
+            (None, None) => None,
+            (Some(t), None) => Some((t, Source::Local)),
+            (None, Some(t)) => Some((t, Source::Mailbox)),
+            (Some(l), Some(m)) => {
+                if m < l {
+                    Some((m, Source::Mailbox))
+                } else {
+                    Some((l, Source::Local))
+                }
+            }
+        }
+    }
+
+    /// The globally next event: earliest time, ties to the lowest shard.
+    fn global_next(&self) -> Option<(SimTime, usize, Source)> {
+        let mut best: Option<(SimTime, usize, Source)> = None;
+        for shard in 0..self.queues.len() {
+            if let Some((t, source)) = self.shard_next(shard) {
+                // Strict `<` keeps the lowest shard id on equal times,
+                // because shards are visited in ascending order.
+                let earlier = match best {
+                    None => true,
+                    Some((best_time, _, _)) => t < best_time,
+                };
+                if earlier {
+                    best = Some((t, shard, source));
+                }
+            }
+        }
+        best
+    }
+
+    /// Runs the simulation until every calendar and mailbox drains or a
+    /// limit is hit. Semantics match [`Engine::run`](crate::engine::Engine::run):
+    /// the budget is checked before each pop and the horizon against the
+    /// next event's time.
+    pub fn run<P: ShardedProcess<Event = E>>(&mut self, world: &mut P) -> RunOutcome {
+        loop {
+            if let Some(max) = self.max_events {
+                if self.processed >= max {
+                    return RunOutcome::BudgetExhausted;
+                }
+            }
+            let Some((next_time, shard, source)) = self.global_next() else {
+                return RunOutcome::Drained;
+            };
+            if let Some(h) = self.horizon {
+                if next_time > h {
+                    return RunOutcome::HorizonReached;
+                }
+            }
+            let (at, event) = match source {
+                Source::Local => self.queues[shard].pop().expect("peeked event must exist"),
+                Source::Mailbox => {
+                    let entry = self.mailboxes[shard].pop().expect("peeked mail must exist");
+                    (entry.at, entry.event)
+                }
+            };
+            debug_assert!(at >= self.now, "shard produced a time in the past");
+            self.now = at;
+            self.processed += 1;
+            let mut ctx = ShardContext {
+                shard: ShardId(shard as u32),
+                now: at,
+                local: &mut self.queues[shard],
+                mailboxes: &mut self.mailboxes,
+                send_seq: &mut self.send_seq,
+            };
+            world.handle(ShardId(shard as u32), at, event, &mut ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, Process};
+    use crate::time::SimDuration;
+
+    /// Mirrors the single-engine `Pinger`, recording the full pop trace.
+    struct Tracer {
+        trace: Vec<(SimTime, u32, u32)>, // (time, shard, payload)
+        respawn: u32,
+        interval: SimDuration,
+    }
+
+    impl ShardedProcess for Tracer {
+        type Event = u32;
+        fn handle(
+            &mut self,
+            shard: ShardId,
+            now: SimTime,
+            ev: u32,
+            ctx: &mut ShardContext<'_, u32>,
+        ) {
+            self.trace.push((now, shard.0, ev));
+            if ev < self.respawn {
+                ctx.schedule(now + self.interval, ev + 1);
+            }
+        }
+    }
+
+    struct FlatTracer {
+        trace: Vec<(SimTime, u32, u32)>,
+        respawn: u32,
+        interval: SimDuration,
+    }
+
+    impl Process for FlatTracer {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, q: &mut EventQueue<u32>) {
+            self.trace.push((now, 0, ev));
+            if ev < self.respawn {
+                q.schedule(now + self.interval, ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_matches_the_flat_engine_bit_for_bit() {
+        let interval = SimDuration::from_micros(3);
+        let mut flat = Engine::new().with_horizon(SimTime::from_micros(40));
+        let mut flat_world = FlatTracer {
+            trace: Vec::new(),
+            respawn: 1_000,
+            interval,
+        };
+        flat.schedule(SimTime::ZERO, 0);
+        flat.schedule(SimTime::from_micros(5), 100);
+        let flat_outcome = flat.run(&mut flat_world);
+
+        let mut sharded = ShardedEngine::new(1).with_horizon(SimTime::from_micros(40));
+        let mut world = Tracer {
+            trace: Vec::new(),
+            respawn: 1_000,
+            interval,
+        };
+        sharded.schedule(ShardId(0), SimTime::ZERO, 0);
+        sharded.schedule(ShardId(0), SimTime::from_micros(5), 100);
+        let outcome = sharded.run(&mut world);
+
+        assert_eq!(outcome, flat_outcome);
+        assert_eq!(world.trace, flat_world.trace);
+        assert_eq!(sharded.now(), flat.now());
+        assert_eq!(sharded.processed(), flat.processed());
+        assert_eq!(sharded.pending(), flat.pending());
+    }
+
+    #[test]
+    fn sharded_runs_replay_deterministically() {
+        let run = || {
+            let mut engine = ShardedEngine::new(4);
+            let mut world = Bouncer { log: Vec::new() };
+            for s in 0..4u32 {
+                engine.schedule(ShardId(s), SimTime::from_nanos(u64::from(s % 2)), s);
+            }
+            let outcome = engine.run(&mut world);
+            (outcome, world.log, engine.processed())
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// Every event hops to the next shard until its payload hits 40.
+    struct Bouncer {
+        log: Vec<(SimTime, u32, u32)>,
+    }
+
+    impl ShardedProcess for Bouncer {
+        type Event = u32;
+        fn handle(
+            &mut self,
+            shard: ShardId,
+            now: SimTime,
+            ev: u32,
+            ctx: &mut ShardContext<'_, u32>,
+        ) {
+            self.log.push((now, shard.0, ev));
+            if ev < 40 {
+                let to = ShardId((shard.0 + 1) % 4);
+                ctx.send(to, now + SimDuration::from_nanos(7), ev + 10);
+            }
+        }
+    }
+
+    #[test]
+    fn mailbox_merge_orders_by_time_shard_seq_not_send_order() {
+        // Shard 2 executes FIRST (t=0) and sends to shard 0 arriving at
+        // t=100; shard 1 executes later (t=5) and sends arriving at the
+        // same t=100. The merge rule (time, source shard, send seq) must
+        // pop shard 1's payload first despite shard 2 sending first.
+        struct W {
+            received: Vec<u32>,
+        }
+        impl ShardedProcess for W {
+            type Event = u32;
+            fn handle(
+                &mut self,
+                shard: ShardId,
+                _now: SimTime,
+                ev: u32,
+                ctx: &mut ShardContext<'_, u32>,
+            ) {
+                if shard == ShardId(0) {
+                    self.received.push(ev);
+                } else {
+                    ctx.send(ShardId(0), SimTime::from_nanos(100), ev);
+                }
+            }
+        }
+        let mut engine = ShardedEngine::new(3);
+        engine.schedule(ShardId(2), SimTime::ZERO, 22);
+        engine.schedule(ShardId(1), SimTime::from_nanos(5), 11);
+        let mut world = W {
+            received: Vec::new(),
+        };
+        assert_eq!(engine.run(&mut world), RunOutcome::Drained);
+        assert_eq!(world.received, vec![11, 22]);
+    }
+
+    #[test]
+    fn local_events_fire_before_mailbox_arrivals_at_equal_times() {
+        // Shard 0 has a LOCAL event at t=100; shard 1 sends an arrival for
+        // the same t=100. The local event must pop first.
+        struct W {
+            order: Vec<&'static str>,
+        }
+        impl ShardedProcess for W {
+            type Event = &'static str;
+            fn handle(
+                &mut self,
+                shard: ShardId,
+                _now: SimTime,
+                ev: &'static str,
+                ctx: &mut ShardContext<'_, &'static str>,
+            ) {
+                if shard == ShardId(1) {
+                    ctx.send(ShardId(0), SimTime::from_nanos(100), "remote");
+                } else {
+                    self.order.push(ev);
+                }
+            }
+        }
+        let mut engine = ShardedEngine::new(2);
+        engine.schedule(ShardId(1), SimTime::ZERO, "trigger");
+        engine.schedule(ShardId(0), SimTime::from_nanos(100), "local");
+        let mut world = W { order: Vec::new() };
+        assert_eq!(engine.run(&mut world), RunOutcome::Drained);
+        assert_eq!(world.order, vec!["local", "remote"]);
+    }
+
+    #[test]
+    fn equal_time_pops_go_to_the_lowest_shard_first() {
+        struct W {
+            order: Vec<u32>,
+        }
+        impl ShardedProcess for W {
+            type Event = ();
+            fn handle(
+                &mut self,
+                shard: ShardId,
+                _now: SimTime,
+                _ev: (),
+                _ctx: &mut ShardContext<'_, ()>,
+            ) {
+                self.order.push(shard.0);
+            }
+        }
+        let mut engine = ShardedEngine::new(3);
+        for s in [2u32, 0, 1] {
+            engine.schedule(ShardId(s), SimTime::from_nanos(9), ());
+        }
+        let mut world = W { order: Vec::new() };
+        engine.run(&mut world);
+        assert_eq!(world.order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn horizon_and_budget_match_flat_semantics() {
+        let mut engine = ShardedEngine::new(2).with_horizon(SimTime::from_micros(3));
+        engine.schedule(ShardId(0), SimTime::ZERO, 0);
+        let mut world = Tracer {
+            trace: Vec::new(),
+            respawn: 1_000,
+            interval: SimDuration::from_micros(1),
+        };
+        assert_eq!(engine.run(&mut world), RunOutcome::HorizonReached);
+        // t=0,1,2,3 us processed; the t=4 us event stays queued.
+        assert_eq!(world.trace.len(), 4);
+        assert_eq!(engine.pending(), 1);
+
+        let mut engine = ShardedEngine::new(2).with_event_budget(7);
+        engine.schedule(ShardId(1), SimTime::ZERO, 0);
+        let mut world = Tracer {
+            trace: Vec::new(),
+            respawn: 1_000,
+            interval: SimDuration::from_nanos(5),
+        };
+        assert_eq!(engine.run(&mut world), RunOutcome::BudgetExhausted);
+        assert_eq!(world.trace.len(), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_shards_panics() {
+        let _ = ShardedEngine::<()>::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sending_to_an_unknown_shard_panics() {
+        struct W;
+        impl ShardedProcess for W {
+            type Event = ();
+            fn handle(
+                &mut self,
+                _s: ShardId,
+                now: SimTime,
+                _ev: (),
+                ctx: &mut ShardContext<'_, ()>,
+            ) {
+                ctx.send(ShardId(9), now, ());
+            }
+        }
+        let mut engine = ShardedEngine::new(2);
+        engine.schedule(ShardId(0), SimTime::ZERO, ());
+        engine.run(&mut W);
+    }
+}

@@ -6,12 +6,11 @@
 //! support lets applications inside a VM request the expansion of available
 //! system memory.
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 
 use dredbox_bricks::BrickId;
 use dredbox_memory::HotplugModel;
+use dredbox_sim::arena::{SlotArena, SlotKey};
 use dredbox_sim::time::SimDuration;
 use dredbox_sim::units::ByteSize;
 
@@ -39,12 +38,25 @@ pub struct Hypervisor {
     os: BaremetalOs,
     total_cores: u32,
     allocated_cores: u32,
-    vms: BTreeMap<VmId, Vm>,
-    next_vm: u64,
+    /// Sum of every live VM's current memory, maintained incrementally so
+    /// the admission checks on [`Hypervisor::free_memory`] stop re-summing
+    /// the arena — under packing placement one brick hosts many VMs, and
+    /// that sum sat on the scenario engine's per-event hot path.
+    committed_memory: ByteSize,
+    /// Live VMs interned in a generational slab arena: a [`VmId`] is the
+    /// packed slot key, so lookups are a bounds check plus a generation
+    /// compare, destroyed ids keep missing even after their slot is
+    /// recycled, and admit/destroy churn stops allocating map nodes.
+    vms: SlotArena<Vm>,
     /// Fixed QEMU `device_add pc-dimm` + ACPI/DT notification cost per DIMM.
     dimm_attach_overhead: SimDuration,
     /// Local boot time of a minimal guest image on the brick.
     guest_boot_time: SimDuration,
+}
+
+/// The arena key a [`VmId`] packs.
+fn vm_key(vm: VmId) -> SlotKey {
+    SlotKey::from_u64(vm.0)
 }
 
 impl Hypervisor {
@@ -54,8 +66,8 @@ impl Hypervisor {
             os,
             total_cores,
             allocated_cores: 0,
-            vms: BTreeMap::new(),
-            next_vm: 0,
+            committed_memory: ByteSize::ZERO,
+            vms: SlotArena::new(),
             dimm_attach_overhead: SimDuration::from_millis(60),
             guest_boot_time: SimDuration::from_secs(8),
         }
@@ -89,19 +101,18 @@ impl Hypervisor {
 
     /// Memory visible to the hypervisor but not yet given to any VM.
     pub fn free_memory(&self) -> ByteSize {
-        let committed: ByteSize = self.vms.values().map(|vm| vm.current_memory()).sum();
-        self.os.total_memory().saturating_sub(committed)
+        self.os.total_memory().saturating_sub(self.committed_memory)
     }
 
     /// Number of live VMs. Destroyed VMs are removed from the hypervisor's
-    /// tables entirely, so every VM in the map counts.
+    /// tables entirely, so every VM in the arena counts.
     pub fn vm_count(&self) -> usize {
         self.vms.len()
     }
 
     /// Looks up a VM.
     pub fn vm(&self, id: VmId) -> Option<&Vm> {
-        self.vms.get(&id)
+        self.vms.get(vm_key(id))
     }
 
     /// Iterates over all VMs.
@@ -136,13 +147,14 @@ impl Hypervisor {
                 available: self.free_memory(),
             });
         }
-        let id = VmId(self.next_vm);
-        self.next_vm += 1;
-        let mut vm = Vm::new(id, spec);
-        vm.mark_running();
-        self.vms.insert(id, vm);
+        let key = self.vms.insert_with(|key| {
+            let mut vm = Vm::new(VmId(key.to_u64()), spec);
+            vm.mark_running();
+            vm
+        });
         self.allocated_cores += spec.vcpus;
-        Ok((id, self.guest_boot_time))
+        self.committed_memory += spec.memory;
+        Ok((VmId(key.to_u64()), self.guest_boot_time))
     }
 
     /// Hot-adds a RAM DIMM of `amount` to a running VM, returning the time
@@ -172,12 +184,13 @@ impl Hypervisor {
         let guest_hotplug: HotplugModel = *self.os.hotplug_model();
         let vm_ref = self
             .vms
-            .get_mut(&vm)
+            .get_mut(vm_key(vm))
             .ok_or(SoftstackError::NoSuchVm { vm })?;
         if !vm_ref.is_running() {
             return Err(SoftstackError::VmNotRunning { vm });
         }
         vm_ref.grow_memory(amount);
+        self.committed_memory += amount;
         // QEMU device_add + guest kernel onlining of the new blocks.
         Ok(self.dimm_attach_overhead + guest_hotplug.online_time(amount))
     }
@@ -198,7 +211,7 @@ impl Hypervisor {
         let guest_hotplug: HotplugModel = *self.os.hotplug_model();
         let vm_ref = self
             .vms
-            .get_mut(&vm)
+            .get_mut(vm_key(vm))
             .ok_or(SoftstackError::NoSuchVm { vm })?;
         if !vm_ref.is_running() {
             return Err(SoftstackError::VmNotRunning { vm });
@@ -207,6 +220,7 @@ impl Hypervisor {
             return Err(SoftstackError::DetachUnderflow { vm });
         }
         vm_ref.shrink_memory(amount);
+        self.committed_memory = self.committed_memory.saturating_sub(amount);
         Ok(self.dimm_attach_overhead + guest_hotplug.offline_time(amount))
     }
 
@@ -220,7 +234,7 @@ impl Hypervisor {
     pub fn issue_offload(&mut self, vm: VmId) -> Result<u32, SoftstackError> {
         let vm_ref = self
             .vms
-            .get_mut(&vm)
+            .get_mut(vm_key(vm))
             .ok_or(SoftstackError::NoSuchVm { vm })?;
         if !vm_ref.is_running() {
             return Err(SoftstackError::VmNotRunning { vm });
@@ -240,9 +254,12 @@ impl Hypervisor {
     pub fn evict_vm(&mut self, vm: VmId) -> Result<Vm, SoftstackError> {
         let vm_ref = self
             .vms
-            .remove(&vm)
+            .remove(vm_key(vm))
             .ok_or(SoftstackError::NoSuchVm { vm })?;
         self.allocated_cores -= vm_ref.spec().vcpus;
+        self.committed_memory = self
+            .committed_memory
+            .saturating_sub(vm_ref.current_memory());
         Ok(vm_ref)
     }
 
@@ -275,12 +292,14 @@ impl Hypervisor {
                 available: self.free_memory(),
             });
         }
-        let id = VmId(self.next_vm);
-        self.next_vm += 1;
-        vm.renumber(id);
-        self.vms.insert(id, vm);
+        let adopted_memory = vm.current_memory();
+        let key = self.vms.insert_with(|key| {
+            vm.renumber(VmId(key.to_u64()));
+            vm
+        });
         self.allocated_cores += vcpus;
-        Ok(id)
+        self.committed_memory += adopted_memory;
+        Ok(VmId(key.to_u64()))
     }
 
     /// Terminates a VM, releasing its cores and memory and dropping it from
@@ -293,11 +312,14 @@ impl Hypervisor {
     pub fn destroy_vm(&mut self, vm: VmId) -> Result<(), SoftstackError> {
         let vm_ref = self
             .vms
-            .remove(&vm)
+            .remove(vm_key(vm))
             .ok_or(SoftstackError::NoSuchVm { vm })?;
         // Every VM in the map holds its spec'd cores (create_vm marks it
         // running on insert), so the release is unconditional.
         self.allocated_cores -= vm_ref.spec().vcpus;
+        self.committed_memory = self
+            .committed_memory
+            .saturating_sub(vm_ref.current_memory());
         Ok(())
     }
 }

@@ -1,0 +1,29 @@
+//! Regenerates the golden scenario-report snapshots under `tests/golden/`.
+//!
+//! Each snapshot is the full `Debug` representation plus the rendered table
+//! of one extended-suite scenario report at a fixed seed. The
+//! `tests/scenario_engine.rs` bit-determinism regression compares live runs
+//! against these files byte for byte, so any engine or control-plane change
+//! that shifts a single report bit fails loudly.
+//!
+//! Run with: `cargo run --release --example golden`
+//!
+//! Only run this intentionally — overwriting the snapshots redefines the
+//! baseline the regression tests hold the engine to.
+
+use dredbox::prelude::*;
+
+fn main() -> Result<(), SystemError> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");
+    std::fs::create_dir_all(&dir).expect("create tests/golden");
+    for spec in ScenarioSpec::extended_suite() {
+        for seed in [2018u64, 7] {
+            let report = spec.run(seed)?;
+            let path = dir.join(format!("{}-{}.txt", spec.name, seed));
+            let contents = format!("{report:#?}\n{report}");
+            std::fs::write(&path, contents).expect("write golden snapshot");
+            println!("wrote {}", path.display());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,135 @@
+//! Property tests pinning [`SlotArena`] to an ordered-map model.
+//!
+//! The scenario engine interns per-VM state in slab arenas for speed; these
+//! properties are what lets it do so safely. A from-scratch
+//! `BTreeMap<u64, _>` (keyed by the packed [`SlotKey`]) replays the same
+//! operation sequence, and after every single step the arena must agree
+//! with the model on length, membership, lookups, and index-ordered
+//! iteration. The awkward edges get explicit coverage: LIFO slot reuse,
+//! stale-generation keys that must keep missing after their slot is
+//! recycled, and double removes.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use dredbox::sim::arena::{SlotArena, SlotKey};
+
+/// One step of the replayed operation sequence, decoded from a sampled
+/// `(tag, payload)` pair. Removal targets index into the current live (or
+/// retired) key list modulo its length, so every sequence stays valid.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert a fresh value.
+    Insert(u16),
+    /// Remove a currently live key.
+    RemoveLive(usize),
+    /// Re-remove an already retired key; must be a no-op miss.
+    RemoveStale(usize),
+}
+
+impl Op {
+    /// Inserts are weighted heavier than removes so runs grow, and stale
+    /// probes stay frequent enough to catch generation bugs.
+    fn decode(tag: u32, payload: u64) -> Self {
+        match tag {
+            0..=2 => Op::Insert(payload as u16),
+            3..=4 => Op::RemoveLive(payload as usize),
+            _ => Op::RemoveStale(payload as usize),
+        }
+    }
+}
+
+/// Asserts the arena and the model agree on every observable.
+fn check_agreement(arena: &SlotArena<u16>, model: &BTreeMap<u64, u16>, retired: &[SlotKey]) {
+    assert_eq!(arena.len(), model.len());
+    assert_eq!(arena.is_empty(), model.is_empty());
+    for (&raw, &value) in model {
+        let key = SlotKey::from_u64(raw);
+        assert_eq!(key.to_u64(), raw, "pack/unpack must round-trip");
+        assert!(arena.contains(key));
+        assert_eq!(arena.get(key), Some(&value));
+    }
+    for &stale in retired {
+        assert!(!arena.contains(stale), "retired key must keep missing");
+        assert_eq!(arena.get(stale), None);
+    }
+    // Iteration yields exactly the live set, in ascending slot-index order.
+    let seen: Vec<(SlotKey, u16)> = arena.iter().map(|(k, &v)| (k, v)).collect();
+    assert!(
+        seen.windows(2).all(|w| w[0].0.index() < w[1].0.index()),
+        "iteration must ascend by slot index"
+    );
+    let mut from_model: Vec<(SlotKey, u16)> = model
+        .iter()
+        .map(|(&raw, &v)| (SlotKey::from_u64(raw), v))
+        .collect();
+    from_model.sort_by_key(|(k, _)| k.index());
+    assert_eq!(seen, from_model);
+    assert_eq!(
+        arena.values().copied().collect::<Vec<_>>(),
+        from_model.iter().map(|&(_, v)| v).collect::<Vec<_>>()
+    );
+}
+
+proptest! {
+    /// The arena agrees with a `BTreeMap` model after every operation, and
+    /// freed slots are recycled LIFO with a bumped generation.
+    #[test]
+    fn arena_matches_btreemap_model(raw_ops in proptest::collection::vec((0u32..6, 0u64..1_000_000), 1..120)) {
+        let ops: Vec<Op> = raw_ops.into_iter().map(|(tag, payload)| Op::decode(tag, payload)).collect();
+        let mut arena: SlotArena<u16> = SlotArena::new();
+        let mut model: BTreeMap<u64, u16> = BTreeMap::new();
+        let mut live: Vec<SlotKey> = Vec::new();
+        let mut retired: Vec<SlotKey> = Vec::new();
+        // Mirror of the arena's internal free list, rebuilt from observed
+        // removes, to pin the LIFO reuse contract.
+        let mut free_stack: Vec<SlotKey> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(value) => {
+                    let key = arena.insert(value);
+                    if let Some(freed) = free_stack.pop() {
+                        prop_assert_eq!(key.index(), freed.index(),
+                            "insert must recycle the most recently freed slot");
+                        prop_assert_eq!(key.generation(), freed.generation().wrapping_add(1),
+                            "recycled slot must carry a bumped generation");
+                    } else {
+                        prop_assert_eq!(key.index() as usize, arena.slot_count() - 1,
+                            "fresh slots fill in ascending index order");
+                        prop_assert_eq!(key.generation(), 0);
+                    }
+                    prop_assert!(model.insert(key.to_u64(), value).is_none(),
+                        "keys must never repeat across a run");
+                    live.push(key);
+                }
+                Op::RemoveLive(pick) if !live.is_empty() => {
+                    let key = live.remove(pick % live.len());
+                    let expected = model.remove(&key.to_u64());
+                    prop_assert_eq!(arena.remove(key), expected);
+                    free_stack.push(key);
+                    retired.push(key);
+                }
+                Op::RemoveStale(pick) if !retired.is_empty() => {
+                    let stale = retired[pick % retired.len()];
+                    prop_assert_eq!(arena.remove(stale), None,
+                        "stale key must not remove whatever reused its slot");
+                }
+                // Nothing to remove yet; the step degenerates to a no-op.
+                Op::RemoveLive(_) | Op::RemoveStale(_) => {}
+            }
+            check_agreement(&arena, &model, &retired);
+        }
+
+        // Slots only ever grow to the high-water mark of the run.
+        prop_assert!(arena.slot_count() <= live.len() + retired.len());
+
+        arena.clear();
+        prop_assert_eq!(arena.len(), 0);
+        prop_assert_eq!(arena.slot_count(), 0);
+        for key in live.into_iter().chain(retired) {
+            prop_assert_eq!(arena.get(key), None, "clear must invalidate every key");
+        }
+    }
+}

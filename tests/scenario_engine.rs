@@ -306,3 +306,33 @@ fn every_scenario_serializes_requests_through_the_control_plane_queue() {
         assert!(report.control_plane_peak_queue >= 1, "{}", report.name);
     }
 }
+
+/// The bit-determinism contract of the sharded engine: every extended-suite
+/// scenario, at the two pinned seeds, must reproduce the committed snapshot
+/// under `tests/golden/` byte for byte — in *both* sharding modes, since a
+/// single-rack replay may not legally differ between them. Any engine,
+/// control-plane, or index change that shifts a single report bit fails
+/// here; regenerate intentionally with `cargo run --release --example golden`.
+#[test]
+fn extended_suite_matches_golden_snapshots_in_both_sharding_modes() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");
+    for spec in ScenarioSpec::extended_suite() {
+        for seed in [2018u64, 7] {
+            let path = dir.join(format!("{}-{}.txt", spec.name, seed));
+            let golden = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display()));
+            for sharding in [ShardingMode::Single, ShardingMode::PerRack] {
+                let mut run = spec.clone();
+                run.sharding = sharding;
+                let report = run.run(seed).expect("scenario runs");
+                let rendered = format!("{report:#?}\n{report}");
+                assert!(
+                    rendered == golden,
+                    "{}-{seed} under {sharding:?} drifted from {}",
+                    spec.name,
+                    path.display()
+                );
+            }
+        }
+    }
+}

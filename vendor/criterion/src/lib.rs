@@ -14,7 +14,18 @@ use std::time::{Duration, Instant};
 
 /// Results collected by [`report`] over the whole bench run, so
 /// [`write_summary_json`] can emit a machine-readable summary.
-static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+static RESULTS: Mutex<Vec<(String, f64, Option<Throughput>)>> = Mutex::new(Vec::new());
+
+/// Work performed per iteration, mirroring `criterion::Throughput`. When a
+/// group declares one, [`report`] and the summary JSON derive a headline
+/// rate (elements or bytes per second) from the measured time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements (e.g. events).
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
 
 /// How `iter_batched` amortises setup cost. Only a hint here.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -189,6 +200,7 @@ impl Criterion {
         BenchmarkGroup {
             criterion: self,
             name: name.to_string(),
+            throughput: None,
         }
     }
 }
@@ -197,9 +209,17 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration of the benchmarks that
+    /// follow, so reports carry a rate headline next to the raw time.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
     /// Runs one benchmark in the group.
     pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
     where
@@ -207,7 +227,11 @@ impl BenchmarkGroup<'_> {
     {
         let mut bencher = Bencher::new(self.criterion.budget);
         f(&mut bencher);
-        report(&format!("{}/{}", self.name, id), bencher.nanos_per_iter);
+        report_with(
+            &format!("{}/{}", self.name, id),
+            bencher.nanos_per_iter,
+            self.throughput,
+        );
         self
     }
 
@@ -223,7 +247,11 @@ impl BenchmarkGroup<'_> {
     {
         let mut bencher = Bencher::new(self.criterion.budget);
         f(&mut bencher, input);
-        report(&format!("{}/{}", self.name, id), bencher.nanos_per_iter);
+        report_with(
+            &format!("{}/{}", self.name, id),
+            bencher.nanos_per_iter,
+            self.throughput,
+        );
         self
     }
 
@@ -237,15 +265,34 @@ pub fn black_box<T>(value: T) -> T {
 }
 
 fn report(name: &str, nanos: f64) {
+    report_with(name, nanos, None);
+}
+
+fn report_with(name: &str, nanos: f64, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  ({:.0} elem/s)", n as f64 * 1e9 / nanos),
+        Throughput::Bytes(n) => format!("  ({:.0} B/s)", n as f64 * 1e9 / nanos),
+    });
     if nanos >= 1_000_000.0 {
-        println!("{name:60} {:>12.3} ms/iter", nanos / 1_000_000.0);
+        println!(
+            "{name:60} {:>12.3} ms/iter{}",
+            nanos / 1_000_000.0,
+            rate.as_deref().unwrap_or("")
+        );
     } else if nanos >= 1_000.0 {
-        println!("{name:60} {:>12.3} us/iter", nanos / 1_000.0);
+        println!(
+            "{name:60} {:>12.3} us/iter{}",
+            nanos / 1_000.0,
+            rate.as_deref().unwrap_or("")
+        );
     } else {
-        println!("{name:60} {nanos:>12.1} ns/iter");
+        println!(
+            "{name:60} {nanos:>12.1} ns/iter{}",
+            rate.as_deref().unwrap_or("")
+        );
     }
     if let Ok(mut results) = RESULTS.lock() {
-        results.push((name.to_owned(), nanos));
+        results.push((name.to_owned(), nanos, throughput));
     }
 }
 
@@ -263,7 +310,7 @@ pub fn write_summary_json() {
         Err(_) => return,
     };
     let mut json = String::from("[\n");
-    for (i, (name, nanos)) in results.iter().enumerate() {
+    for (i, (name, nanos, throughput)) in results.iter().enumerate() {
         let escaped: String = name
             .chars()
             .flat_map(|c| match c {
@@ -271,8 +318,17 @@ pub fn write_summary_json() {
                 _ => vec![c],
             })
             .collect();
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(", \"elements_per_second\": {:.0}", *n as f64 * 1e9 / nanos)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(", \"bytes_per_second\": {:.0}", *n as f64 * 1e9 / nanos)
+            }
+            None => String::new(),
+        };
         json.push_str(&format!(
-            "  {{\"benchmark\": \"{escaped}\", \"median_ns_per_iter\": {nanos:.3}}}"
+            "  {{\"benchmark\": \"{escaped}\", \"median_ns_per_iter\": {nanos:.3}{rate}}}"
         ));
         json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
