@@ -11,16 +11,24 @@
 //! offload-heavy 2k-op trace (admit / offload begin+end / release / power)
 //! so the dACCELBRICK session flow — `AccelIndex` placement, ledger holds,
 //! circuit setup and teardown — is tracked the same way.
+//!
+//! Two further groups sweep the *rack count* (1 / 4 / 16 / 64) at a fixed
+//! per-rack shape: one isolates the cluster controller's digest-only
+//! routing decision, the other drives a routed admit/release trace through
+//! a whole federated [`DredboxSystem`]. Together they hold the two-level
+//! headline to account — per-decision cost must grow no worse than
+//! logarithmically in racks, never linearly in bricks.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use dredbox::bricks::{Bitstream, BrickId};
+use dredbox::bricks::{Bitstream, BrickId, RackId};
 use dredbox::interconnect::LatencyConfig;
 use dredbox::memory::{AllocationPolicy, PickStrategy};
 use dredbox::orchestrator::prelude::*;
 use dredbox::sim::rng::SimRng;
 use dredbox::sim::units::{Bandwidth, ByteSize};
+use dredbox::{DredboxSystem, SystemConfig};
 
 /// One step of the mixed control-plane trace.
 #[derive(Debug, Clone, Copy)]
@@ -321,11 +329,144 @@ fn bench_placement_decision(c: &mut Criterion) {
     group.finish();
 }
 
+/// A federation of `racks` synthetic digests in the typical steady shape:
+/// a constant handful of near-full racks the walk must skip, the rest
+/// active with varied headroom — so the sweep measures how the decision
+/// itself scales with rack count, not an adversarial all-full fleet.
+fn synthetic_cluster(racks: u16) -> ClusterController {
+    let mut cluster = ClusterController::new(PlacementPolicy::PowerAware);
+    for r in 0..racks {
+        let packed = r < 3.min(racks - 1);
+        let digest = if packed {
+            // Nearly full: too fragmented for any benched request.
+            RackDigest {
+                free_cores: 8,
+                largest_free_cores: 1,
+                largest_sleeping_cores: 0,
+                free_memory_bytes: ByteSize::from_gib(2).as_bytes(),
+                largest_segment_bytes: ByteSize::from_gib(1).as_bytes(),
+                idle_accels: 0,
+                accel_bricks: 0,
+                active_bricks: 16,
+                powered_bricks: 16,
+                provisioned_milliwatts: 3_000_000,
+            }
+        } else {
+            // Active with headroom, free cores varied so the rank sets
+            // hold genuinely distinct keys.
+            RackDigest {
+                free_cores: 64 + u64::from(r) * 4,
+                largest_free_cores: 24,
+                largest_sleeping_cores: 32,
+                free_memory_bytes: ByteSize::from_gib(128).as_bytes(),
+                largest_segment_bytes: ByteSize::from_gib(16).as_bytes(),
+                idle_accels: 0,
+                accel_bricks: 0,
+                active_bricks: 12,
+                powered_bricks: 16,
+                provisioned_milliwatts: 1_200_000,
+            }
+        };
+        cluster.upsert(RackId(r), digest);
+    }
+    cluster
+}
+
+fn bench_cluster_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orchestrator/cluster_route_decision");
+    for racks in [1u16, 4, 16, 64] {
+        let cluster = synthetic_cluster(racks);
+        group.bench_with_input(BenchmarkId::new("racks", racks), &racks, |b, _| {
+            let mut vcpus = 0u32;
+            b.iter(|| {
+                vcpus = vcpus % 16 + 1;
+                black_box(cluster.route(black_box(vcpus), ByteSize::from_gib(2)))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A deterministic routed admit/release/sweep trace, balanced so the live
+/// population random-walks well below single-rack capacity — every rack
+/// count then runs the same admission regime and the measured delta is the
+/// federation term of the decision, not saturation effects.
+fn federated_trace(ops: usize) -> Vec<Op> {
+    let mut rng = SimRng::seed(2018);
+    (0..ops)
+        .map(|_| {
+            let roll = rng.range(0u64..100);
+            if roll < 45 {
+                Op::Alloc(rng.range(1u64..=2) as u32, 1)
+            } else if roll < 90 {
+                Op::Release(rng.range(0u64..1_000) as usize)
+            } else {
+                Op::Power(rng.range(0u64..64) as u32, false)
+            }
+        })
+        .collect()
+}
+
+/// Replays the federated trace end to end: cluster routing, rack
+/// admission, digest refresh; `Power` ops become per-rack power sweeps.
+/// Drains every surviving VM at the end so the system returns to an idle
+/// steady state and one instance can be replayed repeatedly — keeping the
+/// (rack-count-proportional) build and drop of the federation outside the
+/// measured region.
+fn run_federated_trace(system: &mut DredboxSystem, ops: &[Op]) -> usize {
+    let racks = system.rack_count() as u32;
+    let mut live = Vec::new();
+    let mut admitted = 0usize;
+    for op in ops {
+        match *op {
+            Op::Alloc(vcpus, gib) => {
+                if let Ok(outcome) = system.allocate_vm_routed(vcpus, ByteSize::from_gib(gib)) {
+                    live.push(outcome.vm);
+                    admitted += 1;
+                }
+            }
+            Op::Release(pick) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let vm = live.swap_remove(pick % live.len());
+                system.release_vm(vm).expect("live VM releases");
+            }
+            Op::Power(slot, _) => {
+                system.power_off_unused_in(RackId((slot % racks) as u16));
+            }
+            _ => unreachable!("federated trace only emits alloc/release/power"),
+        }
+    }
+    for vm in live.drain(..) {
+        system.release_vm(vm).expect("live VM releases");
+    }
+    admitted
+}
+
+fn bench_federated_admission(c: &mut Criterion) {
+    const OPS: usize = 2_000;
+    let mut group = c.benchmark_group("orchestrator/federated_trace_2k_ops");
+    let ops = federated_trace(OPS);
+    // Per-rack shape fixed at 2 trays x (4 compute + 4 memory) bricks, so
+    // the sweep varies only the rack-count term of each decision.
+    for racks in [1u16, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("routed", racks), &racks, |b, &racks| {
+            let mut system = DredboxSystem::build(SystemConfig::datacenter_cluster(racks, 2, 4, 4))
+                .expect("build federation");
+            b.iter(|| black_box(run_federated_trace(&mut system, &ops)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_control_plane,
     bench_migration_trace,
     bench_offload_trace,
-    bench_placement_decision
+    bench_placement_decision,
+    bench_cluster_route,
+    bench_federated_admission
 );
 criterion_main!(benches);

@@ -158,8 +158,31 @@ impl Catalog {
         memory_per_tray: u16,
         accel_per_tray: u16,
     ) -> Rack {
-        let mut rack = Rack::new(RackId(0));
-        let mut next_id = 0u32;
+        self.build_rack_in(
+            RackId(0),
+            BrickId(0),
+            trays,
+            compute_per_tray,
+            memory_per_tray,
+            accel_per_tray,
+        )
+    }
+
+    /// Builds one rack of a multi-rack cluster: the rack carries `rack` as
+    /// its identity and its bricks are numbered sequentially from
+    /// `first_brick`, so every rack of a cluster lives in a disjoint,
+    /// stride-aligned slice of the global brick-id namespace.
+    pub fn build_rack_in(
+        &self,
+        rack: RackId,
+        first_brick: BrickId,
+        trays: u16,
+        compute_per_tray: u16,
+        memory_per_tray: u16,
+        accel_per_tray: u16,
+    ) -> Rack {
+        let mut rack = Rack::new(rack);
+        let mut next_id = first_brick.0;
         for tray_idx in 0..trays {
             let mut tray = Tray::new(TrayId(tray_idx));
             for _ in 0..compute_per_tray {
@@ -234,6 +257,19 @@ mod tests {
         assert_eq!(rack.brick_count(BrickKind::Compute), 6);
         assert_eq!(rack.brick_count(BrickKind::Memory), 6);
         assert_eq!(rack.brick_count(BrickKind::Accelerator), 3);
+    }
+
+    #[test]
+    fn build_rack_in_offsets_the_brick_namespace() {
+        let rack = Catalog::prototype().build_rack_in(RackId(3), BrickId(45), 3, 2, 2, 1);
+        assert_eq!(rack.id(), RackId(3));
+        let mut ids: Vec<u32> = rack.bricks().map(|b| b.id().0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (45..60).collect::<Vec<_>>());
+        // The default builder is the rack-0, offset-0 special case.
+        let base = Catalog::prototype().build_rack(3, 2, 2, 1);
+        assert_eq!(base.id(), RackId(0));
+        assert!(base.brick(BrickId(0)).is_some());
     }
 
     #[test]

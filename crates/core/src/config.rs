@@ -6,11 +6,21 @@ use dredbox_bricks::Catalog;
 use dredbox_interconnect::{LatencyConfig, PathKind};
 use dredbox_memory::AllocationPolicy;
 use dredbox_orchestrator::{PlacementPolicy, SdmTimings};
+use dredbox_sim::units::Watts;
 use dredbox_softstack::{MigrationModel, ScaleUpTimings};
 
 /// Configuration of a [`crate::DredboxSystem`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
+    /// Number of federated racks. One rack reproduces the original
+    /// single-controller system; more put a cluster controller above the
+    /// per-rack SDM controllers.
+    #[serde(default)]
+    pub racks: u16,
+    /// Per-rack provisioned-power budget enforced by the cluster
+    /// controller at admission time; `None` disables power screening.
+    #[serde(default)]
+    pub rack_power_budget: Option<Watts>,
     /// Number of trays in the rack.
     pub trays: u16,
     /// dCOMPUBRICKs per tray.
@@ -42,6 +52,8 @@ impl SystemConfig {
     /// two compute bricks, two memory bricks and one accelerator brick.
     pub fn prototype_rack() -> Self {
         SystemConfig {
+            racks: 1,
+            rack_power_budget: None,
             trays: 2,
             compute_per_tray: 2,
             memory_per_tray: 2,
@@ -61,6 +73,8 @@ impl SystemConfig {
     /// 32-GiB memory bricks), used by the agility and TCO experiments.
     pub fn datacenter_rack(trays: u16, compute_per_tray: u16, memory_per_tray: u16) -> Self {
         SystemConfig {
+            racks: 1,
+            rack_power_budget: None,
             trays,
             compute_per_tray,
             memory_per_tray,
@@ -91,25 +105,61 @@ impl SystemConfig {
         }
     }
 
+    /// A multi-rack datacenter: `racks` TCO-dimensioned racks federated
+    /// under one cluster controller, each rack still owned by its own SDM
+    /// controller.
+    pub fn datacenter_cluster(
+        racks: u16,
+        trays: u16,
+        compute_per_tray: u16,
+        memory_per_tray: u16,
+    ) -> Self {
+        SystemConfig {
+            racks,
+            ..SystemConfig::datacenter_rack(trays, compute_per_tray, memory_per_tray)
+        }
+    }
+
+    /// Sets the number of federated racks.
+    pub fn with_racks(mut self, racks: u16) -> Self {
+        self.racks = racks;
+        self
+    }
+
+    /// Sets the per-rack provisioned-power budget.
+    pub fn with_rack_power_budget(mut self, budget: Option<Watts>) -> Self {
+        self.rack_power_budget = budget;
+        self
+    }
+
     /// Switches the remote-memory data path.
     pub fn with_path(mut self, path: PathKind) -> Self {
         self.path = path;
         self
     }
 
-    /// Total number of compute bricks in the configuration.
+    /// Bricks of every kind in one rack — also the brick-id namespace
+    /// stride between consecutive racks.
+    pub fn bricks_per_rack(&self) -> usize {
+        usize::from(self.trays)
+            * (usize::from(self.compute_per_tray)
+                + usize::from(self.memory_per_tray)
+                + usize::from(self.accel_per_tray))
+    }
+
+    /// Total number of compute bricks across all racks.
     pub fn total_compute_bricks(&self) -> usize {
-        usize::from(self.trays) * usize::from(self.compute_per_tray)
+        usize::from(self.racks) * usize::from(self.trays) * usize::from(self.compute_per_tray)
     }
 
-    /// Total number of memory bricks in the configuration.
+    /// Total number of memory bricks across all racks.
     pub fn total_memory_bricks(&self) -> usize {
-        usize::from(self.trays) * usize::from(self.memory_per_tray)
+        usize::from(self.racks) * usize::from(self.trays) * usize::from(self.memory_per_tray)
     }
 
-    /// Total number of accelerator bricks in the configuration.
+    /// Total number of accelerator bricks across all racks.
     pub fn total_accel_bricks(&self) -> usize {
-        usize::from(self.trays) * usize::from(self.accel_per_tray)
+        usize::from(self.racks) * usize::from(self.trays) * usize::from(self.accel_per_tray)
     }
 }
 
@@ -140,6 +190,18 @@ mod tests {
         assert_eq!(c.catalog.compute_spec().apu_cores, 32);
         let packet = c.with_path(PathKind::PacketSwitched);
         assert_eq!(packet.path, PathKind::PacketSwitched);
+    }
+
+    #[test]
+    fn datacenter_cluster_multiplies_totals_by_racks() {
+        let c = SystemConfig::datacenter_cluster(4, 2, 8, 4);
+        assert_eq!(c.racks, 4);
+        assert_eq!(c.bricks_per_rack(), 24);
+        assert_eq!(c.total_compute_bricks(), 64);
+        assert_eq!(c.total_memory_bricks(), 32);
+        assert_eq!(c.rack_power_budget, None);
+        let budgeted = c.with_rack_power_budget(Some(Watts::new(900.0)));
+        assert_eq!(budgeted.rack_power_budget, Some(Watts::new(900.0)));
     }
 
     #[test]

@@ -14,11 +14,12 @@
 //! The module splits in two: this file holds the declarative side — specs,
 //! suites, validation and report types — while [`world`] (private) holds the
 //! state machine the engine drives. Replays run on the
-//! [`ShardedEngine`]: each shard owns its own event calendar and
+//! [`ShardedEngine`]: each rack owns its own event calendar and
 //! control-plane queue, and the [`ScenarioSpec::sharding`] mode says how the
-//! system maps onto shards. The workspace models a single rack today, so
-//! both modes resolve to one shard and the engine degenerates to the flat
-//! event loop — bit for bit.
+//! system maps onto shards. On a multi-rack system, admissions route
+//! through the cluster controller's capacity digests on shard 0 and hop to
+//! the chosen rack's shard as timestamped mailbox messages; replays are
+//! bit-identical between the sharding modes either way.
 //!
 //! Four built-in scenarios ship with the engine (see
 //! [`ScenarioSpec::builtin_suite`]):
@@ -32,7 +33,7 @@
 //! * **memory-churn** — few long-lived VMs continuously growing and
 //!   shrinking through the Scale-up API, the allocator hot path.
 //!
-//! Four more ride in [`ScenarioSpec::extended_suite`]:
+//! Five more ride in [`ScenarioSpec::extended_suite`]:
 //!
 //! * **rack-scale** ([`ScenarioSpec::rack_scale`], 256 dCOMPUBRICKs, 128
 //!   dMEMBRICKs, 4096 VM arrivals) — stresses the SDM control plane itself,
@@ -51,13 +52,19 @@
 //!   Section V pilots; the report carries accelerator utilization,
 //!   bitstream reuse vs reprogram counts and the offload-vs-local-compute
 //!   counterfactual.
+//! * **datacenter** ([`ScenarioSpec::datacenter`], 16 racks × 256
+//!   dCOMPUBRICKs, 20000 VM arrivals) — two-level orchestration at scale:
+//!   the cluster controller routes admissions across racks off its
+//!   capacity digests, enforces per-rack power budgets, and drains the
+//!   busiest rack mid-run through cross-rack live migration.
 //!
 //! Every SDM request of a replay — admissions, scale-ups/downs, releases,
-//! migrations, offload begins/ends — is serialized through its shard's
-//! [`ControlPlaneQueue`]: the controller is a single autonomous service per
-//! shard, so concurrent events queue and pay a per-queued-request contention
-//! penalty on top of their own service time. Power sweeps batch per shard
-//! per tick: each shard's periodic sweep covers exactly its own bricks.
+//! migrations, offload begins/ends — is serialized through the owning
+//! rack's [`ControlPlaneQueue`]: the controller is a single autonomous
+//! service per rack, so concurrent events queue and pay a per-queued-request
+//! contention penalty on top of their own service time. Power sweeps batch
+//! per rack per tick: each rack's periodic sweep covers exactly its own
+//! bricks.
 //!
 //! Replays are deterministic: the same spec and seed produce a bit-identical
 //! [`ScenarioReport`].
@@ -85,15 +92,38 @@ use dredbox_sim::rng::SimRng;
 use dredbox_sim::shard::{ShardId, ShardedEngine};
 use dredbox_sim::stats::Summary;
 use dredbox_sim::time::{SimDuration, SimTime};
+use dredbox_sim::units::Watts;
 use dredbox_softstack::ScaleOutBaseline;
 use dredbox_workload::{
-    ArrivalTrace, BurstTrace, DiurnalPattern, LifetimeModel, PilotOffloadMix, WorkloadConfig,
+    ArrivalTrace, BurstTrace, DiurnalPattern, LifetimeModel, PilotOffloadMix, TenantMix, VmDemand,
+    WorkloadConfig,
 };
 
 use crate::config::SystemConfig;
 use crate::system::{DredboxSystem, SystemError};
 
 use world::{ScenarioEvent, ScenarioWorld};
+
+/// Which generator a scenario draws its per-VM demands from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScenarioMix {
+    /// Every VM sampled from one Table I mix.
+    Table1(WorkloadConfig),
+    /// A weighted blend of Table I mixes — the multi-tenant arrival mix of
+    /// a federated datacenter, where tenants with different resource
+    /// shapes share one cluster front door.
+    Tenants(TenantMix),
+}
+
+impl ScenarioMix {
+    /// Generates the per-VM demand trace.
+    fn generate(&self, count: usize, rng: &mut SimRng) -> Vec<VmDemand> {
+        match self {
+            ScenarioMix::Table1(config) => config.generate(count, rng),
+            ScenarioMix::Tenants(mix) => mix.generate(count, rng),
+        }
+    }
+}
 
 /// How VM arrivals are laid out over simulated time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -192,15 +222,29 @@ impl MigrationPolicy {
     }
 }
 
+/// A one-shot rack drain: at `at`, stop routing admissions to `rack` and
+/// migrate its VMs onto the other racks of the federation (cross-rack
+/// migration — memory moves wholesale, so each evacuee pays the
+/// conventional full-copy downtime rather than the disaggregated
+/// switchover).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrainPlan {
+    /// The rack to drain.
+    pub rack: u16,
+    /// When the drain fires.
+    pub at: SimTime,
+}
+
 /// How a scenario partitions its event calendar across engine shards.
 ///
-/// The shard boundary is the rack: bricks never share state across racks
-/// (every data path, capacity index and power domain is rack-local), so a
-/// rack's events can run on their own calendar and only explicitly
-/// timestamped cross-rack messages — none today — cross shards. The
-/// workspace models a single rack, so both modes currently resolve to one
-/// shard and replays are bit-identical between them; [`ShardingMode::PerRack`]
-/// is where multi-rack configurations will fan out.
+/// The shard boundary is the rack: rack-local state (data paths, capacity
+/// indexes, power domains) stays on its own calendar, and cross-rack
+/// traffic — routed admissions hopping from the cluster front door to the
+/// chosen rack — crosses shards only as explicitly timestamped mailbox
+/// messages. On a single-rack system both modes resolve to one shard and
+/// replays are bit-identical between them; on a federated system
+/// [`ShardingMode::PerRack`] fans out one calendar per rack, and replays
+/// remain bit-identical between the modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum ShardingMode {
     /// One calendar for the whole system, whatever its size.
@@ -230,8 +274,8 @@ pub struct ScenarioSpec {
     pub system: SystemConfig,
     /// Number of VM arrivals to replay.
     pub vm_count: usize,
-    /// Table I mix the per-VM demands are sampled from.
-    pub mix: WorkloadConfig,
+    /// Generator the per-VM demands are sampled from.
+    pub mix: ScenarioMix,
     /// Arrival process.
     pub arrivals: ArrivalModel,
     /// Lifetime distribution driving departures.
@@ -252,6 +296,9 @@ pub struct ScenarioSpec {
     pub event_budget: u64,
     /// How the replay maps onto engine shards.
     pub sharding: ShardingMode,
+    /// Optional one-shot rack drain (multi-rack systems only).
+    #[serde(default)]
+    pub drain: Option<DrainPlan>,
 }
 
 impl ScenarioSpec {
@@ -262,7 +309,7 @@ impl ScenarioSpec {
             name: "steady-state".to_owned(),
             system: SystemConfig::datacenter_rack(2, 4, 4),
             vm_count: 48,
-            mix: WorkloadConfig::Random,
+            mix: ScenarioMix::Table1(WorkloadConfig::Random),
             arrivals: ArrivalModel::Poisson {
                 mean_interarrival: SimDuration::from_secs(45),
             },
@@ -279,6 +326,7 @@ impl ScenarioSpec {
             power_sweep_every: Some(SimDuration::from_secs(600)),
             event_budget: 100_000,
             sharding: ShardingMode::PerRack,
+            drain: None,
         }
     }
 
@@ -290,7 +338,7 @@ impl ScenarioSpec {
             name: "diurnal".to_owned(),
             system: SystemConfig::datacenter_rack(2, 4, 4),
             vm_count: 72,
-            mix: WorkloadConfig::HighRam,
+            mix: ScenarioMix::Table1(WorkloadConfig::HighRam),
             arrivals: ArrivalModel::Diurnal {
                 mean_at_peak: SimDuration::from_secs(600),
                 pattern: DiurnalPattern::nfv_default(),
@@ -307,6 +355,7 @@ impl ScenarioSpec {
             power_sweep_every: Some(SimDuration::from_secs(3_600)),
             event_budget: 100_000,
             sharding: ShardingMode::PerRack,
+            drain: None,
         }
     }
 
@@ -317,7 +366,7 @@ impl ScenarioSpec {
             name: "burst-arrival".to_owned(),
             system: SystemConfig::datacenter_rack(2, 4, 4),
             vm_count: 64,
-            mix: WorkloadConfig::MoreCpu,
+            mix: ScenarioMix::Table1(WorkloadConfig::MoreCpu),
             arrivals: ArrivalModel::Bursts {
                 burst_size: 8,
                 gap: SimDuration::from_secs(300),
@@ -332,6 +381,7 @@ impl ScenarioSpec {
             power_sweep_every: Some(SimDuration::from_secs(300)),
             event_budget: 100_000,
             sharding: ShardingMode::PerRack,
+            drain: None,
         }
     }
 
@@ -342,7 +392,7 @@ impl ScenarioSpec {
             name: "memory-churn".to_owned(),
             system: SystemConfig::datacenter_rack(2, 4, 4),
             vm_count: 8,
-            mix: WorkloadConfig::MoreRam,
+            mix: ScenarioMix::Table1(WorkloadConfig::MoreRam),
             arrivals: ArrivalModel::Poisson {
                 mean_interarrival: SimDuration::from_secs(45),
             },
@@ -362,6 +412,7 @@ impl ScenarioSpec {
             power_sweep_every: Some(SimDuration::from_secs(900)),
             event_budget: 100_000,
             sharding: ShardingMode::PerRack,
+            drain: None,
         }
     }
 
@@ -378,7 +429,7 @@ impl ScenarioSpec {
             name: "rack-scale".to_owned(),
             system: SystemConfig::datacenter_rack(16, 16, 8),
             vm_count: 4096,
-            mix: WorkloadConfig::Random,
+            mix: ScenarioMix::Table1(WorkloadConfig::Random),
             arrivals: ArrivalModel::Poisson {
                 mean_interarrival: SimDuration::from_secs(2),
             },
@@ -398,6 +449,7 @@ impl ScenarioSpec {
             power_sweep_every: Some(SimDuration::from_secs(600)),
             event_budget: 200_000,
             sharding: ShardingMode::PerRack,
+            drain: None,
         }
     }
 
@@ -415,7 +467,7 @@ impl ScenarioSpec {
             name: "consolidation".to_owned(),
             system,
             vm_count: 40,
-            mix: WorkloadConfig::Random,
+            mix: ScenarioMix::Table1(WorkloadConfig::Random),
             arrivals: ArrivalModel::Poisson {
                 mean_interarrival: SimDuration::from_secs(60),
             },
@@ -435,6 +487,7 @@ impl ScenarioSpec {
             power_sweep_every: Some(SimDuration::from_secs(900)),
             event_budget: 100_000,
             sharding: ShardingMode::PerRack,
+            drain: None,
         }
     }
 
@@ -449,7 +502,7 @@ impl ScenarioSpec {
             name: "hotspot-evacuation".to_owned(),
             system: SystemConfig::datacenter_rack(2, 4, 4),
             vm_count: 48,
-            mix: WorkloadConfig::MoreCpu,
+            mix: ScenarioMix::Table1(WorkloadConfig::MoreCpu),
             arrivals: ArrivalModel::Bursts {
                 burst_size: 8,
                 gap: SimDuration::from_secs(300),
@@ -468,6 +521,7 @@ impl ScenarioSpec {
             power_sweep_every: Some(SimDuration::from_secs(600)),
             event_budget: 100_000,
             sharding: ShardingMode::PerRack,
+            drain: None,
         }
     }
 
@@ -485,7 +539,7 @@ impl ScenarioSpec {
             name: "offload-heavy".to_owned(),
             system: SystemConfig::accelerated_rack(2, 4, 4, 2),
             vm_count: 32,
-            mix: WorkloadConfig::Random,
+            mix: ScenarioMix::Table1(WorkloadConfig::Random),
             arrivals: ArrivalModel::Poisson {
                 mean_interarrival: SimDuration::from_secs(45),
             },
@@ -506,6 +560,55 @@ impl ScenarioSpec {
             power_sweep_every: Some(SimDuration::from_secs(600)),
             event_budget: 100_000,
             sharding: ShardingMode::PerRack,
+            drain: None,
+        }
+    }
+
+    /// The federation case: 16 TCO-dimensioned racks (16 trays × 16
+    /// dCOMPUBRICKs + 8 dMEMBRICKs each → 4096 compute bricks, 2048 memory
+    /// bricks, 131072 cores) under one cluster controller, absorbing 20000
+    /// VM arrivals from a multi-tenant blend of Table I mixes. Admissions
+    /// route through the cluster tier's capacity digests (an `O(log racks)`
+    /// read per decision — never a per-brick scan), hop to the chosen
+    /// rack's shard, and spill over between racks when a digest admitted a
+    /// layout the rack's pool cannot serve. A per-rack provisioned-power
+    /// budget steers routing away from power-saturated racks, per-rack
+    /// sweeps reclaim headroom, and mid-run the busiest rack is drained —
+    /// every resident VM live-migrates across racks. With ~100k events
+    /// over ~6k bricks this is the scale case for two-level orchestration.
+    pub fn datacenter() -> Self {
+        ScenarioSpec {
+            name: "datacenter".to_owned(),
+            system: SystemConfig::datacenter_cluster(16, 16, 16, 8)
+                .with_rack_power_budget(Some(Watts::new(30_000.0))),
+            vm_count: 20_000,
+            mix: ScenarioMix::Tenants(TenantMix::datacenter_default()),
+            arrivals: ArrivalModel::Poisson {
+                mean_interarrival: SimDuration::from_secs(1),
+            },
+            lifetime: LifetimeModel::new(
+                SimDuration::from_secs(1_200),
+                SimDuration::from_secs(300),
+            ),
+            churn: Some(ChurnModel {
+                cycles_per_vm: 1,
+                hold: SimDuration::from_secs(120),
+                amount_gib: (1, 2),
+            }),
+            migration: None,
+            offload: None,
+            reads_per_vm: 2,
+            horizon: SimTime::from_secs(6 * 3_600),
+            power_sweep_every: Some(SimDuration::from_secs(600)),
+            event_budget: 400_000,
+            sharding: ShardingMode::PerRack,
+            // Rack 0 soaks up the early load (the power budget keeps the
+            // other racks closed until the first sweep), so draining it
+            // mid-run forces a large cross-rack evacuation.
+            drain: Some(DrainPlan {
+                rack: 0,
+                at: SimTime::from_secs(2_500),
+            }),
         }
     }
 
@@ -520,14 +623,16 @@ impl ScenarioSpec {
     }
 
     /// The built-in suite plus the rack-scale control-plane stress case,
-    /// the two migration scenarios (consolidation, hotspot-evacuation) and
-    /// the near-data offload-heavy scenario.
+    /// the two migration scenarios (consolidation, hotspot-evacuation),
+    /// the near-data offload-heavy scenario and the federated multi-rack
+    /// datacenter scenario.
     pub fn extended_suite() -> Vec<ScenarioSpec> {
         let mut suite = ScenarioSpec::builtin_suite();
         suite.push(ScenarioSpec::rack_scale());
         suite.push(ScenarioSpec::consolidation());
         suite.push(ScenarioSpec::hotspot_evacuation());
         suite.push(ScenarioSpec::offload_heavy());
+        suite.push(ScenarioSpec::datacenter());
         suite
     }
 
@@ -568,25 +673,35 @@ impl ScenarioSpec {
             ),
         };
 
-        // The workspace models a single rack, so both sharding modes
-        // resolve to one shard today.
-        let shards = self.sharding.shard_count(1);
+        // One engine shard per rack under PerRack sharding; a single-rack
+        // system resolves to one shard in both modes.
+        let racks = self.system.racks.max(1);
+        let shards = self.sharding.shard_count(usize::from(racks));
         let mut engine = ShardedEngine::new(shards as usize)
             .with_horizon(self.horizon)
             .with_event_budget(self.event_budget);
-        // The workload front door (arrivals, rebalances) lives on shard 0;
-        // each shard sweeps its own bricks on its own calendar.
+        // The cluster front door (arrivals, rebalances) lives on shard 0;
+        // each rack sweeps its own bricks on its own calendar. Sweeps are
+        // seeded in rack order so equal-time sweeps fire in rack order
+        // under both sharding modes.
         for (index, at) in arrivals.iter().enumerate() {
             engine.schedule(ShardId(0), *at, ScenarioEvent::Arrival { index });
         }
         if let Some(every) = self.power_sweep_every {
-            for shard in 0..shards {
+            for rack in 0..racks {
                 engine.schedule(
-                    ShardId(shard),
+                    ShardId(u32::from(rack) % shards),
                     SimTime::ZERO + every,
-                    ScenarioEvent::PowerSweep,
+                    ScenarioEvent::PowerSweep { rack },
                 );
             }
+        }
+        if let Some(plan) = &self.drain {
+            engine.schedule(
+                ShardId(u32::from(plan.rack) % shards),
+                plan.at,
+                ScenarioEvent::DrainRack { rack: plan.rack },
+            );
         }
         if let Some(policy) = &self.migration {
             engine.schedule(
@@ -633,6 +748,14 @@ impl ScenarioSpec {
                 ));
             }
             _ => {}
+        }
+        if let Some(plan) = &self.drain {
+            if self.system.racks < 2 {
+                return Err(invalid("rack drains need a multi-rack system"));
+            }
+            if plan.rack >= self.system.racks {
+                return Err(invalid("drain rack is out of range"));
+            }
         }
         if let Some(plan) = &self.offload {
             if plan.sessions_per_vm == 0 || plan.hold.as_nanos() == 0 {
@@ -686,9 +809,40 @@ pub fn run_builtin_suite(seed: u64) -> Result<SuiteReport, SystemError> {
     Ok(SuiteReport { seed, reports })
 }
 
+/// Cluster-tier telemetry of one replay, present on reports of systems
+/// that federate more than one rack.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterScenarioStats {
+    /// Number of federated racks.
+    pub racks: u64,
+    /// Admissions placed after a cluster routing decision (the inter-tier
+    /// hop from the front door to the chosen rack's SDM controller).
+    pub routed_admissions: u64,
+    /// Rack-level spillover hops: a proposed rack refused the admission
+    /// and the next rack in preference order was tried.
+    pub spillovers: u64,
+    /// Racks skipped during routing because their provisioned power had
+    /// reached the rack budget.
+    pub power_deferrals: u64,
+    /// VMs live-migrated between racks by drains.
+    pub cross_rack_migrations: u64,
+    /// Rack drains executed.
+    pub racks_drained: u64,
+    /// VMs left on a draining rack because no other rack admitted them.
+    pub drain_stranded: u64,
+    /// Successful admissions per rack, ascending by rack id.
+    pub admissions_per_rack: Vec<u64>,
+    /// Bricks powered off by sweeps per rack, ascending by rack id.
+    pub power_off_per_rack: Vec<u64>,
+}
+
 /// The result of one scenario replay: headline counters, latency/utilization
 /// summaries, and a rendered per-scenario table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Debug` is implemented by hand so the single-rack rendering (the golden
+/// snapshot format) stays byte-identical to the pre-federation engine: the
+/// `cluster` field is printed only when present.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioReport {
     /// Scenario name.
     pub name: String,
@@ -762,6 +916,55 @@ pub struct ScenarioReport {
     /// Fraction of accelerator bricks streaming a session, sampled after
     /// every event on accelerated racks.
     pub accel_utilization: Option<Summary>,
+    /// Cluster-tier telemetry; `None` on single-rack systems.
+    pub cluster: Option<ClusterScenarioStats>,
+}
+
+impl std::fmt::Debug for ScenarioReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("ScenarioReport");
+        s.field("name", &self.name)
+            .field("outcome", &self.outcome)
+            .field("end", &self.end)
+            .field("events", &self.events)
+            .field("admitted", &self.admitted)
+            .field("rejected", &self.rejected)
+            .field("peak_live", &self.peak_live)
+            .field("departed", &self.departed)
+            .field("scale_ups", &self.scale_ups)
+            .field("scale_up_failures", &self.scale_up_failures)
+            .field("scale_downs", &self.scale_downs)
+            .field("power_sweeps", &self.power_sweeps)
+            .field("bricks_powered_off", &self.bricks_powered_off)
+            .field("rebalances", &self.rebalances)
+            .field("migrations", &self.migrations)
+            .field("migration_failures", &self.migration_failures)
+            .field("evacuations", &self.evacuations)
+            .field("offloads", &self.offloads)
+            .field("offload_failures", &self.offload_failures)
+            .field("offloads_completed", &self.offloads_completed)
+            .field("bitstream_reuses", &self.bitstream_reuses)
+            .field("bitstream_programs", &self.bitstream_programs)
+            .field("accel_wakes", &self.accel_wakes)
+            .field("control_plane_peak_queue", &self.control_plane_peak_queue)
+            .field("scale_up_delay", &self.scale_up_delay)
+            .field("read_latency", &self.read_latency)
+            .field("pool_utilization", &self.pool_utilization)
+            .field("migration_downtime", &self.migration_downtime)
+            .field("precopy_counterfactual", &self.precopy_counterfactual)
+            .field("scaleout_counterfactual", &self.scaleout_counterfactual)
+            .field("control_plane_wait", &self.control_plane_wait)
+            .field("offload_time", &self.offload_time)
+            .field(
+                "offload_local_counterfactual",
+                &self.offload_local_counterfactual,
+            )
+            .field("accel_utilization", &self.accel_utilization);
+        if self.cluster.is_some() {
+            s.field("cluster", &self.cluster);
+        }
+        s.finish()
+    }
 }
 
 impl ScenarioReport {
@@ -885,6 +1088,37 @@ impl ScenarioReport {
                 [format!("{:.2} / {:.2}", s.mean() * 100.0, s.max() * 100.0)],
             ));
         }
+        if let Some(c) = &self.cluster {
+            table.push(Row::new(
+                "federated racks / drained / stranded VMs",
+                [format!(
+                    "{} / {} / {}",
+                    c.racks, c.racks_drained, c.drain_stranded
+                )],
+            ));
+            table.push(Row::new(
+                "routed admissions / spillovers / power deferrals",
+                [format!(
+                    "{} / {} / {}",
+                    c.routed_admissions, c.spillovers, c.power_deferrals
+                )],
+            ));
+            table.push(Row::new(
+                "cross-rack migrations",
+                [c.cross_rack_migrations.to_string()],
+            ));
+            if let Some((rack, n)) = c
+                .admissions_per_rack
+                .iter()
+                .enumerate()
+                .max_by_key(|&(i, &n)| (n, std::cmp::Reverse(i)))
+            {
+                table.push(Row::new(
+                    "busiest rack (admissions)",
+                    [format!("rack {rack} ({n})")],
+                ));
+            }
+        }
         table
     }
 }
@@ -996,6 +1230,70 @@ mod tests {
         assert_eq!(ShardingMode::Single.shard_count(4), 1);
         assert_eq!(ShardingMode::PerRack.shard_count(4), 4);
         assert_eq!(ShardingMode::PerRack.shard_count(0), 1);
+    }
+
+    #[test]
+    fn federated_replay_is_bit_identical_across_sharding_modes() {
+        // A shrunk datacenter: 4 racks, routed admissions, a mid-run drain
+        // of the loaded rack. Single-calendar and per-rack-calendar replays
+        // must not differ in a single bit, and the cluster tier must
+        // actually exercise routing, spillover bookkeeping and the drain.
+        let mut spec = ScenarioSpec::datacenter();
+        spec.name = "mini-cluster".to_owned();
+        spec.system = SystemConfig::datacenter_cluster(4, 2, 4, 4);
+        spec.vm_count = 96;
+        spec.arrivals = ArrivalModel::Poisson {
+            mean_interarrival: SimDuration::from_secs(10),
+        };
+        spec.drain = Some(DrainPlan {
+            rack: 0,
+            at: SimTime::from_secs(700),
+        });
+        spec.horizon = SimTime::from_secs(3_600);
+        spec.event_budget = 50_000;
+        let mut single = spec.clone();
+        single.sharding = ShardingMode::Single;
+        let a = spec.run(2018).expect("run");
+        let b = single.run(2018).expect("run");
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:#?}\n{a}"), format!("{b:#?}\n{b}"));
+        let cluster = a.cluster.as_ref().expect("multi-rack reports cluster");
+        assert_eq!(cluster.racks, 4);
+        assert_eq!(cluster.routed_admissions, a.admitted);
+        assert_eq!(cluster.admissions_per_rack.iter().sum::<u64>(), a.admitted);
+        assert_eq!(cluster.racks_drained, 1);
+        assert!(
+            cluster.cross_rack_migrations > 0,
+            "the drain must move VMs across racks"
+        );
+        assert_eq!(
+            a.migrations, cluster.cross_rack_migrations,
+            "all migrations here come from the drain"
+        );
+        // Draining rack 0 pushes later admissions onto the other racks.
+        assert!(cluster.admissions_per_rack[1..].iter().any(|&n| n > 0));
+    }
+
+    #[test]
+    fn drain_plans_are_validated() {
+        let mut spec = ScenarioSpec::steady_state();
+        spec.drain = Some(DrainPlan {
+            rack: 0,
+            at: SimTime::from_secs(10),
+        });
+        assert!(matches!(
+            spec.run(1),
+            Err(SystemError::InvalidConfig { .. })
+        ));
+        let mut spec = ScenarioSpec::datacenter();
+        spec.drain = Some(DrainPlan {
+            rack: 99,
+            at: SimTime::from_secs(10),
+        });
+        assert!(matches!(
+            spec.run(1),
+            Err(SystemError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

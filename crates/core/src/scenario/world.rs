@@ -8,12 +8,25 @@
 //!
 //! Hot-path discipline: the world never clones system state per event —
 //! VM and hypervisor records are interned in slab arenas inside
-//! [`DredboxSystem`], every SDM request serializes through the firing
-//! shard's [`ControlPlaneQueue`], and power sweeps batch per shard per
-//! tick via [`DredboxSystem::power_off_unused_where`].
+//! [`DredboxSystem`], every SDM request serializes through the owning
+//! rack's [`ControlPlaneQueue`], and power sweeps batch per rack per tick
+//! via [`DredboxSystem::power_off_unused_in`].
+//!
+//! ## Two orchestration tiers, one event alphabet
+//!
+//! On a single-rack system an [`ScenarioEvent::Arrival`] admits inline,
+//! exactly as it always has. When the system federates racks, the arrival
+//! instead models the cluster tier: the front-door shard consults the
+//! cluster controller's capacity digests (an `O(log racks)` read), then
+//! hands the request to the chosen rack's shard as a timestamped
+//! [`ScenarioEvent::AdmitOn`] message — one control-network hop later the
+//! rack's own SDM controller admits (or spills over). Every follow-up of
+//! the VM's life charges the control-plane queue of the rack that owns it,
+//! so queue state is keyed by rack — not by shard — and the replay is
+//! bit-identical between [sharding modes](super::ShardingMode).
 
-use dredbox_bricks::BrickId;
-use dredbox_orchestrator::OffloadSessionId;
+use dredbox_bricks::{BrickId, RackId};
+use dredbox_orchestrator::{ClusterTimings, OffloadSessionId};
 use dredbox_sim::engine::RunOutcome;
 use dredbox_sim::queue::{ControlPlaneQueue, QueueAdmission};
 use dredbox_sim::rng::SimRng;
@@ -23,15 +36,22 @@ use dredbox_sim::time::{SimDuration, SimTime};
 use dredbox_sim::units::ByteSize;
 use dredbox_workload::VmDemand;
 
-use crate::system::{DredboxSystem, MigrationReport, OffloadReport, SystemError, VmHandle};
+use crate::system::{
+    AdmissionOutcome, DredboxSystem, MigrationReport, OffloadReport, SystemError, VmHandle,
+};
 
-use super::{ChurnModel, MigrationPolicy, ScenarioReport, ScenarioSpec};
+use super::{ChurnModel, ClusterScenarioStats, MigrationPolicy, ScenarioReport, ScenarioSpec};
 
 /// Events driving one scenario replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(super) enum ScenarioEvent {
-    /// The `index`-th VM of the trace arrives and requests admission.
+    /// The `index`-th VM of the trace arrives and requests admission. On a
+    /// multi-rack system this is the cluster tier's routing decision; the
+    /// rack-local admission follows as an [`ScenarioEvent::AdmitOn`].
     Arrival { index: usize },
+    /// A routed admission lands on `rack`'s SDM controller, one
+    /// control-network hop after its [`ScenarioEvent::Arrival`].
+    AdmitOn { index: usize, rack: u16 },
     /// A churning VM grows by `amount` through the Scale-up API.
     ScaleUp {
         vm: VmHandle,
@@ -55,19 +75,14 @@ pub(super) enum ScenarioEvent {
         session: OffloadSessionId,
         remaining: u32,
     },
-    /// Periodic power-management sweep over the firing shard's bricks.
-    PowerSweep,
+    /// Periodic power-management sweep over one rack's bricks.
+    PowerSweep { rack: u16 },
+    /// Drain `rack`: stop routing admissions to it and migrate its VMs
+    /// onto the other racks, per the spec's [`DrainPlan`](super::DrainPlan).
+    DrainRack { rack: u16 },
     /// Periodic migration/rebalance pass per the spec's
     /// [`MigrationPolicy`].
     Rebalance,
-}
-
-/// The engine shard a brick's power management belongs to. Shards map to
-/// racks and the workspace models a single rack today, so every brick
-/// sweeps on shard 0; a multi-rack configuration would key this off the
-/// brick's rack instead.
-fn brick_shard(_brick: BrickId, _shards: u32) -> ShardId {
-    ShardId(0)
 }
 
 /// Plain event counters of one replay.
@@ -105,11 +120,17 @@ pub(super) struct ScenarioWorld<'a> {
     demands: Vec<VmDemand>,
     rng: SimRng,
     counters: Counters,
+    /// Cluster-tier telemetry; reported only on multi-rack systems.
+    cluster_stats: ClusterScenarioStats,
     /// Serializes every SDM request of the replay (admissions, scale-ups,
-    /// releases, migrations) — one queue per engine shard, so a sharded
-    /// control plane contends only within its own shard.
+    /// releases, migrations) — one queue per rack, keyed by the rack that
+    /// owns the touched VM, so both sharding modes charge the same queue.
     control_planes: Vec<ControlPlaneQueue>,
+    /// Number of federated racks (at least 1).
+    racks: u16,
     shards: u32,
+    /// Cluster-tier service times (routing read + inter-tier hop).
+    timings: ClusterTimings,
     scale_up_delays_s: Vec<f64>,
     read_latencies_ns: Vec<f64>,
     /// Precomputed remote-read latency total per [`READ_SIZES`] entry.
@@ -125,7 +146,7 @@ pub(super) struct ScenarioWorld<'a> {
 }
 
 impl<'a> ScenarioWorld<'a> {
-    /// Builds the world for one replay: `shards` control-plane queues
+    /// Builds the world for one replay: one control-plane queue per rack
     /// (each paying the spec's per-queued-request penalty) and empty
     /// counters/metric series.
     pub(super) fn new(
@@ -136,6 +157,7 @@ impl<'a> ScenarioWorld<'a> {
         shards: u32,
     ) -> Self {
         let penalty = spec.system.sdm_timings.queued_request_penalty;
+        let racks = spec.system.racks.max(1);
         // The remote-read latency model is pure in the transfer size, so
         // the per-arrival read charges look the totals up instead of
         // rebuilding a full hop-by-hop breakdown per read.
@@ -152,10 +174,18 @@ impl<'a> ScenarioWorld<'a> {
             rng,
             read_latency_ns,
             counters: Counters::default(),
-            control_planes: (0..shards)
+            cluster_stats: ClusterScenarioStats {
+                racks: u64::from(racks),
+                admissions_per_rack: vec![0; usize::from(racks)],
+                power_off_per_rack: vec![0; usize::from(racks)],
+                ..ClusterScenarioStats::default()
+            },
+            control_planes: (0..racks)
                 .map(|_| ControlPlaneQueue::new(penalty))
                 .collect(),
+            racks,
             shards,
+            timings: ClusterTimings::dredbox_default(),
             scale_up_delays_s: Vec::new(),
             read_latencies_ns: Vec::new(),
             utilization: Vec::new(),
@@ -167,6 +197,15 @@ impl<'a> ScenarioWorld<'a> {
             offload_local_counterfactual_s: Vec::new(),
             accel_utilization: Vec::new(),
         }
+    }
+
+    /// The rack owning a VM's compute brick, as a control-plane queue
+    /// index; rack 0 when the VM is already gone (the result is only used
+    /// on paths that verified the VM exists).
+    fn vm_rack(&self, vm: VmHandle) -> usize {
+        self.system
+            .vm_brick(vm)
+            .map_or(0, |b| usize::from(self.system.rack_of(b).0))
     }
 
     /// Charges the configured number of remote reads (of mixed transfer
@@ -185,21 +224,17 @@ impl<'a> ScenarioWorld<'a> {
 
     fn sample_utilization(&mut self) {
         self.utilization.push(self.system.pool_utilization());
-        // Accelerator utilization is sampled only on racks that carry
+        // Accelerator utilization is sampled only on systems that carry
         // dACCELBRICKs, so accelerator-free scenarios report `None`.
-        if self.system.sdm().accel_brick_count() > 0 {
+        if self.spec.system.total_accel_bricks() > 0 {
             self.accel_utilization.push(self.system.accel_utilization());
         }
     }
 
     /// Records one successful offload's report and counters.
-    fn record_offload(
-        &mut self,
-        shard: ShardId,
-        now: SimTime,
-        report: &OffloadReport,
-    ) -> QueueAdmission {
-        let admission = self.admit_control(shard, now, report.orchestration_delay);
+    fn record_offload(&mut self, now: SimTime, report: &OffloadReport) -> QueueAdmission {
+        let admission =
+            self.admit_control(usize::from(report.rack.0), now, report.orchestration_delay);
         self.counters.offloads += 1;
         if report.reused_bitstream {
             self.counters.bitstream_reuses += 1;
@@ -225,27 +260,83 @@ impl<'a> ScenarioWorld<'a> {
         }
     }
 
-    /// Serializes one SDM request through the firing shard's control-plane
+    /// Serializes one SDM request through the owning rack's control-plane
     /// queue and records its queueing delay.
-    fn admit_control(
-        &mut self,
-        shard: ShardId,
-        now: SimTime,
-        service: SimDuration,
-    ) -> QueueAdmission {
-        let admission = self.control_planes[shard.0 as usize].admit(now, service);
+    fn admit_control(&mut self, rack: usize, now: SimTime, service: SimDuration) -> QueueAdmission {
+        let admission = self.control_planes[rack].admit(now, service);
         self.control_plane_wait_s
             .push(admission.queue_wait.as_secs_f64());
         admission
     }
 
+    /// Books one successful admission: counters, the owning rack's
+    /// control-plane serialization, the per-VM read charges, and the VM's
+    /// scheduled future (departure, churn, offloads).
+    fn finish_admission(
+        &mut self,
+        outcome: AdmissionOutcome,
+        now: SimTime,
+        ctx: &mut ShardContext<'_, ScenarioEvent>,
+    ) {
+        let vm = outcome.vm;
+        self.counters.admitted += 1;
+        self.counters.live += 1;
+        self.counters.peak_live = self.counters.peak_live.max(self.counters.live);
+        self.cluster_stats.spillovers += u64::from(outcome.spillovers);
+        self.cluster_stats.power_deferrals += u64::from(outcome.power_deferrals);
+        self.cluster_stats.admissions_per_rack[usize::from(outcome.rack.0)] += 1;
+        // Serialize the admission through the SDM controller
+        // queue: its lifetime starts once the control plane
+        // actually finished configuring it.
+        let service = self.system.admission_service_time(vm).unwrap_or_default();
+        let admission = self.admit_control(usize::from(outcome.rack.0), now, service);
+        self.charge_reads();
+        let lifetime = self.spec.lifetime.sample(&mut self.rng);
+        ctx.schedule(
+            admission.completion + lifetime,
+            ScenarioEvent::Departure { vm },
+        );
+        if let Some(churn) = self.spec.churn {
+            if churn.cycles_per_vm > 0 {
+                let amount = self.sample_churn_amount(&churn);
+                ctx.schedule(
+                    admission.completion + churn.hold,
+                    ScenarioEvent::ScaleUp {
+                        vm,
+                        remaining: churn.cycles_per_vm,
+                        amount,
+                    },
+                );
+            }
+        }
+        if let Some(plan) = self.spec.offload {
+            if plan.sessions_per_vm > 0 {
+                ctx.schedule(
+                    admission.completion + plan.start_after,
+                    ScenarioEvent::OffloadBegin {
+                        vm,
+                        remaining: plan.sessions_per_vm,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Books one rejected admission: the rack's controller still pays the
+    /// request parse + availability inspection.
+    fn reject_admission(&mut self, rack: usize, now: SimTime) {
+        self.counters.rejected += 1;
+        let timings = self.spec.system.sdm_timings;
+        self.admit_control(rack, now, timings.request_rpc + timings.availability_check);
+    }
+
     /// Runs one migration through the system and the control-plane queue,
     /// recording downtime and the pre-copy counterfactual. Returns whether
     /// the migration happened.
-    fn try_migrate(&mut self, shard: ShardId, now: SimTime, vm: VmHandle, target: BrickId) -> bool {
+    fn try_migrate(&mut self, now: SimTime, vm: VmHandle, target: BrickId) -> bool {
         match self.system.migrate_vm(vm, target) {
             Ok(report) => {
-                self.record_migration(shard, now, &report);
+                self.record_migration(now, &report);
                 true
             }
             Err(_) => {
@@ -255,8 +346,12 @@ impl<'a> ScenarioWorld<'a> {
         }
     }
 
-    fn record_migration(&mut self, shard: ShardId, now: SimTime, report: &MigrationReport) {
-        let admission = self.admit_control(shard, now, report.orchestration_delay);
+    fn record_migration(&mut self, now: SimTime, report: &MigrationReport) {
+        let admission = self.admit_control(
+            usize::from(report.from_rack.0),
+            now,
+            report.orchestration_delay,
+        );
         self.counters.migrations += 1;
         self.migration_downtime_s
             .push((admission.queue_wait + report.downtime).as_secs_f64());
@@ -265,7 +360,7 @@ impl<'a> ScenarioWorld<'a> {
     }
 
     /// One rebalance pass per the spec's migration policy.
-    fn rebalance(&mut self, shard: ShardId, now: SimTime, policy: MigrationPolicy) {
+    fn rebalance(&mut self, now: SimTime, policy: MigrationPolicy) {
         self.counters.rebalances += 1;
         match policy {
             MigrationPolicy::Consolidate {
@@ -282,7 +377,7 @@ impl<'a> ScenarioWorld<'a> {
                         let Some(target) = self.system.consolidation_target(vm) else {
                             continue;
                         };
-                        if self.try_migrate(shard, now, vm, target) {
+                        if self.try_migrate(now, vm, target) {
                             moved += 1;
                         }
                     }
@@ -302,7 +397,7 @@ impl<'a> ScenarioWorld<'a> {
                         self.counters.migration_failures += 1;
                         continue;
                     };
-                    if self.try_migrate(shard, now, vm, target) {
+                    if self.try_migrate(now, vm, target) {
                         evacuated += 1;
                     }
                 }
@@ -322,6 +417,13 @@ impl<'a> ScenarioWorld<'a> {
     /// Assembles the report once the engine stops.
     pub(super) fn finish(self, outcome: RunOutcome, end: SimTime, events: u64) -> ScenarioReport {
         let c = self.counters;
+        // The cluster tier only exists on multi-rack systems; single-rack
+        // reports stay byte-identical to the pre-federation engine.
+        let cluster = if self.racks > 1 {
+            Some(self.cluster_stats)
+        } else {
+            None
+        };
         ScenarioReport {
             name: self.spec.name.clone(),
             outcome,
@@ -364,6 +466,7 @@ impl<'a> ScenarioWorld<'a> {
                 &self.offload_local_counterfactual_s,
             ),
             accel_utilization: Summary::from_samples(&self.accel_utilization),
+            cluster,
         }
     }
 }
@@ -373,7 +476,7 @@ impl ShardedProcess for ScenarioWorld<'_> {
 
     fn handle(
         &mut self,
-        shard: ShardId,
+        _shard: ShardId,
         now: SimTime,
         event: ScenarioEvent,
         ctx: &mut ShardContext<'_, ScenarioEvent>,
@@ -381,58 +484,54 @@ impl ShardedProcess for ScenarioWorld<'_> {
         match event {
             ScenarioEvent::Arrival { index } => {
                 let demand = self.demands[index];
-                match self.system.allocate_vm(demand.vcpus, demand.memory) {
-                    Ok(vm) => {
-                        self.counters.admitted += 1;
-                        self.counters.live += 1;
-                        self.counters.peak_live = self.counters.peak_live.max(self.counters.live);
-                        // Serialize the admission through the SDM controller
-                        // queue: its lifetime starts once the control plane
-                        // actually finished configuring it.
-                        let service = self.system.admission_service_time(vm).unwrap_or_default();
-                        let admission = self.admit_control(shard, now, service);
-                        self.charge_reads();
-                        let lifetime = self.spec.lifetime.sample(&mut self.rng);
-                        ctx.schedule(
-                            admission.completion + lifetime,
-                            ScenarioEvent::Departure { vm },
-                        );
-                        if let Some(churn) = self.spec.churn {
-                            if churn.cycles_per_vm > 0 {
-                                let amount = self.sample_churn_amount(&churn);
-                                ctx.schedule(
-                                    admission.completion + churn.hold,
-                                    ScenarioEvent::ScaleUp {
-                                        vm,
-                                        remaining: churn.cycles_per_vm,
-                                        amount,
-                                    },
-                                );
-                            }
-                        }
-                        if let Some(plan) = self.spec.offload {
-                            if plan.sessions_per_vm > 0 {
-                                ctx.schedule(
-                                    admission.completion + plan.start_after,
-                                    ScenarioEvent::OffloadBegin {
-                                        vm,
-                                        remaining: plan.sessions_per_vm,
-                                    },
-                                );
-                            }
-                        }
-                    }
-                    Err(_) => {
+                if self.racks > 1 {
+                    // Cluster tier: route off the capacity digests and hand
+                    // the request to the chosen rack's shard one
+                    // control-network hop later. The fallback mirrors
+                    // `DredboxSystem::allocate_vm_routed`: when no digest
+                    // admits, the first schedulable rack still attempts (and
+                    // reports) the admission, preserving single-rack error
+                    // fidelity.
+                    let route = self.system.cluster().route(demand.vcpus, demand.memory);
+                    self.cluster_stats.power_deferrals += u64::from(route.power_deferrals);
+                    let fallback = || {
+                        (0..self.racks)
+                            .map(RackId)
+                            .find(|r| self.system.cluster().is_schedulable(*r))
+                    };
+                    let Some(rack) = route.rack.or_else(fallback) else {
+                        // Every rack is draining: nothing can even attempt
+                        // the admission.
                         self.counters.rejected += 1;
-                        // Rejections still occupy the controller for the
-                        // request parse + availability inspection.
-                        let timings = self.spec.system.sdm_timings;
-                        self.admit_control(
-                            shard,
-                            now,
-                            timings.request_rpc + timings.availability_check,
-                        );
+                        return;
+                    };
+                    ctx.send(
+                        ShardId(u32::from(rack.0) % self.shards),
+                        now + self.timings.route + self.timings.hop,
+                        ScenarioEvent::AdmitOn {
+                            index,
+                            rack: rack.0,
+                        },
+                    );
+                    return;
+                }
+                match self.system.allocate_vm_routed(demand.vcpus, demand.memory) {
+                    Ok(outcome) => self.finish_admission(outcome, now, ctx),
+                    Err(_) => self.reject_admission(0, now),
+                }
+                self.sample_utilization();
+            }
+            ScenarioEvent::AdmitOn { index, rack } => {
+                let demand = self.demands[index];
+                match self
+                    .system
+                    .allocate_vm_preferring(RackId(rack), demand.vcpus, demand.memory)
+                {
+                    Ok(outcome) => {
+                        self.cluster_stats.routed_admissions += 1;
+                        self.finish_admission(outcome, now, ctx);
                     }
+                    Err(_) => self.reject_admission(usize::from(rack), now),
                 }
                 self.sample_utilization();
             }
@@ -443,7 +542,8 @@ impl ShardedProcess for ScenarioWorld<'_> {
             } => {
                 match self.system.scale_up(vm, amount) {
                     Ok(report) => {
-                        let admission = self.admit_control(shard, now, report.orchestration_delay);
+                        let rack = self.vm_rack(vm);
+                        let admission = self.admit_control(rack, now, report.orchestration_delay);
                         self.counters.scale_ups += 1;
                         self.scale_up_delays_s
                             .push((admission.queue_wait + report.total_delay).as_secs_f64());
@@ -470,7 +570,8 @@ impl ShardedProcess for ScenarioWorld<'_> {
                 amount,
             } => {
                 if let Ok(report) = self.system.scale_down(vm, amount) {
-                    let admission = self.admit_control(shard, now, report.orchestration_delay);
+                    let rack = self.vm_rack(vm);
+                    let admission = self.admit_control(rack, now, report.orchestration_delay);
                     self.counters.scale_downs += 1;
                     if remaining > 1 {
                         if let Some(churn) = self.spec.churn {
@@ -489,11 +590,12 @@ impl ShardedProcess for ScenarioWorld<'_> {
                 self.sample_utilization();
             }
             ScenarioEvent::Departure { vm } => {
+                let rack = self.vm_rack(vm);
                 if self.system.release_vm(vm).is_ok() {
                     self.counters.departed += 1;
                     self.counters.live -= 1;
                     let timings = self.spec.system.sdm_timings;
-                    self.admit_control(shard, now, timings.request_rpc + timings.reservation_write);
+                    self.admit_control(rack, now, timings.request_rpc + timings.reservation_write);
                 }
                 self.sample_utilization();
             }
@@ -504,7 +606,7 @@ impl ShardedProcess for ScenarioWorld<'_> {
                 let demand = plan.mix.sample(&mut self.rng);
                 match self.system.begin_offload(vm, &demand) {
                     Ok(report) => {
-                        let admission = self.record_offload(shard, now, &report);
+                        let admission = self.record_offload(now, &report);
                         // The session stays open at least `hold`, or as long
                         // as the data takes to drain through the kernel —
                         // `admission.completion` already accounts for the
@@ -526,8 +628,9 @@ impl ShardedProcess for ScenarioWorld<'_> {
                         // Rejections still occupy the controller for the
                         // request parse + availability inspection...
                         let timings = self.spec.system.sdm_timings;
+                        let rack = self.vm_rack(vm);
                         let admission = self.admit_control(
-                            shard,
+                            rack,
                             now,
                             timings.request_rpc + timings.availability_check,
                         );
@@ -550,8 +653,9 @@ impl ShardedProcess for ScenarioWorld<'_> {
             } => {
                 // The VM may have departed mid-session, in which case its
                 // release already drained the session.
+                let rack = self.vm_rack(vm);
                 if let Ok(service) = self.system.end_offload(session) {
-                    let admission = self.admit_control(shard, now, service);
+                    let admission = self.admit_control(rack, now, service);
                     self.counters.offloads_completed += 1;
                     if remaining > 1 {
                         if let Some(plan) = self.spec.offload {
@@ -567,25 +671,35 @@ impl ShardedProcess for ScenarioWorld<'_> {
                 }
                 self.sample_utilization();
             }
-            ScenarioEvent::PowerSweep => {
-                // Sweeps batch per shard per tick: each shard's sweep event
-                // covers only its own bricks, so a multi-shard run never
-                // touches another shard's power state. With one shard this
-                // is exactly the whole-rack sweep.
-                let shards = self.shards;
-                let sweep = self
-                    .system
-                    .power_off_unused_where(|brick| brick_shard(brick, shards) == shard);
+            ScenarioEvent::PowerSweep { rack } => {
+                // Sweeps batch per rack per tick: each rack's sweep event
+                // covers only its own bricks (on a single-rack system this
+                // is exactly the whole-rack sweep it always was), and the
+                // rack's digest refreshes so cluster routing sees the freed
+                // power headroom immediately.
+                let sweep = self.system.power_off_unused_in(RackId(rack));
                 self.counters.power_sweeps += 1;
                 self.counters.bricks_powered_off += sweep.total_off() as u64;
+                self.cluster_stats.power_off_per_rack[usize::from(rack)] +=
+                    sweep.total_off() as u64;
                 self.sample_utilization();
                 if let Some(every) = self.spec.power_sweep_every {
-                    ctx.schedule(now + every, ScenarioEvent::PowerSweep);
+                    ctx.schedule(now + every, ScenarioEvent::PowerSweep { rack });
                 }
+            }
+            ScenarioEvent::DrainRack { rack } => {
+                let (reports, stranded) = self.system.drain_rack(RackId(rack));
+                self.cluster_stats.racks_drained += 1;
+                self.cluster_stats.drain_stranded += u64::from(stranded);
+                for report in &reports {
+                    self.cluster_stats.cross_rack_migrations += 1;
+                    self.record_migration(now, report);
+                }
+                self.sample_utilization();
             }
             ScenarioEvent::Rebalance => {
                 if let Some(policy) = self.spec.migration {
-                    self.rebalance(shard, now, policy);
+                    self.rebalance(now, policy);
                     self.sample_utilization();
                     ctx.schedule(now + policy.every(), ScenarioEvent::Rebalance);
                 }

@@ -6,14 +6,14 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use dredbox_bricks::{Bitstream, BrickId, BrickKind, Rack};
+use dredbox_bricks::{Bitstream, BrickId, BrickKind, PowerState, Rack, RackId};
 use dredbox_interconnect::{LatencyBreakdown, PathKind, RemoteMemoryPath};
 use dredbox_memory::HotplugModel;
 use dredbox_optical::{OpticalCircuitSwitch, OpticalTopology};
 use dredbox_orchestrator::power_mgmt::PowerSweep;
 use dredbox_orchestrator::{
-    OffloadRequest, OffloadSessionId, OrchestratorError, PowerManager, ScaleUpDemand, ScaleUpGrant,
-    SdmController, VmAllocationRequest,
+    ClusterController, OffloadRequest, OffloadSessionId, OrchestratorError, PowerManager,
+    RackDigest, ScaleUpDemand, ScaleUpGrant, SdmController, VmAllocationRequest,
 };
 use dredbox_sim::arena::{SlotArena, SlotKey};
 use dredbox_sim::time::SimDuration;
@@ -44,6 +44,11 @@ pub struct MigrationReport {
     pub from: BrickId,
     /// The brick now hosting it.
     pub to: BrickId,
+    /// The rack the VM left.
+    pub from_rack: RackId,
+    /// The rack now hosting it (differs from `from_rack` only for
+    /// cross-rack migrations, where memory cannot stay resident).
+    pub to_rack: RackId,
     /// Brick-local working state that actually crossed the migration link.
     pub moved_local_state: ByteSize,
     /// Guest memory that stayed resident on its dMEMBRICKs.
@@ -72,6 +77,8 @@ pub struct OffloadReport {
     pub compute_brick: BrickId,
     /// The accelerator brick serving the session.
     pub accel_brick: BrickId,
+    /// The rack both bricks live in (offload circuits never cross racks).
+    pub rack: RackId,
     /// The kernel that ran.
     pub kernel: String,
     /// Input data streamed through the kernel.
@@ -186,13 +193,82 @@ fn handle_key(handle: VmHandle) -> SlotKey {
     SlotKey::from_u64(handle.0)
 }
 
-/// The assembled dReDBox system.
+/// Physically powered-on bricks per kind — one rack's provisioned-power
+/// ledger, held in lockstep by every wake and sweep transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+struct PoweredCounts {
+    compute: u32,
+    memory: u32,
+    accel: u32,
+}
+
+/// One federated rack: its physical bricks, optical cabling and SDM
+/// controller. The cluster controller above never reads per-brick state —
+/// only the [`RackDigest`] derived from the domain's own indexes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct DredboxSystem {
-    config: SystemConfig,
+struct RackDomain {
     rack: Rack,
     topology: OpticalTopology,
     sdm: SdmController,
+    powered: PoweredCounts,
+}
+
+impl RackDomain {
+    /// The rack's capacity digest, read off the incrementally maintained
+    /// indexes in `O(1)`/`O(log bricks)` — the cost of keeping the cluster
+    /// view in lockstep with every orchestration operation.
+    fn digest(&self, draw_mw: &[u64; 3]) -> RackDigest {
+        let capacity = self.sdm.capacity();
+        let pool = self.sdm.pool();
+        let accel = self.sdm.accel();
+        RackDigest {
+            free_cores: capacity.powered_free_cores(),
+            largest_free_cores: capacity.largest_powered_free(),
+            largest_sleeping_cores: capacity.largest_sleeping_total(),
+            free_memory_bytes: pool.total_free().as_bytes(),
+            largest_segment_bytes: pool.largest_free_block().as_bytes(),
+            idle_accels: accel.idle_count() as u32,
+            accel_bricks: accel.len() as u32,
+            active_bricks: capacity.active_brick_count() as u32,
+            powered_bricks: self.powered.compute + self.powered.memory + self.powered.accel,
+            provisioned_milliwatts: u64::from(self.powered.compute) * draw_mw[0]
+                + u64::from(self.powered.memory) * draw_mw[1]
+                + u64::from(self.powered.accel) * draw_mw[2],
+        }
+    }
+}
+
+/// Where the cluster controller admitted a VM, and what it took to get
+/// there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionOutcome {
+    /// Handle of the admitted VM.
+    pub vm: VmHandle,
+    /// The rack that accepted it.
+    pub rack: RackId,
+    /// Racks that rejected the request before this one accepted it
+    /// (inter-rack spillover).
+    pub spillovers: u32,
+    /// Racks skipped at routing time because their provisioned power had
+    /// reached the rack budget.
+    pub power_deferrals: u32,
+}
+
+/// The assembled dReDBox system: one or more racks federated under a
+/// cluster controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DredboxSystem {
+    config: SystemConfig,
+    /// The federated racks, indexed by rack id.
+    racks: Vec<RackDomain>,
+    /// The cluster tier: per-rack digests and the routing rank sets.
+    cluster: ClusterController,
+    /// Brick-id namespace stride between consecutive racks
+    /// (= bricks per rack), so `rack_of` is a division instead of a map.
+    brick_stride: u32,
+    /// Active draw per brick kind in milliwatts `[compute, memory, accel]`,
+    /// the provisioned-power constants from the catalog.
+    kind_draw_mw: [u64; 3],
     /// Hypervisors in a dense table indexed by brick id (`None` for
     /// non-compute bricks), so the per-event lookup is a bounds check
     /// instead of a tree walk.
@@ -214,86 +290,118 @@ pub struct DredboxSystem {
 }
 
 impl DredboxSystem {
-    /// Builds the rack, cables it to the optical switch, boots a hypervisor
-    /// on every dCOMPUBRICK and registers everything with the SDM
+    /// Builds every rack, cables each to its optical switch, boots a
+    /// hypervisor on every dCOMPUBRICK, registers everything with the
+    /// rack's SDM controller and federates the racks under the cluster
     /// controller.
     ///
     /// # Errors
     ///
-    /// Currently infallible in practice (kept fallible for forward
-    /// compatibility with richer configurations).
+    /// Fails when the configuration asks for zero racks.
     pub fn build(config: SystemConfig) -> Result<Self, SystemError> {
-        let rack = config.catalog.build_rack(
-            config.trays,
-            config.compute_per_tray,
-            config.memory_per_tray,
-            config.accel_per_tray,
-        );
-        let topology = OpticalTopology::cable_rack(&rack, OpticalCircuitSwitch::polatis_48());
-
-        let mut sdm = SdmController::new(
-            config.memory_policy,
-            config.placement,
-            config.sdm_timings,
-            config.latency.clone(),
-        );
+        if config.racks == 0 {
+            return Err(SystemError::InvalidConfig {
+                reason: "a system needs at least one rack".to_owned(),
+            });
+        }
+        let brick_stride = config.bricks_per_rack().max(1) as u32;
         let mut hypervisors: Vec<Option<Hypervisor>> = Vec::new();
-        for brick in rack.bricks() {
-            match brick.kind() {
-                BrickKind::Compute => {
-                    let compute = brick.as_compute().expect("kind checked");
-                    sdm.register_compute_brick(
-                        compute.id(),
-                        compute.spec().apu_cores,
-                        compute.spec().gth_ports,
-                    );
-                    let os = BaremetalOs::new(
-                        compute.id(),
-                        compute.spec().local_memory,
-                        HotplugModel::dredbox_default(),
-                    );
-                    let slot = compute.id().0 as usize;
-                    if hypervisors.len() <= slot {
-                        hypervisors.resize_with(slot + 1, || None);
+        let mut racks = Vec::with_capacity(usize::from(config.racks));
+        for rack_index in 0..config.racks {
+            let rack = config.catalog.build_rack_in(
+                RackId(rack_index),
+                BrickId(u32::from(rack_index) * brick_stride),
+                config.trays,
+                config.compute_per_tray,
+                config.memory_per_tray,
+                config.accel_per_tray,
+            );
+            let topology = OpticalTopology::cable_rack(&rack, OpticalCircuitSwitch::polatis_48());
+            let mut sdm = SdmController::new(
+                config.memory_policy,
+                config.placement,
+                config.sdm_timings,
+                config.latency.clone(),
+            );
+            let mut powered = PoweredCounts::default();
+            for brick in rack.bricks() {
+                match brick.kind() {
+                    BrickKind::Compute => {
+                        let compute = brick.as_compute().expect("kind checked");
+                        sdm.register_compute_brick(
+                            compute.id(),
+                            compute.spec().apu_cores,
+                            compute.spec().gth_ports,
+                        );
+                        let os = BaremetalOs::new(
+                            compute.id(),
+                            compute.spec().local_memory,
+                            HotplugModel::dredbox_default(),
+                        );
+                        let slot = compute.id().0 as usize;
+                        if hypervisors.len() <= slot {
+                            hypervisors.resize_with(slot + 1, || None);
+                        }
+                        hypervisors[slot] = Some(Hypervisor::new(os, compute.spec().apu_cores));
+                        powered.compute += 1;
                     }
-                    hypervisors[slot] = Some(Hypervisor::new(os, compute.spec().apu_cores));
-                }
-                BrickKind::Memory => {
-                    let memory = brick.as_memory().expect("kind checked");
-                    sdm.register_membrick(memory.id(), memory.capacity());
-                }
-                BrickKind::Accelerator => {
-                    // Accelerators are a scheduled resource class like the
-                    // other bricks: register the PCAP programming bandwidth
-                    // (the reprogram-cost key) and one streaming slot per
-                    // GTH transceiver with the SDM controller.
-                    let accel = brick.as_accelerator().expect("kind checked");
-                    sdm.register_accel_brick(
-                        accel.id(),
-                        accel.spec().pcap_bandwidth,
-                        u32::from(accel.spec().gth_ports),
-                    );
+                    BrickKind::Memory => {
+                        let memory = brick.as_memory().expect("kind checked");
+                        sdm.register_membrick(memory.id(), memory.capacity());
+                        powered.memory += 1;
+                    }
+                    BrickKind::Accelerator => {
+                        // Accelerators are a scheduled resource class like the
+                        // other bricks: register the PCAP programming bandwidth
+                        // (the reprogram-cost key) and one streaming slot per
+                        // GTH transceiver with the SDM controller.
+                        let accel = brick.as_accelerator().expect("kind checked");
+                        sdm.register_accel_brick(
+                            accel.id(),
+                            accel.spec().pcap_bandwidth,
+                            u32::from(accel.spec().gth_ports),
+                        );
+                        powered.accel += 1;
+                    }
                 }
             }
+            racks.push(RackDomain {
+                rack,
+                topology,
+                sdm,
+                powered,
+            });
         }
 
+        let kind_draw_mw = [
+            (config.catalog.compute_spec().power.active().as_watts() * 1e3).round() as u64,
+            (config.catalog.memory_spec().power.active().as_watts() * 1e3).round() as u64,
+            (config.catalog.accelerator_spec().power.active().as_watts() * 1e3).round() as u64,
+        ];
+        let mut cluster = ClusterController::new(config.placement);
+        cluster.set_rack_budget(config.rack_power_budget);
         let read_path = match config.path {
             PathKind::CircuitSwitched => RemoteMemoryPath::circuit_switched(config.latency.clone()),
             PathKind::PacketSwitched => RemoteMemoryPath::packet_switched(config.latency.clone()),
         };
-        Ok(DredboxSystem {
+        let mut system = DredboxSystem {
             scaleup: ScaleUpController::new(config.scaleup_timings),
             config,
-            rack,
-            topology,
-            sdm,
+            racks,
+            cluster,
+            brick_stride,
+            kind_draw_mw,
             hypervisors,
             power: PowerManager::new(),
             vms: SlotArena::new(),
             offload_owners: BTreeMap::new(),
             next_seq: 0,
             read_path,
-        })
+        };
+        for idx in 0..system.racks.len() {
+            system.refresh_digest(idx);
+        }
+        Ok(system)
     }
 
     /// The system configuration.
@@ -301,19 +409,141 @@ impl DredboxSystem {
         &self.config
     }
 
-    /// The physical rack.
+    /// The physical rack (rack 0 of a multi-rack system — the accessor
+    /// every single-rack call site keeps using unchanged).
     pub fn rack(&self) -> &Rack {
-        &self.rack
+        &self.racks[0].rack
     }
 
-    /// The optical topology and circuit manager.
+    /// The optical topology and circuit manager of rack 0.
     pub fn topology(&self) -> &OpticalTopology {
-        &self.topology
+        &self.racks[0].topology
     }
 
-    /// The SDM controller.
+    /// The SDM controller of rack 0.
     pub fn sdm(&self) -> &SdmController {
-        &self.sdm
+        &self.racks[0].sdm
+    }
+
+    /// The cluster controller federating the racks.
+    pub fn cluster(&self) -> &ClusterController {
+        &self.cluster
+    }
+
+    /// Fleet-level provisioned-power accounting for the TCO study: the
+    /// cluster controller's per-rack draws (read off the capacity digests,
+    /// never the bricks) plus the enforced rack budget, packaged as the
+    /// live-system feed of the Section VI energy argument.
+    pub fn fleet_power(&self) -> dredbox_tco::FleetPower {
+        dredbox_tco::FleetPower::new(
+            self.cluster.provisioned_per_rack(),
+            self.cluster.rack_budget(),
+        )
+    }
+
+    /// Number of federated racks.
+    pub fn rack_count(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// The rack a brick belongs to (a division — brick ids are
+    /// stride-aligned per rack).
+    pub fn rack_of(&self, brick: BrickId) -> RackId {
+        RackId((brick.0 / self.brick_stride) as u16)
+    }
+
+    /// The physical rack with the given id, if any.
+    pub fn rack_at(&self, rack: RackId) -> Option<&Rack> {
+        self.racks.get(usize::from(rack.0)).map(|d| &d.rack)
+    }
+
+    /// The SDM controller of the given rack, if any.
+    pub fn sdm_of(&self, rack: RackId) -> Option<&SdmController> {
+        self.racks.get(usize::from(rack.0)).map(|d| &d.sdm)
+    }
+
+    /// Index of the rack domain owning `brick`.
+    fn rack_index(&self, brick: BrickId) -> usize {
+        (brick.0 / self.brick_stride) as usize
+    }
+
+    /// Recomputes one rack's digest off its maintained indexes and
+    /// republishes it to the cluster controller — the lockstep refresh run
+    /// after every mutating orchestration operation.
+    fn refresh_digest(&mut self, idx: usize) {
+        let digest = self.racks[idx].digest(&self.kind_draw_mw);
+        self.cluster.upsert(RackId(idx as u16), digest);
+    }
+
+    /// Rebuilds one rack's digest from per-brick state (capacity slots,
+    /// pool allocators, accelerator slots, physical power states) instead
+    /// of the maintained aggregates — the from-scratch reference the
+    /// cluster-invariant property tests compare against.
+    pub fn rebuild_rack_digest(&self, rack: RackId) -> Option<RackDigest> {
+        let domain = self.racks.get(usize::from(rack.0))?;
+        let mut free_cores = 0u64;
+        let mut largest_free_cores = 0u32;
+        let mut largest_sleeping_cores = 0u32;
+        let mut active_bricks = 0u32;
+        for view in domain.sdm.capacity().views() {
+            if view.powered_on {
+                free_cores += u64::from(view.free_cores);
+                largest_free_cores = largest_free_cores.max(view.free_cores);
+                if view.active {
+                    active_bricks += 1;
+                }
+            } else {
+                largest_sleeping_cores = largest_sleeping_cores.max(view.total_cores);
+            }
+        }
+        let mut free_memory_bytes = 0u64;
+        let mut largest_segment_bytes = 0u64;
+        for membrick in domain.rack.brick_ids(BrickKind::Memory) {
+            free_memory_bytes += domain
+                .sdm
+                .pool()
+                .free_on(membrick)
+                .map_or(0, |b| b.as_bytes());
+            largest_segment_bytes = largest_segment_bytes.max(
+                domain
+                    .sdm
+                    .pool()
+                    .largest_free_on(membrick)
+                    .map_or(0, |b| b.as_bytes()),
+            );
+        }
+        let accel_bricks = domain.sdm.accel().len() as u32;
+        let idle_accels = domain
+            .sdm
+            .accel()
+            .slots()
+            .filter(|(_, s)| s.active_sessions == 0)
+            .count() as u32;
+        let mut powered = PoweredCounts::default();
+        for brick in domain.rack.bricks() {
+            let (state, bucket) = match brick {
+                dredbox_bricks::Brick::Compute(b) => (b.power_state(), &mut powered.compute),
+                dredbox_bricks::Brick::Memory(b) => (b.power_state(), &mut powered.memory),
+                dredbox_bricks::Brick::Accelerator(b) => (b.power_state(), &mut powered.accel),
+            };
+            if state != PowerState::Off {
+                *bucket += 1;
+            }
+        }
+        Some(RackDigest {
+            free_cores,
+            largest_free_cores,
+            largest_sleeping_cores,
+            free_memory_bytes,
+            largest_segment_bytes,
+            idle_accels,
+            accel_bricks,
+            active_bricks,
+            powered_bricks: powered.compute + powered.memory + powered.accel,
+            provisioned_milliwatts: u64::from(powered.compute) * self.kind_draw_mw[0]
+                + u64::from(powered.memory) * self.kind_draw_mw[1]
+                + u64::from(powered.accel) * self.kind_draw_mw[2],
+        })
     }
 
     /// The hypervisor running on a given compute brick.
@@ -359,9 +589,131 @@ impl DredboxSystem {
     /// Fails when no compute brick has the cores or the pool lacks the
     /// memory.
     pub fn allocate_vm(&mut self, vcpus: u32, memory: ByteSize) -> Result<VmHandle, SystemError> {
-        let (brick, grant) = self
+        self.allocate_vm_routed(vcpus, memory).map(|o| o.vm)
+    }
+
+    /// Allocates a VM through the cluster tier: the controller routes the
+    /// request to the best rack off the capacity digests (an `O(log racks)`
+    /// read, never a per-brick scan), and the chosen rack's SDM controller
+    /// places it. When the routed rack rejects — its digest admitted a
+    /// fragmented memory layout the pool cannot actually serve — the
+    /// request spills over to the remaining admitting racks in preference
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Fails when every candidate rack rejects the request.
+    pub fn allocate_vm_routed(
+        &mut self,
+        vcpus: u32,
+        memory: ByteSize,
+    ) -> Result<AdmissionOutcome, SystemError> {
+        let route = self.cluster.route(vcpus, memory);
+        // No rack's digest admits the request: the compute screen is exact
+        // and the memory screen necessary, so attempting anyway on the
+        // first schedulable rack reproduces the error a single-rack system
+        // would report (capacity exhausted / pool short) with full
+        // fidelity.
+        let first = match route.rack {
+            Some(rack) => rack,
+            None => (0..self.racks.len())
+                .map(|i| RackId(i as u16))
+                .find(|r| self.cluster.is_schedulable(*r))
+                .ok_or(SystemError::Orchestrator(
+                    OrchestratorError::NoComputeCapacity {
+                        requested_vcpus: vcpus,
+                    },
+                ))?,
+        };
+        let mut outcome = self.allocate_vm_preferring(first, vcpus, memory)?;
+        outcome.power_deferrals += route.power_deferrals;
+        Ok(outcome)
+    }
+
+    /// [`DredboxSystem::allocate_vm_routed`] with the first candidate rack
+    /// pinned — the spillover engine: tries `first`, then every other
+    /// admitting rack in the cluster policy's preference order, counting
+    /// each rejection as one spillover hop.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the last rack's rejection when every candidate rejects.
+    pub fn allocate_vm_preferring(
+        &mut self,
+        first: RackId,
+        vcpus: u32,
+        memory: ByteSize,
+    ) -> Result<AdmissionOutcome, SystemError> {
+        let mut spillovers = 0u32;
+        let mut last_err = None;
+        // Typical case: the routed rack accepts and the admission never
+        // materializes the spillover order — the per-decision cost stays
+        // the digest walk, O(log racks), independent of rack count.
+        if usize::from(first.0) < self.racks.len() {
+            match self.try_allocate_on(usize::from(first.0), vcpus, memory) {
+                Ok(vm) => {
+                    return Ok(AdmissionOutcome {
+                        vm,
+                        rack: first,
+                        spillovers,
+                        power_deferrals: 0,
+                    });
+                }
+                Err(e) => {
+                    spillovers += 1;
+                    last_err = Some(e);
+                }
+            }
+        }
+        // The routed rack refused (its digest admitted a fragmented layout
+        // the pool could not serve): only now compute the spillover order.
+        // A failed attempt refreshes no digest but the attempted rack's,
+        // and the order excludes that rack, so the sequence is identical
+        // to a fully materialized candidate list.
+        for rack in self.cluster.spillover_order(vcpus, memory, Some(first)) {
+            match self.try_allocate_on(usize::from(rack.0), vcpus, memory) {
+                Ok(vm) => {
+                    return Ok(AdmissionOutcome {
+                        vm,
+                        rack,
+                        spillovers,
+                        power_deferrals: 0,
+                    });
+                }
+                Err(e) => {
+                    spillovers += 1;
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or(SystemError::Orchestrator(
+            OrchestratorError::NoComputeCapacity {
+                requested_vcpus: vcpus,
+            },
+        )))
+    }
+
+    /// One rack-local admission attempt: the rack's SDM controller places
+    /// and reserves, the hypervisor boots the guest, and the physical rack
+    /// mirrors the grant. Rejections roll everything back; both outcomes
+    /// republish the rack's digest (a rejected placement can still have
+    /// woken a brick's availability flag).
+    fn try_allocate_on(
+        &mut self,
+        idx: usize,
+        vcpus: u32,
+        memory: ByteSize,
+    ) -> Result<VmHandle, SystemError> {
+        let (brick, grant) = match self.racks[idx]
             .sdm
-            .allocate_vm(VmAllocationRequest::new(vcpus, memory))?;
+            .allocate_vm(VmAllocationRequest::new(vcpus, memory))
+        {
+            Ok(placed) => placed,
+            Err(e) => {
+                self.refresh_digest(idx);
+                return Err(e.into());
+            }
+        };
         let hv = self
             .hypervisors
             .get_mut(brick.0 as usize)
@@ -374,16 +726,18 @@ impl DredboxSystem {
             Ok(v) => v,
             Err(e) => {
                 let _ = hv.os_mut().offline_remote(grant.grant.total());
-                let _ = self.sdm.release_scale_up(&grant);
+                let _ = self.racks[idx].sdm.release_scale_up(&grant);
                 // The SDM controller already committed the cores for this
                 // VM; hand them back too or the brick's capacity shrinks
                 // forever.
-                let _ = self.sdm.release_vm(brick, vcpus);
+                let _ = self.racks[idx].sdm.release_vm(brick, vcpus);
+                self.refresh_digest(idx);
                 return Err(e.into());
             }
         };
-        self.apply_grant_to_rack(brick, &grant);
-        self.rack
+        self.apply_grant_to_rack(idx, brick, &grant);
+        self.racks[idx]
+            .rack
             .brick_mut(brick)
             .and_then(|b| b.as_compute_mut())
             .map(|c| c.allocate_cores(vcpus))
@@ -400,6 +754,7 @@ impl DredboxSystem {
             grants: vec![grant],
             offloads: Vec::new(),
         });
+        self.refresh_digest(idx);
         Ok(VmHandle(key.to_u64()))
     }
 
@@ -418,9 +773,17 @@ impl DredboxSystem {
             Some(r) => (r.brick, r.vm),
             None => return Err(SystemError::NoSuchVm { handle }),
         };
-        let grant = self
+        let idx = self.rack_index(brick);
+        let grant = match self.racks[idx]
             .sdm
-            .handle_scale_up(ScaleUpDemand::new(brick, amount))?;
+            .handle_scale_up(ScaleUpDemand::new(brick, amount))
+        {
+            Ok(g) => g,
+            Err(e) => {
+                self.refresh_digest(idx);
+                return Err(e.into());
+            }
+        };
         let hv = self
             .hypervisors
             .get_mut(brick.0 as usize)
@@ -429,11 +792,13 @@ impl DredboxSystem {
         let outcome = match self.scaleup.apply_grant(hv, vm, amount) {
             Ok(o) => o,
             Err(e) => {
-                let _ = self.sdm.release_scale_up(&grant);
+                let _ = self.racks[idx].sdm.release_scale_up(&grant);
+                self.refresh_digest(idx);
                 return Err(e.into());
             }
         };
-        self.apply_grant_to_rack(brick, &grant);
+        self.apply_grant_to_rack(idx, brick, &grant);
+        self.refresh_digest(idx);
 
         let report = ScaleUpReport {
             vm: handle,
@@ -466,6 +831,7 @@ impl DredboxSystem {
             .get(handle_key(handle))
             .ok_or(SystemError::NoSuchVm { handle })?;
         let (brick, vm) = (record.brick, record.vm);
+        let idx = self.rack_index(brick);
         // Find the most recent grant that matches the requested amount.
         let Some(pos) = record
             .grants
@@ -501,7 +867,7 @@ impl DredboxSystem {
                 return Err(e.into());
             }
         };
-        let orch = match self.sdm.release_scale_up(&grant) {
+        let orch = match self.racks[idx].sdm.release_scale_up(&grant) {
             Ok(o) => o,
             Err(e) => {
                 self.vms
@@ -509,10 +875,12 @@ impl DredboxSystem {
                     .expect("checked above")
                     .grants
                     .insert(pos, grant);
+                self.refresh_digest(idx);
                 return Err(e.into());
             }
         };
-        self.remove_grant_from_rack(brick, &grant);
+        self.remove_grant_from_rack(idx, brick, &grant);
+        self.refresh_digest(idx);
 
         Ok(ScaleUpReport {
             vm: handle,
@@ -554,6 +922,15 @@ impl DredboxSystem {
                 OrchestratorError::InvalidMigration { from, to },
             ));
         }
+        // This is the intra-rack path: memory stays resident only while
+        // source and destination share the rack's optical fabric. Cross-rack
+        // moves go through [`DredboxSystem::migrate_vm_cross_rack`].
+        if self.rack_of(from) != self.rack_of(to) {
+            return Err(SystemError::Orchestrator(
+                OrchestratorError::InvalidMigration { from, to },
+            ));
+        }
+        let idx = self.rack_index(from);
         let guest_memory = self
             .hypervisor(from)
             .and_then(|hv| hv.vm(vm_id))
@@ -580,7 +957,13 @@ impl DredboxSystem {
             .get(handle_key(handle))
             .expect("checked above")
             .grants;
-        let outcome = self.sdm.migrate_vm(from, to, vcpus, grants_ref)?;
+        let outcome = match self.racks[idx].sdm.migrate_vm(from, to, vcpus, grants_ref) {
+            Ok(o) => o,
+            Err(e) => {
+                self.refresh_digest(idx);
+                return Err(e.into());
+            }
+        };
 
         // From here on nothing fails: take the old grants out of the record
         // (they are replaced by the rebased set below) instead of cloning
@@ -621,18 +1004,22 @@ impl DredboxSystem {
 
         // Rack-level bookkeeping: cores and remote attachments follow the
         // VM; the dMEMBRICK exports are re-pointed at the new consumer.
-        if let Some(c) = self.rack.brick_mut(from).and_then(|b| b.as_compute_mut()) {
+        let domain = &mut self.racks[idx];
+        if let Some(c) = domain.rack.brick_mut(from).and_then(|b| b.as_compute_mut()) {
             let _ = c.detach_remote_memory(preserved);
             let _ = c.release_cores(vcpus);
         }
-        if let Some(c) = self.rack.brick_mut(to).and_then(|b| b.as_compute_mut()) {
+        if let Some(c) = domain.rack.brick_mut(to).and_then(|b| b.as_compute_mut()) {
+            if c.power_state() == PowerState::Off {
+                domain.powered.compute += 1;
+            }
             c.power_on();
             c.attach_remote_memory(preserved);
             let _ = c.allocate_cores(vcpus);
         }
         for grant in &grants {
             for segment in grant.grant.segments() {
-                if let Some(m) = self
+                if let Some(m) = domain
                     .rack
                     .brick_mut(segment.membrick)
                     .and_then(|b| b.as_memory_mut())
@@ -650,6 +1037,7 @@ impl DredboxSystem {
         rec.vm = new_vm;
         rec.grants = outcome.rebased;
 
+        self.refresh_digest(idx);
         let local_state = self.config.migration.local_state(vcpus);
         let downtime =
             self.config.migration.disaggregated_migration(local_state) + outcome.service_time;
@@ -657,12 +1045,219 @@ impl DredboxSystem {
             vm: handle,
             from,
             to,
+            from_rack: RackId(idx as u16),
+            to_rack: RackId(idx as u16),
             moved_local_state: local_state,
             preserved_memory: preserved,
             orchestration_delay: outcome.service_time,
             downtime,
             conventional_precopy: self.config.migration.conventional_migration(guest_memory),
         })
+    }
+
+    /// Migrates a VM wholesale to another rack: the destination rack's SDM
+    /// controller places it fresh (cores and new memory segments from the
+    /// destination pool), the hypervisors hand the guest over, and the
+    /// source rack releases everything. Unlike the intra-rack path there is
+    /// no shared optical fabric between racks, so **no memory stays
+    /// resident**: the guest's whole footprint crosses the inter-rack link,
+    /// and the downtime is the conventional full-copy cost plus the two
+    /// control planes' orchestration — the honest physics of leaving the
+    /// rack, and the price [`DredboxSystem::drain_rack`] pays per VM.
+    ///
+    /// # Errors
+    ///
+    /// Fails without mutating any state if the handle is unknown or pinned
+    /// by offload sessions, the rack is unknown or the VM's own, or the
+    /// destination rack cannot host the VM.
+    pub fn migrate_vm_cross_rack(
+        &mut self,
+        handle: VmHandle,
+        to_rack: RackId,
+    ) -> Result<MigrationReport, SystemError> {
+        let record = self
+            .vms
+            .get(handle_key(handle))
+            .ok_or(SystemError::NoSuchVm { handle })?;
+        let (from, vm_id, vcpus) = (record.brick, record.vm, record.vcpus);
+        let from_rack = self.rack_of(from);
+        let dst = usize::from(to_rack.0);
+        if !record.offloads.is_empty() || dst >= self.racks.len() || to_rack == from_rack {
+            return Err(SystemError::Orchestrator(
+                OrchestratorError::InvalidMigration { from, to: from },
+            ));
+        }
+        let src = usize::from(from_rack.0);
+        let guest_memory = self
+            .hypervisor(from)
+            .and_then(|hv| hv.vm(vm_id))
+            .map(|vm| vm.current_memory())
+            .ok_or(SystemError::NoSuchVm { handle })?;
+
+        // Destination control plane: place the VM as a fresh admission.
+        // Rejections leave both racks untouched (modulo a republished,
+        // identical digest).
+        let (to, grant) = match self.racks[dst]
+            .sdm
+            .allocate_vm(VmAllocationRequest::new(vcpus, guest_memory))
+        {
+            Ok(placed) => placed,
+            Err(e) => {
+                self.refresh_digest(dst);
+                return Err(e.into());
+            }
+        };
+        // Validate the destination hypervisor before any hand-over, rolling
+        // the destination reservation back if the guest will not fit.
+        let fits = self
+            .hypervisor(to)
+            .is_some_and(|hv| vcpus <= hv.free_cores());
+        if !fits {
+            let _ = self.racks[dst].sdm.release_scale_up(&grant);
+            let _ = self.racks[dst].sdm.release_vm(to, vcpus);
+            self.refresh_digest(dst);
+            return Err(SystemError::Orchestrator(
+                OrchestratorError::NoComputeCapacity {
+                    requested_vcpus: vcpus,
+                },
+            ));
+        }
+
+        // From here on nothing fails. Softstack hand-over: online the new
+        // grant on the destination, evict the guest, retire the source's
+        // remote view, adopt on the destination.
+        let old_grants = std::mem::take(
+            &mut self
+                .vms
+                .get_mut(handle_key(handle))
+                .expect("checked above")
+                .grants,
+        );
+        let old_total: ByteSize = old_grants.iter().map(|g| g.grant.total()).sum();
+        self.hypervisors
+            .get_mut(to.0 as usize)
+            .and_then(|h| h.as_mut())
+            .expect("validated above")
+            .os_mut()
+            .online_remote(grant.grant.total());
+        let src_hv = self
+            .hypervisors
+            .get_mut(from.0 as usize)
+            .and_then(|h| h.as_mut())
+            .expect("record refers to a registered brick");
+        let guest = src_hv
+            .evict_vm(vm_id)
+            .expect("record refers to a live VM (checked above)");
+        let _ = src_hv.os_mut().offline_remote(old_total);
+        let new_vm = self
+            .hypervisors
+            .get_mut(to.0 as usize)
+            .and_then(|h| h.as_mut())
+            .expect("validated above")
+            .adopt_vm(guest)
+            .expect("destination capacity validated above");
+
+        // Source rack: release every grant and the cores, exactly as a
+        // departure would.
+        for g in &old_grants {
+            let _ = self.racks[src].sdm.release_scale_up(g);
+            self.remove_grant_from_rack(src, from, g);
+        }
+        let _ = self.racks[src].sdm.release_vm(from, vcpus);
+        if let Some(c) = self.racks[src]
+            .rack
+            .brick_mut(from)
+            .and_then(|b| b.as_compute_mut())
+        {
+            let _ = c.release_cores(vcpus);
+        }
+
+        // Destination rack: mirror the fresh grant on the physical bricks.
+        let orchestration = grant.service_time;
+        self.apply_grant_to_rack(dst, to, &grant);
+        self.racks[dst]
+            .rack
+            .brick_mut(to)
+            .and_then(|b| b.as_compute_mut())
+            .map(|c| c.allocate_cores(vcpus))
+            .transpose()
+            .ok();
+
+        let rec = self.vms.get_mut(handle_key(handle)).expect("checked above");
+        rec.brick = to;
+        rec.vm = new_vm;
+        rec.grants = vec![grant];
+
+        self.refresh_digest(src);
+        self.refresh_digest(dst);
+
+        let local_state = self.config.migration.local_state(vcpus);
+        let full_copy = self.config.migration.conventional_migration(guest_memory);
+        Ok(MigrationReport {
+            vm: handle,
+            from,
+            to,
+            from_rack,
+            to_rack,
+            moved_local_state: local_state,
+            // Nothing stays resident across racks: the guest's memory is
+            // re-allocated on the destination pool and copied over.
+            preserved_memory: ByteSize::ZERO,
+            orchestration_delay: orchestration,
+            downtime: full_copy + orchestration,
+            conventional_precopy: full_copy,
+        })
+    }
+
+    /// Drains a rack for maintenance: marks it unschedulable (the router
+    /// stops sending admissions) and evacuates its VMs cross-rack in
+    /// admission order, each to the best other rack by the current digests.
+    /// Returns the per-VM migration reports and the number of VMs left
+    /// stranded because no other rack could host them. The rack stays
+    /// unschedulable afterwards; flip it back with
+    /// [`DredboxSystem::set_rack_schedulable`].
+    pub fn drain_rack(&mut self, rack: RackId) -> (Vec<MigrationReport>, u32) {
+        self.cluster.set_schedulable(rack, false);
+        let mut reports = Vec::new();
+        let mut stranded = 0u32;
+        for handle in self.vms_on_rack(rack) {
+            let Some(record) = self.vms.get(handle_key(handle)) else {
+                continue;
+            };
+            let memory = self.vm_memory(handle).unwrap_or(ByteSize::ZERO);
+            let vcpus = record.vcpus;
+            let Some(dest) = self
+                .cluster
+                .spillover_order(vcpus, memory, Some(rack))
+                .into_iter()
+                .next()
+            else {
+                stranded += 1;
+                continue;
+            };
+            match self.migrate_vm_cross_rack(handle, dest) {
+                Ok(report) => reports.push(report),
+                Err(_) => stranded += 1,
+            }
+        }
+        (reports, stranded)
+    }
+
+    /// VMs currently hosted anywhere on a rack, in admission order.
+    pub fn vms_on_rack(&self, rack: RackId) -> Vec<VmHandle> {
+        let mut out: Vec<(u64, VmHandle)> = self
+            .vms
+            .iter()
+            .filter(|(_, r)| self.rack_of(r.brick) == rack)
+            .map(|(key, r)| (r.seq, VmHandle(key.to_u64())))
+            .collect();
+        out.sort_unstable_by_key(|(seq, _)| *seq);
+        out.into_iter().map(|(_, h)| h).collect()
+    }
+
+    /// Marks a rack schedulable or not for cluster-level admission routing.
+    pub fn set_rack_schedulable(&mut self, rack: RackId, schedulable: bool) {
+        self.cluster.set_schedulable(rack, schedulable);
     }
 
     /// Begins a near-data offload session for a VM: the SDM controller
@@ -692,11 +1287,20 @@ impl DredboxSystem {
             .get(handle_key(handle))
             .ok_or(SystemError::NoSuchVm { handle })?;
         let (brick, vm) = (record.brick, record.vm);
+        let idx = self.rack_index(brick);
 
         let bitstream = Bitstream::new(demand.kernel.clone(), demand.bitstream);
-        let grant =
-            self.sdm
-                .begin_offload(OffloadRequest::new(brick, bitstream.clone(), demand.input))?;
+        let grant = match self.racks[idx].sdm.begin_offload(OffloadRequest::new(
+            brick,
+            bitstream.clone(),
+            demand.input,
+        )) {
+            Ok(g) => g,
+            Err(e) => {
+                self.refresh_digest(idx);
+                return Err(e.into());
+            }
+        };
 
         // Softstack: the VM records its issued offload.
         self.hypervisors
@@ -710,11 +1314,15 @@ impl DredboxSystem {
         // wake it, (re)program the slot if the controller did, start the
         // session stream.
         let accel_brick = grant.session.accel_brick;
-        let accel = self
+        let domain = &mut self.racks[idx];
+        let accel = domain
             .rack
             .brick_mut(accel_brick)
             .and_then(|b| b.as_accelerator_mut())
             .expect("SDM only places on registered accelerator bricks");
+        if accel.power_state() == PowerState::Off {
+            domain.powered.accel += 1;
+        }
         accel.power_on();
         if !grant.reused_bitstream {
             if accel.slot().is_occupied() {
@@ -752,12 +1360,14 @@ impl DredboxSystem {
             .offloads
             .push(session);
         self.offload_owners.insert(session, handle);
+        self.refresh_digest(idx);
 
         Ok(OffloadReport {
             vm: handle,
             session,
             compute_brick: brick,
             accel_brick,
+            rack: RackId(idx as u16),
             kernel: demand.kernel.clone(),
             input: demand.input,
             reused_bitstream: grant.reused_bitstream,
@@ -779,15 +1389,23 @@ impl DredboxSystem {
     ///
     /// Fails if the session is unknown or already ended.
     pub fn end_offload(&mut self, session: OffloadSessionId) -> Result<SimDuration, SystemError> {
-        let release = self.sdm.end_offload(session)?;
-        let owner = self
+        let owner = *self
             .offload_owners
-            .remove(&session)
-            .expect("every controller session has a recorded owner");
+            .get(&session)
+            .ok_or(SystemError::Orchestrator(
+                OrchestratorError::NoSuchOffloadSession { session },
+            ))?;
+        let idx = self
+            .vms
+            .get(handle_key(owner))
+            .map(|r| self.rack_index(r.brick))
+            .expect("every session owner is a live VM");
+        let release = self.racks[idx].sdm.end_offload(session)?;
+        self.offload_owners.remove(&session);
         if let Some(record) = self.vms.get_mut(handle_key(owner)) {
             record.offloads.retain(|s| *s != session);
         }
-        if let Some(accel) = self
+        if let Some(accel) = self.racks[idx]
             .rack
             .brick_mut(release.session.accel_brick)
             .and_then(|b| b.as_accelerator_mut())
@@ -796,6 +1414,7 @@ impl DredboxSystem {
                 .end_session()
                 .expect("rack sessions mirror controller sessions");
         }
+        self.refresh_digest(idx);
         Ok(release.service_time)
     }
 
@@ -816,12 +1435,16 @@ impl DredboxSystem {
     /// offload session, in `[0, 1]`. Zero when the rack has no
     /// accelerators.
     pub fn accel_utilization(&self) -> f64 {
-        let total = self.sdm.accel_brick_count();
+        let total: usize = self.racks.iter().map(|d| d.sdm.accel_brick_count()).sum();
         if total == 0 {
             return 0.0;
         }
-        let busy = total - self.sdm.idle_accel_bricks().count();
-        busy as f64 / total as f64
+        let idle: usize = self
+            .racks
+            .iter()
+            .map(|d| d.sdm.idle_accel_bricks().count())
+            .sum();
+        (total - idle) as f64 / total as f64
     }
 
     /// VMs currently hosted on a compute brick, in admission order.
@@ -842,9 +1465,10 @@ impl DredboxSystem {
     /// `None` when no such brick exists (the VM is already well placed).
     pub fn consolidation_target(&self, handle: VmHandle) -> Option<BrickId> {
         let record = self.vms.get(handle_key(handle))?;
-        let src = self.sdm.capacity().slot(record.brick)?;
-        let to = self.sdm.consolidation_target(record.vcpus, record.brick)?;
-        let dst = self.sdm.capacity().slot(to)?;
+        let sdm = &self.racks.get(self.rack_index(record.brick))?.sdm;
+        let src = sdm.capacity().slot(record.brick)?;
+        let to = sdm.consolidation_target(record.vcpus, record.brick)?;
+        let dst = sdm.capacity().slot(to)?;
         // Only migrate uphill or sideways: the destination must be at least
         // as utilized as the source. Equal utilization still consolidates
         // (two half-empty bricks merge into one full and one sleepable),
@@ -864,16 +1488,21 @@ impl DredboxSystem {
     /// that fits it, waking a sleeping brick as a last resort.
     pub fn evacuation_target(&self, handle: VmHandle) -> Option<BrickId> {
         let record = self.vms.get(handle_key(handle))?;
-        self.sdm.evacuation_target(record.vcpus, record.brick)
+        self.racks
+            .get(self.rack_index(record.brick))?
+            .sdm
+            .evacuation_target(record.vcpus, record.brick)
     }
 
     /// Compute bricks whose used-core fraction is at or below
     /// `spare_below` while still hosting at least one VM — the
     /// consolidation sources — ascending by id.
     pub fn sparse_bricks(&self, spare_below: f64) -> Vec<BrickId> {
-        self.sdm
-            .capacity()
-            .views()
+        // Domains concatenate in rack order and each rack's views ascend by
+        // id, so the result stays globally ascending.
+        self.racks
+            .iter()
+            .flat_map(|d| d.sdm.capacity().views())
             .filter(|v| {
                 v.active
                     && v.total_cores > 0
@@ -892,7 +1521,7 @@ impl DredboxSystem {
         // strict `>` on the cross-multiplied fractions keeps the lowest id
         // on ties (views ascend by id).
         let mut best: Option<(BrickId, u64, u64)> = None;
-        for v in self.sdm.capacity().views() {
+        for v in self.racks.iter().flat_map(|d| d.sdm.capacity().views()) {
             if !v.active || !v.powered_on || v.total_cores == 0 {
                 continue;
             }
@@ -921,12 +1550,13 @@ impl DredboxSystem {
             .vms
             .remove(handle_key(handle))
             .ok_or(SystemError::NoSuchVm { handle })?;
+        let idx = self.rack_index(record.brick);
         // Drain the VM's live offload sessions so the accelerators, ledger
         // holds and circuits don't leak when a guest departs mid-session.
         for session in &record.offloads {
-            if let Ok(release) = self.sdm.end_offload(*session) {
+            if let Ok(release) = self.racks[idx].sdm.end_offload(*session) {
                 self.offload_owners.remove(session);
-                if let Some(accel) = self
+                if let Some(accel) = self.racks[idx]
                     .rack
                     .brick_mut(release.session.accel_brick)
                     .and_then(|b| b.as_accelerator_mut())
@@ -948,19 +1578,20 @@ impl DredboxSystem {
             }
         }
         for grant in &record.grants {
-            let _ = self.sdm.release_scale_up(grant);
-            self.remove_grant_from_rack(record.brick, grant);
+            let _ = self.racks[idx].sdm.release_scale_up(grant);
+            self.remove_grant_from_rack(idx, record.brick, grant);
         }
         // Return the cores to the SDM controller's availability view, so the
         // brick can host future arrivals.
-        let _ = self.sdm.release_vm(record.brick, record.vcpus);
-        if let Some(compute) = self
+        let _ = self.racks[idx].sdm.release_vm(record.brick, record.vcpus);
+        if let Some(compute) = self.racks[idx]
             .rack
             .brick_mut(record.brick)
             .and_then(|b| b.as_compute_mut())
         {
             let _ = compute.release_cores(record.vcpus);
         }
+        self.refresh_digest(idx);
         Ok(())
     }
 
@@ -973,11 +1604,20 @@ impl DredboxSystem {
     /// Fraction of the disaggregated memory pool currently allocated, in
     /// `[0, 1]`. Zero when the pool has no capacity.
     pub fn pool_utilization(&self) -> f64 {
-        let capacity = self.sdm.pool().total_capacity().as_bytes();
+        let capacity: u64 = self
+            .racks
+            .iter()
+            .map(|d| d.sdm.pool().total_capacity().as_bytes())
+            .sum();
         if capacity == 0 {
             return 0.0;
         }
-        self.sdm.pool().total_allocated().as_bytes() as f64 / capacity as f64
+        let allocated: u64 = self
+            .racks
+            .iter()
+            .map(|d| d.sdm.pool().total_allocated().as_bytes())
+            .sum();
+        allocated as f64 / capacity as f64
     }
 
     /// Powers off every brick that currently holds no allocation, and syncs
@@ -991,62 +1631,119 @@ impl DredboxSystem {
     /// `filter` selects — the per-shard variant: when sweeps are batched
     /// per event-engine shard, each shard sweeps (and syncs) only its own
     /// bricks, and the identity filter recovers the whole-rack sweep.
-    pub fn power_off_unused_where(&mut self, filter: impl FnMut(BrickId) -> bool) -> PowerSweep {
+    pub fn power_off_unused_where(
+        &mut self,
+        mut filter: impl FnMut(BrickId) -> bool,
+    ) -> PowerSweep {
+        let mut total = PowerSweep::default();
+        for idx in 0..self.racks.len() {
+            let sweep = self.sweep_domain(idx, &mut filter);
+            total.compute_off += sweep.compute_off;
+            total.memory_off += sweep.memory_off;
+            total.accelerator_off += sweep.accelerator_off;
+        }
+        total
+    }
+
+    /// Power sweep of a single rack with the identity filter — what the
+    /// scenario engine runs per `PowerSweep { rack }` event, so each rack's
+    /// sweep is its own control-plane operation regardless of sharding.
+    pub fn power_off_unused_in(&mut self, rack: RackId) -> PowerSweep {
+        let idx = usize::from(rack.0);
+        if idx >= self.racks.len() {
+            return PowerSweep::default();
+        }
+        self.sweep_domain(idx, &mut |_| true)
+    }
+
+    /// One rack's tracked sweep: power off its unused bricks, sync the
+    /// rack's SDM availability views, debit the powered ledger and
+    /// republish the digest.
+    fn sweep_domain(&mut self, idx: usize, filter: &mut impl FnMut(BrickId) -> bool) -> PowerSweep {
         // The sweep is the only path that powers bricks off, so syncing the
         // controller for just this sweep's newly-off bricks keeps its
         // availability view exact without re-walking every already-off brick
         // on each sweep of a long replay.
-        let (sweep, newly_off) = self.power.power_off_unused_tracked(&mut self.rack, filter);
+        let domain = &mut self.racks[idx];
+        let (sweep, newly_off) = self
+            .power
+            .power_off_unused_tracked(&mut domain.rack, &mut *filter);
+        domain.powered.compute -= newly_off.compute.len() as u32;
+        domain.powered.memory -= newly_off.memory.len() as u32;
+        domain.powered.accel -= newly_off.accelerator.len() as u32;
         for brick in newly_off.compute {
-            let _ = self.sdm.set_compute_power(brick, false);
+            let _ = domain.sdm.set_compute_power(brick, false);
         }
         // Accelerators too: the sweep only switches off session-free bricks
         // (a streaming dACCELBRICK refuses `power_off`), and powering one
         // off drops its cached bitstream — mirrored into the controller's
         // accelerator index so placement re-programs on the next use.
         for brick in newly_off.accelerator {
-            let _ = self.sdm.set_accel_power(brick, false);
+            let _ = domain.sdm.set_accel_power(brick, false);
         }
+        self.refresh_digest(idx);
         sweep
     }
 
-    /// Current electrical draw of the rack's bricks.
+    /// Current electrical draw across every rack's bricks.
     pub fn rack_power(&self) -> Watts {
-        self.power.rack_power(&self.rack)
+        self.racks
+            .iter()
+            .map(|d| self.power.rack_power(&d.rack))
+            .sum()
     }
 
-    /// Fraction of bricks of `kind` that are currently unused.
+    /// Fraction of bricks of `kind` that are currently unused, across all
+    /// racks.
     pub fn unused_fraction(&self, kind: BrickKind) -> f64 {
-        self.power.unused_fraction(&self.rack, kind)
+        let total: usize = self.racks.iter().map(|d| d.rack.brick_count(kind)).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let unused: usize = self
+            .racks
+            .iter()
+            .map(|d| d.rack.unused_brick_count(kind))
+            .sum();
+        unused as f64 / total as f64
     }
 
-    fn apply_grant_to_rack(&mut self, compute: BrickId, grant: &ScaleUpGrant) {
+    fn apply_grant_to_rack(&mut self, idx: usize, compute: BrickId, grant: &ScaleUpGrant) {
         // Wake-on-demand: a brick selected by placement may have been
         // switched off by an earlier power sweep; power it back on before
         // attaching, so long-running scenarios keep the rack-level
-        // bookkeeping consistent with the pool.
-        if let Some(c) = self
+        // bookkeeping consistent with the pool. Every wake lands in the
+        // rack's powered ledger, the basis of its provisioned-power digest.
+        let domain = &mut self.racks[idx];
+        if let Some(c) = domain
             .rack
             .brick_mut(compute)
             .and_then(|b| b.as_compute_mut())
         {
+            if c.power_state() == PowerState::Off {
+                domain.powered.compute += 1;
+            }
             c.power_on();
             c.attach_remote_memory(grant.grant.total());
         }
         for segment in grant.grant.segments() {
-            if let Some(m) = self
+            if let Some(m) = domain
                 .rack
                 .brick_mut(segment.membrick)
                 .and_then(|b| b.as_memory_mut())
             {
+                if m.power_state() == PowerState::Off {
+                    domain.powered.memory += 1;
+                }
                 m.power_on();
                 let _ = m.export(compute, segment.size);
             }
         }
     }
 
-    fn remove_grant_from_rack(&mut self, compute: BrickId, grant: &ScaleUpGrant) {
-        if let Some(c) = self
+    fn remove_grant_from_rack(&mut self, idx: usize, compute: BrickId, grant: &ScaleUpGrant) {
+        let domain = &mut self.racks[idx];
+        if let Some(c) = domain
             .rack
             .brick_mut(compute)
             .and_then(|b| b.as_compute_mut())
@@ -1054,7 +1751,7 @@ impl DredboxSystem {
             let _ = c.detach_remote_memory(grant.grant.total());
         }
         for segment in grant.grant.segments() {
-            if let Some(m) = self
+            if let Some(m) = domain
                 .rack
                 .brick_mut(segment.membrick)
                 .and_then(|b| b.as_memory_mut())

@@ -360,6 +360,17 @@ impl MemoryPool {
         ByteSize::from_bytes(self.capacity_total - self.free_total)
     }
 
+    /// Largest contiguous free block on any single dMEMBRICK. `O(log n)`
+    /// from the selection index — the cluster digest's fragmentation feed.
+    pub fn largest_free_block(&self) -> ByteSize {
+        ByteSize::from_bytes(
+            self.index
+                .by_largest
+                .last()
+                .map_or(0, |&(largest, _)| largest),
+        )
+    }
+
     /// The dMEMBRICKs with no allocation at all (power-off candidates),
     /// ascending by id. Served from the selection index — no per-call
     /// snapshot `Vec`.
@@ -376,6 +387,20 @@ impl MemoryPool {
         self.allocators
             .get(brick)
             .map(|a| a.free())
+            .ok_or(MemoryError::UnknownMemBrick { brick })
+    }
+
+    /// Largest contiguous free block on one dMEMBRICK, straight from its
+    /// allocator's free list — the from-scratch reference the selection
+    /// index (and the cluster digest above it) is verified against.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the brick is not registered.
+    pub fn largest_free_on(&self, brick: BrickId) -> Result<ByteSize, MemoryError> {
+        self.allocators
+            .get(brick)
+            .map(|a| a.largest_free_block())
             .ok_or(MemoryError::UnknownMemBrick { brick })
     }
 

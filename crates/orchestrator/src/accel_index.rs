@@ -173,6 +173,12 @@ impl AccelIndex {
         self.idle.iter().copied()
     }
 
+    /// Number of bricks streaming no session. `O(1)` — the cluster digest's
+    /// accelerator-availability feed.
+    pub fn idle_count(&self) -> usize {
+        self.idle.len()
+    }
+
     /// Lowest-id powered-on brick already programmed with `bitstream` that
     /// has a free streaming slot — the reuse query. `O(log n)`.
     pub fn loaded_fit(&self, bitstream: &str) -> Option<BrickId> {

@@ -99,6 +99,10 @@ pub struct CapacityIndex {
     sleeping_by_total: RankSet,
     /// Bricks running no VM, in id order (power-off candidates).
     idle: BTreeSet<BrickId>,
+    /// Sum of free cores over powered-on bricks, maintained alongside
+    /// `powered_by_free` so rack-level digests read it in `O(1)`.
+    #[serde(default)]
+    powered_free_cores: u64,
 }
 
 impl CapacityIndex {
@@ -130,6 +134,7 @@ impl CapacityIndex {
         }
         if slot.powered_on {
             self.powered_by_free.insert((slot.free_cores, brick));
+            self.powered_free_cores += u64::from(slot.free_cores);
             if slot.active {
                 self.active_by_free.insert((slot.free_cores, brick));
             }
@@ -154,6 +159,7 @@ impl CapacityIndex {
     fn unindex(&mut self, brick: BrickId, old: &CapacitySlot) {
         if old.powered_on {
             self.powered_by_free.remove(&(old.free_cores, brick));
+            self.powered_free_cores -= u64::from(old.free_cores);
             if old.active {
                 self.active_by_free.remove(&(old.free_cores, brick));
             }
@@ -279,6 +285,34 @@ impl CapacityIndex {
     fn fullest_fit(set: &RankSet, vcpus: u32) -> Option<BrickId> {
         set.range((vcpus, BrickId(0))..).next().map(|&(_, b)| b)
     }
+
+    /// Sum of free cores over powered-on bricks. `O(1)` — this is the
+    /// cluster digest's compute-capacity feed.
+    pub fn powered_free_cores(&self) -> u64 {
+        self.powered_free_cores
+    }
+
+    /// Most free cores on any single powered-on brick. `O(log n)`; the
+    /// digest's "largest schedulable slot without a wake-up".
+    pub fn largest_powered_free(&self) -> u32 {
+        self.powered_by_free.last().map_or(0, |&(free, _)| free)
+    }
+
+    /// Largest total capacity among sleeping bricks. `O(log n)`; the
+    /// digest's wake-as-last-resort screen.
+    pub fn largest_sleeping_total(&self) -> u32 {
+        self.sleeping_by_total.last().map_or(0, |&(total, _)| total)
+    }
+
+    /// Number of powered-on bricks. `O(1)`.
+    pub fn powered_brick_count(&self) -> usize {
+        self.powered_by_free.len()
+    }
+
+    /// Number of bricks running at least one VM. `O(1)`.
+    pub fn active_brick_count(&self) -> usize {
+        self.active_by_free.len()
+    }
 }
 
 #[cfg(test)]
@@ -354,6 +388,29 @@ mod tests {
             index.emptiest_powered_fit_excluding(4, BrickId(3)),
             Some(BrickId(5))
         );
+    }
+
+    #[test]
+    fn aggregates_track_power_transitions() {
+        let mut index = CapacityIndex::new();
+        index.upsert(BrickId(0), slot(32, 32, false, true));
+        index.upsert(BrickId(1), slot(32, 8, true, true));
+        index.upsert(BrickId(2), slot(16, 16, false, false));
+        assert_eq!(index.powered_free_cores(), 40);
+        assert_eq!(index.largest_powered_free(), 32);
+        assert_eq!(index.largest_sleeping_total(), 16);
+        assert_eq!(index.powered_brick_count(), 2);
+        assert_eq!(index.active_brick_count(), 1);
+
+        index.upsert(BrickId(0), slot(32, 32, false, false));
+        assert_eq!(index.powered_free_cores(), 8);
+        assert_eq!(index.largest_powered_free(), 8);
+        assert_eq!(index.largest_sleeping_total(), 32);
+
+        index.remove(BrickId(1));
+        assert_eq!(index.powered_free_cores(), 0);
+        assert_eq!(index.largest_powered_free(), 0);
+        assert_eq!(index.active_brick_count(), 0);
     }
 
     #[test]

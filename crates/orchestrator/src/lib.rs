@@ -25,6 +25,7 @@
 pub mod accel_index;
 mod bucket;
 pub mod capacity;
+pub mod cluster;
 pub mod error;
 pub mod placement;
 pub mod power_mgmt;
@@ -36,6 +37,7 @@ pub mod sdm_controller;
 
 pub use accel_index::{AccelIndex, AccelSlot};
 pub use capacity::{CapacityIndex, CapacitySlot};
+pub use cluster::{ClusterController, ClusterTimings, RackDigest, RackRoute};
 pub use error::OrchestratorError;
 pub use placement::{ComputeBrickView, PlacementPolicy};
 pub use power_mgmt::PowerManager;
@@ -52,6 +54,7 @@ pub use sdm_controller::{
 pub mod prelude {
     pub use crate::accel_index::{AccelIndex, AccelSlot};
     pub use crate::capacity::{CapacityIndex, CapacitySlot};
+    pub use crate::cluster::{ClusterController, ClusterTimings, RackDigest, RackRoute};
     pub use crate::error::OrchestratorError;
     pub use crate::placement::{ComputeBrickView, PlacementPolicy};
     pub use crate::power_mgmt::PowerManager;

@@ -34,6 +34,8 @@ impl PowerSweep {
 pub struct NewlyOff {
     /// dCOMPUBRICKs this sweep powered off.
     pub compute: Vec<dredbox_bricks::BrickId>,
+    /// dMEMBRICKs this sweep powered off.
+    pub memory: Vec<dredbox_bricks::BrickId>,
     /// dACCELBRICKs this sweep powered off.
     pub accelerator: Vec<dredbox_bricks::BrickId>,
 }
@@ -80,22 +82,37 @@ impl PowerManager {
             if !brick.is_unused() || !filter(brick.id()) {
                 continue;
             }
+            // `power_off` succeeds on an already-off unused brick, and the
+            // sweep counters deliberately keep counting those (they are the
+            // long-standing scenario-visible totals); the `NewlyOff` lists
+            // report only genuine on→off transitions so dependent ledgers
+            // (controller availability, powered counts) never double-debit.
             match brick {
                 Brick::Compute(b) => {
+                    let was_on = b.power_state() != dredbox_bricks::PowerState::Off;
                     if b.power_off().is_ok() {
                         sweep.compute_off += 1;
-                        newly.compute.push(b.id());
+                        if was_on {
+                            newly.compute.push(b.id());
+                        }
                     }
                 }
                 Brick::Memory(b) => {
+                    let was_on = b.power_state() != dredbox_bricks::PowerState::Off;
                     if b.power_off().is_ok() {
                         sweep.memory_off += 1;
+                        if was_on {
+                            newly.memory.push(b.id());
+                        }
                     }
                 }
                 Brick::Accelerator(b) => {
+                    let was_on = b.power_state() != dredbox_bricks::PowerState::Off;
                     if b.power_off().is_ok() {
                         sweep.accelerator_off += 1;
-                        newly.accelerator.push(b.id());
+                        if was_on {
+                            newly.accelerator.push(b.id());
+                        }
                     }
                 }
             }

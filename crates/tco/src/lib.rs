@@ -38,7 +38,7 @@ pub mod study;
 pub use datacenter::{
     ConventionalDatacenter, ConventionalOutcome, DisaggregatedDatacenter, DisaggregatedOutcome,
 };
-pub use power::TcoPowerModel;
+pub use power::{FleetPower, TcoPowerModel};
 pub use study::{ConfigOutcome, TcoResults, TcoStudy};
 
 /// Convenient re-exports of the most commonly used items.
@@ -46,6 +46,6 @@ pub mod prelude {
     pub use crate::datacenter::{
         ConventionalDatacenter, ConventionalOutcome, DisaggregatedDatacenter, DisaggregatedOutcome,
     };
-    pub use crate::power::TcoPowerModel;
+    pub use crate::power::{FleetPower, TcoPowerModel};
     pub use crate::study::{ConfigOutcome, TcoResults, TcoStudy};
 }

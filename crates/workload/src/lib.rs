@@ -3,6 +3,8 @@
 //! * [`demand`] — the (vCPUs, RAM) demand of a single VM.
 //! * [`table1`] — the six VM workload mixes of Table I of the paper, used by
 //!   the TCO study (Figures 12 and 13).
+//! * [`tenant`] — weighted blends of the Table I mixes, the multi-tenant
+//!   arrival mix of a federated multi-rack datacenter.
 //! * [`traces`] — arrival processes (Poisson bursts, diurnal patterns).
 //! * [`pilots`] — models of the three pilot applications of Section V:
 //!   video-surveillance analytics, NFV edge computing with a key server,
@@ -26,6 +28,7 @@
 pub mod demand;
 pub mod pilots;
 pub mod table1;
+pub mod tenant;
 pub mod traces;
 
 pub use demand::VmDemand;
@@ -34,6 +37,7 @@ pub use pilots::{
     VideoAnalyticsWorkload,
 };
 pub use table1::WorkloadConfig;
+pub use tenant::TenantMix;
 pub use traces::{ArrivalTrace, BurstTrace, DiurnalPattern, LifetimeModel};
 
 /// Convenient re-exports of the most commonly used items.
@@ -44,5 +48,6 @@ pub mod prelude {
         VideoAnalyticsWorkload,
     };
     pub use crate::table1::WorkloadConfig;
+    pub use crate::tenant::TenantMix;
     pub use crate::traces::{ArrivalTrace, BurstTrace, DiurnalPattern, LifetimeModel};
 }

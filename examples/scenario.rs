@@ -5,7 +5,7 @@
 //! per-scenario reports.
 //!
 //! Run with:
-//! `cargo run --release --example scenario [seed] [rack-scale] [migration] [offload]`
+//! `cargo run --release --example scenario [seed] [rack-scale] [migration] [offload] [datacenter]`
 //!
 //! Passing `rack-scale` additionally replays the 256-compute-brick / 4096-VM
 //! control-plane stress scenario (the capacity-index hot path) and checks
@@ -16,7 +16,10 @@
 //! determinism check. Passing `offload` replays the offload-heavy scenario —
 //! near-data dACCELBRICK sessions against the stream-to-the-dCOMPUBRICK
 //! counterfactual, with bitstream reuse vs reprogram counts — likewise
-//! determinism-checked.
+//! determinism-checked. Passing `datacenter` replays the 16-rack federated
+//! scenario through the cluster controller — routed admissions, per-rack
+//! power sweeps and a mid-run rack drain — checks its determinism, and
+//! reports wall-clock time (the CI smoke keeps it time-bounded).
 
 use dredbox::prelude::*;
 
@@ -26,6 +29,7 @@ fn main() -> Result<(), SystemError> {
     let with_rack_scale = args.iter().any(|a| a == "rack-scale");
     let with_migration = args.iter().any(|a| a == "migration");
     let with_offload = args.iter().any(|a| a == "offload");
+    let with_datacenter = args.iter().any(|a| a == "datacenter");
 
     let suite = run_builtin_suite(seed)?;
     println!("{suite}");
@@ -81,6 +85,29 @@ fn main() -> Result<(), SystemError> {
         let replay = spec.run(seed)?;
         assert_eq!(report, replay, "rack-scale same-seed replay diverged");
         println!("determinism check: rack-scale replay with seed {seed} was identical");
+    }
+
+    if with_datacenter {
+        let spec = ScenarioSpec::datacenter();
+        let started = std::time::Instant::now();
+        let report = spec.run(seed)?;
+        let elapsed = started.elapsed();
+        println!("\n{report}");
+        let cluster = report.cluster.as_ref().expect("federated stats reported");
+        println!(
+            "datacenter: {} racks, {} compute bricks, {} events replayed in {:.3} s wall-clock",
+            spec.system.racks,
+            spec.system.total_compute_bricks(),
+            report.events,
+            elapsed.as_secs_f64()
+        );
+        let replay = spec.run(seed)?;
+        assert_eq!(report, replay, "datacenter same-seed replay diverged");
+        println!(
+            "determinism check: datacenter replay with seed {seed} was identical \
+             ({} routed admissions, {} spillovers, {} cross-rack migrations)",
+            cluster.routed_admissions, cluster.spillovers, cluster.cross_rack_migrations
+        );
     }
     Ok(())
 }

@@ -114,13 +114,65 @@ fn rack_scale_scenario_stresses_the_control_plane_deterministically() {
     assert!(util.max() > 0.5, "pool never filled: {}", util.max());
 
     // The extended suite carries it alongside the four quick scenarios,
-    // the two migration scenarios and the offload scenario.
+    // the two migration scenarios, the offload scenario and the federated
+    // datacenter scenario.
     let extended = ScenarioSpec::extended_suite();
-    assert_eq!(extended.len(), 8);
+    assert_eq!(extended.len(), 9);
     assert_eq!(extended[4].name, "rack-scale");
     assert_eq!(extended[5].name, "consolidation");
     assert_eq!(extended[6].name, "hotspot-evacuation");
     assert_eq!(extended[7].name, "offload-heavy");
+    assert_eq!(extended[8].name, "datacenter");
+}
+
+#[test]
+fn datacenter_scenario_federates_racks_and_replays_bit_identically() {
+    let spec = ScenarioSpec::datacenter();
+    assert!(
+        spec.system.racks >= 16,
+        "datacenter must federate 16+ racks"
+    );
+    assert!(
+        spec.system.total_compute_bricks() >= 4_096,
+        "datacenter must span thousands of compute bricks"
+    );
+    assert!(
+        spec.drain.is_some(),
+        "datacenter must exercise a rack drain"
+    );
+
+    let a = spec.run(2018).expect("datacenter runs");
+    let b = spec.run(2018).expect("datacenter runs");
+    assert_eq!(a, b, "datacenter must replay bit-identically");
+
+    // The federated telemetry block is present and consistent: every
+    // admission was routed by the cluster controller, the per-rack tallies
+    // add up, and the drain genuinely evacuated VMs across racks.
+    let cluster = a.cluster.as_ref().expect("cluster stats reported");
+    assert_eq!(cluster.racks, u64::from(spec.system.racks));
+    assert_eq!(cluster.routed_admissions, a.admitted);
+    assert_eq!(
+        cluster.admissions_per_rack.iter().sum::<u64>(),
+        a.admitted,
+        "per-rack admissions must add up to the total"
+    );
+    assert_eq!(cluster.racks_drained, 1);
+    assert!(
+        cluster.cross_rack_migrations > 0,
+        "draining a loaded rack must migrate VMs across racks"
+    );
+    assert_eq!(a.migrations, cluster.cross_rack_migrations);
+    assert!(
+        cluster
+            .admissions_per_rack
+            .iter()
+            .filter(|&&n| n > 0)
+            .count()
+            > 1,
+        "admissions must spread across racks"
+    );
+    assert!(a.power_sweeps > 0, "per-rack sweeps must fire");
+    assert!(a.departed > 0);
 }
 
 #[test]

@@ -133,3 +133,49 @@ fn power_model_is_consistent_with_packing_extremes() {
     );
     assert!(ratio_single <= 1.05);
 }
+
+#[test]
+fn fleet_power_feed_tracks_the_live_federation() {
+    use dredbox::bricks::RackId;
+    use dredbox::prelude::*;
+    use dredbox::sim::units::Watts;
+    use dredbox::tco::FleetPower;
+
+    let config = dredbox::SystemConfig::datacenter_cluster(4, 2, 2, 2)
+        .with_rack_power_budget(Some(Watts::new(3_000.0)));
+    let mut system = DredboxSystem::build(config).expect("build federation");
+
+    // Fully provisioned, every rack draws the same and the fleet total
+    // matches the cluster controller's own aggregate.
+    let all_on = system.fleet_power();
+    assert_eq!(all_on.racks(), 4);
+    assert_eq!(all_on.budget, Some(Watts::new(3_000.0)));
+    let total = all_on.total().as_watts();
+    assert!((total - system.cluster().provisioned_power().as_watts()).abs() < 1e-6);
+    assert_eq!(all_on.savings_vs_all_on(all_on.total()), 0.0);
+
+    // Load one rack, sweep the others: the shed draw shows up as savings
+    // against the all-on baseline, and the loaded rack is the peak.
+    let vm = system
+        .allocate_vm(2, ByteSize::from_gib(2))
+        .expect("admits");
+    let loaded = system
+        .vm_brick(vm)
+        .map(|b| system.rack_of(b))
+        .expect("placed");
+    for idx in 0..4u16 {
+        if RackId(idx) != loaded {
+            system.power_off_unused_in(RackId(idx));
+        }
+    }
+    let fleet: FleetPower = system.fleet_power();
+    assert!(fleet.total().as_watts() < total);
+    assert_eq!(
+        fleet.peak_rack().map(|(idx, _)| idx),
+        Some(usize::from(loaded.0))
+    );
+    assert!(fleet.savings_vs_all_on(all_on.total()) > 0.5);
+    // Every rack now sits under the budget with real admission headroom.
+    assert_eq!(fleet.racks_at_budget(), Vec::<usize>::new());
+    assert!(fleet.headroom().expect("budgeted").as_watts() > 0.0);
+}
