@@ -310,6 +310,29 @@ impl MemoryStreamModel {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(Bitstream { name, size });
+dredbox_snap::snap_struct!(AcceleratorSlot {
+    loaded,
+    reconfigurations,
+});
+dredbox_snap::snap_struct!(AcceleratorBrickSpec {
+    pl_memory,
+    apu_memory,
+    gth_ports,
+    port_rate,
+    pcap_bandwidth,
+    power,
+});
+dredbox_snap::snap_struct!(AcceleratorBrick {
+    id,
+    spec,
+    ports,
+    power_state,
+    slot,
+    active_sessions,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

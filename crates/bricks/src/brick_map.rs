@@ -165,6 +165,20 @@ impl<T> FromIterator<(BrickId, T)> for BrickMap<T> {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+impl<T: dredbox_snap::Snap> dredbox_snap::Snap for BrickMap<T> {
+    fn snap(&self, out: &mut Vec<u8>) {
+        dredbox_snap::Snap::snap(&self.slots, out);
+        dredbox_snap::Snap::snap(&self.live, out);
+    }
+    fn unsnap(r: &mut dredbox_snap::Reader<'_>) -> Result<Self, dredbox_snap::SnapError> {
+        Ok(BrickMap {
+            slots: dredbox_snap::Snap::unsnap(r)?,
+            live: dredbox_snap::Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

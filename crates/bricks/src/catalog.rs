@@ -209,6 +209,13 @@ impl Default for Catalog {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(Catalog {
+    compute,
+    memory,
+    accelerator,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

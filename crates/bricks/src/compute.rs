@@ -286,6 +286,26 @@ impl ComputeBrick {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(ComputeBrickSpec {
+    apu_cores,
+    rpu_cores,
+    local_memory,
+    gth_ports,
+    port_rate,
+    rmst_entries,
+    power,
+});
+dredbox_snap::snap_struct!(ComputeBrick {
+    id,
+    spec,
+    ports,
+    power_state,
+    allocated_cores,
+    allocated_local_memory,
+    attached_remote_memory,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -104,6 +104,13 @@ impl From<u32> for BrickId {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_newtype!(RackId(u16));
+dredbox_snap::snap_newtype!(TrayId(u16));
+dredbox_snap::snap_newtype!(BrickId(u32));
+dredbox_snap::snap_struct!(PortId { brick, index });
+dredbox_snap::snap_unit_enum!(BrickKind { Compute = 0, Memory = 1, Accelerator = 2 });
+
 #[cfg(test)]
 mod tests {
     use super::*;

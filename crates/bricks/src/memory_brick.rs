@@ -299,6 +299,27 @@ impl MemoryBrick {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_unit_enum!(MemoryTechnology { Ddr4 = 0, Hmc = 1 });
+dredbox_snap::snap_struct!(MemoryController {
+    technology,
+    capacity
+});
+dredbox_snap::snap_struct!(MemoryBrickSpec {
+    controllers,
+    gth_ports,
+    port_rate,
+    power,
+});
+dredbox_snap::snap_struct!(MemoryBrick {
+    id,
+    spec,
+    ports,
+    power_state,
+    exported,
+    consumers,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

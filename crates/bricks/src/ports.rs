@@ -175,6 +175,35 @@ impl PortSet {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+impl dredbox_snap::Snap for PortState {
+    fn snap(&self, out: &mut Vec<u8>) {
+        match self {
+            PortState::Free => out.push(0),
+            PortState::Circuit { circuit_id } => {
+                out.push(1);
+                dredbox_snap::Snap::snap(circuit_id, out);
+            }
+            PortState::Packet => out.push(2),
+        }
+    }
+    fn unsnap(r: &mut dredbox_snap::Reader<'_>) -> Result<Self, dredbox_snap::SnapError> {
+        match <u8 as dredbox_snap::Snap>::unsnap(r)? {
+            0 => Ok(PortState::Free),
+            1 => Ok(PortState::Circuit {
+                circuit_id: dredbox_snap::Snap::unsnap(r)?,
+            }),
+            2 => Ok(PortState::Packet),
+            tag => Err(dredbox_snap::SnapError::Tag {
+                ty: "PortState",
+                tag,
+            }),
+        }
+    }
+}
+dredbox_snap::snap_struct!(GthPort { id, rate, state });
+dredbox_snap::snap_struct!(PortSet { ports });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -87,6 +87,10 @@ impl Default for PowerModel {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_unit_enum!(PowerState { Off = 0, Idle = 1, Active = 2 });
+dredbox_snap::snap_struct!(PowerModel { off, idle, active });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -178,6 +178,23 @@ impl Rack {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`). Tray hints are
+// a derived accelerator excluded from equality, so they are not encoded; a
+// restored rack starts with cold hints that refresh on first lookup.
+impl dredbox_snap::Snap for Rack {
+    fn snap(&self, out: &mut Vec<u8>) {
+        dredbox_snap::Snap::snap(&self.id, out);
+        dredbox_snap::Snap::snap(&self.trays, out);
+    }
+    fn unsnap(r: &mut dredbox_snap::Reader<'_>) -> Result<Self, dredbox_snap::SnapError> {
+        Ok(Rack {
+            id: dredbox_snap::Snap::unsnap(r)?,
+            trays: dredbox_snap::Snap::unsnap(r)?,
+            tray_hints: BTreeMap::new(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

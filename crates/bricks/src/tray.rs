@@ -229,6 +229,35 @@ impl Tray {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+impl dredbox_snap::Snap for Brick {
+    fn snap(&self, out: &mut Vec<u8>) {
+        match self {
+            Brick::Compute(b) => {
+                out.push(0);
+                dredbox_snap::Snap::snap(b, out);
+            }
+            Brick::Memory(b) => {
+                out.push(1);
+                dredbox_snap::Snap::snap(b, out);
+            }
+            Brick::Accelerator(b) => {
+                out.push(2);
+                dredbox_snap::Snap::snap(b, out);
+            }
+        }
+    }
+    fn unsnap(r: &mut dredbox_snap::Reader<'_>) -> Result<Self, dredbox_snap::SnapError> {
+        match <u8 as dredbox_snap::Snap>::unsnap(r)? {
+            0 => Ok(Brick::Compute(dredbox_snap::Snap::unsnap(r)?)),
+            1 => Ok(Brick::Memory(dredbox_snap::Snap::unsnap(r)?)),
+            2 => Ok(Brick::Accelerator(dredbox_snap::Snap::unsnap(r)?)),
+            tag => Err(dredbox_snap::SnapError::Tag { ty: "Brick", tag }),
+        }
+    }
+}
+dredbox_snap::snap_struct!(Tray { id, bricks });
+
 #[cfg(test)]
 mod tests {
     use super::*;

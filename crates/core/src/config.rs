@@ -169,6 +169,24 @@ impl Default for SystemConfig {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(SystemConfig {
+    racks,
+    rack_power_budget,
+    trays,
+    compute_per_tray,
+    memory_per_tray,
+    accel_per_tray,
+    catalog,
+    latency,
+    path,
+    memory_policy,
+    placement,
+    sdm_timings,
+    scaleup_timings,
+    migration,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

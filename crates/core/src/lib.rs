@@ -59,6 +59,7 @@
 pub mod config;
 pub mod experiments;
 pub mod scenario;
+pub mod snapshot;
 pub mod system;
 
 pub use config::SystemConfig;
@@ -66,6 +67,7 @@ pub use scenario::{
     run_builtin_suite, ArrivalModel, ChurnModel, ControlPlaneQueue, MigrationPolicy, OffloadPlan,
     QueueAdmission, ScenarioReport, ScenarioSpec, ShardingMode, SuiteReport,
 };
+pub use snapshot::SystemSnapshot;
 pub use system::{
     DredboxSystem, MigrationReport, OffloadReport, ScaleUpReport, SystemError, VmHandle,
 };
@@ -89,6 +91,7 @@ pub mod prelude {
         run_builtin_suite, ArrivalModel, ChurnModel, ControlPlaneQueue, MigrationPolicy,
         OffloadPlan, QueueAdmission, ScenarioReport, ScenarioSpec, ShardingMode, SuiteReport,
     };
+    pub use crate::snapshot::SystemSnapshot;
     pub use crate::system::{
         DredboxSystem, MigrationReport, OffloadReport, ScaleUpReport, SystemError, VmHandle,
     };

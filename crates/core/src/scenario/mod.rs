@@ -86,6 +86,9 @@ use serde::{Deserialize, Serialize};
 
 use dredbox_orchestrator::PlacementPolicy;
 use dredbox_sim::engine::RunOutcome;
+pub use dredbox_sim::fault::{
+    FailurePlan, FailureSchedule, FaultInjector, FaultKind, FaultSite, PlannedFault, SiteCounts,
+};
 pub use dredbox_sim::queue::{ControlPlaneQueue, QueueAdmission};
 use dredbox_sim::report::{Row, Table};
 use dredbox_sim::rng::SimRng;
@@ -235,6 +238,19 @@ pub struct DrainPlan {
     pub at: SimTime,
 }
 
+/// A staged rolling upgrade: rack by rack, the scenario drains the rack,
+/// snapshots the whole controller ([`crate::SystemSnapshot`]), serializes
+/// it, restores it, verifies the restored system is bit-identical (and
+/// that not a byte of pooled memory went missing), and readmits the rack.
+/// Rack `r` upgrades at `start + r * stagger`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpgradePlan {
+    /// When the first rack's upgrade fires.
+    pub start: SimTime,
+    /// Delay between consecutive racks' upgrades.
+    pub stagger: SimDuration,
+}
+
 /// How a scenario partitions its event calendar across engine shards.
 ///
 /// The shard boundary is the rack: rack-local state (data paths, capacity
@@ -299,6 +315,12 @@ pub struct ScenarioSpec {
     /// Optional one-shot rack drain (multi-rack systems only).
     #[serde(default)]
     pub drain: Option<DrainPlan>,
+    /// Optional seeded failure storm delivered through the event engine.
+    #[serde(default)]
+    pub faults: Option<FailurePlan>,
+    /// Optional staged rolling upgrade (multi-rack systems only).
+    #[serde(default)]
+    pub upgrade: Option<UpgradePlan>,
 }
 
 impl ScenarioSpec {
@@ -327,6 +349,8 @@ impl ScenarioSpec {
             event_budget: 100_000,
             sharding: ShardingMode::PerRack,
             drain: None,
+            faults: None,
+            upgrade: None,
         }
     }
 
@@ -356,6 +380,8 @@ impl ScenarioSpec {
             event_budget: 100_000,
             sharding: ShardingMode::PerRack,
             drain: None,
+            faults: None,
+            upgrade: None,
         }
     }
 
@@ -382,6 +408,8 @@ impl ScenarioSpec {
             event_budget: 100_000,
             sharding: ShardingMode::PerRack,
             drain: None,
+            faults: None,
+            upgrade: None,
         }
     }
 
@@ -413,6 +441,8 @@ impl ScenarioSpec {
             event_budget: 100_000,
             sharding: ShardingMode::PerRack,
             drain: None,
+            faults: None,
+            upgrade: None,
         }
     }
 
@@ -450,6 +480,8 @@ impl ScenarioSpec {
             event_budget: 200_000,
             sharding: ShardingMode::PerRack,
             drain: None,
+            faults: None,
+            upgrade: None,
         }
     }
 
@@ -488,6 +520,8 @@ impl ScenarioSpec {
             event_budget: 100_000,
             sharding: ShardingMode::PerRack,
             drain: None,
+            faults: None,
+            upgrade: None,
         }
     }
 
@@ -522,6 +556,8 @@ impl ScenarioSpec {
             event_budget: 100_000,
             sharding: ShardingMode::PerRack,
             drain: None,
+            faults: None,
+            upgrade: None,
         }
     }
 
@@ -561,6 +597,8 @@ impl ScenarioSpec {
             event_budget: 100_000,
             sharding: ShardingMode::PerRack,
             drain: None,
+            faults: None,
+            upgrade: None,
         }
     }
 
@@ -609,6 +647,95 @@ impl ScenarioSpec {
                 rack: 0,
                 at: SimTime::from_secs(2_500),
             }),
+            faults: None,
+            upgrade: None,
+        }
+    }
+
+    /// The robustness case: a two-rack accelerated federation absorbing a
+    /// seeded mid-trace failure storm — dCOMPUBRICK, dMEMBRICK and
+    /// dACCELBRICK crashes, severed fibres and an optical-switch failover,
+    /// each repaired minutes later. VMs on dead compute bricks evacuate
+    /// intra-rack (memory resident on their dMEMBRICKs) or restart across
+    /// racks; guests whose segments died restart from surviving capacity;
+    /// drained offload sessions retry; orphaned bytes are detected and
+    /// reclaimed. The report's availability block carries blast radius,
+    /// VM-seconds lost and MTTR percentiles.
+    pub fn failure_storm() -> Self {
+        ScenarioSpec {
+            name: "failure-storm".to_owned(),
+            system: SystemConfig::accelerated_rack(2, 4, 4, 2).with_racks(2),
+            vm_count: 48,
+            mix: ScenarioMix::Table1(WorkloadConfig::Random),
+            arrivals: ArrivalModel::Poisson {
+                mean_interarrival: SimDuration::from_secs(30),
+            },
+            lifetime: LifetimeModel::new(
+                SimDuration::from_secs(2_400),
+                SimDuration::from_secs(300),
+            ),
+            churn: Some(ChurnModel {
+                cycles_per_vm: 1,
+                hold: SimDuration::from_secs(120),
+                amount_gib: (1, 4),
+            }),
+            migration: None,
+            offload: Some(OffloadPlan {
+                sessions_per_vm: 2,
+                start_after: SimDuration::from_secs(30),
+                hold: SimDuration::from_secs(60),
+                mix: PilotOffloadMix::dredbox_default(),
+            }),
+            reads_per_vm: 4,
+            horizon: SimTime::from_secs(2 * 3_600),
+            power_sweep_every: Some(SimDuration::from_secs(600)),
+            event_budget: 100_000,
+            sharding: ShardingMode::PerRack,
+            drain: None,
+            faults: Some(FailurePlan::storm(
+                SimTime::from_secs(1_500),
+                SimDuration::from_secs(1_200),
+            )),
+            upgrade: None,
+        }
+    }
+
+    /// The live-servicing case: a four-rack federation under steady load
+    /// while every rack is upgraded in turn — drained, its controller
+    /// state snapshotted, serialized, restored bit-identically and the
+    /// rack readmitted. The availability block proves the servicing
+    /// window loses zero bytes of pooled memory and zero restore
+    /// mismatches across all four stages.
+    pub fn rolling_upgrade() -> Self {
+        ScenarioSpec {
+            name: "rolling-upgrade".to_owned(),
+            system: SystemConfig::datacenter_cluster(4, 2, 4, 4),
+            vm_count: 64,
+            mix: ScenarioMix::Table1(WorkloadConfig::Random),
+            arrivals: ArrivalModel::Poisson {
+                mean_interarrival: SimDuration::from_secs(30),
+            },
+            lifetime: LifetimeModel::new(
+                SimDuration::from_secs(3_600),
+                SimDuration::from_secs(600),
+            ),
+            churn: None,
+            migration: None,
+            offload: None,
+            reads_per_vm: 4,
+            horizon: SimTime::from_secs(5_400),
+            power_sweep_every: Some(SimDuration::from_secs(600)),
+            event_budget: 100_000,
+            sharding: ShardingMode::PerRack,
+            drain: None,
+            faults: None,
+            // Offset from the 600 s sweep grid: an upgrade sharing a
+            // timestamp with a sweep would order differently across
+            // sharding modes (same-shard seq vs cross-shard shard id).
+            upgrade: Some(UpgradePlan {
+                start: SimTime::from_secs(1_805),
+                stagger: SimDuration::from_secs(600),
+            }),
         }
     }
 
@@ -624,8 +751,9 @@ impl ScenarioSpec {
 
     /// The built-in suite plus the rack-scale control-plane stress case,
     /// the two migration scenarios (consolidation, hotspot-evacuation),
-    /// the near-data offload-heavy scenario and the federated multi-rack
-    /// datacenter scenario.
+    /// the near-data offload-heavy scenario, the federated multi-rack
+    /// datacenter scenario, and the two robustness scenarios
+    /// (failure-storm, rolling-upgrade).
     pub fn extended_suite() -> Vec<ScenarioSpec> {
         let mut suite = ScenarioSpec::builtin_suite();
         suite.push(ScenarioSpec::rack_scale());
@@ -633,6 +761,8 @@ impl ScenarioSpec {
         suite.push(ScenarioSpec::hotspot_evacuation());
         suite.push(ScenarioSpec::offload_heavy());
         suite.push(ScenarioSpec::datacenter());
+        suite.push(ScenarioSpec::failure_storm());
+        suite.push(ScenarioSpec::rolling_upgrade());
         suite
     }
 
@@ -710,8 +840,46 @@ impl ScenarioSpec {
                 ScenarioEvent::Rebalance,
             );
         }
+        // Fork order is part of the replay contract: demands (1), arrivals
+        // (2), world (3), faults (4). The fault fork is only drawn when the
+        // spec injects faults, so every pre-existing spec's streams — and
+        // goldens — are untouched.
+        let world_rng = rng.fork(3);
+        let faults = match &self.faults {
+            Some(plan) => {
+                let sites = SiteCounts {
+                    compute: u32::from(self.system.trays) * u32::from(self.system.compute_per_tray),
+                    memory: u32::from(self.system.trays) * u32::from(self.system.memory_per_tray),
+                    accel: u32::from(self.system.trays) * u32::from(self.system.accel_per_tray),
+                    links: system.topology().manager().cabled_count() as u32,
+                    switches: 1,
+                };
+                FailureSchedule::generate(plan, u32::from(racks), sites, &mut rng.fork(4))
+            }
+            None => FailureSchedule::default(),
+        };
+        // Fault and repair land on the struck rack's shard; the engine's
+        // (time, shard, seq) order keeps both sharding modes bit-identical.
+        for (index, fault) in faults.faults().iter().enumerate() {
+            let shard = ShardId(fault.site.rack % shards);
+            engine.schedule(shard, fault.at, ScenarioEvent::Fault { index });
+            engine.schedule(
+                shard,
+                fault.at + fault.repair_after,
+                ScenarioEvent::Repair { index },
+            );
+        }
+        if let Some(plan) = &self.upgrade {
+            for rack in 0..racks {
+                engine.schedule(
+                    ShardId(u32::from(rack) % shards),
+                    plan.start + plan.stagger.saturating_mul(u64::from(rack)),
+                    ScenarioEvent::UpgradeRack { rack },
+                );
+            }
+        }
 
-        let mut world = ScenarioWorld::new(self, system, demands, rng.fork(3), shards);
+        let mut world = ScenarioWorld::new(self, system, demands, faults, world_rng, shards);
         let outcome = engine.run(&mut world);
         Ok(world.finish(outcome, engine.now(), engine.processed()))
     }
@@ -755,6 +923,15 @@ impl ScenarioSpec {
             }
             if plan.rack >= self.system.racks {
                 return Err(invalid("drain rack is out of range"));
+            }
+        }
+        if self.upgrade.is_some() && self.system.racks < 2 {
+            // A drained rack's VMs need somewhere to go during servicing.
+            return Err(invalid("rolling upgrades need a multi-rack system"));
+        }
+        if let Some(plan) = &self.faults {
+            if plan.counts.iter().all(|&n| n == 0) {
+                return Err(invalid("failure plans need at least one fault"));
             }
         }
         if let Some(plan) = &self.offload {
@@ -834,6 +1011,60 @@ pub struct ClusterScenarioStats {
     pub admissions_per_rack: Vec<u64>,
     /// Bricks powered off by sweeps per rack, ascending by rack id.
     pub power_off_per_rack: Vec<u64>,
+}
+
+/// Availability telemetry of one replay, present on reports of specs that
+/// inject faults or run a rolling upgrade.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityStats {
+    /// Faults that actually struck a live site.
+    pub faults_injected: u64,
+    /// Faults absorbed because their site was already down.
+    pub faults_absorbed: u64,
+    /// Repairs completed.
+    pub repairs: u64,
+    /// VMs evacuated off dead compute bricks by intra-rack migration
+    /// (memory stayed resident on its dMEMBRICKs).
+    pub vm_migrations: u64,
+    /// VMs restarted elsewhere: cross-rack spillover off dead compute
+    /// bricks, plus guests killed and readmitted after dMEMBRICK faults.
+    pub vm_restarts: u64,
+    /// VMs lost outright — no surviving capacity could take them.
+    pub vms_lost: u64,
+    /// Live offload sessions force-ended by faults.
+    pub sessions_dropped: u64,
+    /// Pool bytes on dMEMBRICKs that died.
+    pub segments_lost_bytes: u64,
+    /// Bytes stranded by compute-brick crashes (VMs with nowhere to go).
+    pub orphaned_bytes: u64,
+    /// Orphaned bytes detected and returned to the pool.
+    pub reclaimed_bytes: u64,
+    /// Cabled fibres severed by link faults.
+    pub links_severed: u64,
+    /// Circuits re-routed over surviving fibres after link faults.
+    pub circuits_rerouted: u64,
+    /// Circuits lost to link faults (no surviving path).
+    pub circuits_lost: u64,
+    /// Optical-switch failovers onto the cold standby.
+    pub switch_failovers: u64,
+    /// Circuits re-programmed on the standby across all failovers.
+    pub circuits_restored: u64,
+    /// Guest downtime attributable to faults: evacuation downtime plus
+    /// whole-outage downtime of every lost VM.
+    pub vm_seconds_lost: f64,
+    /// Rolling-upgrade stages completed (one per rack).
+    pub upgrades: u64,
+    /// Serialized snapshot bytes written across all upgrade stages.
+    pub upgrade_snapshot_bytes: u64,
+    /// Pooled bytes lost across upgrade servicing windows (must be 0).
+    pub upgrade_lost_bytes: u64,
+    /// Upgrade stages whose restored system was not bit-identical to the
+    /// captured one (must be 0).
+    pub upgrade_restore_mismatches: u64,
+    /// VMs affected per struck fault.
+    pub blast_radius: Option<Summary>,
+    /// Repair time (seconds) per completed repair.
+    pub mttr: Option<Summary>,
 }
 
 /// The result of one scenario replay: headline counters, latency/utilization
@@ -918,6 +1149,9 @@ pub struct ScenarioReport {
     pub accel_utilization: Option<Summary>,
     /// Cluster-tier telemetry; `None` on single-rack systems.
     pub cluster: Option<ClusterScenarioStats>,
+    /// Availability telemetry; `None` unless the spec injects faults or
+    /// runs a rolling upgrade.
+    pub availability: Option<AvailabilityStats>,
 }
 
 impl std::fmt::Debug for ScenarioReport {
@@ -962,6 +1196,9 @@ impl std::fmt::Debug for ScenarioReport {
             .field("accel_utilization", &self.accel_utilization);
         if self.cluster.is_some() {
             s.field("cluster", &self.cluster);
+        }
+        if self.availability.is_some() {
+            s.field("availability", &self.availability);
         }
         s.finish()
     }
@@ -1116,6 +1353,73 @@ impl ScenarioReport {
                 table.push(Row::new(
                     "busiest rack (admissions)",
                     [format!("rack {rack} ({n})")],
+                ));
+            }
+        }
+        if let Some(a) = &self.availability {
+            table.push(Row::new(
+                "faults injected / absorbed / repaired",
+                [format!(
+                    "{} / {} / {}",
+                    a.faults_injected, a.faults_absorbed, a.repairs
+                )],
+            ));
+            table.push(Row::new(
+                "fault VMs migrated / restarted / lost",
+                [format!(
+                    "{} / {} / {}",
+                    a.vm_migrations, a.vm_restarts, a.vms_lost
+                )],
+            ));
+            table.push(Row::new(
+                "offload sessions dropped by faults",
+                [a.sessions_dropped.to_string()],
+            ));
+            table.push(Row::new(
+                "segment bytes lost / orphaned / reclaimed",
+                [format!(
+                    "{} / {} / {}",
+                    a.segments_lost_bytes, a.orphaned_bytes, a.reclaimed_bytes
+                )],
+            ));
+            table.push(Row::new(
+                "links severed / circuits rerouted / lost",
+                [format!(
+                    "{} / {} / {}",
+                    a.links_severed, a.circuits_rerouted, a.circuits_lost
+                )],
+            ));
+            table.push(Row::new(
+                "switch failovers / circuits restored",
+                [format!("{} / {}", a.switch_failovers, a.circuits_restored)],
+            ));
+            table.push(Row::new(
+                "VM-seconds lost",
+                [format!("{:.3}", a.vm_seconds_lost)],
+            ));
+            if let Some(s) = &a.blast_radius {
+                table.push(Row::new(
+                    "fault blast radius mean / max (VMs)",
+                    [format!("{:.2} / {:.0}", s.mean(), s.max())],
+                ));
+            }
+            if let Some(s) = &a.mttr {
+                table.push(Row::new(
+                    "MTTR mean / p95 (s)",
+                    [format!("{:.1} / {:.1}", s.mean(), s.percentile(95.0))],
+                ));
+            }
+            if a.upgrades > 0 {
+                table.push(Row::new(
+                    "rolling upgrades / restore mismatches",
+                    [format!("{} / {}", a.upgrades, a.upgrade_restore_mismatches)],
+                ));
+                table.push(Row::new(
+                    "upgrade snapshot bytes / bytes lost",
+                    [format!(
+                        "{} / {}",
+                        a.upgrade_snapshot_bytes, a.upgrade_lost_bytes
+                    )],
                 ));
             }
         }
@@ -1378,6 +1682,86 @@ mod tests {
             offload.mean(),
             local.mean()
         );
+    }
+
+    #[test]
+    fn failure_storm_is_bit_identical_across_seeds_and_sharding_modes() {
+        let spec = ScenarioSpec::failure_storm();
+        for seed in [2018, 7] {
+            let a = spec.run(seed).expect("run");
+            let b = spec.run(seed).expect("run");
+            assert_eq!(a, b, "same seed, same storm, same report");
+            let mut single = spec.clone();
+            single.sharding = ShardingMode::Single;
+            let c = single.run(seed).expect("run");
+            assert_eq!(a, c, "sharding modes must not differ in a single bit");
+            assert_eq!(format!("{a:#?}\n{a}"), format!("{c:#?}\n{c}"));
+        }
+        let report = spec.run(2018).expect("run");
+        let a = report.availability.as_ref().expect("availability reported");
+        assert!(a.faults_injected > 0, "the storm must actually strike");
+        assert_eq!(
+            a.faults_injected + a.faults_absorbed,
+            9,
+            "3+2+1+2+1 planned faults"
+        );
+        assert!(a.repairs > 0, "repairs must complete within the horizon");
+        assert!(a.mttr.is_some(), "MTTR percentiles reported");
+        assert!(
+            a.orphaned_bytes >= a.reclaimed_bytes,
+            "reclaim never invents bytes"
+        );
+        // The rendered report carries the availability block.
+        assert!(report.to_string().contains("faults injected"));
+    }
+
+    #[test]
+    fn rolling_upgrade_loses_zero_bytes() {
+        let report = ScenarioSpec::rolling_upgrade().run(2018).expect("run");
+        let a = report.availability.as_ref().expect("availability reported");
+        assert_eq!(a.upgrades, 4, "every rack upgrades once");
+        assert_eq!(
+            a.upgrade_restore_mismatches, 0,
+            "every restore must be bit-identical"
+        );
+        assert_eq!(
+            a.upgrade_lost_bytes, 0,
+            "not a byte of pooled memory may go missing across servicing"
+        );
+        assert!(a.upgrade_snapshot_bytes > 0, "snapshots were serialized");
+        let cluster = report.cluster.as_ref().expect("multi-rack");
+        assert_eq!(cluster.racks_drained, 4);
+        // Readmitted racks keep absorbing load after their upgrade.
+        assert!(report.admitted > 0);
+        // And the replay stays bit-identical across sharding modes.
+        let mut single = ScenarioSpec::rolling_upgrade();
+        single.sharding = ShardingMode::Single;
+        let b = single.run(2018).expect("run");
+        assert_eq!(report, b);
+    }
+
+    #[test]
+    fn fault_and_upgrade_specs_are_validated() {
+        // Rolling upgrades need racks to drain into.
+        let mut spec = ScenarioSpec::steady_state();
+        spec.upgrade = Some(UpgradePlan {
+            start: SimTime::from_secs(10),
+            stagger: SimDuration::from_secs(10),
+        });
+        assert!(matches!(
+            spec.run(1),
+            Err(SystemError::InvalidConfig { .. })
+        ));
+        // Empty failure plans are refused rather than silently no-ops.
+        let mut spec = ScenarioSpec::failure_storm();
+        spec.faults = Some(FailurePlan {
+            counts: [0; 5],
+            ..spec.faults.unwrap()
+        });
+        assert!(matches!(
+            spec.run(1),
+            Err(SystemError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

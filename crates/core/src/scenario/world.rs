@@ -25,9 +25,12 @@
 //! so queue state is keyed by rack — not by shard — and the replay is
 //! bit-identical between [sharding modes](super::ShardingMode).
 
+use std::collections::BTreeMap;
+
 use dredbox_bricks::{BrickId, RackId};
 use dredbox_orchestrator::{ClusterTimings, OffloadSessionId};
 use dredbox_sim::engine::RunOutcome;
+use dredbox_sim::fault::{FailureSchedule, FaultInjector, FaultKind, FaultSite};
 use dredbox_sim::queue::{ControlPlaneQueue, QueueAdmission};
 use dredbox_sim::rng::SimRng;
 use dredbox_sim::shard::{ShardContext, ShardId, ShardedProcess};
@@ -36,11 +39,15 @@ use dredbox_sim::time::{SimDuration, SimTime};
 use dredbox_sim::units::ByteSize;
 use dredbox_workload::VmDemand;
 
+use crate::snapshot::SystemSnapshot;
 use crate::system::{
     AdmissionOutcome, DredboxSystem, MigrationReport, OffloadReport, SystemError, VmHandle,
 };
 
-use super::{ChurnModel, ClusterScenarioStats, MigrationPolicy, ScenarioReport, ScenarioSpec};
+use super::{
+    AvailabilityStats, ChurnModel, ClusterScenarioStats, MigrationPolicy, ScenarioReport,
+    ScenarioSpec,
+};
 
 /// Events driving one scenario replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +90,15 @@ pub(super) enum ScenarioEvent {
     /// Periodic migration/rebalance pass per the spec's
     /// [`MigrationPolicy`].
     Rebalance,
+    /// The `index`-th fault of the spec's seeded
+    /// [`FailureSchedule`] strikes its site.
+    Fault { index: usize },
+    /// The field engineer repairs the `index`-th fault's site.
+    Repair { index: usize },
+    /// One stage of the spec's [`UpgradePlan`](super::UpgradePlan): drain
+    /// `rack`, snapshot the controller, restore it bit-identically and
+    /// readmit the rack.
+    UpgradeRack { rack: u16 },
 }
 
 /// Plain event counters of one replay.
@@ -143,6 +159,19 @@ pub(super) struct ScenarioWorld<'a> {
     offload_time_s: Vec<f64>,
     offload_local_counterfactual_s: Vec<f64>,
     accel_utilization: Vec<f64>,
+    /// The spec's seeded fault schedule (empty when the spec has none);
+    /// [`ScenarioEvent::Fault`]/[`ScenarioEvent::Repair`] index into it.
+    faults: FailureSchedule,
+    /// Which sites are down and the MTTR samples collected so far.
+    injector: FaultInjector,
+    /// Availability telemetry; reported only when the spec injects faults
+    /// or runs a rolling upgrade.
+    availability: AvailabilityStats,
+    /// VMs affected per struck fault (blast radius samples).
+    blast_radius_vms: Vec<f64>,
+    /// VMs lost to each currently-outstanding fault, so the repair can
+    /// charge VM-seconds lost over the whole outage.
+    lost_at: BTreeMap<FaultSite, u64>,
 }
 
 impl<'a> ScenarioWorld<'a> {
@@ -153,6 +182,7 @@ impl<'a> ScenarioWorld<'a> {
         spec: &'a ScenarioSpec,
         system: DredboxSystem,
         demands: Vec<VmDemand>,
+        faults: FailureSchedule,
         rng: SimRng,
         shards: u32,
     ) -> Self {
@@ -196,6 +226,34 @@ impl<'a> ScenarioWorld<'a> {
             offload_time_s: Vec::new(),
             offload_local_counterfactual_s: Vec::new(),
             accel_utilization: Vec::new(),
+            faults,
+            injector: FaultInjector::new(),
+            availability: AvailabilityStats::default(),
+            blast_radius_vms: Vec::new(),
+            lost_at: BTreeMap::new(),
+        }
+    }
+
+    /// Maps a fault site's rack-relative ordinal onto the `component`-th
+    /// brick of its kind in the rack (wrapped, so any schedule value names
+    /// a real brick). `None` for unknown racks or kinds the rack has no
+    /// bricks of.
+    fn fault_brick(&self, rack: RackId, kind: FaultKind, component: u32) -> Option<BrickId> {
+        let rack = self.system.rack_at(rack)?;
+        let ids: Vec<BrickId> = rack
+            .bricks()
+            .filter(|b| match kind {
+                FaultKind::ComputeBrick => b.as_compute().is_some(),
+                FaultKind::MemoryBrick => b.as_memory().is_some(),
+                FaultKind::AccelBrick => b.as_accelerator().is_some(),
+                FaultKind::Link | FaultKind::Switch => false,
+            })
+            .map(|b| b.id())
+            .collect();
+        if ids.is_empty() {
+            None
+        } else {
+            Some(ids[component as usize % ids.len()])
         }
     }
 
@@ -414,6 +472,193 @@ impl<'a> ScenarioWorld<'a> {
         }
     }
 
+    /// Delivers one planned fault to its site and runs the system's
+    /// recovery protocol, charging everything the availability report
+    /// tracks. A fault striking an already-down site is absorbed.
+    fn handle_fault(
+        &mut self,
+        now: SimTime,
+        index: usize,
+        ctx: &mut ShardContext<'_, ScenarioEvent>,
+    ) {
+        let fault = self.faults.faults()[index];
+        if !self.injector.begin(fault.site, now) {
+            self.availability.faults_absorbed += 1;
+            return;
+        }
+        self.availability.faults_injected += 1;
+        let site = fault.site;
+        let rack = RackId(site.rack as u16);
+        let mut affected = 0u64;
+        match site.kind {
+            FaultKind::ComputeBrick => {
+                let Some(brick) = self.fault_brick(rack, site.kind, site.component) else {
+                    return;
+                };
+                let Ok(report) = self.system.fail_compute_brick(brick) else {
+                    return;
+                };
+                affected = u64::from(report.migrated + report.restarted + report.lost);
+                self.availability.vm_migrations += u64::from(report.migrated);
+                self.availability.vm_restarts += u64::from(report.restarted);
+                self.availability.vms_lost += u64::from(report.lost);
+                self.availability.sessions_dropped += u64::from(report.sessions_dropped);
+                self.availability.orphaned_bytes += report.orphaned.as_bytes();
+                self.counters.live -= u64::from(report.lost);
+                if report.lost > 0 {
+                    *self.lost_at.entry(site).or_default() += u64::from(report.lost);
+                }
+                for migration in &report.reports {
+                    self.record_migration(now, migration);
+                    // Evacuation downtime is availability lost to the fault.
+                    self.availability.vm_seconds_lost += migration.downtime.as_secs_f64();
+                }
+                // Orphan detection runs as part of the recovery protocol:
+                // stranded guests are dead either way, their bytes go back
+                // to the pool now.
+                let reclaim = self.system.reclaim_orphans();
+                self.availability.reclaimed_bytes += reclaim.reclaimed.as_bytes();
+            }
+            FaultKind::MemoryBrick => {
+                let Some(brick) = self.fault_brick(rack, site.kind, site.component) else {
+                    return;
+                };
+                let Ok(report) = self.system.fail_membrick(brick) else {
+                    return;
+                };
+                affected = report.restarted.len() as u64 + u64::from(report.lost);
+                self.availability.segments_lost_bytes += report.lost_bytes.as_bytes();
+                self.availability.sessions_dropped += u64::from(report.sessions_dropped);
+                self.availability.vm_restarts += report.restarted.len() as u64;
+                self.availability.vms_lost += u64::from(report.lost);
+                self.counters.live -= u64::from(report.lost);
+                if report.lost > 0 {
+                    *self.lost_at.entry(site).or_default() += u64::from(report.lost);
+                }
+                // Each killed-and-readmitted guest restarts under a fresh
+                // handle: the old handle's scheduled events decay into
+                // NoSuchVm no-ops, and the new guest gets its own departure.
+                for &(_, vm) in &report.restarted {
+                    let lifetime = self.spec.lifetime.sample(&mut self.rng);
+                    ctx.schedule(now + lifetime, ScenarioEvent::Departure { vm });
+                }
+            }
+            FaultKind::AccelBrick => {
+                let Some(brick) = self.fault_brick(rack, site.kind, site.component) else {
+                    return;
+                };
+                let Ok(report) = self.system.fail_accel_brick(brick) else {
+                    return;
+                };
+                affected = report.drained.len() as u64;
+                self.availability.sessions_dropped += report.drained.len() as u64;
+                // Each drained session's owner retries the offload once a
+                // surviving accelerator may pick it up.
+                if let Some(plan) = self.spec.offload {
+                    for &(_, vm) in &report.drained {
+                        ctx.schedule(
+                            now + plan.start_after,
+                            ScenarioEvent::OffloadBegin { vm, remaining: 1 },
+                        );
+                    }
+                }
+            }
+            FaultKind::Link => {
+                if let Some(report) = self.system.fail_link(rack, site.component) {
+                    self.availability.links_severed += 1;
+                    self.availability.circuits_rerouted += u64::from(report.rerouted);
+                    self.availability.circuits_lost += u64::from(report.lost);
+                }
+            }
+            FaultKind::Switch => {
+                if let Some(restored) = self.system.fail_switch(rack) {
+                    self.availability.switch_failovers += 1;
+                    self.availability.circuits_restored += restored as u64;
+                }
+            }
+        }
+        self.blast_radius_vms.push(affected as f64);
+        self.sample_utilization();
+    }
+
+    /// Repairs one planned fault's site. A repair for a fault that was
+    /// absorbed (site already down under an earlier fault) is a no-op —
+    /// the earlier fault's own repair brings the site back.
+    fn handle_repair(&mut self, now: SimTime, index: usize) {
+        let fault = self.faults.faults()[index];
+        let Some(outage) = self.injector.end(fault.site, now) else {
+            return;
+        };
+        self.availability.repairs += 1;
+        if let Some(lost) = self.lost_at.remove(&fault.site) {
+            // Lost guests were down for the whole outage.
+            self.availability.vm_seconds_lost += lost as f64 * outage.as_secs_f64();
+        }
+        let site = fault.site;
+        let rack = RackId(site.rack as u16);
+        match site.kind {
+            FaultKind::ComputeBrick => {
+                if let Some(brick) = self.fault_brick(rack, site.kind, site.component) {
+                    let _ = self.system.repair_compute_brick(brick);
+                }
+            }
+            FaultKind::MemoryBrick => {
+                if let Some(brick) = self.fault_brick(rack, site.kind, site.component) {
+                    let _ = self.system.repair_membrick(brick);
+                }
+            }
+            FaultKind::AccelBrick => {
+                if let Some(brick) = self.fault_brick(rack, site.kind, site.component) {
+                    let _ = self.system.repair_accel_brick(brick);
+                }
+            }
+            FaultKind::Link => {
+                let _ = self.system.repair_link(rack, site.component);
+            }
+            // The switch fault self-healed onto the standby at injection.
+            FaultKind::Switch => {}
+        }
+        self.sample_utilization();
+    }
+
+    /// One stage of a rolling upgrade: drain the rack, snapshot the whole
+    /// controller, serialize, restore, verify bit-identity and byte
+    /// conservation, then readmit the rack.
+    fn upgrade_rack(&mut self, now: SimTime, rack: u16) {
+        let allocated_before = self.system.pool_allocated();
+        let (reports, stranded) = self.system.drain_rack(RackId(rack));
+        self.cluster_stats.racks_drained += 1;
+        self.cluster_stats.drain_stranded += u64::from(stranded);
+        for report in &reports {
+            self.cluster_stats.cross_rack_migrations += 1;
+            self.record_migration(now, report);
+        }
+
+        // The servicing window: capture → serialize → restore. The restored
+        // controller must be the captured one bit for bit, and not a byte
+        // of pooled memory may go missing across the swap.
+        let bytes = SystemSnapshot::capture(&self.system).to_bytes();
+        self.availability.upgrade_snapshot_bytes += bytes.len() as u64;
+        match SystemSnapshot::from_bytes(&bytes) {
+            Ok(snapshot) => {
+                let restored = snapshot.into_system();
+                if restored == self.system {
+                    self.system = restored;
+                } else {
+                    self.availability.upgrade_restore_mismatches += 1;
+                }
+            }
+            Err(_) => self.availability.upgrade_restore_mismatches += 1,
+        }
+        let allocated_after = self.system.pool_allocated();
+        self.availability.upgrade_lost_bytes += allocated_before
+            .as_bytes()
+            .saturating_sub(allocated_after.as_bytes());
+        self.availability.upgrades += 1;
+        self.system.undrain_rack(RackId(rack));
+        self.sample_utilization();
+    }
+
     /// Assembles the report once the engine stops.
     pub(super) fn finish(self, outcome: RunOutcome, end: SimTime, events: u64) -> ScenarioReport {
         let c = self.counters;
@@ -421,6 +666,17 @@ impl<'a> ScenarioWorld<'a> {
         // reports stay byte-identical to the pre-federation engine.
         let cluster = if self.racks > 1 {
             Some(self.cluster_stats)
+        } else {
+            None
+        };
+        // The availability block only exists on specs that inject faults
+        // or run a rolling upgrade; every pre-existing report (and golden)
+        // stays byte-identical.
+        let availability = if self.spec.faults.is_some() || self.spec.upgrade.is_some() {
+            let mut stats = self.availability;
+            stats.blast_radius = Summary::from_samples(&self.blast_radius_vms);
+            stats.mttr = Summary::from_samples(self.injector.mttr_samples());
+            Some(stats)
         } else {
             None
         };
@@ -467,6 +723,7 @@ impl<'a> ScenarioWorld<'a> {
             ),
             accel_utilization: Summary::from_samples(&self.accel_utilization),
             cluster,
+            availability,
         }
     }
 }
@@ -704,6 +961,9 @@ impl ShardedProcess for ScenarioWorld<'_> {
                     ctx.schedule(now + policy.every(), ScenarioEvent::Rebalance);
                 }
             }
+            ScenarioEvent::Fault { index } => self.handle_fault(now, index, ctx),
+            ScenarioEvent::Repair { index } => self.handle_repair(now, index),
+            ScenarioEvent::UpgradeRack { rack } => self.upgrade_rack(now, rack),
         }
     }
 }

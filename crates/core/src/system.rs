@@ -1,14 +1,14 @@
 //! The end-to-end disaggregated system: rack + optical network + software
 //! stack + orchestration, behind one API.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use dredbox_bricks::{Bitstream, BrickId, BrickKind, PowerState, Rack, RackId};
+use dredbox_bricks::{Bitstream, BrickId, BrickKind, PortId, PowerState, Rack, RackId};
 use dredbox_interconnect::{LatencyBreakdown, PathKind, RemoteMemoryPath};
-use dredbox_memory::HotplugModel;
+use dredbox_memory::{HotplugModel, MemoryError};
 use dredbox_optical::{OpticalCircuitSwitch, OpticalTopology};
 use dredbox_orchestrator::power_mgmt::PowerSweep;
 use dredbox_orchestrator::{
@@ -139,6 +139,13 @@ pub enum SystemError {
         /// What was wrong.
         reason: String,
     },
+    /// A compute brick the orchestrator selected has no hypervisor — the
+    /// software stack and the controller's registry have diverged (only
+    /// reachable through fault injection or a corrupted snapshot).
+    MissingHypervisor {
+        /// The brick with no hypervisor.
+        brick: BrickId,
+    },
 }
 
 impl fmt::Display for SystemError {
@@ -148,6 +155,9 @@ impl fmt::Display for SystemError {
             SystemError::Softstack(e) => write!(f, "system software: {e}"),
             SystemError::NoSuchVm { handle } => write!(f, "no such vm handle: {handle}"),
             SystemError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SystemError::MissingHypervisor { brick } => {
+                write!(f, "{brick} has no hypervisor registered")
+            }
         }
     }
 }
@@ -157,7 +167,9 @@ impl std::error::Error for SystemError {
         match self {
             SystemError::Orchestrator(e) => Some(e),
             SystemError::Softstack(e) => Some(e),
-            SystemError::NoSuchVm { .. } | SystemError::InvalidConfig { .. } => None,
+            SystemError::NoSuchVm { .. }
+            | SystemError::InvalidConfig { .. }
+            | SystemError::MissingHypervisor { .. } => None,
         }
     }
 }
@@ -254,6 +266,86 @@ pub struct AdmissionOutcome {
     pub power_deferrals: u32,
 }
 
+/// What recovering from one dCOMPUBRICK crash did: every VM the brick
+/// hosted was drained of its offload sessions, then migrated away within
+/// the rack (memory stays resident on its dMEMBRICKs), restarted on
+/// another rack (a full copy), or — when nowhere fits — stranded as an
+/// orphan whose pool segments await [`DredboxSystem::reclaim_orphans`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ComputeFaultReport {
+    /// VMs moved within the rack, memory left resident.
+    pub migrated: u32,
+    /// VMs restarted on another rack via cluster spillover.
+    pub restarted: u32,
+    /// VMs lost: no surviving brick anywhere could host them.
+    pub lost: u32,
+    /// Offload sessions force-ended because their VM had to move.
+    pub sessions_dropped: u32,
+    /// Pool bytes stranded by lost VMs (reclaimable as orphans).
+    pub orphaned: ByteSize,
+    /// Per-VM migration reports, in admission order.
+    pub reports: Vec<MigrationReport>,
+}
+
+/// What one dMEMBRICK crash destroyed and salvaged: segments on the brick
+/// are gone, so every VM touching them is killed and re-admitted with a
+/// fresh allocation carved from the surviving pool.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MemoryFaultReport {
+    /// Pool bytes lost with the brick.
+    pub lost_bytes: ByteSize,
+    /// VMs killed and re-admitted, as `(old handle, new handle)`.
+    pub restarted: Vec<(VmHandle, VmHandle)>,
+    /// VMs killed that no surviving capacity could re-admit.
+    pub lost: u32,
+    /// Offload sessions force-ended with their killed VMs.
+    pub sessions_dropped: u32,
+}
+
+/// What one dACCELBRICK crash interrupted: its live offload sessions are
+/// drained (the caller may retry them elsewhere) and its programmed
+/// bitstream is gone.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AccelFaultReport {
+    /// Sessions drained off the brick, with the VM that owned each.
+    pub drained: Vec<(OffloadSessionId, VmHandle)>,
+}
+
+/// What severing one cabled optical link did: circuits that shared the
+/// fibre were re-routed over surviving ports where possible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaultReport {
+    /// The brick-side port whose fibre was cut.
+    pub port: PortId,
+    /// Circuits re-established over other ports.
+    pub rerouted: u32,
+    /// Circuits with no surviving path.
+    pub lost: u32,
+}
+
+/// What [`DredboxSystem::reclaim_orphans`] returned to the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OrphanReclaim {
+    /// Orphaned VM records retired.
+    pub vms: u32,
+    /// Pool bytes returned to the free lists (bytes whose dMEMBRICK died
+    /// in the meantime are counted in `unreclaimable` instead).
+    pub reclaimed: ByteSize,
+    /// Orphaned bytes whose segments no longer exist.
+    pub unreclaimable: ByteSize,
+}
+
+/// One severed optical fibre awaiting repair: which brick-side port was
+/// cut, which switch port it was cabled to, and the fault-schedule
+/// ordinal that selected it (so the matching repair finds exactly it).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct SeveredLink {
+    rack: u16,
+    ordinal: u32,
+    port: PortId,
+    switch_port: u16,
+}
+
 /// The assembled dReDBox system: one or more racks federated under a
 /// cluster controller.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -284,6 +376,12 @@ pub struct DredboxSystem {
     offload_owners: BTreeMap<OffloadSessionId, VmHandle>,
     /// Admission counter stamped into [`VmRecord::seq`].
     next_seq: u64,
+    /// VM records stranded by a dCOMPUBRICK crash that nothing could
+    /// absorb: their pool segments and ledger holds are still committed
+    /// until [`DredboxSystem::reclaim_orphans`] retires them.
+    orphans: Vec<VmRecord>,
+    /// Optical fibres cut by fault injection, awaiting re-cabling.
+    severed_links: Vec<SeveredLink>,
     /// The configured remote-memory data path, built once so per-read
     /// latency queries on the hot path stop cloning the latency model.
     read_path: RemoteMemoryPath,
@@ -396,6 +494,8 @@ impl DredboxSystem {
             vms: SlotArena::new(),
             offload_owners: BTreeMap::new(),
             next_seq: 0,
+            orphans: Vec::new(),
+            severed_links: Vec::new(),
             read_path,
         };
         for idx in 0..system.racks.len() {
@@ -714,11 +814,19 @@ impl DredboxSystem {
                 return Err(e.into());
             }
         };
-        let hv = self
+        let Some(hv) = self
             .hypervisors
             .get_mut(brick.0 as usize)
             .and_then(|h| h.as_mut())
-            .expect("SDM only places on registered bricks");
+        else {
+            // The SDM only places on registered bricks, so this divergence
+            // is only reachable through fault injection; roll the
+            // reservation back instead of crashing the control plane.
+            let _ = self.racks[idx].sdm.release_scale_up(&grant);
+            let _ = self.racks[idx].sdm.release_vm(brick, vcpus);
+            self.refresh_digest(idx);
+            return Err(SystemError::MissingHypervisor { brick });
+        };
         // The grant's memory becomes visible to the baremetal OS, then the
         // VM boots with it.
         hv.os_mut().online_remote(grant.grant.total());
@@ -784,11 +892,15 @@ impl DredboxSystem {
                 return Err(e.into());
             }
         };
-        let hv = self
+        let Some(hv) = self
             .hypervisors
             .get_mut(brick.0 as usize)
             .and_then(|h| h.as_mut())
-            .expect("record refers to a registered brick");
+        else {
+            let _ = self.racks[idx].sdm.release_scale_up(&grant);
+            self.refresh_digest(idx);
+            return Err(SystemError::MissingHypervisor { brick });
+        };
         let outcome = match self.scaleup.apply_grant(hv, vm, amount) {
             Ok(o) => o,
             Err(e) => {
@@ -851,11 +963,18 @@ impl DredboxSystem {
             .grants
             .remove(pos);
 
-        let hv = self
+        let Some(hv) = self
             .hypervisors
             .get_mut(brick.0 as usize)
             .and_then(|h| h.as_mut())
-            .expect("record refers to a registered brick");
+        else {
+            self.vms
+                .get_mut(handle_key(handle))
+                .expect("checked above")
+                .grants
+                .insert(pos, grant);
+            return Err(SystemError::MissingHypervisor { brick });
+        };
         let outcome = match self.scaleup.apply_reclaim(hv, vm, amount) {
             Ok(o) => o,
             Err(e) => {
@@ -1260,6 +1379,14 @@ impl DredboxSystem {
         self.cluster.set_schedulable(rack, schedulable);
     }
 
+    /// Readmits a drained rack into admission routing — the closing step of
+    /// a rolling upgrade. Returns `true` iff the rack is federated and was
+    /// actually drained; undraining an unknown or never-drained rack is a
+    /// bit-identical no-op returning `false`.
+    pub fn undrain_rack(&mut self, rack: RackId) -> bool {
+        self.cluster.undrain_rack(rack)
+    }
+
     /// Begins a near-data offload session for a VM: the SDM controller
     /// places the kernel on a dACCELBRICK (reusing a programmed bitstream
     /// when one is available, else paying the cheapest PCAP reprogram and
@@ -1302,13 +1429,26 @@ impl DredboxSystem {
             }
         };
 
-        // Softstack: the VM records its issued offload.
-        self.hypervisors
+        // Softstack: the VM records its issued offload. A diverged
+        // hypervisor table (fault injection) rolls the session back.
+        let issued = self
+            .hypervisors
             .get_mut(brick.0 as usize)
             .and_then(|h| h.as_mut())
-            .expect("record refers to a registered brick")
-            .issue_offload(vm)
-            .expect("record refers to a live VM");
+            .map(|hv| hv.issue_offload(vm));
+        match issued {
+            Some(Ok(_)) => {}
+            Some(Err(e)) => {
+                let _ = self.racks[idx].sdm.end_offload(grant.session.id);
+                self.refresh_digest(idx);
+                return Err(e.into());
+            }
+            None => {
+                let _ = self.racks[idx].sdm.end_offload(grant.session.id);
+                self.refresh_digest(idx);
+                return Err(SystemError::MissingHypervisor { brick });
+            }
+        }
 
         // Rack: mirror the controller's decision on the physical brick —
         // wake it, (re)program the slot if the controller did, start the
@@ -1395,11 +1535,19 @@ impl DredboxSystem {
             .ok_or(SystemError::Orchestrator(
                 OrchestratorError::NoSuchOffloadSession { session },
             ))?;
-        let idx = self
+        let Some(idx) = self
             .vms
             .get(handle_key(owner))
             .map(|r| self.rack_index(r.brick))
-            .expect("every session owner is a live VM");
+        else {
+            // The owner map outlived its VM record (a crash tore the record
+            // down without draining): repair the map, report the session
+            // gone.
+            self.offload_owners.remove(&session);
+            return Err(SystemError::Orchestrator(
+                OrchestratorError::NoSuchOffloadSession { session },
+            ));
+        };
         let release = self.racks[idx].sdm.end_offload(session)?;
         self.offload_owners.remove(&session);
         if let Some(record) = self.vms.get_mut(handle_key(owner)) {
@@ -1620,6 +1768,18 @@ impl DredboxSystem {
         allocated as f64 / capacity as f64
     }
 
+    /// Total bytes currently allocated from the disaggregated pool across
+    /// every rack — the conservation quantity a rolling upgrade must not
+    /// lose a byte of.
+    pub fn pool_allocated(&self) -> ByteSize {
+        ByteSize::from_bytes(
+            self.racks
+                .iter()
+                .map(|d| d.sdm.pool().total_allocated().as_bytes())
+                .sum(),
+        )
+    }
+
     /// Powers off every brick that currently holds no allocation, and syncs
     /// the SDM controller's availability view so placement treats the swept
     /// bricks as sleeping (waking them only as a last resort).
@@ -1708,6 +1868,438 @@ impl DredboxSystem {
         unused as f64 / total as f64
     }
 
+    // ------------------------------------------------------------------
+    // Fault injection and recovery
+    // ------------------------------------------------------------------
+
+    /// Crashes a dCOMPUBRICK and runs the recovery protocol for every VM it
+    /// hosted, in admission order: force-end the VM's offload sessions
+    /// (their circuits reference the dead brick), then try an intra-rack
+    /// migration (memory stays resident on the dMEMBRICKs — the
+    /// disaggregation dividend under failure), then a cross-rack restart
+    /// via cluster spillover (a full copy), and only when nothing anywhere
+    /// fits, strand the VM: its guest dies with the brick and its pool
+    /// segments stay committed as orphans until
+    /// [`DredboxSystem::reclaim_orphans`].
+    ///
+    /// The physical brick's power state is untouched — a crashed brick
+    /// still draws power until a sweep or repair deals with it; only the
+    /// SDM controller's scheduling state changes. Failing an
+    /// already-failed brick is a no-op returning an empty report.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the brick is not a registered dCOMPUBRICK.
+    pub fn fail_compute_brick(
+        &mut self,
+        brick: BrickId,
+    ) -> Result<ComputeFaultReport, SystemError> {
+        let idx = self.rack_index(brick);
+        if idx >= self.racks.len() {
+            return Err(SystemError::Orchestrator(
+                OrchestratorError::UnknownComputeBrick { brick },
+            ));
+        }
+        let newly = self.racks[idx].sdm.fail_compute_brick(brick)?;
+        self.refresh_digest(idx);
+        let mut report = ComputeFaultReport::default();
+        if !newly {
+            return Ok(report);
+        }
+        for handle in self.vms_on(brick) {
+            for session in self.vm_offloads(handle) {
+                if self.end_offload(session).is_ok() {
+                    report.sessions_dropped += 1;
+                }
+            }
+            if let Some(target) = self.evacuation_target(handle) {
+                if let Ok(m) = self.migrate_vm(handle, target) {
+                    report.migrated += 1;
+                    report.reports.push(m);
+                    continue;
+                }
+            }
+            let vcpus = self
+                .vms
+                .get(handle_key(handle))
+                .map(|r| r.vcpus)
+                .unwrap_or(0);
+            let memory = self.vm_memory(handle).unwrap_or(ByteSize::ZERO);
+            let mut moved = false;
+            for dest in self
+                .cluster
+                .spillover_order(vcpus, memory, Some(RackId(idx as u16)))
+            {
+                if let Ok(m) = self.migrate_vm_cross_rack(handle, dest) {
+                    report.restarted += 1;
+                    report.reports.push(m);
+                    moved = true;
+                    break;
+                }
+            }
+            if moved {
+                continue;
+            }
+            report.lost += 1;
+            report.orphaned += self.strand_vm(handle);
+        }
+        self.refresh_digest(idx);
+        Ok(report)
+    }
+
+    /// Repairs a crashed dCOMPUBRICK: the replacement rejoins the capacity
+    /// index. If a power sweep switched the dead brick off in the meantime,
+    /// the controller's power view is re-aligned with the physical state so
+    /// the brick wakes through the normal wake-on-demand path. Returns
+    /// whether the brick was actually failed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the brick is not a registered dCOMPUBRICK.
+    pub fn repair_compute_brick(&mut self, brick: BrickId) -> Result<bool, SystemError> {
+        let idx = self.rack_index(brick);
+        if idx >= self.racks.len() {
+            return Err(SystemError::Orchestrator(
+                OrchestratorError::UnknownComputeBrick { brick },
+            ));
+        }
+        let repaired = self.racks[idx].sdm.repair_compute_brick(brick)?;
+        if repaired {
+            let off = self.racks[idx]
+                .rack
+                .brick(brick)
+                .and_then(|b| b.as_compute())
+                .is_some_and(|c| c.power_state() == PowerState::Off);
+            if off {
+                let _ = self.racks[idx].sdm.set_compute_power(brick, false);
+            }
+            self.refresh_digest(idx);
+        }
+        Ok(repaired)
+    }
+
+    /// Crashes a dMEMBRICK: every segment it hosted is lost, so every VM
+    /// whose grants touched one is killed (its guest state referenced the
+    /// lost bytes) and re-admitted with the footprint it had, carved fresh
+    /// from the surviving pool — anywhere in the cluster. VMs that no
+    /// surviving capacity can re-admit are lost. Failing an already-failed
+    /// brick is a no-op returning an empty report.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the brick is not a registered dMEMBRICK.
+    pub fn fail_membrick(&mut self, brick: BrickId) -> Result<MemoryFaultReport, SystemError> {
+        let idx = self.rack_index(brick);
+        if idx >= self.racks.len() {
+            return Err(SystemError::Orchestrator(OrchestratorError::Memory(
+                MemoryError::UnknownMemBrick { brick },
+            )));
+        }
+        if self.racks[idx].sdm.pool().is_membrick_failed(brick) {
+            return Ok(MemoryFaultReport::default());
+        }
+        let lost = self.racks[idx].sdm.fail_membrick(brick)?;
+        let lost_ids: BTreeSet<_> = lost.iter().map(|s| s.id).collect();
+        let mut report = MemoryFaultReport {
+            lost_bytes: lost.iter().map(|s| s.size).sum(),
+            ..MemoryFaultReport::default()
+        };
+        let mut affected: Vec<(u64, VmHandle)> = self
+            .vms
+            .iter()
+            .filter(|(_, r)| {
+                r.grants
+                    .iter()
+                    .any(|g| g.grant.segments().iter().any(|s| lost_ids.contains(&s.id)))
+            })
+            .map(|(key, r)| (r.seq, VmHandle(key.to_u64())))
+            .collect();
+        affected.sort_unstable_by_key(|(seq, _)| *seq);
+        for (_, handle) in affected {
+            for session in self.vm_offloads(handle) {
+                if self.end_offload(session).is_ok() {
+                    report.sessions_dropped += 1;
+                }
+            }
+            let Some(record) = self.vms.remove(handle_key(handle)) else {
+                continue;
+            };
+            let vidx = self.rack_index(record.brick);
+            let memory = self
+                .hypervisor(record.brick)
+                .and_then(|hv| hv.vm(record.vm))
+                .map(|vm| vm.current_memory())
+                .unwrap_or(ByteSize::ZERO);
+            if let Some(hv) = self
+                .hypervisors
+                .get_mut(record.brick.0 as usize)
+                .and_then(|h| h.as_mut())
+            {
+                let _ = hv.destroy_vm(record.vm);
+                for grant in &record.grants {
+                    let _ = hv.os_mut().offline_remote(grant.grant.total());
+                }
+            }
+            // Surviving segments release normally; the dead brick's are
+            // tolerated (and counted) by the lossy release.
+            for grant in &record.grants {
+                let _ = self.racks[vidx].sdm.release_scale_up_lossy(grant);
+                self.remove_grant_from_rack(vidx, record.brick, grant);
+            }
+            let _ = self.racks[vidx].sdm.release_vm(record.brick, record.vcpus);
+            if let Some(c) = self.racks[vidx]
+                .rack
+                .brick_mut(record.brick)
+                .and_then(|b| b.as_compute_mut())
+            {
+                let _ = c.release_cores(record.vcpus);
+            }
+            self.refresh_digest(vidx);
+            match self.allocate_vm_routed(record.vcpus, memory) {
+                Ok(outcome) => report.restarted.push((handle, outcome.vm)),
+                Err(_) => report.lost += 1,
+            }
+        }
+        self.refresh_digest(idx);
+        Ok(report)
+    }
+
+    /// Repairs a crashed dMEMBRICK: the replacement rejoins the pool empty,
+    /// with the capacity the dead brick held. Returns that capacity.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the brick is not currently failed.
+    pub fn repair_membrick(&mut self, brick: BrickId) -> Result<ByteSize, SystemError> {
+        let idx = self.rack_index(brick);
+        if idx >= self.racks.len() {
+            return Err(SystemError::Orchestrator(OrchestratorError::Memory(
+                MemoryError::UnknownMemBrick { brick },
+            )));
+        }
+        let restored = self.racks[idx].sdm.repair_membrick(brick)?;
+        self.refresh_digest(idx);
+        Ok(restored)
+    }
+
+    /// Crashes a dACCELBRICK: its live offload sessions are drained (the
+    /// caller may retry each elsewhere — the report says whose they were)
+    /// and its programmed bitstream is gone, so post-repair offloads of the
+    /// same kernel pay the PCAP programming again. Failing an
+    /// already-failed brick is a no-op returning an empty report.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the brick is not a registered dACCELBRICK.
+    pub fn fail_accel_brick(&mut self, brick: BrickId) -> Result<AccelFaultReport, SystemError> {
+        let idx = self.rack_index(brick);
+        if idx >= self.racks.len() {
+            return Err(SystemError::Orchestrator(
+                OrchestratorError::UnknownAcceleratorBrick { brick },
+            ));
+        }
+        let newly = self.racks[idx].sdm.fail_accel_brick(brick)?;
+        let mut report = AccelFaultReport::default();
+        if !newly {
+            return Ok(report);
+        }
+        for session in self.racks[idx].sdm.sessions_on_accel(brick) {
+            let Some(&owner) = self.offload_owners.get(&session) else {
+                continue;
+            };
+            if self.end_offload(session).is_ok() {
+                report.drained.push((session, owner));
+            }
+        }
+        if let Some(accel) = self.racks[idx]
+            .rack
+            .brick_mut(brick)
+            .and_then(|b| b.as_accelerator_mut())
+        {
+            if accel.slot().is_occupied() {
+                let _ = accel.unload();
+            }
+        }
+        self.refresh_digest(idx);
+        Ok(report)
+    }
+
+    /// Repairs a crashed dACCELBRICK: it rejoins the accelerator index with
+    /// an empty fabric. As with compute repair, the controller's power view
+    /// is re-aligned if a sweep switched the physical brick off in the
+    /// meantime. Returns whether the brick was actually failed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the brick is not a registered dACCELBRICK.
+    pub fn repair_accel_brick(&mut self, brick: BrickId) -> Result<bool, SystemError> {
+        let idx = self.rack_index(brick);
+        if idx >= self.racks.len() {
+            return Err(SystemError::Orchestrator(
+                OrchestratorError::UnknownAcceleratorBrick { brick },
+            ));
+        }
+        let repaired = self.racks[idx].sdm.repair_accel_brick(brick)?;
+        if repaired {
+            let off = self.racks[idx]
+                .rack
+                .brick(brick)
+                .and_then(|b| b.as_accelerator())
+                .is_some_and(|a| a.power_state() == PowerState::Off);
+            if off {
+                let _ = self.racks[idx].sdm.set_accel_power(brick, false);
+            }
+            self.refresh_digest(idx);
+        }
+        Ok(repaired)
+    }
+
+    /// Severs one cabled optical fibre of a rack, selected by `ordinal`
+    /// (wrapped over the rack's cabled ports, so any schedule value maps to
+    /// a real fibre). Circuits that shared the fibre re-route over
+    /// surviving cabled ports where possible. Returns `None` — leaving the
+    /// system untouched — when the rack is unknown, has no cabled ports, or
+    /// the same `(rack, ordinal)` fault is already outstanding.
+    pub fn fail_link(&mut self, rack: RackId, ordinal: u32) -> Option<LinkFaultReport> {
+        let idx = usize::from(rack.0);
+        if idx >= self.racks.len()
+            || self
+                .severed_links
+                .iter()
+                .any(|l| l.rack == rack.0 && l.ordinal == ordinal)
+        {
+            return None;
+        }
+        let domain = &mut self.racks[idx];
+        let cabled: Vec<(PortId, u16)> = domain.topology.manager().cabled_ports().collect();
+        if cabled.is_empty() {
+            return None;
+        }
+        let (port, _) = cabled[ordinal as usize % cabled.len()];
+        let failover = domain.topology.fail_link(&mut domain.rack, port).ok()?;
+        self.severed_links.push(SeveredLink {
+            rack: rack.0,
+            ordinal,
+            port,
+            switch_port: failover.switch_port,
+        });
+        Some(LinkFaultReport {
+            port,
+            rerouted: failover.rerouted.len() as u32,
+            lost: failover.lost.len() as u32,
+        })
+    }
+
+    /// Re-seats the fibre a matching [`DredboxSystem::fail_link`] cut,
+    /// cabling the brick port back into the switch port it occupied.
+    /// Returns `false` — a no-op — if no such severed link is outstanding.
+    pub fn repair_link(&mut self, rack: RackId, ordinal: u32) -> bool {
+        let Some(pos) = self
+            .severed_links
+            .iter()
+            .position(|l| l.rack == rack.0 && l.ordinal == ordinal)
+        else {
+            return false;
+        };
+        let link = self.severed_links.remove(pos);
+        self.racks[usize::from(rack.0)]
+            .topology
+            .recable(link.port, link.switch_port)
+            .is_ok()
+    }
+
+    /// Fails a rack's optical circuit switch over to a cold standby of the
+    /// same module: every established circuit is re-programmed on the
+    /// standby, so the fault self-heals. Returns the number of circuits
+    /// restored, or `None` for an unknown rack.
+    pub fn fail_switch(&mut self, rack: RackId) -> Option<usize> {
+        self.racks
+            .get_mut(usize::from(rack.0))
+            .map(|d| d.topology.fail_over_switch())
+    }
+
+    /// VM records stranded by compute-brick crashes, awaiting
+    /// [`DredboxSystem::reclaim_orphans`].
+    pub fn orphan_count(&self) -> usize {
+        self.orphans.len()
+    }
+
+    /// Detects and retires every orphaned VM record: pool segments return
+    /// to the free lists (via the lossy release — bytes whose dMEMBRICK
+    /// died in the meantime are counted, not resurrected), ledger holds
+    /// drop, and the dead brick's cores are released so a repair hands back
+    /// a clean brick.
+    pub fn reclaim_orphans(&mut self) -> OrphanReclaim {
+        let orphans = std::mem::take(&mut self.orphans);
+        let mut out = OrphanReclaim::default();
+        let mut touched = BTreeSet::new();
+        for record in orphans {
+            let idx = self.rack_index(record.brick);
+            out.vms += 1;
+            for grant in &record.grants {
+                let total = grant.grant.total();
+                match self.racks[idx].sdm.release_scale_up_lossy(grant) {
+                    Ok((_service, lost)) => {
+                        out.reclaimed +=
+                            ByteSize::from_bytes(total.as_bytes().saturating_sub(lost.as_bytes()));
+                        out.unreclaimable += lost;
+                    }
+                    Err(_) => out.unreclaimable += total,
+                }
+                self.remove_grant_from_rack(idx, record.brick, grant);
+            }
+            let _ = self.racks[idx].sdm.release_vm(record.brick, record.vcpus);
+            if let Some(c) = self.racks[idx]
+                .rack
+                .brick_mut(record.brick)
+                .and_then(|b| b.as_compute_mut())
+            {
+                let _ = c.release_cores(record.vcpus);
+            }
+            touched.insert(idx);
+        }
+        for idx in touched {
+            self.refresh_digest(idx);
+        }
+        out
+    }
+
+    /// Strands a VM whose brick died with nowhere to go: the guest dies,
+    /// the brick's software state is wiped, and the record moves to the
+    /// orphan list with its pool segments still committed. Returns the
+    /// orphaned bytes.
+    fn strand_vm(&mut self, handle: VmHandle) -> ByteSize {
+        let Some(record) = self.vms.remove(handle_key(handle)) else {
+            return ByteSize::ZERO;
+        };
+        let idx = self.rack_index(record.brick);
+        for session in &record.offloads {
+            if let Ok(release) = self.racks[idx].sdm.end_offload(*session) {
+                if let Some(accel) = self.racks[idx]
+                    .rack
+                    .brick_mut(release.session.accel_brick)
+                    .and_then(|b| b.as_accelerator_mut())
+                {
+                    let _ = accel.end_session();
+                }
+            }
+            self.offload_owners.remove(session);
+        }
+        if let Some(hv) = self
+            .hypervisors
+            .get_mut(record.brick.0 as usize)
+            .and_then(|h| h.as_mut())
+        {
+            let _ = hv.destroy_vm(record.vm);
+            for grant in &record.grants {
+                let _ = hv.os_mut().offline_remote(grant.grant.total());
+            }
+        }
+        let orphaned: ByteSize = record.grants.iter().map(|g| g.grant.total()).sum();
+        self.orphans.push(record);
+        orphaned
+    }
+
     fn apply_grant_to_rack(&mut self, idx: usize, compute: BrickId, grant: &ScaleUpGrant) {
         // Wake-on-demand: a brick selected by placement may have been
         // switched off by an earlier power sweep; power it back on before
@@ -1761,6 +2353,53 @@ impl DredboxSystem {
         }
     }
 }
+
+// Deterministic snapshot codec impls (see `dredbox_snap`). A restored
+// system must be bit-identical to the one captured — field order here IS
+// the stream format, so append new fields at the end and bump the
+// snapshot container version (`crate::snapshot`) on reorder.
+dredbox_snap::snap_newtype!(VmHandle(u64));
+dredbox_snap::snap_struct!(VmRecord {
+    brick,
+    vm,
+    vcpus,
+    seq,
+    grants,
+    offloads,
+});
+dredbox_snap::snap_struct!(PoweredCounts {
+    compute,
+    memory,
+    accel,
+});
+dredbox_snap::snap_struct!(RackDomain {
+    rack,
+    topology,
+    sdm,
+    powered,
+});
+dredbox_snap::snap_struct!(SeveredLink {
+    rack,
+    ordinal,
+    port,
+    switch_port,
+});
+dredbox_snap::snap_struct!(DredboxSystem {
+    config,
+    racks,
+    cluster,
+    brick_stride,
+    kind_draw_mw,
+    hypervisors,
+    scaleup,
+    power,
+    vms,
+    offload_owners,
+    next_seq,
+    orphans,
+    severed_links,
+    read_path,
+});
 
 #[cfg(test)]
 mod tests {
@@ -2170,5 +2809,254 @@ mod tests {
         .unwrap();
         let packet = packet_system.remote_read_latency(ByteSize::from_bytes(64));
         assert!(packet.total() > circuit.total());
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and recovery
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn compute_failure_evacuates_vms_intra_rack() {
+        let mut s = system();
+        let vm = s.allocate_vm(2, ByteSize::from_gib(4)).unwrap();
+        let brick = s.vm_brick(vm).unwrap();
+        let session = s.begin_offload(vm, &video_demand()).unwrap().session;
+
+        let report = s.fail_compute_brick(brick).unwrap();
+        // The session's circuits referenced the dead brick, so it is
+        // force-ended before the evacuation migration.
+        assert_eq!(report.sessions_dropped, 1);
+        assert_eq!(report.migrated, 1);
+        assert_eq!(report.restarted, 0);
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.orphaned, ByteSize::ZERO);
+        assert!(s.vm_offloads(vm).is_empty());
+        let _ = session;
+
+        // Intra-rack evacuation: the guest moved, its memory did not.
+        let new_brick = s.vm_brick(vm).unwrap();
+        assert_ne!(new_brick, brick);
+        assert_eq!(report.reports[0].from, brick);
+        assert_eq!(report.reports[0].to, new_brick);
+        assert_eq!(report.reports[0].preserved_memory, ByteSize::from_gib(4));
+        assert_eq!(s.vm_memory(vm), Some(ByteSize::from_gib(4)));
+
+        // Failing an already-failed brick is a no-op.
+        assert_eq!(
+            s.fail_compute_brick(brick).unwrap(),
+            ComputeFaultReport::default()
+        );
+        assert!(s.fail_compute_brick(BrickId(999)).is_err());
+
+        // The dead brick is not a placement target until repaired.
+        assert_eq!(s.repair_compute_brick(brick), Ok(true));
+        assert_eq!(s.repair_compute_brick(brick), Ok(false));
+    }
+
+    #[test]
+    fn compute_failure_with_no_room_strands_orphans() {
+        let mut s = system();
+        // Fill all four 4-core bricks so no evacuation target exists.
+        let vms: Vec<_> = (0..4)
+            .map(|_| s.allocate_vm(4, ByteSize::from_gib(4)).unwrap())
+            .collect();
+        let victim = vms[0];
+        let brick = s.vm_brick(victim).unwrap();
+        let allocated_before = s.sdm().pool().total_allocated();
+
+        let report = s.fail_compute_brick(brick).unwrap();
+        assert_eq!(report.migrated, 0);
+        assert_eq!(report.restarted, 0);
+        assert_eq!(report.lost, 1);
+        assert_eq!(report.orphaned, ByteSize::from_gib(4));
+        assert_eq!(s.vm_count(), 3);
+        assert!(s.vm_brick(victim).is_none());
+
+        // The orphan's pool segments stay committed until reclaim.
+        assert_eq!(s.orphan_count(), 1);
+        assert_eq!(s.sdm().pool().total_allocated(), allocated_before);
+
+        let reclaim = s.reclaim_orphans();
+        assert_eq!(reclaim.vms, 1);
+        assert_eq!(reclaim.reclaimed, ByteSize::from_gib(4));
+        assert_eq!(reclaim.unreclaimable, ByteSize::ZERO);
+        assert_eq!(s.orphan_count(), 0);
+        assert_eq!(
+            s.sdm().pool().total_allocated().as_bytes(),
+            allocated_before.as_bytes() - ByteSize::from_gib(4).as_bytes()
+        );
+        // Reclaim is idempotent.
+        assert_eq!(s.reclaim_orphans(), OrphanReclaim::default());
+
+        // Repair hands back a clean brick the admission path can use.
+        assert_eq!(s.repair_compute_brick(brick), Ok(true));
+        let replacement = s.allocate_vm(4, ByteSize::from_gib(4)).unwrap();
+        assert_eq!(s.vm_brick(replacement), Some(brick));
+    }
+
+    #[test]
+    fn membrick_failure_kills_and_restarts_touching_vms() {
+        let mut s = system();
+        let vm = s.allocate_vm(2, ByteSize::from_gib(8)).unwrap();
+        let bystander = s.allocate_vm(1, ByteSize::from_gib(2)).unwrap();
+        let brick = s.vm_brick(vm).unwrap();
+        let membrick = s
+            .sdm()
+            .pool()
+            .segments_of(brick)
+            .first()
+            .map(|seg| seg.membrick)
+            .unwrap();
+
+        let report = s.fail_membrick(membrick).unwrap();
+        assert!(report.lost_bytes >= ByteSize::from_gib(8));
+        assert_eq!(report.lost, 0);
+        let &(old, new) = report.restarted.iter().find(|(old, _)| *old == vm).unwrap();
+        assert_ne!(old, new);
+        assert!(s.vm_brick(old).is_none(), "the killed guest is gone");
+        assert_eq!(s.vm_memory(new), Some(ByteSize::from_gib(8)));
+        // Every restarted VM carves fresh bytes from surviving bricks only.
+        assert!(s
+            .sdm()
+            .pool()
+            .segments_of(s.vm_brick(new).unwrap())
+            .iter()
+            .all(|seg| seg.membrick != membrick));
+        // VMs that never touched the dead brick are untouched, unless their
+        // own segments were also on it.
+        if !report.restarted.iter().any(|(old, _)| *old == bystander) {
+            assert_eq!(s.vm_memory(bystander), Some(ByteSize::from_gib(2)));
+        }
+
+        // Double-fail is a no-op; repair restores the brick's capacity.
+        assert_eq!(
+            s.fail_membrick(membrick).unwrap(),
+            MemoryFaultReport::default()
+        );
+        let capacity_failed = s.sdm().pool().total_capacity();
+        let restored = s.repair_membrick(membrick).unwrap();
+        assert!(restored > ByteSize::ZERO);
+        assert_eq!(s.sdm().pool().total_capacity(), capacity_failed + restored);
+    }
+
+    #[test]
+    fn accel_failure_drains_sessions_and_repair_readmits() {
+        let mut s = system();
+        let vm = s.allocate_vm(2, ByteSize::from_gib(4)).unwrap();
+        let report = s.begin_offload(vm, &video_demand()).unwrap();
+
+        let fault = s.fail_accel_brick(report.accel_brick).unwrap();
+        assert_eq!(fault.drained, vec![(report.session, vm)]);
+        assert_eq!(s.offload_session_count(), 0);
+        assert!(s.vm_offloads(vm).is_empty());
+        assert_eq!(
+            s.fail_accel_brick(report.accel_brick).unwrap(),
+            AccelFaultReport::default()
+        );
+        assert!(s.fail_accel_brick(BrickId(999)).is_err());
+
+        // The drained demand retries on the surviving accelerator.
+        let retry = s.begin_offload(vm, &video_demand()).unwrap();
+        assert_ne!(retry.accel_brick, report.accel_brick);
+        s.end_offload(retry.session).unwrap();
+
+        assert_eq!(s.repair_accel_brick(report.accel_brick), Ok(true));
+        assert_eq!(s.repair_accel_brick(report.accel_brick), Ok(false));
+    }
+
+    #[test]
+    fn link_faults_sever_reroute_and_repair() {
+        let mut s = system();
+        let vm = s.allocate_vm(2, ByteSize::from_gib(4)).unwrap();
+        let rack = RackId(0);
+        let circuits = s.topology().manager().circuit_count();
+
+        let report = s.fail_link(rack, 0).unwrap();
+        // Circuits either re-routed over surviving fibres or were lost;
+        // none silently vanish.
+        assert!((report.rerouted + report.lost) as usize <= circuits);
+        // The same outstanding fault cannot be injected twice, and unknown
+        // racks are rejected.
+        assert!(s.fail_link(rack, 0).is_none());
+        assert!(s.fail_link(RackId(9), 0).is_none());
+
+        assert!(s.repair_link(rack, 0));
+        assert!(!s.repair_link(rack, 0), "repair is a one-shot");
+
+        // The re-seated fibre carries new circuits again.
+        s.release_vm(vm).unwrap();
+        let again = s.allocate_vm(2, ByteSize::from_gib(4)).unwrap();
+        assert!(s.vm_memory(again).is_some());
+    }
+
+    #[test]
+    fn switch_failure_self_heals_on_the_standby() {
+        let mut s = system();
+        let vm = s.allocate_vm(2, ByteSize::from_gib(4)).unwrap();
+        let circuits = s.topology().manager().circuit_count();
+
+        // Every established circuit is re-programmed on the standby module.
+        assert_eq!(s.fail_switch(RackId(0)), Some(circuits));
+        assert!(s.fail_switch(RackId(9)).is_none());
+        assert_eq!(s.topology().manager().circuit_count(), circuits);
+
+        // Remote memory still reaches the pool through the standby.
+        assert_eq!(s.vm_memory(vm), Some(ByteSize::from_gib(4)));
+        let more = s.allocate_vm(1, ByteSize::from_gib(2)).unwrap();
+        assert!(s.vm_memory(more).is_some());
+    }
+
+    #[test]
+    fn undrain_is_a_noop_unless_the_rack_was_drained() {
+        let mut s = system();
+        let before = s.clone();
+        assert!(!s.undrain_rack(RackId(7)), "unknown rack");
+        assert!(!s.undrain_rack(RackId(0)), "rack was never drained");
+        assert_eq!(s, before, "failed undrain must not mutate the system");
+
+        s.set_rack_schedulable(RackId(0), false);
+        assert!(s.undrain_rack(RackId(0)));
+        assert!(!s.undrain_rack(RackId(0)), "second undrain is a no-op");
+    }
+
+    #[test]
+    fn repair_realigns_power_view_after_a_sweep() {
+        let mut s = system();
+        let vm = s.allocate_vm(2, ByteSize::from_gib(4)).unwrap();
+        let busy = s.vm_brick(vm).unwrap();
+        let idle = s
+            .rack()
+            .bricks()
+            .filter_map(|b| b.as_compute())
+            .map(|c| c.id())
+            .find(|&id| id != busy)
+            .unwrap();
+
+        // Crash an idle brick, then let a power sweep switch the corpse off.
+        s.fail_compute_brick(idle).unwrap();
+        s.power_off_unused();
+        assert_eq!(
+            s.rack()
+                .brick(idle)
+                .unwrap()
+                .as_compute()
+                .unwrap()
+                .power_state(),
+            PowerState::Off
+        );
+
+        // Repair re-aligns the controller's power view with the physical
+        // state: the maintained digest must match a from-scratch rebuild.
+        assert_eq!(s.repair_compute_brick(idle), Ok(true));
+        assert_eq!(
+            s.cluster().digest(RackId(0)).cloned(),
+            s.rebuild_rack_digest(RackId(0))
+        );
+
+        // And the replacement wakes through the normal wake-on-demand path.
+        let woken: Vec<_> = (0..3)
+            .map(|_| s.allocate_vm(4, ByteSize::from_gib(2)).unwrap())
+            .collect();
+        assert!(woken.iter().any(|&w| s.vm_brick(w) == Some(idle)));
     }
 }

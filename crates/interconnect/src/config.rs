@@ -104,6 +104,20 @@ impl Default for LatencyConfig {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(LatencyConfig {
+    tgl_decode,
+    ni_traversal,
+    switch_traversal,
+    mac_phy_traversal,
+    line_rate,
+    fibre_metres,
+    membrick_glue,
+    dram_access,
+    packet_header,
+    fec_per_traversal,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

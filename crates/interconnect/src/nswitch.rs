@@ -101,6 +101,14 @@ impl OnBrickSwitch {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(OnBrickSwitch {
+    owner,
+    traversal,
+    lookup,
+    round_robin_cursor,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -217,6 +217,20 @@ impl RemoteMemorySegmentTable {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(RmstEntry {
+    base,
+    size,
+    destination,
+    port,
+});
+dredbox_snap::snap_struct!(RemoteMemorySegmentTable {
+    capacity,
+    entries,
+    towards,
+    mapped,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -124,6 +124,13 @@ impl TransactionGlueLogic {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(TransactionGlueLogic {
+    owner,
+    decode_latency,
+    rmst,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -294,6 +294,13 @@ impl RemoteMemoryPath {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_unit_enum!(PathKind {
+    CircuitSwitched = 0,
+    PacketSwitched = 1,
+});
+dredbox_snap::snap_struct!(RemoteMemoryPath { kind, config });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -139,6 +139,15 @@ impl RemoteWindow {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_newtype!(GlobalAddress(u64));
+dredbox_snap::snap_struct!(RemoteWindow {
+    capacity,
+    next_offset,
+    holes,
+    mapped,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

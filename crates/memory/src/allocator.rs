@@ -250,6 +250,18 @@ impl BrickAllocator {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`). The `allocated`
+// hash map is encoded sorted by offset, so the same allocator state always
+// produces the same bytes regardless of hasher history.
+dredbox_snap::snap_struct!(BrickAllocator {
+    brick,
+    capacity,
+    free_bytes,
+    free_list,
+    free_by_size,
+    allocated,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

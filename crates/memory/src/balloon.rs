@@ -84,6 +84,13 @@ impl BalloonDevice {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(BalloonDevice {
+    guest_memory,
+    inflated,
+    reclaim_rate,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -85,6 +85,14 @@ impl Default for HotplugModel {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(HotplugModel {
+    block_size,
+    per_operation,
+    per_block_online,
+    per_block_offline,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -132,6 +132,15 @@ impl PoolIndex {
         }
     }
 
+    /// Drops one brick from every bucket — used when the brick fails and
+    /// must stop being a selection candidate entirely. `O(log n)`.
+    fn remove(&mut self, brick: BrickId) {
+        if let Some(old) = self.stats.remove(brick) {
+            self.unindex(brick, old);
+            self.unused.remove(&brick);
+        }
+    }
+
     fn largest_of(&self, brick: BrickId) -> u64 {
         self.stats.get(brick).map_or(0, |s| s.largest)
     }
@@ -252,6 +261,9 @@ pub struct MemoryPool {
     free_total: u64,
     segments: BTreeMap<SegmentId, MemorySegment>,
     next_segment: u64,
+    /// Failed dMEMBRICKs and the capacity each held, so a repair can
+    /// re-admit the brick without the caller re-deriving its size.
+    failed: BTreeMap<BrickId, u64>,
 }
 
 impl MemoryPool {
@@ -266,6 +278,7 @@ impl MemoryPool {
             free_total: 0,
             segments: BTreeMap::new(),
             next_segment: 0,
+            failed: BTreeMap::new(),
         }
     }
 
@@ -549,6 +562,71 @@ impl MemoryPool {
         self.segments.len()
     }
 
+    /// Fails a dMEMBRICK: its capacity leaves the pool, it stops being a
+    /// selection candidate, and every segment resident on it is lost.
+    /// Returns the lost segments (ascending by id) so the orchestration
+    /// layer can unwind the grants and RMST windows that referenced them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::UnknownMemBrick`] if the brick is not
+    /// registered (or has already failed).
+    pub fn fail_membrick(&mut self, brick: BrickId) -> Result<Vec<MemorySegment>, MemoryError> {
+        let allocator = self
+            .allocators
+            .remove(brick)
+            .ok_or(MemoryError::UnknownMemBrick { brick })?;
+        let capacity = allocator.capacity().as_bytes();
+        self.capacity_total -= capacity;
+        self.free_total -= allocator.free().as_bytes();
+        self.index.remove(brick);
+        let lost_ids: Vec<SegmentId> = self
+            .segments
+            .values()
+            .filter(|s| s.membrick == brick)
+            .map(|s| s.id)
+            .collect();
+        let mut lost = Vec::with_capacity(lost_ids.len());
+        for id in lost_ids {
+            lost.push(self.segments.remove(&id).expect("collected above"));
+        }
+        self.failed.insert(brick, capacity);
+        Ok(lost)
+    }
+
+    /// Repairs a previously failed dMEMBRICK: the replacement brick rejoins
+    /// the pool empty, with the capacity the failed one held. Returns that
+    /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::UnknownMemBrick`] if the brick is not
+    /// currently failed.
+    pub fn repair_membrick(&mut self, brick: BrickId) -> Result<ByteSize, MemoryError> {
+        let capacity = self
+            .failed
+            .remove(&brick)
+            .ok_or(MemoryError::UnknownMemBrick { brick })?;
+        self.allocators.insert(
+            brick,
+            BrickAllocator::new(brick, ByteSize::from_bytes(capacity)),
+        );
+        self.capacity_total += capacity;
+        self.free_total += capacity;
+        self.reindex(brick);
+        Ok(ByteSize::from_bytes(capacity))
+    }
+
+    /// Whether `brick` is currently failed.
+    pub fn is_membrick_failed(&self, brick: BrickId) -> bool {
+        self.failed.contains_key(&brick)
+    }
+
+    /// Currently failed dMEMBRICKs, ascending.
+    pub fn failed_membricks(&self) -> impl Iterator<Item = BrickId> + '_ {
+        self.failed.keys().copied()
+    }
+
     /// Selects the dMEMBRICK that serves (part of) an allocation of `want`
     /// bytes, honouring the active policy. Dispatches to the indexed hot
     /// path or the reference candidate-list scan; both make identical,
@@ -675,6 +753,44 @@ impl MemoryPool {
         chosen.map(|c| c.brick)
     }
 }
+
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_unit_enum!(AllocationPolicy {
+    FirstFit = 0,
+    BestFit = 1,
+    WorstFit = 2,
+    PowerAware = 3,
+});
+dredbox_snap::snap_unit_enum!(PickStrategy {
+    Indexed = 0,
+    ReferenceScan = 1,
+});
+dredbox_snap::snap_struct!(BrickStat {
+    free,
+    largest,
+    in_use,
+});
+dredbox_snap::snap_struct!(PoolIndex {
+    stats,
+    candidates,
+    by_free,
+    by_largest,
+    in_use_by_free,
+    in_use_by_largest,
+    unused,
+});
+dredbox_snap::snap_struct!(MemoryGrant { segments });
+dredbox_snap::snap_struct!(MemoryPool {
+    policy,
+    strategy,
+    allocators,
+    index,
+    capacity_total,
+    free_total,
+    segments,
+    next_segment,
+    failed,
+});
 
 #[cfg(test)]
 mod tests {

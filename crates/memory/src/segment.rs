@@ -50,6 +50,16 @@ impl MemorySegment {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_newtype!(SegmentId(u64));
+dredbox_snap::snap_struct!(MemorySegment {
+    id,
+    membrick,
+    offset,
+    size,
+    owner,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

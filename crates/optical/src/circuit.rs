@@ -209,7 +209,82 @@ impl CircuitManager {
     pub fn circuit_count(&self) -> usize {
         self.circuits.len()
     }
+
+    /// Cabled brick ports and the switch port each is seated in, ascending
+    /// by brick port.
+    pub fn cabled_ports(&self) -> impl Iterator<Item = (PortId, u16)> + '_ {
+        self.cabling.iter().map(|(&p, &sp)| (p, sp))
+    }
+
+    /// Fails the active switch over to `standby`: the cabling (physical
+    /// fibres) is re-seated one-to-one onto the standby's identically
+    /// numbered ports and every established circuit is re-programmed on
+    /// it, in ascending circuit order. Circuit ids, endpoints and hop
+    /// counts survive unchanged. Returns the number of circuits restored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpticalError::NoSuchSwitchPort`] if the standby has fewer
+    /// ports than the cabling uses; nothing is changed in that case.
+    pub fn fail_over(&mut self, standby: OpticalCircuitSwitch) -> Result<usize, OpticalError> {
+        if let Some(&highest) = self.cabling.values().max() {
+            if highest >= standby.port_count() {
+                return Err(OpticalError::NoSuchSwitchPort { port: highest });
+            }
+        }
+        self.switch = standby;
+        let mut restored = 0;
+        for circuit in self.circuits.values() {
+            self.switch
+                .connect(circuit.switch_ports.0, circuit.switch_ports.1)
+                .expect("replayed cross-connections cannot collide");
+            restored += 1;
+        }
+        Ok(restored)
+    }
+
+    /// Severs the fibre seated at brick port `port`: the cabling entry is
+    /// removed and every circuit riding that port is torn down. Returns the
+    /// switch port the fibre occupied and the torn circuits (ascending by
+    /// id), so the caller can re-route them and later re-cable the port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpticalError::PortNotCabled`] if the port has no fibre.
+    pub fn uncable(&mut self, port: PortId) -> Result<(u16, Vec<OpticalCircuit>), OpticalError> {
+        let switch_port = self
+            .cabling
+            .remove(&port)
+            .ok_or(OpticalError::PortNotCabled { port })?;
+        let dead: Vec<CircuitId> = self
+            .circuits
+            .values()
+            .filter(|c| c.src == port || c.dst == port)
+            .map(|c| c.id)
+            .collect();
+        let mut torn = Vec::with_capacity(dead.len());
+        for id in dead {
+            torn.push(self.teardown(id).expect("collected circuit exists"));
+        }
+        Ok((switch_port, torn))
+    }
 }
+
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_newtype!(CircuitId(u64));
+dredbox_snap::snap_struct!(OpticalCircuit {
+    id,
+    src,
+    dst,
+    switch_ports,
+    hops,
+});
+dredbox_snap::snap_struct!(CircuitManager {
+    switch,
+    cabling,
+    circuits,
+    next_id,
+});
 
 #[cfg(test)]
 mod tests {

@@ -77,6 +77,18 @@ impl OpticalCircuitSwitch {
         }
     }
 
+    /// A cold standby of the same module: identical port count, loss and
+    /// power, with no cross-connections programmed — what a failover swaps
+    /// in for a dead switch.
+    pub fn standby(&self) -> Self {
+        OpticalCircuitSwitch {
+            port_count: self.port_count,
+            insertion_loss_db: self.insertion_loss_db,
+            per_port_power: self.per_port_power,
+            connections: BTreeMap::new(),
+        }
+    }
+
     /// Number of physical ports.
     pub fn port_count(&self) -> u16 {
         self.port_count
@@ -173,6 +185,14 @@ impl OpticalCircuitSwitch {
         self.per_port_power.scale(f64::from(self.port_count))
     }
 }
+
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(OpticalCircuitSwitch {
+    port_count,
+    insertion_loss_db,
+    per_port_power,
+    connections,
+});
 
 #[cfg(test)]
 mod tests {

@@ -111,6 +111,62 @@ impl OpticalTopology {
         Ok(())
     }
 
+    /// Fails the rack's optical switch over to a cold standby of the same
+    /// module. Every established circuit is re-programmed on the standby;
+    /// brick-side port states are untouched (the light path is restored
+    /// end-to-end). Returns the number of circuits restored.
+    pub fn fail_over_switch(&mut self) -> usize {
+        let standby = self.manager.switch().standby();
+        self.manager
+            .fail_over(standby)
+            .expect("standby has the same port count")
+    }
+
+    /// Severs the fibre at brick port `port` and re-routes the circuits it
+    /// carried through other free cabled ports of the same brick pairs,
+    /// where possible. Circuits that cannot be re-routed stay down until
+    /// the link is repaired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpticalError::PortNotCabled`] if the port has no fibre.
+    pub fn fail_link(
+        &mut self,
+        rack: &mut Rack,
+        port: PortId,
+    ) -> Result<LinkFailover, OpticalError> {
+        let (switch_port, torn) = self.manager.uncable(port)?;
+        for circuit in &torn {
+            Self::detach_brick_port(rack, circuit.src);
+            Self::detach_brick_port(rack, circuit.dst);
+        }
+        let mut rerouted = Vec::new();
+        let mut lost = Vec::new();
+        for circuit in &torn {
+            match self.connect_bricks(rack, circuit.src.brick, circuit.dst.brick) {
+                Ok(id) => rerouted.push((circuit.src.brick, circuit.dst.brick, id)),
+                Err(_) => lost.push((circuit.src.brick, circuit.dst.brick)),
+            }
+        }
+        Ok(LinkFailover {
+            port,
+            switch_port,
+            rerouted,
+            lost,
+        })
+    }
+
+    /// Re-seats a repaired fibre: brick port `port` is cabled back into
+    /// switch port `switch_port`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the manager's cabling errors (out-of-range or busy
+    /// switch port).
+    pub fn recable(&mut self, port: PortId, switch_port: u16) -> Result<(), OpticalError> {
+        self.manager.cable(port, switch_port)
+    }
+
     fn free_cabled_port(&self, rack: &Rack, brick: BrickId) -> Option<PortId> {
         let b = rack.brick(brick)?;
         let free_ports: Vec<PortId> = match b {
@@ -181,6 +237,24 @@ impl OpticalTopology {
     }
 }
 
+/// What happened when a fibre was severed: the freed switch port (needed to
+/// re-cable on repair) and the fate of each circuit the fibre carried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkFailover {
+    /// The brick port whose fibre was severed.
+    pub port: PortId,
+    /// The switch port the fibre occupied; a repair re-cables here.
+    pub switch_port: u16,
+    /// Brick pairs whose circuit was re-established through another cabled
+    /// port, with the new circuit id.
+    pub rerouted: Vec<(BrickId, BrickId, CircuitId)>,
+    /// Brick pairs whose circuit could not be re-routed and stays down.
+    pub lost: Vec<(BrickId, BrickId)>,
+}
+
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(OpticalTopology { manager });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +316,60 @@ mod tests {
         let c2 = *topo.manager().circuit(id2).unwrap();
         assert_ne!(c1.src, c2.src);
         assert_ne!(c1.switch_ports, c2.switch_ports);
+    }
+
+    #[test]
+    fn switch_fail_over_preserves_circuits() {
+        let (mut rack, mut topo) = setup();
+        let compute = rack.brick_ids(BrickKind::Compute)[0];
+        let mems = rack.brick_ids(BrickKind::Memory);
+        let id1 = topo.connect_bricks(&mut rack, compute, mems[0]).unwrap();
+        let id2 = topo.connect_bricks(&mut rack, compute, mems[1]).unwrap();
+        let before = topo.clone();
+
+        assert_eq!(topo.fail_over_switch(), 2);
+        // Circuits, cabling and switch state are bit-identical after the
+        // standby replays the cross-connections.
+        assert_eq!(topo, before);
+        assert!(topo.manager().circuit(id1).is_some());
+        assert!(topo.manager().circuit(id2).is_some());
+    }
+
+    #[test]
+    fn link_failure_reroutes_through_spare_port() {
+        let (mut rack, mut topo) = setup();
+        let compute = rack.brick_ids(BrickKind::Compute)[0];
+        let memory = rack.brick_ids(BrickKind::Memory)[0];
+        let id = topo.connect_bricks(&mut rack, compute, memory).unwrap();
+        let circuit = *topo.manager().circuit(id).unwrap();
+
+        let failover = topo.fail_link(&mut rack, circuit.src).unwrap();
+        assert_eq!(failover.port, circuit.src);
+        // The brick pair re-routes through another cabled port; the old
+        // circuit is gone, a new one connects the same bricks.
+        assert_eq!(failover.rerouted.len(), 1);
+        assert!(failover.lost.is_empty());
+        assert!(topo.manager().circuit(id).is_none());
+        let rerouted = topo.manager().circuit_between(compute, memory).unwrap();
+        assert_ne!(rerouted.src, circuit.src);
+        assert_eq!(topo.manager().cabled_to(circuit.src), None);
+
+        // Repair re-seats the fibre in the same switch port.
+        topo.recable(failover.port, failover.switch_port).unwrap();
+        assert_eq!(
+            topo.manager().cabled_to(circuit.src),
+            Some(failover.switch_port)
+        );
+    }
+
+    #[test]
+    fn severing_an_uncabled_port_is_an_error() {
+        let (mut rack, mut topo) = setup();
+        let bogus = PortId::new(BrickId(10_000), 0);
+        assert!(matches!(
+            topo.fail_link(&mut rack, bogus),
+            Err(OpticalError::PortNotCabled { .. })
+        ));
     }
 
     #[test]

@@ -213,6 +213,23 @@ impl AccelIndex {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(AccelSlot {
+    loaded,
+    active_sessions,
+    session_capacity,
+    pcap_bps,
+    powered_on,
+});
+dredbox_snap::snap_struct!(AccelIndex {
+    slots,
+    loaded_available,
+    empty_by_pcap,
+    idle_loaded_by_pcap,
+    sleeping_by_pcap,
+    idle,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

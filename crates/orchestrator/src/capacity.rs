@@ -315,6 +315,22 @@ impl CapacityIndex {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(CapacitySlot {
+    total_cores,
+    free_cores,
+    active,
+    powered_on,
+});
+dredbox_snap::snap_struct!(CapacityIndex {
+    slots,
+    powered_by_free,
+    active_by_free,
+    sleeping_by_total,
+    idle,
+    powered_free_cores,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

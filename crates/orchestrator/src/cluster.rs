@@ -233,6 +233,21 @@ impl ClusterController {
         !self.unschedulable.contains(&rack)
     }
 
+    /// Readmits a previously drained rack into admission routing — the
+    /// inverse of the [`ClusterController::set_schedulable`]`(rack, false)`
+    /// drain primitive, used when a serviced rack comes back.
+    ///
+    /// Returns `true` iff the rack is federated *and* was actually drained;
+    /// undraining an unknown rack or one that was never drained is a
+    /// bit-identical no-op returning `false`.
+    pub fn undrain_rack(&mut self, rack: RackId) -> bool {
+        if !self.digests.contains_key(&rack) || self.is_schedulable(rack) {
+            return false;
+        }
+        self.set_schedulable(rack, true);
+        true
+    }
+
     /// Inserts or replaces a rack's digest, keeping the rank sets in sync.
     /// `O(log racks)`.
     pub fn upsert(&mut self, rack: RackId, digest: RackDigest) {
@@ -363,6 +378,28 @@ impl ClusterController {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(RackDigest {
+    free_cores,
+    largest_free_cores,
+    largest_sleeping_cores,
+    free_memory_bytes,
+    largest_segment_bytes,
+    idle_accels,
+    accel_bricks,
+    active_bricks,
+    powered_bricks,
+    provisioned_milliwatts,
+});
+dredbox_snap::snap_struct!(ClusterController {
+    policy,
+    digests,
+    by_free,
+    active_by_free,
+    unschedulable,
+    budget_milliwatts,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,6 +508,28 @@ mod tests {
         cluster.remove(RackId(1));
         assert_eq!(cluster.len(), 1);
         assert_eq!(cluster.route(8, ByteSize::from_gib(8)).rack, None);
+    }
+
+    #[test]
+    fn undrain_is_a_noop_unless_the_rack_was_actually_drained() {
+        let mut cluster = ClusterController::new(PlacementPolicy::PowerAware);
+        cluster.upsert(RackId(0), digest(16, 16, 2, 64, 0));
+        cluster.upsert(RackId(1), digest(64, 32, 1, 64, 0));
+
+        // Undraining an unknown rack, or one that was never drained, must
+        // leave the controller bit-identical.
+        let before = cluster.clone();
+        assert!(!cluster.undrain_rack(RackId(7)));
+        assert!(!cluster.undrain_rack(RackId(0)));
+        assert_eq!(cluster, before);
+
+        // A real drain/undrain round-trips.
+        cluster.set_schedulable(RackId(1), false);
+        assert!(!cluster.is_schedulable(RackId(1)));
+        assert!(cluster.undrain_rack(RackId(1)));
+        assert!(cluster.is_schedulable(RackId(1)));
+        assert_eq!(cluster, before);
+        assert!(!cluster.undrain_rack(RackId(1)));
     }
 
     #[test]

@@ -78,6 +78,13 @@ pub enum OrchestratorError {
         /// Sessions still in flight.
         sessions: u32,
     },
+    /// The referenced brick is marked failed by fault injection, so it
+    /// cannot serve as a placement, migration or scale-up target until it
+    /// is repaired.
+    BrickFailed {
+        /// The failed brick.
+        brick: BrickId,
+    },
 }
 
 impl fmt::Display for OrchestratorError {
@@ -113,6 +120,9 @@ impl fmt::Display for OrchestratorError {
             }
             OrchestratorError::AcceleratorBusy { brick, sessions } => {
                 write!(f, "{brick} still streams {sessions} offload session(s)")
+            }
+            OrchestratorError::BrickFailed { brick } => {
+                write!(f, "{brick} is failed and awaiting repair")
             }
         }
     }

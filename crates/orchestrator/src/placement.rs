@@ -113,6 +113,13 @@ impl PlacementPolicy {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_unit_enum!(PlacementPolicy {
+    FirstFit = 0,
+    PowerAware = 1,
+    Balanced = 2,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

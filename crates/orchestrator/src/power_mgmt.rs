@@ -148,6 +148,16 @@ impl PowerManager {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`). The manager is
+// stateless, so it occupies zero bytes in a snapshot stream.
+impl dredbox_snap::Snap for PowerManager {
+    fn snap(&self, _out: &mut Vec<u8>) {}
+
+    fn unsnap(_r: &mut dredbox_snap::Reader<'_>) -> Result<Self, dredbox_snap::SnapError> {
+        Ok(PowerManager)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -86,6 +86,13 @@ impl std::fmt::Display for OffloadRequest {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(VmAllocationRequest { vcpus, memory });
+dredbox_snap::snap_struct!(ScaleUpDemand {
+    compute_brick,
+    amount,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

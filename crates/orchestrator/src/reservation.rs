@@ -161,6 +161,21 @@ impl ReservationLedger {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_newtype!(ReservationId(u64));
+dredbox_snap::snap_struct!(Reservation {
+    id,
+    compute_brick,
+    cores,
+    memory,
+});
+dredbox_snap::snap_struct!(ReservationLedger {
+    pending,
+    committed_cores,
+    committed_memory,
+    next_id,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -167,6 +167,16 @@ impl std::fmt::Display for AgentError {
 
 impl std::error::Error for AgentError {}
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(SdmAgent {
+    brick,
+    tgl,
+    packet_switch,
+    window,
+    glue_config_latency,
+    switch_table_latency,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,7 +13,9 @@ use serde::{Deserialize, Serialize};
 
 use dredbox_bricks::{BrickId, BrickMap, PortId};
 use dredbox_interconnect::LatencyConfig;
-use dredbox_memory::{AllocationPolicy, MemoryGrant, MemoryPool, PickStrategy};
+use dredbox_memory::{
+    AllocationPolicy, MemoryError, MemoryGrant, MemoryPool, MemorySegment, PickStrategy,
+};
 use dredbox_sim::queue::ControlPlaneQueue;
 use dredbox_sim::time::{SimDuration, SimTime};
 use dredbox_sim::units::{Bandwidth, ByteSize};
@@ -271,6 +273,14 @@ pub struct SdmController {
     /// Live offload sessions by id.
     sessions: BTreeMap<OffloadSessionId, OffloadSession>,
     next_session: u64,
+    /// Compute bricks currently failed by fault injection. They stay
+    /// registered — draining their VMs and migrating away from them uses
+    /// the normal paths — but leave the capacity index, so placement never
+    /// targets them until repair.
+    failed_compute: BTreeSet<BrickId>,
+    /// Accelerator bricks currently failed by fault injection; held out of
+    /// the accelerator index like `failed_compute`.
+    failed_accel: BTreeSet<BrickId>,
 }
 
 impl SdmController {
@@ -307,6 +317,8 @@ impl SdmController {
             accel_circuits: BTreeMap::new(),
             sessions: BTreeMap::new(),
             next_session: 0,
+            failed_compute: BTreeSet::new(),
+            failed_accel: BTreeSet::new(),
         }
     }
 
@@ -370,8 +382,13 @@ impl SdmController {
     }
 
     /// Re-indexes one brick's capacity slot from its authoritative state.
+    /// Failed bricks are held *out* of the index instead, so no allocate /
+    /// release / power transition on a dead brick can resurface it as a
+    /// placement candidate before repair.
     fn sync_capacity(&mut self, brick: BrickId) {
-        if let Some(state) = self.compute.get(brick) {
+        if self.failed_compute.contains(&brick) {
+            self.capacity.remove(brick);
+        } else if let Some(state) = self.compute.get(brick) {
             self.capacity.upsert(brick, state.slot());
         }
     }
@@ -405,9 +422,13 @@ impl SdmController {
         self
     }
 
-    /// Re-indexes one accelerator's slot from its authoritative state.
+    /// Re-indexes one accelerator's slot from its authoritative state,
+    /// holding failed bricks out of the index like
+    /// [`SdmController::sync_capacity`].
     fn sync_accel(&mut self, brick: BrickId) {
-        if let Some(state) = self.accel.get(&brick) {
+        if self.failed_accel.contains(&brick) {
+            self.accel_index.remove(brick);
+        } else if let Some(state) = self.accel.get(&brick) {
             self.accel_index.upsert(brick, state.slot());
         }
     }
@@ -465,7 +486,13 @@ impl SdmController {
     /// compute brick — the pre-index availability inspection, kept as the
     /// reference path for equivalence testing and benchmarking.
     pub fn compute_views(&self) -> Vec<ComputeBrickView> {
-        self.compute.iter().map(|(b, s)| s.slot().view(b)).collect()
+        // Failed bricks are skipped so the scan stays equivalent to the
+        // index, which drops them on failure.
+        self.compute
+            .iter()
+            .filter(|(b, _)| !self.failed_compute.contains(b))
+            .map(|(b, s)| s.slot().view(b))
+            .collect()
     }
 
     /// Handles a VM allocation request: picks a compute brick for the vCPUs
@@ -526,6 +553,9 @@ impl SdmController {
         brick: BrickId,
         request: VmAllocationRequest,
     ) -> Result<(BrickId, ScaleUpGrant), OrchestratorError> {
+        if self.failed_compute.contains(&brick) {
+            return Err(OrchestratorError::BrickFailed { brick });
+        }
         // The wake-sleeping fallback of both placement paths screens on
         // *total* cores (a swept brick is normally empty), but the power
         // view can be flipped off under live VMs; never over-commit the
@@ -658,6 +688,9 @@ impl SdmController {
             {
                 return Err(OrchestratorError::InvalidMigration { from, to });
             }
+        }
+        if self.failed_compute.contains(&to) {
+            return Err(OrchestratorError::BrickFailed { brick: to });
         }
         let dst = self
             .compute
@@ -940,6 +973,11 @@ impl SdmController {
                 brick: request.compute_brick,
             });
         }
+        if self.failed_compute.contains(&request.compute_brick) {
+            return Err(OrchestratorError::BrickFailed {
+                brick: request.compute_brick,
+            });
+        }
         let name = &request.bitstream.name;
         let (accel_brick, reused, woke) = if let Some(b) = self.accel_index.loaded_fit(name) {
             (b, true, false)
@@ -1088,6 +1126,11 @@ impl SdmController {
                 brick: demand.compute_brick,
             });
         }
+        if self.failed_compute.contains(&demand.compute_brick) {
+            return Err(OrchestratorError::BrickFailed {
+                brick: demand.compute_brick,
+            });
+        }
         let mut service_time = self.timings.request_rpc
             + self.timings.availability_check
             + self.timings.reservation_write;
@@ -1228,6 +1271,217 @@ impl SdmController {
         }
         results
     }
+
+    // --- Fault injection -------------------------------------------------
+
+    /// Compute bricks currently failed, ascending.
+    pub fn failed_compute_bricks(&self) -> impl Iterator<Item = BrickId> + '_ {
+        self.failed_compute.iter().copied()
+    }
+
+    /// Whether `brick` is a failed compute brick.
+    pub fn is_compute_failed(&self, brick: BrickId) -> bool {
+        self.failed_compute.contains(&brick)
+    }
+
+    /// Accelerator bricks currently failed, ascending.
+    pub fn failed_accel_bricks(&self) -> impl Iterator<Item = BrickId> + '_ {
+        self.failed_accel.iter().copied()
+    }
+
+    /// Whether `brick` is a failed accelerator brick.
+    pub fn is_accel_failed(&self, brick: BrickId) -> bool {
+        self.failed_accel.contains(&brick)
+    }
+
+    /// Marks a dCOMPUBRICK failed: it leaves the capacity index and is
+    /// refused as a placement, migration or scale-up target, while staying
+    /// registered so its live state can be drained through the normal
+    /// release / migration paths. Returns `false` if it was already failed
+    /// (a no-op).
+    ///
+    /// # Errors
+    ///
+    /// * [`OrchestratorError::UnknownComputeBrick`] for unregistered bricks.
+    pub fn fail_compute_brick(&mut self, brick: BrickId) -> Result<bool, OrchestratorError> {
+        if !self.compute.contains_key(brick) {
+            return Err(OrchestratorError::UnknownComputeBrick { brick });
+        }
+        if !self.failed_compute.insert(brick) {
+            return Ok(false);
+        }
+        // A dead brick draws nothing; the index entry goes with it.
+        if let Some(state) = self.compute.get_mut(brick) {
+            state.powered_on = false;
+        }
+        self.sync_capacity(brick);
+        Ok(true)
+    }
+
+    /// Repairs a previously failed dCOMPUBRICK: the replacement boots
+    /// powered-on and rejoins the capacity index. The fault-handling layer
+    /// drains VMs at failure time, so the brick's accounting is expected to
+    /// be empty here — nothing is zeroed, keeping the ledger authoritative.
+    /// Returns `false` if the brick was not failed (a no-op).
+    ///
+    /// # Errors
+    ///
+    /// * [`OrchestratorError::UnknownComputeBrick`] for unregistered bricks.
+    pub fn repair_compute_brick(&mut self, brick: BrickId) -> Result<bool, OrchestratorError> {
+        if !self.compute.contains_key(brick) {
+            return Err(OrchestratorError::UnknownComputeBrick { brick });
+        }
+        if !self.failed_compute.remove(&brick) {
+            return Ok(false);
+        }
+        if let Some(state) = self.compute.get_mut(brick) {
+            state.powered_on = true;
+        }
+        self.sync_capacity(brick);
+        Ok(true)
+    }
+
+    /// Marks a dACCELBRICK failed: it leaves the accelerator index and its
+    /// partial-reconfiguration state is lost (future offloads of the same
+    /// kernel pay the PCAP programming again after repair). Live sessions
+    /// stay recorded until the fault-handling layer drains them through
+    /// [`SdmController::end_offload`]. Returns `false` if it was already
+    /// failed.
+    ///
+    /// # Errors
+    ///
+    /// * [`OrchestratorError::UnknownAcceleratorBrick`] for unregistered
+    ///   bricks.
+    pub fn fail_accel_brick(&mut self, brick: BrickId) -> Result<bool, OrchestratorError> {
+        if !self.accel.contains_key(&brick) {
+            return Err(OrchestratorError::UnknownAcceleratorBrick { brick });
+        }
+        if !self.failed_accel.insert(brick) {
+            return Ok(false);
+        }
+        let state = self.accel.get_mut(&brick).expect("checked above");
+        state.powered_on = false;
+        state.loaded = None;
+        self.sync_accel(brick);
+        Ok(true)
+    }
+
+    /// Repairs a previously failed dACCELBRICK: it boots powered-on with an
+    /// empty fabric and rejoins the accelerator index. Returns `false` if
+    /// the brick was not failed.
+    ///
+    /// # Errors
+    ///
+    /// * [`OrchestratorError::UnknownAcceleratorBrick`] for unregistered
+    ///   bricks.
+    pub fn repair_accel_brick(&mut self, brick: BrickId) -> Result<bool, OrchestratorError> {
+        if !self.accel.contains_key(&brick) {
+            return Err(OrchestratorError::UnknownAcceleratorBrick { brick });
+        }
+        if !self.failed_accel.remove(&brick) {
+            return Ok(false);
+        }
+        let state = self.accel.get_mut(&brick).expect("checked above");
+        state.powered_on = true;
+        self.sync_accel(brick);
+        Ok(true)
+    }
+
+    /// Fails a dMEMBRICK through the pool (see
+    /// [`MemoryPool::fail_membrick`]) and forgets every compute brick's
+    /// circuit towards it — the fibre now leads nowhere, and survivors
+    /// re-program the switch on their next scale-up. Returns the lost
+    /// segments, ascending by id, so the fault-handling layer can unwind
+    /// the grants that referenced them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemoryError::UnknownMemBrick`] for unregistered or
+    /// already-failed bricks.
+    pub fn fail_membrick(
+        &mut self,
+        brick: BrickId,
+    ) -> Result<Vec<MemorySegment>, OrchestratorError> {
+        let lost = self.pool.fail_membrick(brick)?;
+        for (_, routes) in self.circuits.iter_mut() {
+            routes.remove(&brick);
+        }
+        Ok(lost)
+    }
+
+    /// Repairs a previously failed dMEMBRICK: its full capacity rejoins the
+    /// pool empty (the outage wiped the DIMMs). Returns the restored
+    /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemoryError::UnknownMemBrick`] if the brick is not
+    /// failed.
+    pub fn repair_membrick(&mut self, brick: BrickId) -> Result<ByteSize, OrchestratorError> {
+        Ok(self.pool.repair_membrick(brick)?)
+    }
+
+    /// Live offload sessions streaming *on* the given accelerator brick,
+    /// ascending by id — the drain list when the brick fails.
+    pub fn sessions_on_accel(&self, brick: BrickId) -> Vec<OffloadSessionId> {
+        self.sessions
+            .values()
+            .filter(|s| s.accel_brick == brick)
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Live offload sessions issued *by* the given compute brick, ascending
+    /// by id — the drain list when the brick fails.
+    pub fn sessions_from_compute(&self, brick: BrickId) -> Vec<OffloadSessionId> {
+        self.sessions
+            .values()
+            .filter(|s| s.compute_brick == brick)
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// [`SdmController::release_scale_up`] for grants that may reference
+    /// segments lost with a failed dMEMBRICK: live segments return to the
+    /// pool, lost ones are skipped, and the ledger hold is released in full
+    /// either way so the two-phase accounting stays balanced. Returns the
+    /// controller service time and how many bytes were already gone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool errors other than the tolerated
+    /// [`MemoryError::NoSuchSegment`].
+    pub fn release_scale_up_lossy(
+        &mut self,
+        grant: &ScaleUpGrant,
+    ) -> Result<(SimDuration, ByteSize), OrchestratorError> {
+        let mut service_time = self.timings.request_rpc + self.timings.reservation_write;
+        if let Some(agent) = self.agents.get_mut(grant.demand.compute_brick) {
+            for base in &grant.rmst_bases {
+                if let Ok(t) = agent.apply_detach(*base) {
+                    service_time += self.timings.agent_push + t;
+                }
+            }
+        }
+        let involved: BTreeSet<BrickId> =
+            grant.grant.segments().iter().map(|s| s.membrick).collect();
+        let torn_down = self.tear_down_unused_circuits(grant.demand.compute_brick, &involved);
+        service_time += self
+            .timings
+            .circuit_switch_program
+            .saturating_mul(u64::from(torn_down));
+        let mut lost = 0u64;
+        for seg in grant.grant.segments() {
+            match self.pool.release(seg.id) {
+                Ok(()) => {}
+                Err(MemoryError::NoSuchSegment { .. }) => lost += seg.size.as_bytes(),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.ledger
+            .release_committed(None, 0, grant.grant.total())?;
+        Ok((service_time, ByteSize::from_bytes(lost)))
+    }
 }
 
 impl Default for SdmController {
@@ -1235,6 +1489,64 @@ impl Default for SdmController {
         SdmController::dredbox_default()
     }
 }
+
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(SdmTimings {
+    request_rpc,
+    availability_check,
+    reservation_write,
+    circuit_switch_program,
+    agent_push,
+    queued_request_penalty,
+});
+dredbox_snap::snap_struct!(ScaleUpGrant {
+    demand,
+    grant,
+    rmst_bases,
+    service_time,
+});
+dredbox_snap::snap_newtype!(OffloadSessionId(u64));
+dredbox_snap::snap_struct!(OffloadSession {
+    id,
+    compute_brick,
+    accel_brick,
+    bitstream,
+    input,
+});
+dredbox_snap::snap_struct!(AccelState {
+    pcap_bps,
+    session_capacity,
+    active_sessions,
+    loaded,
+    powered_on,
+});
+dredbox_snap::snap_struct!(ComputeState {
+    total_cores,
+    used_cores,
+    vm_count,
+    vm_cores,
+    gth_ports,
+    attached_segments,
+    powered_on,
+});
+dredbox_snap::snap_struct!(SdmController {
+    pool,
+    ledger,
+    agents,
+    compute,
+    capacity,
+    placement,
+    timings,
+    latency_config,
+    circuits,
+    accel,
+    accel_index,
+    accel_circuits,
+    sessions,
+    next_session,
+    failed_compute,
+    failed_accel,
+});
 
 #[cfg(test)]
 mod tests {
@@ -1724,5 +2036,88 @@ mod tests {
         }
         let woken = sdm.evacuation_target(8, brick).unwrap();
         assert_ne!(woken, brick);
+    }
+
+    #[test]
+    fn failed_compute_bricks_leave_placement_until_repair() {
+        let mut sdm = controller();
+        // Power-aware placement would pick brick 0; fail it.
+        assert!(sdm.fail_compute_brick(BrickId(0)).unwrap());
+        assert!(!sdm.fail_compute_brick(BrickId(0)).unwrap(), "idempotent");
+        assert!(sdm.is_compute_failed(BrickId(0)));
+        let (brick, grant) = sdm
+            .allocate_vm(VmAllocationRequest::new(8, ByteSize::from_gib(4)))
+            .unwrap();
+        assert_ne!(brick, BrickId(0));
+        // Scale-ups, migrations and offloads towards the dead brick are
+        // refused without touching state.
+        let before = sdm.clone();
+        assert!(matches!(
+            sdm.handle_scale_up(ScaleUpDemand::new(BrickId(0), ByteSize::from_gib(1))),
+            Err(OrchestratorError::BrickFailed { .. })
+        ));
+        assert!(matches!(
+            sdm.migrate_vm(brick, BrickId(0), 8, std::slice::from_ref(&grant)),
+            Err(OrchestratorError::BrickFailed { .. })
+        ));
+        assert_eq!(sdm, before);
+        // Repair returns it to the index; power-aware packing prefers the
+        // already-active brick, but an exact query can land on it again.
+        assert!(sdm.repair_compute_brick(BrickId(0)).unwrap());
+        assert!(!sdm.repair_compute_brick(BrickId(0)).unwrap());
+        assert!(sdm.capacity().slot(BrickId(0)).is_some());
+        assert!(matches!(
+            sdm.fail_compute_brick(BrickId(99)),
+            Err(OrchestratorError::UnknownComputeBrick { .. })
+        ));
+    }
+
+    #[test]
+    fn membrick_failure_loses_segments_and_lossy_release_balances_the_ledger() {
+        let mut sdm = controller();
+        let grant = sdm
+            .handle_scale_up(ScaleUpDemand::new(BrickId(0), ByteSize::from_gib(8)))
+            .unwrap();
+        let victim = grant.grant.segments()[0].membrick;
+        let lost = sdm.fail_membrick(victim).unwrap();
+        assert!(!lost.is_empty());
+        // The strict release would trip over the lost segments; the lossy
+        // one skips them and still zeroes the ledger hold.
+        let (t, lost_bytes) = sdm.release_scale_up_lossy(&grant).unwrap();
+        assert!(t.as_millis_f64() > 0.0);
+        assert_eq!(lost_bytes, ByteSize::from_gib(8));
+        assert_eq!(sdm.ledger().held_memory(), ByteSize::ZERO);
+        assert_eq!(sdm.pool().total_allocated(), ByteSize::ZERO);
+        // Repair restores the full capacity, empty.
+        let restored = sdm.repair_membrick(victim).unwrap();
+        assert_eq!(restored, ByteSize::from_gib(32));
+        assert!(sdm.repair_membrick(victim).is_err(), "not failed twice");
+    }
+
+    #[test]
+    fn failed_accelerators_drain_and_rejoin_with_a_cold_fabric() {
+        let mut sdm = accel_controller();
+        let first = sdm.begin_offload(offload("sobel")).unwrap();
+        let target = first.session.accel_brick;
+        assert!(sdm.fail_accel_brick(target).unwrap());
+        assert!(!sdm.fail_accel_brick(target).unwrap(), "idempotent");
+        // The drain list names the stranded session; ending it keeps the
+        // ledger balanced even though the brick is dead.
+        let stranded = sdm.sessions_on_accel(target);
+        assert_eq!(stranded, vec![first.session.id]);
+        sdm.end_offload(first.session.id).unwrap();
+        assert_eq!(sdm.ledger().held_cores(target), 0);
+        // Placement avoids the dead brick; retry lands on the survivor.
+        let retry = sdm.begin_offload(offload("sobel")).unwrap();
+        assert_ne!(retry.session.accel_brick, target);
+        sdm.end_offload(retry.session.id).unwrap();
+        // Repair brings it back powered-on with no bitstream loaded.
+        assert!(sdm.repair_accel_brick(target).unwrap());
+        let slot = sdm.accel().slot(target).unwrap();
+        assert!(slot.powered_on && slot.loaded.is_none());
+        assert!(matches!(
+            sdm.fail_accel_brick(BrickId(99)),
+            Err(OrchestratorError::UnknownAcceleratorBrick { .. })
+        ));
     }
 }

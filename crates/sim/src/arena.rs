@@ -230,6 +230,39 @@ impl<T> Default for SlotArena<T> {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`). The arena
+// encodes its full slot table — holes, generations and free list included —
+// so restored handles (`SlotKey`s) stay valid bit-for-bit.
+dredbox_snap::snap_struct!(SlotKey { index, generation });
+
+impl<T: dredbox_snap::Snap> dredbox_snap::Snap for Slot<T> {
+    fn snap(&self, out: &mut Vec<u8>) {
+        self.generation.snap(out);
+        self.value.snap(out);
+    }
+    fn unsnap(r: &mut dredbox_snap::Reader<'_>) -> Result<Self, dredbox_snap::SnapError> {
+        Ok(Slot {
+            generation: dredbox_snap::Snap::unsnap(r)?,
+            value: dredbox_snap::Snap::unsnap(r)?,
+        })
+    }
+}
+
+impl<T: dredbox_snap::Snap> dredbox_snap::Snap for SlotArena<T> {
+    fn snap(&self, out: &mut Vec<u8>) {
+        self.slots.snap(out);
+        self.free.snap(out);
+        self.len.snap(out);
+    }
+    fn unsnap(r: &mut dredbox_snap::Reader<'_>) -> Result<Self, dredbox_snap::SnapError> {
+        Ok(SlotArena {
+            slots: dredbox_snap::Snap::unsnap(r)?,
+            free: dredbox_snap::Snap::unsnap(r)?,
+            len: dredbox_snap::Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -43,6 +43,7 @@ pub mod arena;
 pub mod engine;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod queue;
 pub mod report;
 pub mod rng;
@@ -57,6 +58,9 @@ pub mod prelude {
     pub use crate::engine::{Engine, Process, RunOutcome};
     pub use crate::error::SimError;
     pub use crate::event::EventQueue;
+    pub use crate::fault::{
+        FailurePlan, FailureSchedule, FaultInjector, FaultKind, FaultSite, PlannedFault, SiteCounts,
+    };
     pub use crate::queue::{ControlPlaneQueue, QueueAdmission};
     pub use crate::report::{Figure, Row, Series, Table};
     pub use crate::rng::SimRng;

@@ -261,6 +261,10 @@ impl fmt::Display for SimDuration {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_newtype!(SimTime(u64));
+dredbox_snap::snap_newtype!(SimDuration(u64));
+
 #[cfg(test)]
 mod tests {
     use super::*;

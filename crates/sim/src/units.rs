@@ -359,6 +359,13 @@ impl fmt::Display for Watts {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_newtype!(ByteSize(u64));
+dredbox_snap::snap_newtype!(Bandwidth(f64));
+dredbox_snap::snap_newtype!(DecibelMilliwatts(f64));
+dredbox_snap::snap_newtype!(Milliwatts(f64));
+dredbox_snap::snap_newtype!(Watts(f64));
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -100,6 +100,15 @@ impl BaremetalOs {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(BaremetalOs {
+    brick,
+    hotplug,
+    local_memory,
+    onlined_remote,
+    hotplug_operations,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -324,6 +324,17 @@ impl Hypervisor {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(Hypervisor {
+    os,
+    total_cores,
+    allocated_cores,
+    committed_memory,
+    vms,
+    dimm_attach_overhead,
+    guest_boot_time,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -93,6 +93,15 @@ impl Default for MigrationModel {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(MigrationModel {
+    link,
+    dirty_rate,
+    max_rounds,
+    switchover,
+    local_state_per_vcpu,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

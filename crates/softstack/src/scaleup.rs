@@ -165,6 +165,14 @@ impl Default for ScaleUpController {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_struct!(ScaleUpTimings {
+    app_to_controller,
+    controller_to_sdm,
+    hypervisor_reconfig,
+});
+dredbox_snap::snap_struct!(ScaleUpController { timings });
+
 #[cfg(test)]
 mod tests {
     use super::*;

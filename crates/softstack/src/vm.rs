@@ -155,6 +155,24 @@ impl Vm {
     }
 }
 
+// Deterministic snapshot codec impls (see `dredbox_snap`).
+dredbox_snap::snap_newtype!(VmId(u64));
+dredbox_snap::snap_struct!(VmSpec { vcpus, memory });
+dredbox_snap::snap_unit_enum!(VmState {
+    Provisioning = 0,
+    Running = 1,
+    Terminated = 2,
+});
+dredbox_snap::snap_struct!(Vm {
+    id,
+    spec,
+    state,
+    current_memory,
+    balloon,
+    scale_ups,
+    offloads,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,7 +5,7 @@
 //! per-scenario reports.
 //!
 //! Run with:
-//! `cargo run --release --example scenario [seed] [rack-scale] [migration] [offload] [datacenter]`
+//! `cargo run --release --example scenario [seed] [rack-scale] [migration] [offload] [datacenter] [failure]`
 //!
 //! Passing `rack-scale` additionally replays the 256-compute-brick / 4096-VM
 //! control-plane stress scenario (the capacity-index hot path) and checks
@@ -19,7 +19,11 @@
 //! determinism-checked. Passing `datacenter` replays the 16-rack federated
 //! scenario through the cluster controller — routed admissions, per-rack
 //! power sweeps and a mid-run rack drain — checks its determinism, and
-//! reports wall-clock time (the CI smoke keeps it time-bounded).
+//! reports wall-clock time (the CI smoke keeps it time-bounded). Passing
+//! `failure` replays the two robustness scenarios — the failure-storm
+//! (seeded brick/link/switch faults with recovery and repair) and the
+//! rolling-upgrade (per-rack drain → snapshot → restore → readmit) — with
+//! the same determinism check and a zero-lost-bytes assertion.
 
 use dredbox::prelude::*;
 
@@ -30,6 +34,7 @@ fn main() -> Result<(), SystemError> {
     let with_migration = args.iter().any(|a| a == "migration");
     let with_offload = args.iter().any(|a| a == "offload");
     let with_datacenter = args.iter().any(|a| a == "datacenter");
+    let with_failure = args.iter().any(|a| a == "failure");
 
     let suite = run_builtin_suite(seed)?;
     println!("{suite}");
@@ -107,6 +112,43 @@ fn main() -> Result<(), SystemError> {
             "determinism check: datacenter replay with seed {seed} was identical \
              ({} routed admissions, {} spillovers, {} cross-rack migrations)",
             cluster.routed_admissions, cluster.spillovers, cluster.cross_rack_migrations
+        );
+    }
+
+    if with_failure {
+        let started = std::time::Instant::now();
+        for spec in [
+            ScenarioSpec::failure_storm(),
+            ScenarioSpec::rolling_upgrade(),
+        ] {
+            let report = spec.run(seed)?;
+            println!("\n{report}");
+            let replay = spec.run(seed)?;
+            assert_eq!(report, replay, "{} same-seed replay diverged", spec.name);
+            let avail = report.availability.as_ref().expect("availability reported");
+            assert_eq!(
+                avail.upgrade_lost_bytes, 0,
+                "{}: pooled bytes went missing across servicing",
+                spec.name
+            );
+            assert_eq!(
+                avail.upgrade_restore_mismatches, 0,
+                "{}: a snapshot restored non-identically",
+                spec.name
+            );
+            println!(
+                "determinism check: {} replay with seed {seed} was identical \
+                 ({} faults injected, {} repairs, {} upgrades, {} bytes lost)",
+                spec.name,
+                avail.faults_injected,
+                avail.repairs,
+                avail.upgrades,
+                avail.upgrade_lost_bytes
+            );
+        }
+        println!(
+            "failure: both robustness scenarios replayed in {:.3} s wall-clock",
+            started.elapsed().as_secs_f64()
         );
     }
     Ok(())

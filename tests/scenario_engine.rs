@@ -114,15 +114,17 @@ fn rack_scale_scenario_stresses_the_control_plane_deterministically() {
     assert!(util.max() > 0.5, "pool never filled: {}", util.max());
 
     // The extended suite carries it alongside the four quick scenarios,
-    // the two migration scenarios, the offload scenario and the federated
-    // datacenter scenario.
+    // the two migration scenarios, the offload scenario, the federated
+    // datacenter scenario and the two robustness scenarios.
     let extended = ScenarioSpec::extended_suite();
-    assert_eq!(extended.len(), 9);
+    assert_eq!(extended.len(), 11);
     assert_eq!(extended[4].name, "rack-scale");
     assert_eq!(extended[5].name, "consolidation");
     assert_eq!(extended[6].name, "hotspot-evacuation");
     assert_eq!(extended[7].name, "offload-heavy");
     assert_eq!(extended[8].name, "datacenter");
+    assert_eq!(extended[9].name, "failure-storm");
+    assert_eq!(extended[10].name, "rolling-upgrade");
 }
 
 #[test]
