@@ -16,6 +16,10 @@
 //!   eighth hop crossing shards through the timestamped mailbox. Run at
 //!   1 / 2 / 4 shards over 100k events, this isolates calendar + mailbox
 //!   cost from scenario work.
+//! * `engine/data_path` — the incast scenario with the load-dependent data
+//!   path on vs off (contention disabled). The delta is the cost of the
+//!   contention model itself: per-stage ledger lookups, queuing-delay
+//!   pricing and the per-access cache bookkeeping on ~10k accesses.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -111,6 +115,28 @@ fn bench_scenario_sharding(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_data_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/data_path");
+    let contended = ScenarioSpec::incast();
+    let mut uncontended = ScenarioSpec::incast();
+    uncontended
+        .data_path
+        .as_mut()
+        .expect("incast configures the data path")
+        .contention = None;
+    for (label, spec) in [("contended", contended), ("uncontended", uncontended)] {
+        let report = spec.run(2018).expect("scenario runs");
+        let reads = report.data_path.as_ref().expect("data-path stats").reads;
+        group.throughput(Throughput::Elements(reads));
+        group.bench_with_input(
+            BenchmarkId::new("incast", format!("{label}_{reads}_reads")),
+            &spec,
+            |b, spec| b.iter(|| black_box(spec.run(2018).expect("scenario runs"))),
+        );
+    }
+    group.finish();
+}
+
 fn bench_synthetic_relay(c: &mut Criterion) {
     const TOTAL: u64 = 100_000;
     let mut group = c.benchmark_group("engine/synthetic_relay_100k_events");
@@ -128,6 +154,7 @@ criterion_group!(
     bench_scenario_replay,
     bench_system_build,
     bench_scenario_sharding,
+    bench_data_path,
     bench_synthetic_relay
 );
 criterion_main!(benches);

@@ -64,12 +64,13 @@ pub mod system;
 
 pub use config::SystemConfig;
 pub use scenario::{
-    run_builtin_suite, ArrivalModel, ChurnModel, ControlPlaneQueue, MigrationPolicy, OffloadPlan,
-    QueueAdmission, ScenarioReport, ScenarioSpec, ShardingMode, SuiteReport,
+    run_builtin_suite, ArrivalModel, ChurnModel, ContentionConfig, ControlPlaneQueue,
+    DataPathConfig, DataPathStats, Granularity, MigrationPolicy, OffloadPlan, QueueAdmission,
+    ReadProfile, RemoteCacheConfig, ScenarioReport, ScenarioSpec, ShardingMode, SuiteReport,
 };
 pub use snapshot::SystemSnapshot;
 pub use system::{
-    DredboxSystem, MigrationReport, OffloadReport, ScaleUpReport, SystemError, VmHandle,
+    DredboxSystem, MigrationReport, OffloadReport, ReadRoute, ScaleUpReport, SystemError, VmHandle,
 };
 
 // Re-export the sub-crates so downstream users need a single dependency.
@@ -88,12 +89,14 @@ pub mod prelude {
     pub use crate::config::SystemConfig;
     pub use crate::experiments;
     pub use crate::scenario::{
-        run_builtin_suite, ArrivalModel, ChurnModel, ControlPlaneQueue, MigrationPolicy,
-        OffloadPlan, QueueAdmission, ScenarioReport, ScenarioSpec, ShardingMode, SuiteReport,
+        run_builtin_suite, ArrivalModel, ChurnModel, ContentionConfig, ControlPlaneQueue,
+        DataPathConfig, DataPathStats, Granularity, MigrationPolicy, OffloadPlan, QueueAdmission,
+        ReadProfile, RemoteCacheConfig, ScenarioReport, ScenarioSpec, ShardingMode, SuiteReport,
     };
     pub use crate::snapshot::SystemSnapshot;
     pub use crate::system::{
-        DredboxSystem, MigrationReport, OffloadReport, ScaleUpReport, SystemError, VmHandle,
+        DredboxSystem, MigrationReport, OffloadReport, ReadRoute, ScaleUpReport, SystemError,
+        VmHandle,
     };
     pub use dredbox_orchestrator::sdm_controller::OffloadSessionId;
     pub use dredbox_sim::prelude::*;

@@ -33,7 +33,7 @@
 //! * **memory-churn** — few long-lived VMs continuously growing and
 //!   shrinking through the Scale-up API, the allocator hot path.
 //!
-//! Five more ride in [`ScenarioSpec::extended_suite`]:
+//! Nine more ride in [`ScenarioSpec::extended_suite`]:
 //!
 //! * **rack-scale** ([`ScenarioSpec::rack_scale`], 256 dCOMPUBRICKs, 128
 //!   dMEMBRICKs, 4096 VM arrivals) — stresses the SDM control plane itself,
@@ -57,6 +57,21 @@
 //!   the cluster controller routes admissions across racks off its
 //!   capacity digests, enforces per-rack power budgets, and drains the
 //!   busiest rack mid-run through cross-rack live migration.
+//! * **failure-storm** ([`ScenarioSpec::failure_storm`]) — a seeded
+//!   mid-trace storm of brick crashes, severed fibres and an
+//!   optical-switch failover, each repaired minutes later; the report's
+//!   availability block carries blast radius and MTTR.
+//! * **rolling-upgrade** ([`ScenarioSpec::rolling_upgrade`]) — every rack
+//!   of a four-rack federation drained, snapshotted, restored
+//!   bit-identically and readmitted in turn under steady load.
+//! * **memory-thrash** ([`ScenarioSpec::memory_thrash`]) — VMs stream
+//!   over their remote working sets through the load-dependent data path
+//!   ([`DataPathConfig`]): fabric contention, per-VM remote caches and
+//!   the adaptive movement-granularity controller all engaged.
+//! * **incast** ([`ScenarioSpec::incast`]) — ten VMs hammer the single
+//!   dMEMBRICK of a small rack at fixed page granularity, saturating its
+//!   ingress port; the report's data-path block shows the p99/p999 tail
+//!   collapse that adaptive granularity avoids.
 //!
 //! Every SDM request of a replay — admissions, scale-ups/downs, releases,
 //! migrations, offload begins/ends — is serialized through the owning
@@ -80,10 +95,12 @@
 //! # Ok::<(), dredbox::SystemError>(())
 //! ```
 
+mod datapath;
 mod world;
 
 use serde::{Deserialize, Serialize};
 
+use dredbox_bricks::{MemoryController, MemoryTechnology};
 use dredbox_orchestrator::PlacementPolicy;
 use dredbox_sim::engine::RunOutcome;
 pub use dredbox_sim::fault::{
@@ -95,7 +112,7 @@ use dredbox_sim::rng::SimRng;
 use dredbox_sim::shard::{ShardId, ShardedEngine};
 use dredbox_sim::stats::Summary;
 use dredbox_sim::time::{SimDuration, SimTime};
-use dredbox_sim::units::Watts;
+use dredbox_sim::units::{ByteSize, Watts};
 use dredbox_softstack::ScaleOutBaseline;
 use dredbox_workload::{
     ArrivalTrace, BurstTrace, DiurnalPattern, LifetimeModel, PilotOffloadMix, TenantMix, VmDemand,
@@ -104,6 +121,9 @@ use dredbox_workload::{
 
 use crate::config::SystemConfig;
 use crate::system::{DredboxSystem, SystemError};
+
+pub use datapath::{DataPathConfig, DataPathStats, Granularity, ReadProfile, RemoteCacheConfig};
+pub use dredbox_interconnect::ContentionConfig;
 
 use world::{ScenarioEvent, ScenarioWorld};
 
@@ -321,6 +341,11 @@ pub struct ScenarioSpec {
     /// Optional staged rolling upgrade (multi-rack systems only).
     #[serde(default)]
     pub upgrade: Option<UpgradePlan>,
+    /// Optional load-dependent remote-memory data path: fabric
+    /// contention, per-VM remote caches and adaptive movement
+    /// granularity. `None` replays the flat latency model unchanged.
+    #[serde(default)]
+    pub data_path: Option<DataPathConfig>,
 }
 
 impl ScenarioSpec {
@@ -351,6 +376,7 @@ impl ScenarioSpec {
             drain: None,
             faults: None,
             upgrade: None,
+            data_path: None,
         }
     }
 
@@ -382,6 +408,7 @@ impl ScenarioSpec {
             drain: None,
             faults: None,
             upgrade: None,
+            data_path: None,
         }
     }
 
@@ -410,6 +437,7 @@ impl ScenarioSpec {
             drain: None,
             faults: None,
             upgrade: None,
+            data_path: None,
         }
     }
 
@@ -443,6 +471,7 @@ impl ScenarioSpec {
             drain: None,
             faults: None,
             upgrade: None,
+            data_path: None,
         }
     }
 
@@ -482,6 +511,7 @@ impl ScenarioSpec {
             drain: None,
             faults: None,
             upgrade: None,
+            data_path: None,
         }
     }
 
@@ -522,6 +552,7 @@ impl ScenarioSpec {
             drain: None,
             faults: None,
             upgrade: None,
+            data_path: None,
         }
     }
 
@@ -558,6 +589,7 @@ impl ScenarioSpec {
             drain: None,
             faults: None,
             upgrade: None,
+            data_path: None,
         }
     }
 
@@ -599,6 +631,7 @@ impl ScenarioSpec {
             drain: None,
             faults: None,
             upgrade: None,
+            data_path: None,
         }
     }
 
@@ -649,6 +682,7 @@ impl ScenarioSpec {
             }),
             faults: None,
             upgrade: None,
+            data_path: None,
         }
     }
 
@@ -697,6 +731,7 @@ impl ScenarioSpec {
                 SimDuration::from_secs(1_200),
             )),
             upgrade: None,
+            data_path: None,
         }
     }
 
@@ -736,6 +771,125 @@ impl ScenarioSpec {
                 start: SimTime::from_secs(1_805),
                 stagger: SimDuration::from_secs(600),
             }),
+            data_path: None,
+        }
+    }
+
+    /// The data-path stress case: memory-leaning VMs stream over remote
+    /// working sets far larger than their brick-local caches, through the
+    /// full load-dependent model — fabric contention priced per fetch,
+    /// per-VM remote caches, and the adaptive movement-granularity
+    /// controller. The initial all-miss page-granularity load saturates
+    /// the dMEMBRICK ports, VMs demote to cache-line movement, and as
+    /// measured miss rates bring the background down they promote back —
+    /// the report's data-path block carries the switch count and the
+    /// queue-delay distribution.
+    pub fn memory_thrash() -> Self {
+        let mut system = SystemConfig::datacenter_rack(2, 4, 2);
+        // Dense dMEMBRICKs (128 GiB) so twelve memory-leaning VMs fit in
+        // the pool and thrash concurrently instead of being rejected.
+        let mut memory = system.catalog.memory_spec().clone();
+        memory.controllers = vec![MemoryController::new(
+            MemoryTechnology::Ddr4,
+            ByteSize::from_gib(128),
+        )];
+        system.catalog = system.catalog.with_memory_spec(memory);
+        ScenarioSpec {
+            name: "memory-thrash".to_owned(),
+            system,
+            vm_count: 12,
+            mix: ScenarioMix::Table1(WorkloadConfig::MoreRam),
+            arrivals: ArrivalModel::Poisson {
+                mean_interarrival: SimDuration::from_secs(20),
+            },
+            lifetime: LifetimeModel::new(SimDuration::from_secs(900), SimDuration::from_secs(240)),
+            churn: None,
+            migration: None,
+            offload: None,
+            reads_per_vm: 4,
+            horizon: SimTime::from_secs(1_800),
+            power_sweep_every: Some(SimDuration::from_secs(600)),
+            event_budget: 100_000,
+            sharding: ShardingMode::PerRack,
+            drain: None,
+            faults: None,
+            upgrade: None,
+            data_path: Some(DataPathConfig {
+                contention: Some(ContentionConfig::dredbox_default()),
+                cache: Some(RemoteCacheConfig::dredbox_default()),
+                initial_granularity: Granularity::Page,
+                adaptive: true,
+                profile: ReadProfile {
+                    working_set: ByteSize::from_bytes(4 * 1024 * 1024),
+                    reads_per_sec: 1.0e5,
+                    bursts_per_vm: 10,
+                    reads_per_burst: 80,
+                    burst_every: SimDuration::from_secs(45),
+                    start_after: SimDuration::from_secs(15),
+                    locality: 0.8,
+                },
+            }),
+        }
+    }
+
+    /// The congestion-collapse case: ten low-core, memory-leaning VMs on
+    /// a four-brick rack whose pool is one dense dMEMBRICK, so every
+    /// remote fetch funnels into a single ingress port. Movement is
+    /// pinned at page granularity with the adaptive controller off: the
+    /// all-miss page load oversubscribes the port several times over and
+    /// the report's data-path block shows the p99/p999 latency collapse
+    /// that cache-line fallback (see [`ScenarioSpec::memory_thrash`])
+    /// avoids.
+    pub fn incast() -> Self {
+        let mut system = SystemConfig::datacenter_rack(1, 4, 1);
+        // One dense dMEMBRICK (512 GiB): the whole pool — and therefore
+        // every VM's read route — sits behind a single ingress port.
+        let mut memory = system.catalog.memory_spec().clone();
+        memory.controllers = vec![MemoryController::new(
+            MemoryTechnology::Ddr4,
+            ByteSize::from_gib(512),
+        )];
+        system.catalog = system.catalog.with_memory_spec(memory);
+        ScenarioSpec {
+            name: "incast".to_owned(),
+            system,
+            vm_count: 10,
+            mix: ScenarioMix::Table1(WorkloadConfig::MoreRam),
+            arrivals: ArrivalModel::Bursts {
+                burst_size: 10,
+                gap: SimDuration::from_secs(300),
+                spread: SimDuration::from_secs(2),
+            },
+            lifetime: LifetimeModel::new(
+                SimDuration::from_secs(3_600),
+                SimDuration::from_secs(600),
+            ),
+            churn: None,
+            migration: None,
+            offload: None,
+            reads_per_vm: 0,
+            horizon: SimTime::from_secs(600),
+            power_sweep_every: None,
+            event_budget: 100_000,
+            sharding: ShardingMode::PerRack,
+            drain: None,
+            faults: None,
+            upgrade: None,
+            data_path: Some(DataPathConfig {
+                contention: Some(ContentionConfig::dredbox_default()),
+                cache: Some(RemoteCacheConfig::dredbox_default()),
+                initial_granularity: Granularity::Page,
+                adaptive: false,
+                profile: ReadProfile {
+                    working_set: ByteSize::from_bytes(2 * 1024 * 1024),
+                    reads_per_sec: 2.0e5,
+                    bursts_per_vm: 8,
+                    reads_per_burst: 120,
+                    burst_every: SimDuration::from_secs(30),
+                    start_after: SimDuration::from_secs(10),
+                    locality: 0.85,
+                },
+            }),
         }
     }
 
@@ -752,8 +906,9 @@ impl ScenarioSpec {
     /// The built-in suite plus the rack-scale control-plane stress case,
     /// the two migration scenarios (consolidation, hotspot-evacuation),
     /// the near-data offload-heavy scenario, the federated multi-rack
-    /// datacenter scenario, and the two robustness scenarios
-    /// (failure-storm, rolling-upgrade).
+    /// datacenter scenario, the two robustness scenarios (failure-storm,
+    /// rolling-upgrade), and the two data-path scenarios (memory-thrash,
+    /// incast).
     pub fn extended_suite() -> Vec<ScenarioSpec> {
         let mut suite = ScenarioSpec::builtin_suite();
         suite.push(ScenarioSpec::rack_scale());
@@ -763,6 +918,8 @@ impl ScenarioSpec {
         suite.push(ScenarioSpec::datacenter());
         suite.push(ScenarioSpec::failure_storm());
         suite.push(ScenarioSpec::rolling_upgrade());
+        suite.push(ScenarioSpec::memory_thrash());
+        suite.push(ScenarioSpec::incast());
         suite
     }
 
@@ -932,6 +1089,11 @@ impl ScenarioSpec {
         if let Some(plan) = &self.faults {
             if plan.counts.iter().all(|&n| n == 0) {
                 return Err(invalid("failure plans need at least one fault"));
+            }
+        }
+        if let Some(dp) = &self.data_path {
+            if let Some(reason) = dp.invalid_reason() {
+                return Err(invalid(reason));
             }
         }
         if let Some(plan) = &self.offload {
@@ -1152,6 +1314,9 @@ pub struct ScenarioReport {
     /// Availability telemetry; `None` unless the spec injects faults or
     /// runs a rolling upgrade.
     pub availability: Option<AvailabilityStats>,
+    /// Data-path telemetry; `None` unless the spec configures the
+    /// load-dependent remote-memory data path.
+    pub data_path: Option<DataPathStats>,
 }
 
 impl std::fmt::Debug for ScenarioReport {
@@ -1199,6 +1364,9 @@ impl std::fmt::Debug for ScenarioReport {
         }
         if self.availability.is_some() {
             s.field("availability", &self.availability);
+        }
+        if self.data_path.is_some() {
+            s.field("data_path", &self.data_path);
         }
         s.finish()
     }
@@ -1422,6 +1590,39 @@ impl ScenarioReport {
                     )],
                 ));
             }
+        }
+        if let Some(d) = &self.data_path {
+            table.push(Row::new(
+                "data-path reads / cache hits / misses",
+                [format!(
+                    "{} / {} / {}",
+                    d.reads, d.cache_hits, d.cache_misses
+                )],
+            ));
+            table.push(Row::new(
+                "fetches line / page / granularity switches",
+                [format!(
+                    "{} / {} / {}",
+                    d.line_fetches, d.page_fetches, d.granularity_switches
+                )],
+            ));
+            table.push(Row::new(
+                "read latency p50 / p99 / p999 (ns)",
+                [format!(
+                    "{:.1} / {:.1} / {:.1}",
+                    d.read_latency_p50_ns, d.read_latency_p99_ns, d.read_latency_p999_ns
+                )],
+            ));
+            if let Some(s) = &d.queue_delay {
+                table.push(Row::new(
+                    "fabric queue delay mean / max (ns)",
+                    [format!("{:.1} / {:.1}", s.mean(), s.max())],
+                ));
+            }
+            table.push(Row::new(
+                "peak fabric stage utilization (%)",
+                [format!("{:.2}", d.peak_fabric_utilization * 100.0)],
+            ));
         }
         table
     }

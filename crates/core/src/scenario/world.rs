@@ -44,6 +44,7 @@ use crate::system::{
     AdmissionOutcome, DredboxSystem, MigrationReport, OffloadReport, SystemError, VmHandle,
 };
 
+use super::datapath::DataPathState;
 use super::{
     AvailabilityStats, ChurnModel, ClusterScenarioStats, MigrationPolicy, ScenarioReport,
     ScenarioSpec,
@@ -99,6 +100,9 @@ pub(super) enum ScenarioEvent {
     /// `rack`, snapshot the controller, restore it bit-identically and
     /// readmit the rack.
     UpgradeRack { rack: u16 },
+    /// One sampled burst of the VM's remote-memory access stream per the
+    /// spec's [`DataPathConfig`](super::DataPathConfig).
+    ReadBurst { vm: VmHandle, remaining: u32 },
 }
 
 /// Plain event counters of one replay.
@@ -149,8 +153,15 @@ pub(super) struct ScenarioWorld<'a> {
     timings: ClusterTimings,
     scale_up_delays_s: Vec<f64>,
     read_latencies_ns: Vec<f64>,
-    /// Precomputed remote-read latency total per [`READ_SIZES`] entry.
-    read_latency_ns: [f64; READ_SIZES.len()],
+    /// Precomputed remote-read latency total per [`READ_SIZES`] entry —
+    /// valid ONLY while the latency model is pure in the transfer size.
+    /// Every draw goes through [`ScenarioWorld::read_latency_for`], which
+    /// bypasses this table whenever the spec configures the load-dependent
+    /// data path.
+    read_latency_table: [f64; READ_SIZES.len()],
+    /// Live data-path model (fabric load, caches, granularity controller);
+    /// `None` replays the flat latency model unchanged.
+    data_path: Option<DataPathState>,
     utilization: Vec<f64>,
     migration_downtime_s: Vec<f64>,
     precopy_counterfactual_s: Vec<f64>,
@@ -188,21 +199,25 @@ impl<'a> ScenarioWorld<'a> {
     ) -> Self {
         let penalty = spec.system.sdm_timings.queued_request_penalty;
         let racks = spec.system.racks.max(1);
-        // The remote-read latency model is pure in the transfer size, so
-        // the per-arrival read charges look the totals up instead of
-        // rebuilding a full hop-by-hop breakdown per read.
-        let read_latency_ns = READ_SIZES.map(|size| {
+        // The *flat* remote-read latency model is pure in the transfer
+        // size, so the per-arrival read charges can look totals up instead
+        // of rebuilding a hop-by-hop breakdown per read. The table is a
+        // cache of that purity assumption — read_latency_for() bypasses it
+        // the moment the spec configures the load-dependent data path.
+        let read_latency_table = READ_SIZES.map(|size| {
             system
                 .remote_read_latency(ByteSize::from_bytes(size))
                 .total()
                 .as_nanos() as f64
         });
+        let data_path = spec.data_path.map(|cfg| DataPathState::new(cfg, racks));
         ScenarioWorld {
             spec,
             system,
             demands,
             rng,
-            read_latency_ns,
+            read_latency_table,
+            data_path,
             counters: Counters::default(),
             cluster_stats: ClusterScenarioStats {
                 racks: u64::from(racks),
@@ -266,17 +281,41 @@ impl<'a> ScenarioWorld<'a> {
             .map_or(0, |b| usize::from(self.system.rack_of(b).0))
     }
 
+    /// The single accessor every remote-read latency draw goes through.
+    ///
+    /// When the spec configures the data path, the latency model is no
+    /// longer pure in the transfer size (it depends on live fabric load),
+    /// so the precomputed table is bypassed and the live model is consulted
+    /// per read. On the contention-free path the table is used — and
+    /// checked against the live model in debug builds, so a future impure
+    /// model cannot silently serve stale entries.
+    fn read_latency_for(&mut self, vm: VmHandle, slot: usize) -> f64 {
+        let size = ByteSize::from_bytes(READ_SIZES[slot]);
+        match self.data_path.as_mut() {
+            Some(dp) => dp.direct_read_ns(&self.system, vm, size),
+            None => {
+                debug_assert_eq!(
+                    self.read_latency_table[slot],
+                    self.system.remote_read_latency(size).total().as_nanos() as f64,
+                    "read-latency table diverged from the live model"
+                );
+                self.read_latency_table[slot]
+            }
+        }
+    }
+
     /// Charges the configured number of remote reads (of mixed transfer
-    /// sizes) through the interconnect latency model. The per-size totals
-    /// are precomputed at construction; the per-read size draw is unchanged.
-    fn charge_reads(&mut self) {
+    /// sizes) through the interconnect latency model. The per-read size
+    /// draw is unchanged from the pre-data-path engine.
+    fn charge_reads(&mut self, vm: VmHandle) {
         for _ in 0..self.spec.reads_per_vm {
             let pick = self.rng.choose(&READ_SIZES).expect("sizes non-empty");
             let slot = READ_SIZES
                 .iter()
                 .position(|s| s == pick)
                 .expect("chosen from READ_SIZES");
-            self.read_latencies_ns.push(self.read_latency_ns[slot]);
+            let ns = self.read_latency_for(vm, slot);
+            self.read_latencies_ns.push(ns);
         }
     }
 
@@ -348,7 +387,24 @@ impl<'a> ScenarioWorld<'a> {
         // actually finished configuring it.
         let service = self.system.admission_service_time(vm).unwrap_or_default();
         let admission = self.admit_control(usize::from(outcome.rack.0), now, service);
-        self.charge_reads();
+        // Register the VM's read route with the data-path model before any
+        // of its reads are priced, so its standing load is on the ledger.
+        if let Some(dp) = self.data_path.as_mut() {
+            if let Some(route) = self.system.vm_read_route(vm) {
+                dp.on_admit(vm, route);
+                let profile = dp.config().profile;
+                if profile.bursts_per_vm > 0 {
+                    ctx.schedule(
+                        admission.completion + profile.start_after,
+                        ScenarioEvent::ReadBurst {
+                            vm,
+                            remaining: profile.bursts_per_vm,
+                        },
+                    );
+                }
+            }
+        }
+        self.charge_reads(vm);
         let lifetime = self.spec.lifetime.sample(&mut self.rng);
         ctx.schedule(
             admission.completion + lifetime,
@@ -660,8 +716,21 @@ impl<'a> ScenarioWorld<'a> {
     }
 
     /// Assembles the report once the engine stops.
-    pub(super) fn finish(self, outcome: RunOutcome, end: SimTime, events: u64) -> ScenarioReport {
+    pub(super) fn finish(
+        mut self,
+        outcome: RunOutcome,
+        end: SimTime,
+        events: u64,
+    ) -> ScenarioReport {
         let c = self.counters;
+        // The data-path block only exists on specs that configure the
+        // load-dependent model; every pre-existing report (and golden)
+        // stays byte-identical.
+        let read_latency = Summary::from_samples(&self.read_latencies_ns);
+        let data_path = self
+            .data_path
+            .take()
+            .map(|dp| dp.finish(read_latency.as_ref()));
         // The cluster tier only exists on multi-rack systems; single-rack
         // reports stay byte-identical to the pre-federation engine.
         let cluster = if self.racks > 1 {
@@ -711,7 +780,7 @@ impl<'a> ScenarioWorld<'a> {
                 .max()
                 .unwrap_or(0) as u64,
             scale_up_delay: Summary::from_samples(&self.scale_up_delays_s),
-            read_latency: Summary::from_samples(&self.read_latencies_ns),
+            read_latency,
             pool_utilization: Summary::from_samples(&self.utilization),
             migration_downtime: Summary::from_samples(&self.migration_downtime_s),
             precopy_counterfactual: Summary::from_samples(&self.precopy_counterfactual_s),
@@ -724,6 +793,7 @@ impl<'a> ScenarioWorld<'a> {
             accel_utilization: Summary::from_samples(&self.accel_utilization),
             cluster,
             availability,
+            data_path,
         }
     }
 }
@@ -851,6 +921,9 @@ impl ShardedProcess for ScenarioWorld<'_> {
                 if self.system.release_vm(vm).is_ok() {
                     self.counters.departed += 1;
                     self.counters.live -= 1;
+                    if let Some(dp) = self.data_path.as_mut() {
+                        dp.on_departure(vm);
+                    }
                     let timings = self.spec.system.sdm_timings;
                     self.admit_control(rack, now, timings.request_rpc + timings.reservation_write);
                 }
@@ -964,6 +1037,29 @@ impl ShardedProcess for ScenarioWorld<'_> {
             ScenarioEvent::Fault { index } => self.handle_fault(now, index, ctx),
             ScenarioEvent::Repair { index } => self.handle_repair(now, index),
             ScenarioEvent::UpgradeRack { rack } => self.upgrade_rack(now, rack),
+            ScenarioEvent::ReadBurst { vm, remaining } => {
+                let Some(dp) = self.data_path.as_mut() else {
+                    return;
+                };
+                if self.system.vm_brick(vm).is_none() {
+                    // The VM is gone (departed or lost to a fault) under a
+                    // stale handle: retract any load it still publishes.
+                    dp.on_departure(vm);
+                    return;
+                }
+                let outcome =
+                    dp.run_burst(&self.system, vm, &mut self.rng, &mut self.read_latencies_ns);
+                if outcome.ran && remaining > 1 {
+                    let every = dp.config().profile.burst_every;
+                    ctx.schedule(
+                        now + every,
+                        ScenarioEvent::ReadBurst {
+                            vm,
+                            remaining: remaining - 1,
+                        },
+                    );
+                }
+            }
         }
     }
 }

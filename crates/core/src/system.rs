@@ -33,6 +33,18 @@ impl fmt::Display for VmHandle {
     }
 }
 
+/// The fabric route one VM's remote reads traverse — the shared stages of
+/// this (compute brick, dMEMBRICK) pair are where contention accrues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReadRoute {
+    /// Rack the circuit lives in.
+    pub rack: RackId,
+    /// Source dCOMPUBRICK.
+    pub compute: BrickId,
+    /// Destination dMEMBRICK backing the VM's initial allocation.
+    pub membrick: BrickId,
+}
+
 /// What migrating one VM cost, end to end, against its conventional
 /// pre-copy counterfactual — the paper's elasticity headline: memory stays
 /// resident on the dMEMBRICKs, only brick-local compute state moves.
@@ -1747,6 +1759,19 @@ impl DredboxSystem {
     /// path (Figure 8 when the packet path is selected).
     pub fn remote_read_latency(&self, size: ByteSize) -> LatencyBreakdown {
         self.read_path.read(size)
+    }
+
+    /// The fabric route a VM's remote reads take: its compute brick, the
+    /// dMEMBRICK backing its initial allocation, and the rack both sit in.
+    /// `None` when the handle is stale or the VM holds no remote memory.
+    pub fn vm_read_route(&self, handle: VmHandle) -> Option<ReadRoute> {
+        let record = self.vms.get(handle_key(handle))?;
+        let membrick = record.grants.first()?.grant.segments().first()?.membrick;
+        Some(ReadRoute {
+            rack: self.rack_of(record.brick),
+            compute: record.brick,
+            membrick,
+        })
     }
 
     /// Fraction of the disaggregated memory pool currently allocated, in

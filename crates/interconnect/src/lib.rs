@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod contention;
 pub mod error;
 pub mod ni;
 pub mod nswitch;
@@ -48,6 +49,7 @@ pub mod tgl;
 pub mod transaction;
 
 pub use config::LatencyConfig;
+pub use contention::{charge_queueing, ContentionConfig, StageLoad};
 pub use error::InterconnectError;
 pub use ni::NetworkInterface;
 pub use nswitch::OnBrickSwitch;
@@ -60,6 +62,7 @@ pub use transaction::{LatencyBreakdown, LatencyComponent, PathKind, RemoteMemory
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::config::LatencyConfig;
+    pub use crate::contention::{charge_queueing, ContentionConfig, StageLoad};
     pub use crate::error::InterconnectError;
     pub use crate::rmst::{RemoteMemorySegmentTable, RmstEntry};
     pub use crate::tgl::TransactionGlueLogic;

@@ -35,11 +35,15 @@ pub enum LatencyComponent {
     MemBrickGlue,
     /// DRAM device access on the dMEMBRICK.
     DramAccess,
+    /// Queuing behind other tenants' traffic on shared fabric stages
+    /// (compute-brick uplink, rack switch, dMEMBRICK port). Zero when the
+    /// fabric is uncontended or contention modelling is disabled.
+    Queueing,
 }
 
 impl LatencyComponent {
     /// All components in display order.
-    pub const ALL: [LatencyComponent; 8] = [
+    pub const ALL: [LatencyComponent; 9] = [
         LatencyComponent::TglDecode,
         LatencyComponent::NetworkInterface,
         LatencyComponent::OnBrickSwitch,
@@ -48,6 +52,7 @@ impl LatencyComponent {
         LatencyComponent::OpticalPropagation,
         LatencyComponent::MemBrickGlue,
         LatencyComponent::DramAccess,
+        LatencyComponent::Queueing,
     ];
 }
 
@@ -62,6 +67,7 @@ impl fmt::Display for LatencyComponent {
             LatencyComponent::OpticalPropagation => "optical propagation",
             LatencyComponent::MemBrickGlue => "dMEMBRICK glue logic",
             LatencyComponent::DramAccess => "DRAM access",
+            LatencyComponent::Queueing => "fabric queuing",
         };
         f.write_str(name)
     }

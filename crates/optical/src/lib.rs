@@ -36,6 +36,7 @@ pub mod circuit;
 pub mod error;
 pub mod fec;
 pub mod link;
+pub mod load;
 pub mod mbo;
 pub mod switch;
 pub mod telemetry;
@@ -46,6 +47,7 @@ pub use circuit::{CircuitId, CircuitManager, OpticalCircuit};
 pub use error::OpticalError;
 pub use fec::FecMode;
 pub use link::LinkBudget;
+pub use load::{read_route_stages, FabricLoad, FabricStage};
 pub use mbo::{MboChannel, MidBoardOptics};
 pub use switch::OpticalCircuitSwitch;
 pub use telemetry::{BerMeasurementCampaign, ChannelMeasurement};
@@ -58,6 +60,7 @@ pub mod prelude {
     pub use crate::error::OpticalError;
     pub use crate::fec::FecMode;
     pub use crate::link::LinkBudget;
+    pub use crate::load::{read_route_stages, FabricLoad, FabricStage};
     pub use crate::mbo::MidBoardOptics;
     pub use crate::switch::OpticalCircuitSwitch;
     pub use crate::telemetry::BerMeasurementCampaign;

@@ -1,0 +1,168 @@
+//! Offered-load accounting over the optical fabric's shared stages.
+//!
+//! A circuit between a dCOMPUBRICK and a dMEMBRICK owns its fibre
+//! end-to-end, but three stages of the data path are shared with other
+//! tenants: the compute brick's transceiver uplink aggregate, the rack-level
+//! switch, and the destination dMEMBRICK's ingress port. [`FabricLoad`] is a
+//! deterministic ledger of the sustained offered load (bytes/s) published on
+//! each of those stages; the scenario world consults it to price queuing on
+//! every remote read (see `dredbox_interconnect::contention`).
+//!
+//! The ledger is plain bookkeeping — publish on admission, retract on
+//! departure, re-publish when a tenant's observed traffic changes — and all
+//! mutations happen in simulation-event order, so replays are bit-identical.
+
+use std::collections::BTreeMap;
+
+use dredbox_bricks::BrickId;
+
+/// One shared stage of a read's route through the rack fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FabricStage {
+    /// The source compute brick's uplink aggregate into the fabric.
+    BrickUplink(BrickId),
+    /// The rack-level switch shared by every brick in the rack.
+    RackSwitch,
+    /// The destination dMEMBRICK's ingress port.
+    MembrickPort(BrickId),
+}
+
+/// The three stages a read from `compute` to `membrick` traverses, in path
+/// order.
+pub fn read_route_stages(compute: BrickId, membrick: BrickId) -> [FabricStage; 3] {
+    [
+        FabricStage::BrickUplink(compute),
+        FabricStage::RackSwitch,
+        FabricStage::MembrickPort(membrick),
+    ]
+}
+
+/// Per-stage offered-load ledger for one rack's fabric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FabricLoad {
+    loads: BTreeMap<FabricStage, f64>,
+    peak_bytes_per_sec: f64,
+}
+
+impl FabricLoad {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        FabricLoad::default()
+    }
+
+    /// Publishes `bytes_per_sec` of sustained offered load on `stage`.
+    pub fn publish(&mut self, stage: FabricStage, bytes_per_sec: f64) {
+        if bytes_per_sec <= 0.0 {
+            return;
+        }
+        let slot = self.loads.entry(stage).or_insert(0.0);
+        *slot += bytes_per_sec;
+        self.peak_bytes_per_sec = self.peak_bytes_per_sec.max(*slot);
+    }
+
+    /// Retracts `bytes_per_sec` previously published on `stage`, clamping at
+    /// zero so float cancellation can never leave a negative residue.
+    pub fn retract(&mut self, stage: FabricStage, bytes_per_sec: f64) {
+        if bytes_per_sec <= 0.0 {
+            return;
+        }
+        if let Some(slot) = self.loads.get_mut(&stage) {
+            *slot = (*slot - bytes_per_sec).max(0.0);
+            if *slot == 0.0 {
+                self.loads.remove(&stage);
+            }
+        }
+    }
+
+    /// Total offered load on `stage` in bytes/s.
+    pub fn load(&self, stage: FabricStage) -> f64 {
+        self.loads.get(&stage).copied().unwrap_or(0.0)
+    }
+
+    /// Offered load on `stage` excluding `own` — the background a tenant
+    /// publishing `own` bytes/s actually queues behind.
+    pub fn background(&self, stage: FabricStage, own: f64) -> f64 {
+        (self.load(stage) - own).max(0.0)
+    }
+
+    /// Number of stages currently carrying load.
+    pub fn loaded_stages(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// The highest per-stage offered load ever published, in bytes/s.
+    pub fn peak_bytes_per_sec(&self) -> f64 {
+        self.peak_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brick(id: u32) -> BrickId {
+        BrickId(id)
+    }
+
+    #[test]
+    fn publish_retract_round_trips_to_empty() {
+        let mut ledger = FabricLoad::new();
+        let stages = read_route_stages(brick(0), brick(9));
+        for stage in stages {
+            ledger.publish(stage, 1e6);
+        }
+        assert_eq!(ledger.loaded_stages(), 3);
+        assert_eq!(ledger.load(FabricStage::RackSwitch), 1e6);
+        for stage in stages {
+            ledger.retract(stage, 1e6);
+        }
+        assert_eq!(ledger.loaded_stages(), 0);
+        assert_eq!(ledger.load(FabricStage::RackSwitch), 0.0);
+        // Peak survives retraction: it is a high-water mark.
+        assert_eq!(ledger.peak_bytes_per_sec(), 1e6);
+    }
+
+    #[test]
+    fn background_excludes_the_tenants_own_contribution() {
+        let mut ledger = FabricLoad::new();
+        let port = FabricStage::MembrickPort(brick(5));
+        // Ten tenants incast onto one membrick port.
+        for _ in 0..10 {
+            ledger.publish(port, 2e6);
+        }
+        assert_eq!(ledger.load(port), 2e7);
+        assert_eq!(ledger.background(port, 2e6), 1.8e7);
+        // A tenant never sees negative background.
+        assert_eq!(ledger.background(port, 1e9), 0.0);
+    }
+
+    #[test]
+    fn over_retraction_clamps_at_zero() {
+        let mut ledger = FabricLoad::new();
+        let uplink = FabricStage::BrickUplink(brick(1));
+        ledger.publish(uplink, 5.0);
+        ledger.retract(uplink, 7.0);
+        assert_eq!(ledger.load(uplink), 0.0);
+        // Retracting an unknown stage is a no-op.
+        ledger.retract(FabricStage::RackSwitch, 1.0);
+        assert_eq!(ledger.loaded_stages(), 0);
+    }
+
+    #[test]
+    fn stages_of_a_route_are_distinct_and_ordered() {
+        let stages = read_route_stages(brick(3), brick(7));
+        assert_eq!(stages[0], FabricStage::BrickUplink(brick(3)));
+        assert_eq!(stages[1], FabricStage::RackSwitch);
+        assert_eq!(stages[2], FabricStage::MembrickPort(brick(7)));
+        assert!(stages[0] < stages[1] && stages[1] < stages[2]);
+    }
+
+    #[test]
+    fn zero_and_negative_publishes_are_ignored() {
+        let mut ledger = FabricLoad::new();
+        ledger.publish(FabricStage::RackSwitch, 0.0);
+        ledger.publish(FabricStage::RackSwitch, -5.0);
+        assert_eq!(ledger.loaded_stages(), 0);
+        assert_eq!(ledger.peak_bytes_per_sec(), 0.0);
+    }
+}

@@ -35,8 +35,12 @@ pub struct ChannelMeasurement {
 }
 
 impl ChannelMeasurement {
-    /// Whether every quartile of the measurement is below the paper's
-    /// 1e-12 error-free threshold.
+    /// Whether the *worst* measured BER sample is below the paper's 1e-12
+    /// error-free threshold.
+    ///
+    /// This is deliberately stricter than a quartile check: a channel whose
+    /// box sits comfortably below the threshold but whose outlier whisker
+    /// crosses it is not error-free.
     pub fn is_error_free(&self) -> bool {
         self.ber.max < 1e-12
     }
@@ -232,5 +236,37 @@ mod tests {
     #[should_panic]
     fn zero_samples_rejected() {
         let _ = BerMeasurementCampaign::dredbox_default().with_samples(0);
+    }
+
+    #[test]
+    fn error_free_checks_the_max_not_the_quartiles() {
+        // Every quartile is below 1e-12 but a single outlier whisker
+        // crosses the threshold: the channel must NOT count as error-free.
+        let measurement = ChannelMeasurement {
+            label: "outlier".to_owned(),
+            hops: 8,
+            received_power_dbm: -10.0,
+            ber: BoxPlot {
+                min: 1e-18,
+                q1: 1e-16,
+                median: 1e-15,
+                q3: 1e-14,
+                max: 1e-11,
+            },
+            mean_ber: 1e-13,
+        };
+        assert!(measurement.ber.q1 < 1e-12 && measurement.ber.q3 < 1e-12);
+        assert!(!measurement.is_error_free());
+
+        // And once the max itself clears the threshold, the channel is
+        // error-free again.
+        let clean = ChannelMeasurement {
+            ber: BoxPlot {
+                max: 9e-13,
+                ..measurement.ber
+            },
+            ..measurement
+        };
+        assert!(clean.is_error_free());
     }
 }

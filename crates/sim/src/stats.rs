@@ -9,6 +9,14 @@ use serde::{Deserialize, Serialize};
 /// Summary statistics (count, mean, std-dev, min/max, percentiles) of a set
 /// of `f64` samples.
 ///
+/// Sorted samples are stored run-length encoded (distinct value + cumulative
+/// count per run), so summaries embedded in reports and snapshots stay small
+/// even for ~100k-event traces whose latency draws collapse to a handful of
+/// distinct values. Percentiles remain *exact*: the encoding loses nothing.
+/// The `Debug` representation re-expands the runs, so pretty-printed output
+/// is byte-identical to the previous `sorted: Vec<f64>` form (golden
+/// snapshots depend on this).
+///
 /// ```
 /// use dredbox_sim::stats::Summary;
 /// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
@@ -17,14 +25,18 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.min(), 1.0);
 /// assert_eq!(s.max(), 4.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct Summary {
     count: usize,
     mean: f64,
     std_dev: f64,
     min: f64,
     max: f64,
-    sorted: Vec<f64>,
+    /// Distinct sorted sample values, one entry per run.
+    run_values: Vec<f64>,
+    /// Cumulative sample count at the end of each run; the last entry
+    /// equals `count`.
+    run_ends: Vec<usize>,
 }
 
 impl Summary {
@@ -39,14 +51,50 @@ impl Summary {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        // Run-length encode; runs split on bit patterns so the expansion
+        // reproduces the sorted sequence exactly (e.g. -0.0 vs 0.0).
+        let mut run_values = Vec::new();
+        let mut run_ends = Vec::new();
+        for (i, &x) in sorted.iter().enumerate() {
+            match run_values.last() {
+                Some(&last) if f64::to_bits(last) == f64::to_bits(x) => {
+                    *run_ends.last_mut().expect("runs in lockstep") = i + 1;
+                }
+                _ => {
+                    run_values.push(x);
+                    run_ends.push(i + 1);
+                }
+            }
+        }
         Some(Summary {
             count,
             mean,
             std_dev: var.sqrt(),
             min: sorted[0],
             max: sorted[count - 1],
-            sorted,
+            run_values,
+            run_ends,
         })
+    }
+
+    /// The `idx`-th smallest sample (0-based), decoded from the runs.
+    fn sorted_at(&self, idx: usize) -> f64 {
+        debug_assert!(idx < self.count);
+        let run = self.run_ends.partition_point(|&end| end <= idx);
+        self.run_values[run]
+    }
+
+    /// Iterates the samples in ascending order, expanding the runs.
+    pub fn iter_sorted(&self) -> impl Iterator<Item = f64> + '_ {
+        self.run_values
+            .iter()
+            .zip(run_lengths(&self.run_ends))
+            .flat_map(|(&value, len)| std::iter::repeat(value).take(len))
+    }
+
+    /// Number of distinct sample values retained by the encoding.
+    pub fn distinct_values(&self) -> usize {
+        self.run_values.len()
     }
 
     /// Number of samples.
@@ -82,13 +130,13 @@ impl Summary {
     pub fn percentile(&self, p: f64) -> f64 {
         assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
         if self.count == 1 {
-            return self.sorted[0];
+            return self.run_values[0];
         }
         let rank = p / 100.0 * (self.count - 1) as f64;
         let lo = rank.floor() as usize;
         let hi = rank.ceil() as usize;
         let frac = rank - lo as f64;
-        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+        self.sorted_at(lo) * (1.0 - frac) + self.sorted_at(hi) * frac
     }
 
     /// Median (50th percentile).
@@ -105,6 +153,41 @@ impl Summary {
             q3: self.percentile(75.0),
             max: self.max,
         }
+    }
+}
+
+/// Per-run lengths recovered from the cumulative `run_ends` vector.
+fn run_lengths(run_ends: &[usize]) -> impl Iterator<Item = usize> + '_ {
+    run_ends.iter().scan(0usize, |prev, &end| {
+        let len = end - *prev;
+        *prev = end;
+        Some(len)
+    })
+}
+
+/// Prints the run-length-encoded samples expanded back into the flat sorted
+/// list, matching the derived `Debug` of the former `sorted: Vec<f64>` field
+/// byte for byte.
+struct ExpandedSorted<'a>(&'a Summary);
+
+impl std::fmt::Debug for ExpandedSorted<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.0.iter_sorted()).finish()
+    }
+}
+
+impl std::fmt::Debug for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Field names and order mirror the pre-RLE derived output; golden
+        // snapshots freeze this representation.
+        f.debug_struct("Summary")
+            .field("count", &self.count)
+            .field("mean", &self.mean)
+            .field("std_dev", &self.std_dev)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("sorted", &ExpandedSorted(self))
+            .finish()
     }
 }
 
@@ -342,6 +425,39 @@ mod tests {
     }
 
     #[test]
+    fn rle_compacts_repeated_samples_without_losing_percentiles() {
+        // Four distinct values over 12 samples: the encoding keeps 4 runs.
+        let samples = [
+            64.0, 256.0, 64.0, 1024.0, 64.0, 256.0, 4096.0, 64.0, 1024.0, 64.0, 256.0, 4096.0,
+        ];
+        let s = Summary::from_samples(&samples).unwrap();
+        assert_eq!(s.count(), 12);
+        assert_eq!(s.distinct_values(), 4);
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(s.iter_sorted().collect::<Vec<_>>(), sorted);
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let rank = p / 100.0 * (sorted.len() - 1) as f64;
+            let (lo, hi) = (rank.floor() as usize, rank.ceil() as usize);
+            let frac = rank - lo as f64;
+            let naive = sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+            assert_eq!(s.percentile(p), naive, "p{p}");
+        }
+    }
+
+    #[test]
+    fn debug_output_matches_the_flat_sorted_representation() {
+        let s = Summary::from_samples(&[2.0, 1.0, 2.0]).unwrap();
+        let expected_pretty = "Summary {\n    count: 3,\n    mean: 1.6666666666666667,\n    \
+             std_dev: 0.4714045207910317,\n    min: 1.0,\n    max: 2.0,\n    \
+             sorted: [\n        1.0,\n        2.0,\n        2.0,\n    ],\n}";
+        assert_eq!(format!("{s:#?}"), expected_pretty);
+        let expected_flat = "Summary { count: 3, mean: 1.6666666666666667, \
+             std_dev: 0.4714045207910317, min: 1.0, max: 2.0, sorted: [1.0, 2.0, 2.0] }";
+        assert_eq!(format!("{s:?}"), expected_flat);
+    }
+
+    #[test]
     fn histogram_buckets() {
         let mut h = Histogram::new(0.0, 100.0, 10);
         for i in 0..100 {
@@ -405,6 +521,16 @@ mod tests {
             let s = Summary::from_samples(&samples).unwrap();
             prop_assert!(s.mean() >= s.min() - 1e-9);
             prop_assert!(s.mean() <= s.max() + 1e-9);
+        }
+
+        #[test]
+        fn rle_expansion_reproduces_the_sorted_samples(
+            samples in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        ) {
+            let s = Summary::from_samples(&samples).unwrap();
+            let mut sorted = samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert_eq!(s.iter_sorted().collect::<Vec<_>>(), sorted);
         }
 
         #[test]

@@ -5,7 +5,7 @@
 //! per-scenario reports.
 //!
 //! Run with:
-//! `cargo run --release --example scenario [seed] [rack-scale] [migration] [offload] [datacenter] [failure]`
+//! `cargo run --release --example scenario [seed] [rack-scale] [migration] [offload] [datacenter] [failure] [datapath]`
 //!
 //! Passing `rack-scale` additionally replays the 256-compute-brick / 4096-VM
 //! control-plane stress scenario (the capacity-index hot path) and checks
@@ -23,7 +23,12 @@
 //! `failure` replays the two robustness scenarios — the failure-storm
 //! (seeded brick/link/switch faults with recovery and repair) and the
 //! rolling-upgrade (per-rack drain → snapshot → restore → readmit) — with
-//! the same determinism check and a zero-lost-bytes assertion.
+//! the same determinism check and a zero-lost-bytes assertion. Passing
+//! `datapath` replays the two load-dependent data-path scenarios — the
+//! memory-thrash (fabric contention, per-VM remote caches and the adaptive
+//! movement-granularity controller) and the incast (ten page-granularity
+//! streams saturating a single dMEMBRICK port) — with the same determinism
+//! check and assertions that the fabric actually saw pressure.
 
 use dredbox::prelude::*;
 
@@ -35,6 +40,7 @@ fn main() -> Result<(), SystemError> {
     let with_offload = args.iter().any(|a| a == "offload");
     let with_datacenter = args.iter().any(|a| a == "datacenter");
     let with_failure = args.iter().any(|a| a == "failure");
+    let with_datapath = args.iter().any(|a| a == "datapath");
 
     let suite = run_builtin_suite(seed)?;
     println!("{suite}");
@@ -150,6 +156,33 @@ fn main() -> Result<(), SystemError> {
             "failure: both robustness scenarios replayed in {:.3} s wall-clock",
             started.elapsed().as_secs_f64()
         );
+    }
+
+    if with_datapath {
+        for spec in [ScenarioSpec::memory_thrash(), ScenarioSpec::incast()] {
+            let report = spec.run(seed)?;
+            println!("\n{report}");
+            let replay = spec.run(seed)?;
+            assert_eq!(report, replay, "{} same-seed replay diverged", spec.name);
+            let dp = report.data_path.as_ref().expect("data-path block reported");
+            assert!(dp.reads > 0, "{}: no accesses driven", spec.name);
+            assert!(
+                dp.peak_fabric_utilization > 0.5,
+                "{}: the fabric never saw pressure",
+                spec.name
+            );
+            println!(
+                "determinism check: {} replay with seed {seed} was identical \
+                 ({} reads, {} cache hits, {} granularity switches, \
+                  p99 {:.0} ns, peak stage utilization {:.1}%)",
+                spec.name,
+                dp.reads,
+                dp.cache_hits,
+                dp.granularity_switches,
+                dp.read_latency_p99_ns,
+                dp.peak_fabric_utilization * 100.0
+            );
+        }
     }
     Ok(())
 }

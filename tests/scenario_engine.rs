@@ -115,9 +115,10 @@ fn rack_scale_scenario_stresses_the_control_plane_deterministically() {
 
     // The extended suite carries it alongside the four quick scenarios,
     // the two migration scenarios, the offload scenario, the federated
-    // datacenter scenario and the two robustness scenarios.
+    // datacenter scenario, the two robustness scenarios and the two
+    // data-path scenarios.
     let extended = ScenarioSpec::extended_suite();
-    assert_eq!(extended.len(), 11);
+    assert_eq!(extended.len(), 13);
     assert_eq!(extended[4].name, "rack-scale");
     assert_eq!(extended[5].name, "consolidation");
     assert_eq!(extended[6].name, "hotspot-evacuation");
@@ -125,6 +126,8 @@ fn rack_scale_scenario_stresses_the_control_plane_deterministically() {
     assert_eq!(extended[8].name, "datacenter");
     assert_eq!(extended[9].name, "failure-storm");
     assert_eq!(extended[10].name, "rolling-upgrade");
+    assert_eq!(extended[11].name, "memory-thrash");
+    assert_eq!(extended[12].name, "incast");
 }
 
 #[test]
