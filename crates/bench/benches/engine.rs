@@ -1,7 +1,7 @@
 //! Criterion bench for the discrete-event engine itself, tracked in
 //! `BENCH_engine.json` (set `CRITERION_SUMMARY_JSON`).
 //!
-//! Three groups:
+//! The groups:
 //!
 //! * `engine/scenario_replay` — full closed-loop scenario replays
 //!   (steady-state and the 4096-arrival rack-scale control-plane stress
@@ -20,6 +20,13 @@
 //!   path on vs off (contention disabled). The delta is the cost of the
 //!   contention model itself: per-stage ledger lookups, queuing-delay
 //!   pricing and the per-access cache bookkeeping on ~10k accesses.
+//! * `engine/threads_sweep` — the federated `datacenter` (16 racks, ~150k
+//!   events) and `datacenter-64` (64 racks, ~1.2M events) scenarios under
+//!   the conservative threaded runner at 1 / 2 / 4 workers. On a
+//!   multi-core host this is the parallel-speedup headline; on a
+//!   single-core host it prices the epoch-barrier overhead instead (the
+//!   report is bit-identical either way — the golden tests prove that
+//!   separately).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -149,12 +156,33 @@ fn bench_synthetic_relay(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_threads_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/threads_sweep");
+    for spec in [ScenarioSpec::datacenter(), ScenarioSpec::datacenter_64()] {
+        let events = spec.run(2018).expect("scenario runs").events;
+        group.throughput(Throughput::Elements(events));
+        for threads in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(&spec.name, format!("{events}_events_threads_{threads}")),
+                &spec,
+                |b, spec| {
+                    b.iter(|| {
+                        black_box(spec.run_with_threads(2018, threads).expect("scenario runs"))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_scenario_replay,
     bench_system_build,
     bench_scenario_sharding,
     bench_data_path,
-    bench_synthetic_relay
+    bench_synthetic_relay,
+    bench_threads_sweep
 );
 criterion_main!(benches);

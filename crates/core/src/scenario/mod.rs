@@ -95,13 +95,16 @@
 //! # Ok::<(), dredbox::SystemError>(())
 //! ```
 
+mod cluster;
 mod datapath;
 mod world;
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use dredbox_bricks::{MemoryController, MemoryTechnology};
-use dredbox_orchestrator::PlacementPolicy;
+use dredbox_orchestrator::{ClusterTimings, PlacementPolicy};
 use dredbox_sim::engine::RunOutcome;
 pub use dredbox_sim::fault::{
     FailurePlan, FailureSchedule, FaultInjector, FaultKind, FaultSite, PlannedFault, SiteCounts,
@@ -686,6 +689,48 @@ impl ScenarioSpec {
         }
     }
 
+    /// The scale-out case: the `datacenter` workload grown to 64 racks and
+    /// roughly a million events, sized for the threaded `PerRack` runner.
+    /// Arrivals land every ~120ms so all 64 front-door routing decisions
+    /// stay digest-driven, and the drain mid-run still forces a cross-rack
+    /// evacuation wave. This spec exists for benchmarking the parallel
+    /// runner — it is deliberately not part of the extended golden suite.
+    pub fn datacenter_64() -> Self {
+        ScenarioSpec {
+            name: "datacenter-64".to_owned(),
+            system: SystemConfig::datacenter_cluster(64, 16, 16, 8)
+                .with_rack_power_budget(Some(Watts::new(30_000.0))),
+            vm_count: 150_000,
+            mix: ScenarioMix::Tenants(TenantMix::datacenter_default()),
+            arrivals: ArrivalModel::Poisson {
+                mean_interarrival: SimDuration::from_millis(120),
+            },
+            lifetime: LifetimeModel::new(
+                SimDuration::from_secs(1_200),
+                SimDuration::from_secs(300),
+            ),
+            churn: Some(ChurnModel {
+                cycles_per_vm: 2,
+                hold: SimDuration::from_secs(120),
+                amount_gib: (1, 2),
+            }),
+            migration: None,
+            offload: None,
+            reads_per_vm: 1,
+            horizon: SimTime::from_secs(6 * 3_600),
+            power_sweep_every: Some(SimDuration::from_secs(600)),
+            event_budget: 1_200_000,
+            sharding: ShardingMode::PerRack,
+            drain: Some(DrainPlan {
+                rack: 0,
+                at: SimTime::from_secs(2_500),
+            }),
+            faults: None,
+            upgrade: None,
+            data_path: None,
+        }
+    }
+
     /// The robustness case: a two-rack accelerated federation absorbing a
     /// seeded mid-trace failure storm — dCOMPUBRICK, dMEMBRICK and
     /// dACCELBRICK crashes, severed fibres and an optical-switch failover,
@@ -934,11 +979,31 @@ impl ScenarioSpec {
     /// exhaustion, no compute capacity, races with departures) are counted
     /// in the report instead of aborting the run.
     pub fn run(&self, seed: u64) -> Result<ScenarioReport, SystemError> {
+        self.run_with_threads(seed, 1)
+    }
+
+    /// Replays the scenario from `seed` with up to `threads` worker
+    /// threads driving the rack shards.
+    ///
+    /// Multi-rack systems run on the partitioned federation (one shard
+    /// per rack plus the cluster front door) under the conservative
+    /// threaded runner; the report is bit-identical for every `threads`
+    /// value, including 1, and [`ShardingMode::Single`] pins the run to
+    /// one worker. Single-rack systems always replay on the serial
+    /// engine — `threads` adds nothing when there is only one shard.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ScenarioSpec::run`].
+    pub fn run_with_threads(
+        &self,
+        seed: u64,
+        threads: usize,
+    ) -> Result<ScenarioReport, SystemError> {
         self.validate()?;
         let mut rng = SimRng::seed(seed);
-        let system = DredboxSystem::build(self.system.clone())?;
 
-        let demands = self.mix.generate(self.vm_count, &mut rng.fork(1));
+        let demands = Arc::new(self.mix.generate(self.vm_count, &mut rng.fork(1)));
         let mut arrival_rng = rng.fork(2);
         let arrivals = match &self.arrivals {
             ArrivalModel::Poisson { mean_interarrival } => {
@@ -960,36 +1025,28 @@ impl ScenarioSpec {
             ),
         };
 
-        // One engine shard per rack under PerRack sharding; a single-rack
-        // system resolves to one shard in both modes.
-        let racks = self.system.racks.max(1);
-        let shards = self.sharding.shard_count(usize::from(racks));
-        let mut engine = ShardedEngine::new(shards as usize)
+        if self.system.racks > 1 {
+            return self.run_cluster(demands, arrivals, &mut rng, threads);
+        }
+
+        // Single-rack: the one-shard serial engine, untouched — every
+        // pre-federation report (and golden) stays byte-identical.
+        let system = DredboxSystem::build(self.system.clone())?;
+        let mut engine = ShardedEngine::new(1)
             .with_horizon(self.horizon)
             .with_event_budget(self.event_budget);
-        // The cluster front door (arrivals, rebalances) lives on shard 0;
-        // each rack sweeps its own bricks on its own calendar. Sweeps are
-        // seeded in rack order so equal-time sweeps fire in rack order
-        // under both sharding modes.
         for (index, at) in arrivals.iter().enumerate() {
             engine.schedule(ShardId(0), *at, ScenarioEvent::Arrival { index });
         }
         if let Some(every) = self.power_sweep_every {
-            for rack in 0..racks {
-                engine.schedule(
-                    ShardId(u32::from(rack) % shards),
-                    SimTime::ZERO + every,
-                    ScenarioEvent::PowerSweep { rack },
-                );
-            }
-        }
-        if let Some(plan) = &self.drain {
             engine.schedule(
-                ShardId(u32::from(plan.rack) % shards),
-                plan.at,
-                ScenarioEvent::DrainRack { rack: plan.rack },
+                ShardId(0),
+                SimTime::ZERO + every,
+                ScenarioEvent::PowerSweep { rack: 0 },
             );
         }
+        // Drains and upgrades need somewhere to move VMs, so validate()
+        // rejects them on single-rack systems — nothing to schedule here.
         if let Some(policy) = &self.migration {
             engine.schedule(
                 ShardId(0),
@@ -1011,33 +1068,141 @@ impl ScenarioSpec {
                     links: system.topology().manager().cabled_count() as u32,
                     switches: 1,
                 };
-                FailureSchedule::generate(plan, u32::from(racks), sites, &mut rng.fork(4))
+                FailureSchedule::generate(plan, 1, sites, &mut rng.fork(4))
             }
             None => FailureSchedule::default(),
         };
-        // Fault and repair land on the struck rack's shard; the engine's
-        // (time, shard, seq) order keeps both sharding modes bit-identical.
         for (index, fault) in faults.faults().iter().enumerate() {
-            let shard = ShardId(fault.site.rack % shards);
-            engine.schedule(shard, fault.at, ScenarioEvent::Fault { index });
+            engine.schedule(ShardId(0), fault.at, ScenarioEvent::Fault { index });
             engine.schedule(
+                ShardId(0),
+                fault.at + fault.repair_after,
+                ScenarioEvent::Repair { index },
+            );
+        }
+
+        let mut world = ScenarioWorld::new(self, system, demands, faults, world_rng);
+        let outcome = engine.run(&mut world);
+        Ok(world.finish(outcome, engine.now(), engine.processed()))
+    }
+
+    /// The multi-rack replay: the federation partitions into one
+    /// single-rack system per rack plus a cluster front door, and the
+    /// conservative threaded runner drives the shards.
+    fn run_cluster(
+        &self,
+        demands: Arc<Vec<VmDemand>>,
+        arrivals: Vec<SimTime>,
+        rng: &mut SimRng,
+        threads: usize,
+    ) -> Result<ScenarioReport, SystemError> {
+        let racks = usize::from(self.system.racks);
+        // Each rack worker owns the single-rack form of the federation's
+        // configuration, so a worker thread drives its whole rack without
+        // sharing mutable state with any other shard.
+        let mut rack_config = self.system.clone();
+        rack_config.racks = 1;
+        let mut rack_systems = Vec::with_capacity(racks);
+        for _ in 0..racks {
+            rack_systems.push(DredboxSystem::build(rack_config.clone())?);
+        }
+        // Fork order is part of the replay contract: demands (1), arrivals
+        // (2), world (3) — sub-forked per rack, in rack order — faults (4).
+        let mut world_rng = rng.fork(3);
+        let rack_rngs: Vec<SimRng> = (0..racks).map(|r| world_rng.fork(r as u64)).collect();
+        let faults = match &self.faults {
+            Some(plan) => {
+                let sites = SiteCounts {
+                    compute: u32::from(self.system.trays) * u32::from(self.system.compute_per_tray),
+                    memory: u32::from(self.system.trays) * u32::from(self.system.memory_per_tray),
+                    accel: u32::from(self.system.trays) * u32::from(self.system.accel_per_tray),
+                    links: rack_systems[0].topology().manager().cabled_count() as u32,
+                    switches: 1,
+                };
+                FailureSchedule::generate(plan, racks as u32, sites, &mut rng.fork(4))
+            }
+            None => FailureSchedule::default(),
+        };
+
+        let timings = ClusterTimings::dredbox_default();
+        // Shard 0 is the front door; shard 1 + r is rack r.
+        let mut engine = ShardedEngine::new(racks + 1)
+            .with_horizon(self.horizon)
+            .with_event_budget(self.event_budget);
+        engine.schedule(
+            ShardId(0),
+            SimTime::ZERO + timings.control_interval,
+            ScenarioEvent::FrontDoorTick,
+        );
+        for rack in 0..racks {
+            let shard = ShardId(1 + rack as u32);
+            engine.schedule(
+                shard,
+                SimTime::ZERO + timings.control_interval,
+                ScenarioEvent::DigestPublish,
+            );
+            if let Some(every) = self.power_sweep_every {
+                // Inside its own world every rack is local rack 0.
+                engine.schedule(
+                    shard,
+                    SimTime::ZERO + every,
+                    ScenarioEvent::PowerSweep { rack: 0 },
+                );
+            }
+        }
+        // Cluster-tier operations touch several rack worlds at once, so
+        // they run as serial events at epoch barriers, attributed to the
+        // shard they strike (the attribution orders equal-time barriers).
+        if let Some(plan) = &self.drain {
+            engine.schedule_serial(
+                ShardId(1 + u32::from(plan.rack)),
+                plan.at,
+                ScenarioEvent::DrainRack { rack: plan.rack },
+            );
+        }
+        if let Some(policy) = &self.migration {
+            engine.schedule_serial(
+                ShardId(0),
+                SimTime::ZERO + policy.every(),
+                ScenarioEvent::Rebalance,
+            );
+        }
+        for (index, fault) in faults.faults().iter().enumerate() {
+            let shard = ShardId(1 + fault.site.rack);
+            engine.schedule_serial(shard, fault.at, ScenarioEvent::Fault { index });
+            engine.schedule_serial(
                 shard,
                 fault.at + fault.repair_after,
                 ScenarioEvent::Repair { index },
             );
         }
         if let Some(plan) = &self.upgrade {
-            for rack in 0..racks {
-                engine.schedule(
-                    ShardId(u32::from(rack) % shards),
+            for rack in 0..self.system.racks {
+                engine.schedule_serial(
+                    ShardId(1 + u32::from(rack)),
                     plan.start + plan.stagger.saturating_mul(u64::from(rack)),
                     ScenarioEvent::UpgradeRack { rack },
                 );
             }
         }
 
-        let mut world = ScenarioWorld::new(self, system, demands, faults, world_rng, shards);
-        let outcome = engine.run(&mut world);
+        // Single-calendar mode pins the identical partitioned world to one
+        // worker; the runner is bit-deterministic in the thread count, so
+        // both modes produce the same report by construction.
+        let threads = match self.sharding {
+            ShardingMode::Single => 1,
+            ShardingMode::PerRack => threads.max(1),
+        };
+        let mut world = cluster::ClusterWorld::new(
+            self,
+            demands,
+            arrivals,
+            faults,
+            rack_systems,
+            rack_rngs,
+            timings,
+        );
+        let outcome = engine.run_threaded(&mut world, threads);
         Ok(world.finish(outcome, engine.now(), engine.processed()))
     }
 
@@ -1094,6 +1259,11 @@ impl ScenarioSpec {
         if let Some(dp) = &self.data_path {
             if let Some(reason) = dp.invalid_reason() {
                 return Err(invalid(reason));
+            }
+            if self.system.racks > 1 {
+                // The contention ledger models one rack's fabric; the
+                // partitioned cluster runner has no global data path.
+                return Err(invalid("the load-dependent data path is single-rack only"));
             }
         }
         if let Some(plan) = &self.offload {

@@ -15,22 +15,25 @@
 //! ## Two orchestration tiers, one event alphabet
 //!
 //! On a single-rack system an [`ScenarioEvent::Arrival`] admits inline,
-//! exactly as it always has. When the system federates racks, the arrival
-//! instead models the cluster tier: the front-door shard consults the
-//! cluster controller's capacity digests (an `O(log racks)` read), then
-//! hands the request to the chosen rack's shard as a timestamped
+//! exactly as it always has. When the system federates racks, this world
+//! no longer sees arrivals at all: the cluster front door (shard 0 of the
+//! partitioned [`ClusterWorld`](super::cluster::ClusterWorld)) batches the
+//! arrival trace per control interval, consults its capacity digests and
+//! hands each request to the chosen rack's shard as a timestamped
 //! [`ScenarioEvent::AdmitOn`] message — one control-network hop later the
-//! rack's own SDM controller admits (or spills over). Every follow-up of
-//! the VM's life charges the control-plane queue of the rack that owns it,
-//! so queue state is keyed by rack — not by shard — and the replay is
-//! bit-identical between [sharding modes](super::ShardingMode).
+//! rack's own SDM controller admits (or spills back to the front door).
+//! Each rack's world then owns a single-rack [`DredboxSystem`], so every
+//! follow-up of the VM's life is rack-local and a worker thread can drive
+//! the rack without sharing mutable state.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use dredbox_bricks::{BrickId, RackId};
-use dredbox_orchestrator::{ClusterTimings, OffloadSessionId};
+use dredbox_orchestrator::{OffloadSessionId, RackDigest};
 use dredbox_sim::engine::RunOutcome;
 use dredbox_sim::fault::{FailureSchedule, FaultInjector, FaultKind, FaultSite};
+use dredbox_sim::parallel::WorkerContext;
 use dredbox_sim::queue::{ControlPlaneQueue, QueueAdmission};
 use dredbox_sim::rng::SimRng;
 use dredbox_sim::shard::{ShardContext, ShardId, ShardedProcess};
@@ -53,13 +56,27 @@ use super::{
 /// Events driving one scenario replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(super) enum ScenarioEvent {
-    /// The `index`-th VM of the trace arrives and requests admission. On a
-    /// multi-rack system this is the cluster tier's routing decision; the
-    /// rack-local admission follows as an [`ScenarioEvent::AdmitOn`].
+    /// The `index`-th VM of the trace arrives and requests admission
+    /// (single-rack systems only — on a federated cluster the front door
+    /// holds the arrival trace and emits [`ScenarioEvent::AdmitOn`]).
     Arrival { index: usize },
     /// A routed admission lands on `rack`'s SDM controller, one
-    /// control-network hop after its [`ScenarioEvent::Arrival`].
-    AdmitOn { index: usize, rack: u16 },
+    /// control-network hop after the front door routed it. `tried` is the
+    /// bitmask of racks that already rejected this request, so a spillover
+    /// never revisits one.
+    AdmitOn { index: usize, rack: u16, tried: u64 },
+    /// A rack rejected a routed admission: the request returns to the
+    /// front door, which picks the next candidate off `tried`.
+    SpillOver { index: usize, tried: u64 },
+    /// The cluster front door wakes, dispatches every arrival due since
+    /// the last tick, and re-arms itself one control interval out.
+    FrontDoorTick,
+    /// A rack shard publishes its capacity digest to the front door
+    /// (periodic, one control interval apart).
+    DigestPublish,
+    /// A published digest arrives at the front door one routing read
+    /// later.
+    DigestUpdate { rack: u16, digest: RackDigest },
     /// A churning VM grows by `amount` through the Scale-up API.
     ScaleUp {
         vm: VmHandle,
@@ -107,52 +124,80 @@ pub(super) enum ScenarioEvent {
 
 /// Plain event counters of one replay.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct Counters {
-    admitted: u64,
-    rejected: u64,
-    live: u64,
-    peak_live: u64,
-    departed: u64,
-    scale_ups: u64,
-    scale_up_failures: u64,
-    scale_downs: u64,
-    power_sweeps: u64,
-    bricks_powered_off: u64,
-    rebalances: u64,
-    migrations: u64,
-    migration_failures: u64,
-    evacuations: u64,
-    offloads: u64,
-    offload_failures: u64,
-    offloads_completed: u64,
-    bitstream_reuses: u64,
-    bitstream_programs: u64,
-    accel_wakes: u64,
+pub(super) struct Counters {
+    pub(super) admitted: u64,
+    pub(super) rejected: u64,
+    pub(super) live: u64,
+    pub(super) peak_live: u64,
+    pub(super) departed: u64,
+    pub(super) scale_ups: u64,
+    pub(super) scale_up_failures: u64,
+    pub(super) scale_downs: u64,
+    pub(super) power_sweeps: u64,
+    pub(super) bricks_powered_off: u64,
+    pub(super) rebalances: u64,
+    pub(super) migrations: u64,
+    pub(super) migration_failures: u64,
+    pub(super) evacuations: u64,
+    pub(super) offloads: u64,
+    pub(super) offload_failures: u64,
+    pub(super) offloads_completed: u64,
+    pub(super) bitstream_reuses: u64,
+    pub(super) bitstream_programs: u64,
+    pub(super) accel_wakes: u64,
 }
 
 /// The remote-read transfer sizes the per-arrival read charges draw from.
 const READ_SIZES: [u64; 4] = [64, 256, 1_024, 4_096];
 
+/// Where a dispatched event's follow-ups land.
+///
+/// The same world logic runs under three drivers: the serial
+/// [`ShardedEngine`](dredbox_sim::shard::ShardedEngine) loop
+/// ([`ShardContext`]), a worker thread of the threaded runner
+/// ([`WorkerContext`]), and a coordinator-side staging buffer used while a
+/// serial barrier event manipulates several rack worlds at once (a plain
+/// `Vec` the caller forwards to the right shard afterwards).
+pub(super) trait EventSink {
+    /// Schedules a follow-up on the shard that dispatched the event.
+    fn schedule(&mut self, at: SimTime, event: ScenarioEvent);
+}
+
+impl EventSink for ShardContext<'_, ScenarioEvent> {
+    fn schedule(&mut self, at: SimTime, event: ScenarioEvent) {
+        ShardContext::schedule(self, at, event);
+    }
+}
+
+impl EventSink for WorkerContext<'_, ScenarioEvent> {
+    fn schedule(&mut self, at: SimTime, event: ScenarioEvent) {
+        WorkerContext::schedule(self, at, event);
+    }
+}
+
+impl EventSink for Vec<(SimTime, ScenarioEvent)> {
+    fn schedule(&mut self, at: SimTime, event: ScenarioEvent) {
+        self.push((at, event));
+    }
+}
+
 /// The mutable world the discrete-event engine drives.
 pub(super) struct ScenarioWorld<'a> {
-    spec: &'a ScenarioSpec,
-    system: DredboxSystem,
-    demands: Vec<VmDemand>,
-    rng: SimRng,
-    counters: Counters,
+    pub(super) spec: &'a ScenarioSpec,
+    pub(super) system: DredboxSystem,
+    pub(super) demands: Arc<Vec<VmDemand>>,
+    pub(super) rng: SimRng,
+    pub(super) counters: Counters,
     /// Cluster-tier telemetry; reported only on multi-rack systems.
-    cluster_stats: ClusterScenarioStats,
+    pub(super) cluster_stats: ClusterScenarioStats,
     /// Serializes every SDM request of the replay (admissions, scale-ups,
     /// releases, migrations) — one queue per rack, keyed by the rack that
     /// owns the touched VM, so both sharding modes charge the same queue.
-    control_planes: Vec<ControlPlaneQueue>,
-    /// Number of federated racks (at least 1).
-    racks: u16,
-    shards: u32,
-    /// Cluster-tier service times (routing read + inter-tier hop).
-    timings: ClusterTimings,
-    scale_up_delays_s: Vec<f64>,
-    read_latencies_ns: Vec<f64>,
+    pub(super) control_planes: Vec<ControlPlaneQueue>,
+    /// Number of racks this world owns (1 on a partitioned rack world).
+    pub(super) racks: u16,
+    pub(super) scale_up_delays_s: Vec<f64>,
+    pub(super) read_latencies_ns: Vec<f64>,
     /// Precomputed remote-read latency total per [`READ_SIZES`] entry —
     /// valid ONLY while the latency model is pure in the transfer size.
     /// Every draw goes through [`ScenarioWorld::read_latency_for`], which
@@ -161,28 +206,28 @@ pub(super) struct ScenarioWorld<'a> {
     read_latency_table: [f64; READ_SIZES.len()],
     /// Live data-path model (fabric load, caches, granularity controller);
     /// `None` replays the flat latency model unchanged.
-    data_path: Option<DataPathState>,
-    utilization: Vec<f64>,
-    migration_downtime_s: Vec<f64>,
-    precopy_counterfactual_s: Vec<f64>,
-    scaleout_counterfactual_s: Vec<f64>,
-    control_plane_wait_s: Vec<f64>,
-    offload_time_s: Vec<f64>,
-    offload_local_counterfactual_s: Vec<f64>,
-    accel_utilization: Vec<f64>,
+    pub(super) data_path: Option<DataPathState>,
+    pub(super) utilization: Vec<f64>,
+    pub(super) migration_downtime_s: Vec<f64>,
+    pub(super) precopy_counterfactual_s: Vec<f64>,
+    pub(super) scaleout_counterfactual_s: Vec<f64>,
+    pub(super) control_plane_wait_s: Vec<f64>,
+    pub(super) offload_time_s: Vec<f64>,
+    pub(super) offload_local_counterfactual_s: Vec<f64>,
+    pub(super) accel_utilization: Vec<f64>,
     /// The spec's seeded fault schedule (empty when the spec has none);
     /// [`ScenarioEvent::Fault`]/[`ScenarioEvent::Repair`] index into it.
-    faults: FailureSchedule,
+    pub(super) faults: FailureSchedule,
     /// Which sites are down and the MTTR samples collected so far.
-    injector: FaultInjector,
+    pub(super) injector: FaultInjector,
     /// Availability telemetry; reported only when the spec injects faults
     /// or runs a rolling upgrade.
-    availability: AvailabilityStats,
+    pub(super) availability: AvailabilityStats,
     /// VMs affected per struck fault (blast radius samples).
-    blast_radius_vms: Vec<f64>,
+    pub(super) blast_radius_vms: Vec<f64>,
     /// VMs lost to each currently-outstanding fault, so the repair can
     /// charge VM-seconds lost over the whole outage.
-    lost_at: BTreeMap<FaultSite, u64>,
+    pub(super) lost_at: BTreeMap<FaultSite, u64>,
 }
 
 impl<'a> ScenarioWorld<'a> {
@@ -192,13 +237,15 @@ impl<'a> ScenarioWorld<'a> {
     pub(super) fn new(
         spec: &'a ScenarioSpec,
         system: DredboxSystem,
-        demands: Vec<VmDemand>,
+        demands: Arc<Vec<VmDemand>>,
         faults: FailureSchedule,
         rng: SimRng,
-        shards: u32,
     ) -> Self {
         let penalty = spec.system.sdm_timings.queued_request_penalty;
-        let racks = spec.system.racks.max(1);
+        // The racks this world actually owns: the whole federation on the
+        // serial single-system path, exactly one on a partitioned rack
+        // world of the threaded cluster runner.
+        let racks = system.rack_count() as u16;
         // The *flat* remote-read latency model is pure in the transfer
         // size, so the per-arrival read charges can look totals up instead
         // of rebuilding a hop-by-hop breakdown per read. The table is a
@@ -229,8 +276,6 @@ impl<'a> ScenarioWorld<'a> {
                 .map(|_| ControlPlaneQueue::new(penalty))
                 .collect(),
             racks,
-            shards,
-            timings: ClusterTimings::dredbox_default(),
             scale_up_delays_s: Vec::new(),
             read_latencies_ns: Vec::new(),
             utilization: Vec::new(),
@@ -253,7 +298,12 @@ impl<'a> ScenarioWorld<'a> {
     /// brick of its kind in the rack (wrapped, so any schedule value names
     /// a real brick). `None` for unknown racks or kinds the rack has no
     /// bricks of.
-    fn fault_brick(&self, rack: RackId, kind: FaultKind, component: u32) -> Option<BrickId> {
+    pub(super) fn fault_brick(
+        &self,
+        rack: RackId,
+        kind: FaultKind,
+        component: u32,
+    ) -> Option<BrickId> {
         let rack = self.system.rack_at(rack)?;
         let ids: Vec<BrickId> = rack
             .bricks()
@@ -275,7 +325,7 @@ impl<'a> ScenarioWorld<'a> {
     /// The rack owning a VM's compute brick, as a control-plane queue
     /// index; rack 0 when the VM is already gone (the result is only used
     /// on paths that verified the VM exists).
-    fn vm_rack(&self, vm: VmHandle) -> usize {
+    pub(super) fn vm_rack(&self, vm: VmHandle) -> usize {
         self.system
             .vm_brick(vm)
             .map_or(0, |b| usize::from(self.system.rack_of(b).0))
@@ -319,7 +369,7 @@ impl<'a> ScenarioWorld<'a> {
         }
     }
 
-    fn sample_utilization(&mut self) {
+    pub(super) fn sample_utilization(&mut self) {
         self.utilization.push(self.system.pool_utilization());
         // Accelerator utilization is sampled only on systems that carry
         // dACCELBRICKs, so accelerator-free scenarios report `None`.
@@ -359,7 +409,12 @@ impl<'a> ScenarioWorld<'a> {
 
     /// Serializes one SDM request through the owning rack's control-plane
     /// queue and records its queueing delay.
-    fn admit_control(&mut self, rack: usize, now: SimTime, service: SimDuration) -> QueueAdmission {
+    pub(super) fn admit_control(
+        &mut self,
+        rack: usize,
+        now: SimTime,
+        service: SimDuration,
+    ) -> QueueAdmission {
         let admission = self.control_planes[rack].admit(now, service);
         self.control_plane_wait_s
             .push(admission.queue_wait.as_secs_f64());
@@ -369,11 +424,11 @@ impl<'a> ScenarioWorld<'a> {
     /// Books one successful admission: counters, the owning rack's
     /// control-plane serialization, the per-VM read charges, and the VM's
     /// scheduled future (departure, churn, offloads).
-    fn finish_admission(
+    fn finish_admission<S: EventSink>(
         &mut self,
         outcome: AdmissionOutcome,
         now: SimTime,
-        ctx: &mut ShardContext<'_, ScenarioEvent>,
+        ctx: &mut S,
     ) {
         let vm = outcome.vm;
         self.counters.admitted += 1;
@@ -444,6 +499,39 @@ impl<'a> ScenarioWorld<'a> {
         self.admit_control(rack, now, timings.request_rpc + timings.availability_check);
     }
 
+    /// One routed admission attempt on a partitioned rack world (the rack
+    /// is local rack 0 of its own single-rack system). On success the full
+    /// admission pipeline runs here; on failure the rack's controller pays
+    /// the inspection cost and the caller spills the request back to the
+    /// front door — the rejection, if it ever becomes final, is booked
+    /// there, not here.
+    pub(super) fn admit_routed<S: EventSink>(
+        &mut self,
+        index: usize,
+        now: SimTime,
+        sink: &mut S,
+    ) -> bool {
+        let demand = self.demands[index];
+        let admitted =
+            match self
+                .system
+                .allocate_vm_preferring(RackId(0), demand.vcpus, demand.memory)
+            {
+                Ok(outcome) => {
+                    self.cluster_stats.routed_admissions += 1;
+                    self.finish_admission(outcome, now, sink);
+                    true
+                }
+                Err(_) => {
+                    let timings = self.spec.system.sdm_timings;
+                    self.admit_control(0, now, timings.request_rpc + timings.availability_check);
+                    false
+                }
+            };
+        self.sample_utilization();
+        admitted
+    }
+
     /// Runs one migration through the system and the control-plane queue,
     /// recording downtime and the pre-copy counterfactual. Returns whether
     /// the migration happened.
@@ -460,7 +548,7 @@ impl<'a> ScenarioWorld<'a> {
         }
     }
 
-    fn record_migration(&mut self, now: SimTime, report: &MigrationReport) {
+    pub(super) fn record_migration(&mut self, now: SimTime, report: &MigrationReport) {
         let admission = self.admit_control(
             usize::from(report.from_rack.0),
             now,
@@ -474,7 +562,7 @@ impl<'a> ScenarioWorld<'a> {
     }
 
     /// One rebalance pass per the spec's migration policy.
-    fn rebalance(&mut self, now: SimTime, policy: MigrationPolicy) {
+    pub(super) fn rebalance(&mut self, now: SimTime, policy: MigrationPolicy) {
         self.counters.rebalances += 1;
         match policy {
             MigrationPolicy::Consolidate {
@@ -531,12 +619,7 @@ impl<'a> ScenarioWorld<'a> {
     /// Delivers one planned fault to its site and runs the system's
     /// recovery protocol, charging everything the availability report
     /// tracks. A fault striking an already-down site is absorbed.
-    fn handle_fault(
-        &mut self,
-        now: SimTime,
-        index: usize,
-        ctx: &mut ShardContext<'_, ScenarioEvent>,
-    ) {
+    fn handle_fault<S: EventSink>(&mut self, now: SimTime, index: usize, ctx: &mut S) {
         let fault = self.faults.faults()[index];
         if !self.injector.begin(fault.site, now) {
             self.availability.faults_absorbed += 1;
@@ -808,59 +891,39 @@ impl ShardedProcess for ScenarioWorld<'_> {
         event: ScenarioEvent,
         ctx: &mut ShardContext<'_, ScenarioEvent>,
     ) {
+        self.dispatch(now, event, ctx);
+    }
+}
+
+impl ScenarioWorld<'_> {
+    /// Turns one popped event into calls on the system and schedules the
+    /// follow-ups through `sink` — the driver-agnostic heart of the
+    /// scenario engine, shared by the serial loop, the threaded rack
+    /// workers and the coordinator's serial barrier handlers.
+    pub(super) fn dispatch<S: EventSink>(
+        &mut self,
+        now: SimTime,
+        event: ScenarioEvent,
+        ctx: &mut S,
+    ) {
         match event {
             ScenarioEvent::Arrival { index } => {
                 let demand = self.demands[index];
-                if self.racks > 1 {
-                    // Cluster tier: route off the capacity digests and hand
-                    // the request to the chosen rack's shard one
-                    // control-network hop later. The fallback mirrors
-                    // `DredboxSystem::allocate_vm_routed`: when no digest
-                    // admits, the first schedulable rack still attempts (and
-                    // reports) the admission, preserving single-rack error
-                    // fidelity.
-                    let route = self.system.cluster().route(demand.vcpus, demand.memory);
-                    self.cluster_stats.power_deferrals += u64::from(route.power_deferrals);
-                    let fallback = || {
-                        (0..self.racks)
-                            .map(RackId)
-                            .find(|r| self.system.cluster().is_schedulable(*r))
-                    };
-                    let Some(rack) = route.rack.or_else(fallback) else {
-                        // Every rack is draining: nothing can even attempt
-                        // the admission.
-                        self.counters.rejected += 1;
-                        return;
-                    };
-                    ctx.send(
-                        ShardId(u32::from(rack.0) % self.shards),
-                        now + self.timings.route + self.timings.hop,
-                        ScenarioEvent::AdmitOn {
-                            index,
-                            rack: rack.0,
-                        },
-                    );
-                    return;
-                }
                 match self.system.allocate_vm_routed(demand.vcpus, demand.memory) {
                     Ok(outcome) => self.finish_admission(outcome, now, ctx),
                     Err(_) => self.reject_admission(0, now),
                 }
                 self.sample_utilization();
             }
-            ScenarioEvent::AdmitOn { index, rack } => {
-                let demand = self.demands[index];
-                match self
-                    .system
-                    .allocate_vm_preferring(RackId(rack), demand.vcpus, demand.memory)
-                {
-                    Ok(outcome) => {
-                        self.cluster_stats.routed_admissions += 1;
-                        self.finish_admission(outcome, now, ctx);
-                    }
-                    Err(_) => self.reject_admission(usize::from(rack), now),
-                }
-                self.sample_utilization();
+            ScenarioEvent::AdmitOn { .. }
+            | ScenarioEvent::SpillOver { .. }
+            | ScenarioEvent::FrontDoorTick
+            | ScenarioEvent::DigestPublish
+            | ScenarioEvent::DigestUpdate { .. } => {
+                // Cluster-tier events are intercepted by the federated
+                // workers (`scenario::cluster`) before they reach the world;
+                // a single-rack replay never schedules them.
+                unreachable!("cluster-tier event dispatched to a rack world");
             }
             ScenarioEvent::ScaleUp {
                 vm,

@@ -685,6 +685,12 @@ impl DredboxSystem {
             .map(|g| g.service_time)
     }
 
+    /// The vCPU count a VM was admitted with — the figure a cluster-tier
+    /// coordinator needs to re-place the guest on another rack.
+    pub fn vm_vcpus(&self, handle: VmHandle) -> Option<u32> {
+        self.vms.get(handle_key(handle)).map(|r| r.vcpus)
+    }
+
     /// Memory currently assigned to a VM.
     pub fn vm_memory(&self, handle: VmHandle) -> Option<ByteSize> {
         let record = self.vms.get(handle_key(handle))?;

@@ -122,16 +122,28 @@ pub struct ClusterTimings {
     /// Handing a routed request down to the chosen rack's SDM controller
     /// (one control-network RPC between orchestration tiers).
     pub hop: SimDuration,
+    /// Cadence of the cluster control loop: how often the front door
+    /// dispatches queued arrivals and each rack republishes its capacity
+    /// digest. This is the batching grain of cluster decisions — and, on
+    /// the threaded runner, the natural epoch width between rack workers.
+    #[serde(default = "ClusterTimings::default_control_interval")]
+    pub control_interval: SimDuration,
 }
 
 impl ClusterTimings {
     /// Defaults in line with the SDM controller's REST-over-control-network
-    /// timings: routing is an in-memory index read, the hop is an RPC.
+    /// timings: routing is an in-memory index read, the hop is an RPC, and
+    /// the control loop ticks on a datacenter-telemetry cadence.
     pub fn dredbox_default() -> Self {
         ClusterTimings {
             route: SimDuration::from_micros(50),
             hop: SimDuration::from_micros(500),
+            control_interval: Self::default_control_interval(),
         }
+    }
+
+    fn default_control_interval() -> SimDuration {
+        SimDuration::from_secs(10)
     }
 }
 

@@ -44,6 +44,7 @@ pub mod engine;
 pub mod error;
 pub mod event;
 pub mod fault;
+pub mod parallel;
 pub mod queue;
 pub mod report;
 pub mod rng;
@@ -61,6 +62,7 @@ pub mod prelude {
     pub use crate::fault::{
         FailurePlan, FailureSchedule, FaultInjector, FaultKind, FaultSite, PlannedFault, SiteCounts,
     };
+    pub use crate::parallel::{ParallelWorld, SerialContext, WorkerContext, WorldWorker};
     pub use crate::queue::{ControlPlaneQueue, QueueAdmission};
     pub use crate::report::{Figure, Row, Series, Table};
     pub use crate::rng::SimRng;

@@ -1,0 +1,1388 @@
+//! Threaded epoch runner for the sharded engine.
+//!
+//! [`ShardedEngine::run_threaded`] executes shard calendars on worker
+//! threads under *conservative synchronization*: time is carved into
+//! epochs, and within an epoch every shard may advance its calendar up to
+//! a per-shard **horizon** no cross-shard message can beat. Horizons come
+//! from declared channel latencies: if every message from shard `q` to
+//! shard `s` arrives at least `L(q→s)` after it is sent, then shard `s`
+//! can safely process everything strictly before
+//! `min over q (next_time(q) + L(q→s))` — any message `q` emits while
+//! working through its own calendar arrives at or after that bound.
+//! Cross-shard sends are buffered in per-shard outboxes and exchanged as
+//! mailbox batches at the epoch barrier, merged under the same
+//! (arrival time, source shard, send seq) contract as the serial mailbox,
+//! so the event order every shard observes is a pure function of
+//! timestamps and ids, never of thread interleaving.
+//!
+//! # Determinism
+//!
+//! `run_threaded` produces bit-identical worlds and reports for every
+//! worker count, including 1: the epoch schedule (horizons, barrier
+//! times, serial batches) is computed from event timestamps only, each
+//! shard's event sequence within an epoch is fully ordered by its own
+//! calendar and inbox, and barrier routing walks source shards in
+//! ascending order. Threads change *which wall-clock instant* a shard's
+//! slice runs at, never what it computes.
+//!
+//! The one caveat is a *binding* event budget. When fewer budgeted events
+//! remain than are currently pending, the runner drops to a fine-grained
+//! single-step mode that replays the exact global (time, shard) order of
+//! [`ShardedEngine::run`], so the cutoff lands on a deterministic event
+//! and `processed()` / [`RunOutcome`] match the serial engine exactly. If
+//! an intra-epoch scheduling burst exhausts the budget before that guard
+//! engages, the totals are still exact but *which* near-cutoff events got
+//! processed is unspecified. Scenario budgets are runaway guards sized
+//! far above their traces, so the corner never binds there.
+//!
+//! # Serial events
+//!
+//! Events scheduled through [`ShardedEngine::schedule_serial`] (or sent
+//! with [`WorkerContext::send_serial`]) execute at epoch barriers on the
+//! coordinating thread with the world reassembled whole — this is where
+//! cluster-tier decisions that touch many racks (drain, upgrade, fault,
+//! repair, rebalance) live. A serial event at time `F` fences the run: no
+//! shard processes past `F` before it, it observes every shard's state as
+//! of `F`, and parallel events at exactly `F` fire after it. Serial
+//! events order among themselves by (time, shard, seq).
+
+use std::collections::BinaryHeap;
+use std::mem;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::mpsc;
+use std::thread;
+
+use crate::engine::RunOutcome;
+use crate::event::EventQueue;
+use crate::shard::{MailEntry, SerialEntry, ShardId, ShardedEngine};
+use crate::time::{SimDuration, SimTime};
+
+/// Effectively-unbounded horizon cap.
+const FAR_FUTURE: SimTime = SimTime::from_nanos(u64::MAX);
+
+/// A world that can be torn into per-shard workers for epoch execution.
+///
+/// [`ParallelWorld::split`] moves each shard's state out into an owned
+/// [`WorldWorker`], leaving the world hollow; [`ParallelWorld::reunite`]
+/// is the exact inverse. The runner splits once at start, reunites around
+/// every serial barrier so [`ParallelWorld::handle_serial`] sees the
+/// whole world, and reunites a final time before returning.
+pub trait ParallelWorld {
+    /// The event type simulated by this world.
+    type Event: Send;
+    /// Owned per-shard slice of the world, sent across worker threads.
+    type Worker: WorldWorker<Event = Self::Event> + Send;
+
+    /// Tears the world into exactly `shards` workers; worker `s` handles
+    /// every parallel event of shard `s`.
+    fn split(&mut self, shards: usize) -> Vec<Self::Worker>;
+
+    /// Puts the workers produced by [`ParallelWorld::split`] back.
+    fn reunite(&mut self, workers: Vec<Self::Worker>);
+
+    /// Latency floor of the `from → to` message channel: every
+    /// [`WorkerContext::send`] from `from` to `to` must arrive at least
+    /// this long after it is sent. `None` means the channel is never
+    /// used. `Some(SimDuration::ZERO)` is rejected at run start — zero
+    /// lookahead cannot make progress.
+    fn latency(&self, from: ShardId, to: ShardId) -> Option<SimDuration>;
+
+    /// Handles one serial event at an epoch barrier, with the world
+    /// reassembled and exclusive.
+    fn handle_serial(
+        &mut self,
+        shard: ShardId,
+        now: SimTime,
+        event: Self::Event,
+        ctx: &mut SerialContext<'_, Self::Event>,
+    );
+}
+
+/// The per-shard half of a [`ParallelWorld`]: handles that shard's
+/// events during parallel epochs. Must only touch state it owns — the
+/// runner's determinism argument rests on shard state being disjoint.
+pub trait WorldWorker {
+    /// The event type handled by this worker.
+    type Event: Send;
+
+    /// Handles `event` firing on `shard` at `now`. Local follow-ups and
+    /// cross-shard sends go through `ctx`.
+    fn handle(
+        &mut self,
+        shard: ShardId,
+        now: SimTime,
+        event: Self::Event,
+        ctx: &mut WorkerContext<'_, Self::Event>,
+    );
+}
+
+/// One buffered cross-shard send, waiting for the epoch barrier.
+#[derive(Debug)]
+struct Outgoing<E> {
+    to: u32,
+    at: SimTime,
+    /// Send seq stamped from the source lane's counter (parallel sends
+    /// only; serial sends are sequenced at barrier insertion).
+    seq: u64,
+    serial: bool,
+    event: E,
+}
+
+/// Per-shard engine state, owned by whichever thread runs the shard.
+#[derive(Debug)]
+struct Lane<E> {
+    queue: EventQueue<E>,
+    inbox: BinaryHeap<MailEntry<E>>,
+    send_seq: u64,
+    /// Outgoing cross-shard sends; drained at the barrier, buffer reused
+    /// across epochs so steady-state routing does not allocate.
+    outbox: Vec<Outgoing<E>>,
+}
+
+impl<E> Lane<E> {
+    /// Earliest pending time across calendar and inbox, `None` if idle.
+    fn next_time(&self) -> Option<SimTime> {
+        match (self.queue.peek_time(), self.inbox.peek().map(|e| e.at)) {
+            (None, None) => None,
+            (Some(t), None) | (None, Some(t)) => Some(t),
+            (Some(l), Some(m)) => Some(l.min(m)),
+        }
+    }
+
+    /// Pops the earliest event; the local calendar wins ties.
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        let from_mail = match (self.queue.peek_time(), self.inbox.peek().map(|e| e.at)) {
+            (None, None) => return None,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some(l), Some(m)) => m < l,
+        };
+        if from_mail {
+            self.inbox.pop().map(|e| (e.at, e.event))
+        } else {
+            self.queue.pop()
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len() + self.inbox.len()
+    }
+}
+
+/// Scheduling surface handed to [`WorldWorker::handle`] during a
+/// parallel epoch.
+pub struct WorkerContext<'a, E> {
+    shard: ShardId,
+    now: SimTime,
+    lane: &'a mut Lane<E>,
+    /// This shard's outbound latency row, enforcing the send contract.
+    lat_row: &'a [Option<SimDuration>],
+}
+
+impl<E> WorkerContext<'_, E> {
+    /// The shard the current event fired on.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` on this shard's own calendar at absolute time
+    /// `at` — it may land inside the current epoch and fire immediately
+    /// after, exactly like a local schedule in the serial engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule an event in the past");
+        self.lane.queue.schedule(at, event);
+    }
+
+    /// Sends `event` to shard `to`, arriving at absolute time `at`. A
+    /// send to the current shard is a local schedule; anything else is
+    /// buffered until the epoch barrier and must respect the declared
+    /// channel latency: `at ≥ now + latency(from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is undeclared or `at` beats its latency.
+    pub fn send(&mut self, to: ShardId, at: SimTime, event: E) {
+        if to == self.shard {
+            self.schedule(at, event);
+            return;
+        }
+        let lat = self.channel_to(to);
+        assert!(
+            at >= self.now + lat,
+            "send {} -> {to} beats the declared channel latency",
+            self.shard
+        );
+        let seq = self.lane.send_seq;
+        self.lane.send_seq += 1;
+        self.lane.outbox.push(Outgoing {
+            to: to.0,
+            at,
+            seq,
+            serial: false,
+            event,
+        });
+    }
+
+    /// Sends a *serial* event attributed to shard `to`, executing at an
+    /// epoch barrier once every shard has caught up to `at`. Subject to
+    /// the same channel-latency floor as [`WorkerContext::send`]; a
+    /// serial send to the *own* shard needs only a nonzero delay (the
+    /// event still has to reach the next barrier).
+    pub fn send_serial(&mut self, to: ShardId, at: SimTime, event: E) {
+        let lat = if to == self.shard {
+            SimDuration::from_nanos(1)
+        } else {
+            self.channel_to(to)
+        };
+        assert!(
+            at >= self.now + lat,
+            "serial send {} -> {to} beats the declared channel latency",
+            self.shard
+        );
+        self.lane.outbox.push(Outgoing {
+            to: to.0,
+            at,
+            seq: 0,
+            serial: true,
+            event,
+        });
+    }
+
+    fn channel_to(&self, to: ShardId) -> SimDuration {
+        self.lat_row
+            .get(to.0 as usize)
+            .copied()
+            .flatten()
+            .unwrap_or_else(|| panic!("no declared channel {} -> {to}", self.shard))
+    }
+}
+
+/// One operation staged by a serial handler, routed by the runner in
+/// call order after the handler returns.
+struct SerialOp<E> {
+    shard: u32,
+    at: SimTime,
+    serial: bool,
+    event: E,
+}
+
+/// Scheduling surface handed to [`ParallelWorld::handle_serial`] at an
+/// epoch barrier: the handler has exclusive access to the whole world,
+/// so events may be placed on any shard with no latency floor.
+pub struct SerialContext<'a, E> {
+    now: SimTime,
+    shards: u32,
+    staged: &'a mut Vec<SerialOp<E>>,
+}
+
+impl<E> SerialContext<'_, E> {
+    /// Current simulated time (the serial event's own timestamp).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules a parallel `event` on `shard`'s calendar at absolute
+    /// time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock or `shard` is
+    /// out of range.
+    pub fn schedule(&mut self, shard: ShardId, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule an event in the past");
+        assert!(
+            shard.0 < self.shards,
+            "{shard} is not a shard of this engine"
+        );
+        self.staged.push(SerialOp {
+            shard: shard.0,
+            at,
+            serial: false,
+            event,
+        });
+    }
+
+    /// Schedules a follow-up *serial* event attributed to `shard` at
+    /// absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock or `shard` is
+    /// out of range.
+    pub fn schedule_serial(&mut self, shard: ShardId, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule an event in the past");
+        assert!(
+            shard.0 < self.shards,
+            "{shard} is not a shard of this engine"
+        );
+        self.staged.push(SerialOp {
+            shard: shard.0,
+            at,
+            serial: true,
+            event,
+        });
+    }
+}
+
+/// Pending cross-epoch deliveries for one destination shard, buffered at
+/// the coordinator until the shard next activates. The entry buffer is
+/// reused; a shard with an empty batch skips the merge entirely.
+struct Batch<E> {
+    entries: Vec<MailEntry<E>>,
+    /// Earliest arrival among `entries`, cached for horizon math.
+    min_at: Option<SimTime>,
+}
+
+impl<E> Batch<E> {
+    fn push(&mut self, entry: MailEntry<E>) {
+        self.min_at = Some(match self.min_at {
+            Some(t) => t.min(entry.at),
+            None => entry.at,
+        });
+        self.entries.push(entry);
+    }
+
+    /// Merges all buffered entries into `lane`'s inbox.
+    fn deliver(&mut self, lane: &mut Lane<E>) {
+        for entry in self.entries.drain(..) {
+            lane.inbox.push(entry);
+        }
+        self.min_at = None;
+    }
+}
+
+/// One shard's travelling state: engine lane plus world worker. Units
+/// live at the coordinator between epochs and move (owned, through
+/// channels) to whichever thread runs them — no cross-thread borrows.
+struct Unit<E, Wk> {
+    shard: u32,
+    lane: Lane<E>,
+    worker: Option<Wk>,
+    /// Exclusive horizon for the epoch being executed.
+    horizon: SimTime,
+    /// Events processed during the epoch being executed.
+    processed: u64,
+    /// Latest event time processed during the epoch being executed.
+    max_t: Option<SimTime>,
+}
+
+/// One parallel epoch for one shard: pop while strictly below the
+/// horizon, claiming from the shared budget before every pop.
+fn process_unit<E, Wk: WorldWorker<Event = E>>(
+    unit: &mut Unit<E, Wk>,
+    claims: &AtomicU64,
+    cap: u64,
+    lat_row: &[Option<SimDuration>],
+) {
+    unit.processed = 0;
+    unit.max_t = None;
+    let shard = ShardId(unit.shard);
+    let worker = unit.worker.as_mut().expect("unit carries its worker");
+    loop {
+        match unit.lane.next_time() {
+            Some(at) if at < unit.horizon => {}
+            _ => break,
+        }
+        if claims.fetch_add(1, AtomicOrdering::Relaxed) >= cap {
+            break;
+        }
+        let (at, event) = unit.lane.pop().expect("peeked event must exist");
+        unit.processed += 1;
+        unit.max_t = Some(at);
+        let mut ctx = WorkerContext {
+            shard,
+            now: at,
+            lane: &mut unit.lane,
+            lat_row,
+        };
+        worker.handle(shard, at, event, &mut ctx);
+    }
+}
+
+/// A batch of units for one worker thread to run, with the epoch's
+/// budget cap.
+struct Job<E, Wk> {
+    units: Vec<Unit<E, Wk>>,
+    cap: u64,
+}
+
+impl<E: Send> ShardedEngine<E> {
+    /// Runs the simulation under conservative-epoch synchronization on
+    /// `threads` worker threads (clamped to `1..=shard_count`). Run
+    /// control — the event budget checked before every claim, the
+    /// horizon against each event's time, [`RunOutcome`] priorities —
+    /// is global across all workers and matches [`ShardedEngine::run`].
+    /// See the module docs for the determinism contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world declares a zero-latency channel, splits into
+    /// the wrong number of workers, or a handler violates the send
+    /// contract.
+    pub fn run_threaded<W>(&mut self, world: &mut W, threads: usize) -> RunOutcome
+    where
+        W: ParallelWorld<Event = E>,
+    {
+        let shards = self.queues.len();
+        let threads_eff = threads.clamp(1, shards);
+
+        // Channel latency matrix, validated once: a declared channel with
+        // zero latency would collapse every horizon onto the global
+        // minimum and the epoch loop could not progress.
+        let lat: Vec<Vec<Option<SimDuration>>> = (0..shards)
+            .map(|from| {
+                (0..shards)
+                    .map(|to| {
+                        if from == to {
+                            return None;
+                        }
+                        let l = world.latency(ShardId(from as u32), ShardId(to as u32));
+                        if let Some(d) = l {
+                            assert!(
+                                d > SimDuration::ZERO,
+                                "zero-latency channel shard{from} -> shard{to}: \
+                                 conservative epochs cannot make progress"
+                            );
+                        }
+                        l
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Move the per-shard engine state into lanes and tear the world
+        // into owned workers; both are restored before returning.
+        let workers = world.split(shards);
+        assert_eq!(
+            workers.len(),
+            shards,
+            "split must produce exactly one worker per shard"
+        );
+        let mut slots: Vec<Option<Unit<E, W::Worker>>> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(s, worker)| {
+                Some(Unit {
+                    shard: s as u32,
+                    lane: Lane {
+                        queue: mem::take(&mut self.queues[s]),
+                        inbox: mem::take(&mut self.mailboxes[s]),
+                        send_seq: self.send_seqs[s],
+                        outbox: Vec::new(),
+                    },
+                    worker: Some(worker),
+                    horizon: SimTime::ZERO,
+                    processed: 0,
+                    max_t: None,
+                })
+            })
+            .collect();
+        let mut batches: Vec<Batch<E>> = (0..shards)
+            .map(|_| Batch {
+                entries: Vec::new(),
+                min_at: None,
+            })
+            .collect();
+        let mut staged: Vec<SerialOp<E>> = Vec::new();
+        let mut t_eff: Vec<Option<SimTime>> = vec![None; shards];
+        let mut active: Vec<Unit<E, W::Worker>> = Vec::with_capacity(shards);
+        let mut outs: Vec<Outgoing<E>> = Vec::new();
+        let mut spares: Vec<Vec<Unit<E, W::Worker>>> = Vec::new();
+        let claims = AtomicU64::new(0);
+        // Epoch-shape counters, reported on stderr when
+        // `DREDBOX_EPOCH_DEBUG` is set: events-per-epoch and the
+        // single-unit share tell whether a workload's lookahead feeds the
+        // workers enough batch to amortize the barrier.
+        let mut dbg_epochs = 0u64;
+        let mut dbg_serial = 0u64;
+        let mut dbg_fine = 0u64;
+        let mut dbg_single = 0u64;
+        let mut dbg_units = 0u64;
+
+        let outcome = thread::scope(|scope| {
+            // Persistent worker pool: each thread loops on its job
+            // channel until the channel drops at the end of the run.
+            let (res_tx, res_rx) = mpsc::channel::<Vec<Unit<E, W::Worker>>>();
+            let mut job_txs: Vec<mpsc::Sender<Job<E, W::Worker>>> = Vec::new();
+            if threads_eff > 1 {
+                for _ in 0..threads_eff {
+                    let (tx, rx) = mpsc::channel::<Job<E, W::Worker>>();
+                    let res_tx = res_tx.clone();
+                    let claims = &claims;
+                    let lat = &lat;
+                    scope.spawn(move || {
+                        while let Ok(mut job) = rx.recv() {
+                            for unit in &mut job.units {
+                                let row = &lat[unit.shard as usize][..];
+                                process_unit(unit, claims, job.cap, row);
+                            }
+                            if res_tx.send(job.units).is_err() {
+                                return;
+                            }
+                        }
+                    });
+                    job_txs.push(tx);
+                }
+            }
+            drop(res_tx);
+
+            // When the remaining budget is no larger than the pending
+            // event count, epochs could overshoot the cutoff; fall back
+            // to single-stepping the exact global order of `run`.
+            let mut fine_mode = false;
+
+            'run: loop {
+                let remaining = match self.max_events {
+                    Some(max) => {
+                        if self.processed >= max {
+                            break 'run RunOutcome::BudgetExhausted;
+                        }
+                        max - self.processed
+                    }
+                    None => u64::MAX,
+                };
+
+                let mut min_parallel: Option<SimTime> = None;
+                for s in 0..shards {
+                    let unit = slots[s].as_ref().expect("unit is home at the barrier");
+                    let mut t = unit.lane.next_time();
+                    if let Some(b) = batches[s].min_at {
+                        t = Some(match t {
+                            Some(x) => x.min(b),
+                            None => b,
+                        });
+                    }
+                    t_eff[s] = t;
+                    if let Some(x) = t {
+                        min_parallel = Some(match min_parallel {
+                            Some(m) => m.min(x),
+                            None => x,
+                        });
+                    }
+                }
+                let serial_head = self.serial.peek().map(|e| e.at);
+
+                let global_min = match (min_parallel, serial_head) {
+                    (None, None) => break 'run RunOutcome::Drained,
+                    (Some(p), None) => p,
+                    (None, Some(f)) => f,
+                    (Some(p), Some(f)) => p.min(f),
+                };
+                if let Some(h) = self.horizon {
+                    if global_min > h {
+                        break 'run RunOutcome::HorizonReached;
+                    }
+                }
+
+                if !fine_mode && self.max_events.is_some() {
+                    let pending: u64 = slots
+                        .iter()
+                        .map(|u| u.as_ref().expect("unit is home").lane.pending() as u64)
+                        .sum::<u64>()
+                        + batches.iter().map(|b| b.entries.len() as u64).sum::<u64>()
+                        + self.serial.len() as u64;
+                    if remaining <= pending {
+                        fine_mode = true;
+                    }
+                }
+
+                // Serial phase: the fence is due once every shard's next
+                // parallel work is at or past it (serial-first at ties).
+                if let Some(f) = serial_head {
+                    let due = match min_parallel {
+                        None => true,
+                        Some(p) => f <= p,
+                    };
+                    if due {
+                        dbg_serial += 1;
+                        self.serial_phase(world, &mut slots, &mut batches, &mut staged);
+                        continue 'run;
+                    }
+                }
+
+                if fine_mode {
+                    dbg_fine += 1;
+                    // Deliver any buffered batches, then replay exactly
+                    // one event in the global (time, shard) order.
+                    for s in 0..shards {
+                        if !batches[s].entries.is_empty() {
+                            let unit = slots[s].as_mut().expect("unit is home");
+                            batches[s].deliver(&mut unit.lane);
+                        }
+                    }
+                    let mut best: Option<(SimTime, usize)> = None;
+                    for (s, slot) in slots.iter().enumerate() {
+                        if let Some(t) = slot.as_ref().expect("unit is home").lane.next_time() {
+                            let earlier = match best {
+                                None => true,
+                                Some((bt, _)) => t < bt,
+                            };
+                            if earlier {
+                                best = Some((t, s));
+                            }
+                        }
+                    }
+                    let (_, s) = best.expect("min_parallel was Some");
+                    let unit = slots[s].as_mut().expect("unit is home");
+                    let (at, event) = unit.lane.pop().expect("peeked event must exist");
+                    self.processed += 1;
+                    self.now = self.now.max(at);
+                    let shard = ShardId(s as u32);
+                    let mut ctx = WorkerContext {
+                        shard,
+                        now: at,
+                        lane: &mut unit.lane,
+                        lat_row: &lat[s][..],
+                    };
+                    unit.worker
+                        .as_mut()
+                        .expect("unit carries its worker")
+                        .handle(shard, at, event, &mut ctx);
+                    outs.append(&mut unit.lane.outbox);
+                    for out in outs.drain(..) {
+                        if out.serial {
+                            let seq = self.serial_seq;
+                            self.serial_seq += 1;
+                            self.serial.push(SerialEntry {
+                                at: out.at,
+                                shard: ShardId(out.to),
+                                seq,
+                                event: out.event,
+                            });
+                        } else {
+                            // Fine mode is sequential: deliver directly.
+                            slots[out.to as usize]
+                                .as_mut()
+                                .expect("unit is home")
+                                .lane
+                                .inbox
+                                .push(MailEntry {
+                                    at: out.at,
+                                    from: shard,
+                                    seq: out.seq,
+                                    event: out.event,
+                                });
+                        }
+                    }
+                    continue 'run;
+                }
+
+                // Parallel epoch: compute each shard's horizon from the
+                // other shards' next times plus channel latencies, capped
+                // by the serial fence and the run horizon (inclusive, so
+                // +1 ns as an exclusive bound).
+                for s in 0..shards {
+                    let Some(t_s) = t_eff[s] else { continue };
+                    let mut h_s = match self.horizon {
+                        Some(h) => h + SimDuration::from_nanos(1),
+                        None => FAR_FUTURE,
+                    };
+                    if let Some(f) = serial_head {
+                        h_s = h_s.min(f);
+                    }
+                    for q in 0..shards {
+                        if q == s {
+                            continue;
+                        }
+                        if let (Some(l), Some(t_q)) = (lat[q][s], t_eff[q]) {
+                            h_s = h_s.min(t_q + l);
+                        }
+                    }
+                    if t_s >= h_s {
+                        continue;
+                    }
+                    let mut unit = slots[s].take().expect("unit is home");
+                    if !batches[s].entries.is_empty() {
+                        batches[s].deliver(&mut unit.lane);
+                    }
+                    unit.horizon = h_s;
+                    active.push(unit);
+                }
+                assert!(
+                    !active.is_empty(),
+                    "conservative epoch made no progress; is a channel latency missing?"
+                );
+
+                dbg_epochs += 1;
+                dbg_units += active.len() as u64;
+                if active.len() == 1 {
+                    dbg_single += 1;
+                }
+                claims.store(0, AtomicOrdering::Relaxed);
+                if threads_eff == 1 || active.len() == 1 {
+                    for unit in &mut active {
+                        let row = &lat[unit.shard as usize][..];
+                        process_unit(unit, &claims, remaining, row);
+                    }
+                } else {
+                    // Contiguous chunks across the pool; assignment does
+                    // not affect results, only wall-clock balance. Chunk
+                    // vectors are recycled epoch to epoch — the hot loop
+                    // allocates nothing.
+                    let per = active.len().div_ceil(threads_eff);
+                    let mut sent = 0;
+                    while !active.is_empty() {
+                        let take = per.min(active.len());
+                        let mut chunk = spares.pop().unwrap_or_default();
+                        chunk.extend(active.drain(..take));
+                        job_txs[sent]
+                            .send(Job {
+                                units: chunk,
+                                cap: remaining,
+                            })
+                            .expect("worker pool is alive");
+                        sent += 1;
+                    }
+                    for _ in 0..sent {
+                        let mut units = res_rx.recv().expect("a worker thread panicked");
+                        active.append(&mut units);
+                        spares.push(units);
+                    }
+                }
+
+                for unit in active.drain(..) {
+                    self.processed += unit.processed;
+                    if let Some(t) = unit.max_t {
+                        self.now = self.now.max(t);
+                    }
+                    let home = unit.shard as usize;
+                    slots[home] = Some(unit);
+                }
+                // Route outboxes in ascending source-shard order so the
+                // serial queue's insertion seq is thread-count-invariant.
+                for (s, slot) in slots.iter_mut().enumerate().take(shards) {
+                    let unit = slot.as_mut().expect("unit is home");
+                    outs.append(&mut unit.lane.outbox);
+                    for out in outs.drain(..) {
+                        if out.serial {
+                            let seq = self.serial_seq;
+                            self.serial_seq += 1;
+                            self.serial.push(SerialEntry {
+                                at: out.at,
+                                shard: ShardId(out.to),
+                                seq,
+                                event: out.event,
+                            });
+                        } else {
+                            batches[out.to as usize].push(MailEntry {
+                                at: out.at,
+                                from: ShardId(s as u32),
+                                seq: out.seq,
+                                event: out.event,
+                            });
+                        }
+                    }
+                }
+            }
+        });
+
+        if std::env::var_os("DREDBOX_EPOCH_DEBUG").is_some() {
+            eprintln!(
+                "epochs={dbg_epochs} units={dbg_units} single-unit={dbg_single} \
+                 serial-phases={dbg_serial} fine-steps={dbg_fine} processed={}",
+                self.processed
+            );
+        }
+        // Reassemble the world and put the engine state back.
+        let parts: Vec<W::Worker> = slots
+            .iter_mut()
+            .map(|u| {
+                u.as_mut()
+                    .expect("unit is home")
+                    .worker
+                    .take()
+                    .expect("unit carries its worker")
+            })
+            .collect();
+        world.reunite(parts);
+        for (s, slot) in slots.into_iter().enumerate() {
+            let unit = slot.expect("unit is home");
+            debug_assert!(unit.lane.outbox.is_empty(), "outbox routed at the barrier");
+            self.queues[s] = unit.lane.queue;
+            self.mailboxes[s] = unit.lane.inbox;
+            for entry in batches[s].entries.drain(..) {
+                self.mailboxes[s].push(entry);
+            }
+            self.send_seqs[s] = unit.lane.send_seq;
+        }
+        self.rebuild_next_cache();
+        outcome
+    }
+
+    /// Runs every due serial event with the world reassembled: pops the
+    /// (time, shard, seq) head while no shard has parallel work before
+    /// it, executes it against the whole world, and routes its staged
+    /// follow-ups.
+    fn serial_phase<W>(
+        &mut self,
+        world: &mut W,
+        slots: &mut [Option<Unit<E, W::Worker>>],
+        batches: &mut [Batch<E>],
+        staged: &mut Vec<SerialOp<E>>,
+    ) where
+        W: ParallelWorld<Event = E>,
+    {
+        let shards = slots.len();
+        let parts: Vec<W::Worker> = slots
+            .iter_mut()
+            .map(|u| {
+                u.as_mut()
+                    .expect("unit is home")
+                    .worker
+                    .take()
+                    .expect("unit carries its worker")
+            })
+            .collect();
+        world.reunite(parts);
+
+        loop {
+            if let Some(max) = self.max_events {
+                if self.processed >= max {
+                    break;
+                }
+            }
+            let Some(head_at) = self.serial.peek().map(|e| e.at) else {
+                break;
+            };
+            if let Some(h) = self.horizon {
+                if head_at > h {
+                    break;
+                }
+            }
+            // Recomputed every iteration: staged schedules may have put
+            // new parallel work in front of the next serial event.
+            let mut min_parallel: Option<SimTime> = None;
+            for s in 0..shards {
+                let unit = slots[s].as_ref().expect("unit is home");
+                let t = match (unit.lane.next_time(), batches[s].min_at) {
+                    (None, None) => continue,
+                    (Some(t), None) | (None, Some(t)) => t,
+                    (Some(a), Some(b)) => a.min(b),
+                };
+                min_parallel = Some(match min_parallel {
+                    Some(m) => m.min(t),
+                    None => t,
+                });
+            }
+            if let Some(p) = min_parallel {
+                if head_at > p {
+                    break;
+                }
+            }
+
+            let entry = self.serial.pop().expect("peeked entry must exist");
+            self.processed += 1;
+            self.now = self.now.max(entry.at);
+            let mut ctx = SerialContext {
+                now: entry.at,
+                shards: shards as u32,
+                staged,
+            };
+            world.handle_serial(entry.shard, entry.at, entry.event, &mut ctx);
+            for op in staged.drain(..) {
+                if op.serial {
+                    let seq = self.serial_seq;
+                    self.serial_seq += 1;
+                    self.serial.push(SerialEntry {
+                        at: op.at,
+                        shard: ShardId(op.shard),
+                        seq,
+                        event: op.event,
+                    });
+                } else {
+                    slots[op.shard as usize]
+                        .as_mut()
+                        .expect("unit is home")
+                        .lane
+                        .queue
+                        .schedule(op.at, op.event);
+                }
+            }
+        }
+
+        let parts = world.split(shards);
+        assert_eq!(
+            parts.len(),
+            shards,
+            "split must produce exactly one worker per shard"
+        );
+        for (s, worker) in parts.into_iter().enumerate() {
+            slots[s].as_mut().expect("unit is home").worker = Some(worker);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::{ShardContext, ShardedProcess};
+
+    /// A ring relay with partitioned per-shard logs: tokens hop to the
+    /// next shard with a fixed channel latency until their payload
+    /// reaches `ceiling`. Implements both the serial and the parallel
+    /// traits over identical logic so runs can be compared bit-for-bit.
+    struct Relay {
+        logs: Vec<Vec<(SimTime, u32)>>,
+        latency: SimDuration,
+        ceiling: u32,
+    }
+
+    impl Relay {
+        fn new(shards: usize, ceiling: u32) -> Self {
+            Relay {
+                logs: (0..shards).map(|_| Vec::new()).collect(),
+                latency: SimDuration::from_nanos(7),
+                ceiling,
+            }
+        }
+    }
+
+    fn relay_step(
+        shards: u32,
+        latency: SimDuration,
+        ceiling: u32,
+        shard: ShardId,
+        now: SimTime,
+        ev: u32,
+    ) -> Option<(ShardId, SimTime, u32)> {
+        (ev < ceiling).then(|| (ShardId((shard.0 + 1) % shards), now + latency, ev + 1))
+    }
+
+    impl ShardedProcess for Relay {
+        type Event = u32;
+        fn handle(
+            &mut self,
+            shard: ShardId,
+            now: SimTime,
+            ev: u32,
+            ctx: &mut ShardContext<'_, u32>,
+        ) {
+            let shards = self.logs.len() as u32;
+            self.logs[shard.0 as usize].push((now, ev));
+            if let Some((to, at, next)) =
+                relay_step(shards, self.latency, self.ceiling, shard, now, ev)
+            {
+                ctx.send(to, at, next);
+            }
+        }
+    }
+
+    struct RelayWorker {
+        log: Vec<(SimTime, u32)>,
+        shards: u32,
+        latency: SimDuration,
+        ceiling: u32,
+    }
+
+    impl WorldWorker for RelayWorker {
+        type Event = u32;
+        fn handle(
+            &mut self,
+            shard: ShardId,
+            now: SimTime,
+            ev: u32,
+            ctx: &mut WorkerContext<'_, u32>,
+        ) {
+            self.log.push((now, ev));
+            if let Some((to, at, next)) =
+                relay_step(self.shards, self.latency, self.ceiling, shard, now, ev)
+            {
+                ctx.send(to, at, next);
+            }
+        }
+    }
+
+    impl ParallelWorld for Relay {
+        type Event = u32;
+        type Worker = RelayWorker;
+        fn split(&mut self, shards: usize) -> Vec<RelayWorker> {
+            assert_eq!(shards, self.logs.len());
+            self.logs
+                .iter_mut()
+                .map(|log| RelayWorker {
+                    log: mem::take(log),
+                    shards: shards as u32,
+                    latency: self.latency,
+                    ceiling: self.ceiling,
+                })
+                .collect()
+        }
+        fn reunite(&mut self, workers: Vec<RelayWorker>) {
+            for (slot, worker) in self.logs.iter_mut().zip(workers) {
+                *slot = worker.log;
+            }
+        }
+        fn latency(&self, _from: ShardId, _to: ShardId) -> Option<SimDuration> {
+            Some(self.latency)
+        }
+        fn handle_serial(
+            &mut self,
+            _shard: ShardId,
+            _now: SimTime,
+            _ev: u32,
+            _ctx: &mut SerialContext<'_, u32>,
+        ) {
+            unreachable!("the relay schedules no serial events")
+        }
+    }
+
+    fn seeded_engine(shards: usize) -> ShardedEngine<u32> {
+        let mut engine = ShardedEngine::new(shards);
+        for s in 0..shards as u32 {
+            engine.schedule(ShardId(s), SimTime::from_nanos(u64::from(s % 3)), s * 1000);
+        }
+        engine
+    }
+
+    /// Serial `run` and `run_threaded` at 1/2/4 workers must agree on
+    /// every log byte, the clock, the outcome and the processed count.
+    #[test]
+    fn threaded_matches_serial_bit_for_bit() {
+        let shards = 4;
+        let mut serial_engine = seeded_engine(shards);
+        let mut serial_world = Relay::new(shards, 4200);
+        let serial_outcome = serial_engine.run(&mut serial_world);
+
+        for threads in [1, 2, 4, 9] {
+            let mut engine = seeded_engine(shards);
+            let mut world = Relay::new(shards, 4200);
+            let outcome = engine.run_threaded(&mut world, threads);
+            assert_eq!(outcome, serial_outcome, "threads={threads}");
+            assert_eq!(world.logs, serial_world.logs, "threads={threads}");
+            assert_eq!(engine.now(), serial_engine.now(), "threads={threads}");
+            assert_eq!(
+                engine.processed(),
+                serial_engine.processed(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                engine.pending(),
+                serial_engine.pending(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    /// Event budgets and horizons are global and land on the same event
+    /// in serial and threaded runs.
+    #[test]
+    fn budget_and_horizon_are_global_and_identical() {
+        let shards = 4;
+        for (budget, horizon) in [
+            (Some(937), None),
+            (None, Some(SimTime::from_nanos(4000))),
+            (Some(100), Some(SimTime::from_nanos(350))),
+        ] {
+            let build = || {
+                let mut e = seeded_engine(shards);
+                if let Some(b) = budget {
+                    e = e.with_event_budget(b);
+                }
+                if let Some(h) = horizon {
+                    e = e.with_horizon(h);
+                }
+                e
+            };
+            let mut serial_engine = build();
+            let mut serial_world = Relay::new(shards, u32::MAX);
+            let serial_outcome = serial_engine.run(&mut serial_world);
+
+            for threads in [1, 2, 4] {
+                let mut engine = build();
+                let mut world = Relay::new(shards, u32::MAX);
+                let outcome = engine.run_threaded(&mut world, threads);
+                assert_eq!(outcome, serial_outcome, "threads={threads}");
+                assert_eq!(
+                    engine.processed(),
+                    serial_engine.processed(),
+                    "threads={threads}"
+                );
+                assert_eq!(world.logs, serial_world.logs, "threads={threads}");
+                assert_eq!(engine.now(), serial_engine.now(), "threads={threads}");
+            }
+        }
+    }
+
+    /// A world with serial barrier events: each shard counts local
+    /// ticks; a serial census reads the *whole* world (sum across
+    /// shards) and seeds another tick on every shard. The census value
+    /// proves the barrier saw every shard caught up to the fence.
+    struct Census {
+        counts: Vec<u64>,
+        censuses: Vec<(SimTime, u64)>,
+    }
+
+    #[derive(Debug)]
+    enum CensusEvent {
+        Tick,
+        Census(u32),
+    }
+
+    struct CensusWorker {
+        count: u64,
+    }
+
+    impl WorldWorker for CensusWorker {
+        type Event = CensusEvent;
+        fn handle(
+            &mut self,
+            shard: ShardId,
+            now: SimTime,
+            ev: CensusEvent,
+            ctx: &mut WorkerContext<'_, CensusEvent>,
+        ) {
+            match ev {
+                CensusEvent::Tick => {
+                    self.count += 1;
+                    if self.count < 40 {
+                        ctx.schedule(
+                            now + SimDuration::from_nanos(10 + u64::from(shard.0)),
+                            CensusEvent::Tick,
+                        );
+                    }
+                }
+                CensusEvent::Census(_) => unreachable!("census events are serial"),
+            }
+        }
+    }
+
+    impl ParallelWorld for Census {
+        type Event = CensusEvent;
+        type Worker = CensusWorker;
+        fn split(&mut self, shards: usize) -> Vec<CensusWorker> {
+            assert_eq!(shards, self.counts.len());
+            self.counts
+                .iter()
+                .map(|&count| CensusWorker { count })
+                .collect()
+        }
+        fn reunite(&mut self, workers: Vec<CensusWorker>) {
+            for (slot, worker) in self.counts.iter_mut().zip(workers) {
+                *slot = worker.count;
+            }
+        }
+        fn latency(&self, _from: ShardId, _to: ShardId) -> Option<SimDuration> {
+            Some(SimDuration::from_nanos(50))
+        }
+        fn handle_serial(
+            &mut self,
+            shard: ShardId,
+            now: SimTime,
+            ev: CensusEvent,
+            ctx: &mut SerialContext<'_, CensusEvent>,
+        ) {
+            let CensusEvent::Census(round) = ev else {
+                unreachable!("ticks are parallel events")
+            };
+            let total: u64 = self.counts.iter().sum();
+            self.censuses.push((now, total));
+            for s in 0..self.counts.len() as u32 {
+                ctx.schedule(
+                    ShardId(s),
+                    now + SimDuration::from_nanos(5),
+                    CensusEvent::Tick,
+                );
+            }
+            if round < 3 {
+                ctx.schedule_serial(
+                    shard,
+                    now + SimDuration::from_nanos(200),
+                    CensusEvent::Census(round + 1),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serial_events_fence_the_run_identically_at_all_thread_counts() {
+        let run = |threads: usize| {
+            let shards = 3;
+            let mut engine = ShardedEngine::new(shards);
+            for s in 0..shards as u32 {
+                engine.schedule(ShardId(s), SimTime::ZERO, CensusEvent::Tick);
+            }
+            engine.schedule_serial(ShardId(0), SimTime::from_nanos(120), CensusEvent::Census(0));
+            let mut world = Census {
+                counts: vec![0; shards],
+                censuses: Vec::new(),
+            };
+            let outcome = engine.run_threaded(&mut world, threads);
+            (
+                outcome,
+                world.counts,
+                world.censuses,
+                engine.processed(),
+                engine.now(),
+            )
+        };
+        let baseline = run(1);
+        assert_eq!(baseline.0, RunOutcome::Drained);
+        assert_eq!(baseline.2.len(), 4, "all four census rounds ran");
+        // Censuses read cumulative sums, so they are strictly increasing.
+        assert!(baseline.2.windows(2).all(|w| w[0].1 < w[1].1));
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), baseline, "threads={threads}");
+        }
+    }
+
+    /// `send_serial` from a worker routes through the barrier queue.
+    #[test]
+    fn worker_serial_sends_reach_the_barrier() {
+        struct Probe {
+            fired: Vec<(SimTime, ShardId)>,
+        }
+        struct ProbeWorker;
+        impl WorldWorker for ProbeWorker {
+            type Event = u8;
+            fn handle(
+                &mut self,
+                shard: ShardId,
+                now: SimTime,
+                ev: u8,
+                ctx: &mut WorkerContext<'_, u8>,
+            ) {
+                if ev == 0 {
+                    ctx.send_serial(ShardId(1 - shard.0), now + SimDuration::from_nanos(90), 1);
+                }
+            }
+        }
+        impl ParallelWorld for Probe {
+            type Event = u8;
+            type Worker = ProbeWorker;
+            fn split(&mut self, shards: usize) -> Vec<ProbeWorker> {
+                (0..shards).map(|_| ProbeWorker).collect()
+            }
+            fn reunite(&mut self, _workers: Vec<ProbeWorker>) {}
+            fn latency(&self, _f: ShardId, _t: ShardId) -> Option<SimDuration> {
+                Some(SimDuration::from_nanos(90))
+            }
+            fn handle_serial(
+                &mut self,
+                shard: ShardId,
+                now: SimTime,
+                ev: u8,
+                _ctx: &mut SerialContext<'_, u8>,
+            ) {
+                assert_eq!(ev, 1);
+                self.fired.push((now, shard));
+            }
+        }
+        for threads in [1, 2] {
+            let mut engine = ShardedEngine::new(2);
+            engine.schedule(ShardId(0), SimTime::from_nanos(3), 0);
+            let mut world = Probe { fired: Vec::new() };
+            assert_eq!(
+                engine.run_threaded(&mut world, threads),
+                RunOutcome::Drained
+            );
+            assert_eq!(world.fired, vec![(SimTime::from_nanos(93), ShardId(1))]);
+            assert_eq!(engine.processed(), 2);
+        }
+    }
+
+    /// With a single shard and no channels, the epoch runner degenerates
+    /// to the plain loop and matches `run` exactly.
+    #[test]
+    fn single_shard_matches_serial() {
+        let mut serial_engine = ShardedEngine::new(1).with_horizon(SimTime::from_nanos(600));
+        serial_engine.schedule(ShardId(0), SimTime::ZERO, 0);
+        let mut serial_world = Relay::new(1, u32::MAX);
+        let serial_outcome = serial_engine.run(&mut serial_world);
+        assert_eq!(serial_outcome, RunOutcome::HorizonReached);
+
+        let mut engine = ShardedEngine::new(1).with_horizon(SimTime::from_nanos(600));
+        engine.schedule(ShardId(0), SimTime::ZERO, 0);
+        let mut world = Relay::new(1, u32::MAX);
+        assert_eq!(engine.run_threaded(&mut world, 4), serial_outcome);
+        assert_eq!(world.logs, serial_world.logs);
+        assert_eq!(engine.now(), serial_engine.now());
+        assert_eq!(engine.processed(), serial_engine.processed());
+    }
+
+    /// A declared zero-latency channel is rejected up front.
+    #[test]
+    #[should_panic(expected = "zero-latency channel")]
+    fn zero_latency_channel_panics() {
+        struct Zero;
+        struct ZeroWorker;
+        impl WorldWorker for ZeroWorker {
+            type Event = ();
+            fn handle(&mut self, _s: ShardId, _n: SimTime, _e: (), _c: &mut WorkerContext<'_, ()>) {
+            }
+        }
+        impl ParallelWorld for Zero {
+            type Event = ();
+            type Worker = ZeroWorker;
+            fn split(&mut self, shards: usize) -> Vec<ZeroWorker> {
+                (0..shards).map(|_| ZeroWorker).collect()
+            }
+            fn reunite(&mut self, _w: Vec<ZeroWorker>) {}
+            fn latency(&self, _f: ShardId, _t: ShardId) -> Option<SimDuration> {
+                Some(SimDuration::ZERO)
+            }
+            fn handle_serial(
+                &mut self,
+                _s: ShardId,
+                _n: SimTime,
+                _e: (),
+                _c: &mut SerialContext<'_, ()>,
+            ) {
+            }
+        }
+        let mut engine = ShardedEngine::new(2);
+        engine.schedule(ShardId(0), SimTime::ZERO, ());
+        engine.run_threaded(&mut Zero, 2);
+    }
+
+    /// A send that beats its declared channel latency is a contract
+    /// violation and panics.
+    #[test]
+    #[should_panic(expected = "beats the declared channel latency")]
+    fn undercutting_the_channel_latency_panics() {
+        struct Cheat;
+        struct CheatWorker;
+        impl WorldWorker for CheatWorker {
+            type Event = ();
+            fn handle(
+                &mut self,
+                shard: ShardId,
+                now: SimTime,
+                _e: (),
+                ctx: &mut WorkerContext<'_, ()>,
+            ) {
+                ctx.send(ShardId(1 - shard.0), now + SimDuration::from_nanos(1), ());
+            }
+        }
+        impl ParallelWorld for Cheat {
+            type Event = ();
+            type Worker = CheatWorker;
+            fn split(&mut self, shards: usize) -> Vec<CheatWorker> {
+                (0..shards).map(|_| CheatWorker).collect()
+            }
+            fn reunite(&mut self, _w: Vec<CheatWorker>) {}
+            fn latency(&self, _f: ShardId, _t: ShardId) -> Option<SimDuration> {
+                Some(SimDuration::from_nanos(100))
+            }
+            fn handle_serial(
+                &mut self,
+                _s: ShardId,
+                _n: SimTime,
+                _e: (),
+                _c: &mut SerialContext<'_, ()>,
+            ) {
+            }
+        }
+        let mut engine = ShardedEngine::new(2);
+        engine.schedule(ShardId(0), SimTime::ZERO, ());
+        engine.run_threaded(&mut Cheat, 1);
+    }
+}

@@ -64,6 +64,13 @@ use crate::engine::RunOutcome;
 use crate::event::EventQueue;
 use crate::time::SimTime;
 
+/// Sentinel in the flat next-event cache for a shard with nothing pending.
+/// An event genuinely scheduled at this time still runs — the scan falls
+/// back to peeking the heaps when every slot reads the sentinel.
+const IDLE: SimTime = SimTime::from_nanos(u64::MAX);
+
+pub use crate::parallel::{ParallelWorld, SerialContext, WorkerContext, WorldWorker};
+
 /// Identifies one shard (one per-rack event domain) of a [`ShardedEngine`].
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
@@ -78,16 +85,30 @@ impl std::fmt::Display for ShardId {
 
 /// A cross-shard event waiting in a destination mailbox.
 #[derive(Debug, Clone)]
-struct MailEntry<E> {
-    at: SimTime,
-    from: ShardId,
-    seq: u64,
-    event: E,
+pub(crate) struct MailEntry<E> {
+    pub(crate) at: SimTime,
+    pub(crate) from: ShardId,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
+}
+
+impl<E> MailEntry<E> {
+    /// Packs (arrival time, source shard, send seq) into one integer so
+    /// the merge comparison is branchless: time in the high 64 bits, then
+    /// 16 bits of source shard, then the low 48 bits of the send seq.
+    /// [`ShardedEngine::new`] caps shards at 2^16 and a 48-bit per-source
+    /// send count is beyond any feasible run, so the packing is lossless
+    /// in practice; both bounds are debug-asserted at the send site.
+    fn merge_key(&self) -> u128 {
+        (u128::from(self.at.as_nanos()) << 64)
+            | (u128::from(self.from.0) << 48)
+            | u128::from(self.seq & ((1 << 48) - 1))
+    }
 }
 
 impl<E> PartialEq for MailEntry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.from == other.from && self.seq == other.seq
+        self.merge_key() == other.merge_key()
     }
 }
 impl<E> Eq for MailEntry<E> {}
@@ -102,11 +123,7 @@ impl<E> Ord for MailEntry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap inverted into the (time, source shard, send seq) merge
         // order of the module contract.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.from.cmp(&self.from))
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.merge_key().cmp(&self.merge_key())
     }
 }
 
@@ -137,6 +154,14 @@ pub struct ShardContext<'a, E> {
     local: &'a mut EventQueue<E>,
     mailboxes: &'a mut [BinaryHeap<MailEntry<E>>],
     send_seq: &'a mut u64,
+    /// The engine's flat next-event cache: a send lowers the destination
+    /// slot in place, so the engine never re-peeks untouched shards.
+    next_times: &'a mut [SimTime],
+    next_srcs: &'a mut [Source],
+    /// Whether the handler sent to another shard's mailbox; a send can
+    /// change who wins the next global pop, so it disables the engine's
+    /// same-shard continuation fast path for this event.
+    sent: bool,
 }
 
 impl<E> ShardContext<'_, E> {
@@ -178,6 +203,10 @@ impl<E> ShardContext<'_, E> {
         assert!(at >= self.now, "cannot send an event into the past");
         let seq = *self.send_seq;
         *self.send_seq += 1;
+        debug_assert!(
+            seq < (1 << 48),
+            "per-source send seq overflows the merge key"
+        );
         self.mailboxes
             .get_mut(to.0 as usize)
             .unwrap_or_else(|| panic!("{to} is not a shard of this engine"))
@@ -187,6 +216,14 @@ impl<E> ShardContext<'_, E> {
                 seq,
                 event,
             });
+        // A strictly earlier arrival takes over the destination's cached
+        // next-event slot; at equal times the existing slot wins (a local
+        // event outranks mail, and an older mail entry outranks a newer).
+        if at < self.next_times[to.0 as usize] {
+            self.next_times[to.0 as usize] = at;
+            self.next_srcs[to.0 as usize] = Source::Mailbox;
+        }
+        self.sent = true;
     }
 }
 
@@ -194,9 +231,44 @@ impl<E> ShardContext<'_, E> {
 /// Local sorts first so that, at equal times, locally scheduled events
 /// fire before cross-shard arrivals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Source {
+pub(crate) enum Source {
     Local,
     Mailbox,
+}
+
+/// A serial event: executes at an epoch barrier of
+/// [`ShardedEngine::run_threaded`] with exclusive access to the whole
+/// world, ordered by (time, shard, seq) against its peers.
+#[derive(Debug, Clone)]
+pub(crate) struct SerialEntry<E> {
+    pub(crate) at: SimTime,
+    pub(crate) shard: ShardId,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
+}
+
+impl<E> PartialEq for SerialEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.shard == other.shard && self.seq == other.seq
+    }
+}
+impl<E> Eq for SerialEntry<E> {}
+
+impl<E> PartialOrd for SerialEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for SerialEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap inverted into (time, shard, insertion seq) order.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.shard.cmp(&self.shard))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
 }
 
 /// Discrete-event engine with one calendar per shard and deterministic
@@ -205,13 +277,31 @@ enum Source {
 /// [`Engine`](crate::engine::Engine).
 #[derive(Debug)]
 pub struct ShardedEngine<E> {
-    now: SimTime,
-    queues: Vec<EventQueue<E>>,
-    mailboxes: Vec<BinaryHeap<MailEntry<E>>>,
-    send_seq: u64,
-    horizon: Option<SimTime>,
-    max_events: Option<u64>,
-    processed: u64,
+    pub(crate) now: SimTime,
+    pub(crate) queues: Vec<EventQueue<E>>,
+    pub(crate) mailboxes: Vec<BinaryHeap<MailEntry<E>>>,
+    /// One send counter per *source* shard. The mailbox merge key is
+    /// (arrival time, source shard, send seq): entries that tie on the
+    /// first two components necessarily share a source, and a per-source
+    /// counter is monotone in that source's send order, so the merge is
+    /// bit-identical to the former global counter — and, unlike a global
+    /// counter, each worker thread owns its own.
+    pub(crate) send_seqs: Vec<u64>,
+    /// Cached time of each shard's next event, [`IDLE`] when the shard
+    /// has nothing pending. Kept in lockstep with the queues and
+    /// mailboxes so the per-pop global argmin is a branch-free min scan
+    /// of a flat time vector instead of two heap peeks per shard.
+    next_times: Vec<SimTime>,
+    /// Source of each cached next time; meaningful only where the
+    /// matching [`ShardedEngine::next_times`] slot is not [`IDLE`].
+    next_srcs: Vec<Source>,
+    /// Barrier-executed events for [`ShardedEngine::run_threaded`],
+    /// ordered (time, shard, seq) across the whole engine.
+    pub(crate) serial: BinaryHeap<SerialEntry<E>>,
+    pub(crate) serial_seq: u64,
+    pub(crate) horizon: Option<SimTime>,
+    pub(crate) max_events: Option<u64>,
+    pub(crate) processed: u64,
 }
 
 impl<E> ShardedEngine<E> {
@@ -223,11 +313,19 @@ impl<E> ShardedEngine<E> {
     /// Panics if `shards` is zero.
     pub fn new(shards: usize) -> Self {
         assert!(shards > 0, "a sharded engine needs at least one shard");
+        assert!(
+            shards <= 1 << 16,
+            "the mailbox merge key packs the source shard into 16 bits"
+        );
         ShardedEngine {
             now: SimTime::ZERO,
             queues: (0..shards).map(|_| EventQueue::new()).collect(),
             mailboxes: (0..shards).map(|_| BinaryHeap::new()).collect(),
-            send_seq: 0,
+            send_seqs: vec![0; shards],
+            next_times: vec![IDLE; shards],
+            next_srcs: vec![Source::Local; shards],
+            serial: BinaryHeap::new(),
+            serial_seq: 0,
             horizon: None,
             max_events: None,
             processed: 0,
@@ -261,10 +359,12 @@ impl<E> ShardedEngine<E> {
         self.processed
     }
 
-    /// Number of pending events across all calendars and mailboxes.
+    /// Number of pending events across all calendars, mailboxes and the
+    /// serial barrier queue.
     pub fn pending(&self) -> usize {
         self.queues.iter().map(EventQueue::len).sum::<usize>()
             + self.mailboxes.iter().map(BinaryHeap::len).sum::<usize>()
+            + self.serial.len()
     }
 
     /// Schedules `event` on `shard`'s calendar at absolute time `at`.
@@ -279,59 +379,150 @@ impl<E> ShardedEngine<E> {
             .get_mut(shard.0 as usize)
             .unwrap_or_else(|| panic!("{shard} is not a shard of this engine"))
             .schedule(at, event);
+        self.refresh_next(shard.0 as usize);
     }
 
-    /// The (time, source) of `shard`'s next event, if it has one. At equal
-    /// times the local calendar wins over the mailbox.
-    fn shard_next(&self, shard: usize) -> Option<(SimTime, Source)> {
+    /// Schedules a *serial* event at absolute time `at`, attributed to
+    /// `shard` for (time, shard, seq) ordering. Serial events execute at
+    /// the epoch barriers of [`ShardedEngine::run_threaded`] with
+    /// exclusive access to the whole world; the plain [`ShardedEngine::run`]
+    /// loop refuses to start while any are pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock or `shard` is out
+    /// of range.
+    pub fn schedule_serial(&mut self, shard: ShardId, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule an event in the past");
+        assert!(
+            (shard.0 as usize) < self.queues.len(),
+            "{shard} is not a shard of this engine"
+        );
+        let seq = self.serial_seq;
+        self.serial_seq += 1;
+        self.serial.push(SerialEntry {
+            at,
+            shard,
+            seq,
+            event,
+        });
+    }
+
+    /// Recomputes the cached next-event slot of `shard` from its heaps.
+    pub(crate) fn refresh_next(&mut self, shard: usize) {
         let local = self.queues[shard].peek_time();
         let mail = self.mailboxes[shard].peek().map(|e| e.at);
-        match (local, mail) {
-            (None, None) => None,
-            (Some(t), None) => Some((t, Source::Local)),
-            (None, Some(t)) => Some((t, Source::Mailbox)),
+        let (t, src) = match (local, mail) {
+            (None, None) => (IDLE, Source::Local),
+            (Some(t), None) => (t, Source::Local),
+            (None, Some(t)) => (t, Source::Mailbox),
             (Some(l), Some(m)) => {
+                // At equal times the local calendar wins over the mailbox.
                 if m < l {
-                    Some((m, Source::Mailbox))
+                    (m, Source::Mailbox)
                 } else {
-                    Some((l, Source::Local))
+                    (l, Source::Local)
                 }
             }
+        };
+        self.next_times[shard] = t;
+        self.next_srcs[shard] = src;
+    }
+
+    /// Rebuilds every cached next-event slot (used after bulk surgery on
+    /// the queues, e.g. when `run_threaded` reassembles its lanes).
+    pub(crate) fn rebuild_next_cache(&mut self) {
+        for shard in 0..self.queues.len() {
+            self.refresh_next(shard);
         }
     }
 
     /// The globally next event: earliest time, ties to the lowest shard.
+    /// A branch-free min scan of the flat time cache — no heap peeks.
     fn global_next(&self) -> Option<(SimTime, usize, Source)> {
+        let mut best_t = IDLE;
+        let mut best_s = usize::MAX;
+        for (shard, &t) in self.next_times.iter().enumerate() {
+            // Strict `<` keeps the lowest shard id on equal times,
+            // because shards are visited in ascending order.
+            if t < best_t {
+                best_t = t;
+                best_s = shard;
+            }
+        }
+        if best_s == usize::MAX {
+            // Every slot reads the sentinel: the engine is drained —
+            // unless an event is genuinely scheduled at the sentinel
+            // time itself, which only a direct heap peek can tell.
+            return self.global_next_slow();
+        }
+        Some((best_t, best_s, self.next_srcs[best_s]))
+    }
+
+    /// Sentinel-collision fallback for [`ShardedEngine::global_next`]:
+    /// peeks the heaps directly to find an event scheduled at [`IDLE`].
+    #[cold]
+    fn global_next_slow(&self) -> Option<(SimTime, usize, Source)> {
         let mut best: Option<(SimTime, usize, Source)> = None;
         for shard in 0..self.queues.len() {
-            if let Some((t, source)) = self.shard_next(shard) {
-                // Strict `<` keeps the lowest shard id on equal times,
-                // because shards are visited in ascending order.
+            let local = self.queues[shard].peek_time();
+            let mail = self.mailboxes[shard].peek().map(|e| e.at);
+            let slot = match (local, mail) {
+                (None, None) => None,
+                (Some(t), None) => Some((t, Source::Local)),
+                (None, Some(t)) => Some((t, Source::Mailbox)),
+                (Some(l), Some(m)) => {
+                    if m < l {
+                        Some((m, Source::Mailbox))
+                    } else {
+                        Some((l, Source::Local))
+                    }
+                }
+            };
+            if let Some((t, src)) = slot {
                 let earlier = match best {
                     None => true,
-                    Some((best_time, _, _)) => t < best_time,
+                    Some((bt, _, _)) => t < bt,
                 };
                 if earlier {
-                    best = Some((t, shard, source));
+                    best = Some((t, shard, src));
                 }
             }
         }
         best
     }
 
-    /// Runs the simulation until every calendar and mailbox drains or a
-    /// limit is hit. Semantics match [`Engine::run`](crate::engine::Engine::run):
-    /// the budget is checked before each pop and the horizon against the
-    /// next event's time.
+    /// Runs the simulation single-threaded until every calendar and
+    /// mailbox drains or a limit is hit. Semantics match
+    /// [`Engine::run`](crate::engine::Engine::run): the budget is checked
+    /// before each pop and the horizon against the next event's time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serial events are pending — those have barrier semantics
+    /// only [`ShardedEngine::run_threaded`] implements.
     pub fn run<P: ShardedProcess<Event = E>>(&mut self, world: &mut P) -> RunOutcome {
+        assert!(
+            self.serial.is_empty(),
+            "serial events require run_threaded; the plain run loop has no barriers"
+        );
+        // Same-shard continuation: after firing shard `s` at time `t` with no
+        // cross-shard sends, if `s`'s refreshed slot still reads `t` then `s`
+        // stays the global winner — it held the lowest id among the time-`t`
+        // slots and no other slot moved — so the min scan can be skipped.
+        let mut hint: Option<usize> = None;
         loop {
             if let Some(max) = self.max_events {
                 if self.processed >= max {
                     return RunOutcome::BudgetExhausted;
                 }
             }
-            let Some((next_time, shard, source)) = self.global_next() else {
-                return RunOutcome::Drained;
+            let (next_time, shard, source) = match hint.take() {
+                Some(s) => (self.next_times[s], s, self.next_srcs[s]),
+                None => match self.global_next() {
+                    Some(next) => next,
+                    None => return RunOutcome::Drained,
+                },
             };
             if let Some(h) = self.horizon {
                 if next_time > h {
@@ -353,9 +544,19 @@ impl<E> ShardedEngine<E> {
                 now: at,
                 local: &mut self.queues[shard],
                 mailboxes: &mut self.mailboxes,
-                send_seq: &mut self.send_seq,
+                send_seq: &mut self.send_seqs[shard],
+                next_times: &mut self.next_times,
+                next_srcs: &mut self.next_srcs,
+                sent: false,
             };
             world.handle(ShardId(shard as u32), at, event, &mut ctx);
+            let sent = ctx.sent;
+            // Sends already lowered their destinations' cached slots in
+            // place; only the fired shard's own slot needs a re-peek.
+            self.refresh_next(shard);
+            if !sent && at < IDLE && self.next_times[shard] == at {
+                hint = Some(shard);
+            }
         }
     }
 }

@@ -5,7 +5,7 @@
 //! per-scenario reports.
 //!
 //! Run with:
-//! `cargo run --release --example scenario [seed] [rack-scale] [migration] [offload] [datacenter] [failure] [datapath]`
+//! `cargo run --release --example scenario [seed] [rack-scale] [migration] [offload] [datacenter] [failure] [datapath] [--threads N]`
 //!
 //! Passing `rack-scale` additionally replays the 256-compute-brick / 4096-VM
 //! control-plane stress scenario (the capacity-index hot path) and checks
@@ -29,16 +29,36 @@
 //! movement-granularity controller) and the incast (ten page-granularity
 //! streams saturating a single dMEMBRICK port) — with the same determinism
 //! check and assertions that the fabric actually saw pressure.
+//!
+//! Passing `--threads N` (with `datacenter`) additionally replays the
+//! federated scenario on N worker threads through the conservative
+//! parallel runner, asserts the report is bit-identical to the serial
+//! replay — and, when the committed golden snapshot for the seed exists,
+//! byte-identical to that too — and prints both wall-clock times.
 
 use dredbox::prelude::*;
 
 fn main() -> Result<(), SystemError> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--threads N` must come out before the seed scan, or N is taken for
+    // a seed.
+    let threads = match args.iter().position(|a| a == "--threads") {
+        Some(i) => {
+            let n: usize = args
+                .get(i + 1)
+                .and_then(|a| a.parse().ok())
+                .expect("--threads takes a worker count");
+            args.drain(i..=i + 1);
+            n.max(1)
+        }
+        None => 1,
+    };
     let seed = args.iter().find_map(|a| a.parse().ok()).unwrap_or(2018);
     let with_rack_scale = args.iter().any(|a| a == "rack-scale");
     let with_migration = args.iter().any(|a| a == "migration");
     let with_offload = args.iter().any(|a| a == "offload");
     let with_datacenter = args.iter().any(|a| a == "datacenter");
+    let with_datacenter_64 = args.iter().any(|a| a == "datacenter-64");
     let with_failure = args.iter().any(|a| a == "failure");
     let with_datapath = args.iter().any(|a| a == "datapath");
 
@@ -119,6 +139,64 @@ fn main() -> Result<(), SystemError> {
              ({} routed admissions, {} spillovers, {} cross-rack migrations)",
             cluster.routed_admissions, cluster.spillovers, cluster.cross_rack_migrations
         );
+        if threads > 1 {
+            let started = std::time::Instant::now();
+            let parallel = spec.run_with_threads(seed, threads)?;
+            let wall = started.elapsed();
+            assert_eq!(
+                report, parallel,
+                "datacenter threaded replay diverged from serial"
+            );
+            println!(
+                "determinism check: datacenter on {threads} workers was identical \
+                 ({:.3} s wall-clock vs {:.3} s serial)",
+                wall.as_secs_f64(),
+                elapsed.as_secs_f64()
+            );
+            // When the committed golden for this seed exists, the threaded
+            // report must reproduce it byte for byte — the same proof the
+            // test suite runs, wired here so CI exercises it on a release
+            // build of the real scenario.
+            let golden_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../../tests/golden")
+                .join(format!("{}-{seed}.txt", spec.name));
+            if let Ok(golden) = std::fs::read_to_string(&golden_path) {
+                let rendered = format!("{parallel:#?}\n{parallel}");
+                assert!(
+                    rendered == golden,
+                    "threaded datacenter report drifted from {}",
+                    golden_path.display()
+                );
+                println!(
+                    "golden check: threaded report matches {} byte for byte",
+                    golden_path.display()
+                );
+            }
+        }
+    }
+
+    if with_datacenter_64 {
+        let spec = ScenarioSpec::datacenter_64();
+        let started = std::time::Instant::now();
+        let report = spec.run_with_threads(seed, threads)?;
+        let elapsed = started.elapsed();
+        let cluster = report.cluster.as_ref().expect("federated stats reported");
+        println!(
+            "\ndatacenter-64: {} racks, {} compute bricks, {} events on {} worker(s) \
+             in {:.3} s wall-clock ({} routed admissions, {} spillovers, \
+             {} cross-rack migrations)",
+            spec.system.racks,
+            spec.system.total_compute_bricks(),
+            report.events,
+            threads,
+            elapsed.as_secs_f64(),
+            cluster.routed_admissions,
+            cluster.spillovers,
+            cluster.cross_rack_migrations
+        );
+        let replay = spec.run_with_threads(seed, threads)?;
+        assert_eq!(report, replay, "datacenter-64 same-seed replay diverged");
+        println!("determinism check: datacenter-64 replay with seed {seed} was identical");
     }
 
     if with_failure {

@@ -390,6 +390,24 @@ fn extended_suite_matches_golden_snapshots_in_both_sharding_modes() {
                     path.display()
                 );
             }
+            // The same snapshot must survive threaded execution: the
+            // conservative runner's epoch barriers and (time, shard, seq)
+            // merge may not shift a single byte relative to the serial
+            // replay, at any worker count.
+            if spec.system.racks > 1 {
+                for threads in [2usize, 4] {
+                    let mut run = spec.clone();
+                    run.sharding = ShardingMode::PerRack;
+                    let report = run.run_with_threads(seed, threads).expect("scenario runs");
+                    let rendered = format!("{report:#?}\n{report}");
+                    assert!(
+                        rendered == golden,
+                        "{}-{seed} with {threads} workers drifted from {}",
+                        spec.name,
+                        path.display()
+                    );
+                }
+            }
         }
     }
 }
